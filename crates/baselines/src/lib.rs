@@ -1,0 +1,25 @@
+//! # cpdg-baselines
+//!
+//! The ten comparison methods of the CPDG paper's evaluation (§V-B):
+//! static task-supervised (GraphSAGE, GAT, GIN), static self-supervised
+//! (DGI, GPT-GNN), and dynamic self-supervised (DDGCL, SelfRGNN) — the
+//! dynamic task-supervised baselines (DyRep, JODIE, TGN) are the vanilla
+//! pre-training mode of `cpdg_core::pipeline`, since they share the DGNN
+//! substrate.
+//!
+//! Simplifications relative to the original methods are documented on each
+//! module and in the workspace DESIGN.md.
+
+#![warn(missing_docs)]
+
+pub mod dgi;
+pub mod dynamic_ssl;
+pub mod gptgnn;
+pub mod runner;
+pub mod static_gnn;
+pub mod static_train;
+
+pub use dynamic_ssl::DynSslConfig;
+pub use runner::{Baseline, BaselineRunConfig};
+pub use static_gnn::{StaticGnn, StaticGraph, StaticKind};
+pub use static_train::StaticTrainConfig;

@@ -1,0 +1,275 @@
+//! Uniform runner for the seven non-trivial baselines of Table V, so the
+//! bench harness can sweep methods with one call. (The task-supervised
+//! dynamic baselines DyRep/JODIE/TGN and CPDG itself run through
+//! `cpdg_core::pipeline` — they share the DGNN substrate directly.)
+
+use crate::dgi::{pretrain_dgi, DgiDiscriminator};
+use crate::dynamic_ssl::{
+    pretrain_ddgcl, pretrain_selfrgnn, DdgclCritic, DynSslConfig, SelfRgnnCurvature,
+};
+use crate::gptgnn::pretrain_gptgnn;
+use crate::static_gnn::{StaticGnn, StaticGraph, StaticKind};
+use crate::static_train::{
+    dst_pool, eval_static_link_prediction, train_static_link_prediction, StaticTrainConfig,
+};
+use cpdg_core::finetune::{
+    finetune_link_prediction, finetune_node_classification, FinetuneConfig,
+};
+use cpdg_core::pipeline::auto_time_scale;
+use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor};
+use cpdg_graph::TransferSplit;
+use cpdg_tensor::optim::Adam;
+use cpdg_tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The baselines this runner covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// GraphSAGE (task-supervised static).
+    GraphSage,
+    /// GAT (task-supervised static).
+    Gat,
+    /// GIN (task-supervised static).
+    Gin,
+    /// DGI (self-supervised static).
+    Dgi,
+    /// GPT-GNN (self-supervised static, generative).
+    GptGnn,
+    /// DDGCL (self-supervised dynamic).
+    Ddgcl,
+    /// SelfRGNN (self-supervised dynamic).
+    SelfRgnn,
+}
+
+impl Baseline {
+    /// Display name used in experiment tables (matches the paper).
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::GraphSage => "GraphSAGE",
+            Baseline::Gat => "GAT",
+            Baseline::Gin => "GIN",
+            Baseline::Dgi => "DGI",
+            Baseline::GptGnn => "GPT-GNN",
+            Baseline::Ddgcl => "DDGCL",
+            Baseline::SelfRgnn => "SelfRGNN",
+        }
+    }
+
+    /// All seven, in the paper's Table V order.
+    pub fn all() -> [Baseline; 7] {
+        [
+            Baseline::GraphSage,
+            Baseline::Gin,
+            Baseline::Gat,
+            Baseline::Dgi,
+            Baseline::GptGnn,
+            Baseline::Ddgcl,
+            Baseline::SelfRgnn,
+        ]
+    }
+
+    /// True for the two dynamic self-supervised methods (the only
+    /// baselines of this runner that appear in the node-classification
+    /// table).
+    pub fn is_dynamic(self) -> bool {
+        matches!(self, Baseline::Ddgcl | Baseline::SelfRgnn)
+    }
+}
+
+/// Shared run configuration.
+#[derive(Debug, Clone)]
+pub struct BaselineRunConfig {
+    /// Embedding width.
+    pub dim: usize,
+    /// Static-model stage settings (pre-train and fine-tune use the same
+    /// step budget).
+    pub static_cfg: StaticTrainConfig,
+    /// Dynamic-SSL pre-training settings.
+    pub dyn_cfg: DynSslConfig,
+    /// Downstream fine-tuning for dynamic methods.
+    pub finetune: FinetuneConfig,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineRunConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            static_cfg: StaticTrainConfig::default(),
+            dyn_cfg: DynSslConfig::default(),
+            finetune: FinetuneConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl Baseline {
+    /// Pre-trains on `split.pretrain`, fine-tunes on `split.downstream`,
+    /// and returns downstream test `(AUC, AP)`.
+    pub fn run_link_prediction(self, split: &TransferSplit, cfg: &BaselineRunConfig) -> (f64, f64) {
+        match self {
+            Baseline::Ddgcl | Baseline::SelfRgnn => self.run_dynamic(split, cfg, false).0,
+            _ => self.run_static(split, cfg),
+        }
+    }
+
+    /// Node-classification AUC for the dynamic self-supervised baselines;
+    /// `None` for static methods (not part of the paper's Table VII).
+    pub fn run_node_classification(
+        self,
+        split: &TransferSplit,
+        cfg: &BaselineRunConfig,
+    ) -> Option<f64> {
+        self.is_dynamic().then(|| self.run_dynamic(split, cfg, true).1)
+    }
+
+    fn run_static(self, split: &TransferSplit, cfg: &BaselineRunConfig) -> (f64, f64) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let num_nodes = split.pretrain.num_nodes();
+        let kind = match self {
+            Baseline::GraphSage | Baseline::Dgi | Baseline::GptGnn => StaticKind::Sage,
+            Baseline::Gat => StaticKind::Gat,
+            Baseline::Gin => StaticKind::Gin,
+        // Dynamic methods never reach here.
+            Baseline::Ddgcl | Baseline::SelfRgnn => unreachable!("dynamic baseline"),
+        };
+        let gnn = StaticGnn::new(&mut store, &mut rng, "gnn", kind, num_nodes, cfg.dim);
+        let head = LinkPredictor::new(&mut store, &mut rng, "head", cfg.dim);
+        let mut opt = Adam::new(cfg.static_cfg.lr);
+
+        // --- pre-training stage -------------------------------------
+        let sg_pre = StaticGraph::from_dynamic(&split.pretrain);
+        match self {
+            Baseline::Dgi => {
+                let disc = DgiDiscriminator::new(&mut store, &mut rng, "disc", cfg.dim);
+                let nodes = split.pretrain.active_nodes();
+                pretrain_dgi(
+                    &gnn, &disc, &mut store, &mut opt, &sg_pre, &nodes, &cfg.static_cfg, &mut rng,
+                );
+            }
+            Baseline::GptGnn => {
+                pretrain_gptgnn(
+                    &gnn, &mut store, &mut opt, &sg_pre, &split.pretrain, &cfg.static_cfg, &mut rng,
+                );
+            }
+            _ => {
+                let pool = dst_pool(&split.pretrain);
+                train_static_link_prediction(
+                    &gnn, &head, &mut store, &mut opt, &sg_pre,
+                    split.pretrain.events(), &pool, &cfg.static_cfg, &mut rng,
+                );
+            }
+        }
+
+        // --- fine-tuning on the downstream train portion -------------
+        let down = &split.downstream;
+        let n = down.num_events();
+        let train_end = ((n as f64 * cfg.static_cfg.train_frac) as usize).clamp(1, n - 1);
+        // The snapshot used for both fine-tuning and evaluation only
+        // contains training-period edges — no test leakage.
+        let train_graph = cpdg_graph::split::subgraph_where(down, |e| e.idx < train_end)
+            .expect("non-empty train portion");
+        let sg_train = StaticGraph::from_dynamic(&train_graph);
+        let pool = dst_pool(down);
+        train_static_link_prediction(
+            &gnn, &head, &mut store, &mut opt, &sg_train,
+            &down.events()[..train_end], &pool, &cfg.static_cfg, &mut rng,
+        );
+        eval_static_link_prediction(&gnn, &head, &store, &sg_train, down, train_end, &mut rng)
+    }
+
+    /// Runs a dynamic-SSL baseline; returns `((auc, ap), node_auc)` with
+    /// the unused half computed only when requested.
+    fn run_dynamic(
+        self,
+        split: &TransferSplit,
+        cfg: &BaselineRunConfig,
+        classify: bool,
+    ) -> ((f64, f64), f64) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let time_scale = auto_time_scale(&split.pretrain);
+        let dcfg = DgnnConfig::preset(EncoderKind::Tgn, cfg.dim, time_scale);
+        let mut enc =
+            DgnnEncoder::new(&mut store, &mut rng, "enc", split.pretrain.num_nodes(), dcfg);
+        let mut opt = Adam::new(cfg.dyn_cfg.lr);
+        match self {
+            Baseline::Ddgcl => {
+                let critic = DdgclCritic::new(&mut store, &mut rng, "critic", cfg.dim);
+                pretrain_ddgcl(&mut enc, &critic, &mut store, &mut opt, &split.pretrain, &cfg.dyn_cfg);
+            }
+            Baseline::SelfRgnn => {
+                let curv = SelfRgnnCurvature::new(&mut store, "curv");
+                pretrain_selfrgnn(&mut enc, &curv, &mut store, &mut opt, &split.pretrain, &cfg.dyn_cfg);
+            }
+            _ => unreachable!("static baseline"),
+        }
+        if classify {
+            let auc = finetune_node_classification(
+                &mut enc, &mut store, &split.downstream, &[], &cfg.finetune,
+            );
+            ((0.5, 0.5), auc)
+        } else {
+            let res = finetune_link_prediction(
+                &mut enc, &mut store, &split.downstream, &[], &cfg.finetune, None,
+            );
+            ((res.auc, res.ap), 0.5)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdg_graph::split::time_transfer;
+    use cpdg_graph::{generate, SyntheticConfig};
+
+    fn quick_cfg() -> BaselineRunConfig {
+        BaselineRunConfig {
+            dim: 8,
+            static_cfg: StaticTrainConfig { steps: 10, batch_size: 32, ..Default::default() },
+            dyn_cfg: DynSslConfig { epochs: 1, batch_size: 100, ..Default::default() },
+            finetune: FinetuneConfig { epochs: 1, batch_size: 100, ..Default::default() },
+            seed: 0,
+        }
+    }
+
+    fn tiny_split(seed: u64) -> TransferSplit {
+        let ds = generate(
+            &SyntheticConfig { n_events: 700, ..SyntheticConfig::amazon_like(seed) }.scaled(0.1),
+        );
+        time_transfer(&ds.graph, 0.6).unwrap()
+    }
+
+    #[test]
+    fn every_baseline_runs_link_prediction() {
+        let split = tiny_split(0);
+        let cfg = quick_cfg();
+        for b in Baseline::all() {
+            let (auc, ap) = b.run_link_prediction(&split, &cfg);
+            assert!(auc.is_finite() && (0.0..=1.0).contains(&auc), "{b:?} auc {auc}");
+            assert!(ap.is_finite(), "{b:?} ap {ap}");
+        }
+    }
+
+    #[test]
+    fn node_classification_only_for_dynamic() {
+        let ds = generate(
+            &SyntheticConfig { n_events: 800, ..SyntheticConfig::wikipedia_like(1) }.scaled(0.12),
+        );
+        let split = time_transfer(&ds.graph, 0.6).unwrap();
+        let cfg = quick_cfg();
+        assert!(Baseline::GraphSage.run_node_classification(&split, &cfg).is_none());
+        let auc = Baseline::Ddgcl.run_node_classification(&split, &cfg).unwrap();
+        assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = Baseline::all().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["GraphSAGE", "GIN", "GAT", "DGI", "GPT-GNN", "DDGCL", "SelfRGNN"]);
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end microbenches: one pre-training step of each objective
+//! component (the cost model of the paper's §IV-D), memory replay
+//! throughput, and the EIE fusion variants' per-batch cost
+//! (`O(D+N+1)` / `O(D+2N)` / `O(D+N+Nd²)` in the paper's notation).
+
+use cpdg_core::contrast::structural::{structural_contrast_loss, StructuralContrastConfig};
+use cpdg_core::contrast::temporal::{temporal_contrast_loss, TemporalContrastConfig};
+use cpdg_core::eie::{EieFusion, EieModule};
+use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind};
+use cpdg_graph::{generate, NodeId, SyntheticConfig, Timestamp};
+use cpdg_tensor::{ParamStore, Tape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pipeline_benches(c: &mut Criterion) {
+    let ds = generate(&SyntheticConfig::amazon_like(3).scaled(0.3));
+    let graph = ds.graph.clone();
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = DgnnConfig::preset(EncoderKind::Tgn, 32, 10_000.0);
+    let mut encoder = DgnnEncoder::new(&mut store, &mut rng, "enc", graph.num_nodes(), cfg);
+    encoder.replay(&store, &graph, 200);
+
+    let t = graph.t_max().unwrap() + 1.0;
+    let centers: Vec<(NodeId, Timestamp)> =
+        graph.active_nodes().into_iter().take(16).map(|n| (n, t)).collect();
+    let nodes: Vec<NodeId> = centers.iter().map(|c| c.0).collect();
+    let times: Vec<Timestamp> = centers.iter().map(|c| c.1).collect();
+    let pool: Vec<NodeId> = graph.active_nodes();
+
+    c.bench_function("embed_16_nodes", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let ctx = encoder.apply_pending(&mut tape, &store, &graph);
+            black_box(encoder.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times))
+        });
+    });
+
+    c.bench_function("temporal_contrast_16_centers", |b| {
+        let tc = TemporalContrastConfig::default();
+        let mut srng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let ctx = encoder.apply_pending(&mut tape, &store, &graph);
+            let z = encoder.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times);
+            black_box(temporal_contrast_loss(
+                &mut tape, &encoder, &store, &graph, &centers, z, &tc, &mut srng,
+            ))
+        });
+    });
+
+    c.bench_function("structural_contrast_16_centers", |b| {
+        let sc = StructuralContrastConfig::default();
+        let mut srng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let ctx = encoder.apply_pending(&mut tape, &store, &graph);
+            let z = encoder.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times);
+            black_box(structural_contrast_loss(
+                &mut tape, &encoder, &store, &graph, &centers, z, &pool, &sc, &mut srng,
+            ))
+        });
+    });
+
+    // EIE fusion cost per variant (10 checkpoints, 64 nodes) — the paper's
+    // fine-tuning complexity comparison.
+    let checkpoints: Vec<_> = (0..10).map(|i| encoder.memory.snapshot(i as f64 / 10.0)).collect();
+    let many_nodes: Vec<NodeId> = graph.active_nodes().into_iter().take(64).collect();
+    let mut group = c.benchmark_group("eie_fusion");
+    for fusion in EieFusion::all() {
+        let mut estore = ParamStore::new();
+        let mut erng = StdRng::seed_from_u64(5);
+        let module = EieModule::new(&mut estore, &mut erng, "eie", 32, fusion);
+        group.bench_with_input(BenchmarkId::from_parameter(fusion.name()), &fusion, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                black_box(module.fuse(&mut tape, &estore, &checkpoints, &many_nodes))
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("replay_300_events", |b| {
+        let small = generate(&SyntheticConfig::amazon_like(9).scaled(0.1));
+        let mut store2 = ParamStore::new();
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let cfg2 = DgnnConfig::preset(EncoderKind::Tgn, 32, 10_000.0);
+        let mut enc2 =
+            DgnnEncoder::new(&mut store2, &mut rng2, "enc", small.graph.num_nodes(), cfg2);
+        b.iter(|| {
+            enc2.reset_state();
+            enc2.replay(&store2, &small.graph, 100);
+            black_box(enc2.memory.rms())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = pipeline_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenches for the structural-temporal subgraph samplers — the
+//! complexity claims of the paper's §IV-D (`O(2k^η N)` sampling with
+//! width/depth sweeps) and the underlying temporal-neighbourhood queries.
+
+use cpdg_core::sampler::bfs::{eta_bfs, BfsConfig};
+use cpdg_core::sampler::dfs::{eps_dfs, DfsConfig};
+use cpdg_core::sampler::prob::{temporal_probs, TemporalBias};
+use cpdg_graph::{generate, SyntheticConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sampler_benches(c: &mut Criterion) {
+    let ds = generate(&SyntheticConfig::amazon_like(7).scaled(0.5));
+    let graph = &ds.graph;
+    let t = graph.t_max().unwrap() + 1.0;
+    // A well-connected root: the most active user.
+    let root = (0..ds.num_users as u32)
+        .max_by_key(|&u| graph.neighbors_all(u).len())
+        .unwrap();
+
+    let mut group = c.benchmark_group("eta_bfs");
+    for (eta, k) in [(2usize, 2usize), (5, 2), (10, 2), (5, 3), (20, 2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eta{eta}_k{k}")),
+            &(eta, k),
+            |b, &(eta, k)| {
+                let cfg = BfsConfig::new(eta, k, 0.5, TemporalBias::Chronological);
+                let mut rng = StdRng::seed_from_u64(0);
+                b.iter(|| black_box(eta_bfs(graph, root, t, &cfg, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("eps_dfs");
+    for (eps, k) in [(2usize, 2usize), (3, 2), (3, 3), (5, 2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps{eps}_k{k}")),
+            &(eps, k),
+            |b, &(eps, k)| {
+                let cfg = DfsConfig::new(eps, k);
+                b.iter(|| black_box(eps_dfs(graph, root, t, &cfg)));
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("neighbors_before_query", |b| {
+        b.iter(|| black_box(graph.neighbors_before(root, t)).len())
+    });
+
+    c.bench_function("temporal_probs_64_events", |b| {
+        let times: Vec<f64> = (0..64).map(|i| i as f64 * 3.7).collect();
+        b.iter(|| black_box(temporal_probs(&times, 300.0, 0.5, TemporalBias::Chronological)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = sampler_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenches for the tensor substrate's hot kernels: matmul, the GRU
+//! memory update (Eq. 4), attention embedding, and a full forward+backward
+//! tape pass.
+
+use cpdg_tensor::nn::{GruCell, NeighborAttention};
+use cpdg_tensor::{Matrix, ParamStore, Tape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn tensor_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [16usize, 32, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let a = Matrix::full(n, n, 0.5);
+            let m = Matrix::full(n, n, 0.25);
+            b.iter(|| black_box(a.matmul(&m)));
+        });
+    }
+    group.finish();
+
+    c.bench_function("gru_update_batch64_dim32", |b| {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = GruCell::new(&mut store, &mut rng, "g", 32, 32);
+        let x = Matrix::full(64, 32, 0.1);
+        let h = Matrix::full(64, 32, 0.2);
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let hv = tape.constant(h.clone());
+            black_box(cell.forward(&mut tape, &store, xv, hv))
+        });
+    });
+
+    c.bench_function("attention_10_neighbors_dim32", |b| {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let att = NeighborAttention::new(&mut store, &mut rng, "a", 32, 32, 32, 32);
+        let q = Matrix::full(1, 32, 0.3);
+        let kv = Matrix::full(10, 32, 0.1);
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let qv = tape.constant(q.clone());
+            let kvv = tape.constant(kv.clone());
+            black_box(att.forward_one(&mut tape, &store, qv, kvv))
+        });
+    });
+
+    c.bench_function("forward_backward_gru_step", |b| {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cell = GruCell::new(&mut store, &mut rng, "g", 32, 32);
+        let x = Matrix::full(64, 32, 0.1);
+        let h = Matrix::full(64, 32, 0.2);
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let hv = tape.constant(h.clone());
+            let out = cell.forward(&mut tape, &store, xv, hv);
+            let loss = tape.mean_all(out);
+            let grads = tape.backward(loss);
+            black_box(tape.param_grads(&grads).len())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = tensor_benches
+}
+criterion_main!(benches);

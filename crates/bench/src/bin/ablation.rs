@@ -1,0 +1,105 @@
+//! Ablation benches for the design choices DESIGN.md calls out, beyond the
+//! paper's own Fig. 5 ablation:
+//!
+//! 1. **Temporal-aware sampling probabilities** (Eqs. 6–8) vs the uniform
+//!    sampler most DGNNs use — both TC subgraphs drawn uniformly.
+//! 2. **Readout pooling** — the paper uses mean "for simplicity" and names
+//!    min/max/weighted as alternatives; we compare mean vs max.
+//! 3. **Message function** `Msg(·)` — Identity vs MLP vs Attention on the
+//!    TGN skeleton (Table III column).
+//! 4. **Memory updater** `Mem(·)` — GRU vs RNN vs LSTM on the TGN skeleton
+//!    (§III-B lists all three).
+//!
+//! All conditions: Amazon-like, time transfer, CPDG pre-training.
+
+use cpdg_bench::harness::{aggregate, HarnessOpts};
+use cpdg_bench::table::TableWriter;
+use cpdg_bench::{amazon_dataset, transfer, Setting};
+use cpdg_core::contrast::ReadoutKind;
+use cpdg_core::pipeline::{run_link_prediction, PipelineConfig};
+use cpdg_core::sampler::prob::TemporalBias;
+use cpdg_dgnn::{EncoderKind, MemKind, MsgKind};
+
+fn base(opts: &HarnessOpts, seed: u64) -> PipelineConfig {
+    let mut cfg = PipelineConfig::cpdg(EncoderKind::Tgn).with_seed(seed);
+    cfg.dim = if opts.scale < 0.5 { 16 } else { 24 };
+    cfg.pretrain.epochs = opts.epochs_pretrain.max(1);
+    cfg.finetune.epochs = opts.epochs_finetune.max(1);
+    cfg
+}
+
+fn run(
+    opts: &HarnessOpts,
+    label: &str,
+    make: impl Fn(u64) -> PipelineConfig,
+    table: &mut TableWriter,
+) {
+    let mut aucs = Vec::new();
+    let mut aps = Vec::new();
+    for seed in opts.seed_list() {
+        let ds = amazon_dataset(opts.scale, seed);
+        let split = transfer(&ds, Setting::Time, 0, 2, 0.7);
+        let res = run_link_prediction(&split, &make(seed), false);
+        aucs.push(res.auc);
+        aps.push(res.ap);
+    }
+    eprintln!("{label}: auc {:.4}", aggregate(&aucs).mean);
+    table.row(vec![label.to_string(), aggregate(&aucs).fmt(), aggregate(&aps).fmt()]);
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut table = TableWriter::new(
+        format!("Design-choice ablations (Amazon-Beauty, T, {} seeds)", opts.seeds),
+        &["Condition", "AUC", "AP"],
+    );
+
+    // 1. Sampling probability.
+    run(&opts, "temporal-aware probs (paper)", |s| base(&opts, s), &mut table);
+    run(&opts, "uniform sampling probs", |s| {
+        let mut cfg = base(&opts, s);
+        cfg.pretrain.tc.pos_bias = TemporalBias::Uniform;
+        cfg.pretrain.tc.neg_bias = TemporalBias::Uniform;
+        cfg
+    }, &mut table);
+    table.separator();
+
+    // 2. Readout pooling.
+    run(&opts, "mean readout (paper)", |s| base(&opts, s), &mut table);
+    run(&opts, "max readout", |s| {
+        let mut cfg = base(&opts, s);
+        cfg.pretrain.tc.readout = ReadoutKind::Max;
+        cfg.pretrain.sc.readout = ReadoutKind::Max;
+        cfg
+    }, &mut table);
+    table.separator();
+
+    // 3. Message function.
+    for (label, msg) in [
+        ("Msg = Identity (TGN)", MsgKind::Identity),
+        ("Msg = MLP", MsgKind::Mlp),
+        ("Msg = Attention (DyRep-style)", MsgKind::Attention),
+    ] {
+        run(&opts, label, |s| {
+            let mut cfg = base(&opts, s);
+            cfg.msg_override = Some(msg);
+            cfg
+        }, &mut table);
+    }
+    table.separator();
+
+    // 4. Memory updater.
+    for (label, mem) in [
+        ("Mem = GRU (TGN)", MemKind::Gru),
+        ("Mem = RNN", MemKind::Rnn),
+        ("Mem = LSTM", MemKind::Lstm),
+    ] {
+        run(&opts, label, |s| {
+            let mut cfg = base(&opts, s);
+            cfg.mem_override = Some(mem);
+            cfg
+        }, &mut table);
+    }
+
+    table.emit("ablation");
+}

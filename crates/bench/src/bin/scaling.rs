@@ -1,0 +1,105 @@
+//! Scaling study for the complexity claims of the paper's §IV-D:
+//!
+//! * subgraph-pair sampling for all N centre nodes is `O(2k^η N)` — we
+//!   measure sampler wall time vs graph size N and vs (width, depth);
+//! * the contrastive readout is `O(4N)` — linear in the centre count;
+//! * one pre-training step cost vs batch size.
+//!
+//! Unlike the Criterion microbenches, this binary prints a table of
+//! wall-clock times across sizes, which is what the complexity discussion
+//! needs.
+
+use cpdg_bench::harness::HarnessOpts;
+use cpdg_bench::table::TableWriter;
+use cpdg_core::contrast::temporal::readout;
+use cpdg_core::sampler::bfs::{eta_bfs, BfsConfig};
+use cpdg_core::sampler::prob::TemporalBias;
+use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind};
+use cpdg_graph::{generate, NodeId, SyntheticConfig};
+use cpdg_tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let _opts = HarnessOpts::from_args();
+
+    // --- sampler time vs graph size --------------------------------------
+    let mut t1 = TableWriter::new(
+        "η-BFS sampling wall time vs graph size (η=5, k=2, 500 roots)",
+        &["events", "active nodes", "total ms", "µs/root"],
+    );
+    for scale in [0.25f64, 0.5, 1.0, 2.0] {
+        let ds = generate(&SyntheticConfig::amazon_like(1).scaled(scale));
+        let g = &ds.graph;
+        let t = g.t_max().unwrap() + 1.0;
+        let roots: Vec<NodeId> = g.active_nodes().into_iter().cycle().take(500).collect();
+        let cfg = BfsConfig::new(5, 2, 0.5, TemporalBias::Chronological);
+        let mut rng = StdRng::seed_from_u64(0);
+        let start = Instant::now();
+        let mut total_nodes = 0usize;
+        for &r in &roots {
+            total_nodes += eta_bfs(g, r, t, &cfg, &mut rng).len();
+        }
+        let elapsed = start.elapsed();
+        t1.row(vec![
+            g.num_events().to_string(),
+            g.active_nodes().len().to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e6 / roots.len() as f64),
+        ]);
+        let _ = total_nodes;
+    }
+    t1.emit("scaling_graph_size");
+
+    // --- sampler time vs (η, k): the k^η factor --------------------------
+    let ds = generate(&SyntheticConfig::gowalla_like(2).scaled(1.0));
+    let g = &ds.graph;
+    let t = g.t_max().unwrap() + 1.0;
+    let roots: Vec<NodeId> = g.active_nodes().into_iter().cycle().take(300).collect();
+    let mut t2 = TableWriter::new(
+        "η-BFS wall time vs width η and depth k (300 roots)",
+        &["η", "k", "bound Ση^h", "µs/root", "mean |subgraph|"],
+    );
+    for (eta, k) in [(2usize, 1usize), (2, 2), (5, 2), (10, 2), (2, 3), (5, 3), (20, 2)] {
+        let cfg = BfsConfig::new(eta, k, 0.5, TemporalBias::Chronological);
+        let mut rng = StdRng::seed_from_u64(1);
+        let start = Instant::now();
+        let mut total = 0usize;
+        for &r in &roots {
+            total += eta_bfs(g, r, t, &cfg, &mut rng).len();
+        }
+        let elapsed = start.elapsed();
+        let bound: usize = (0..=k).map(|h| eta.pow(h as u32)).sum();
+        t2.row(vec![
+            eta.to_string(),
+            k.to_string(),
+            bound.to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e6 / roots.len() as f64),
+            format!("{:.1}", total as f64 / roots.len() as f64),
+        ]);
+    }
+    t2.emit("scaling_eta_k");
+
+    // --- readout cost is linear in the pooled node count -----------------
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let dcfg = DgnnConfig::preset(EncoderKind::Tgn, 32, 1.0);
+    let enc = DgnnEncoder::new(&mut store, &mut rng, "enc", g.num_nodes(), dcfg);
+    let all: Vec<NodeId> = g.active_nodes();
+    let mut t3 = TableWriter::new(
+        "mean-pool readout wall time vs pooled nodes (O(N) claim)",
+        &["nodes pooled", "µs/readout"],
+    );
+    for n in [8usize, 32, 128, 512] {
+        let nodes: Vec<NodeId> = all.iter().copied().cycle().take(n).collect();
+        let start = Instant::now();
+        let reps = 200;
+        for _ in 0..reps {
+            std::hint::black_box(readout(&enc, &store, &nodes));
+        }
+        let elapsed = start.elapsed();
+        t3.row(vec![n.to_string(), format!("{:.2}", elapsed.as_secs_f64() * 1e6 / reps as f64)]);
+    }
+    t3.emit("scaling_readout");
+}

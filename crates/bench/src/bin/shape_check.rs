@@ -1,0 +1,127 @@
+//! Quantifies how well the measured results reproduce the *shape* of the
+//! paper's Table V: per evaluation column, the Spearman rank correlation
+//! between the paper's method ordering and ours, plus who wins and whether
+//! key qualitative findings hold (dynamic ≫ static, CPDG competitive).
+//!
+//! Reads the `results/table5_*.json` dumps produced by the `table5`
+//! binary — run that first.
+
+use cpdg_bench::paper_ref::{TABLE5_AUC, TABLE5_COLUMNS, TABLE5_METHODS};
+use cpdg_bench::table::TableWriter;
+use serde_json::Value;
+use std::fs;
+
+/// Spearman rank correlation between two equal-length score slices
+/// (NaN-free pairs only; average ranks for ties).
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    let pairs: Vec<(f64, f64)> = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    let n = pairs.len();
+    if n < 3 {
+        return f64::NAN;
+    }
+    let ranks = |vals: Vec<f64>| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_by(|&i, &j| vals[i].partial_cmp(&vals[j]).expect("finite"));
+        let mut out = vec![0.0; vals.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            let mut j = i;
+            while j + 1 < idx.len() && vals[idx[j + 1]] == vals[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for &k in &idx[i..=j] {
+                out[k] = avg;
+            }
+            i = j + 1;
+        }
+        out
+    };
+    let ra = ranks(pairs.iter().map(|p| p.0).collect());
+    let rb = ranks(pairs.iter().map(|p| p.1).collect());
+    let mean = (n as f64 + 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        num += (x - mean) * (y - mean);
+        da += (x - mean) * (x - mean);
+        db += (y - mean) * (y - mean);
+    }
+    num / (da.sqrt() * db.sqrt()).max(1e-12)
+}
+
+/// Extracts the measured AUC means from a saved table5 JSON.
+/// Returns `[method][column]` (NaN where parsing fails).
+fn load_measured(path: &str) -> Option<Vec<Vec<f64>>> {
+    let json: Value = serde_json::from_str(&fs::read_to_string(path).ok()?).ok()?;
+    let rows = json.get("rows")?.as_array()?;
+    let mut out = Vec::new();
+    for row in rows {
+        let cells = row.as_array()?;
+        // Layout: Method, (AUC, paper, AP) × 4 → AUC cells at 1, 4, 7, 10.
+        let mut vals = Vec::new();
+        for &i in &[1usize, 4, 7, 10] {
+            let cell = cells.get(i)?.as_str()?;
+            let mean: f64 = cell.split('±').next()?.parse().ok()?;
+            vals.push(mean);
+        }
+        out.push(vals);
+    }
+    Some(out)
+}
+
+fn main() {
+    let settings = [("T", 0usize), ("F", 1), ("T_F", 2)];
+    let mut table = TableWriter::new(
+        "Shape check — Table V measured vs paper (AUC)",
+        &["Setting", "Column", "Spearman ρ", "paper best", "our best", "dyn>static?"],
+    );
+    let mut rhos = Vec::new();
+
+    for (slug, si) in settings {
+        let path = format!("results/table5_{slug}.json");
+        let Some(measured) = load_measured(&path) else {
+            eprintln!("skipping {path}: not found or unparsable (run table5 first)");
+            continue;
+        };
+        for (ci, col) in TABLE5_COLUMNS.iter().enumerate() {
+            let paper: Vec<f64> = (0..11).map(|m| TABLE5_AUC[si][m][ci]).collect();
+            let ours: Vec<f64> = (0..11).map(|m| measured[m][ci]).collect();
+            let rho = spearman(&paper, &ours);
+            if rho.is_finite() {
+                rhos.push(rho);
+            }
+            let argmax = |v: &[f64]| {
+                v.iter()
+                    .enumerate()
+                    .filter(|(_, x)| x.is_finite())
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| TABLE5_METHODS[i])
+                    .unwrap_or("?")
+            };
+            // Dynamic methods are rows 5..=10; static are 0..=4.
+            let dyn_mean: f64 = ours[5..].iter().filter(|v| v.is_finite()).sum::<f64>()
+                / ours[5..].iter().filter(|v| v.is_finite()).count().max(1) as f64;
+            let static_mean: f64 = ours[..5].iter().sum::<f64>() / 5.0;
+            table.row(vec![
+                slug.replace('_', "+"),
+                col.to_string(),
+                format!("{rho:+.3}"),
+                argmax(&paper).to_string(),
+                argmax(&ours).to_string(),
+                if dyn_mean > static_mean { "yes".into() } else { format!("no ({dyn_mean:.3} vs {static_mean:.3})") },
+            ]);
+        }
+    }
+    if !rhos.is_empty() {
+        let mean_rho = rhos.iter().sum::<f64>() / rhos.len() as f64;
+        println!("mean Spearman ρ across {} columns: {mean_rho:+.3}", rhos.len());
+    }
+    table.emit("shape_check");
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Table X**: fine-tuning strategy comparison (Full vs
+//! EIE-mean / EIE-attn / EIE-GRU) on Amazon-Beauty and Amazon-Luxury under
+//! the time+field transfer setting (TGN backbone).
+
+use cpdg_bench::harness::{aggregate, HarnessOpts};
+use cpdg_bench::paper_ref::TABLE10;
+use cpdg_bench::table::TableWriter;
+use cpdg_bench::{amazon_dataset, transfer, Method, Setting};
+use cpdg_core::finetune::FinetuneStrategy;
+use cpdg_core::EieFusion;
+use cpdg_dgnn::EncoderKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let strategies = [
+        FinetuneStrategy::Full,
+        FinetuneStrategy::Eie(EieFusion::Mean),
+        FinetuneStrategy::Eie(EieFusion::Attn),
+        FinetuneStrategy::Eie(EieFusion::Gru),
+    ];
+
+    let mut table = TableWriter::new(
+        format!("Table X — fine-tuning strategies under T+F ({} seeds)", opts.seeds),
+        &["Field", "Strategy", "AUC", "paper AUC", "AP", "paper AP"],
+    );
+
+    for (fi, (fname, field)) in [("Beauty", 0u16), ("Luxury", 1)].into_iter().enumerate() {
+        for (si, strategy) in strategies.into_iter().enumerate() {
+            let method = Method::CpdgWith(EncoderKind::Tgn, strategy);
+            let mut aucs = Vec::new();
+            let mut aps = Vec::new();
+            for seed in opts.seed_list() {
+                let ds = amazon_dataset(opts.scale, seed);
+                let split = transfer(&ds, Setting::TimeField, field, 2, 0.7);
+                let (auc, ap) = method.run_link(&split, &opts, seed);
+                aucs.push(auc);
+                aps.push(ap);
+            }
+            let (p_auc, p_ap) = TABLE10[fi][si];
+            let a = aggregate(&aucs);
+            eprintln!("{fname} {}: auc {:.4} (paper {p_auc:.4})", strategy.name(), a.mean);
+            table.row(vec![
+                fname.to_string(),
+                strategy.name().to_string(),
+                a.fmt(),
+                format!("{p_auc:.4}"),
+                aggregate(&aps).fmt(),
+                format!("{p_ap:.4}"),
+            ]);
+        }
+        table.separator();
+    }
+    table.emit("table10");
+}

@@ -1,0 +1,67 @@
+//! Regenerates **Table IV**: dataset statistics (nodes, edges, density)
+//! for every transfer partition of the Amazon-like and Gowalla-like
+//! datasets, plus the single-field datasets (Meituan, Wikipedia, MOOC,
+//! Reddit analogues).
+
+use cpdg_bench::harness::HarnessOpts;
+use cpdg_bench::table::TableWriter;
+use cpdg_bench::{amazon_dataset, gowalla_dataset, transfer, Setting};
+use cpdg_graph::{generate, DynamicGraph, GraphStats, SyntheticConfig};
+
+fn stat_row(label: &str, part: &str, g: &DynamicGraph) -> Vec<String> {
+    let s = GraphStats::compute(g);
+    vec![
+        label.to_string(),
+        part.to_string(),
+        s.active_nodes.to_string(),
+        s.edges.to_string(),
+        format!("{:.6}%", s.density * 100.0),
+        format!("{:.0}", s.timespan()),
+    ]
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let seed = 0;
+    let mut table = TableWriter::new(
+        format!("Table IV — dataset statistics (scale {})", opts.scale),
+        &["Dataset", "Partition", "#Nodes", "#Edges", "Density", "Timespan"],
+    );
+
+    for (name, ds, down_field, pre_field) in [
+        ("Amazon (Beauty)", amazon_dataset(opts.scale, seed), 0u16, 2u16),
+        ("Amazon (Luxury)", amazon_dataset(opts.scale, seed), 1, 2),
+        ("Gowalla (Entertainment)", gowalla_dataset(opts.scale, seed), 0, 2),
+        ("Gowalla (Outdoors)", gowalla_dataset(opts.scale, seed), 1, 2),
+    ] {
+        for setting in Setting::all() {
+            let split = transfer(&ds, setting, down_field, pre_field, 0.7);
+            table.row(stat_row(name, &format!("pre-train ({})", setting.short()), &split.pretrain));
+        }
+        let split = transfer(&ds, Setting::Time, down_field, pre_field, 0.7);
+        table.row(stat_row(name, "downstream", &split.downstream));
+        table.separator();
+    }
+
+    for (name, cfg) in [
+        ("Meituan", SyntheticConfig::meituan_like(seed)),
+        ("Wikipedia", SyntheticConfig::wikipedia_like(seed)),
+        ("MOOC", SyntheticConfig::mooc_like(seed)),
+        ("Reddit", SyntheticConfig::reddit_like(seed)),
+    ] {
+        let ds = generate(&cfg.scaled(opts.scale));
+        table.row(stat_row(name, "full", &ds.graph));
+        let s = GraphStats::compute(&ds.graph);
+        if s.label_positive_rate > 0.0 {
+            table.row(vec![
+                name.to_string(),
+                "labels".to_string(),
+                format!("{} events", ds.graph.labels().len()),
+                format!("{:.2}% positive", s.label_positive_rate * 100.0),
+                String::new(),
+                String::new(),
+            ]);
+        }
+    }
+    table.emit("table4");
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Table V**: dynamic link prediction on Amazon-like
+//! (Beauty, Luxury) and Gowalla-like (Entertainment, Outdoors) datasets
+//! under the three transfer settings, eleven methods, AUC and AP, with the
+//! paper's AUC printed alongside.
+
+use cpdg_bench::harness::{aggregate, HarnessOpts};
+use cpdg_bench::paper_ref::{fmt_ref, TABLE5_AUC, TABLE5_COLUMNS};
+use cpdg_bench::table::TableWriter;
+use cpdg_bench::{amazon_dataset, gowalla_dataset, transfer, Method, Setting};
+use std::time::Instant;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let methods = Method::table5_lineup();
+    let t0 = Instant::now();
+
+    for (si, setting) in Setting::all().into_iter().enumerate() {
+        let mut table = TableWriter::new(
+            format!("Table V — {} (mean±std over {} seeds)", setting.name(), opts.seeds),
+            &[
+                "Method",
+                "Beauty AUC", "paper",
+                "Beauty AP",
+                "Luxury AUC", "paper",
+                "Luxury AP",
+                "Entertain AUC", "paper",
+                "Entertain AP",
+                "Outdoors AUC", "paper",
+                "Outdoors AP",
+            ],
+        );
+        // column index → (dataset kind, downstream field, pretrain field)
+        let columns: [(usize, u16, u16); 4] = [(0, 0, 2), (0, 1, 2), (1, 0, 2), (1, 1, 2)];
+
+        for (mi, method) in methods.iter().enumerate() {
+            let mut cells: Vec<String> = vec![method.name()];
+            for (ci, &(dk, down, pre)) in columns.iter().enumerate() {
+                let mut aucs = Vec::new();
+                let mut aps = Vec::new();
+                for seed in opts.seed_list() {
+                    let ds = if dk == 0 {
+                        amazon_dataset(opts.scale, seed)
+                    } else {
+                        gowalla_dataset(opts.scale, seed)
+                    };
+                    let split = transfer(&ds, setting, down, pre, 0.7);
+                    let (auc, ap) = method.run_link(&split, &opts, seed);
+                    aucs.push(auc);
+                    aps.push(ap);
+                }
+                cells.push(aggregate(&aucs).fmt());
+                cells.push(fmt_ref(TABLE5_AUC[si][mi][ci]));
+                cells.push(aggregate(&aps).fmt());
+                eprintln!(
+                    "[{:>7.1?}] {} / {} / {}: auc {:.4} (paper {})",
+                    t0.elapsed(),
+                    setting.short(),
+                    TABLE5_COLUMNS[ci],
+                    method.name(),
+                    aggregate(&aucs).mean,
+                    fmt_ref(TABLE5_AUC[si][mi][ci]),
+                );
+            }
+            table.row(cells);
+        }
+        table.emit(&format!("table5_{}", setting.short().replace('+', "_")));
+    }
+    eprintln!("table5 total: {:?}", t0.elapsed());
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Table VIII**: performance gained by CPDG with different
+//! DGNN encoders (DyRep, JODIE, TGN) on Amazon-Beauty and Amazon-Luxury
+//! under all three transfer settings (AUC).
+
+use cpdg_bench::harness::{aggregate, HarnessOpts};
+use cpdg_bench::paper_ref::TABLE8;
+use cpdg_bench::table::TableWriter;
+use cpdg_bench::{amazon_dataset, transfer, Method, Setting};
+use cpdg_dgnn::EncoderKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let encoders = [EncoderKind::DyRep, EncoderKind::Jodie, EncoderKind::Tgn];
+
+    for (si, setting) in Setting::all().into_iter().enumerate() {
+        let mut table = TableWriter::new(
+            format!("Table VIII — {} ({} seeds)", setting.name(), opts.seeds),
+            &["Method", "Beauty AUC", "paper", "Luxury AUC", "paper"],
+        );
+        for (ei, encoder) in encoders.into_iter().enumerate() {
+            let (p_vb, p_cb, p_vl, p_cl) = TABLE8[si][ei];
+            for (method, pb, pl) in [
+                (Method::Vanilla(encoder), p_vb, p_vl),
+                (Method::Cpdg(encoder), p_cb, p_cl),
+            ] {
+                let mut cells = vec![if matches!(method, Method::Cpdg(_)) {
+                    "  with CPDG".to_string()
+                } else {
+                    method.name()
+                }];
+                for (field, paper) in [(0u16, pb), (1, pl)] {
+                    let mut aucs = Vec::new();
+                    for seed in opts.seed_list() {
+                        let ds = amazon_dataset(opts.scale, seed);
+                        let split = transfer(&ds, setting, field, 2, 0.7);
+                        let (auc, _) = method.run_link(&split, &opts, seed);
+                        aucs.push(auc);
+                    }
+                    let a = aggregate(&aucs);
+                    eprintln!(
+                        "{} / {} field{}: auc {:.4} (paper {:.4})",
+                        setting.short(), method.name(), field, a.mean, paper
+                    );
+                    cells.push(a.fmt());
+                    cells.push(format!("{paper:.4}"));
+                }
+                table.row(cells);
+            }
+            table.separator();
+        }
+        table.emit(&format!("table8_{}", setting.short().replace('+', "_")));
+    }
+}

@@ -1,0 +1,202 @@
+//! Run options, seed aggregation, and a small order-preserving parallel
+//! map for sweeping independent experimental conditions across cores.
+
+use std::env;
+
+/// Command-line options shared by every table/figure binary.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Dataset scale factor (1.0 = the documented default sizes).
+    pub scale: f64,
+    /// Number of random seeds per condition.
+    pub seeds: u64,
+    /// Worker threads for condition-level parallelism.
+    pub threads: usize,
+    /// Epoch multiplier (quick mode trains fewer epochs).
+    pub epochs_pretrain: usize,
+    /// Fine-tuning epochs.
+    pub epochs_finetune: usize,
+}
+
+impl HarnessOpts {
+    /// Quick defaults: moderately sized graphs, 2 seeds — the full table
+    /// suite finishes in well under an hour on one CPU core.
+    pub fn quick() -> Self {
+        Self {
+            scale: 0.7,
+            seeds: 2,
+            threads: default_threads(),
+            epochs_pretrain: 7,
+            epochs_finetune: 10,
+        }
+    }
+
+    /// Full defaults: the documented dataset sizes, 5 seeds (the paper runs
+    /// five trials, §V-C).
+    pub fn full() -> Self {
+        Self {
+            scale: 1.5,
+            seeds: 5,
+            threads: default_threads(),
+            epochs_pretrain: 10,
+            epochs_finetune: 8,
+        }
+    }
+
+    /// Parses `--quick` (default), `--full`, `--scale X`, `--seeds N`,
+    /// `--threads N` from the process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = env::args().collect();
+        let mut opts = if args.iter().any(|a| a == "--full") {
+            Self::full()
+        } else {
+            Self::quick()
+        };
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let mut grab = |name: &str| -> Option<f64> {
+                if a == name {
+                    it.peek().and_then(|v| v.parse().ok())
+                } else {
+                    None
+                }
+            };
+            if let Some(v) = grab("--scale") {
+                opts.scale = v;
+            } else if let Some(v) = grab("--seeds") {
+                opts.seeds = v as u64;
+            } else if let Some(v) = grab("--threads") {
+                opts.threads = v as usize;
+            }
+        }
+        opts
+    }
+
+    /// The seed list for this run.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds).collect()
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// Mean ± population standard deviation of a set of trial results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Mean over seeds.
+    pub mean: f64,
+    /// Population standard deviation over seeds.
+    pub std: f64,
+}
+
+impl Cell {
+    /// Formats as the paper does: `0.8690±0.0026`.
+    pub fn fmt(&self) -> String {
+        format!("{:.4}±{:.4}", self.mean, self.std)
+    }
+}
+
+/// Aggregates trial values into mean ± std. Empty input yields NaNs.
+pub fn aggregate(vals: &[f64]) -> Cell {
+    if vals.is_empty() {
+        return Cell { mean: f64::NAN, std: f64::NAN };
+    }
+    let n = vals.len() as f64;
+    let mean = vals.iter().sum::<f64>() / n;
+    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    Cell { mean, std: var.sqrt() }
+}
+
+/// Order-preserving parallel map over independent work items using scoped
+/// threads (a simple shared-counter work queue; no per-item channels).
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<R>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let items_ref = &items;
+    let f_ref = &f;
+    let slots_ref = &slots;
+    let next_ref = &next;
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f_ref(&items_ref[i]);
+                *slots_ref[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    slots.into_iter().map(|m| m.into_inner().expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_mean_and_std() {
+        let c = aggregate(&[1.0, 3.0]);
+        assert_eq!(c.mean, 2.0);
+        assert_eq!(c.std, 1.0);
+        assert_eq!(c.fmt(), "2.0000±1.0000");
+    }
+
+    #[test]
+    fn aggregate_single_value() {
+        let c = aggregate(&[0.5]);
+        assert_eq!(c.mean, 0.5);
+        assert_eq!(c.std, 0.0);
+    }
+
+    #[test]
+    fn aggregate_empty_is_nan() {
+        assert!(aggregate(&[]).mean.is_nan());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(items, 7, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_map_single_thread() {
+        let out = parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn quick_and_full_presets_differ() {
+        let q = HarnessOpts::quick();
+        let f = HarnessOpts::full();
+        assert!(q.scale < f.scale);
+        assert!(q.seeds < f.seeds);
+        assert_eq!(q.seed_list().len(), q.seeds as usize);
+    }
+}

@@ -1,0 +1,27 @@
+//! # cpdg-bench
+//!
+//! Experiment harness regenerating every table and figure of the CPDG
+//! paper's evaluation (§V): dataset builders mapping the synthetic
+//! generators onto the paper's datasets and transfer settings, a
+//! seed-parallel runner, aggregate statistics, and table rendering with
+//! side-by-side paper reference values.
+//!
+//! Each table/figure has a binary in `src/bin/`; run e.g.
+//!
+//! ```text
+//! cargo run --release -p cpdg-bench --bin table5 -- --quick
+//! cargo run --release -p cpdg-bench --bin fig6 -- --seeds 5 --scale 1.0
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod harness;
+pub mod methods;
+pub mod paper_ref;
+pub mod table;
+
+pub use datasets::{amazon_dataset, gowalla_dataset, transfer, Setting};
+pub use harness::{aggregate, parallel_map, Cell, HarnessOpts};
+pub use methods::Method;
+pub use table::TableWriter;

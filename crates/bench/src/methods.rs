@@ -1,0 +1,221 @@
+//! Uniform dispatch over every method the paper compares, so table
+//! binaries sweep one enum.
+
+use crate::harness::HarnessOpts;
+use cpdg_baselines::{Baseline, BaselineRunConfig, DynSslConfig, StaticTrainConfig};
+use cpdg_core::finetune::{FinetuneConfig, FinetuneStrategy};
+use cpdg_core::pipeline::{run_link_prediction, run_node_classification, PipelineConfig};
+use cpdg_core::EieFusion;
+use cpdg_dgnn::EncoderKind;
+use cpdg_graph::TransferSplit;
+
+/// One experimental condition (a row of Table V / VII / VIII).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// One of the seven runner baselines.
+    Baseline(Baseline),
+    /// Task-supervised dynamic baseline (vanilla pre-training).
+    Vanilla(EncoderKind),
+    /// CPDG pre-training with EIE-GRU fine-tuning (headline config).
+    Cpdg(EncoderKind),
+    /// CPDG with an explicit fine-tuning strategy (Table X).
+    CpdgWith(EncoderKind, FinetuneStrategy),
+    /// CPDG ablation (Fig. 5): toggles and β of Eq. 17.
+    CpdgAblation {
+        /// Backbone encoder.
+        encoder: EncoderKind,
+        /// Temporal contrast on/off.
+        use_tc: bool,
+        /// Structural contrast on/off.
+        use_sc: bool,
+        /// EIE fine-tuning on/off.
+        use_eie: bool,
+        /// β of Eq. 17.
+        beta: f32,
+    },
+    /// No pre-training at all (Table IX).
+    NoPretrain(EncoderKind),
+}
+
+impl Method {
+    /// Display name matching the paper's row labels.
+    pub fn name(&self) -> String {
+        match self {
+            Method::Baseline(b) => b.name().to_string(),
+            Method::Vanilla(k) => k.name().to_string(),
+            Method::Cpdg(k) => {
+                if *k == EncoderKind::Tgn {
+                    "CPDG".to_string()
+                } else {
+                    format!("{} with CPDG", k.name())
+                }
+            }
+            Method::CpdgWith(_, s) => s.name().to_string(),
+            Method::CpdgAblation { use_tc, use_sc, use_eie, .. } => match (use_tc, use_sc, use_eie) {
+                (false, true, true) => "w/o TC".to_string(),
+                (true, false, true) => "w/o SC".to_string(),
+                (true, true, false) => "w/o EIE".to_string(),
+                (true, true, true) => "CPDG".to_string(),
+                _ => "custom ablation".to_string(),
+            },
+            Method::NoPretrain(_) => "No Pre-train".to_string(),
+        }
+    }
+
+    /// The eleven Table V rows, in paper order, with CPDG on the TGN
+    /// backbone.
+    pub fn table5_lineup() -> Vec<Method> {
+        let mut out: Vec<Method> = vec![
+            Method::Baseline(Baseline::GraphSage),
+            Method::Baseline(Baseline::Gin),
+            Method::Baseline(Baseline::Gat),
+            Method::Baseline(Baseline::Dgi),
+            Method::Baseline(Baseline::GptGnn),
+            Method::Vanilla(EncoderKind::DyRep),
+            Method::Vanilla(EncoderKind::Jodie),
+            Method::Vanilla(EncoderKind::Tgn),
+            Method::Baseline(Baseline::Ddgcl),
+            Method::Baseline(Baseline::SelfRgnn),
+        ];
+        out.push(Method::Cpdg(EncoderKind::Tgn));
+        out
+    }
+
+    fn baseline_cfg(opts: &HarnessOpts, seed: u64) -> BaselineRunConfig {
+        BaselineRunConfig {
+            dim: dim_for(opts),
+            static_cfg: StaticTrainConfig {
+                steps: 25 * opts.epochs_pretrain.max(1),
+                batch_size: 64,
+                ..Default::default()
+            },
+            dyn_cfg: DynSslConfig {
+                epochs: opts.epochs_pretrain.max(1),
+                batch_size: 200,
+                ..Default::default()
+            },
+            finetune: finetune_cfg(opts, seed, FinetuneStrategy::Full),
+            seed,
+        }
+    }
+
+    fn pipeline_cfg(&self, opts: &HarnessOpts, seed: u64) -> PipelineConfig {
+        let (base, strategy) = match *self {
+            Method::Vanilla(k) => (PipelineConfig::vanilla(k), FinetuneStrategy::Full),
+            Method::Cpdg(k) => (PipelineConfig::cpdg(k), FinetuneStrategy::Eie(EieFusion::Gru)),
+            Method::CpdgWith(k, s) => (PipelineConfig::cpdg(k), s),
+            Method::NoPretrain(k) => (PipelineConfig::no_pretrain(k), FinetuneStrategy::Full),
+            Method::CpdgAblation { encoder, use_tc, use_sc, use_eie, beta } => {
+                let mut cfg = PipelineConfig::cpdg(encoder);
+                cfg.pretrain.objective.use_tc = use_tc;
+                cfg.pretrain.objective.use_sc = use_sc;
+                cfg.pretrain.objective.beta = beta;
+                let strategy = if use_eie {
+                    FinetuneStrategy::Eie(EieFusion::Gru)
+                } else {
+                    FinetuneStrategy::Full
+                };
+                (cfg, strategy)
+            }
+            Method::Baseline(_) => unreachable!("baselines use baseline_cfg"),
+        };
+        let mut cfg = base.with_seed(seed);
+        cfg.dim = dim_for(opts);
+        cfg.pretrain.epochs = opts.epochs_pretrain.max(1);
+        cfg.pretrain.batch_size = 200;
+        cfg.finetune = finetune_cfg(opts, seed, strategy);
+        cfg
+    }
+
+    /// Runs the downstream link-prediction condition; returns `(AUC, AP)`.
+    pub fn run_link(&self, split: &TransferSplit, opts: &HarnessOpts, seed: u64) -> (f64, f64) {
+        self.run_link_inductive(split, opts, seed, false)
+    }
+
+    /// Link prediction with optional inductive restriction (Table IX).
+    pub fn run_link_inductive(
+        &self,
+        split: &TransferSplit,
+        opts: &HarnessOpts,
+        seed: u64,
+        inductive: bool,
+    ) -> (f64, f64) {
+        match self {
+            Method::Baseline(b) => b.run_link_prediction(split, &Self::baseline_cfg(opts, seed)),
+            _ => {
+                let mut cfg = self.pipeline_cfg(opts, seed);
+                if inductive {
+                    // Widen the scored region: unseen-node events are rare.
+                    cfg.finetune.train_frac = 0.5;
+                    cfg.finetune.val_frac = 0.1;
+                }
+                let res = run_link_prediction(split, &cfg, inductive);
+                (res.auc, res.ap)
+            }
+        }
+    }
+
+    /// Runs the downstream node-classification condition; returns the AUC
+    /// (static baselines are not part of that table and return 0.5).
+    pub fn run_classification(&self, split: &TransferSplit, opts: &HarnessOpts, seed: u64) -> f64 {
+        match self {
+            Method::Baseline(b) => b
+                .run_node_classification(split, &Self::baseline_cfg(opts, seed))
+                .unwrap_or(0.5),
+            _ => {
+                let cfg = self.pipeline_cfg(opts, seed);
+                run_node_classification(split, &cfg)
+            }
+        }
+    }
+}
+
+fn dim_for(opts: &HarnessOpts) -> usize {
+    if opts.scale < 0.5 {
+        16
+    } else {
+        24
+    }
+}
+
+fn finetune_cfg(opts: &HarnessOpts, seed: u64, strategy: FinetuneStrategy) -> FinetuneConfig {
+    FinetuneConfig {
+        batch_size: 200,
+        epochs: opts.epochs_finetune.max(1),
+        seed,
+        strategy,
+        ..FinetuneConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_has_eleven_rows_with_cpdg_last() {
+        let m = Method::table5_lineup();
+        assert_eq!(m.len(), 11);
+        assert_eq!(m.last().unwrap().name(), "CPDG");
+        assert_eq!(m[0].name(), "GraphSAGE");
+        assert_eq!(m[7].name(), "TGN");
+    }
+
+    #[test]
+    fn ablation_names() {
+        let base = Method::CpdgAblation {
+            encoder: EncoderKind::Tgn,
+            use_tc: false,
+            use_sc: true,
+            use_eie: true,
+            beta: 0.5,
+        };
+        assert_eq!(base.name(), "w/o TC");
+    }
+
+    #[test]
+    fn encoder_suffix_in_name() {
+        assert_eq!(Method::Cpdg(EncoderKind::Jodie).name(), "JODIE with CPDG");
+        assert_eq!(Method::NoPretrain(EncoderKind::Tgn).name(), "No Pre-train");
+    }
+}

@@ -1,0 +1,126 @@
+//! Aligned text-table rendering with paper reference values, plus a JSON
+//! results dump under `results/` for EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// A table under construction: header + rows of equal width.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableWriter {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// Starts a table with a title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a visual separator row.
+    pub fn separator(&mut self) {
+        self.rows.push(vec!["--".to_string(); self.header.len()]);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            if row.iter().all(|c| c == "--") {
+                out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+            } else {
+                out.push_str(&fmt_row(row));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout and saves the raw rows as JSON under
+    /// `results/<slug>.json` (best effort — IO failures only warn).
+    pub fn emit(&self, slug: &str) {
+        println!("{}", self.render());
+        let dir = PathBuf::from("results");
+        if fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{slug}.json"));
+            match serde_json::to_string_pretty(self) {
+                Ok(json) => {
+                    if let Err(e) = fs::write(&path, json) {
+                        eprintln!("warn: could not write {}: {e}", path.display());
+                    } else {
+                        println!("[results saved to {}]", path.display());
+                    }
+                }
+                Err(e) => eprintln!("warn: could not serialise results: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TableWriter::new("Demo", &["Method", "AUC"]);
+        t.row(vec!["TGN".into(), "0.85".into()]);
+        t.row(vec!["CPDG (ours)".into(), "0.87".into()]);
+        let r = t.render();
+        assert!(r.contains("== Demo =="));
+        assert!(r.contains("Method"));
+        // Both value columns start at the same offset.
+        let lines: Vec<&str> = r.lines().filter(|l| l.contains("0.8")).collect();
+        let c1 = lines[0].find("0.85").unwrap();
+        let c2 = lines[1].find("0.87").unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TableWriter::new("Bad", &["A", "B"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn separator_renders_as_rule() {
+        let mut t = TableWriter::new("Sep", &["A"]);
+        t.row(vec!["x".into()]);
+        t.separator();
+        t.row(vec!["y".into()]);
+        let r = t.render();
+        assert!(r.lines().filter(|l| l.chars().all(|c| c == '-') && !l.is_empty()).count() >= 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed arguments: a subcommand plus `--key value` pairs and bare flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// First positional argument (the subcommand).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses from an iterator of argument strings (excluding argv[0]).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = iter.next().expect("peeked");
+                        if out.options.insert(key.to_string(), v).is_some() {
+                            return Err(format!("duplicate option --{key}"));
+                        }
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(format!("unexpected positional argument {a:?}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parsed numeric option with a default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+
+    /// Bare flag presence (`--verbose` style).
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_options_flags() {
+        let a = parse("pretrain --data x.csv --epochs 5 --vanilla").unwrap();
+        assert_eq!(a.command.as_deref(), Some("pretrain"));
+        assert_eq!(a.get("data"), Some("x.csv"));
+        assert_eq!(a.get_num::<usize>("epochs", 1).unwrap(), 5);
+        assert!(a.has_flag("vanilla"));
+        assert!(!a.has_flag("quick"));
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = parse("stats").unwrap();
+        assert_eq!(a.get_or("encoder", "tgn"), "tgn");
+        assert!(a.require("data").is_err());
+        assert_eq!(a.get_num::<f64>("scale", 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_extra_positionals() {
+        assert!(parse("x --a 1 --a 2").is_err());
+        assert!(parse("x y").is_err());
+    }
+
+    #[test]
+    fn invalid_numbers_error() {
+        let a = parse("x --epochs banana").unwrap();
+        assert!(a.get_num::<usize>("epochs", 1).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("x --quick --seed 3").unwrap();
+        assert!(a.has_flag("quick"));
+        assert_eq!(a.get("seed"), Some("3"));
+    }
+}

@@ -1,0 +1,232 @@
+//! `cpdg` — command-line interface for the CPDG reproduction.
+//!
+//! ```text
+//! cpdg generate  --preset amazon --scale 0.5 --seed 0 --out data.csv
+//! cpdg stats     --data data.csv
+//! cpdg pretrain  --data data.csv --encoder tgn --dim 32 --epochs 5 --out model.json
+//! cpdg finetune  --data data.csv --model model.json --strategy eie-gru --epochs 3
+//! ```
+//!
+//! Data files are JODIE-format CSVs (`user_id,item_id,timestamp,
+//! state_label,features…`) — the format the paper's Wikipedia/MOOC/Reddit
+//! datasets ship in.
+
+mod args;
+
+use args::Args;
+use cpdg_core::finetune::{finetune_link_prediction, FinetuneConfig, FinetuneStrategy};
+use cpdg_core::pipeline::auto_time_scale;
+use cpdg_core::pretrain::{pretrain, PretrainConfig};
+use cpdg_core::EieFusion;
+use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor};
+use cpdg_graph::loader::{load_jodie_csv, write_jodie_csv};
+use cpdg_graph::{generate, GraphStats, SyntheticConfig};
+use cpdg_tensor::optim::Adam;
+use cpdg_tensor::ParamStore;
+use cpdg_core::model_io::ModelFile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs::File;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cpdg — Contrastive Pre-Training for Dynamic Graph Neural Networks
+
+USAGE:
+  cpdg generate --preset <amazon|gowalla|meituan|wikipedia|mooc|reddit>
+                [--scale X] [--seed N] --out <file.csv>
+  cpdg stats    --data <file.csv>
+  cpdg pretrain --data <file.csv> [--encoder tgn|jodie|dyrep] [--dim N]
+                [--epochs N] [--beta X] [--seed N] [--vanilla] --out <model.json>
+  cpdg finetune --data <file.csv> --model <model.json>
+                [--strategy full|eie-mean|eie-attn|eie-gru] [--epochs N] [--seed N]
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("generate") => cmd_generate(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("pretrain") => cmd_pretrain(&args),
+        Some("finetune") => cmd_finetune(&args),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("no command given".to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let preset = args.get_or("preset", "amazon");
+    let seed: u64 = args.get_num("seed", 0)?;
+    let scale: f64 = args.get_num("scale", 1.0)?;
+    let out = args.require("out")?;
+    let cfg = match preset {
+        "amazon" => SyntheticConfig::amazon_like(seed),
+        "gowalla" => SyntheticConfig::gowalla_like(seed),
+        "meituan" => SyntheticConfig::meituan_like(seed),
+        "wikipedia" => SyntheticConfig::wikipedia_like(seed),
+        "mooc" => SyntheticConfig::mooc_like(seed),
+        "reddit" => SyntheticConfig::reddit_like(seed),
+        other => return Err(format!("unknown preset {other:?}")),
+    }
+    .scaled(scale);
+    let ds = generate(&cfg);
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    write_jodie_csv(&ds.graph, ds.num_users, file).map_err(|e| format!("write: {e}"))?;
+    println!(
+        "wrote {} events ({} users, {} items, {} labels) to {out}",
+        ds.graph.num_events(),
+        ds.num_users,
+        ds.num_items,
+        ds.graph.labels().len()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let data = args.require("data")?;
+    let loaded = load_data(data)?;
+    let s = GraphStats::compute(&loaded.graph);
+    println!("file           : {data}");
+    println!("users / items  : {} / {}", loaded.num_users, loaded.num_items);
+    println!("active nodes   : {}", s.active_nodes);
+    println!("events         : {}", s.edges);
+    println!("density        : {:.6}%", s.density * 100.0);
+    println!("time span      : {:.0} ({:.0} … {:.0})", s.timespan(), s.t_min, s.t_max);
+    println!("mean degree    : {:.2}", s.mean_degree);
+    println!("labels         : {} ({:.2}% positive)",
+        loaded.graph.labels().len(), s.label_positive_rate * 100.0);
+    Ok(())
+}
+
+fn parse_encoder(name: &str) -> Result<EncoderKind, String> {
+    match name {
+        "tgn" => Ok(EncoderKind::Tgn),
+        "jodie" => Ok(EncoderKind::Jodie),
+        "dyrep" => Ok(EncoderKind::DyRep),
+        other => Err(format!("unknown encoder {other:?} (expected tgn|jodie|dyrep)")),
+    }
+}
+
+fn cmd_pretrain(args: &Args) -> Result<(), String> {
+    let data = args.require("data")?;
+    let out = args.require("out")?;
+    let encoder_kind = parse_encoder(args.get_or("encoder", "tgn"))?;
+    let dim: usize = args.get_num("dim", 32)?;
+    let epochs: usize = args.get_num("epochs", 5)?;
+    let beta: f32 = args.get_num("beta", 0.5)?;
+    let seed: u64 = args.get_num("seed", 0)?;
+    let vanilla = args.has_flag("vanilla");
+
+    let loaded = load_data(data)?;
+    let graph = loaded.graph;
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dcfg = DgnnConfig::preset(encoder_kind, dim, auto_time_scale(&graph));
+    let mut encoder = DgnnEncoder::new(&mut store, &mut rng, "enc", graph.num_nodes(), dcfg.clone());
+    let head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", dim);
+    let mut opt = Adam::new(2e-2);
+    let mut pcfg = PretrainConfig { epochs, seed, ..Default::default() };
+    pcfg.objective.beta = beta;
+    if vanilla {
+        pcfg.objective.use_tc = false;
+        pcfg.objective.use_sc = false;
+    }
+
+    println!(
+        "pre-training {} (dim {dim}, {} mode) on {} events for {epochs} epoch(s)…",
+        encoder_kind.name(),
+        if vanilla { "vanilla" } else { "CPDG" },
+        graph.num_events()
+    );
+    let result = pretrain(&mut encoder, &head, &mut store, &mut opt, &graph, &pcfg);
+    for (i, e) in result.epoch_losses.iter().enumerate() {
+        println!(
+            "  epoch {:>2}: total {:.4} (tlp {:.4}, tc {:.4}, sc {:.4})",
+            i + 1, e.total, e.tlp, e.tc, e.sc
+        );
+    }
+    let model = ModelFile::new(dcfg, graph.num_nodes(), store, result.checkpoints);
+    model.save(Path::new(out))?;
+    println!("saved model ({} params, {} checkpoints) to {out}",
+        model.params.scalar_count(), model.checkpoints.len());
+    Ok(())
+}
+
+fn parse_strategy(name: &str) -> Result<FinetuneStrategy, String> {
+    match name {
+        "full" => Ok(FinetuneStrategy::Full),
+        "eie-mean" => Ok(FinetuneStrategy::Eie(EieFusion::Mean)),
+        "eie-attn" => Ok(FinetuneStrategy::Eie(EieFusion::Attn)),
+        "eie-gru" => Ok(FinetuneStrategy::Eie(EieFusion::Gru)),
+        other => Err(format!(
+            "unknown strategy {other:?} (expected full|eie-mean|eie-attn|eie-gru)"
+        )),
+    }
+}
+
+fn cmd_finetune(args: &Args) -> Result<(), String> {
+    let data = args.require("data")?;
+    let model_path = args.require("model")?;
+    let strategy = parse_strategy(args.get_or("strategy", "eie-gru"))?;
+    let epochs: usize = args.get_num("epochs", 3)?;
+    let seed: u64 = args.get_num("seed", 0)?;
+
+    let model = ModelFile::load(Path::new(model_path))?;
+    let loaded = load_data(data)?;
+    let graph = loaded.graph;
+    if graph.num_nodes() > model.num_nodes {
+        return Err(format!(
+            "data has {} nodes but the model was pre-trained for {} — \
+             pre-train on the union id space first",
+            graph.num_nodes(),
+            model.num_nodes
+        ));
+    }
+
+    // Rebuild the encoder with the saved wiring, then load weights by name.
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut encoder = DgnnEncoder::new(
+        &mut store, &mut rng, "enc", model.num_nodes, model.encoder_config.clone(),
+    );
+    let copied = store.load_matching(&model.params);
+    println!("loaded {copied} parameter tensors from {model_path}");
+
+    let strategy = if model.checkpoints.is_empty() && matches!(strategy, FinetuneStrategy::Eie(_)) {
+        println!("model has no checkpoints; falling back to full fine-tuning");
+        FinetuneStrategy::Full
+    } else {
+        strategy
+    };
+    let fcfg = FinetuneConfig { epochs, seed, strategy, ..Default::default() };
+    println!(
+        "fine-tuning ({}) on {} events for {epochs} epoch(s)…",
+        strategy.name(),
+        graph.num_events()
+    );
+    let res =
+        finetune_link_prediction(&mut encoder, &mut store, &graph, &model.checkpoints, &fcfg, None);
+    println!("validation AUC : {:.4}", res.val_auc);
+    println!("test AUC       : {:.4}", res.auc);
+    println!("test AP        : {:.4}", res.ap);
+    Ok(())
+}
+
+fn load_data(path: &str) -> Result<cpdg_graph::loader::LoadedGraph, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    load_jodie_csv(file).map_err(|e| format!("parse {path}: {e}"))
+}

@@ -1,0 +1,53 @@
+//! Structural-temporal contrastive pre-training losses (paper §IV-B).
+
+pub mod structural;
+pub mod temporal;
+
+pub use structural::{structural_contrast_loss, StructuralContrastConfig};
+pub use temporal::{readout, readout_with, temporal_contrast_loss, TemporalContrastConfig};
+
+use cpdg_tensor::Matrix;
+
+/// The subgraph readout pooling (paper Eqs. 9–10: "a kind of graph pooling
+/// operation, such as min, max, and weighted pooling. In this paper, we
+/// use mean pooling for simplicity"). Mean is the paper's default; Max is
+/// provided for the readout ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadoutKind {
+    /// Column-wise mean (the paper's choice).
+    #[default]
+    Mean,
+    /// Column-wise max.
+    Max,
+}
+
+impl ReadoutKind {
+    /// Pools an `m × d` state matrix into `1 × d`.
+    pub fn pool(self, states: &Matrix) -> Matrix {
+        match self {
+            ReadoutKind::Mean => states.mean_rows(),
+            ReadoutKind::Max => states.max_rows(),
+        }
+    }
+
+    /// Display name for ablation tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadoutKind::Mean => "mean",
+            ReadoutKind::Max => "max",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooling_variants() {
+        let m = Matrix::from_rows(&[&[1.0, 4.0], &[3.0, 2.0]]);
+        assert_eq!(ReadoutKind::Mean.pool(&m), Matrix::row_vec(vec![2.0, 3.0]));
+        assert_eq!(ReadoutKind::Max.pool(&m), Matrix::row_vec(vec![3.0, 4.0]));
+        assert_eq!(ReadoutKind::default(), ReadoutKind::Mean);
+    }
+}

@@ -1,0 +1,198 @@
+//! Temporal Contrast (TC) — paper §IV-B, Eqs. 9–11.
+//!
+//! For an interaction event rooted at node `i` at time `t`, the *recent*
+//! subgraph sampled by η-BFS with the chronological probability is the
+//! positive (`TP_i^t`); the *agelong* subgraph sampled with the reverse
+//! chronological probability is the negative (`TN_i^t`). Subgraph node
+//! states are pooled from memory with a mean readout, and a triplet margin
+//! loss pulls the centre embedding `z_i^t` toward the recent pool and away
+//! from the agelong one — the short-term-fluctuation signal. Long-term
+//! stability is carried by the memory module itself.
+//!
+//! Readout inputs are memory states (plus static identity embeddings) read
+//! as constants, mirroring TGN's treatment of out-of-batch nodes; gradient
+//! flows through the centre embeddings into the encoder.
+
+use crate::sampler::bfs::{eta_bfs, BfsConfig};
+use crate::sampler::prob::TemporalBias;
+use cpdg_dgnn::DgnnEncoder;
+use cpdg_graph::{DynamicGraph, NodeId, Timestamp};
+use cpdg_tensor::loss::triplet_margin;
+use cpdg_tensor::{Matrix, ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+
+/// Temporal-contrast hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalContrastConfig {
+    /// η-BFS width.
+    pub eta: usize,
+    /// η-BFS depth.
+    pub k: usize,
+    /// Softmax temperature τ (Eqs. 7–8).
+    pub tau: f32,
+    /// Triplet margin α₁ (Eq. 11).
+    pub margin: f32,
+    /// Subgraph readout pooling (Eqs. 9–10; the paper uses mean).
+    pub readout: crate::contrast::ReadoutKind,
+    /// Sampling bias of the positive subgraph (paper: chronological). The
+    /// ablation bench sets both biases to `Uniform` to measure what the
+    /// temporal-aware probabilities contribute.
+    pub pos_bias: TemporalBias,
+    /// Sampling bias of the negative subgraph (paper: reverse).
+    pub neg_bias: TemporalBias,
+}
+
+impl Default for TemporalContrastConfig {
+    fn default() -> Self {
+        Self {
+            eta: 5,
+            k: 2,
+            tau: 0.5,
+            margin: 1.0,
+            readout: Default::default(),
+            pos_bias: TemporalBias::Chronological,
+            neg_bias: TemporalBias::ReverseChronological,
+        }
+    }
+}
+
+/// Mean-pool readout (Eqs. 9–10) over a subgraph's node representations,
+/// as a plain `1 × dim` row.
+pub fn readout(encoder: &DgnnEncoder, store: &ParamStore, nodes: &[NodeId]) -> Matrix {
+    readout_with(encoder, store, nodes, crate::contrast::ReadoutKind::Mean)
+}
+
+/// Readout with an explicit pooling choice.
+pub fn readout_with(
+    encoder: &DgnnEncoder,
+    store: &ParamStore,
+    nodes: &[NodeId],
+    kind: crate::contrast::ReadoutKind,
+) -> Matrix {
+    kind.pool(&encoder.node_repr_values(store, nodes))
+}
+
+/// Computes the TC loss `L_η` (Eq. 11) for a batch of centre nodes.
+///
+/// * `centers` — `(node, t)` pairs, row-aligned with `z` (`m × dim`
+///   embeddings already on the tape).
+/// * Returns a `1×1` scalar loss variable.
+pub fn temporal_contrast_loss(
+    tape: &mut Tape,
+    encoder: &DgnnEncoder,
+    store: &ParamStore,
+    graph: &DynamicGraph,
+    centers: &[(NodeId, Timestamp)],
+    z: Var,
+    cfg: &TemporalContrastConfig,
+    rng: &mut StdRng,
+) -> Var {
+    assert_eq!(tape.value(z).rows(), centers.len(), "temporal_contrast_loss: row mismatch");
+    let dim = encoder.dim();
+    let chrono = BfsConfig::new(cfg.eta, cfg.k, cfg.tau, cfg.pos_bias);
+    let reverse = BfsConfig::new(cfg.eta, cfg.k, cfg.tau, cfg.neg_bias);
+
+    let mut pos = Matrix::zeros(centers.len(), dim);
+    let mut neg = Matrix::zeros(centers.len(), dim);
+    for (row, &(node, t)) in centers.iter().enumerate() {
+        let tp = eta_bfs(graph, node, t, &chrono, rng);
+        let tn = eta_bfs(graph, node, t, &reverse, rng);
+        pos.set_row(row, readout_with(encoder, store, &tp, cfg.readout).row(0));
+        neg.set_row(row, readout_with(encoder, store, &tn, cfg.readout).row(0));
+    }
+    let pos = tape.constant(pos);
+    let neg = tape.constant(neg);
+    triplet_margin(tape, z, pos, neg, cfg.margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdg_dgnn::{DgnnConfig, EncoderKind};
+    use cpdg_graph::graph_from_triples;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, DgnnEncoder, DynamicGraph) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 1.0);
+        let graph = graph_from_triples(
+            6,
+            &[(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0), (1, 4, 1.5), (3, 5, 3.5)],
+        )
+        .unwrap();
+        let mut enc = DgnnEncoder::new(&mut store, &mut rng, "enc", 6, cfg);
+        enc.replay(&store, &graph, 2);
+        (store, enc, graph)
+    }
+
+    #[test]
+    fn loss_is_finite_scalar() {
+        let (store, enc, graph) = setup();
+        let mut tape = Tape::new();
+        let ctx = enc.apply_pending(&mut tape, &store, &graph);
+        let centers = [(0u32, 5.0f64), (1, 5.0)];
+        let nodes: Vec<NodeId> = centers.iter().map(|c| c.0).collect();
+        let times: Vec<Timestamp> = centers.iter().map(|c| c.1).collect();
+        let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times);
+        let mut rng = StdRng::seed_from_u64(1);
+        let loss = temporal_contrast_loss(
+            &mut tape, &enc, &store, &graph, &centers, z,
+            &TemporalContrastConfig::default(), &mut rng,
+        );
+        assert_eq!(tape.value(loss).shape(), (1, 1));
+        assert!(tape.value(loss).get(0, 0).is_finite());
+        assert!(tape.value(loss).get(0, 0) >= 0.0, "hinge loss is non-negative");
+    }
+
+    #[test]
+    fn gradient_reaches_encoder_params() {
+        let (store, enc, graph) = setup();
+        let mut tape = Tape::new();
+        let ctx = enc.apply_pending(&mut tape, &store, &graph);
+        let centers = [(0u32, 5.0f64)];
+        let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[0], &[5.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Large margin guarantees the hinge is active.
+        let cfg = TemporalContrastConfig { margin: 100.0, ..Default::default() };
+        let loss =
+            temporal_contrast_loss(&mut tape, &enc, &store, &graph, &centers, z, &cfg, &mut rng);
+        let grads = tape.backward(loss);
+        let pg = tape.param_grads(&grads);
+        assert!(!pg.is_empty(), "TC must train the encoder");
+        let _ = ctx;
+    }
+
+    #[test]
+    fn readout_is_mean_of_representations() {
+        let (store, enc, _) = setup();
+        let r_single = readout(&enc, &store, &[0]);
+        let r0 = enc.node_repr_values(&store, &[0]);
+        assert_eq!(r_single, r0.mean_rows());
+        let r_pair = readout(&enc, &store, &[0, 1]);
+        let both = enc.node_repr_values(&store, &[0, 1]);
+        assert_eq!(r_pair, both.mean_rows());
+    }
+
+    #[test]
+    fn isolated_center_contributes_margin_not_nan() {
+        // A node with no history: TP = TN = {node}; d_pos == d_neg so the
+        // per-row loss equals the margin, and gradients stay finite.
+        let (store, enc, graph) = setup();
+        let mut tape = Tape::new();
+        let ctx = enc.apply_pending(&mut tape, &store, &graph);
+        // Node 4 at t = 1.0 has no events strictly before.
+        let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[4], &[1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = TemporalContrastConfig { margin: 0.7, ..Default::default() };
+        let loss = temporal_contrast_loss(
+            &mut tape, &enc, &store, &graph, &[(4, 1.0)], z, &cfg, &mut rng,
+        );
+        let v = tape.value(loss).get(0, 0);
+        assert!((v - 0.7).abs() < 1e-5, "expected margin, got {v}");
+        let grads = tape.backward(loss);
+        for (_, g) in tape.param_grads(&grads) {
+            assert!(g.all_finite());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! On-disk model envelope: everything needed to reload a pre-trained CPDG
+//! model for fine-tuning — encoder wiring, all parameters, and the EIE
+//! memory checkpoints. Used by the `cpdg` CLI and directly loadable by
+//! library consumers (see `examples/save_finetune.rs`).
+
+use cpdg_dgnn::{DgnnConfig, MemorySnapshot};
+use cpdg_tensor::ParamStore;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Serialisable model bundle.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ModelFile {
+    /// Format version (bumped on breaking changes).
+    pub version: u32,
+    /// Encoder hyper-parameters (wiring + dims + time scale).
+    pub encoder_config: DgnnConfig,
+    /// Node universe size the encoder was built for.
+    pub num_nodes: usize,
+    /// All trainable parameters by name.
+    pub params: ParamStore,
+    /// EIE memory checkpoints captured during pre-training.
+    pub checkpoints: Vec<MemorySnapshot>,
+}
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+impl ModelFile {
+    /// Bundles a trained model.
+    pub fn new(
+        encoder_config: DgnnConfig,
+        num_nodes: usize,
+        params: ParamStore,
+        checkpoints: Vec<MemorySnapshot>,
+    ) -> Self {
+        Self { version: VERSION, encoder_config, num_nodes, params, checkpoints }
+    }
+
+    /// Writes the bundle as JSON.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let json = serde_json::to_string(self).map_err(|e| format!("serialise: {e}"))?;
+        fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// Reads a bundle back, checking the version.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let json = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let model: ModelFile =
+            serde_json::from_str(&json).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        if model.version != VERSION {
+            return Err(format!(
+                "model file version {} unsupported (expected {VERSION})",
+                model.version
+            ));
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdg_dgnn::EncoderKind;
+    use cpdg_tensor::Matrix;
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut params = ParamStore::new();
+        params.register("w", Matrix::from_rows(&[&[1.5, -0.5]]));
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 100.0);
+        let snap = MemorySnapshot { states: Matrix::full(3, 8, 0.25), progress: 0.5 };
+        let model = ModelFile::new(cfg, 3, params, vec![snap]);
+
+        let dir = std::env::temp_dir().join("cpdg_model_file_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).unwrap();
+        let back = ModelFile::load(&path).unwrap();
+        assert_eq!(back.version, VERSION);
+        assert_eq!(back.num_nodes, 3);
+        assert_eq!(back.checkpoints.len(), 1);
+        assert_eq!(back.params.len(), 1);
+        let id = back.params.lookup("w").unwrap();
+        assert_eq!(back.params.value(id), &Matrix::from_rows(&[&[1.5, -0.5]]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let dir = std::env::temp_dir().join("cpdg_model_file_test_v");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        let mut params = ParamStore::new();
+        params.register("w", Matrix::ones(1, 1));
+        let mut model = ModelFile::new(
+            DgnnConfig::preset(EncoderKind::Jodie, 4, 1.0),
+            1,
+            params,
+            vec![],
+        );
+        model.version = 999;
+        let json = serde_json::to_string(&model).unwrap();
+        std::fs::write(&path, json).unwrap();
+        assert!(ModelFile::load(&path).unwrap_err().contains("version"));
+        std::fs::remove_file(&path).ok();
+    }
+}

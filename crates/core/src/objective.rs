@@ -1,0 +1,110 @@
+//! The overall pre-training objective (paper Eq. 17):
+//!
+//! `L_pre = (1 − β)·L_η + β·L_ε + L_tlp`
+//!
+//! with toggles for the w/o-TC and w/o-SC ablations of the paper's Fig. 5.
+
+use cpdg_tensor::{Tape, Var};
+
+/// Weights and toggles of Eq. 17.
+#[derive(Debug, Clone, Copy)]
+pub struct CpdgObjective {
+    /// β — balance between temporal (1−β) and structural (β) contrast.
+    pub beta: f32,
+    /// Include the temporal-contrast term `L_η` (off = "w/o TC").
+    pub use_tc: bool,
+    /// Include the structural-contrast term `L_ε` (off = "w/o SC").
+    pub use_sc: bool,
+}
+
+impl Default for CpdgObjective {
+    fn default() -> Self {
+        Self { beta: 0.5, use_tc: true, use_sc: true }
+    }
+}
+
+impl CpdgObjective {
+    /// Combines the three loss terms on the tape. `tc`/`sc` may be `None`
+    /// when a batch produced no contrast centres; disabled terms are
+    /// ignored regardless.
+    pub fn combine(&self, tape: &mut Tape, tlp: Var, tc: Option<Var>, sc: Option<Var>) -> Var {
+        let mut total = tlp;
+        if self.use_tc {
+            if let Some(tc) = tc {
+                let w = tape.scale(tc, 1.0 - self.beta);
+                total = tape.add(total, w);
+            }
+        }
+        if self.use_sc {
+            if let Some(sc) = sc {
+                let w = tape.scale(sc, self.beta);
+                total = tape.add(total, w);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdg_tensor::Matrix;
+
+    fn scalar(tape: &mut Tape, v: f32) -> Var {
+        tape.constant(Matrix::from_vec(1, 1, vec![v]))
+    }
+
+    #[test]
+    fn combines_with_beta_weights() {
+        let mut tape = Tape::new();
+        let tlp = scalar(&mut tape, 1.0);
+        let tc = scalar(&mut tape, 10.0);
+        let sc = scalar(&mut tape, 100.0);
+        let obj = CpdgObjective { beta: 0.3, use_tc: true, use_sc: true };
+        let total = obj.combine(&mut tape, tlp, Some(tc), Some(sc));
+        // 1 + 0.7·10 + 0.3·100 = 38.
+        assert!((tape.value(total).get(0, 0) - 38.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn without_tc_drops_temporal_term() {
+        let mut tape = Tape::new();
+        let tlp = scalar(&mut tape, 1.0);
+        let tc = scalar(&mut tape, 10.0);
+        let sc = scalar(&mut tape, 100.0);
+        let obj = CpdgObjective { beta: 0.5, use_tc: false, use_sc: true };
+        let total = obj.combine(&mut tape, tlp, Some(tc), Some(sc));
+        assert!((tape.value(total).get(0, 0) - 51.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn without_sc_drops_structural_term() {
+        let mut tape = Tape::new();
+        let tlp = scalar(&mut tape, 1.0);
+        let tc = scalar(&mut tape, 10.0);
+        let sc = scalar(&mut tape, 100.0);
+        let obj = CpdgObjective { beta: 0.5, use_tc: true, use_sc: false };
+        let total = obj.combine(&mut tape, tlp, Some(tc), Some(sc));
+        assert!((tape.value(total).get(0, 0) - 6.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn missing_contrast_terms_tolerated() {
+        let mut tape = Tape::new();
+        let tlp = scalar(&mut tape, 2.0);
+        let obj = CpdgObjective::default();
+        let total = obj.combine(&mut tape, tlp, None, None);
+        assert_eq!(tape.value(total).get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn beta_zero_is_pure_temporal() {
+        let mut tape = Tape::new();
+        let tlp = scalar(&mut tape, 0.0);
+        let tc = scalar(&mut tape, 4.0);
+        let sc = scalar(&mut tape, 8.0);
+        let obj = CpdgObjective { beta: 0.0, use_tc: true, use_sc: true };
+        let total = obj.combine(&mut tape, tlp, Some(tc), Some(sc));
+        assert!((tape.value(total).get(0, 0) - 4.0).abs() < 1e-5);
+    }
+}

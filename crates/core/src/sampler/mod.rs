@@ -1,0 +1,9 @@
+//! The flexible structural-temporal subgraph sampler (paper §IV-A).
+
+pub mod bfs;
+pub mod dfs;
+pub mod prob;
+
+pub use bfs::{eta_bfs, BfsConfig};
+pub use dfs::{eps_dfs, DfsConfig};
+pub use prob::{temporal_probs, TemporalBias};

@@ -1,0 +1,152 @@
+//! Temporal-aware sampling probabilities `f_{t→p}(·)` (paper Eqs. 6–8).
+//!
+//! Given the event times `T_i^t` of a node's neighbourhood, event times are
+//! min-max normalised (Eq. 6) and pushed through a temperature softmax —
+//! either as-is (*chronological*, Eq. 7: recent events likely) or reflected
+//! (*reverse chronological*, Eq. 8: old events likely).
+
+use cpdg_graph::Timestamp;
+
+/// Direction of the temporal bias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalBias {
+    /// Eq. 7: probability grows with recency (positive temporal samples).
+    Chronological,
+    /// Eq. 8: probability grows with age (negative temporal samples).
+    ReverseChronological,
+    /// Uniform probabilities — the vanilla sampler most DGNNs use; kept as
+    /// an ablation baseline.
+    Uniform,
+}
+
+/// Computes the sampling probability of each event in `times` for a query
+/// at time `t` (Eqs. 6–8). `tau` is the softmax temperature.
+///
+/// Degenerate neighbourhoods (all events at the same instant, or a single
+/// event) fall back to uniform probabilities. The result always sums to 1
+/// for non-empty input.
+pub fn temporal_probs(times: &[Timestamp], t: Timestamp, tau: f32, bias: TemporalBias) -> Vec<f32> {
+    let n = times.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let denom = t - min;
+    if matches!(bias, TemporalBias::Uniform) || denom <= 0.0 || n == 1 {
+        return vec![1.0 / n as f32; n];
+    }
+    let tau = tau.max(1e-6);
+    let logits: Vec<f32> = times
+        .iter()
+        .map(|&tu| {
+            let hat = ((tu - min) / denom) as f32; // Eq. 6, in [0, 1]
+            let score = match bias {
+                TemporalBias::Chronological => hat,
+                TemporalBias::ReverseChronological => 1.0 - hat,
+                TemporalBias::Uniform => unreachable!("handled above"),
+            };
+            score / tau
+        })
+        .collect();
+    softmax(&logits)
+}
+
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn chronological_prefers_recent() {
+        let p = temporal_probs(&[1.0, 5.0, 9.0], 10.0, 0.5, TemporalBias::Chronological);
+        assert!(p[2] > p[1] && p[1] > p[0], "{p:?}");
+    }
+
+    #[test]
+    fn reverse_prefers_old() {
+        let p = temporal_probs(&[1.0, 5.0, 9.0], 10.0, 0.5, TemporalBias::ReverseChronological);
+        assert!(p[0] > p[1] && p[1] > p[2], "{p:?}");
+    }
+
+    #[test]
+    fn chronological_and_reverse_are_reflections() {
+        // For a time set symmetric about its midpoint, the reverse
+        // distribution is the chronological one read backwards (Eq. 8 is
+        // Eq. 7 applied to 1 − t̂).
+        let times = [1.0, 3.0, 7.0, 9.0];
+        let p = temporal_probs(&times, 10.0, 0.7, TemporalBias::Chronological);
+        let q = temporal_probs(&times, 10.0, 0.7, TemporalBias::ReverseChronological);
+        let mut q_rev = q.clone();
+        q_rev.reverse();
+        for (a, b) in p.iter().zip(q_rev.iter()) {
+            assert!((a - b).abs() < 1e-5, "p={p:?} q={q:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_bias_is_uniform() {
+        let p = temporal_probs(&[1.0, 5.0, 9.0], 10.0, 0.5, TemporalBias::Uniform);
+        assert!(p.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn degenerate_same_time_falls_back_to_uniform() {
+        let p = temporal_probs(&[5.0, 5.0], 5.0, 0.5, TemporalBias::Chronological);
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn single_neighbor_gets_probability_one() {
+        let p = temporal_probs(&[2.0], 10.0, 0.5, TemporalBias::Chronological);
+        assert_eq!(p, vec![1.0]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(temporal_probs(&[], 10.0, 0.5, TemporalBias::Chronological).is_empty());
+    }
+
+    #[test]
+    fn low_temperature_sharpens() {
+        let times = [1.0, 9.0];
+        let sharp = temporal_probs(&times, 10.0, 0.1, TemporalBias::Chronological);
+        let soft = temporal_probs(&times, 10.0, 5.0, TemporalBias::Chronological);
+        assert!(sharp[1] > soft[1], "sharp {sharp:?} vs soft {soft:?}");
+        assert!(soft[1] > 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn probabilities_sum_to_one_and_are_positive(
+            times in proptest::collection::vec(0.0f64..100.0, 1..30),
+            tau in 0.05f32..5.0,
+        ) {
+            for bias in [TemporalBias::Chronological, TemporalBias::ReverseChronological, TemporalBias::Uniform] {
+                let p = temporal_probs(&times, 101.0, tau, bias);
+                let sum: f32 = p.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4, "{bias:?}: sum {sum}");
+                prop_assert!(p.iter().all(|&x| x > 0.0));
+            }
+        }
+
+        #[test]
+        fn chronological_is_monotone_in_time(
+            mut times in proptest::collection::vec(0.0f64..99.0, 2..20),
+        ) {
+            times.sort_by(f64::total_cmp);
+            times.dedup();
+            prop_assume!(times.len() >= 2);
+            let p = temporal_probs(&times, 100.0, 0.5, TemporalBias::Chronological);
+            for w in p.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-7);
+            }
+        }
+    }
+}

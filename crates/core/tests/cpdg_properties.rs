@@ -1,0 +1,206 @@
+//! Cross-module property tests for the CPDG core: sampler ↔ contrast ↔
+//! objective interactions that unit tests of single modules cannot see.
+
+use cpdg_core::contrast::structural::{structural_contrast_loss, StructuralContrastConfig};
+use cpdg_core::contrast::temporal::{readout_with, temporal_contrast_loss, TemporalContrastConfig};
+use cpdg_core::contrast::ReadoutKind;
+use cpdg_core::eie::{EieFusion, EieModule};
+use cpdg_core::sampler::bfs::{eta_bfs, BfsConfig};
+use cpdg_core::sampler::dfs::{eps_dfs, DfsConfig};
+use cpdg_core::sampler::prob::TemporalBias;
+use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, MemorySnapshot};
+use cpdg_graph::{generate, NodeId, SyntheticConfig, Timestamp};
+use cpdg_tensor::{Matrix, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(seed: u64) -> (ParamStore, DgnnEncoder, cpdg_graph::DynamicGraph) {
+    let ds = generate(&SyntheticConfig { n_events: 900, ..SyntheticConfig::amazon_like(seed) }.scaled(0.12));
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 10_000.0);
+    let mut enc = DgnnEncoder::new(&mut store, &mut rng, "enc", ds.graph.num_nodes(), cfg);
+    enc.replay(&store, &ds.graph, 150);
+    (store, enc, ds.graph)
+}
+
+#[test]
+fn bfs_and_dfs_subgraphs_overlap_on_recent_neighbors() {
+    // With a sharp chronological temperature, η-BFS's 1-hop picks should
+    // frequently coincide with ε-DFS's most-recent picks — they encode the
+    // same recency preference continuously vs discretely (paper §IV-A).
+    let (_, _, graph) = setup(0);
+    let t = graph.t_max().unwrap() + 1.0;
+    let mut rng = StdRng::seed_from_u64(1);
+    let bfs_cfg = BfsConfig::new(3, 1, 0.05, TemporalBias::Chronological);
+    let dfs_cfg = DfsConfig::new(3, 1);
+    let mut overlaps = 0usize;
+    let mut total = 0usize;
+    for node in graph.active_nodes().into_iter().take(30) {
+        if graph.degree_before(node, t) < 6 {
+            continue;
+        }
+        let b = eta_bfs(&graph, node, t, &bfs_cfg, &mut rng);
+        let d = eps_dfs(&graph, node, t, &dfs_cfg);
+        let d_set: std::collections::HashSet<NodeId> = d[1..].iter().copied().collect();
+        overlaps += b[1..].iter().filter(|n| d_set.contains(n)).count();
+        total += b.len() - 1;
+    }
+    assert!(total > 20, "need enough samples");
+    assert!(
+        overlaps * 2 > total,
+        "sharp chrono η-BFS should mostly agree with ε-DFS: {overlaps}/{total}"
+    );
+}
+
+#[test]
+fn readout_kinds_differ_on_heterogeneous_subgraphs() {
+    let (store, enc, graph) = setup(1);
+    let t = graph.t_max().unwrap() + 1.0;
+    let node = graph
+        .active_nodes()
+        .into_iter()
+        .max_by_key(|&n| graph.degree_before(n, t))
+        .unwrap();
+    let sub = eps_dfs(&graph, node, t, &DfsConfig::new(4, 2));
+    assert!(sub.len() >= 3);
+    let mean = readout_with(&enc, &store, &sub, ReadoutKind::Mean);
+    let max = readout_with(&enc, &store, &sub, ReadoutKind::Max);
+    assert!(mean.max_abs_diff(&max) > 1e-6, "pooling variants must differ");
+    // Max dominates mean elementwise.
+    for (m, x) in mean.data().iter().zip(max.data()) {
+        assert!(x >= m, "max readout must dominate mean");
+    }
+}
+
+#[test]
+fn uniform_bias_removes_the_temporal_signal() {
+    // Under uniform positive and negative biases, TP and TN come from the
+    // same distribution, so across many centres the TC loss hovers near
+    // the margin (no systematic separation), whereas the temporal-aware
+    // version should deviate.
+    let (store, enc, graph) = setup(2);
+    let t = graph.t_max().unwrap() + 1.0;
+    let centers: Vec<(NodeId, Timestamp)> = graph
+        .active_nodes()
+        .into_iter()
+        .filter(|&n| graph.degree_before(n, t) >= 5)
+        .take(24)
+        .map(|n| (n, t))
+        .collect();
+    assert!(centers.len() >= 6, "need busy centres, got {}", centers.len());
+    let nodes: Vec<NodeId> = centers.iter().map(|c| c.0).collect();
+    let times: Vec<Timestamp> = centers.iter().map(|c| c.1).collect();
+
+    let loss_with = |pos_bias, neg_bias, seed| -> f32 {
+        let mut tape = Tape::new();
+        let ctx = enc.apply_pending(&mut tape, &store, &graph);
+        let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times);
+        let cfg = TemporalContrastConfig { pos_bias, neg_bias, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = temporal_contrast_loss(&mut tape, &enc, &store, &graph, &centers, z, &cfg, &mut rng);
+        tape.value(l).get(0, 0)
+    };
+
+    // Swapping pos/neg under uniform bias changes nothing systematically;
+    // under temporal bias it flips the sign of the distance difference.
+    let aware = loss_with(TemporalBias::Chronological, TemporalBias::ReverseChronological, 3);
+    let flipped = loss_with(TemporalBias::ReverseChronological, TemporalBias::Chronological, 3);
+    assert!(
+        (aware - flipped).abs() > 1e-4,
+        "temporal-aware loss must be direction-sensitive: {aware} vs {flipped}"
+    );
+}
+
+#[test]
+fn structural_negatives_are_harder_for_similar_nodes() {
+    // SC loss is non-negative and bounded by margin + max distance; basic
+    // sanity across readout kinds.
+    let (store, enc, graph) = setup(3);
+    let t = graph.t_max().unwrap() + 1.0;
+    let centers: Vec<(NodeId, Timestamp)> =
+        graph.active_nodes().into_iter().take(8).map(|n| (n, t)).collect();
+    let nodes: Vec<NodeId> = centers.iter().map(|c| c.0).collect();
+    let times: Vec<Timestamp> = centers.iter().map(|c| c.1).collect();
+    let pool = graph.active_nodes();
+    for readout in [ReadoutKind::Mean, ReadoutKind::Max] {
+        let mut tape = Tape::new();
+        let ctx = enc.apply_pending(&mut tape, &store, &graph);
+        let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times);
+        let cfg = StructuralContrastConfig { readout, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = structural_contrast_loss(
+            &mut tape, &enc, &store, &graph, &centers, z, &pool, &cfg, &mut rng,
+        );
+        let v = tape.value(l).get(0, 0);
+        assert!(v.is_finite() && v >= 0.0, "{readout:?}: {v}");
+    }
+}
+
+#[test]
+fn eie_mean_of_constant_checkpoints_is_identity() {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let module = EieModule::new(&mut store, &mut rng, "eie", 4, EieFusion::Mean);
+    let snap = MemorySnapshot { states: Matrix::full(6, 4, 0.75), progress: 1.0 };
+    let cps = vec![snap.clone(), snap.clone(), snap];
+    let mut tape = Tape::new();
+    let ei = module.fuse(&mut tape, &store, &cps, &[0, 3, 5]);
+    assert_eq!(tape.value(ei), &Matrix::full(3, 4, 0.75));
+}
+
+#[test]
+fn eie_gru_distinguishes_growth_from_decay() {
+    // Two checkpoint sequences with the same multiset of states but
+    // opposite order must fuse differently under GRU (order-aware), and
+    // identically under Mean (order-free).
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(6);
+    let gru = EieModule::new(&mut store, &mut rng, "g", 4, EieFusion::Gru);
+    let mean = EieModule::new(&mut store, &mut rng, "m", 4, EieFusion::Mean);
+
+    let mk = |v: f32, p: f64| MemorySnapshot { states: Matrix::full(2, 4, v), progress: p };
+    let rising = vec![mk(0.1, 0.3), mk(0.5, 0.6), mk(0.9, 1.0)];
+    let falling = vec![mk(0.9, 0.3), mk(0.5, 0.6), mk(0.1, 1.0)];
+
+    let mut tape = Tape::new();
+    let g_r = gru.fuse(&mut tape, &store, &rising, &[0, 1]);
+    let g_f = gru.fuse(&mut tape, &store, &falling, &[0, 1]);
+    assert!(tape.value(g_r).max_abs_diff(tape.value(g_f)) > 1e-5, "GRU is order-aware");
+
+    let m_r = mean.fuse(&mut tape, &store, &rising, &[0, 1]);
+    let m_f = mean.fuse(&mut tape, &store, &falling, &[0, 1]);
+    assert!(tape.value(m_r).max_abs_diff(tape.value(m_f)) < 1e-6, "Mean is order-free");
+}
+
+#[test]
+fn lstm_backbone_supports_the_full_contrast_stack() {
+    // The paper's Mem(·) menu includes LSTM; make sure the whole CPDG loss
+    // assembly runs on it.
+    let ds = generate(&SyntheticConfig { n_events: 600, ..SyntheticConfig::amazon_like(7) }.scaled(0.1));
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 10_000.0);
+    cfg.mem = cpdg_dgnn::MemKind::Lstm;
+    let mut enc = DgnnEncoder::new(&mut store, &mut rng, "enc", ds.graph.num_nodes(), cfg);
+    enc.replay(&store, &ds.graph, 100);
+
+    let t = ds.graph.t_max().unwrap() + 1.0;
+    let centers: Vec<(NodeId, Timestamp)> =
+        ds.graph.active_nodes().into_iter().take(6).map(|n| (n, t)).collect();
+    let nodes: Vec<NodeId> = centers.iter().map(|c| c.0).collect();
+    let times: Vec<Timestamp> = centers.iter().map(|c| c.1).collect();
+
+    let mut tape = Tape::new();
+    let ctx = enc.apply_pending(&mut tape, &store, &ds.graph);
+    let z = enc.embed_many(&mut tape, &store, &ctx, &ds.graph, &nodes, &times);
+    let mut srng = StdRng::seed_from_u64(8);
+    let tc = temporal_contrast_loss(
+        &mut tape, &enc, &store, &ds.graph, &centers, z,
+        &TemporalContrastConfig::default(), &mut srng,
+    );
+    let grads = tape.backward(tc);
+    for (_, g) in tape.param_grads(&grads) {
+        assert!(g.all_finite());
+    }
+}

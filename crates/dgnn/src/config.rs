@@ -1,0 +1,154 @@
+//! Encoder configuration — the `f(·)` / `Msg(·)` / `Agg(·)` / `Mem(·)`
+//! design space of the paper's Table III.
+
+use serde::{Deserialize, Serialize};
+
+/// Embedding module `f(·)` (paper Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmbedKind {
+    /// `z_i = s_i` (DyRep).
+    Identity,
+    /// JODIE time projection `z_i = (1 + Δt·w) ∘ s_i`.
+    TimeProjection,
+    /// TGAT/TGN temporal attention over recent neighbours' states.
+    Attention,
+}
+
+/// Message function `Msg(·)` (paper Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// Raw concatenation `[s_i ‖ s_j ‖ φ(Δt)]` (TGN, JODIE).
+    Identity,
+    /// Learned MLP over the raw message.
+    Mlp,
+    /// DyRep-style attention: the partner's recent neighbourhood is
+    /// attention-pooled (query: own state) and mixed into the message.
+    Attention,
+}
+
+/// Message aggregator `Agg(·)` (paper Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggKind {
+    /// Keep only the most recent message per node (TGN's default).
+    LastTime,
+    /// Average all pending messages per node.
+    Mean,
+}
+
+/// Memory updater `Mem(·)` (paper Eq. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemKind {
+    /// GRU cell (TGN).
+    Gru,
+    /// Vanilla RNN cell (JODIE, DyRep).
+    Rnn,
+    /// LSTM cell with an auxiliary per-node cell state (the third updater
+    /// the paper lists in §III-B).
+    Lstm,
+}
+
+/// Named encoder presets, wired exactly as the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncoderKind {
+    /// `f`=Attention, `Msg`=Identity, `Agg`=LastTime, `Mem`=GRU.
+    Tgn,
+    /// `f`=Time projection, `Msg`=Identity, `Agg`=LastTime, `Mem`=RNN.
+    Jodie,
+    /// `f`=Identity, `Msg`=Attention, `Agg`=LastTime, `Mem`=RNN.
+    DyRep,
+}
+
+impl EncoderKind {
+    /// The Table III wiring for this preset.
+    pub fn modules(self) -> (EmbedKind, MsgKind, AggKind, MemKind) {
+        match self {
+            EncoderKind::Tgn => (EmbedKind::Attention, MsgKind::Identity, AggKind::LastTime, MemKind::Gru),
+            EncoderKind::Jodie => {
+                (EmbedKind::TimeProjection, MsgKind::Identity, AggKind::LastTime, MemKind::Rnn)
+            }
+            EncoderKind::DyRep => {
+                (EmbedKind::Identity, MsgKind::Attention, AggKind::LastTime, MemKind::Rnn)
+            }
+        }
+    }
+
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EncoderKind::Tgn => "TGN",
+            EncoderKind::Jodie => "JODIE",
+            EncoderKind::DyRep => "DyRep",
+        }
+    }
+
+    /// All presets, in the order the paper lists them.
+    pub fn all() -> [EncoderKind; 3] {
+        [EncoderKind::DyRep, EncoderKind::Jodie, EncoderKind::Tgn]
+    }
+}
+
+/// Full encoder hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DgnnConfig {
+    /// Memory / embedding width `d`.
+    pub dim: usize,
+    /// Time-encoding width.
+    pub time_dim: usize,
+    /// Neighbours attended per node in attention embedding / messages.
+    pub n_neighbors: usize,
+    /// Divisor applied to raw Δt before time encoding, so encoders see
+    /// O(1) magnitudes regardless of the dataset's time unit.
+    pub time_scale: f64,
+    /// Embedding module.
+    pub embed: EmbedKind,
+    /// Message function.
+    pub msg: MsgKind,
+    /// Message aggregator.
+    pub agg: AggKind,
+    /// Memory updater.
+    pub mem: MemKind,
+}
+
+impl DgnnConfig {
+    /// A preset encoder with the given width; `time_scale` should be on the
+    /// order of the dataset's typical inter-event gap times 100.
+    pub fn preset(kind: EncoderKind, dim: usize, time_scale: f64) -> Self {
+        let (embed, msg, agg, mem) = kind.modules();
+        Self { dim, time_dim: dim.min(16), n_neighbors: 10, time_scale, embed, msg, agg, mem }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_wiring() {
+        assert_eq!(
+            EncoderKind::Tgn.modules(),
+            (EmbedKind::Attention, MsgKind::Identity, AggKind::LastTime, MemKind::Gru)
+        );
+        assert_eq!(
+            EncoderKind::Jodie.modules(),
+            (EmbedKind::TimeProjection, MsgKind::Identity, AggKind::LastTime, MemKind::Rnn)
+        );
+        assert_eq!(
+            EncoderKind::DyRep.modules(),
+            (EmbedKind::Identity, MsgKind::Attention, AggKind::LastTime, MemKind::Rnn)
+        );
+    }
+
+    #[test]
+    fn preset_fills_dims() {
+        let c = DgnnConfig::preset(EncoderKind::Tgn, 32, 100.0);
+        assert_eq!(c.dim, 32);
+        assert_eq!(c.time_dim, 16);
+        assert_eq!(c.embed, EmbedKind::Attention);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(EncoderKind::Tgn.name(), "TGN");
+        assert_eq!(EncoderKind::all().len(), 3);
+    }
+}

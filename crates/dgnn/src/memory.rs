@@ -1,0 +1,162 @@
+//! Node memory `M` (paper §III-B).
+//!
+//! Each node has a state vector `s_i^t` compressing its temporal evolution
+//! over `[0, t]`, initialised to zero for newly encountered nodes (§V-C) and
+//! updated by the Message → Aggregate → Update pipeline. Values here are
+//! *plain* matrices: within a training batch the updated states live on the
+//! autodiff tape, and [`Memory::write_rows`] persists them (detached) after
+//! the optimiser step — the standard TGN cross-batch detachment.
+//!
+//! [`Memory::snapshot`] captures checkpoints for the paper's Evolution
+//! Information Enhanced fine-tuning (Eq. 18).
+
+use cpdg_graph::{NodeId, Timestamp};
+use cpdg_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Per-node state store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Memory {
+    states: Matrix,
+    last_update: Vec<Timestamp>,
+    dim: usize,
+}
+
+/// An immutable copy of all states at some point in training — one entry of
+/// the EIE checkpoint sequence `[S^1, …, S^l]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemorySnapshot {
+    /// `num_nodes × dim` state matrix.
+    pub states: Matrix,
+    /// Training progress (fraction of pre-training events consumed) when
+    /// the snapshot was taken.
+    pub progress: f64,
+}
+
+impl Memory {
+    /// Zero-initialised memory for `num_nodes` nodes of width `dim`.
+    pub fn new(num_nodes: usize, dim: usize) -> Self {
+        Self {
+            states: Matrix::zeros(num_nodes, dim),
+            last_update: vec![0.0; num_nodes],
+            dim,
+        }
+    }
+
+    /// State width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.states.rows()
+    }
+
+    /// Read-only full state matrix.
+    pub fn states(&self) -> &Matrix {
+        &self.states
+    }
+
+    /// One node's state row.
+    pub fn state_row(&self, node: NodeId) -> &[f32] {
+        self.states.row(node as usize)
+    }
+
+    /// Gathers the states of `nodes` into an `m × dim` matrix.
+    pub fn gather(&self, nodes: &[NodeId]) -> Matrix {
+        let idx: Vec<usize> = nodes.iter().map(|&n| n as usize).collect();
+        self.states.gather_rows(&idx)
+    }
+
+    /// Last time each node's state was updated (0 before first update).
+    pub fn last_update(&self, node: NodeId) -> Timestamp {
+        self.last_update[node as usize]
+    }
+
+    /// Writes new state rows for `nodes` and stamps their update time.
+    ///
+    /// # Panics
+    /// Panics when `values` is not `nodes.len() × dim`.
+    pub fn write_rows(&mut self, nodes: &[NodeId], values: &Matrix, t: Timestamp) {
+        assert_eq!(values.rows(), nodes.len(), "write_rows: row count mismatch");
+        assert_eq!(values.cols(), self.dim, "write_rows: width mismatch");
+        for (r, &node) in nodes.iter().enumerate() {
+            self.states.set_row(node as usize, values.row(r));
+            self.last_update[node as usize] = t;
+        }
+    }
+
+    /// Resets all states to zero and clears update times (fresh encoder).
+    pub fn reset(&mut self) {
+        self.states = Matrix::zeros(self.states.rows(), self.dim);
+        self.last_update.fill(0.0);
+    }
+
+    /// Takes an EIE checkpoint.
+    pub fn snapshot(&self, progress: f64) -> MemorySnapshot {
+        MemorySnapshot { states: self.states.clone(), progress }
+    }
+
+    /// Root-mean-square of all state entries — a cheap health metric used
+    /// by tests and the bench harness to confirm memory is actually
+    /// evolving.
+    pub fn rms(&self) -> f32 {
+        let n = self.states.len().max(1);
+        (self.states.data().iter().map(|&x| x * x).sum::<f32>() / n as f32).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let m = Memory::new(4, 3);
+        assert_eq!(m.num_nodes(), 4);
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.rms(), 0.0);
+        assert_eq!(m.last_update(2), 0.0);
+    }
+
+    #[test]
+    fn write_and_gather() {
+        let mut m = Memory::new(4, 2);
+        m.write_rows(&[1, 3], &Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]), 5.0);
+        assert_eq!(m.state_row(1), &[1.0, 2.0]);
+        assert_eq!(m.state_row(3), &[3.0, 4.0]);
+        assert_eq!(m.state_row(0), &[0.0, 0.0]);
+        assert_eq!(m.last_update(1), 5.0);
+        assert_eq!(m.last_update(0), 0.0);
+        let g = m.gather(&[3, 0]);
+        assert_eq!(g, Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]));
+    }
+
+    #[test]
+    fn snapshot_is_decoupled() {
+        let mut m = Memory::new(2, 2);
+        m.write_rows(&[0], &Matrix::from_rows(&[&[1.0, 1.0]]), 1.0);
+        let snap = m.snapshot(0.5);
+        m.write_rows(&[0], &Matrix::from_rows(&[&[9.0, 9.0]]), 2.0);
+        assert_eq!(snap.states.row(0), &[1.0, 1.0], "snapshot unaffected by later writes");
+        assert_eq!(snap.progress, 0.5);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Memory::new(2, 2);
+        m.write_rows(&[0, 1], &Matrix::ones(2, 2), 3.0);
+        assert!(m.rms() > 0.0);
+        m.reset();
+        assert_eq!(m.rms(), 0.0);
+        assert_eq!(m.last_update(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn write_rejects_bad_width() {
+        let mut m = Memory::new(2, 3);
+        m.write_rows(&[0], &Matrix::ones(1, 2), 1.0);
+    }
+}

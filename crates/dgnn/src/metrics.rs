@@ -1,0 +1,197 @@
+//! Ranking metrics: ROC-AUC and Average Precision (the paper's evaluation
+//! metrics for dynamic link prediction and node classification, §V-C).
+
+/// Area under the ROC curve for `(score, label)` pairs.
+///
+/// Computed via the Mann–Whitney U statistic with proper tie handling
+/// (ties contribute ½). Returns 0.5 when either class is empty.
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "roc_auc: length mismatch");
+    let mut pairs: Vec<(f32, bool)> =
+        scores.iter().copied().zip(labels.iter().copied()).collect();
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+
+    // Assign average ranks to tied groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i;
+        while j + 1 < pairs.len() && pairs[j + 1].0 == pairs[i].0 {
+            j += 1;
+        }
+        // Ranks are 1-based; tied block [i, j] shares the average rank.
+        let avg_rank = (i + j + 2) as f64 / 2.0;
+        for p in &pairs[i..=j] {
+            if p.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Average Precision: area under the precision–recall curve with the
+/// step-wise interpolation scikit-learn uses,
+/// `AP = Σ_k (R_k − R_{k−1}) · P_k` over *distinct score thresholds* — so
+/// tied scores form one block and the result is independent of input
+/// order. Returns 0.0 when there are no positives.
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "average_precision: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    let mut pairs: Vec<(f32, bool)> =
+        scores.iter().copied().zip(labels.iter().copied()).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let mut tp = 0usize;
+    let mut seen = 0usize;
+    let mut ap = 0.0f64;
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i;
+        let mut block_tp = 0usize;
+        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            if pairs[j].1 {
+                block_tp += 1;
+            }
+            j += 1;
+        }
+        tp += block_tp;
+        seen = j;
+        let precision = tp as f64 / seen as f64;
+        ap += (block_tp as f64 / n_pos as f64) * precision;
+        i = j;
+    }
+    let _ = seen;
+    ap
+}
+
+/// Convenience for link prediction: positives scored `pos`, sampled
+/// negatives scored `neg`; returns `(auc, ap)`.
+pub fn link_prediction_metrics(pos: &[f32], neg: &[f32]) -> (f64, f64) {
+    let scores: Vec<f32> = pos.iter().chain(neg.iter()).copied().collect();
+    let labels: Vec<bool> =
+        std::iter::repeat(true).take(pos.len()).chain(std::iter::repeat(false).take(neg.len())).collect();
+    (roc_auc(&scores, &labels), average_precision(&scores, &labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_ranking_gives_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        assert_eq!(average_precision(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_gives_zero_auc() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn all_tied_scores_give_half_auc() {
+        let scores = [0.5; 6];
+        let labels = [true, false, true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_degenerates_gracefully() {
+        assert_eq!(roc_auc(&[0.1, 0.2], &[true, true]), 0.5);
+        assert_eq!(average_precision(&[0.1, 0.2], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn ap_hand_computed() {
+        // Ranking: + - + → AP = (1/1 + 2/3) / 2 = 5/6.
+        let scores = [0.9, 0.8, 0.7];
+        let labels = [true, false, true];
+        assert!((average_precision(&scores, &labels) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_hand_computed_with_tie() {
+        // pos scores {0.8, 0.5}, neg {0.5, 0.2}: pairs (0.8 vs both: 2 wins),
+        // (0.5 vs 0.5: tie = 0.5; 0.5 vs 0.2: win) → U = 3.5 / 4 = 0.875.
+        let scores = [0.8, 0.5, 0.5, 0.2];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_is_order_independent_under_ties() {
+        // All scores tied: AP must equal the positive prevalence regardless
+        // of how pos/neg are ordered in the input.
+        let s1 = [0.5f32; 4];
+        let l1 = [true, true, false, false];
+        let l2 = [false, false, true, true];
+        let a = average_precision(&s1, &l1);
+        let b = average_precision(&s1, &l2);
+        assert!((a - b).abs() < 1e-12);
+        assert!((a - 0.5).abs() < 1e-12, "tied AP should be prevalence, got {a}");
+    }
+
+    #[test]
+    fn link_prediction_wrapper() {
+        let (auc, ap) = link_prediction_metrics(&[0.9, 0.8], &[0.1, 0.2]);
+        assert_eq!(auc, 1.0);
+        assert_eq!(ap, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn auc_in_unit_interval(
+            scores in proptest::collection::vec(-10.0f32..10.0, 2..50),
+            seed in 0u64..1000
+        ) {
+            let labels: Vec<bool> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (i as u64).wrapping_mul(seed + 7) % 3 == 0)
+                .collect();
+            let auc = roc_auc(&scores, &labels);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&auc));
+            let ap = average_precision(&scores, &labels);
+            // Summation over tied blocks can overshoot 1 by float eps.
+            prop_assert!((-1e-9..=1.0 + 1e-6).contains(&ap));
+        }
+
+        #[test]
+        fn auc_invariant_to_monotone_transform(
+            scores in proptest::collection::vec(-5.0f32..5.0, 4..40)
+        ) {
+            let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 2 == 0).collect();
+            let a1 = roc_auc(&scores, &labels);
+            let transformed: Vec<f32> = scores.iter().map(|&s| (s * 0.3).tanh() * 2.0 + 1.0).collect();
+            let a2 = roc_auc(&transformed, &labels);
+            prop_assert!((a1 - a2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn auc_permutation_invariant(
+            scores in proptest::collection::vec(0.0f32..1.0, 6..30)
+        ) {
+            let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 3 == 0).collect();
+            let a1 = roc_auc(&scores, &labels);
+            // Reverse both in lockstep.
+            let rs: Vec<f32> = scores.iter().rev().copied().collect();
+            let rl: Vec<bool> = labels.iter().rev().copied().collect();
+            prop_assert!((a1 - roc_auc(&rs, &rl)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Validated construction of [`DynamicGraph`]s.
+
+use crate::ctdg::{DynamicGraph, NeighborEntry};
+use crate::event::{FieldId, Interaction, LabelEvent, NodeId, Timestamp};
+use std::fmt;
+
+/// Errors raised while building a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id exceeded the declared universe size.
+    NodeOutOfRange {
+        /// The offending id.
+        node: NodeId,
+        /// Declared universe size.
+        num_nodes: usize,
+    },
+    /// A timestamp was NaN or infinite.
+    NonFiniteTime,
+    /// The builder contained no events.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range for universe of {num_nodes}")
+            }
+            GraphError::NonFiniteTime => write!(f, "non-finite event timestamp"),
+            GraphError::Empty => write!(f, "dynamic graph has no events"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental builder. Events may be added in any order; `build` sorts
+/// them chronologically (stable, so equal-time events keep insertion order,
+/// matching how industrial logs break ties) and constructs the adjacency
+/// index.
+#[derive(Debug, Clone)]
+pub struct DynamicGraphBuilder {
+    num_nodes: usize,
+    events: Vec<(NodeId, NodeId, Timestamp, FieldId)>,
+    labels: Vec<LabelEvent>,
+    error: Option<GraphError>,
+}
+
+impl DynamicGraphBuilder {
+    /// A builder over a node universe of `num_nodes` ids (`0..num_nodes`).
+    pub fn new(num_nodes: usize) -> Self {
+        Self { num_nodes, events: Vec::new(), labels: Vec::new(), error: None }
+    }
+
+    /// Queues one interaction event.
+    pub fn add_interaction(&mut self, src: NodeId, dst: NodeId, t: Timestamp, field: FieldId) {
+        if self.error.is_some() {
+            return;
+        }
+        for node in [src, dst] {
+            if node as usize >= self.num_nodes {
+                self.error = Some(GraphError::NodeOutOfRange { node, num_nodes: self.num_nodes });
+                return;
+            }
+        }
+        if !t.is_finite() {
+            self.error = Some(GraphError::NonFiniteTime);
+            return;
+        }
+        self.events.push((src, dst, t, field));
+    }
+
+    /// Queues one dynamic node-state label.
+    pub fn add_label(&mut self, node: NodeId, t: Timestamp, label: bool) {
+        if self.error.is_some() {
+            return;
+        }
+        if node as usize >= self.num_nodes {
+            self.error = Some(GraphError::NodeOutOfRange { node, num_nodes: self.num_nodes });
+            return;
+        }
+        self.labels.push(LabelEvent { node, t, label });
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finalises the graph: sorts events chronologically, assigns edge ids,
+    /// and builds per-node time-sorted adjacency.
+    pub fn build(mut self) -> Result<DynamicGraph, GraphError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if self.events.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        self.events.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("validated finite"));
+        let events: Vec<Interaction> = self
+            .events
+            .iter()
+            .enumerate()
+            .map(|(idx, &(src, dst, t, field))| Interaction { src, dst, t, field, idx })
+            .collect();
+
+        let mut adjacency: Vec<Vec<NeighborEntry>> = vec![Vec::new(); self.num_nodes];
+        for e in &events {
+            adjacency[e.src as usize].push(NeighborEntry { neighbor: e.dst, t: e.t, edge: e.idx });
+            adjacency[e.dst as usize].push(NeighborEntry { neighbor: e.src, t: e.t, edge: e.idx });
+        }
+        // Events were appended in chronological order, so each list is
+        // already sorted; assert in debug builds rather than re-sorting.
+        debug_assert!(adjacency
+            .iter()
+            .all(|adj| adj.windows(2).all(|w| w[0].t <= w[1].t)));
+
+        self.labels.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("validated finite"));
+        Ok(DynamicGraph { num_nodes: self.num_nodes, events, labels: self.labels, adjacency })
+    }
+}
+
+/// Builds a graph directly from `(src, dst, t)` triples with a single field
+/// tag — the common test fixture shape.
+pub fn graph_from_triples(
+    num_nodes: usize,
+    triples: &[(NodeId, NodeId, Timestamp)],
+) -> Result<DynamicGraph, GraphError> {
+    let mut b = DynamicGraphBuilder::new(num_nodes);
+    for &(s, d, t) in triples {
+        b.add_interaction(s, d, t, 0);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_out_of_order_events() {
+        let mut b = DynamicGraphBuilder::new(4);
+        b.add_interaction(0, 1, 5.0, 0);
+        b.add_interaction(2, 3, 1.0, 0);
+        b.add_interaction(0, 2, 3.0, 0);
+        let g = b.build().unwrap();
+        let times: Vec<f64> = g.events().iter().map(|e| e.t).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+        // Edge ids follow chronological order.
+        assert_eq!(g.events()[0].idx, 0);
+        assert_eq!(g.events()[2].idx, 2);
+    }
+
+    #[test]
+    fn equal_times_keep_insertion_order() {
+        let mut b = DynamicGraphBuilder::new(4);
+        b.add_interaction(0, 1, 1.0, 0);
+        b.add_interaction(2, 3, 1.0, 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.events()[0].src, 0);
+        assert_eq!(g.events()[1].src, 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_node() {
+        let mut b = DynamicGraphBuilder::new(2);
+        b.add_interaction(0, 5, 1.0, 0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::NodeOutOfRange { node: 5, num_nodes: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_nan_time() {
+        let mut b = DynamicGraphBuilder::new(2);
+        b.add_interaction(0, 1, f64::NAN, 0);
+        assert_eq!(b.build().unwrap_err(), GraphError::NonFiniteTime);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let b = DynamicGraphBuilder::new(2);
+        assert_eq!(b.build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn first_error_sticks() {
+        let mut b = DynamicGraphBuilder::new(2);
+        b.add_interaction(0, 9, 1.0, 0); // error recorded
+        b.add_interaction(0, 1, 2.0, 0); // ignored
+        assert!(matches!(b.build(), Err(GraphError::NodeOutOfRange { node: 9, .. })));
+    }
+
+    #[test]
+    fn labels_sorted_on_build() {
+        let mut b = DynamicGraphBuilder::new(2);
+        b.add_interaction(0, 1, 1.0, 0);
+        b.add_label(0, 5.0, true);
+        b.add_label(1, 2.0, false);
+        let g = b.build().unwrap();
+        assert_eq!(g.labels()[0].t, 2.0);
+        assert_eq!(g.labels()[1].t, 5.0);
+    }
+
+    #[test]
+    fn triples_helper() {
+        let g = graph_from_triples(3, &[(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        assert_eq!(g.num_events(), 2);
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, num_nodes: 3 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("3"));
+    }
+}

@@ -1,0 +1,218 @@
+//! The continuous-time dynamic graph store.
+//!
+//! [`DynamicGraph`] keeps the chronological event log plus a per-node,
+//! time-sorted adjacency index so that the paper's temporal-neighbourhood
+//! queries — `N_i^t` (neighbours before `t`, Definition 1) and `T_i^t`
+//! (event times involving `i` before `t`, §IV-A) — cost one binary search
+//! plus a contiguous slice scan.
+
+use crate::event::{FieldId, Interaction, LabelEvent, NodeId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One entry of a node's temporal adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborEntry {
+    /// The neighbour node.
+    pub neighbor: NodeId,
+    /// Interaction time.
+    pub t: Timestamp,
+    /// Edge id (chronological event index).
+    pub edge: usize,
+}
+
+/// An immutable continuous-time dynamic graph.
+///
+/// Construct with [`crate::builder::DynamicGraphBuilder`]. Events are stored
+/// in chronological order; every node has a time-sorted adjacency list
+/// containing both directions of each interaction (the paper's
+/// neighbourhood `N_i^t` is direction-agnostic).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicGraph {
+    pub(crate) num_nodes: usize,
+    pub(crate) events: Vec<Interaction>,
+    pub(crate) labels: Vec<LabelEvent>,
+    /// adjacency[i] sorted ascending by time.
+    pub(crate) adjacency: Vec<Vec<NeighborEntry>>,
+}
+
+impl DynamicGraph {
+    /// Size of the node id universe (not all ids need appear in events; a
+    /// field-split subgraph keeps the parent universe so ids stay stable
+    /// across transfer stages).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of interaction events.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// All events in chronological order.
+    pub fn events(&self) -> &[Interaction] {
+        &self.events
+    }
+
+    /// Dynamic node-state labels, in chronological order.
+    pub fn labels(&self) -> &[LabelEvent] {
+        &self.labels
+    }
+
+    /// The event with chronological index `idx`.
+    pub fn event(&self, idx: usize) -> &Interaction {
+        &self.events[idx]
+    }
+
+    /// Earliest event time (None for empty graphs).
+    pub fn t_min(&self) -> Option<Timestamp> {
+        self.events.first().map(|e| e.t)
+    }
+
+    /// Latest event time (None for empty graphs).
+    pub fn t_max(&self) -> Option<Timestamp> {
+        self.events.last().map(|e| e.t)
+    }
+
+    /// Full time-sorted adjacency of `node` (all times).
+    pub fn neighbors_all(&self, node: NodeId) -> &[NeighborEntry] {
+        &self.adjacency[node as usize]
+    }
+
+    /// The paper's `N_i^t`: neighbours of `node` with interaction time
+    /// strictly before `t`, oldest first.
+    pub fn neighbors_before(&self, node: NodeId, t: Timestamp) -> &[NeighborEntry] {
+        let adj = &self.adjacency[node as usize];
+        let cut = adj.partition_point(|e| e.t < t);
+        &adj[..cut]
+    }
+
+    /// The `n` most recent neighbours of `node` strictly before `t`,
+    /// *most recent first* — the selection used by the ε-DFS sampler
+    /// (paper Eq. 5) and by TGN-style attention over recent neighbours.
+    pub fn recent_neighbors(&self, node: NodeId, t: Timestamp, n: usize) -> Vec<NeighborEntry> {
+        let before = self.neighbors_before(node, t);
+        before.iter().rev().take(n).copied().collect()
+    }
+
+    /// Temporal degree of `node` before `t`.
+    pub fn degree_before(&self, node: NodeId, t: Timestamp) -> usize {
+        self.neighbors_before(node, t).len()
+    }
+
+    /// True when `node` participates in at least one event.
+    pub fn is_active(&self, node: NodeId) -> bool {
+        !self.adjacency[node as usize].is_empty()
+    }
+
+    /// Ids of all nodes that appear in at least one event.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        (0..self.num_nodes as NodeId).filter(|&n| self.is_active(n)).collect()
+    }
+
+    /// Distinct field tags present in the event log.
+    pub fn fields(&self) -> Vec<FieldId> {
+        let mut f: Vec<FieldId> = self.events.iter().map(|e| e.field).collect();
+        f.sort_unstable();
+        f.dedup();
+        f
+    }
+
+    /// Events whose chronological index lies in `[start, end)`.
+    pub fn event_range(&self, start: usize, end: usize) -> &[Interaction] {
+        &self.events[start..end]
+    }
+
+    /// Whether edge `(src, dst)` occurs anywhere in the log (used by
+    /// negative-sampling tests; O(min-degree) scan).
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        let (a, b) = if self.adjacency[src as usize].len() <= self.adjacency[dst as usize].len() {
+            (src, dst)
+        } else {
+            (dst, src)
+        };
+        self.adjacency[a as usize].iter().any(|e| e.neighbor == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DynamicGraphBuilder;
+
+    fn sample_graph() -> DynamicGraph {
+        // Events: (0,1,@1) (0,2,@2) (1,2,@3) (0,1,@4)
+        let mut b = DynamicGraphBuilder::new(3);
+        b.add_interaction(0, 1, 1.0, 0);
+        b.add_interaction(0, 2, 2.0, 0);
+        b.add_interaction(1, 2, 3.0, 1);
+        b.add_interaction(0, 1, 4.0, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn neighbors_before_is_strict_and_sorted() {
+        let g = sample_graph();
+        let n = g.neighbors_before(0, 2.0);
+        assert_eq!(n.len(), 1, "only the t=1 event is strictly before t=2");
+        assert_eq!(n[0].neighbor, 1);
+
+        let n = g.neighbors_before(0, 100.0);
+        assert_eq!(n.len(), 3);
+        assert!(n.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn adjacency_is_bidirectional() {
+        let g = sample_graph();
+        // Node 2 is dst in (0,2) and (1,2) → neighbours {0,1}.
+        let n = g.neighbors_before(2, 10.0);
+        let mut ids: Vec<NodeId> = n.iter().map(|e| e.neighbor).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn recent_neighbors_most_recent_first() {
+        let g = sample_graph();
+        let r = g.recent_neighbors(0, 10.0, 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].t, 4.0);
+        assert_eq!(r[1].t, 2.0);
+    }
+
+    #[test]
+    fn recent_neighbors_handles_fewer_than_requested() {
+        let g = sample_graph();
+        let r = g.recent_neighbors(1, 2.0, 5);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn degree_and_activity() {
+        let g = sample_graph();
+        assert_eq!(g.degree_before(0, 3.5), 2);
+        assert!(g.is_active(2));
+        assert_eq!(g.active_nodes(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fields_deduplicated_sorted() {
+        let g = sample_graph();
+        assert_eq!(g.fields(), vec![0, 1]);
+    }
+
+    #[test]
+    fn has_edge_checks_both_orders() {
+        let g = sample_graph();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn t_bounds() {
+        let g = sample_graph();
+        assert_eq!(g.t_min(), Some(1.0));
+        assert_eq!(g.t_max(), Some(4.0));
+    }
+}

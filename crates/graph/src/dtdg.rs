@@ -1,0 +1,141 @@
+//! Discrete-time dynamic graph (DTDG) view.
+//!
+//! The paper's §III-A distinguishes DTDG — "a sequence of static graph
+//! snapshots taken at intervals in time" — from the finer-grained CTDG it
+//! builds on. This module provides the conversion so snapshot-based
+//! methods (and coarse-grained analyses) can consume the same data:
+//! a [`DynamicGraph`] is sliced into `n` equal time windows, each window
+//! becoming one [`Snapshot`] with deduplicated adjacency.
+
+use crate::ctdg::DynamicGraph;
+use crate::event::{NodeId, Timestamp};
+
+/// One static snapshot of a DTDG sequence.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Window start (inclusive).
+    pub t_start: Timestamp,
+    /// Window end (exclusive; the last window is inclusive of `t_max`).
+    pub t_end: Timestamp,
+    /// Number of events collapsed into this snapshot.
+    pub event_count: usize,
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl Snapshot {
+    /// Distinct neighbours of `node` within this window.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adj[node as usize]
+    }
+
+    /// Number of nodes with at least one event in the window.
+    pub fn active_nodes(&self) -> usize {
+        self.adj.iter().filter(|a| !a.is_empty()).count()
+    }
+
+    /// Number of distinct undirected edges in the window.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+}
+
+/// Slices `graph` into `n` equal-width time windows.
+///
+/// # Panics
+/// Panics when `n == 0`.
+pub fn to_snapshots(graph: &DynamicGraph, n: usize) -> Vec<Snapshot> {
+    assert!(n > 0, "to_snapshots: need at least one window");
+    let (t_min, t_max) = match (graph.t_min(), graph.t_max()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Vec::new(),
+    };
+    let span = (t_max - t_min).max(f64::MIN_POSITIVE);
+    let width = span / n as f64;
+    let mut snaps: Vec<Snapshot> = (0..n)
+        .map(|i| Snapshot {
+            t_start: t_min + i as f64 * width,
+            t_end: t_min + (i + 1) as f64 * width,
+            event_count: 0,
+            adj: vec![Vec::new(); graph.num_nodes()],
+        })
+        .collect();
+    for e in graph.events() {
+        let idx = (((e.t - t_min) / width) as usize).min(n - 1);
+        let snap = &mut snaps[idx];
+        snap.event_count += 1;
+        snap.adj[e.src as usize].push(e.dst);
+        snap.adj[e.dst as usize].push(e.src);
+    }
+    for snap in &mut snaps {
+        for a in &mut snap.adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+    }
+    snaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_triples;
+
+    fn sample() -> DynamicGraph {
+        graph_from_triples(
+            4,
+            &[(0, 1, 0.0), (0, 1, 1.0), (1, 2, 5.0), (2, 3, 9.0), (0, 3, 10.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn windows_partition_all_events() {
+        let g = sample();
+        let snaps = to_snapshots(&g, 5);
+        assert_eq!(snaps.len(), 5);
+        let total: usize = snaps.iter().map(|s| s.event_count).sum();
+        assert_eq!(total, g.num_events());
+    }
+
+    #[test]
+    fn repeated_edges_deduplicate_within_a_window() {
+        let g = sample();
+        let snaps = to_snapshots(&g, 2);
+        // Window 0 covers [0, 5): events (0,1)@0 and (0,1)@1 collapse to the
+        // single edge 0–1; the (1,2)@5 event falls into window 1.
+        assert_eq!(snaps[0].neighbors(0), &[1]);
+        assert_eq!(snaps[0].edge_count(), 1);
+        assert_eq!(snaps[0].event_count, 2);
+    }
+
+    #[test]
+    fn last_window_includes_t_max() {
+        let g = sample();
+        let snaps = to_snapshots(&g, 3);
+        let last = snaps.last().unwrap();
+        assert!(last.event_count > 0, "the t_max event must land somewhere");
+    }
+
+    #[test]
+    fn window_boundaries_tile_the_span() {
+        let g = sample();
+        let snaps = to_snapshots(&g, 4);
+        for w in snaps.windows(2) {
+            assert!((w[0].t_end - w[1].t_start).abs() < 1e-9);
+        }
+        assert!((snaps[0].t_start - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_node_counts() {
+        let g = sample();
+        let snaps = to_snapshots(&g, 1);
+        assert_eq!(snaps[0].active_nodes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn zero_windows_panics() {
+        to_snapshots(&sample(), 0);
+    }
+}

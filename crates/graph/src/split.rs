@@ -1,0 +1,208 @@
+//! Transfer-setting splitters (paper §V-C).
+//!
+//! The paper evaluates pre-training under three transfer settings:
+//!
+//! * **Time transfer** — pre-train on the early part of the stream,
+//!   fine-tune on the late part, same field.
+//! * **Field transfer** — pre-train on one field's events, fine-tune on
+//!   another field's events.
+//! * **Time+Field transfer** — pre-train on field A before a cut time,
+//!   fine-tune on field B after it.
+//!
+//! All splits preserve the parent graph's node-id universe, so a node keeps
+//! its identity (and its pre-trained memory state) across stages — the
+//! property the Evolution-Information-Enhanced fine-tuning relies on
+//! (Definition 2 of the paper).
+
+use crate::builder::DynamicGraphBuilder;
+use crate::ctdg::DynamicGraph;
+use crate::event::{FieldId, Interaction, Timestamp};
+use crate::builder::GraphError;
+
+/// A pre-train / downstream pair.
+#[derive(Debug, Clone)]
+pub struct TransferSplit {
+    /// Events for self-supervised pre-training.
+    pub pretrain: DynamicGraph,
+    /// Events for downstream fine-tuning and evaluation.
+    pub downstream: DynamicGraph,
+}
+
+/// Builds a subgraph containing the events selected by `keep`, preserving
+/// the node universe. Labels are retained when their time falls within the
+/// retained events' span (inclusive).
+pub fn subgraph_where(
+    graph: &DynamicGraph,
+    keep: impl Fn(&Interaction) -> bool,
+) -> Result<DynamicGraph, GraphError> {
+    let mut b = DynamicGraphBuilder::new(graph.num_nodes());
+    let mut t_lo = f64::INFINITY;
+    let mut t_hi = f64::NEG_INFINITY;
+    for e in graph.events() {
+        if keep(e) {
+            b.add_interaction(e.src, e.dst, e.t, e.field);
+            t_lo = t_lo.min(e.t);
+            t_hi = t_hi.max(e.t);
+        }
+    }
+    for l in graph.labels() {
+        if l.t >= t_lo && l.t <= t_hi {
+            b.add_label(l.node, l.t, l.label);
+        }
+    }
+    b.build()
+}
+
+/// The event time below which `frac` of events fall (chronological
+/// quantile). `frac` is clamped to `(0, 1)`.
+pub fn time_cut(graph: &DynamicGraph, frac: f64) -> Timestamp {
+    let n = graph.num_events();
+    let idx = ((n as f64 * frac.clamp(0.0, 1.0)) as usize).clamp(1, n - 1);
+    graph.events()[idx].t
+}
+
+/// Time transfer: first `frac` of events pre-train, the rest downstream.
+pub fn time_transfer(graph: &DynamicGraph, frac: f64) -> Result<TransferSplit, GraphError> {
+    let cut = time_cut(graph, frac);
+    Ok(TransferSplit {
+        pretrain: subgraph_where(graph, |e| e.t < cut)?,
+        downstream: subgraph_where(graph, |e| e.t >= cut)?,
+    })
+}
+
+/// Field transfer: events in `pretrain_fields` pre-train; events in
+/// `downstream_field` fine-tune. Both sides span the full time range.
+pub fn field_transfer(
+    graph: &DynamicGraph,
+    pretrain_fields: &[FieldId],
+    downstream_field: FieldId,
+) -> Result<TransferSplit, GraphError> {
+    Ok(TransferSplit {
+        pretrain: subgraph_where(graph, |e| pretrain_fields.contains(&e.field))?,
+        downstream: subgraph_where(graph, |e| e.field == downstream_field)?,
+    })
+}
+
+/// Time+Field transfer: `pretrain_fields` before the cut pre-train;
+/// `downstream_field` after the cut fine-tunes.
+pub fn time_field_transfer(
+    graph: &DynamicGraph,
+    pretrain_fields: &[FieldId],
+    downstream_field: FieldId,
+    frac: f64,
+) -> Result<TransferSplit, GraphError> {
+    let cut = time_cut(graph, frac);
+    Ok(TransferSplit {
+        pretrain: subgraph_where(graph, |e| e.t < cut && pretrain_fields.contains(&e.field))?,
+        downstream: subgraph_where(graph, |e| e.t >= cut && e.field == downstream_field)?,
+    })
+}
+
+/// Chronological boundaries for an in-graph split: given fractions summing
+/// to ≤ 1 (e.g. `[0.7, 0.15, 0.15]` for train/val/test), returns the event
+/// indices where each part ends. The last boundary is always `num_events`.
+pub fn chrono_boundaries(graph: &DynamicGraph, fracs: &[f64]) -> Vec<usize> {
+    assert!(!fracs.is_empty(), "chrono_boundaries: need at least one fraction");
+    let n = graph.num_events();
+    let mut acc = 0.0;
+    let mut out: Vec<usize> = fracs
+        .iter()
+        .map(|f| {
+            acc += f;
+            ((n as f64 * acc) as usize).min(n)
+        })
+        .collect();
+    *out.last_mut().expect("non-empty") = n;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DynamicGraphBuilder;
+
+    fn fielded_graph() -> DynamicGraph {
+        let mut b = DynamicGraphBuilder::new(6);
+        // Field 0 early, field 1 late, interleaved a bit.
+        b.add_interaction(0, 3, 1.0, 0);
+        b.add_interaction(1, 4, 2.0, 1);
+        b.add_interaction(0, 4, 3.0, 0);
+        b.add_interaction(2, 5, 4.0, 1);
+        b.add_interaction(1, 3, 5.0, 0);
+        b.add_interaction(2, 3, 6.0, 1);
+        b.add_label(0, 1.5, false);
+        b.add_label(2, 5.5, true);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn time_transfer_partitions_chronologically() {
+        let g = fielded_graph();
+        let split = time_transfer(&g, 0.5).unwrap();
+        assert_eq!(split.pretrain.num_events() + split.downstream.num_events(), 6);
+        let pre_max = split.pretrain.t_max().unwrap();
+        let down_min = split.downstream.t_min().unwrap();
+        assert!(pre_max < down_min);
+    }
+
+    #[test]
+    fn time_transfer_preserves_node_universe() {
+        let g = fielded_graph();
+        let split = time_transfer(&g, 0.5).unwrap();
+        assert_eq!(split.pretrain.num_nodes(), 6);
+        assert_eq!(split.downstream.num_nodes(), 6);
+    }
+
+    #[test]
+    fn field_transfer_separates_fields() {
+        let g = fielded_graph();
+        let split = field_transfer(&g, &[0], 1).unwrap();
+        assert!(split.pretrain.events().iter().all(|e| e.field == 0));
+        assert!(split.downstream.events().iter().all(|e| e.field == 1));
+        assert_eq!(split.pretrain.num_events(), 3);
+        assert_eq!(split.downstream.num_events(), 3);
+    }
+
+    #[test]
+    fn time_field_transfer_applies_both() {
+        let g = fielded_graph();
+        let split = time_field_transfer(&g, &[0], 1, 0.5).unwrap();
+        let cut = time_cut(&g, 0.5);
+        assert!(split.pretrain.events().iter().all(|e| e.field == 0 && e.t < cut));
+        assert!(split.downstream.events().iter().all(|e| e.field == 1 && e.t >= cut));
+    }
+
+    #[test]
+    fn labels_follow_their_time_span() {
+        let g = fielded_graph();
+        let split = time_transfer(&g, 0.5).unwrap();
+        // Label at t=1.5 goes to pretrain, t=5.5 to downstream.
+        assert_eq!(split.pretrain.labels().len(), 1);
+        assert!(!split.pretrain.labels()[0].label);
+        assert_eq!(split.downstream.labels().len(), 1);
+        assert!(split.downstream.labels()[0].label);
+    }
+
+    #[test]
+    fn empty_side_is_an_error() {
+        let g = fielded_graph();
+        assert!(field_transfer(&g, &[0], 9).is_err());
+    }
+
+    #[test]
+    fn chrono_boundaries_cover_all_events() {
+        let g = fielded_graph();
+        let b = chrono_boundaries(&g, &[0.6, 0.2, 0.1, 0.1]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(*b.last().unwrap(), 6);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn subgraph_where_reindexes_edges() {
+        let g = fielded_graph();
+        let sub = subgraph_where(&g, |e| e.field == 1).unwrap();
+        let idxs: Vec<usize> = sub.events().iter().map(|e| e.idx).collect();
+        assert_eq!(idxs, vec![0, 1, 2], "edge ids are re-assigned densely");
+    }
+}

@@ -1,0 +1,78 @@
+//! Dataset statistics — the columns of the paper's Table IV.
+
+use crate::ctdg::DynamicGraph;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a dynamic graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Nodes that appear in at least one event.
+    pub active_nodes: usize,
+    /// Interaction events.
+    pub edges: usize,
+    /// `edges / (active_nodes choose 2)` — the paper's density column.
+    pub density: f64,
+    /// Earliest event time.
+    pub t_min: f64,
+    /// Latest event time.
+    pub t_max: f64,
+    /// Mean temporal degree over active nodes.
+    pub mean_degree: f64,
+    /// Positive / total dynamic labels (0/0 → 0).
+    pub label_positive_rate: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn compute(graph: &DynamicGraph) -> Self {
+        let active = graph.active_nodes();
+        let n = active.len();
+        let m = graph.num_events();
+        let pairs = if n >= 2 { n as f64 * (n as f64 - 1.0) / 2.0 } else { 1.0 };
+        let total_degree: usize =
+            active.iter().map(|&v| graph.neighbors_all(v).len()).sum();
+        let labels = graph.labels();
+        let pos = labels.iter().filter(|l| l.label).count();
+        Self {
+            active_nodes: n,
+            edges: m,
+            density: m as f64 / pairs,
+            t_min: graph.t_min().unwrap_or(0.0),
+            t_max: graph.t_max().unwrap_or(0.0),
+            mean_degree: if n > 0 { total_degree as f64 / n as f64 } else { 0.0 },
+            label_positive_rate: if labels.is_empty() { 0.0 } else { pos as f64 / labels.len() as f64 },
+        }
+    }
+
+    /// Time span covered by the events.
+    pub fn timespan(&self) -> f64 {
+        self.t_max - self.t_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_triples;
+
+    #[test]
+    fn stats_on_triangle() {
+        let g = graph_from_triples(4, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.active_nodes, 3); // node 3 never appears
+        assert_eq!(s.edges, 3);
+        assert!((s.density - 1.0).abs() < 1e-9, "3 edges over 3 possible pairs");
+        assert_eq!(s.t_min, 1.0);
+        assert_eq!(s.t_max, 3.0);
+        assert!((s.timespan() - 2.0).abs() < 1e-9);
+        assert!((s.mean_degree - 2.0).abs() < 1e-9);
+        assert_eq!(s.label_positive_rate, 0.0);
+    }
+
+    #[test]
+    fn mean_degree_counts_both_endpoints() {
+        let g = graph_from_triples(2, &[(0, 1, 1.0), (0, 1, 2.0)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert!((s.mean_degree - 2.0).abs() < 1e-9);
+    }
+}

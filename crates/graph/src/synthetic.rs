@@ -1,0 +1,567 @@
+//! Synthetic dynamic-graph workloads.
+//!
+//! The paper evaluates on Amazon Review, Gowalla, Meituan (proprietary),
+//! Wikipedia, MOOC, and Reddit. Those corpora are not redistributable with
+//! this repository, so the experiments run on synthetic bipartite user–item
+//! streams that plant exactly the structure CPDG claims to exploit:
+//!
+//! * **Long-term stable patterns** — every user has a persistent preference
+//!   distribution over latent *communities*; items belong to one community.
+//!   Community preferences are *field-independent*, which is what makes
+//!   field transfer work (a user who favours community 3 in *Beauty* also
+//!   favours community 3 in *Luxury*).
+//! * **Short-term fluctuating patterns** — each user carries a *session*
+//!   community that switches stochastically and is biased toward a global
+//!   per-window trending community; sessions burst in time. Recent
+//!   neighbours are therefore far more predictive of the next interaction
+//!   than old ones — the signal the η-BFS temporal contrast targets.
+//! * **Field structure** — the item universe is partitioned into fields
+//!   (product categories), enabling the paper's field and time+field
+//!   transfer splits.
+//! * **Dynamic node labels** — a fraction of users turn *anomalous* at a
+//!   random onset time, after which their item choices ignore community
+//!   structure and their sessions churn rapidly (the "banned user" /
+//!   "drop-out student" analogue). Every user-side event emits the user's
+//!   current state as a dynamic label, mirroring the JODIE datasets.
+//!
+//! Generation is fully deterministic under `seed`.
+
+use crate::builder::DynamicGraphBuilder;
+use crate::ctdg::DynamicGraph;
+use crate::event::{FieldId, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the synthetic workload. Construct via a preset
+/// ([`SyntheticConfig::amazon_like`] etc.) and adjust, or fill in directly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items *per field*.
+    pub n_items_per_field: usize,
+    /// Number of fields (categories).
+    pub n_fields: usize,
+    /// Number of latent communities (shared across fields).
+    pub n_communities: usize,
+    /// Total number of interaction events.
+    pub n_events: usize,
+    /// Time horizon; event times are spread over `[0, horizon)`.
+    pub horizon: f64,
+    /// Sharpness of user long-term preferences (higher → more peaked).
+    pub preference_concentration: f32,
+    /// Probability an event follows the user's *short-term session*
+    /// community instead of their long-term preference.
+    pub short_term_weight: f64,
+    /// Per-event probability that a user's session community resets.
+    pub session_switch_prob: f64,
+    /// Probability the session reset follows the globally trending
+    /// community (vs a fresh preference draw).
+    pub trend_follow_prob: f64,
+    /// Number of trend windows over the horizon.
+    pub n_trend_windows: usize,
+    /// Probability the next event continues the previous user's burst.
+    pub burstiness: f64,
+    /// Zipf-like popularity skew for items inside a community (0 = uniform).
+    pub popularity_skew: f64,
+    /// Fraction of users that turn anomalous (label-positive) at some point.
+    pub anomaly_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// Amazon-Review-like: sparse, long horizon, strong long-term
+    /// preferences, mild bursts.
+    pub fn amazon_like(seed: u64) -> Self {
+        Self {
+            n_users: 350,
+            n_items_per_field: 220,
+            n_fields: 3,
+            n_communities: 8,
+            n_events: 18_000,
+            horizon: 1_000_000.0,
+            preference_concentration: 3.0,
+            short_term_weight: 0.45,
+            session_switch_prob: 0.15,
+            trend_follow_prob: 0.5,
+            n_trend_windows: 20,
+            burstiness: 0.3,
+            popularity_skew: 0.8,
+            anomaly_fraction: 0.0,
+            seed,
+        }
+    }
+
+    /// Gowalla-like: denser check-in stream, more bursty, stronger trends.
+    pub fn gowalla_like(seed: u64) -> Self {
+        Self {
+            n_users: 280,
+            n_items_per_field: 160,
+            n_fields: 3,
+            n_communities: 6,
+            n_events: 21_000,
+            horizon: 500_000.0,
+            preference_concentration: 2.5,
+            short_term_weight: 0.55,
+            session_switch_prob: 0.2,
+            trend_follow_prob: 0.6,
+            n_trend_windows: 25,
+            burstiness: 0.5,
+            popularity_skew: 1.0,
+            anomaly_fraction: 0.0,
+            seed,
+        }
+    }
+
+    /// Meituan-like: industrial food-delivery stream — short horizon, very
+    /// bursty, short-term dominated, single field.
+    pub fn meituan_like(seed: u64) -> Self {
+        Self {
+            n_users: 350,
+            n_items_per_field: 250,
+            n_fields: 1,
+            n_communities: 8,
+            n_events: 15_000,
+            horizon: 42.0 * 86_400.0, // 42 days, matching the paper
+            preference_concentration: 2.0,
+            short_term_weight: 0.7,
+            session_switch_prob: 0.25,
+            trend_follow_prob: 0.7,
+            n_trend_windows: 42,
+            burstiness: 0.6,
+            popularity_skew: 1.2,
+            anomaly_fraction: 0.0,
+            seed,
+        }
+    }
+
+    /// Wikipedia-like: editing stream with rare banned users.
+    pub fn wikipedia_like(seed: u64) -> Self {
+        Self {
+            n_users: 250,
+            n_items_per_field: 180,
+            n_fields: 1,
+            n_communities: 6,
+            n_events: 14_000,
+            horizon: 2_600_000.0,
+            preference_concentration: 3.0,
+            short_term_weight: 0.5,
+            session_switch_prob: 0.15,
+            trend_follow_prob: 0.4,
+            n_trend_windows: 15,
+            burstiness: 0.4,
+            popularity_skew: 1.0,
+            anomaly_fraction: 0.12,
+            seed,
+        }
+    }
+
+    /// MOOC-like: weaker structure (the paper itself notes MOOC's temporal
+    /// and structural patterns are faint), higher drop-out rate.
+    pub fn mooc_like(seed: u64) -> Self {
+        Self {
+            n_users: 280,
+            n_items_per_field: 100,
+            n_fields: 1,
+            n_communities: 3,
+            n_events: 16_000,
+            horizon: 2_600_000.0,
+            preference_concentration: 1.0,
+            short_term_weight: 0.35,
+            session_switch_prob: 0.3,
+            trend_follow_prob: 0.2,
+            n_trend_windows: 10,
+            burstiness: 0.3,
+            popularity_skew: 0.4,
+            anomaly_fraction: 0.2,
+            seed,
+        }
+    }
+
+    /// Reddit-like: heavy-traffic posting stream with rare banned users.
+    pub fn reddit_like(seed: u64) -> Self {
+        Self {
+            n_users: 300,
+            n_items_per_field: 120,
+            n_fields: 1,
+            n_communities: 8,
+            n_events: 20_000,
+            horizon: 2_600_000.0,
+            preference_concentration: 3.5,
+            short_term_weight: 0.5,
+            session_switch_prob: 0.1,
+            trend_follow_prob: 0.5,
+            n_trend_windows: 20,
+            burstiness: 0.55,
+            popularity_skew: 1.1,
+            anomaly_fraction: 0.08,
+            seed,
+        }
+    }
+
+    /// Scales the dataset size (users, items, events) by `f`, keeping the
+    /// behavioural knobs fixed. Used by `--quick` / `--full` harness modes.
+    pub fn scaled(mut self, f: f64) -> Self {
+        self.n_users = ((self.n_users as f64 * f) as usize).max(20);
+        self.n_items_per_field = ((self.n_items_per_field as f64 * f) as usize).max(20);
+        self.n_events = ((self.n_events as f64 * f) as usize).max(200);
+        self
+    }
+
+    /// Total item count across fields.
+    pub fn n_items(&self) -> usize {
+        self.n_items_per_field * self.n_fields
+    }
+
+    /// Total node universe (users then items).
+    pub fn n_nodes(&self) -> usize {
+        self.n_users + self.n_items()
+    }
+}
+
+/// A generated dataset: the graph plus its id-space layout.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The generated graph. Users are ids `0..num_users`; items follow.
+    pub graph: DynamicGraph,
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of items.
+    pub num_items: usize,
+    /// The config that produced it.
+    pub config: SyntheticConfig,
+}
+
+struct UserState {
+    /// Long-term preference weights over communities (sums to 1).
+    long_term: Vec<f32>,
+    /// Current session community.
+    session: usize,
+    /// Whether/when the user turns anomalous (`f64::INFINITY` = never).
+    anomaly_onset: f64,
+    /// Relative activity weight.
+    activity: f64,
+}
+
+/// Generates a dataset from `config`. Deterministic under `config.seed`.
+pub fn generate(config: &SyntheticConfig) -> SyntheticDataset {
+    assert!(config.n_communities > 0, "need at least one community");
+    assert!(config.n_fields > 0, "need at least one field");
+    assert!(config.n_users > 1, "need at least two users");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // --- users -----------------------------------------------------------
+    let mut users: Vec<UserState> = (0..config.n_users)
+        .map(|_| {
+            let mut w: Vec<f32> = (0..config.n_communities)
+                .map(|_| (rng.random::<f32>() * config.preference_concentration).exp())
+                .collect();
+            let sum: f32 = w.iter().sum();
+            for x in &mut w {
+                *x /= sum;
+            }
+            let session = sample_weighted(&mut rng, &w);
+            let anomaly_onset = if rng.random::<f64>() < config.anomaly_fraction {
+                // Onset somewhere in the middle 60% of the horizon so both
+                // pre-training and downstream splits see transitions.
+                config.horizon * (0.2 + 0.6 * rng.random::<f64>())
+            } else {
+                f64::INFINITY
+            };
+            // Heavy-tailed activity: exp of a scaled uniform.
+            let activity = (2.5 * rng.random::<f64>()).exp();
+            UserState { long_term: w, session, anomaly_onset, activity }
+        })
+        .collect();
+
+    // Cumulative activity for O(log n) weighted user draws.
+    let mut activity_cdf: Vec<f64> = Vec::with_capacity(config.n_users);
+    let mut acc = 0.0;
+    for u in &users {
+        acc += u.activity;
+        activity_cdf.push(acc);
+    }
+    let total_activity = acc;
+
+    // --- items -----------------------------------------------------------
+    // Item node id = n_users + field * n_items_per_field + local index.
+    // Community of an item: local_index % n_communities (even partition),
+    // with per-community popularity ranks for the zipf skew.
+    let item_node =
+        |field: usize, local: usize| (config.n_users + field * config.n_items_per_field + local) as NodeId;
+
+    // Pre-group items of each (field, community).
+    let mut community_items: Vec<Vec<Vec<usize>>> =
+        vec![vec![Vec::new(); config.n_communities]; config.n_fields];
+    for f in 0..config.n_fields {
+        for local in 0..config.n_items_per_field {
+            community_items[f][local % config.n_communities].push(local);
+        }
+    }
+
+    // --- trends ----------------------------------------------------------
+    let trending: Vec<usize> =
+        (0..config.n_trend_windows.max(1)).map(|_| rng.random_range(0..config.n_communities)).collect();
+    let window_of = |t: f64| {
+        let w = (t / config.horizon * trending.len() as f64) as usize;
+        w.min(trending.len() - 1)
+    };
+
+    // --- event loop ------------------------------------------------------
+    let mut builder = DynamicGraphBuilder::new(config.n_nodes());
+    let mut prev_user: Option<usize> = None;
+    for e in 0..config.n_events {
+        // Roughly uniform arrival with jitter; jitter is bounded well below
+        // the inter-event gap so times stay sorted-ish but not gridded.
+        let base = config.horizon * e as f64 / config.n_events as f64;
+        let jitter = rng.random::<f64>() * config.horizon / config.n_events as f64 * 0.9;
+        let t = base + jitter;
+
+        // Pick the acting user: continue the previous burst or draw by
+        // activity.
+        let uid = match prev_user {
+            Some(p) if rng.random::<f64>() < config.burstiness => p,
+            _ => {
+                let x = rng.random::<f64>() * total_activity;
+                activity_cdf.partition_point(|&c| c < x).min(config.n_users - 1)
+            }
+        };
+        prev_user = Some(uid);
+
+        let anomalous = t >= users[uid].anomaly_onset;
+        let field = rng.random_range(0..config.n_fields);
+
+        // Session dynamics (anomalous users churn sessions rapidly).
+        let switch_p = if anomalous { 0.8 } else { config.session_switch_prob };
+        if rng.random::<f64>() < switch_p {
+            users[uid].session = if rng.random::<f64>() < config.trend_follow_prob && !anomalous {
+                trending[window_of(t)]
+            } else if anomalous {
+                rng.random_range(0..config.n_communities)
+            } else {
+                sample_weighted(&mut rng, &users[uid].long_term)
+            };
+        }
+
+        // Community for this event.
+        let community = if anomalous {
+            rng.random_range(0..config.n_communities)
+        } else if rng.random::<f64>() < config.short_term_weight {
+            users[uid].session
+        } else {
+            sample_weighted(&mut rng, &users[uid].long_term)
+        };
+
+        // Item inside the community with popularity skew: rank r drawn with
+        // weight (r+1)^(-skew).
+        let pool = &community_items[field][community];
+        let local = if pool.is_empty() {
+            rng.random_range(0..config.n_items_per_field)
+        } else {
+            pool[sample_zipf(&mut rng, pool.len(), config.popularity_skew)]
+        };
+
+        builder.add_interaction(uid as NodeId, item_node(field, local), t, field as FieldId);
+        if config.anomaly_fraction > 0.0 {
+            builder.add_label(uid as NodeId, t, anomalous);
+        }
+    }
+
+    let graph = builder.build().expect("generator produces valid graphs");
+    SyntheticDataset {
+        graph,
+        num_users: config.n_users,
+        num_items: config.n_items(),
+        config: config.clone(),
+    }
+}
+
+/// Draws an index proportional to `weights` (need not be normalised).
+fn sample_weighted(rng: &mut StdRng, weights: &[f32]) -> usize {
+    let total: f32 = weights.iter().sum();
+    let mut x = rng.random::<f32>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Draws a rank in `0..n` with probability ∝ `(rank+1)^(-skew)`.
+fn sample_zipf(rng: &mut StdRng, n: usize, skew: f64) -> usize {
+    if n <= 1 || skew <= 0.0 {
+        return if n == 0 { 0 } else { rng.random_range(0..n) };
+    }
+    // Inverse-CDF on the (small) support; n is a per-community pool, a few
+    // dozen items, so the linear scan is cheap and exact.
+    let mut total = 0.0;
+    for r in 0..n {
+        total += ((r + 1) as f64).powf(-skew);
+    }
+    let mut x = rng.random::<f64>() * total;
+    for r in 0..n {
+        x -= ((r + 1) as f64).powf(-skew);
+        if x <= 0.0 {
+            return r;
+        }
+    }
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> SyntheticConfig {
+        SyntheticConfig { n_events: 2000, ..SyntheticConfig::amazon_like(seed) }.scaled(0.3)
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(&small_config(7));
+        let b = generate(&small_config(7));
+        assert_eq!(a.graph.num_events(), b.graph.num_events());
+        for (x, y) in a.graph.events().iter().zip(b.graph.events()) {
+            assert_eq!((x.src, x.dst, x.t), (y.src, y.dst, y.t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&small_config(1));
+        let b = generate(&small_config(2));
+        let same = a
+            .graph
+            .events()
+            .iter()
+            .zip(b.graph.events())
+            .filter(|(x, y)| x.src == y.src && x.dst == y.dst)
+            .count();
+        assert!(same < a.graph.num_events() / 2, "seeds produced near-identical graphs");
+    }
+
+    #[test]
+    fn bipartite_and_in_range() {
+        let ds = generate(&small_config(3));
+        for e in ds.graph.events() {
+            assert!((e.src as usize) < ds.num_users, "src must be a user");
+            assert!((e.dst as usize) >= ds.num_users, "dst must be an item");
+            assert!((e.dst as usize) < ds.num_users + ds.num_items);
+            assert!(e.t >= 0.0 && e.t <= ds.config.horizon * 1.01);
+        }
+    }
+
+    #[test]
+    fn fields_cover_configured_range() {
+        let ds = generate(&small_config(4));
+        let fields = ds.graph.fields();
+        assert_eq!(fields.len(), ds.config.n_fields);
+    }
+
+    #[test]
+    fn events_are_chronological() {
+        let ds = generate(&small_config(5));
+        let evs = ds.graph.events();
+        assert!(evs.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn long_term_preferences_visible_in_item_choices() {
+        // A user's modal community over their events should frequently be a
+        // top-2 long-term community: the planted signal is recoverable.
+        let mut cfg = small_config(6);
+        cfg.n_events = 6000;
+        cfg.short_term_weight = 0.2; // emphasise long-term for this check
+        cfg.burstiness = 0.0;
+        let ds = generate(&cfg);
+        let n_comm = cfg.n_communities;
+        let per_field = cfg.n_items_per_field;
+        // Count per-user community histogram.
+        let mut hist = vec![vec![0usize; n_comm]; cfg.n_users];
+        for e in ds.graph.events() {
+            let local = (e.dst as usize - cfg.n_users) % per_field;
+            hist[e.src as usize][local % n_comm] += 1;
+        }
+        // Among users with ≥ 20 events the histogram should be far from
+        // uniform (chi-square-ish concentration check).
+        let mut checked = 0;
+        let mut concentrated = 0;
+        for h in &hist {
+            let total: usize = h.iter().sum();
+            if total < 20 {
+                continue;
+            }
+            checked += 1;
+            let max = *h.iter().max().unwrap();
+            if max as f64 > 2.0 * total as f64 / n_comm as f64 {
+                concentrated += 1;
+            }
+        }
+        assert!(checked > 5, "not enough active users to test");
+        assert!(
+            concentrated as f64 > 0.6 * checked as f64,
+            "only {concentrated}/{checked} users show concentrated preferences"
+        );
+    }
+
+    #[test]
+    fn anomaly_labels_present_and_consistent() {
+        let cfg = SyntheticConfig { n_events: 3000, ..SyntheticConfig::wikipedia_like(11) }.scaled(0.3);
+        let ds = generate(&cfg);
+        let labels = ds.graph.labels();
+        assert!(!labels.is_empty(), "labelled dataset must emit labels");
+        let pos = labels.iter().filter(|l| l.label).count();
+        assert!(pos > 0, "need positive labels");
+        assert!(pos < labels.len(), "need negative labels");
+        // Labels are monotone per user: once anomalous, always anomalous.
+        use std::collections::HashMap;
+        let mut seen_pos: HashMap<NodeId, f64> = HashMap::new();
+        for l in labels {
+            if l.label {
+                seen_pos.entry(l.node).or_insert(l.t);
+            } else if let Some(&onset) = seen_pos.get(&l.node) {
+                assert!(l.t < onset, "label flipped back to normal after onset");
+            }
+        }
+    }
+
+    #[test]
+    fn no_labels_when_fraction_zero() {
+        let ds = generate(&small_config(12));
+        assert!(ds.graph.labels().is_empty());
+    }
+
+    #[test]
+    fn scaled_shrinks_counts() {
+        let base = SyntheticConfig::amazon_like(0);
+        let s = base.clone().scaled(0.1);
+        assert!(s.n_users < base.n_users);
+        assert!(s.n_events < base.n_events);
+        assert!(s.n_users >= 20);
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 10];
+        for _ in 0..5000 {
+            counts[sample_zipf(&mut rng, 10, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "zipf skew not visible: {counts:?}");
+    }
+
+    #[test]
+    fn weighted_sampler_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = [0.7f32, 0.2, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[sample_weighted(&mut rng, &w)] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+    }
+}

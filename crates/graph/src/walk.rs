@@ -1,0 +1,144 @@
+//! Temporal random walks.
+//!
+//! A *temporally valid* walk follows edges with non-increasing timestamps
+//! when walking backwards from a query time — the sampling primitive behind
+//! CTDNE/CAW-style methods and the "vanilla DFS/random walk" the paper's
+//! §IV-A contrasts the ε-DFS sampler against. Provided both as a baseline
+//! sampling strategy and as an analysis tool for the synthetic generators.
+
+use crate::ctdg::DynamicGraph;
+use crate::event::{NodeId, Timestamp};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One temporal walk: the visited nodes and the edge times taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalWalk {
+    /// Visited nodes, starting with the root.
+    pub nodes: Vec<NodeId>,
+    /// Edge times, one per hop (`nodes.len() - 1` entries).
+    pub times: Vec<Timestamp>,
+}
+
+impl TemporalWalk {
+    /// Number of hops taken.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the walk never left the root.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+/// Walks backwards in time from `root` at time `t`: each hop picks a
+/// uniformly random incident event *strictly earlier* than the previous
+/// hop's time, up to `max_hops`. The walk stops early at temporal dead
+/// ends.
+pub fn temporal_walk(
+    graph: &DynamicGraph,
+    root: NodeId,
+    t: Timestamp,
+    max_hops: usize,
+    rng: &mut StdRng,
+) -> TemporalWalk {
+    let mut nodes = vec![root];
+    let mut times = Vec::new();
+    let mut current = root;
+    let mut horizon = t;
+    for _ in 0..max_hops {
+        let candidates = graph.neighbors_before(current, horizon);
+        if candidates.is_empty() {
+            break;
+        }
+        let pick = candidates[rng.random_range(0..candidates.len())];
+        nodes.push(pick.neighbor);
+        times.push(pick.t);
+        current = pick.neighbor;
+        horizon = pick.t;
+    }
+    TemporalWalk { nodes, times }
+}
+
+/// Convenience: many walks from one root (e.g. for node2vec-style corpora
+/// or Monte-Carlo neighbourhood estimates).
+pub fn temporal_walks(
+    graph: &DynamicGraph,
+    root: NodeId,
+    t: Timestamp,
+    max_hops: usize,
+    n_walks: usize,
+    rng: &mut StdRng,
+) -> Vec<TemporalWalk> {
+    (0..n_walks).map(|_| temporal_walk(graph, root, t, max_hops, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_triples;
+    use rand::SeedableRng;
+
+    fn chain() -> DynamicGraph {
+        // 0 —(t=3)— 1 —(t=2)— 2 —(t=1)— 3: a perfect backward-in-time chain.
+        graph_from_triples(4, &[(0, 1, 3.0), (1, 2, 2.0), (2, 3, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn walk_times_strictly_decrease() {
+        let g = chain();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let w = temporal_walk(&g, 0, 10.0, 5, &mut rng);
+            assert!(w.times.windows(2).all(|p| p[1] < p[0]), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn full_chain_is_walkable() {
+        let g = chain();
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = temporal_walk(&g, 0, 10.0, 5, &mut rng);
+        // From node 0 the only backward-valid path is 0→1→2→3.
+        assert_eq!(w.nodes, vec![0, 1, 2, 3]);
+        assert_eq!(w.times, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn stops_at_temporal_dead_end() {
+        // 0 —(t=1)— 1 —(t=5)— 2: after taking the t=1 edge, the t=5 edge is
+        // in the future and unusable.
+        let g = graph_from_triples(3, &[(0, 1, 1.0), (1, 2, 5.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = temporal_walk(&g, 0, 10.0, 5, &mut rng);
+        assert_eq!(w.nodes, vec![0, 1]);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn isolated_root_yields_empty_walk() {
+        let g = graph_from_triples(3, &[(1, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = temporal_walk(&g, 0, 10.0, 5, &mut rng);
+        assert!(w.is_empty());
+        assert_eq!(w.nodes, vec![0]);
+    }
+
+    #[test]
+    fn respects_query_time() {
+        let g = chain();
+        let mut rng = StdRng::seed_from_u64(4);
+        // At t = 2.5, the t=3 edge is invisible from node 0.
+        let w = temporal_walk(&g, 0, 2.5, 5, &mut rng);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn many_walks_helper() {
+        let g = chain();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ws = temporal_walks(&g, 0, 10.0, 3, 7, &mut rng);
+        assert_eq!(ws.len(), 7);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests over the CTDG store, splitters, DTDG conversion, and
+//! temporal walks: the structural invariants every consumer relies on.
+
+use cpdg_graph::builder::graph_from_triples;
+use cpdg_graph::split::{chrono_boundaries, subgraph_where, time_transfer};
+use cpdg_graph::{generate, to_snapshots, NodeId, SyntheticConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: u32 = 14;
+
+fn arb_triples() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    proptest::collection::vec((0..N, 0..N, 0.0f64..1000.0), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adjacency_counts_match_event_incidences(triples in arb_triples()) {
+        let g = graph_from_triples(N as usize, &triples).unwrap();
+        for node in 0..N {
+            let adj = g.neighbors_all(node).len();
+            let incid = g
+                .events()
+                .iter()
+                .map(|e| usize::from(e.src == node) + usize::from(e.dst == node))
+                .sum::<usize>();
+            prop_assert_eq!(adj, incid, "node {}", node);
+        }
+    }
+
+    #[test]
+    fn neighbors_before_is_prefix_of_full_adjacency(
+        triples in arb_triples(),
+        t in 0.0f64..1000.0,
+    ) {
+        let g = graph_from_triples(N as usize, &triples).unwrap();
+        for node in 0..N {
+            let before = g.neighbors_before(node, t);
+            let all = g.neighbors_all(node);
+            prop_assert!(before.len() <= all.len());
+            prop_assert_eq!(before, &all[..before.len()], "prefix property");
+            prop_assert!(before.iter().all(|e| e.t < t));
+            prop_assert!(all[before.len()..].iter().all(|e| e.t >= t));
+        }
+    }
+
+    #[test]
+    fn time_transfer_partitions_events(triples in arb_triples(), frac in 0.1f64..0.9) {
+        let g = graph_from_triples(N as usize, &triples).unwrap();
+        prop_assume!(g.num_events() >= 4);
+        if let Ok(split) = time_transfer(&g, frac) {
+            prop_assert_eq!(
+                split.pretrain.num_events() + split.downstream.num_events(),
+                g.num_events()
+            );
+            let pre_max = split.pretrain.t_max().unwrap();
+            let down_min = split.downstream.t_min().unwrap();
+            prop_assert!(pre_max <= down_min);
+        }
+    }
+
+    #[test]
+    fn subgraph_preserves_event_payloads(triples in arb_triples()) {
+        let g = graph_from_triples(N as usize, &triples).unwrap();
+        // Keep events touching node 0 only.
+        if let Ok(sub) = subgraph_where(&g, |e| e.src == 0 || e.dst == 0) {
+            for e in sub.events() {
+                prop_assert!(e.src == 0 || e.dst == 0);
+                // The (src, dst, t) triple must exist in the parent.
+                prop_assert!(g
+                    .events()
+                    .iter()
+                    .any(|p| p.src == e.src && p.dst == e.dst && p.t == e.t));
+            }
+        }
+    }
+
+    #[test]
+    fn chrono_boundaries_monotone_and_complete(
+        triples in arb_triples(),
+        f1 in 0.1f64..0.5,
+        f2 in 0.1f64..0.4,
+    ) {
+        let g = graph_from_triples(N as usize, &triples).unwrap();
+        let b = chrono_boundaries(&g, &[f1, f2, 1.0 - f1 - f2]);
+        prop_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*b.last().unwrap(), g.num_events());
+    }
+
+    #[test]
+    fn dtdg_snapshots_partition_events(triples in arb_triples(), n in 1usize..8) {
+        let g = graph_from_triples(N as usize, &triples).unwrap();
+        let snaps = to_snapshots(&g, n);
+        let total: usize = snaps.iter().map(|s| s.event_count).sum();
+        prop_assert_eq!(total, g.num_events());
+        // Each snapshot's edges only involve nodes with events.
+        for s in &snaps {
+            for node in 0..N {
+                for &nb in s.neighbors(node) {
+                    prop_assert!(g.has_edge(node, nb));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_walks_are_temporally_valid(triples in arb_triples(), seed in 0u64..100) {
+        let g = graph_from_triples(N as usize, &triples).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = cpdg_graph::temporal_walk(&g, 0, 2000.0, 6, &mut rng);
+        prop_assert!(w.times.windows(2).all(|p| p[1] < p[0]));
+        prop_assert_eq!(w.nodes.len(), w.times.len() + 1);
+        // Every hop is a real edge.
+        for (i, &t) in w.times.iter().enumerate() {
+            let (a, b) = (w.nodes[i], w.nodes[i + 1]);
+            prop_assert!(g
+                .events()
+                .iter()
+                .any(|e| e.t == t
+                    && ((e.src == a && e.dst == b) || (e.src == b && e.dst == a))));
+        }
+    }
+}
+
+#[test]
+fn generator_field_structure_is_consistent_across_scales() {
+    for scale in [0.2f64, 0.5] {
+        let ds = generate(&SyntheticConfig::amazon_like(3).scaled(scale));
+        // Items of field f occupy a contiguous id block.
+        let per_field = ds.config.n_items_per_field;
+        for e in ds.graph.events() {
+            let local = e.dst as usize - ds.num_users;
+            assert_eq!(local / per_field, e.field as usize, "item block matches field tag");
+        }
+    }
+}
+
+#[test]
+fn generator_users_active_in_multiple_fields() {
+    // Field transfer only works if users span fields; check a busy user.
+    let ds = generate(&SyntheticConfig::amazon_like(4).scaled(0.4));
+    let mut field_count = vec![std::collections::HashSet::new(); ds.config.n_users];
+    for e in ds.graph.events() {
+        field_count[e.src as usize].insert(e.field);
+    }
+    let multi = field_count.iter().filter(|f| f.len() >= 2).count();
+    assert!(
+        multi > ds.config.n_users / 2,
+        "most users should appear in several fields; got {multi}/{}",
+        ds.config.n_users
+    );
+}
+
+#[test]
+fn recent_neighbors_agree_with_neighbors_before() {
+    let ds = generate(&SyntheticConfig::gowalla_like(5).scaled(0.2));
+    let g = &ds.graph;
+    let t = g.t_max().unwrap() * 0.8;
+    for node in g.active_nodes().into_iter().take(20) {
+        let before = g.neighbors_before(node, t);
+        let recent = g.recent_neighbors(node, t, 5);
+        assert!(recent.len() <= 5.min(before.len()));
+        // recent = the reversed tail of `before`.
+        for (i, e) in recent.iter().enumerate() {
+            assert_eq!(e, &before[before.len() - 1 - i]);
+        }
+    }
+    let _: Vec<NodeId> = vec![];
+}

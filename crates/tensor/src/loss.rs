@@ -1,0 +1,120 @@
+//! Loss functions used by CPDG pre-training.
+//!
+//! * Triplet margin loss with Euclidean distance — paper Eqs. (11) and (14).
+//! * Binary cross-entropy with logits — paper Eq. (16) (the fused op lives on
+//!   the tape; a convenience wrapper is re-exported here).
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+
+/// Triplet margin loss (paper Eqs. 11/14):
+///
+/// `mean_i max(‖a_i − p_i‖₂ − ‖a_i − n_i‖₂ + margin, 0)`
+///
+/// over corresponding rows of `anchor`, `positive`, `negative`
+/// (all `m × d`). Returns a `1×1` scalar variable.
+pub fn triplet_margin(
+    tape: &mut Tape,
+    anchor: Var,
+    positive: Var,
+    negative: Var,
+    margin: f32,
+) -> Var {
+    let d_pos = tape.euclidean_rows(anchor, positive);
+    let d_neg = tape.euclidean_rows(anchor, negative);
+    let diff = tape.sub(d_pos, d_neg);
+    let shifted = tape.add_scalar(diff, margin);
+    let hinged = tape.relu(shifted);
+    tape.mean_all(hinged)
+}
+
+/// Mean BCE-with-logits against constant targets. Thin wrapper over
+/// [`Tape::bce_with_logits`] so loss call-sites read uniformly.
+pub fn bce_with_logits(tape: &mut Tape, logits: Var, targets: Matrix) -> Var {
+    tape.bce_with_logits(logits, targets)
+}
+
+/// Link-prediction BCE over a batch of positive and negative logits
+/// (paper Eq. 16: positives labelled 1, sampled non-edges labelled 0).
+pub fn link_prediction_loss(tape: &mut Tape, pos_logits: Var, neg_logits: Var) -> Var {
+    let n_pos = tape.value(pos_logits).rows();
+    let n_neg = tape.value(neg_logits).rows();
+    assert_eq!(tape.value(pos_logits).cols(), 1, "pos logits must be m×1");
+    assert_eq!(tape.value(neg_logits).cols(), 1, "neg logits must be m×1");
+    let lp = tape.bce_with_logits(pos_logits, Matrix::ones(n_pos, 1));
+    let ln = tape.bce_with_logits(neg_logits, Matrix::zeros(n_neg, 1));
+    tape.add(lp, ln)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplet_zero_when_well_separated() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::from_rows(&[&[0.0, 0.0]]));
+        let p = tape.constant(Matrix::from_rows(&[&[0.1, 0.0]]));
+        let n = tape.constant(Matrix::from_rows(&[&[10.0, 0.0]]));
+        let loss = triplet_margin(&mut tape, a, p, n, 1.0);
+        assert!(tape.value(loss).get(0, 0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triplet_positive_when_violated() {
+        // d_pos = 2, d_neg = 1, margin = 0.5 → loss = 1.5.
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::from_rows(&[&[0.0]]));
+        let p = tape.constant(Matrix::from_rows(&[&[2.0]]));
+        let n = tape.constant(Matrix::from_rows(&[&[1.0]]));
+        let loss = triplet_margin(&mut tape, a, p, n, 0.5);
+        assert!((tape.value(loss).get(0, 0) - 1.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn triplet_averages_over_batch() {
+        // Row 0 violates by 1.0, row 1 satisfies → mean 0.5.
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::from_rows(&[&[0.0], &[0.0]]));
+        let p = tape.constant(Matrix::from_rows(&[&[1.0], &[0.0]]));
+        let n = tape.constant(Matrix::from_rows(&[&[0.0], &[5.0]]));
+        let loss = triplet_margin(&mut tape, a, p, n, 0.0);
+        assert!((tape.value(loss).get(0, 0) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn triplet_gradient_pulls_anchor_toward_positive() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::from_rows(&[&[0.0, 0.0]]));
+        let p = tape.constant(Matrix::from_rows(&[&[1.0, 0.0]]));
+        let n = tape.constant(Matrix::from_rows(&[&[-1.0, 0.0]]));
+        let loss = triplet_margin(&mut tape, a, p, n, 2.0);
+        let grads = tape.backward(loss);
+        let ga = grads.get(a).unwrap();
+        // Moving the anchor in +x (toward the positive, away from the
+        // negative) must decrease the loss → gradient x-component < 0.
+        assert!(ga.get(0, 0) < 0.0, "grad was {:?}", ga);
+    }
+
+    #[test]
+    fn link_prediction_loss_is_ln2_times_two_at_zero_logits() {
+        let mut tape = Tape::new();
+        let pos = tape.constant(Matrix::zeros(4, 1));
+        let neg = tape.constant(Matrix::zeros(4, 1));
+        let loss = link_prediction_loss(&mut tape, pos, neg);
+        let expect = 2.0 * std::f32::consts::LN_2;
+        assert!((tape.value(loss).get(0, 0) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn link_prediction_loss_decreases_with_correct_logits() {
+        let mut tape = Tape::new();
+        let pos_good = tape.constant(Matrix::full(4, 1, 5.0));
+        let neg_good = tape.constant(Matrix::full(4, 1, -5.0));
+        let good = link_prediction_loss(&mut tape, pos_good, neg_good);
+        let pos_bad = tape.constant(Matrix::full(4, 1, -5.0));
+        let neg_bad = tape.constant(Matrix::full(4, 1, 5.0));
+        let bad = link_prediction_loss(&mut tape, pos_bad, neg_bad);
+        assert!(tape.value(good).get(0, 0) < tape.value(bad).get(0, 0));
+    }
+}

@@ -1,0 +1,519 @@
+//! Dense row-major `f32` matrices.
+//!
+//! This is the storage layer underneath the autodiff tape: plain values with
+//! no gradient tracking. All shapes in the CPDG stack are 2-D (a vector is a
+//! `1×n` or `n×1` matrix), which keeps the op set small and fully testable.
+//!
+//! The matmul kernel uses the `i-k-j` loop order so the innermost loop walks
+//! both `b` and `out` contiguously — the single most important layout
+//! decision for a CPU-bound training stack.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows × cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// A `rows × cols` matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row slices (test convenience).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        assert!(r > 0, "Matrix::from_rows: need at least one row");
+        let c = rows[0].len();
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// A `1 × n` row vector.
+    pub fn row_vec(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Self::from_vec(1, n, data)
+    }
+
+    /// A `n × 1` column vector.
+    pub fn col_vec(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Self::from_vec(n, 1, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies row `r` into a fresh `1 × cols` matrix.
+    pub fn row_matrix(&self, r: usize) -> Matrix {
+        Matrix::from_vec(1, self.cols, self.row(r).to_vec())
+    }
+
+    /// Overwrites row `r` with the contents of `src` (a slice of `cols` values).
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols, "set_row: width mismatch");
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} · {}x{} has mismatched inner dims",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        // i-k-j ordering: the inner loop is a contiguous axpy over `rhs` rows
+        // and the output row, which vectorises well.
+        for i in 0..m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a fresh matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place elementwise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combine with another matrix of the same shape.
+    pub fn zip(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "zip: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += rhs` elementwise.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self -= rhs` elementwise.
+    pub fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "sub_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// `self *= s` elementwise.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty matrices).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Column-wise mean, producing a `1 × cols` row vector.
+    pub fn mean_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        if self.rows == 0 {
+            return out;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        let inv = 1.0 / self.rows as f32;
+        out.scale_inplace(inv);
+        out
+    }
+
+    /// Column-wise maximum, producing a `1 × cols` row vector. Empty
+    /// matrices yield zeros (mirrors [`Matrix::mean_rows`]).
+    pub fn max_rows(&self) -> Matrix {
+        if self.rows == 0 {
+            return Matrix::zeros(1, self.cols);
+        }
+        let mut out = Matrix::from_vec(1, self.cols, self.row(0).to_vec());
+        for r in 1..self.rows {
+            for c in 0..self.cols {
+                if self.data[r * self.cols + c] > out.data[c] {
+                    out.data[c] = self.data[r * self.cols + c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Vertically stacks `mats` (all must share `cols`).
+    pub fn vstack(mats: &[&Matrix]) -> Matrix {
+        assert!(!mats.is_empty(), "vstack: empty input");
+        let cols = mats[0].cols;
+        let rows: usize = mats.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            assert_eq!(m.cols, cols, "vstack: column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Horizontally concatenates two matrices with the same number of rows.
+    pub fn hcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "hcat: row mismatch");
+        let cols = self.cols + rhs.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(rhs.row(r));
+        }
+        Matrix { rows: self.rows, cols, data }
+    }
+
+    /// Gathers the listed rows into a fresh matrix (rows may repeat).
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            assert!(i < self.rows, "gather_rows: row {} out of {}", i, self.rows);
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute difference against another matrix of the same shape.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f32 {
+        assert_eq!(self.shape(), rhs.shape(), "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        assert!(m.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_bad_shape_panics() {
+        Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_hand_checked() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let id = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn matmul_rect_shapes() {
+        let a = Matrix::ones(3, 5);
+        let b = Matrix::ones(5, 2);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (3, 2));
+        assert!(c.data().iter().all(|&x| (x - 5.0).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched inner dims")]
+    fn matmul_bad_dims_panics() {
+        Matrix::ones(2, 3).matmul(&Matrix::ones(2, 3));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn mean_rows_is_column_mean() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 6.0]]);
+        let m = a.mean_rows();
+        assert_eq!(m, Matrix::row_vec(vec![2.0, 4.0]));
+    }
+
+    #[test]
+    fn max_rows_is_column_max() {
+        let a = Matrix::from_rows(&[&[1.0, 9.0], &[5.0, 2.0]]);
+        assert_eq!(a.max_rows(), Matrix::row_vec(vec![5.0, 9.0]));
+        assert_eq!(Matrix::zeros(0, 2).max_rows(), Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn mean_rows_empty_is_zero() {
+        let a = Matrix::zeros(0, 3);
+        assert_eq!(a.mean_rows(), Matrix::zeros(1, 3));
+    }
+
+    #[test]
+    fn hcat_widths_add() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = a.hcat(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[1.0, 3.0, 4.0], &[2.0, 5.0, 6.0]]));
+    }
+
+    #[test]
+    fn vstack_heights_add() {
+        let a = Matrix::row_vec(vec![1.0, 2.0]);
+        let b = Matrix::row_vec(vec![3.0, 4.0]);
+        let c = Matrix::vstack(&[&a, &b]);
+        assert_eq!(c, Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+    }
+
+    #[test]
+    fn gather_rows_with_repeats() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g, Matrix::from_rows(&[&[3.0, 3.0], &[1.0, 1.0], &[3.0, 3.0]]));
+    }
+
+    #[test]
+    fn sums_and_norms() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.sum(), 7.0);
+        assert_eq!(a.mean(), 3.5);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Matrix::row_vec(vec![1.0, -2.0]);
+        assert_eq!(a.map(f32::abs), Matrix::row_vec(vec![1.0, 2.0]));
+        let b = Matrix::row_vec(vec![10.0, 20.0]);
+        assert_eq!(a.zip(&b, |x, y| x + y), Matrix::row_vec(vec![11.0, 18.0]));
+    }
+
+    #[test]
+    fn add_sub_assign() {
+        let mut a = Matrix::row_vec(vec![1.0, 2.0]);
+        a.add_assign(&Matrix::row_vec(vec![3.0, 4.0]));
+        assert_eq!(a, Matrix::row_vec(vec![4.0, 6.0]));
+        a.sub_assign(&Matrix::row_vec(vec![1.0, 1.0]));
+        assert_eq!(a, Matrix::row_vec(vec![3.0, 5.0]));
+    }
+
+    #[test]
+    fn set_row_overwrites() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set_row(1, &[7.0, 8.0]);
+        assert_eq!(a.row(0), &[0.0, 0.0]);
+        assert_eq!(a.row(1), &[7.0, 8.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut a = Matrix::ones(1, 2);
+        assert!(a.all_finite());
+        a.set(0, 0, f32::NAN);
+        assert!(!a.all_finite());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Matrix::from_rows(&[&[1.5, -2.5], &[0.0, 3.0]]);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

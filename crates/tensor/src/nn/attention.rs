@@ -1,0 +1,169 @@
+//! Scaled dot-product attention over a set of neighbour feature rows.
+//!
+//! This single primitive serves three roles in the CPDG stack:
+//! * the TGN temporal-attention embedding `f(·)` (paper Eq. 1, Table III);
+//! * the DyRep attention message function `Msg(·)` (Table III);
+//! * the EIE-attn checkpoint fusion `f_EI(·)` (Eq. 18).
+//!
+//! Neighbour sets in dynamic graphs are small and ragged, so the forward
+//! operates per centre node (`1×d` query against `n×d` keys/values) and
+//! callers stack the resulting rows with [`Tape::stack_rows`].
+
+use crate::nn::linear::Linear;
+use crate::param::ParamStore;
+use crate::tape::{Tape, Var};
+use rand::Rng;
+
+/// Single-head attention with learned query/key/value/output projections.
+#[derive(Debug, Clone)]
+pub struct NeighborAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    attn_dim: usize,
+    out_dim: usize,
+}
+
+impl NeighborAttention {
+    /// Registers a new module under `name`.
+    ///
+    /// * `q_dim` — width of the query (centre node) features,
+    /// * `kv_dim` — width of each neighbour feature row,
+    /// * `attn_dim` — internal projection width,
+    /// * `out_dim` — output width.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut (impl Rng + ?Sized),
+        name: &str,
+        q_dim: usize,
+        kv_dim: usize,
+        attn_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        Self {
+            wq: Linear::new(store, rng, &format!("{name}.wq"), q_dim, attn_dim, false),
+            wk: Linear::new(store, rng, &format!("{name}.wk"), kv_dim, attn_dim, false),
+            wv: Linear::new(store, rng, &format!("{name}.wv"), kv_dim, attn_dim, false),
+            wo: Linear::new(store, rng, &format!("{name}.wo"), attn_dim, out_dim, true),
+            attn_dim,
+            out_dim,
+        }
+    }
+
+    /// Attends `query` (`1 × q_dim`) over `neighbors` (`n × kv_dim`, n ≥ 1),
+    /// returning `1 × out_dim`.
+    ///
+    /// Callers with possibly-empty neighbour sets should include the centre
+    /// node itself in the set (the TGN convention), which also gives
+    /// isolated nodes a well-defined embedding.
+    pub fn forward_one(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        query: Var,
+        neighbors: Var,
+    ) -> Var {
+        assert_eq!(tape.value(query).rows(), 1, "forward_one: query must be 1×q_dim");
+        assert!(
+            tape.value(neighbors).rows() >= 1,
+            "forward_one: need at least one neighbour row (include the centre node itself)"
+        );
+        let q = self.wq.forward(tape, store, query); // 1×a
+        let k = self.wk.forward(tape, store, neighbors); // n×a
+        let v = self.wv.forward(tape, store, neighbors); // n×a
+        let kt = tape.transpose(k); // a×n
+        let scores = tape.matmul(q, kt); // 1×n
+        let scaled = tape.scale(scores, 1.0 / (self.attn_dim as f32).sqrt());
+        let weights = tape.softmax_rows(scaled); // 1×n
+        let mixed = tape.matmul(weights, v); // 1×a
+        self.wo.forward(tape, store, mixed) // 1×out
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn module(seed: u64) -> (ParamStore, NeighborAttention) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let att = NeighborAttention::new(&mut store, &mut rng, "att", 4, 4, 8, 4);
+        (store, att)
+    }
+
+    #[test]
+    fn output_shape() {
+        let (store, att) = module(0);
+        let mut tape = Tape::new();
+        let q = tape.constant(Matrix::ones(1, 4));
+        let kv = tape.constant(Matrix::ones(5, 4));
+        let out = att.forward_one(&mut tape, &store, q, kv);
+        assert_eq!(tape.value(out).shape(), (1, 4));
+    }
+
+    #[test]
+    fn single_neighbor_equals_its_value_projection() {
+        // With one neighbour, softmax weight is exactly 1, so the output is
+        // wo(wv(neighbor)) regardless of the query.
+        let (store, att) = module(1);
+        let mut tape = Tape::new();
+        let q1 = tape.constant(Matrix::full(1, 4, 0.3));
+        let q2 = tape.constant(Matrix::full(1, 4, -2.0));
+        let kv = tape.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]));
+        let o1 = att.forward_one(&mut tape, &store, q1, kv);
+        let o2 = att.forward_one(&mut tape, &store, q2, kv);
+        assert!(tape.value(o1).max_abs_diff(tape.value(o2)) < 1e-6);
+    }
+
+    #[test]
+    fn permuting_neighbors_is_invariant() {
+        let (store, att) = module(2);
+        let mut tape = Tape::new();
+        let q = tape.constant(Matrix::from_rows(&[&[0.5, -0.5, 0.2, 0.9]]));
+        let kv_a = tape.constant(Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+        ]));
+        let kv_b = tape.constant(Matrix::from_rows(&[
+            &[0.0, 0.0, 1.0, 0.0],
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+        ]));
+        let oa = att.forward_one(&mut tape, &store, q, kv_a);
+        let ob = att.forward_one(&mut tape, &store, q, kv_b);
+        assert!(tape.value(oa).max_abs_diff(tape.value(ob)) < 1e-5);
+    }
+
+    #[test]
+    fn all_projections_trainable() {
+        let (store, att) = module(3);
+        let mut tape = Tape::new();
+        let q = tape.constant(Matrix::ones(1, 4));
+        let kv = tape.constant(Matrix::ones(3, 4));
+        let out = att.forward_one(&mut tape, &store, q, kv);
+        let loss = tape.mean_all(out);
+        let grads = tape.backward(loss);
+        // wq, wk, wv (no bias) + wo weight + wo bias = 5 tensors.
+        assert_eq!(tape.param_grads(&grads).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one neighbour")]
+    fn rejects_empty_neighbor_set() {
+        let (store, att) = module(4);
+        let mut tape = Tape::new();
+        let q = tape.constant(Matrix::ones(1, 4));
+        let kv = tape.constant(Matrix::zeros(0, 4));
+        att.forward_one(&mut tape, &store, q, kv);
+    }
+}

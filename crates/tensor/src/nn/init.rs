@@ -1,0 +1,58 @@
+//! Weight initialisation. The paper (§V-C) initialises all weight matrices
+//! with Xavier initialisation; memory states start at zero.
+
+use crate::matrix::Matrix;
+use rand::{Rng, RngExt};
+
+/// Xavier/Glorot uniform initialisation: `U(−a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))` for a `fan_in × fan_out` matrix.
+pub fn xavier_uniform(rng: &mut (impl Rng + ?Sized), fan_in: usize, fan_out: usize) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let mut m = Matrix::zeros(fan_in, fan_out);
+    for v in m.data_mut() {
+        *v = rng.random_range(-a..a);
+    }
+    m
+}
+
+/// Uniform initialisation in `(-bound, bound)`.
+pub fn uniform(rng: &mut (impl Rng + ?Sized), rows: usize, cols: usize, bound: f32) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = rng.random_range(-bound..bound);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(&mut rng, 64, 32);
+        let a = (6.0 / 96.0f32).sqrt();
+        assert_eq!(m.shape(), (64, 32));
+        assert!(m.data().iter().all(|&x| x.abs() <= a));
+        // Not all zero and roughly centred.
+        assert!(m.frobenius_norm() > 0.0);
+        assert!(m.mean().abs() < 0.05);
+    }
+
+    #[test]
+    fn xavier_is_seed_deterministic() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(3), 8, 8);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(3), 8, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = uniform(&mut rng, 10, 10, 0.1);
+        assert!(m.data().iter().all(|&x| x.abs() <= 0.1));
+    }
+}

@@ -1,0 +1,130 @@
+//! Affine layer `y = x·W + b`.
+
+use crate::nn::init::xavier_uniform;
+use crate::param::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use crate::Matrix;
+use rand::Rng;
+
+/// A fully-connected layer. Weights live in a [`ParamStore`]; the struct
+/// itself only holds handles, so it is `Copy`-cheap to clone and share.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new `in_dim → out_dim` layer under `name` (parameters are
+    /// `{name}.weight` / `{name}.bias`).
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut (impl Rng + ?Sized),
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let weight = store.register(format!("{name}.weight"), xavier_uniform(rng, in_dim, out_dim));
+        let bias = bias.then(|| store.register(format!("{name}.bias"), Matrix::zeros(1, out_dim)));
+        Self { weight, bias, in_dim, out_dim }
+    }
+
+    /// Applies the layer to `x` (`m × in_dim`), producing `m × out_dim`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        assert_eq!(
+            tape.value(x).cols(),
+            self.in_dim,
+            "Linear::forward: expected input width {}, got {}",
+            self.in_dim,
+            tape.value(x).cols()
+        );
+        let w = tape.param(store, self.weight);
+        let y = tape.matmul(x, w);
+        match self.bias {
+            Some(b) => {
+                let bv = tape.param(store, b);
+                tape.add_broadcast_row(y, bv)
+            }
+            None => y,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The weight parameter handle.
+    pub fn weight_id(&self) -> ParamId {
+        self.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(&mut store, &mut rng, "l", 3, 2, true);
+        // Overwrite with known values.
+        *store.value_mut(layer.weight) = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let b = store.lookup("l.bias").unwrap();
+        *store.value_mut(b) = Matrix::row_vec(vec![10.0, 20.0]);
+
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let y = layer.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y), &Matrix::from_rows(&[&[14.0, 25.0]]));
+    }
+
+    #[test]
+    fn no_bias_variant() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(&mut store, &mut rng, "nb", 2, 2, false);
+        assert!(store.lookup("nb.bias").is_none());
+        assert_eq!(store.len(), 1);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::ones(4, 2));
+        let y = layer.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (4, 2));
+    }
+
+    #[test]
+    fn gradient_flows_to_weight_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(&mut store, &mut rng, "g", 2, 2, true);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::ones(3, 2));
+        let y = layer.forward(&mut tape, &store, x);
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss);
+        let pg = tape.param_grads(&grads);
+        assert_eq!(pg.len(), 2, "both weight and bias receive gradient");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected input width")]
+    fn rejects_wrong_width() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(&mut store, &mut rng, "w", 3, 2, true);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::ones(1, 4));
+        layer.forward(&mut tape, &store, x);
+    }
+}

@@ -1,0 +1,181 @@
+//! LSTM cell — the third `Mem(·)` memory-updater option the paper lists
+//! (§III-B: "a time series function, such as RNN, LSTM and GRU").
+
+use crate::nn::init::xavier_uniform;
+use crate::param::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use crate::Matrix;
+use rand::Rng;
+
+/// One LSTM cell. Given input `x (m×in)`, hidden `h (m×d)`, cell `c (m×d)`:
+///
+/// ```text
+/// i  = σ(x·Wi + h·Ui + bi)      input gate
+/// f  = σ(x·Wf + h·Uf + bf)      forget gate
+/// o  = σ(x·Wo + h·Uo + bo)      output gate
+/// g  = tanh(x·Wg + h·Ug + bg)   candidate
+/// c' = f∘c + i∘g
+/// h' = o∘tanh(c')
+/// ```
+///
+/// The forget-gate bias is initialised to 1 (the standard trick that keeps
+/// early memories alive).
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    w: [ParamId; 4],
+    u: [ParamId; 4],
+    b: [ParamId; 4],
+    in_dim: usize,
+    hidden_dim: usize,
+}
+
+impl LstmCell {
+    /// Registers a new cell under `name`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut (impl Rng + ?Sized),
+        name: &str,
+        in_dim: usize,
+        hidden_dim: usize,
+    ) -> Self {
+        fn gate<R: Rng + ?Sized>(
+            store: &mut ParamStore,
+            rng: &mut R,
+            name: &str,
+            g: &str,
+            in_dim: usize,
+            hidden_dim: usize,
+            bias_init: f32,
+        ) -> (ParamId, ParamId, ParamId) {
+            (
+                store.register(format!("{name}.w_{g}"), xavier_uniform(rng, in_dim, hidden_dim)),
+                store.register(format!("{name}.u_{g}"), xavier_uniform(rng, hidden_dim, hidden_dim)),
+                store.register(format!("{name}.b_{g}"), Matrix::full(1, hidden_dim, bias_init)),
+            )
+        }
+        let (wi, ui, bi) = gate(store, rng, name, "i", in_dim, hidden_dim, 0.0);
+        let (wf, uf, bf) = gate(store, rng, name, "f", in_dim, hidden_dim, 1.0);
+        let (wo, uo, bo) = gate(store, rng, name, "o", in_dim, hidden_dim, 0.0);
+        let (wg, ug, bg) = gate(store, rng, name, "g", in_dim, hidden_dim, 0.0);
+        Self {
+            w: [wi, wf, wo, wg],
+            u: [ui, uf, uo, ug],
+            b: [bi, bf, bo, bg],
+            in_dim,
+            hidden_dim,
+        }
+    }
+
+    /// One step: returns `(h', c')`, each `m × hidden_dim`.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        h: Var,
+        c: Var,
+    ) -> (Var, Var) {
+        assert_eq!(tape.value(x).cols(), self.in_dim, "LstmCell: input width mismatch");
+        assert_eq!(tape.value(h).cols(), self.hidden_dim, "LstmCell: hidden width mismatch");
+        assert_eq!(tape.value(c).cols(), self.hidden_dim, "LstmCell: cell width mismatch");
+
+        let pre = |tape: &mut Tape, i: usize| {
+            let w = tape.param(store, self.w[i]);
+            let u = tape.param(store, self.u[i]);
+            let b = tape.param(store, self.b[i]);
+            let xw = tape.matmul(x, w);
+            let hu = tape.matmul(h, u);
+            let s = tape.add(xw, hu);
+            tape.add_broadcast_row(s, b)
+        };
+        let i_pre = pre(tape, 0);
+        let i = tape.sigmoid(i_pre);
+        let f_pre = pre(tape, 1);
+        let f = tape.sigmoid(f_pre);
+        let o_pre = pre(tape, 2);
+        let o = tape.sigmoid(o_pre);
+        let g_pre = pre(tape, 3);
+        let g = tape.tanh(g_pre);
+
+        let fc = tape.mul(f, c);
+        let ig = tape.mul(i, g);
+        let c_new = tape.add(fc, ig);
+        let tc = tape.tanh(c_new);
+        let h_new = tape.mul(o, tc);
+        (h_new, c_new)
+    }
+
+    /// Hidden width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cell(seed: u64) -> (ParamStore, LstmCell) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = LstmCell::new(&mut store, &mut rng, "lstm", 3, 4);
+        (store, c)
+    }
+
+    #[test]
+    fn shapes_and_bounds() {
+        let (store, cell) = cell(0);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::full(2, 3, 5.0));
+        let h = tape.constant(Matrix::zeros(2, 4));
+        let c = tape.constant(Matrix::zeros(2, 4));
+        let (h2, c2) = cell.forward(&mut tape, &store, x, h, c);
+        assert_eq!(tape.value(h2).shape(), (2, 4));
+        assert_eq!(tape.value(c2).shape(), (2, 4));
+        // |h| ≤ 1 always (o·tanh(c')); from zero cell state |c'| ≤ 1 too.
+        assert!(tape.value(h2).data().iter().all(|&v| v.abs() <= 1.0));
+        assert!(tape.value(c2).data().iter().all(|&v| v.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let (store, _) = cell(1);
+        let bf = store.lookup("lstm.b_f").unwrap();
+        assert!(store.value(bf).data().iter().all(|&v| v == 1.0));
+        let bi = store.lookup("lstm.b_i").unwrap();
+        assert!(store.value(bi).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn twelve_tensors_receive_gradient() {
+        let (store, cell) = cell(2);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::ones(2, 3));
+        let h = tape.constant(Matrix::full(2, 4, 0.2));
+        let c = tape.constant(Matrix::full(2, 4, -0.1));
+        let (h2, _) = cell.forward(&mut tape, &store, x, h, c);
+        let loss = tape.mean_all(h2);
+        let grads = tape.backward(loss);
+        assert_eq!(tape.param_grads(&grads).len(), 12, "4 gates × (W,U,b)");
+    }
+
+    #[test]
+    fn cell_state_carries_information() {
+        let (store, cell) = cell(3);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(1, 3));
+        let h = tape.constant(Matrix::zeros(1, 4));
+        let c_a = tape.constant(Matrix::full(1, 4, 0.9));
+        let c_b = tape.constant(Matrix::full(1, 4, -0.9));
+        let (ha, _) = cell.forward(&mut tape, &store, x, h, c_a);
+        let (hb, _) = cell.forward(&mut tape, &store, x, h, c_b);
+        assert!(tape.value(ha).max_abs_diff(tape.value(hb)) > 1e-4);
+    }
+}

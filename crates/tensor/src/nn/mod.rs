@@ -1,0 +1,20 @@
+//! Neural-network building blocks on top of the autodiff tape.
+
+pub mod attention;
+pub mod gru;
+pub mod init;
+pub mod linear;
+pub mod lstm;
+pub mod mlp;
+pub mod norm;
+pub mod rnn;
+pub mod time;
+
+pub use attention::NeighborAttention;
+pub use gru::GruCell;
+pub use linear::Linear;
+pub use lstm::LstmCell;
+pub use mlp::{Activation, Mlp};
+pub use norm::LayerNorm;
+pub use rnn::RnnCell;
+pub use time::TimeEncoder;

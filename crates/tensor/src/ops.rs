@@ -1,0 +1,401 @@
+//! Differentiable operations: the op set recorded on the tape and the
+//! backward (vector-Jacobian product) rule for each.
+//!
+//! Forward evaluation lives in [`crate::tape::Tape`]'s constructor methods;
+//! this module owns the op metadata and the reverse pass. The split keeps the
+//! backward rules — the part most likely to harbour silent bugs — in one
+//! place where the finite-difference tests in `tests` can cover them
+//! exhaustively.
+
+use crate::matrix::Matrix;
+use crate::tape::Var;
+
+/// Guard against division blow-ups in `sqrt` backward.
+const SQRT_EPS: f32 = 1e-12;
+/// Clamp floor for `ln` inputs.
+pub(crate) const LN_EPS: f32 = 1e-12;
+
+/// One recorded operation. Variants hold the parent [`Var`]s plus any
+/// non-differentiable payload (indices, constants, targets).
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Input: a constant or a mounted parameter. No parents.
+    Leaf,
+    /// `a · b`.
+    MatMul(Var, Var),
+    /// `a + b`, same shape.
+    Add(Var, Var),
+    /// `a[m,n] + b[1,n]` with `b` broadcast over rows.
+    AddBroadcastRow(Var, Var),
+    /// `a - b`, same shape.
+    Sub(Var, Var),
+    /// `a ∘ b` elementwise.
+    Mul(Var, Var),
+    /// `s · a`.
+    Scale(Var, f32),
+    /// `a + s` elementwise (the scalar is kept for Debug output).
+    AddScalar(Var, #[allow(dead_code)] f32),
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// Elementwise cosine (time encodings).
+    Cos(Var),
+    /// Elementwise square root.
+    Sqrt(Var),
+    /// Row-wise softmax.
+    SoftmaxRows(Var),
+    /// `[a ‖ b]` column concatenation.
+    ConcatCols(Var, Var),
+    /// Row gather (indices may repeat); backward is scatter-add.
+    GatherRows(Var, Vec<usize>),
+    /// Stack `1×n` rows into an `m×n` matrix.
+    StackRows(Vec<Var>),
+    /// Column-wise mean producing `1×n`.
+    MeanRows(Var),
+    /// Mean of all elements producing `1×1`.
+    MeanAll(Var),
+    /// Sum of all elements producing `1×1`.
+    SumAll(Var),
+    /// Row-wise squared Euclidean distance producing `m×1`.
+    SqDistRows(Var, Var),
+    /// Matrix transpose.
+    Transpose(Var),
+    /// Elementwise natural exponential.
+    Exp(Var),
+    /// Elementwise natural logarithm (inputs clamped at `LN_EPS`).
+    Ln(Var),
+    /// Column-wise maximum producing `1×n`; backward routes to the argmax
+    /// row of each column (first occurrence on ties).
+    MaxRows(Var),
+    /// `a[m,n] ∘ b[1,n]` with `b` broadcast over rows.
+    MulBroadcastRow(Var, Var),
+    /// Row-wise standardisation `(x − μ_row) / sqrt(σ²_row + eps)`.
+    NormalizeRows(Var, f32),
+    /// Mean binary cross-entropy with logits against constant targets.
+    BceWithLogits { logits: Var, targets: Matrix },
+}
+
+/// Accumulates `delta` into the gradient slot for `var`, allocating on first
+/// touch. `shape` must be the value shape of `var`.
+fn acc(grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
+    match &mut grads[var.index()] {
+        Some(g) => g.add_assign(&delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+impl Op {
+    /// Propagates `out_grad` (gradient of the loss w.r.t. this node's value)
+    /// into the parents' gradient slots.
+    pub(crate) fn backward(
+        &self,
+        values: &[Matrix],
+        out_value: &Matrix,
+        out_grad: &Matrix,
+        grads: &mut [Option<Matrix>],
+    ) {
+        match self {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let va = &values[a.index()];
+                let vb = &values[b.index()];
+                acc(grads, *a, out_grad.matmul(&vb.transpose()));
+                acc(grads, *b, va.transpose().matmul(out_grad));
+            }
+            Op::Add(a, b) => {
+                acc(grads, *a, out_grad.clone());
+                acc(grads, *b, out_grad.clone());
+            }
+            Op::AddBroadcastRow(a, b) => {
+                acc(grads, *a, out_grad.clone());
+                // db = column sums of out_grad, shaped 1×n.
+                let mut db = Matrix::zeros(1, out_grad.cols());
+                for r in 0..out_grad.rows() {
+                    for c in 0..out_grad.cols() {
+                        db.data_mut()[c] += out_grad.get(r, c);
+                    }
+                }
+                acc(grads, *b, db);
+            }
+            Op::Sub(a, b) => {
+                acc(grads, *a, out_grad.clone());
+                acc(grads, *b, out_grad.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                let va = &values[a.index()];
+                let vb = &values[b.index()];
+                acc(grads, *a, out_grad.zip(vb, |g, y| g * y));
+                acc(grads, *b, out_grad.zip(va, |g, x| g * x));
+            }
+            Op::Scale(a, s) => {
+                let s = *s;
+                acc(grads, *a, out_grad.map(|g| g * s));
+            }
+            Op::AddScalar(a, _) => {
+                acc(grads, *a, out_grad.clone());
+            }
+            Op::Sigmoid(a) => {
+                acc(grads, *a, out_grad.zip(out_value, |g, y| g * y * (1.0 - y)));
+            }
+            Op::Tanh(a) => {
+                acc(grads, *a, out_grad.zip(out_value, |g, y| g * (1.0 - y * y)));
+            }
+            Op::Relu(a) => {
+                let va = &values[a.index()];
+                acc(grads, *a, out_grad.zip(va, |g, x| if x > 0.0 { g } else { 0.0 }));
+            }
+            Op::Cos(a) => {
+                let va = &values[a.index()];
+                acc(grads, *a, out_grad.zip(va, |g, x| -g * x.sin()));
+            }
+            Op::Sqrt(a) => {
+                acc(grads, *a, out_grad.zip(out_value, |g, y| g * 0.5 / y.max(SQRT_EPS)));
+            }
+            Op::SoftmaxRows(a) => {
+                // Per row: da = y ∘ (g - ⟨g, y⟩).
+                let mut da = Matrix::zeros(out_value.rows(), out_value.cols());
+                for r in 0..out_value.rows() {
+                    let y = out_value.row(r);
+                    let g = out_grad.row(r);
+                    let dot: f32 = y.iter().zip(g.iter()).map(|(&yi, &gi)| yi * gi).sum();
+                    let dst = da.row_mut(r);
+                    for c in 0..y.len() {
+                        dst[c] = y[c] * (g[c] - dot);
+                    }
+                }
+                acc(grads, *a, da);
+            }
+            Op::ConcatCols(a, b) => {
+                let ca = values[a.index()].cols();
+                let cb = values[b.index()].cols();
+                let rows = out_grad.rows();
+                let mut da = Matrix::zeros(rows, ca);
+                let mut db = Matrix::zeros(rows, cb);
+                for r in 0..rows {
+                    let g = out_grad.row(r);
+                    da.row_mut(r).copy_from_slice(&g[..ca]);
+                    db.row_mut(r).copy_from_slice(&g[ca..]);
+                }
+                acc(grads, *a, da);
+                acc(grads, *b, db);
+            }
+            Op::GatherRows(a, indices) => {
+                let va = &values[a.index()];
+                let mut da = Matrix::zeros(va.rows(), va.cols());
+                for (out_r, &src_r) in indices.iter().enumerate() {
+                    let g = out_grad.row(out_r);
+                    let dst = da.row_mut(src_r);
+                    for c in 0..g.len() {
+                        dst[c] += g[c];
+                    }
+                }
+                acc(grads, *a, da);
+            }
+            Op::StackRows(parts) => {
+                for (r, part) in parts.iter().enumerate() {
+                    acc(grads, *part, Matrix::from_vec(1, out_grad.cols(), out_grad.row(r).to_vec()));
+                }
+            }
+            Op::MeanRows(a) => {
+                let va = &values[a.index()];
+                let m = va.rows().max(1) as f32;
+                let mut da = Matrix::zeros(va.rows(), va.cols());
+                for r in 0..va.rows() {
+                    let dst = da.row_mut(r);
+                    for c in 0..va.cols() {
+                        dst[c] = out_grad.get(0, c) / m;
+                    }
+                }
+                acc(grads, *a, da);
+            }
+            Op::MeanAll(a) => {
+                let va = &values[a.index()];
+                let n = va.len().max(1) as f32;
+                let g = out_grad.get(0, 0) / n;
+                acc(grads, *a, Matrix::full(va.rows(), va.cols(), g));
+            }
+            Op::SumAll(a) => {
+                let va = &values[a.index()];
+                let g = out_grad.get(0, 0);
+                acc(grads, *a, Matrix::full(va.rows(), va.cols(), g));
+            }
+            Op::SqDistRows(a, b) => {
+                let va = &values[a.index()];
+                let vb = &values[b.index()];
+                let mut da = Matrix::zeros(va.rows(), va.cols());
+                let mut db = Matrix::zeros(vb.rows(), vb.cols());
+                for r in 0..va.rows() {
+                    let g = out_grad.get(r, 0);
+                    let ra = va.row(r);
+                    let rb = vb.row(r);
+                    let dra = da.row_mut(r);
+                    for c in 0..ra.len() {
+                        dra[c] = 2.0 * g * (ra[c] - rb[c]);
+                    }
+                    let drb = db.row_mut(r);
+                    for c in 0..ra.len() {
+                        drb[c] = -2.0 * g * (ra[c] - rb[c]);
+                    }
+                }
+                acc(grads, *a, da);
+                acc(grads, *b, db);
+            }
+            Op::Transpose(a) => {
+                acc(grads, *a, out_grad.transpose());
+            }
+            Op::Exp(a) => {
+                acc(grads, *a, out_grad.zip(out_value, |g, y| g * y));
+            }
+            Op::Ln(a) => {
+                let va = &values[a.index()];
+                acc(grads, *a, out_grad.zip(va, |g, x| g / x.max(LN_EPS)));
+            }
+            Op::MaxRows(a) => {
+                let va = &values[a.index()];
+                let mut da = Matrix::zeros(va.rows(), va.cols());
+                for c in 0..va.cols() {
+                    let mut best_r = 0;
+                    for r in 1..va.rows() {
+                        if va.get(r, c) > va.get(best_r, c) {
+                            best_r = r;
+                        }
+                    }
+                    da.set(best_r, c, out_grad.get(0, c));
+                }
+                acc(grads, *a, da);
+            }
+            Op::MulBroadcastRow(a, b) => {
+                let va = &values[a.index()];
+                let vb = &values[b.index()];
+                // da = g ∘ b broadcast over rows.
+                let mut da = Matrix::zeros(va.rows(), va.cols());
+                let mut db = Matrix::zeros(1, vb.cols());
+                for r in 0..va.rows() {
+                    for c in 0..va.cols() {
+                        let g = out_grad.get(r, c);
+                        da.set(r, c, g * vb.get(0, c));
+                        db.data_mut()[c] += g * va.get(r, c);
+                    }
+                }
+                acc(grads, *a, da);
+                acc(grads, *b, db);
+            }
+            Op::NormalizeRows(a, eps) => {
+                // With y = (x − μ)/σ per row:
+                // dx = (1/σ)·(g − mean(g) − y·mean(g ∘ y)).
+                let va = &values[a.index()];
+                let n = va.cols().max(1) as f32;
+                let mut da = Matrix::zeros(va.rows(), va.cols());
+                for r in 0..va.rows() {
+                    let x = va.row(r);
+                    let y = out_value.row(r);
+                    let g = out_grad.row(r);
+                    let mu: f32 = x.iter().sum::<f32>() / n;
+                    let var: f32 = x.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / n;
+                    let sigma = (var + eps).sqrt();
+                    let g_mean: f32 = g.iter().sum::<f32>() / n;
+                    let gy_mean: f32 =
+                        g.iter().zip(y.iter()).map(|(&gi, &yi)| gi * yi).sum::<f32>() / n;
+                    let dst = da.row_mut(r);
+                    for c in 0..x.len() {
+                        dst[c] = (g[c] - g_mean - y[c] * gy_mean) / sigma;
+                    }
+                }
+                acc(grads, *a, da);
+            }
+            Op::BceWithLogits { logits, targets } => {
+                let x = &values[logits.index()];
+                let n = x.len().max(1) as f32;
+                let g = out_grad.get(0, 0) / n;
+                // d/dx mean BCE = (σ(x) - y) / n.
+                let dx = x.zip(targets, |xi, yi| g * (sigmoid(xi) - yi));
+                acc(grads, *logits, dx);
+            }
+        }
+    }
+
+    /// Parent variables of this op (used for liveness / debugging).
+    #[allow(dead_code)]
+    pub(crate) fn parents(&self) -> Vec<Var> {
+        match self {
+            Op::Leaf => vec![],
+            Op::MatMul(a, b)
+            | Op::Add(a, b)
+            | Op::AddBroadcastRow(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::ConcatCols(a, b)
+            | Op::MulBroadcastRow(a, b)
+            | Op::SqDistRows(a, b) => vec![*a, *b],
+            Op::Scale(a, _)
+            | Op::AddScalar(a, _)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::Relu(a)
+            | Op::Cos(a)
+            | Op::Sqrt(a)
+            | Op::SoftmaxRows(a)
+            | Op::GatherRows(a, _)
+            | Op::MeanRows(a)
+            | Op::MeanAll(a)
+            | Op::SumAll(a)
+            | Op::Transpose(a)
+            | Op::Exp(a)
+            | Op::Ln(a)
+            | Op::MaxRows(a)
+            | Op::NormalizeRows(a, _) => vec![*a],
+            Op::StackRows(parts) => parts.clone(),
+            Op::BceWithLogits { logits, .. } => vec![*logits],
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable `log(1 + e^x)`.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        for &x in &[-50.0, -3.0, -0.5, 0.5, 3.0, 50.0] {
+            let s = sigmoid(x);
+            assert!(s.is_finite() && (0.0..=1.0).contains(&s), "sigmoid({x}) = {s}");
+            assert!((sigmoid(-x) - (1.0 - s)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softplus_matches_naive_in_safe_range() {
+        for &x in &[-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            let naive = (1.0 + x.exp()).ln();
+            assert!((softplus(x) - naive).abs() < 1e-5);
+        }
+        // And stays finite where the naive form overflows.
+        assert!(softplus(200.0).is_finite());
+        assert!((softplus(200.0) - 200.0).abs() < 1e-3);
+    }
+}

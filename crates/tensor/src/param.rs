@@ -1,0 +1,236 @@
+//! Named trainable-parameter registry.
+//!
+//! Modules (`Linear`, `GruCell`, …) allocate their weights here and keep only
+//! the returned [`ParamId`]s. A forward pass *mounts* parameters onto a
+//! [`crate::tape::Tape`]; after `backward`, the optimiser harvests gradients
+//! by id. Keeping values outside the tape means a tape is cheap to build and
+//! throw away every mini-batch while parameters persist.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Opaque handle to one trainable parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index (stable for the lifetime of the store).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ParamEntry {
+    name: String,
+    value: Matrix,
+}
+
+/// Registry of named trainable parameters.
+///
+/// Serialisation is canonical: only the entry list (in registration order)
+/// is written; the name index is rebuilt on load. This keeps saved model
+/// files byte-stable across runs (a `HashMap` would serialise in random
+/// order).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "ParamStoreSerde", into = "ParamStoreSerde")]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+    by_name: HashMap<String, ParamId>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ParamStoreSerde {
+    entries: Vec<ParamEntry>,
+}
+
+impl From<ParamStoreSerde> for ParamStore {
+    fn from(s: ParamStoreSerde) -> Self {
+        let by_name = s
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.name.clone(), ParamId(i)))
+            .collect();
+        Self { entries: s.entries, by_name }
+    }
+}
+
+impl From<ParamStore> for ParamStoreSerde {
+    fn from(s: ParamStore) -> Self {
+        Self { entries: s.entries }
+    }
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new parameter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered — parameter names double as
+    /// serialisation keys and must be unique.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "ParamStore::register: duplicate parameter name {name:?}"
+        );
+        let id = ParamId(self.entries.len());
+        self.by_name.insert(name.clone(), id);
+        self.entries.push(ParamEntry { name, value });
+        id
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable value (used by optimisers and loaders).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.entries[id.0].value
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Looks a parameter up by name.
+    pub fn lookup(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Total scalar parameter count (the "number of parameters" of a model).
+    pub fn scalar_count(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    /// Serialises all parameters to JSON (name → matrix).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self).expect("ParamStore serialisation cannot fail")
+    }
+
+    /// Restores a store from [`ParamStore::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Copies values from `other` for every parameter whose name exists in
+    /// both stores, returning how many were copied. Shapes must match for
+    /// copied names. This is the "initialise downstream model from
+    /// pre-trained weights" primitive used by fine-tuning.
+    pub fn load_matching(&mut self, other: &ParamStore) -> usize {
+        let mut copied = 0;
+        for entry in &mut self.entries {
+            if let Some(src_id) = other.by_name.get(&entry.name) {
+                let src = &other.entries[src_id.0].value;
+                assert_eq!(
+                    entry.value.shape(),
+                    src.shape(),
+                    "load_matching: shape mismatch for {:?}",
+                    entry.name
+                );
+                entry.value = src.clone();
+                copied += 1;
+            }
+        }
+        copied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::ones(2, 3));
+        assert_eq!(store.lookup("w"), Some(id));
+        assert_eq!(store.lookup("nope"), None);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.value(id).shape(), (2, 3));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.scalar_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut store = ParamStore::new();
+        store.register("w", Matrix::ones(1, 1));
+        store.register("w", Matrix::ones(1, 1));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut store = ParamStore::new();
+        store.register("a", Matrix::from_rows(&[&[1.0, 2.0]]));
+        store.register("b", Matrix::from_rows(&[&[3.0], &[4.0]]));
+        let json = store.to_json();
+        let back = ParamStore::from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        let a = back.lookup("a").unwrap();
+        assert_eq!(back.value(a), &Matrix::from_rows(&[&[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn load_matching_copies_by_name() {
+        let mut pretrained = ParamStore::new();
+        pretrained.register("enc.w", Matrix::full(1, 2, 7.0));
+        pretrained.register("head.w", Matrix::full(1, 1, 9.0));
+
+        let mut downstream = ParamStore::new();
+        let w = downstream.register("enc.w", Matrix::zeros(1, 2));
+        downstream.register("new_head.w", Matrix::zeros(1, 1));
+
+        let copied = downstream.load_matching(&pretrained);
+        assert_eq!(copied, 1);
+        assert_eq!(downstream.value(w), &Matrix::full(1, 2, 7.0));
+    }
+
+    #[test]
+    fn serialisation_is_canonical() {
+        let mut store = ParamStore::new();
+        for i in 0..20 {
+            store.register(format!("p{i}"), Matrix::full(1, 1, i as f32));
+        }
+        let a = store.to_json();
+        let b = store.clone().to_json();
+        assert_eq!(a, b, "same store must serialise identically");
+        // And a load→save round trip is byte-stable too.
+        let reloaded = ParamStore::from_json(&a).unwrap();
+        assert_eq!(reloaded.to_json(), a);
+        assert_eq!(reloaded.lookup("p7"), store.lookup("p7"));
+    }
+
+    #[test]
+    fn ids_iterate_in_registration_order() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::zeros(1, 1));
+        let b = store.register("b", Matrix::zeros(1, 1));
+        let ids: Vec<_> = store.ids().collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+}

@@ -1,0 +1,571 @@
+//! Arena-based reverse-mode autodiff tape.
+//!
+//! A [`Tape`] records one forward pass; variables are indices into the
+//! arena ([`Var`]), so tape construction is allocation-light and the reverse
+//! pass is a single backwards sweep over a `Vec` — no reference counting, no
+//! interior mutability. A fresh tape is built for every mini-batch and
+//! dropped afterwards; parameters persist in a [`ParamStore`] and are
+//! *mounted* onto the tape with [`Tape::param`].
+//!
+//! ```
+//! use cpdg_tensor::{Matrix, ParamStore, Tape};
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.register("w", Matrix::from_rows(&[&[0.5], &[-0.25]]));
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+//! let wv = tape.param(&store, w);
+//! let y = tape.matmul(x, wv);           // 1x1
+//! let loss = tape.mean_all(y);
+//! let grads = tape.backward(loss);
+//! assert!(grads.get(wv).is_some());
+//! ```
+
+use crate::matrix::Matrix;
+use crate::ops::{sigmoid, softplus, Op};
+use crate::param::{ParamId, ParamStore};
+use std::collections::HashMap;
+
+/// Handle to a value on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Gradients produced by [`Tape::backward`]. Indexed by [`Var`]; variables
+/// the loss does not depend on have no entry.
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. `var`, if the loss depends on it.
+    pub fn get(&self, var: Var) -> Option<&Matrix> {
+        self.grads.get(var.0).and_then(|g| g.as_ref())
+    }
+}
+
+/// One recorded forward pass.
+#[derive(Debug, Default)]
+pub struct Tape {
+    values: Vec<Matrix>,
+    ops: Vec<Op>,
+    /// ParamId → mounted Var, so mounting the same parameter twice reuses
+    /// one node and its gradient accumulates correctly.
+    mounts: HashMap<ParamId, Var>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Forward value of a variable.
+    pub fn value(&self, var: Var) -> &Matrix {
+        &self.values[var.0]
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        debug_assert!(value.all_finite() || !cfg!(debug_assertions), "non-finite forward value");
+        let var = Var(self.values.len());
+        self.values.push(value);
+        self.ops.push(op);
+        var
+    }
+
+    /// Records a constant (no gradient is propagated past it).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Mounts a trainable parameter. Mounting the same id twice returns the
+    /// same variable.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        if let Some(&var) = self.mounts.get(&id) {
+            return var;
+        }
+        let var = self.push(store.value(id).clone(), Op::Leaf);
+        self.mounts.insert(id, var);
+        var
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].matmul(&self.values[b.0]);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum (same shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x + y);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `a[m,n] + b[1,n]`, broadcasting `b` over rows (bias add).
+    pub fn add_broadcast_row(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(vb.rows(), 1, "add_broadcast_row: rhs must be 1×n");
+        assert_eq!(va.cols(), vb.cols(), "add_broadcast_row: width mismatch");
+        let mut v = va.clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            for (x, &y) in row.iter_mut().zip(vb.row(0).iter()) {
+                *x += y;
+            }
+        }
+        self.push(v, Op::AddBroadcastRow(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x - y);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x * y);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.values[a.0].map(|x| x * s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Elementwise scalar addition.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.values[a.0].map(|x| x + s);
+        self.push(v, Op::AddScalar(a, s))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].map(sigmoid);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Elementwise cosine.
+    pub fn cos(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].map(f32::cos);
+        self.push(v, Op::Cos(a))
+    }
+
+    /// Elementwise square root (inputs are clamped at zero).
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].map(|x| x.max(0.0).sqrt());
+        self.push(v, Op::Sqrt(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let va = &self.values[a.0];
+        let mut v = va.clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            if sum > 0.0 {
+                for x in row.iter_mut() {
+                    *x /= sum;
+                }
+            }
+        }
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// `[a ‖ b]` column concatenation (same row counts).
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].hcat(&self.values[b.0]);
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Gathers rows of `a` by index (indices may repeat).
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let v = self.values[a.0].gather_rows(indices);
+        self.push(v, Op::GatherRows(a, indices.to_vec()))
+    }
+
+    /// Stacks `1×n` row vectors into an `m×n` matrix.
+    pub fn stack_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "stack_rows: empty input");
+        let rows: Vec<&Matrix> = parts.iter().map(|p| &self.values[p.0]).collect();
+        for r in &rows {
+            assert_eq!(r.rows(), 1, "stack_rows: every part must be 1×n");
+        }
+        let v = Matrix::vstack(&rows);
+        self.push(v, Op::StackRows(parts.to_vec()))
+    }
+
+    /// Column-wise mean producing a `1×n` row vector.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].mean_rows();
+        self.push(v, Op::MeanRows(a))
+    }
+
+    /// Mean of all elements (`1×1`).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let m = self.values[a.0].mean();
+        self.push(Matrix::from_vec(1, 1, vec![m]), Op::MeanAll(a))
+    }
+
+    /// Sum of all elements (`1×1`).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s = self.values[a.0].sum();
+        self.push(Matrix::from_vec(1, 1, vec![s]), Op::SumAll(a))
+    }
+
+    /// Row-wise squared Euclidean distance between same-shaped matrices,
+    /// producing `m×1`.
+    pub fn sq_dist_rows(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(va.shape(), vb.shape(), "sq_dist_rows: shape mismatch");
+        let mut v = Matrix::zeros(va.rows(), 1);
+        for r in 0..va.rows() {
+            let d: f32 = va
+                .row(r)
+                .iter()
+                .zip(vb.row(r).iter())
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum();
+            v.set(r, 0, d);
+        }
+        self.push(v, Op::SqDistRows(a, b))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].map(f32::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Elementwise natural logarithm (inputs are clamped at a tiny floor so
+    /// the forward and backward stay finite).
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].map(|x| x.max(crate::ops::LN_EPS).ln());
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Column-wise maximum producing `1×n` (max-pool readout).
+    pub fn max_rows(&mut self, a: Var) -> Var {
+        let va = &self.values[a.0];
+        assert!(va.rows() >= 1, "max_rows: need at least one row");
+        let mut v = Matrix::from_vec(1, va.cols(), va.row(0).to_vec());
+        for r in 1..va.rows() {
+            for c in 0..va.cols() {
+                if va.get(r, c) > v.get(0, c) {
+                    v.set(0, c, va.get(r, c));
+                }
+            }
+        }
+        self.push(v, Op::MaxRows(a))
+    }
+
+    /// `a[m,n] ∘ b[1,n]`, broadcasting `b` over rows (per-channel gain).
+    pub fn mul_broadcast_row(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(vb.rows(), 1, "mul_broadcast_row: rhs must be 1×n");
+        assert_eq!(va.cols(), vb.cols(), "mul_broadcast_row: width mismatch");
+        let mut v = va.clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            for (x, &y) in row.iter_mut().zip(vb.row(0).iter()) {
+                *x *= y;
+            }
+        }
+        self.push(v, Op::MulBroadcastRow(a, b))
+    }
+
+    /// Row-wise standardisation `(x − μ_row)/sqrt(σ²_row + eps)` — the core
+    /// of layer normalisation.
+    pub fn normalize_rows(&mut self, a: Var, eps: f32) -> Var {
+        let va = &self.values[a.0];
+        let n = va.cols().max(1) as f32;
+        let mut v = va.clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            let mu: f32 = row.iter().sum::<f32>() / n;
+            let var: f32 = row.iter().map(|&x| (x - mu) * (x - mu)).sum::<f32>() / n;
+            let sigma = (var + eps).sqrt();
+            for x in row.iter_mut() {
+                *x = (*x - mu) / sigma;
+            }
+        }
+        self.push(v, Op::NormalizeRows(a, eps))
+    }
+
+    /// Mean binary cross-entropy with logits against constant `targets`
+    /// (same shape as the logits), computed in the numerically stable form
+    /// `max(x,0) − x·y + log(1+e^{−|x|})`.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Matrix) -> Var {
+        let x = &self.values[logits.0];
+        assert_eq!(x.shape(), targets.shape(), "bce_with_logits: shape mismatch");
+        let n = x.len().max(1) as f32;
+        let total: f32 = x
+            .data()
+            .iter()
+            .zip(targets.data().iter())
+            .map(|(&xi, &yi)| xi.max(0.0) - xi * yi + softplus(-xi.abs()))
+            .sum();
+        self.push(
+            Matrix::from_vec(1, 1, vec![total / n]),
+            Op::BceWithLogits { logits, targets },
+        )
+    }
+
+    /// Euclidean (L2) distance between corresponding rows: `sqrt(sq_dist)`.
+    pub fn euclidean_rows(&mut self, a: Var, b: Var) -> Var {
+        let sq = self.sq_dist_rows(a, b);
+        // Small epsilon keeps the sqrt backward finite at zero distance.
+        let eps = self.add_scalar(sq, 1e-8);
+        self.sqrt(eps)
+    }
+
+    /// Runs the reverse pass from `loss` (must be `1×1`) and returns all
+    /// gradients. The tape itself is unchanged and can be queried afterwards.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(
+            self.values[loss.0].shape(),
+            (1, 1),
+            "backward: loss must be a 1×1 scalar"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.values.len()];
+        grads[loss.0] = Some(Matrix::ones(1, 1));
+        for i in (0..self.values.len()).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            self.ops[i].backward(&self.values, &self.values[i], &g, &mut grads);
+            grads[i] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    /// Collects `(ParamId, gradient)` pairs for every mounted parameter the
+    /// loss depends on.
+    pub fn param_grads(&self, grads: &Gradients) -> Vec<(ParamId, Matrix)> {
+        let mut out: Vec<(ParamId, Matrix)> = self
+            .mounts
+            .iter()
+            .filter_map(|(&id, &var)| grads.get(var).map(|g| (id, g.clone())))
+            .collect();
+        // Deterministic order for reproducible optimiser behaviour.
+        out.sort_by_key(|(id, _)| id.index());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(tape: &mut Tape, x: f32) -> Var {
+        tape.constant(Matrix::from_vec(1, 1, vec![x]))
+    }
+
+    #[test]
+    fn matmul_grad_hand_checked() {
+        // loss = sum(A·B) with A = [[1,2]], B = [[3],[4]] → loss = 11
+        // dA = [[3,4]] (row of Bᵀ), dB = [[1],[2]].
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = tape.constant(Matrix::from_rows(&[&[3.0], &[4.0]]));
+        let c = tape.matmul(a, b);
+        let loss = tape.sum_all(c);
+        assert_eq!(tape.value(loss).get(0, 0), 11.0);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(a).unwrap(), &Matrix::from_rows(&[&[3.0, 4.0]]));
+        assert_eq!(grads.get(b).unwrap(), &Matrix::from_rows(&[&[1.0], &[2.0]]));
+    }
+
+    #[test]
+    fn sigmoid_grad_at_zero_is_quarter() {
+        let mut tape = Tape::new();
+        let x = scalar(&mut tape, 0.0);
+        let y = tape.sigmoid(x);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert!((grads.get(x).unwrap().get(0, 0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mul_product_rule() {
+        let mut tape = Tape::new();
+        let x = scalar(&mut tape, 3.0);
+        let y = scalar(&mut tape, 5.0);
+        let z = tape.mul(x, y);
+        let loss = tape.sum_all(z);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().get(0, 0), 5.0);
+        assert_eq!(grads.get(y).unwrap().get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn reused_variable_accumulates_gradient() {
+        // loss = x·x (elementwise on 1×1) → dloss/dx = 2x.
+        let mut tape = Tape::new();
+        let x = scalar(&mut tape, 4.0);
+        let z = tape.mul(x, x);
+        let loss = tape.sum_all(z);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().get(0, 0), 8.0);
+    }
+
+    #[test]
+    fn param_mount_dedup() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 1, vec![2.0]));
+        let mut tape = Tape::new();
+        let w1 = tape.param(&store, w);
+        let w2 = tape.param(&store, w);
+        assert_eq!(w1, w2);
+        // loss = w * w → grad 2w = 4.
+        let z = tape.mul(w1, w2);
+        let loss = tape.sum_all(z);
+        let grads = tape.backward(loss);
+        let pg = tape.param_grads(&grads);
+        assert_eq!(pg.len(), 1);
+        assert_eq!(pg[0].1.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_grad_sums_to_zero() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let y = tape.softmax_rows(x);
+        let row_sum: f32 = tape.value(y).row(0).iter().sum();
+        assert!((row_sum - 1.0).abs() < 1e-6);
+        // Pick out only the first component: loss = softmax(x)[0].
+        let mask = tape.constant(Matrix::from_rows(&[&[1.0, 0.0, 0.0]]));
+        let picked = tape.mul(y, mask);
+        let loss = tape.sum_all(picked);
+        let grads = tape.backward(loss);
+        let g = grads.get(x).unwrap();
+        let total: f32 = g.row(0).iter().sum();
+        assert!(total.abs() < 1e-6, "softmax jacobian rows sum to zero, got {total}");
+    }
+
+    #[test]
+    fn gather_rows_scatter_adds() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+        let g = tape.gather_rows(x, &[0, 0, 2]);
+        let loss = tape.sum_all(g);
+        let grads = tape.backward(loss);
+        // Row 0 gathered twice → grad 2; row 1 never → 0; row 2 once → 1.
+        assert_eq!(grads.get(x).unwrap(), &Matrix::from_rows(&[&[2.0], &[0.0], &[1.0]]));
+    }
+
+    #[test]
+    fn stack_rows_routes_gradients() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::row_vec(vec![1.0, 2.0]));
+        let b = tape.constant(Matrix::row_vec(vec![3.0, 4.0]));
+        let s = tape.stack_rows(&[a, b]);
+        assert_eq!(tape.value(s).shape(), (2, 2));
+        let w = tape.constant(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 10.0]]));
+        let ws = tape.mul(s, w);
+        let loss = tape.sum_all(ws);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(a).unwrap(), &Matrix::row_vec(vec![1.0, 0.0]));
+        assert_eq!(grads.get(b).unwrap(), &Matrix::row_vec(vec![0.0, 10.0]));
+    }
+
+    #[test]
+    fn bce_with_logits_matches_closed_form() {
+        // x = 0, y = 1 → loss = ln 2; grad = (σ(0) − 1) = −0.5.
+        let mut tape = Tape::new();
+        let x = scalar(&mut tape, 0.0);
+        let loss = tape.bce_with_logits(x, Matrix::from_vec(1, 1, vec![1.0]));
+        assert!((tape.value(loss).get(0, 0) - std::f32::consts::LN_2).abs() < 1e-6);
+        let grads = tape.backward(loss);
+        assert!((grads.get(x).unwrap().get(0, 0) + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn euclidean_rows_forward() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]));
+        let b = tape.constant(Matrix::from_rows(&[&[3.0, 4.0], &[1.0, 1.0]]));
+        let d = tape.euclidean_rows(a, b);
+        assert!((tape.value(d).get(0, 0) - 5.0).abs() < 1e-3);
+        assert!(tape.value(d).get(1, 0) < 1e-3);
+        // Zero distance must still have a finite gradient.
+        let loss = tape.sum_all(d);
+        let grads = tape.backward(loss);
+        assert!(grads.get(a).unwrap().all_finite());
+    }
+
+    #[test]
+    fn constants_do_not_block_unrelated_grads() {
+        let mut tape = Tape::new();
+        let x = scalar(&mut tape, 2.0);
+        let _unused = scalar(&mut tape, 99.0);
+        let y = tape.mul(x, x);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(_unused), None);
+        assert_eq!(grads.get(x).unwrap().get(0, 0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a 1×1 scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::ones(2, 2));
+        tape.backward(x);
+    }
+
+    #[test]
+    fn transpose_grad() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let t = tape.transpose(x);
+        assert_eq!(tape.value(t).shape(), (3, 1));
+        let w = tape.constant(Matrix::from_rows(&[&[1.0], &[10.0], &[100.0]]));
+        let p = tape.mul(t, w);
+        let loss = tape.sum_all(p);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap(), &Matrix::from_rows(&[&[1.0, 10.0, 100.0]]));
+    }
+}

@@ -1,0 +1,91 @@
+//! Algebraic property tests for the dense matrix kernels — the foundations
+//! every gradient in the stack rests on.
+
+use cpdg_tensor::Matrix;
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |d| Matrix::from_vec(rows, cols, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_associativity(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-2, "f32 associativity within tolerance");
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 2),
+        c in arb_matrix(4, 2),
+    ) {
+        let sum = b.zip(&c, |x, y| x + y);
+        let left = a.matmul(&sum);
+        let mut right = a.matmul(&b);
+        right.add_assign(&a.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-2);
+    }
+
+    #[test]
+    fn transpose_of_product_is_reversed_product(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    #[test]
+    fn hcat_then_split_identity(a in arb_matrix(3, 2), b in arb_matrix(3, 3)) {
+        let cat = a.hcat(&b);
+        prop_assert_eq!(cat.shape(), (3, 5));
+        for r in 0..3 {
+            prop_assert_eq!(&cat.row(r)[..2], a.row(r));
+            prop_assert_eq!(&cat.row(r)[2..], b.row(r));
+        }
+    }
+
+    #[test]
+    fn gather_rows_then_mean_matches_manual(a in arb_matrix(5, 3)) {
+        let g = a.gather_rows(&[0, 2, 4]);
+        let mean = g.mean_rows();
+        for c in 0..3 {
+            let manual = (a.get(0, c) + a.get(2, c) + a.get(4, c)) / 3.0;
+            prop_assert!((mean.get(0, c) - manual).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn max_rows_dominates_mean_rows(a in arb_matrix(4, 3)) {
+        let mx = a.max_rows();
+        let mn = a.mean_rows();
+        for c in 0..3 {
+            prop_assert!(mx.get(0, c) >= mn.get(0, c) - 1e-6);
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_triangle_inequality(a in arb_matrix(3, 3), b in arb_matrix(3, 3)) {
+        let sum = a.zip(&b, |x, y| x + y);
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-3);
+    }
+
+    #[test]
+    fn vstack_preserves_rows(a in arb_matrix(2, 3), b in arb_matrix(3, 3)) {
+        let v = Matrix::vstack(&[&a, &b]);
+        prop_assert_eq!(v.shape(), (5, 3));
+        prop_assert_eq!(v.row(0), a.row(0));
+        prop_assert_eq!(v.row(4), b.row(2));
+    }
+
+    #[test]
+    fn serde_round_trip_exact(a in arb_matrix(3, 4)) {
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,47 @@
+//! Dynamic node classification — the Wikipedia/MOOC/Reddit scenario:
+//! predict which users are entering an anomalous state (ban / drop-out /
+//! churn) from their temporal interaction patterns.
+//!
+//! A fraction of synthetic users turn anomalous mid-stream: their item
+//! choices stop following community structure and their sessions churn.
+//! We pre-train with CPDG on the first 60% of the stream and classify user
+//! states on the remainder, comparing against a task-supervised TGN.
+//!
+//! ```text
+//! cargo run --release --example churn_detection
+//! ```
+
+use cpdg::core::pipeline::{run_node_classification, PipelineConfig};
+use cpdg::dgnn::EncoderKind;
+use cpdg::graph::split::time_transfer;
+use cpdg::graph::{generate, GraphStats, SyntheticConfig};
+
+fn main() {
+    let dataset = generate(&SyntheticConfig::wikipedia_like(3).scaled(0.6));
+    let stats = GraphStats::compute(&dataset.graph);
+    println!(
+        "dataset: {} events, {} dynamic labels ({:.1}% positive)\n",
+        dataset.graph.num_events(),
+        dataset.graph.labels().len(),
+        stats.label_positive_rate * 100.0
+    );
+
+    let split = time_transfer(&dataset.graph, 0.6).expect("split");
+
+    let mut cpdg = PipelineConfig::cpdg(EncoderKind::Tgn).with_seed(3);
+    cpdg.dim = 16;
+    cpdg.pretrain.epochs = 4;
+    cpdg.finetune.epochs = 3;
+    let cpdg_auc = run_node_classification(&split, &cpdg);
+
+    let mut vanilla = PipelineConfig::vanilla(EncoderKind::Tgn).with_seed(3);
+    vanilla.dim = 16;
+    vanilla.pretrain.epochs = 4;
+    vanilla.finetune.epochs = 3;
+    let tgn_auc = run_node_classification(&split, &vanilla);
+
+    println!("anomalous-user detection (test AUC):");
+    println!("  TGN (task-supervised pre-training): {tgn_auc:.4}");
+    println!("  TGN with CPDG pre-training        : {cpdg_auc:.4}");
+    println!("  difference                        : {:+.4}", cpdg_auc - tgn_auc);
+}

@@ -1,0 +1,54 @@
+//! Quickstart: pre-train a TGN encoder with CPDG on a small synthetic
+//! dynamic graph, fine-tune on the later portion of the stream, and report
+//! link-prediction metrics — the whole paper pipeline in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cpdg::core::pipeline::{run_link_prediction, PipelineConfig};
+use cpdg::dgnn::EncoderKind;
+use cpdg::graph::split::time_transfer;
+use cpdg::graph::{generate, SyntheticConfig};
+
+fn main() {
+    // 1. A synthetic user–item interaction stream with planted long-term
+    //    preferences and short-term sessions (stands in for e.g. Amazon).
+    let dataset = generate(&SyntheticConfig::amazon_like(42).scaled(0.5));
+    println!(
+        "dataset: {} nodes, {} events",
+        dataset.graph.num_nodes(),
+        dataset.graph.num_events()
+    );
+
+    // 2. Time transfer: pre-train on the first 70% of the stream,
+    //    fine-tune + evaluate on the rest.
+    let split = time_transfer(&dataset.graph, 0.7).expect("split");
+    println!(
+        "pre-train events: {}, downstream events: {}",
+        split.pretrain.num_events(),
+        split.downstream.num_events()
+    );
+
+    // 3. CPDG pre-training (temporal + structural contrast + link
+    //    prediction pretext) with EIE-GRU fine-tuning, TGN backbone.
+    let mut cfg = PipelineConfig::cpdg(EncoderKind::Tgn).with_seed(42);
+    cfg.dim = 16;
+    cfg.pretrain.epochs = 4;
+    cfg.finetune.epochs = 3;
+
+    let cpdg = run_link_prediction(&split, &cfg, false);
+    println!("CPDG        : AUC {:.4}  AP {:.4}", cpdg.auc, cpdg.ap);
+
+    // 4. Compare against the same encoder without pre-training.
+    let mut baseline = PipelineConfig::no_pretrain(EncoderKind::Tgn).with_seed(42);
+    baseline.dim = 16;
+    baseline.finetune.epochs = 3;
+    let none = run_link_prediction(&split, &baseline, false);
+    println!("No pre-train: AUC {:.4}  AP {:.4}", none.auc, none.ap);
+
+    println!(
+        "CPDG pre-training changed AUC by {:+.4}",
+        cpdg.auc - none.auc
+    );
+}

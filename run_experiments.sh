@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper, then the shape check.
+# Quick mode by default; pass --full (or any harness flags) through.
+#
+#   ./run_experiments.sh                 # quick (~1 h on one CPU core)
+#   ./run_experiments.sh --full          # 5 seeds, larger graphs
+set -euo pipefail
+cd "$(dirname "$0")"
+
+ARGS=("$@")
+cargo build --release -p cpdg-bench
+
+run() {
+    echo "=== $1 ${ARGS[*]:-} ==="
+    cargo run --release -p cpdg-bench --bin "$1" -- "${ARGS[@]:-}" || echo "[$1 failed]"
+}
+
+run table4
+run table5
+run table6
+run table7
+run table8
+run table9
+run table10
+run fig5
+run fig6
+run ablation
+run scaling
+run shape_check
+
+echo "All experiment outputs are under results/."

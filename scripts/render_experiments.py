@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Renders the measured-results appendix of EXPERIMENTS.md from the JSON
+dumps the bench binaries leave under results/.
+
+Usage: python3 scripts/render_experiments.py >> EXPERIMENTS.md
+"""
+import json
+import os
+import sys
+
+RESULTS = os.path.join(os.path.dirname(__file__), "..", "results")
+
+ORDER = [
+    ("table5_T", "Table V — Time Transfer"),
+    ("table5_F", "Table V — Field Transfer"),
+    ("table5_T_F", "Table V — Time+Field Transfer"),
+    ("table7", "Table VII — dynamic node classification"),
+    ("table8_T", "Table VIII — encoder generalisation (Time)"),
+    ("table8_F", "Table VIII — encoder generalisation (Field)"),
+    ("table8_T_F", "Table VIII — encoder generalisation (Time+Field)"),
+    ("table9", "Table IX — inductive study"),
+    ("table10", "Table X — fine-tuning strategies"),
+    ("fig5", "Figure 5 — module ablation"),
+    ("fig6", "Figure 6 — β sweep"),
+    ("ablation", "Extra design-choice ablations"),
+    ("scaling_graph_size", "Scaling — sampler vs graph size"),
+    ("scaling_eta_k", "Scaling — sampler vs (η, k)"),
+    ("scaling_readout", "Scaling — readout linearity"),
+    ("shape_check", "Shape check — Spearman ρ vs paper Table V"),
+]
+
+
+def render(slug: str, heading: str) -> str:
+    path = os.path.join(RESULTS, f"{slug}.json")
+    if not os.path.exists(path):
+        return ""
+    with open(path) as f:
+        data = json.load(f)
+    out = [f"\n### {heading}\n", f"*{data['title']}*\n"]
+    header = data["header"]
+    out.append("| " + " | ".join(header) + " |")
+    out.append("|" + "---|" * len(header))
+    for row in data["rows"]:
+        if all(c == "--" for c in row):
+            continue
+        out.append("| " + " | ".join(c if c else " " for c in row) + " |")
+    return "\n".join(out) + "\n"
+
+
+def main() -> int:
+    chunks = [render(slug, heading) for slug, heading in ORDER]
+    body = "".join(c for c in chunks if c)
+    if not body:
+        print("no results found — run the bench binaries first", file=sys.stderr)
+        return 1
+    print("\n---\n\n## Measured results (auto-rendered from results/*.json)\n")
+    print(body)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
