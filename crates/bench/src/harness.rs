@@ -109,14 +109,28 @@ pub fn aggregate(vals: &[f64]) -> Cell {
     Cell { mean, std: var.sqrt() }
 }
 
-/// Order-preserving parallel map over independent work items using scoped
-/// threads (a simple shared-counter work queue; no per-item channels).
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Panic-isolated, order-preserving parallel map: each item runs under
+/// `catch_unwind`, so one panicking condition yields an `Err` cell carrying
+/// the panic message while every other item still completes. This is what
+/// keeps a 40-cell benchmark sweep alive when one configuration hits a bug.
+pub fn try_parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<Result<R, String>>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
     let n = items.len();
     if n == 0 {
@@ -124,7 +138,7 @@ where
     }
     let threads = threads.clamp(1, n);
     let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<R>>> =
+    let slots: Vec<parking_lot::Mutex<Option<Result<R, String>>>> =
         (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
     let items_ref = &items;
     let f_ref = &f;
@@ -137,13 +151,39 @@ where
                 if i >= n {
                     break;
                 }
-                let r = f_ref(&items_ref[i]);
+                // AssertUnwindSafe: `f` only borrows the items slice and the
+                // result slot, and a failed item's slot is never read as Ok.
+                let r = catch_unwind(AssertUnwindSafe(|| f_ref(&items_ref[i])))
+                    .map_err(panic_message);
                 *slots_ref[i].lock() = Some(r);
             });
         }
     })
-    .expect("worker thread panicked");
-    slots.into_iter().map(|m| m.into_inner().expect("slot filled")).collect()
+    .expect("scoped worker threads cannot outlive the scope");
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("every index below n is claimed exactly once by the shared counter")
+        })
+        .collect()
+}
+
+/// Order-preserving parallel map over independent work items using scoped
+/// threads (a simple shared-counter work queue; no per-item channels).
+///
+/// Re-raises the first panic after all other items finish; sweeps that want
+/// to survive a panicking cell should use [`try_parallel_map`].
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_parallel_map(items, threads, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("worker thread panicked: {msg}")))
+        .collect()
 }
 
 #[cfg(test)]
@@ -189,6 +229,33 @@ mod tests {
     fn parallel_map_empty() {
         let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn try_parallel_map_isolates_panicking_items() {
+        let items: Vec<u64> = (0..20).collect();
+        let out = try_parallel_map(items, 4, |&x| {
+            assert!(x != 13, "unlucky condition");
+            x * 2
+        });
+        assert_eq!(out.len(), 20);
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("unlucky"), "{msg}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i * 2) as u64);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn parallel_map_repropagates_panics() {
+        parallel_map(vec![1, 2, 3], 2, |&x| {
+            assert!(x != 2, "boom");
+            x
+        });
     }
 
     #[test]

@@ -4,30 +4,38 @@
 //! cpdg generate  --preset amazon --scale 0.5 --seed 0 --out data.csv
 //! cpdg stats     --data data.csv
 //! cpdg pretrain  --data data.csv --encoder tgn --dim 32 --epochs 5 --out model.json
+//! cpdg pretrain  --data data.csv --out model.json --ckpt-dir ckpts --ckpt-every 50
+//! cpdg pretrain  --data data.csv --out model.json --resume ckpts
 //! cpdg finetune  --data data.csv --model model.json --strategy eie-gru --epochs 3
 //! ```
 //!
 //! Data files are JODIE-format CSVs (`user_id,item_id,timestamp,
 //! state_label,features…`) — the format the paper's Wikipedia/MOOC/Reddit
 //! datasets ship in.
+//!
+//! Failures map to distinct exit codes (see [`CpdgError::exit_code`]), so
+//! shell drivers can tell a corrupt model file from a diverged run from a
+//! resumable interruption.
 
 mod args;
 
 use args::Args;
+use cpdg_core::checkpoint::CheckpointConfig;
+use cpdg_core::error::{CpdgError, CpdgResult};
 use cpdg_core::finetune::{finetune_link_prediction, FinetuneConfig, FinetuneStrategy};
+use cpdg_core::model_io::ModelFile;
 use cpdg_core::pipeline::auto_time_scale;
-use cpdg_core::pretrain::{pretrain, PretrainConfig};
+use cpdg_core::pretrain::{pretrain_resumable, PretrainConfig, PretrainRuntime};
 use cpdg_core::EieFusion;
 use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor};
 use cpdg_graph::loader::{load_jodie_csv, write_jodie_csv};
 use cpdg_graph::{generate, GraphStats, SyntheticConfig};
 use cpdg_tensor::optim::Adam;
 use cpdg_tensor::ParamStore;
-use cpdg_core::model_io::ModelFile;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs::File;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -38,9 +46,17 @@ USAGE:
                 [--scale X] [--seed N] --out <file.csv>
   cpdg stats    --data <file.csv>
   cpdg pretrain --data <file.csv> [--encoder tgn|jodie|dyrep] [--dim N]
-                [--epochs N] [--beta X] [--seed N] [--vanilla] --out <model.json>
+                [--epochs N] [--beta X] [--seed N] [--vanilla]
+                [--ckpt-dir <dir>] [--ckpt-every N] [--keep N]
+                [--resume <dir>] --out <model.json>
   cpdg finetune --data <file.csv> --model <model.json>
                 [--strategy full|eie-mean|eie-attn|eie-gru] [--epochs N] [--seed N]
+
+Crash safety: with --ckpt-dir, pre-training snapshots its full state every
+--ckpt-every batches (keeping the --keep newest files plus a `latest`
+pointer); --resume <dir> continues from the newest valid checkpoint there,
+skipping corrupt ones. Rebuild with the same --encoder/--dim/--seed as the
+original run.
 ";
 
 fn main() -> ExitCode {
@@ -48,7 +64,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let result = match args.command.as_deref() {
@@ -56,19 +72,22 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args),
         Some("pretrain") => cmd_pretrain(&args),
         Some("finetune") => cmd_finetune(&args),
-        Some(other) => Err(format!("unknown command {other:?}")),
-        None => Err("no command given".to_string()),
+        Some(other) => Err(CpdgError::Invalid(format!("unknown command {other:?}"))),
+        None => Err(CpdgError::Invalid("no command given".to_string())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
-            ExitCode::FAILURE
+            eprintln!("error: {e}");
+            if matches!(e, CpdgError::Invalid(_)) {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn cmd_generate(args: &Args) -> CpdgResult<()> {
     let preset = args.get_or("preset", "amazon");
     let seed: u64 = args.get_num("seed", 0)?;
     let scale: f64 = args.get_num("scale", 1.0)?;
@@ -80,12 +99,12 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         "wikipedia" => SyntheticConfig::wikipedia_like(seed),
         "mooc" => SyntheticConfig::mooc_like(seed),
         "reddit" => SyntheticConfig::reddit_like(seed),
-        other => return Err(format!("unknown preset {other:?}")),
+        other => return Err(CpdgError::Invalid(format!("unknown preset {other:?}"))),
     }
     .scaled(scale);
     let ds = generate(&cfg);
-    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-    write_jodie_csv(&ds.graph, ds.num_users, file).map_err(|e| format!("write: {e}"))?;
+    let file = File::create(out).map_err(|e| CpdgError::io(out, e))?;
+    write_jodie_csv(&ds.graph, ds.num_users, file).map_err(|e| CpdgError::io(out, e))?;
     println!(
         "wrote {} events ({} users, {} items, {} labels) to {out}",
         ds.graph.num_events(),
@@ -96,7 +115,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> CpdgResult<()> {
     let data = args.require("data")?;
     let loaded = load_data(data)?;
     let s = GraphStats::compute(&loaded.graph);
@@ -112,16 +131,18 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_encoder(name: &str) -> Result<EncoderKind, String> {
+fn parse_encoder(name: &str) -> CpdgResult<EncoderKind> {
     match name {
         "tgn" => Ok(EncoderKind::Tgn),
         "jodie" => Ok(EncoderKind::Jodie),
         "dyrep" => Ok(EncoderKind::DyRep),
-        other => Err(format!("unknown encoder {other:?} (expected tgn|jodie|dyrep)")),
+        other => Err(CpdgError::Invalid(format!(
+            "unknown encoder {other:?} (expected tgn|jodie|dyrep)"
+        ))),
     }
 }
 
-fn cmd_pretrain(args: &Args) -> Result<(), String> {
+fn cmd_pretrain(args: &Args) -> CpdgResult<()> {
     let data = args.require("data")?;
     let out = args.require("out")?;
     let encoder_kind = parse_encoder(args.get_or("encoder", "tgn"))?;
@@ -130,6 +151,21 @@ fn cmd_pretrain(args: &Args) -> Result<(), String> {
     let beta: f32 = args.get_num("beta", 0.5)?;
     let seed: u64 = args.get_num("seed", 0)?;
     let vanilla = args.has_flag("vanilla");
+
+    let resume_dir = args.get("resume");
+    let ckpt_dir = args.get("ckpt-dir").or(resume_dir);
+    let runtime = PretrainRuntime {
+        checkpoint: match ckpt_dir {
+            Some(d) => Some(CheckpointConfig {
+                dir: PathBuf::from(d),
+                every_n_steps: args.get_num("ckpt-every", 50)?,
+                keep: args.get_num("keep", 3)?,
+            }),
+            None => None,
+        },
+        resume: resume_dir.is_some(),
+        ..PretrainRuntime::default()
+    };
 
     let loaded = load_data(data)?;
     let graph = loaded.graph;
@@ -152,12 +188,16 @@ fn cmd_pretrain(args: &Args) -> Result<(), String> {
         if vanilla { "vanilla" } else { "CPDG" },
         graph.num_events()
     );
-    let result = pretrain(&mut encoder, &head, &mut store, &mut opt, &graph, &pcfg);
+    let result =
+        pretrain_resumable(&mut encoder, &head, &mut store, &mut opt, &graph, &pcfg, &runtime)?;
     for (i, e) in result.epoch_losses.iter().enumerate() {
         println!(
             "  epoch {:>2}: total {:.4} (tlp {:.4}, tc {:.4}, sc {:.4})",
             i + 1, e.total, e.tlp, e.tc, e.sc
         );
+    }
+    if result.skipped_steps > 0 {
+        println!("  divergence guard skipped {} poisoned step(s)", result.skipped_steps);
     }
     let model = ModelFile::new(dcfg, graph.num_nodes(), store, result.checkpoints);
     model.save(Path::new(out))?;
@@ -166,19 +206,19 @@ fn cmd_pretrain(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_strategy(name: &str) -> Result<FinetuneStrategy, String> {
+fn parse_strategy(name: &str) -> CpdgResult<FinetuneStrategy> {
     match name {
         "full" => Ok(FinetuneStrategy::Full),
         "eie-mean" => Ok(FinetuneStrategy::Eie(EieFusion::Mean)),
         "eie-attn" => Ok(FinetuneStrategy::Eie(EieFusion::Attn)),
         "eie-gru" => Ok(FinetuneStrategy::Eie(EieFusion::Gru)),
-        other => Err(format!(
+        other => Err(CpdgError::Invalid(format!(
             "unknown strategy {other:?} (expected full|eie-mean|eie-attn|eie-gru)"
-        )),
+        ))),
     }
 }
 
-fn cmd_finetune(args: &Args) -> Result<(), String> {
+fn cmd_finetune(args: &Args) -> CpdgResult<()> {
     let data = args.require("data")?;
     let model_path = args.require("model")?;
     let strategy = parse_strategy(args.get_or("strategy", "eie-gru"))?;
@@ -189,12 +229,10 @@ fn cmd_finetune(args: &Args) -> Result<(), String> {
     let loaded = load_data(data)?;
     let graph = loaded.graph;
     if graph.num_nodes() > model.num_nodes {
-        return Err(format!(
-            "data has {} nodes but the model was pre-trained for {} — \
-             pre-train on the union id space first",
-            graph.num_nodes(),
-            model.num_nodes
-        ));
+        return Err(CpdgError::NodeCountMismatch {
+            data_nodes: graph.num_nodes(),
+            model_nodes: model.num_nodes,
+        });
     }
 
     // Rebuild the encoder with the saved wiring, then load weights by name.
@@ -226,7 +264,83 @@ fn cmd_finetune(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_data(path: &str) -> Result<cpdg_graph::loader::LoadedGraph, String> {
-    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    load_jodie_csv(file).map_err(|e| format!("parse {path}: {e}"))
+fn load_data(path: &str) -> CpdgResult<cpdg_graph::loader::LoadedGraph> {
+    let file = File::open(path).map_err(|e| CpdgError::io(path, e))?;
+    load_jodie_csv(file).map_err(CpdgError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn finetune_rejects_node_count_mismatch_with_typed_error() {
+        let dir = std::env::temp_dir().join(format!("cpdg_cli_mismatch_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.json");
+        let data_path = dir.join("data.csv");
+
+        // A model pre-trained for a 2-node universe…
+        let model = ModelFile::new(
+            DgnnConfig::preset(EncoderKind::Tgn, 8, 1.0),
+            2,
+            ParamStore::new(),
+            vec![],
+        );
+        model.save(&model_path).unwrap();
+        // …against data with 2 users + 2 items = 4 nodes.
+        std::fs::write(
+            &data_path,
+            "user_id,item_id,timestamp,state_label,f\n0,0,1.0,0,0\n1,1,2.0,0,0\n",
+        )
+        .unwrap();
+
+        let args = parse(&format!(
+            "finetune --data {} --model {}",
+            data_path.display(),
+            model_path.display()
+        ));
+        let err = cmd_finetune(&args).unwrap_err();
+        match err {
+            CpdgError::NodeCountMismatch { data_nodes, model_nodes } => {
+                assert_eq!(data_nodes, 4);
+                assert_eq!(model_nodes, 2);
+            }
+            other => panic!("expected NodeCountMismatch, got {other}"),
+        }
+        // And it maps to its own exit code, distinct from usage errors.
+        assert_eq!(
+            CpdgError::NodeCountMismatch { data_nodes: 4, model_nodes: 2 }.exit_code(),
+            3
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finetune_surfaces_corrupt_model_files() {
+        let dir = std::env::temp_dir().join(format!("cpdg_cli_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.json");
+        let data_path = dir.join("data.csv");
+        std::fs::write(&model_path, b"{\"version\": 1, \"trunc").unwrap();
+        std::fs::write(&data_path, "h\n0,0,1.0,0\n").unwrap();
+        let args = parse(&format!(
+            "finetune --data {} --model {}",
+            data_path.display(),
+            model_path.display()
+        ));
+        let err = cmd_finetune(&args).unwrap_err();
+        assert!(matches!(err, CpdgError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_subcommand_is_usage_error() {
+        let err = parse_encoder("sage").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
 }

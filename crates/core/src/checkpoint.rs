@@ -1,0 +1,324 @@
+//! Rotating crash-safe training checkpoints.
+//!
+//! A [`CheckpointManager`] snapshots the full pre-training state — encoder
+//! memory, parameters, optimiser moments, divergence-guard posture, the
+//! EIE checkpoint sequence collected so far, and the epoch/step cursor —
+//! every N steps into a directory:
+//!
+//! ```text
+//! <dir>/
+//!   ckpt-00000050.json     # TrainCheckpoint at global step 50
+//!   ckpt-00000100.json
+//!   latest                 # name of the newest fully-published checkpoint
+//! ```
+//!
+//! Every file is published with [`Storage::write_atomic`], so a crash at
+//! any instant leaves the directory with only whole files. Loading walks
+//! candidates newest-first and *skips* corrupt or truncated files with a
+//! warning, landing on the newest checkpoint that actually parses.
+
+use crate::error::{CpdgError, CpdgResult};
+use crate::pretrain::LossBreakdown;
+use crate::storage::Storage;
+use cpdg_dgnn::{EncoderState, MemorySnapshot, TrainGuard};
+use cpdg_tensor::optim::Adam;
+use cpdg_tensor::ParamStore;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Checkpoint format version (bumped on breaking changes).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Name of the newest-checkpoint pointer file.
+pub const LATEST_FILE: &str = "latest";
+
+/// Everything needed to continue a pre-training run from mid-stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Format version.
+    pub version: u32,
+    /// Global steps (batches) completed.
+    pub step: usize,
+    /// Epoch the run was in when saved.
+    pub epoch: usize,
+    /// Next EIE checkpoint index to capture (1-based).
+    pub next_cp: usize,
+    /// All trainable parameters.
+    pub params: ParamStore,
+    /// Optimiser with moment state.
+    pub opt: Adam,
+    /// Encoder memory / cell state / pending messages.
+    pub encoder: EncoderState,
+    /// Divergence-guard posture (backoff scale, retry counters).
+    pub guard: TrainGuard,
+    /// EIE memory checkpoints captured so far.
+    pub eie_checkpoints: Vec<MemorySnapshot>,
+    /// Mean losses of fully completed epochs.
+    pub epoch_losses: Vec<LossBreakdown>,
+    /// Loss sums of the in-flight epoch.
+    pub partial_sums: LossBreakdown,
+    /// Healthy batches accumulated into `partial_sums`.
+    pub partial_batches: usize,
+}
+
+/// Where and how often to checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint directory (created if missing).
+    pub dir: PathBuf,
+    /// Save every N global steps.
+    pub every_n_steps: usize,
+    /// Rotating window: how many checkpoint files to retain.
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints into `dir` every 50 steps, keeping the 3 newest files.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), every_n_steps: 50, keep: 3 }
+    }
+}
+
+/// Writes rotating checkpoints through a [`Storage`].
+pub struct CheckpointManager<'s> {
+    cfg: CheckpointConfig,
+    storage: &'s dyn Storage,
+}
+
+fn checkpoint_file_name(step: usize) -> String {
+    format!("ckpt-{step:08}.json")
+}
+
+fn is_checkpoint_file(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .map(|n| n.starts_with("ckpt-") && n.ends_with(".json"))
+        .unwrap_or(false)
+}
+
+impl<'s> CheckpointManager<'s> {
+    /// Creates the checkpoint directory and a manager writing into it.
+    pub fn new(cfg: CheckpointConfig, storage: &'s dyn Storage) -> CpdgResult<Self> {
+        storage.create_dir_all(&cfg.dir).map_err(|e| CpdgError::io(&cfg.dir, e))?;
+        Ok(Self { cfg, storage })
+    }
+
+    /// The directory this manager writes into.
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+
+    /// Whether a checkpoint is due after completing `step` global steps.
+    pub fn should_save(&self, step: usize) -> bool {
+        let every = self.cfg.every_n_steps.max(1);
+        step > 0 && step % every == 0
+    }
+
+    /// Atomically publishes `ckpt`, updates the `latest` pointer, and
+    /// prunes files beyond the rotation window. Returns the file written.
+    pub fn save(&self, ckpt: &TrainCheckpoint) -> CpdgResult<PathBuf> {
+        let name = checkpoint_file_name(ckpt.step);
+        let path = self.cfg.dir.join(&name);
+        let bytes = serde_json::to_vec(ckpt).map_err(|e| CpdgError::Serialize(e.to_string()))?;
+        self.storage.write_atomic(&path, &bytes).map_err(|e| CpdgError::io(&path, e))?;
+        let latest = self.cfg.dir.join(LATEST_FILE);
+        self.storage
+            .write_atomic(&latest, name.as_bytes())
+            .map_err(|e| CpdgError::io(&latest, e))?;
+        self.prune()?;
+        Ok(path)
+    }
+
+    fn prune(&self) -> CpdgResult<()> {
+        let mut files: Vec<PathBuf> = self
+            .storage
+            .list(&self.cfg.dir)
+            .map_err(|e| CpdgError::io(&self.cfg.dir, e))?
+            .into_iter()
+            .filter(|p| is_checkpoint_file(p))
+            .collect();
+        // `list` sorts by name and the zero-padded step makes name order
+        // equal step order; drop the oldest beyond the window.
+        let keep = self.cfg.keep.max(1);
+        while files.len() > keep {
+            let victim = files.remove(0);
+            self.storage.remove_file(&victim).map_err(|e| CpdgError::io(&victim, e))?;
+        }
+        Ok(())
+    }
+
+    /// Loads the newest checkpoint in `dir` that parses and version-checks,
+    /// skipping corrupt/truncated candidates with a warning on stderr.
+    /// Returns `Ok(None)` when the directory has no usable checkpoint.
+    pub fn load_latest(
+        storage: &dyn Storage,
+        dir: &Path,
+    ) -> CpdgResult<Option<(TrainCheckpoint, PathBuf)>> {
+        let mut candidates: Vec<PathBuf> = Vec::new();
+        // The pointer names the newest fully-published file; try it first.
+        if let Ok(bytes) = storage.read(&dir.join(LATEST_FILE)) {
+            if let Ok(name) = String::from_utf8(bytes) {
+                let p = dir.join(name.trim());
+                if is_checkpoint_file(&p) {
+                    candidates.push(p);
+                }
+            }
+        }
+        let mut all: Vec<PathBuf> = match storage.list(dir) {
+            Ok(files) => files.into_iter().filter(|p| is_checkpoint_file(p)).collect(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(CpdgError::io(dir, e)),
+        };
+        all.reverse(); // newest first
+        for p in all {
+            if !candidates.contains(&p) {
+                candidates.push(p);
+            }
+        }
+
+        for path in candidates {
+            match Self::load_one(storage, &path) {
+                Ok(ckpt) => return Ok(Some((ckpt, path))),
+                Err(e) => {
+                    eprintln!("warning: skipping unusable checkpoint {}: {e}", path.display());
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn load_one(storage: &dyn Storage, path: &Path) -> CpdgResult<TrainCheckpoint> {
+        let bytes = storage.read(path).map_err(|e| CpdgError::io(path, e))?;
+        let ckpt: TrainCheckpoint = serde_json::from_slice(&bytes)
+            .map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(CpdgError::VersionMismatch {
+                found: ckpt.version,
+                expected: CHECKPOINT_VERSION,
+            });
+        }
+        Ok(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::FS_STORAGE;
+    use cpdg_dgnn::{GuardConfig, Memory};
+    use cpdg_tensor::Matrix;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cpdg_ckpt_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn dummy_checkpoint(step: usize) -> TrainCheckpoint {
+        let mut params = ParamStore::new();
+        params.register("w", Matrix::full(1, 2, step as f32));
+        TrainCheckpoint {
+            version: CHECKPOINT_VERSION,
+            step,
+            epoch: 0,
+            next_cp: 1,
+            params,
+            opt: Adam::new(1e-2),
+            encoder: EncoderState {
+                memory: Memory::new(3, 2),
+                cell_state: None,
+                pending: vec![(0, 1, 1.0)],
+            },
+            guard: TrainGuard::new(GuardConfig::default()),
+            eie_checkpoints: vec![],
+            epoch_losses: vec![],
+            partial_sums: LossBreakdown::default(),
+            partial_batches: 0,
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_and_latest_pointer() {
+        let dir = test_dir("round");
+        let mgr = CheckpointManager::new(CheckpointConfig::new(&dir), &FS_STORAGE).unwrap();
+        mgr.save(&dummy_checkpoint(10)).unwrap();
+        mgr.save(&dummy_checkpoint(20)).unwrap();
+        let (ckpt, path) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        assert_eq!(ckpt.step, 20);
+        assert!(path.ends_with("ckpt-00000020.json"));
+        assert_eq!(ckpt.encoder.pending, vec![(0, 1, 1.0)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_keeps_only_newest_files() {
+        let dir = test_dir("rotate");
+        let cfg = CheckpointConfig { keep: 2, ..CheckpointConfig::new(&dir) };
+        let mgr = CheckpointManager::new(cfg, &FS_STORAGE).unwrap();
+        for step in [5, 10, 15, 20] {
+            mgr.save(&dummy_checkpoint(step)).unwrap();
+        }
+        let files: Vec<PathBuf> = FS_STORAGE
+            .list(&dir)
+            .unwrap()
+            .into_iter()
+            .filter(|p| is_checkpoint_file(p))
+            .collect();
+        assert_eq!(files.len(), 2);
+        assert!(files[0].ends_with("ckpt-00000015.json"));
+        assert!(files[1].ends_with("ckpt-00000020.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_is_skipped() {
+        let dir = test_dir("corrupt");
+        let mgr = CheckpointManager::new(CheckpointConfig::new(&dir), &FS_STORAGE).unwrap();
+        mgr.save(&dummy_checkpoint(10)).unwrap();
+        mgr.save(&dummy_checkpoint(20)).unwrap();
+        // Truncate the newest file (simulating torn residue from a crashed
+        // legacy writer) — load must fall back to step 10.
+        let newest = dir.join(checkpoint_file_name(20));
+        let bytes = FS_STORAGE.read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        assert_eq!(ckpt.step, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_skipped_like_corruption() {
+        let dir = test_dir("version");
+        let mgr = CheckpointManager::new(CheckpointConfig::new(&dir), &FS_STORAGE).unwrap();
+        let mut bad = dummy_checkpoint(30);
+        bad.version = 999;
+        mgr.save(&bad).unwrap();
+        mgr.save(&dummy_checkpoint(20)).unwrap();
+        // Step 30 is newest but has an alien version: fall back to 20.
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        assert_eq!(ckpt.step, 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_or_missing_directory_yields_none() {
+        let dir = test_dir("empty");
+        assert!(CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().is_none());
+        FS_STORAGE.create_dir_all(&dir).unwrap();
+        assert!(CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn should_save_respects_interval() {
+        let dir = test_dir("interval");
+        let cfg = CheckpointConfig { every_n_steps: 25, ..CheckpointConfig::new(&dir) };
+        let mgr = CheckpointManager::new(cfg, &FS_STORAGE).unwrap();
+        assert!(!mgr.should_save(0));
+        assert!(!mgr.should_save(24));
+        assert!(mgr.should_save(25));
+        assert!(mgr.should_save(50));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

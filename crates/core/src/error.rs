@@ -1,0 +1,198 @@
+//! Unified error type for the CPDG runtime.
+//!
+//! Replaces the ad-hoc `Result<_, String>` plumbing of model IO, pipeline
+//! entry points, and the CLI with one typed enum, so callers (and the
+//! process exit code) can distinguish "the disk failed" from "the model
+//! file is corrupt" from "training diverged".
+
+use cpdg_dgnn::DivergenceReport;
+use cpdg_graph::loader::LoadError;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Convenience alias used throughout `cpdg-core`.
+pub type CpdgResult<T> = Result<T, CpdgError>;
+
+/// Anything that can go wrong in the CPDG training/serving runtime.
+#[derive(Debug)]
+pub enum CpdgError {
+    /// Underlying filesystem failure while touching `path`.
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The OS-level error.
+        source: io::Error,
+    },
+    /// In-memory serialisation failed (should not happen for well-formed
+    /// models; indicates non-finite floats or similar).
+    Serialize(String),
+    /// A file exists but its contents are not a valid artifact — truncated
+    /// JSON, wrong schema, mismatched shapes.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A model/checkpoint file was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this binary supports.
+        expected: u32,
+    },
+    /// `--resume` was requested but the directory holds no valid checkpoint.
+    NoCheckpoint {
+        /// The checkpoint directory searched.
+        dir: PathBuf,
+    },
+    /// The divergence watchdog exhausted its retry budget.
+    Diverged(DivergenceReport),
+    /// A graceful stop: the run's step budget for this invocation ran out
+    /// before the stream was exhausted. Resume from the checkpoint
+    /// directory to continue.
+    Interrupted {
+        /// Global steps completed when the run paused.
+        step: usize,
+        /// Total steps the full run comprises.
+        total_steps: usize,
+    },
+    /// A data file and a model disagree on the node universe size.
+    NodeCountMismatch {
+        /// Nodes present in the data.
+        data_nodes: usize,
+        /// Nodes the model was built for.
+        model_nodes: usize,
+    },
+    /// Dataset loading/parsing failed.
+    Data(LoadError),
+    /// Invalid arguments or configuration.
+    Invalid(String),
+}
+
+impl CpdgError {
+    /// Wraps an IO error with the path it occurred on.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        CpdgError::Io { path: path.into(), source }
+    }
+
+    /// Flags a corrupt artifact.
+    pub fn corrupt(path: impl Into<PathBuf>, reason: impl Into<String>) -> Self {
+        CpdgError::Corrupt { path: path.into(), reason: reason.into() }
+    }
+
+    /// Process exit code for this error class, so scripts can branch on
+    /// failure modes (`1` generic IO/data, `2` usage, `3` model/data
+    /// mismatch, `4` corrupt/incompatible artifact, `5` divergence,
+    /// `6` interrupted-resumable).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CpdgError::Io { .. } | CpdgError::Data(_) | CpdgError::Serialize(_) => 1,
+            CpdgError::Invalid(_) => 2,
+            CpdgError::NodeCountMismatch { .. } => 3,
+            CpdgError::Corrupt { .. }
+            | CpdgError::VersionMismatch { .. }
+            | CpdgError::NoCheckpoint { .. } => 4,
+            CpdgError::Diverged(_) => 5,
+            CpdgError::Interrupted { .. } => 6,
+        }
+    }
+}
+
+impl fmt::Display for CpdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn disp(p: &Path) -> std::path::Display<'_> {
+            p.display()
+        }
+        match self {
+            CpdgError::Io { path, source } => write!(f, "io error on {}: {source}", disp(path)),
+            CpdgError::Serialize(msg) => write!(f, "serialisation failed: {msg}"),
+            CpdgError::Corrupt { path, reason } => {
+                write!(f, "corrupt file {}: {reason}", disp(path))
+            }
+            CpdgError::VersionMismatch { found, expected } => {
+                write!(f, "file format version {found} unsupported (expected {expected})")
+            }
+            CpdgError::NoCheckpoint { dir } => {
+                write!(f, "no valid checkpoint found in {}", disp(dir))
+            }
+            CpdgError::Diverged(report) => write!(f, "{report}"),
+            CpdgError::Interrupted { step, total_steps } => write!(
+                f,
+                "run paused at step {step}/{total_steps}; resume from the checkpoint directory \
+                 to continue"
+            ),
+            CpdgError::NodeCountMismatch { data_nodes, model_nodes } => write!(
+                f,
+                "data has {data_nodes} nodes but the model was pre-trained for {model_nodes} — \
+                 pre-train on the union id space first"
+            ),
+            CpdgError::Data(e) => write!(f, "data error: {e}"),
+            CpdgError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CpdgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CpdgError::Io { source, .. } => Some(source),
+            CpdgError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LoadError> for CpdgError {
+    fn from(e: LoadError) -> Self {
+        CpdgError::Data(e)
+    }
+}
+
+impl From<DivergenceReport> for CpdgError {
+    fn from(r: DivergenceReport) -> Self {
+        CpdgError::Diverged(r)
+    }
+}
+
+impl From<String> for CpdgError {
+    fn from(msg: String) -> Self {
+        CpdgError::Invalid(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CpdgError::io("/tmp/x.json", io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("/tmp/x.json"));
+        let e = CpdgError::VersionMismatch { found: 9, expected: 1 };
+        assert!(e.to_string().contains('9'));
+        let e = CpdgError::NodeCountMismatch { data_nodes: 10, model_nodes: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn exit_codes_distinguish_failure_classes() {
+        let usage = CpdgError::Invalid("bad flag".into());
+        let mismatch = CpdgError::NodeCountMismatch { data_nodes: 2, model_nodes: 1 };
+        let corrupt = CpdgError::corrupt("/m.json", "truncated");
+        assert_ne!(usage.exit_code(), mismatch.exit_code());
+        assert_ne!(mismatch.exit_code(), corrupt.exit_code());
+        assert_ne!(usage.exit_code(), corrupt.exit_code());
+    }
+
+    #[test]
+    fn string_errors_convert() {
+        fn inner() -> CpdgResult<()> {
+            Err("plain message".to_string())?;
+            Ok(())
+        }
+        assert!(matches!(inner(), Err(CpdgError::Invalid(_))));
+    }
+}

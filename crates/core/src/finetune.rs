@@ -91,6 +91,10 @@ pub struct LinkPredResult {
     pub ap: f64,
     /// Validation AUC of the selected epoch.
     pub val_auc: f64,
+    /// True when an EIE strategy was requested but had to degrade to plain
+    /// full fine-tuning because no pre-training checkpoints were available
+    /// (set by the pipeline, so sweeps cannot mislabel conditions).
+    pub eie_degraded: bool,
 }
 
 /// Bundles the per-run modules so embedding enhancement is uniform across
@@ -218,7 +222,7 @@ pub fn finetune_link_prediction(
     } else {
         metrics::link_prediction_metrics(&test.0, &test.1)
     };
-    LinkPredResult { auc, ap, val_auc: best_val.max(0.0) }
+    LinkPredResult { auc, ap, val_auc: best_val.max(0.0), eie_degraded: false }
 }
 
 /// Streams `graph.events()[stream_from..]` (the encoder's memory must

@@ -28,18 +28,26 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod contrast;
 pub mod eie;
+pub mod error;
 pub mod finetune;
 pub mod model_io;
 pub mod objective;
 pub mod pipeline;
 pub mod pretrain;
 pub mod sampler;
+pub mod storage;
 
+pub use checkpoint::{CheckpointConfig, CheckpointManager, TrainCheckpoint};
 pub use eie::{EieFusion, EieModule};
+pub use error::{CpdgError, CpdgResult};
 pub use model_io::ModelFile;
 pub use finetune::{FinetuneConfig, FinetuneStrategy, LinkPredResult};
 pub use objective::CpdgObjective;
 pub use pipeline::{PipelineConfig, PretrainMode};
-pub use pretrain::{pretrain, LossBreakdown, PretrainConfig, PretrainOutput};
+pub use pretrain::{
+    pretrain, pretrain_resumable, LossBreakdown, PretrainConfig, PretrainOutput, PretrainRuntime,
+};
+pub use storage::{FsStorage, Storage, FS_STORAGE};

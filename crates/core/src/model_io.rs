@@ -2,11 +2,18 @@
 //! model for fine-tuning — encoder wiring, all parameters, and the EIE
 //! memory checkpoints. Used by the `cpdg` CLI and directly loadable by
 //! library consumers (see `examples/save_finetune.rs`).
+//!
+//! Saves are crash-safe: bytes are published through
+//! [`Storage::write_atomic`] (temp sibling + fsync + rename), so a crash
+//! mid-save leaves either the previous model file or the new one — never a
+//! truncated hybrid. Loads return typed [`CpdgError`]s distinguishing
+//! missing files, corrupt contents, and incompatible format versions.
 
+use crate::error::{CpdgError, CpdgResult};
+use crate::storage::{Storage, FS_STORAGE};
 use cpdg_dgnn::{DgnnConfig, MemorySnapshot};
 use cpdg_tensor::ParamStore;
 use serde::{Deserialize, Serialize};
-use std::fs;
 use std::path::Path;
 
 /// Serialisable model bundle.
@@ -38,22 +45,30 @@ impl ModelFile {
         Self { version: VERSION, encoder_config, num_nodes, params, checkpoints }
     }
 
-    /// Writes the bundle as JSON.
-    pub fn save(&self, path: &Path) -> Result<(), String> {
-        let json = serde_json::to_string(self).map_err(|e| format!("serialise: {e}"))?;
-        fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))
+    /// Writes the bundle as JSON via a crash-safe atomic publish.
+    pub fn save(&self, path: &Path) -> CpdgResult<()> {
+        self.save_with(&FS_STORAGE, path)
+    }
+
+    /// [`ModelFile::save`] through an explicit [`Storage`] (fault-injection
+    /// point for crash-safety tests).
+    pub fn save_with(&self, storage: &dyn Storage, path: &Path) -> CpdgResult<()> {
+        let json = serde_json::to_vec(self).map_err(|e| CpdgError::Serialize(e.to_string()))?;
+        storage.write_atomic(path, &json).map_err(|e| CpdgError::io(path, e))
     }
 
     /// Reads a bundle back, checking the version.
-    pub fn load(path: &Path) -> Result<Self, String> {
-        let json = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    pub fn load(path: &Path) -> CpdgResult<Self> {
+        Self::load_with(&FS_STORAGE, path)
+    }
+
+    /// [`ModelFile::load`] through an explicit [`Storage`].
+    pub fn load_with(storage: &dyn Storage, path: &Path) -> CpdgResult<Self> {
+        let bytes = storage.read(path).map_err(|e| CpdgError::io(path, e))?;
         let model: ModelFile =
-            serde_json::from_str(&json).map_err(|e| format!("parse {}: {e}", path.display()))?;
+            serde_json::from_slice(&bytes).map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
         if model.version != VERSION {
-            return Err(format!(
-                "model file version {} unsupported (expected {VERSION})",
-                model.version
-            ));
+            return Err(CpdgError::VersionMismatch { found: model.version, expected: VERSION });
         }
         Ok(model)
     }
@@ -62,20 +77,30 @@ impl ModelFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::fault::TornWriteStorage;
     use cpdg_dgnn::EncoderKind;
     use cpdg_tensor::Matrix;
+    use std::path::PathBuf;
 
-    #[test]
-    fn save_load_round_trip() {
+    fn tiny_model() -> ModelFile {
         let mut params = ParamStore::new();
         params.register("w", Matrix::from_rows(&[&[1.5, -0.5]]));
         let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 100.0);
         let snap = MemorySnapshot { states: Matrix::full(3, 8, 0.25), progress: 0.5 };
-        let model = ModelFile::new(cfg, 3, params, vec![snap]);
+        ModelFile::new(cfg, 3, params, vec![snap])
+    }
 
-        let dir = std::env::temp_dir().join("cpdg_model_file_test");
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpdg_model_{name}_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = test_dir("round");
         let path = dir.join("model.json");
+        let model = tiny_model();
         model.save(&path).unwrap();
         let back = ModelFile::load(&path).unwrap();
         assert_eq!(back.version, VERSION);
@@ -84,26 +109,77 @@ mod tests {
         assert_eq!(back.params.len(), 1);
         let id = back.params.lookup("w").unwrap();
         assert_eq!(back.params.value(id), &Matrix::from_rows(&[&[1.5, -0.5]]));
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn version_mismatch_rejected() {
-        let dir = std::env::temp_dir().join("cpdg_model_file_test_v");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = test_dir("version");
         let path = dir.join("bad.json");
-        let mut params = ParamStore::new();
-        params.register("w", Matrix::ones(1, 1));
-        let mut model = ModelFile::new(
-            DgnnConfig::preset(EncoderKind::Jodie, 4, 1.0),
-            1,
-            params,
-            vec![],
-        );
+        let mut model = tiny_model();
         model.version = 999;
         let json = serde_json::to_string(&model).unwrap();
         std::fs::write(&path, json).unwrap();
-        assert!(ModelFile::load(&path).unwrap_err().contains("version"));
-        std::fs::remove_file(&path).ok();
+        let err = ModelFile::load(&path).unwrap_err();
+        assert!(matches!(err, CpdgError::VersionMismatch { found: 999, expected: VERSION }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = ModelFile::load(Path::new("/nonexistent/cpdg/model.json")).unwrap_err();
+        assert!(matches!(err, CpdgError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_json_is_corrupt_not_panic() {
+        let dir = test_dir("truncated");
+        let path = dir.join("model.json");
+        tiny_model().save(&path).unwrap();
+        // Chop the file mid-stream, as a torn legacy write would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        let err = ModelFile::load(&path).unwrap_err();
+        assert!(matches!(err, CpdgError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("model.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_json_is_corrupt() {
+        let dir = test_dir("garbage");
+        let path = dir.join("model.json");
+        std::fs::write(&path, b"{\"version\": \"not a number\"}").unwrap();
+        assert!(matches!(ModelFile::load(&path).unwrap_err(), CpdgError::Corrupt { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_checkpoint_bundle_round_trips() {
+        let dir = test_dir("zerockpt");
+        let path = dir.join("model.json");
+        let mut model = tiny_model();
+        model.checkpoints.clear();
+        model.save(&path).unwrap();
+        let back = ModelFile::load(&path).unwrap();
+        assert!(back.checkpoints.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_residue_is_rejected_as_corrupt() {
+        // Simulate the legacy non-atomic writer dying mid-write directly on
+        // the destination, then prove the loader flags it instead of
+        // parsing garbage or panicking.
+        let dir = test_dir("torn");
+        let path = dir.join("model.json");
+        let storage = TornWriteStorage::new();
+        let model = tiny_model();
+        model.save_with(&storage, &path).unwrap();
+        storage.tear_after(64);
+        model.save_with(&storage, &path).unwrap_err();
+        let err = ModelFile::load_with(&storage, &path).unwrap_err();
+        assert!(matches!(err, CpdgError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

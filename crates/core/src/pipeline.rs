@@ -178,20 +178,30 @@ pub fn run_link_prediction(
     let mut art = prepare(split, cfg);
     let checkpoints = art.pretrain.as_ref().map(|p| p.checkpoints.as_slice()).unwrap_or(&[]);
     let mut fcfg = cfg.finetune.clone();
-    if checkpoints.is_empty() && matches!(fcfg.strategy, FinetuneStrategy::Eie(_)) {
-        // EIE needs pre-training checkpoints; degrade gracefully.
+    let eie_degraded =
+        checkpoints.is_empty() && matches!(fcfg.strategy, FinetuneStrategy::Eie(_));
+    if eie_degraded {
+        // EIE needs pre-training checkpoints; degrade gracefully — but
+        // observably, so sweeps cannot mislabel this condition as EIE.
+        eprintln!(
+            "warning: {} requested EIE fine-tuning but no pre-training checkpoints exist; \
+             degrading to Full",
+            cfg.label()
+        );
         fcfg.strategy = FinetuneStrategy::Full;
     }
     let unseen = inductive.then(|| unseen_nodes(split)).filter(|s| !s.is_empty());
     let checkpoints = checkpoints.to_vec();
-    finetune_link_prediction(
+    let mut res = finetune_link_prediction(
         &mut art.encoder,
         &mut art.store,
         &split.downstream,
         &checkpoints,
         &fcfg,
         unseen.as_ref(),
-    )
+    );
+    res.eie_degraded = eie_degraded;
+    res
 }
 
 /// Runs the downstream *dynamic node classification* task under `cfg`,
@@ -202,6 +212,11 @@ pub fn run_node_classification(split: &TransferSplit, cfg: &PipelineConfig) -> f
         art.pretrain.as_ref().map(|p| p.checkpoints.clone()).unwrap_or_default();
     let mut fcfg = cfg.finetune.clone();
     if checkpoints.is_empty() && matches!(fcfg.strategy, FinetuneStrategy::Eie(_)) {
+        eprintln!(
+            "warning: {} requested EIE fine-tuning but no pre-training checkpoints exist; \
+             degrading to Full",
+            cfg.label()
+        );
         fcfg.strategy = FinetuneStrategy::Full;
     }
     finetune_node_classification(
@@ -285,6 +300,24 @@ mod tests {
     fn labels_name_conditions() {
         assert_eq!(PipelineConfig::cpdg(EncoderKind::Tgn).label(), "TGN with CPDG");
         assert_eq!(PipelineConfig::vanilla(EncoderKind::Tgn).label(), "TGN");
+    }
+
+    #[test]
+    fn eie_degradation_is_observable() {
+        let split = tiny_split(6);
+        // No pre-training → no checkpoints, yet EIE requested: the silent
+        // fallback to Full must be surfaced on the result.
+        let mut cfg = PipelineConfig::no_pretrain(EncoderKind::Tgn).with_seed(6);
+        quick(&mut cfg);
+        cfg.finetune.strategy = FinetuneStrategy::Eie(EieFusion::Gru);
+        let res = run_link_prediction(&split, &cfg, false);
+        assert!(res.eie_degraded, "degraded EIE condition must be flagged");
+
+        // A genuine CPDG run with checkpoints must NOT be flagged.
+        let mut cfg = PipelineConfig::cpdg(EncoderKind::Tgn).with_seed(6);
+        quick(&mut cfg);
+        let res = run_link_prediction(&split, &cfg, false);
+        assert!(!res.eie_degraded);
     }
 
     #[test]

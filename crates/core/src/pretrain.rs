@@ -2,18 +2,39 @@
 //! the temporal-contrast, structural-contrast, and temporal-link-prediction
 //! pretext losses under Eq. 17, with uniform memory checkpointing for the
 //! EIE fine-tuning module (Eq. 18).
+//!
+//! Two entry points share one loop:
+//!
+//! - [`pretrain`] — the legacy infallible API: no persistence, poisoned
+//!   steps are skipped forever (never a divergence error).
+//! - [`pretrain_resumable`] — the fault-tolerant runtime: a
+//!   [`TrainGuard`] watches every step for NaN/Inf losses and exploding
+//!   gradients (skipping poisoned updates with learning-rate backoff and
+//!   declaring [`CpdgError::Diverged`] once the retry budget is spent), and
+//!   an optional [`CheckpointConfig`] snapshots the full training state
+//!   every N steps through crash-safe atomic writes so an interrupted run
+//!   continues from its newest valid checkpoint.
+//!
+//! Resume determinism: instead of one RNG threaded through the whole run,
+//! each batch derives its RNG from `(cfg.seed, global step)`, so a resumed
+//! run samples exactly the negatives/contrast paths the uninterrupted run
+//! would have.
 
+use crate::checkpoint::{CheckpointConfig, CheckpointManager, TrainCheckpoint, CHECKPOINT_VERSION};
 use crate::contrast::structural::{structural_contrast_loss, StructuralContrastConfig};
 use crate::contrast::temporal::{temporal_contrast_loss, TemporalContrastConfig};
+use crate::error::{CpdgError, CpdgResult};
 use crate::objective::CpdgObjective;
+use crate::storage::{Storage, FS_STORAGE};
 use cpdg_dgnn::trainer::NegativeSampler;
-use cpdg_dgnn::{DgnnEncoder, LinkPredictor, MemorySnapshot};
+use cpdg_dgnn::{DgnnEncoder, GuardConfig, LinkPredictor, MemorySnapshot, StepVerdict, TrainGuard};
 use cpdg_graph::{DynamicGraph, NodeId, Timestamp};
 use cpdg_tensor::loss::link_prediction_loss;
 use cpdg_tensor::optim::{clip_global_norm, Adam};
 use cpdg_tensor::{ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// Pre-training hyper-parameters.
 #[derive(Debug, Clone)]
@@ -57,7 +78,7 @@ impl Default for PretrainConfig {
 }
 
 /// Per-epoch loss breakdown.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct LossBreakdown {
     /// Temporal link prediction pretext (Eq. 16).
     pub tlp: f32,
@@ -69,13 +90,51 @@ pub struct LossBreakdown {
     pub total: f32,
 }
 
+/// Fault-tolerance policy for [`pretrain_resumable`]: divergence guarding,
+/// checkpoint persistence, resume, and an optional step budget.
+pub struct PretrainRuntime<'s> {
+    /// Divergence watchdog thresholds and backoff policy.
+    pub guard: GuardConfig,
+    /// Where/how often to checkpoint; `None` disables persistence.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Byte storage used for checkpoints (swap in a fault-injecting
+    /// implementation in tests).
+    pub storage: &'s dyn Storage,
+    /// Continue from the newest valid checkpoint in `checkpoint.dir`
+    /// instead of starting fresh.
+    pub resume: bool,
+    /// Stop with [`CpdgError::Interrupted`] after this many steps *in this
+    /// invocation* (used by kill-and-resume tests and time-boxed jobs).
+    pub step_limit: Option<usize>,
+}
+
+impl Default for PretrainRuntime<'static> {
+    fn default() -> Self {
+        Self {
+            guard: GuardConfig::default(),
+            checkpoint: None,
+            storage: &FS_STORAGE,
+            resume: false,
+            step_limit: None,
+        }
+    }
+}
+
 /// Artifacts of a pre-training run.
 #[derive(Debug)]
 pub struct PretrainOutput {
     /// The `l` uniformly spaced memory checkpoints `[S^1, …, S^l]`.
     pub checkpoints: Vec<MemorySnapshot>,
-    /// Mean loss breakdown per epoch.
+    /// Mean loss breakdown per epoch (healthy batches only).
     pub epoch_losses: Vec<LossBreakdown>,
+    /// Poisoned steps the divergence guard skipped.
+    pub skipped_steps: usize,
+}
+
+/// The per-batch RNG: a deterministic function of the run seed and the
+/// global step, so resumed runs replay the exact sampling sequence.
+fn batch_rng(seed: u64, step: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (step as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Pre-trains `(encoder, head)` with the CPDG objective over `graph`.
@@ -84,6 +143,10 @@ pub struct PretrainOutput {
 /// uniformly across the whole run (all epochs) so the sequence reflects the
 /// full evolution of pre-training, and the final state is always the last
 /// checkpoint.
+///
+/// This entry point is infallible: it never persists anything and skips
+/// poisoned steps indefinitely instead of erroring. Use
+/// [`pretrain_resumable`] for crash-safe, divergence-bounded runs.
 pub fn pretrain(
     encoder: &mut DgnnEncoder,
     head: &LinkPredictor,
@@ -92,25 +155,121 @@ pub fn pretrain(
     graph: &DynamicGraph,
     cfg: &PretrainConfig,
 ) -> PretrainOutput {
+    let runtime =
+        PretrainRuntime { guard: GuardConfig::never_diverge(), ..PretrainRuntime::default() };
+    pretrain_resumable(encoder, head, store, opt, graph, cfg, &runtime)
+        .expect("guard never diverges and no storage is touched")
+}
+
+/// Fault-tolerant pre-training: divergence-guarded, optionally checkpointed
+/// every N steps, optionally resuming from the newest valid checkpoint.
+///
+/// On resume, `(encoder, head, store, opt)` must be freshly built with the
+/// same architecture/seed as the original run; parameters, optimiser
+/// moments, encoder memory, guard posture, and the epoch/step cursor are
+/// then restored from the checkpoint.
+///
+/// # Errors
+/// - [`CpdgError::Diverged`] when the guard's consecutive-failure budget is
+///   exhausted (partial progress is still in the last saved checkpoint).
+/// - [`CpdgError::Interrupted`] when `step_limit` pauses the run mid-stream.
+/// - [`CpdgError::NoCheckpoint`] when `resume` finds nothing usable.
+/// - IO/corruption errors from checkpoint persistence.
+#[allow(clippy::too_many_lines)]
+pub fn pretrain_resumable(
+    encoder: &mut DgnnEncoder,
+    head: &LinkPredictor,
+    store: &mut ParamStore,
+    opt: &mut Adam,
+    graph: &DynamicGraph,
+    cfg: &PretrainConfig,
+    runtime: &PretrainRuntime<'_>,
+) -> CpdgResult<PretrainOutput> {
     let sampler = NegativeSampler::from_graph(graph);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let negative_pool: Vec<NodeId> = graph.active_nodes();
 
-    let n_batches = graph.events().chunks(cfg.batch_size.max(1)).count();
+    let batch_size = cfg.batch_size.max(1);
+    let n_batches = graph.events().chunks(batch_size).count();
     let total_steps = (cfg.epochs * n_batches).max(1);
     let l = cfg.n_checkpoints.max(1);
+
+    let manager = match &runtime.checkpoint {
+        Some(c) => Some(CheckpointManager::new(c.clone(), runtime.storage)?),
+        None => None,
+    };
+
+    let mut guard = TrainGuard::new(runtime.guard.clone());
     let mut next_cp = 1usize;
-    let mut step = 0usize;
-
+    let mut step = 0usize; // global steps completed (across epochs)
+    let mut start_epoch = 0usize;
+    let mut skip_batches = 0usize;
     let mut checkpoints: Vec<MemorySnapshot> = Vec::with_capacity(l);
-    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut epoch_losses: Vec<LossBreakdown> = Vec::with_capacity(cfg.epochs);
+    let mut sums = LossBreakdown::default();
+    let mut batches = 0usize;
+    let mut resumed = false;
 
-    for _epoch in 0..cfg.epochs {
-        encoder.reset_state();
-        let mut sums = LossBreakdown::default();
-        let mut batches = 0usize;
+    if runtime.resume {
+        let dir = runtime
+            .checkpoint
+            .as_ref()
+            .map(|c| c.dir.clone())
+            .ok_or_else(|| CpdgError::Invalid("resume requires a checkpoint directory".into()))?;
+        let (ckpt, path) = CheckpointManager::load_latest(runtime.storage, &dir)?
+            .ok_or(CpdgError::NoCheckpoint { dir })?;
 
-        for chunk in graph.events().chunks(cfg.batch_size.max(1)) {
+        let copied = store.load_matching(&ckpt.params);
+        if copied != store.len() {
+            return Err(CpdgError::corrupt(
+                &path,
+                format!("checkpoint covers {copied} of {} model parameters", store.len()),
+            ));
+        }
+        encoder.restore_state(ckpt.encoder).map_err(|e| CpdgError::corrupt(&path, e))?;
+        *opt = ckpt.opt;
+        guard = ckpt.guard;
+        checkpoints = ckpt.eie_checkpoints;
+        epoch_losses = ckpt.epoch_losses;
+        sums = ckpt.partial_sums;
+        batches = ckpt.partial_batches;
+        step = ckpt.step;
+        next_cp = ckpt.next_cp;
+        start_epoch = ckpt.epoch;
+        skip_batches = step
+            .checked_sub(start_epoch.saturating_mul(n_batches))
+            .filter(|s| *s <= n_batches && step <= total_steps)
+            .ok_or_else(|| {
+                CpdgError::corrupt(&path, "epoch/step cursor inconsistent with this dataset")
+            })?;
+        resumed = true;
+        eprintln!(
+            "resuming pre-training from {} (step {step}/{total_steps}, epoch {start_epoch})",
+            path.display()
+        );
+    }
+
+    let mut steps_this_run = 0usize;
+
+    for epoch in start_epoch..cfg.epochs {
+        let continuing = resumed && epoch == start_epoch;
+        if !continuing {
+            encoder.reset_state();
+            sums = LossBreakdown::default();
+            batches = 0;
+        }
+        let to_skip = if continuing { skip_batches } else { 0 };
+
+        for (batch_idx, chunk) in graph.events().chunks(batch_size).enumerate() {
+            if batch_idx < to_skip {
+                continue;
+            }
+            if let Some(limit) = runtime.step_limit {
+                if steps_this_run >= limit {
+                    return Err(CpdgError::Interrupted { step, total_steps });
+                }
+            }
+            let mut rng = batch_rng(cfg.seed, step);
+
             let mut tape = Tape::new();
             let ctx = encoder.apply_pending(&mut tape, store, graph);
 
@@ -163,24 +322,59 @@ pub fn pretrain(
             };
 
             let total = cfg.objective.combine(&mut tape, tlp, tc_loss, sc_loss);
-
-            sums.tlp += tape.value(tlp).get(0, 0);
-            sums.tc += tc_loss.map(|v| tape.value(v).get(0, 0)).unwrap_or(0.0);
-            sums.sc += sc_loss.map(|v| tape.value(v).get(0, 0)).unwrap_or(0.0);
-            sums.total += tape.value(total).get(0, 0);
-            batches += 1;
+            let loss_val = tape.value(total).get(0, 0);
 
             let grads = tape.backward(total);
             let mut pg = tape.param_grads(&grads);
-            clip_global_norm(&mut pg, cfg.grad_clip);
-            opt.step(store, &pg);
-            encoder.commit(&tape, ctx, chunk);
+            let pre_norm = clip_global_norm(&mut pg, cfg.grad_clip);
+
+            match guard.inspect(step, loss_val, pre_norm) {
+                Ok(StepVerdict::Proceed) => {
+                    let base_lr = opt.lr;
+                    opt.lr = base_lr * guard.lr_scale();
+                    opt.step(store, &pg);
+                    opt.lr = base_lr;
+                    encoder.commit(&tape, ctx, chunk);
+
+                    sums.tlp += tape.value(tlp).get(0, 0);
+                    sums.tc += tc_loss.map(|v| tape.value(v).get(0, 0)).unwrap_or(0.0);
+                    sums.sc += sc_loss.map(|v| tape.value(v).get(0, 0)).unwrap_or(0.0);
+                    sums.total += loss_val;
+                    batches += 1;
+                }
+                Ok(StepVerdict::Skip) => {
+                    // Drop gradients and state writes, but keep chronology:
+                    // the batch's events still become pending messages.
+                    encoder.skip_commit(chunk);
+                }
+                Err(report) => return Err(CpdgError::Diverged(report)),
+            }
 
             // Uniform checkpointing across the full run (Eq. 18's [S^1…S^l]).
             step += 1;
+            steps_this_run += 1;
             while next_cp <= l && step * l >= next_cp * total_steps {
                 checkpoints.push(encoder.memory.snapshot(step as f64 / total_steps as f64));
                 next_cp += 1;
+            }
+
+            if let Some(mgr) = &manager {
+                if mgr.should_save(step) {
+                    mgr.save(&TrainCheckpoint {
+                        version: CHECKPOINT_VERSION,
+                        step,
+                        epoch,
+                        next_cp,
+                        params: store.clone(),
+                        opt: opt.clone(),
+                        encoder: encoder.export_state(),
+                        guard: guard.clone(),
+                        eie_checkpoints: checkpoints.clone(),
+                        epoch_losses: epoch_losses.clone(),
+                        partial_sums: sums,
+                        partial_batches: batches,
+                    })?;
+                }
             }
         }
 
@@ -193,7 +387,25 @@ pub fn pretrain(
         });
     }
 
-    PretrainOutput { checkpoints, epoch_losses }
+    // Terminal checkpoint so a completed run is also its own snapshot.
+    if let Some(mgr) = &manager {
+        mgr.save(&TrainCheckpoint {
+            version: CHECKPOINT_VERSION,
+            step,
+            epoch: cfg.epochs,
+            next_cp,
+            params: store.clone(),
+            opt: opt.clone(),
+            encoder: encoder.export_state(),
+            guard: guard.clone(),
+            eie_checkpoints: checkpoints.clone(),
+            epoch_losses: epoch_losses.clone(),
+            partial_sums: LossBreakdown::default(),
+            partial_batches: 0,
+        })?;
+    }
+
+    Ok(PretrainOutput { checkpoints, epoch_losses, skipped_steps: guard.skipped() })
 }
 
 #[cfg(test)]
@@ -230,6 +442,7 @@ mod tests {
         assert!((p.last().unwrap() - 1.0).abs() < 1e-9);
         // Later checkpoints contain non-trivial state.
         assert!(out.checkpoints.last().unwrap().states.frobenius_norm() > 0.0);
+        assert_eq!(out.skipped_steps, 0, "healthy run skips nothing");
     }
 
     #[test]
@@ -272,5 +485,68 @@ mod tests {
         let first = out.epoch_losses.first().unwrap().total;
         let last = out.epoch_losses.last().unwrap().total;
         assert!(last < first, "pretrain loss should drop: {first} → {last}");
+    }
+
+    #[test]
+    fn zero_explosion_threshold_freezes_parameters() {
+        // A guard that poisons every step (any finite grad norm > 0.0 trips
+        // the explosion check) must leave parameters bit-identical.
+        let ds = tiny_dataset(4);
+        let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 4);
+        let before = store.to_json();
+        let mut opt = Adam::new(1e-2);
+        let cfg = PretrainConfig { epochs: 1, batch_size: 200, ..Default::default() };
+        let runtime = PretrainRuntime {
+            guard: GuardConfig {
+                max_grad_norm: 0.0,
+                max_retries: usize::MAX,
+                ..GuardConfig::default()
+            },
+            ..PretrainRuntime::default()
+        };
+        let out =
+            pretrain_resumable(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime)
+                .expect("never-diverging guard cannot fail");
+        assert!(out.skipped_steps > 0);
+        assert_eq!(store.to_json(), before, "skipped steps must not touch parameters");
+        // No healthy batches → epoch loss reads zero, not NaN.
+        assert_eq!(out.epoch_losses[0].total, 0.0);
+    }
+
+    #[test]
+    fn step_limit_interrupts_with_cursor() {
+        let ds = tiny_dataset(5);
+        let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 5);
+        let mut opt = Adam::new(1e-2);
+        let cfg = PretrainConfig { epochs: 1, batch_size: 100, ..Default::default() };
+        let runtime = PretrainRuntime { step_limit: Some(2), ..PretrainRuntime::default() };
+        let err = pretrain_resumable(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime)
+            .unwrap_err();
+        match err {
+            CpdgError::Interrupted { step, total_steps } => {
+                assert_eq!(step, 2);
+                assert!(total_steps >= step);
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn resume_without_checkpoints_is_a_typed_error() {
+        let ds = tiny_dataset(6);
+        let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 6);
+        let mut opt = Adam::new(1e-2);
+        let cfg = PretrainConfig { epochs: 1, batch_size: 100, ..Default::default() };
+        let dir = std::env::temp_dir().join(format!("cpdg_noresume_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let runtime = PretrainRuntime {
+            checkpoint: Some(CheckpointConfig::new(&dir)),
+            resume: true,
+            ..PretrainRuntime::default()
+        };
+        let err = pretrain_resumable(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime)
+            .unwrap_err();
+        assert!(matches!(err, CpdgError::NoCheckpoint { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,317 @@
+//! Pluggable byte storage with crash-safe atomic writes.
+//!
+//! All model/checkpoint persistence goes through the [`Storage`] trait so
+//! that fault-injection tests (and drills) can simulate mid-write crashes,
+//! torn writes, and full disks without touching a real kernel. The
+//! production implementation, [`FsStorage`], writes through a temp file +
+//! `fsync` + atomic rename, so a crash at any instant leaves either the
+//! previous file version or the new one — never a truncated hybrid.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The production filesystem storage (shared, stateless).
+pub static FS_STORAGE: FsStorage = FsStorage;
+
+/// Byte-level persistence primitives.
+///
+/// `write` and `rename` are the raw fault-injection points;
+/// [`Storage::write_atomic`] composes them into the crash-safe publish
+/// protocol and is what all save paths use.
+pub trait Storage {
+    /// Writes `bytes` to `path` non-atomically (creating or truncating).
+    /// Implementations should flush to stable storage before returning.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically replaces `to` with `from`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Reads the full contents of `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates `path` and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Removes a file (errors if absent).
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Lists the files directly inside `dir`, sorted by file name.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Crash-safe publish: write to a temp sibling, then atomically rename
+    /// over `path`. On any failure the temp file is removed (best effort)
+    /// and the previous contents of `path` remain intact.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = tmp_sibling(path);
+        match self.write(&tmp, bytes).and_then(|()| self.rename(&tmp, path)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = self.remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The temp-file name used by [`Storage::write_atomic`] for `path`.
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    path.with_file_name(format!(".{name}.tmp"))
+}
+
+/// Real filesystem storage with durable writes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsStorage;
+
+impl Storage for FsStorage {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        f.write_all(bytes)?;
+        // Flush file contents to stable storage before the caller renames
+        // over the destination — the ordering that makes the publish atomic
+        // under power loss.
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_file())
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+pub mod fault {
+    //! Fault-injecting storage implementations for crash-safety tests.
+
+    use super::{FsStorage, Storage};
+    use std::cell::Cell;
+    use std::io::{self, Error, ErrorKind};
+    use std::path::{Path, PathBuf};
+
+    /// Wraps [`FsStorage`] and simulates the process dying partway through
+    /// a raw `write`: once armed, the next write persists only the first
+    /// `n` bytes and then fails. Under the atomic publish protocol this
+    /// tears the *temp* file, so the destination must survive untouched.
+    #[derive(Debug, Default)]
+    pub struct CrashingStorage {
+        inner: FsStorage,
+        budget: Cell<Option<usize>>,
+        crashes: Cell<usize>,
+    }
+
+    impl CrashingStorage {
+        /// A storage that behaves normally until armed.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Arms the next `write` to persist only `bytes` bytes, then fail.
+        pub fn crash_after(&self, bytes: usize) {
+            self.budget.set(Some(bytes));
+        }
+
+        /// How many simulated crashes have fired.
+        pub fn crashes(&self) -> usize {
+            self.crashes.get()
+        }
+    }
+
+    impl Storage for CrashingStorage {
+        fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+            match self.budget.take() {
+                Some(n) => {
+                    self.crashes.set(self.crashes.get() + 1);
+                    let cut = n.min(bytes.len());
+                    // Persist the torn prefix exactly as a dying process
+                    // would, then report the crash.
+                    self.inner.write(path, &bytes[..cut])?;
+                    Err(simulated_crash())
+                }
+                None => self.inner.write(path, bytes),
+            }
+        }
+
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            self.inner.rename(from, to)
+        }
+
+        fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+            self.inner.read(path)
+        }
+
+        fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+            self.inner.create_dir_all(path)
+        }
+
+        fn remove_file(&self, path: &Path) -> io::Result<()> {
+            self.inner.remove_file(path)
+        }
+
+        fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+            self.inner.list(dir)
+        }
+    }
+
+    /// Simulates the *legacy* non-atomic writer dying mid-write: bytes are
+    /// truncated and land directly on the destination path, bypassing the
+    /// temp-file protocol. Used to prove the loader rejects such residue
+    /// with a typed error instead of parsing garbage.
+    #[derive(Debug, Default)]
+    pub struct TornWriteStorage {
+        inner: FsStorage,
+        budget: Cell<Option<usize>>,
+    }
+
+    impl TornWriteStorage {
+        /// A storage that behaves normally until armed.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Arms the next atomic write to instead tear the destination file
+        /// at `bytes` bytes.
+        pub fn tear_after(&self, bytes: usize) {
+            self.budget.set(Some(bytes));
+        }
+    }
+
+    impl Storage for TornWriteStorage {
+        fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+            self.inner.write(path, bytes)
+        }
+
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            self.inner.rename(from, to)
+        }
+
+        fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+            self.inner.read(path)
+        }
+
+        fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+            self.inner.create_dir_all(path)
+        }
+
+        fn remove_file(&self, path: &Path) -> io::Result<()> {
+            self.inner.remove_file(path)
+        }
+
+        fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+            self.inner.list(dir)
+        }
+
+        fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+            match self.budget.take() {
+                Some(n) => {
+                    let cut = n.min(bytes.len());
+                    self.inner.write(path, &bytes[..cut])?;
+                    Err(simulated_crash())
+                }
+                None => {
+                    let tmp = super::tmp_sibling(path);
+                    self.inner.write(&tmp, bytes)?;
+                    self.inner.rename(&tmp, path)
+                }
+            }
+        }
+    }
+
+    fn simulated_crash() -> io::Error {
+        Error::new(ErrorKind::Interrupted, "simulated mid-write crash")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fault::{CrashingStorage, TornWriteStorage};
+    use super::*;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpdg_storage_{name}_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_round_trips() {
+        let dir = test_dir("atomic");
+        let path = dir.join("a.json");
+        FS_STORAGE.write_atomic(&path, b"hello").unwrap();
+        assert_eq!(FS_STORAGE.read(&path).unwrap(), b"hello");
+        // Overwrite is also atomic.
+        FS_STORAGE.write_atomic(&path, b"world").unwrap();
+        assert_eq!(FS_STORAGE.read(&path).unwrap(), b"world");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_during_atomic_write_preserves_previous_version() {
+        let dir = test_dir("crash");
+        let path = dir.join("m.json");
+        let storage = CrashingStorage::new();
+        storage.write_atomic(&path, b"version-one").unwrap();
+        storage.crash_after(3);
+        let err = storage.write_atomic(&path, b"version-two").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(storage.crashes(), 1);
+        // Destination untouched; no temp residue left behind.
+        assert_eq!(storage.read(&path).unwrap(), b"version-one");
+        assert!(!tmp_sibling(&path).exists(), "temp file must be cleaned up");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_leaves_truncated_destination() {
+        let dir = test_dir("torn");
+        let path = dir.join("m.json");
+        let storage = TornWriteStorage::new();
+        storage.write_atomic(&path, b"full contents").unwrap();
+        storage.tear_after(4);
+        storage.write_atomic(&path, b"replacement!!").unwrap_err();
+        assert_eq!(storage.read(&path).unwrap(), b"repl");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn list_is_sorted_and_files_only() {
+        let dir = test_dir("list");
+        FS_STORAGE.write(&dir.join("b.txt"), b"b").unwrap();
+        FS_STORAGE.write(&dir.join("a.txt"), b"a").unwrap();
+        FS_STORAGE.create_dir_all(&dir.join("sub")).unwrap();
+        let names: Vec<String> = FS_STORAGE
+            .list(&dir)
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a.txt", "b.txt"]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tmp_sibling_stays_in_same_directory() {
+        let t = tmp_sibling(Path::new("/x/y/model.json"));
+        assert_eq!(t, Path::new("/x/y/.model.json.tmp"));
+    }
+}

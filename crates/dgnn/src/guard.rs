@@ -1,0 +1,271 @@
+//! Divergence watchdog for long training runs.
+//!
+//! A [`TrainGuard`] inspects every optimisation step *before* the parameter
+//! update is applied. A step is **poisoned** when its loss or pre-clip
+//! gradient norm is non-finite, or when the gradient norm exceeds a
+//! configured explosion threshold. Poisoned steps are skipped entirely —
+//! the optimiser never sees the gradients, so a single NaN batch cannot
+//! corrupt hours of accumulated parameters — and the effective learning
+//! rate is backed off multiplicatively. Healthy steps gradually restore the
+//! learning rate. After a bounded number of *consecutive* poisoned steps
+//! the guard declares the run diverged and returns a [`DivergenceReport`]
+//! carrying the recent loss history for post-mortems.
+//!
+//! The guard's own state is serialisable so that crash-safe training
+//! checkpoints resume with the same backoff posture they were saved with.
+
+use serde::{Deserialize, Serialize};
+
+/// How many recent healthy losses a guard retains for diagnostics.
+const HISTORY_CAP: usize = 64;
+
+/// Watchdog thresholds and backoff policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Pre-clip global gradient norms above this are treated as exploding.
+    pub max_grad_norm: f32,
+    /// Consecutive poisoned steps tolerated before declaring divergence.
+    pub max_retries: usize,
+    /// Learning-rate scale multiplier applied on each poisoned step (< 1).
+    pub backoff: f32,
+    /// Learning-rate scale multiplier applied on each healthy step (> 1),
+    /// capped at 1.0 — recovery after a backoff episode.
+    pub recovery: f32,
+    /// Floor for the learning-rate scale.
+    pub min_lr_scale: f32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            max_grad_norm: 1e4,
+            max_retries: 8,
+            backoff: 0.5,
+            recovery: 1.25,
+            min_lr_scale: 1e-3,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// A guard that skips poisoned steps forever instead of ever declaring
+    /// divergence — the posture of legacy infallible entry points.
+    pub fn never_diverge() -> Self {
+        Self { max_retries: usize::MAX, ..Self::default() }
+    }
+}
+
+/// Verdict for a single inspected step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepVerdict {
+    /// The step is healthy: apply the optimiser update and commit state.
+    Proceed,
+    /// The step is poisoned: drop its gradients and states, back off the
+    /// learning rate, and continue with the next batch.
+    Skip,
+}
+
+/// Evidence returned when a run exceeds the consecutive-failure budget.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// Global step index at which divergence was declared.
+    pub step: usize,
+    /// Consecutive poisoned steps observed (including this one).
+    pub consecutive_bad: usize,
+    /// The offending loss value (may be NaN/Inf).
+    pub last_loss: f32,
+    /// The offending pre-clip gradient norm (may be NaN/Inf).
+    pub last_grad_norm: f32,
+    /// Recent healthy losses leading up to the failure, oldest first.
+    pub loss_history: Vec<f32>,
+}
+
+impl std::fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "training diverged at step {}: {} consecutive poisoned steps \
+             (last loss {}, last grad norm {}); {} healthy losses recorded",
+            self.step,
+            self.consecutive_bad,
+            self.last_loss,
+            self.last_grad_norm,
+            self.loss_history.len()
+        )
+    }
+}
+
+/// NaN/Inf and gradient-explosion watchdog with learning-rate backoff.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainGuard {
+    cfg: GuardConfig,
+    lr_scale: f32,
+    consecutive_bad: usize,
+    skipped: usize,
+    history: Vec<f32>,
+}
+
+impl TrainGuard {
+    /// A fresh guard with full learning rate.
+    pub fn new(cfg: GuardConfig) -> Self {
+        Self { cfg, lr_scale: 1.0, consecutive_bad: 0, skipped: 0, history: Vec::new() }
+    }
+
+    /// The policy this guard enforces.
+    pub fn config(&self) -> &GuardConfig {
+        &self.cfg
+    }
+
+    /// Current learning-rate scale in `[min_lr_scale, 1]`. Multiply the
+    /// optimiser's base learning rate by this for the next update.
+    pub fn lr_scale(&self) -> f32 {
+        self.lr_scale
+    }
+
+    /// Total poisoned steps skipped so far.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Recent healthy losses, oldest first (bounded window).
+    pub fn recent_losses(&self) -> &[f32] {
+        &self.history
+    }
+
+    /// Inspects one step *before* the optimiser update.
+    ///
+    /// `loss` is the scalar batch loss and `grad_norm` the pre-clip global
+    /// gradient norm. Returns the verdict, or a [`DivergenceReport`] once
+    /// more than `max_retries` consecutive steps are poisoned.
+    pub fn inspect(
+        &mut self,
+        step: usize,
+        loss: f32,
+        grad_norm: f32,
+    ) -> Result<StepVerdict, DivergenceReport> {
+        let poisoned =
+            !loss.is_finite() || !grad_norm.is_finite() || grad_norm > self.cfg.max_grad_norm;
+        if poisoned {
+            self.consecutive_bad += 1;
+            self.skipped += 1;
+            if self.consecutive_bad > self.cfg.max_retries {
+                return Err(DivergenceReport {
+                    step,
+                    consecutive_bad: self.consecutive_bad,
+                    last_loss: loss,
+                    last_grad_norm: grad_norm,
+                    loss_history: self.history.clone(),
+                });
+            }
+            self.lr_scale = (self.lr_scale * self.cfg.backoff).max(self.cfg.min_lr_scale);
+            Ok(StepVerdict::Skip)
+        } else {
+            self.consecutive_bad = 0;
+            self.lr_scale = (self.lr_scale * self.cfg.recovery).min(1.0);
+            self.history.push(loss);
+            if self.history.len() > HISTORY_CAP {
+                self.history.remove(0);
+            }
+            Ok(StepVerdict::Proceed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard(max_retries: usize) -> TrainGuard {
+        TrainGuard::new(GuardConfig { max_retries, ..GuardConfig::default() })
+    }
+
+    #[test]
+    fn healthy_steps_proceed_at_full_lr() {
+        let mut g = guard(3);
+        for step in 0..10 {
+            assert_eq!(g.inspect(step, 1.0, 2.0).unwrap(), StepVerdict::Proceed);
+        }
+        assert_eq!(g.lr_scale(), 1.0);
+        assert_eq!(g.skipped(), 0);
+        assert_eq!(g.recent_losses().len(), 10);
+    }
+
+    #[test]
+    fn nan_loss_skips_and_backs_off_then_recovers() {
+        let mut g = guard(3);
+        assert_eq!(g.inspect(0, 0.9, 1.0).unwrap(), StepVerdict::Proceed);
+        assert_eq!(g.inspect(1, f32::NAN, 1.0).unwrap(), StepVerdict::Skip);
+        assert_eq!(g.inspect(2, f32::INFINITY, 1.0).unwrap(), StepVerdict::Skip);
+        let dipped = g.lr_scale();
+        assert!(dipped < 1.0, "backoff must reduce lr scale: {dipped}");
+        // Recovery: healthy steps climb the scale back towards 1.
+        assert_eq!(g.inspect(3, 0.8, 1.0).unwrap(), StepVerdict::Proceed);
+        assert!(g.lr_scale() > dipped);
+        for step in 4..20 {
+            g.inspect(step, 0.7, 1.0).unwrap();
+        }
+        assert_eq!(g.lr_scale(), 1.0);
+        assert_eq!(g.skipped(), 2);
+    }
+
+    #[test]
+    fn exploding_gradient_norm_is_poisoned() {
+        let mut g = TrainGuard::new(GuardConfig {
+            max_grad_norm: 10.0,
+            max_retries: 5,
+            ..GuardConfig::default()
+        });
+        assert_eq!(g.inspect(0, 1.0, 11.0).unwrap(), StepVerdict::Skip);
+        assert_eq!(g.inspect(1, 1.0, f32::NAN).unwrap(), StepVerdict::Skip);
+        assert_eq!(g.inspect(2, 1.0, 9.0).unwrap(), StepVerdict::Proceed);
+    }
+
+    #[test]
+    fn consecutive_failures_beyond_budget_diverge() {
+        let mut g = guard(2);
+        g.inspect(0, 0.5, 1.0).unwrap();
+        assert!(g.inspect(1, f32::NAN, 1.0).is_ok());
+        assert!(g.inspect(2, f32::NAN, 1.0).is_ok());
+        let report = g.inspect(3, f32::NAN, 1.0).unwrap_err();
+        assert_eq!(report.step, 3);
+        assert_eq!(report.consecutive_bad, 3);
+        assert!(report.last_loss.is_nan());
+        assert_eq!(report.loss_history, vec![0.5]);
+    }
+
+    #[test]
+    fn interleaved_failures_reset_the_budget() {
+        let mut g = guard(1);
+        for step in 0..20 {
+            // Alternate bad/good: never two consecutive failures.
+            let loss = if step % 2 == 0 { f32::NAN } else { 0.3 };
+            assert!(g.inspect(step, loss, 1.0).is_ok(), "step {step}");
+        }
+        assert_eq!(g.skipped(), 10);
+    }
+
+    #[test]
+    fn lr_scale_respects_floor() {
+        let mut g = TrainGuard::new(GuardConfig {
+            max_retries: usize::MAX,
+            min_lr_scale: 0.25,
+            ..GuardConfig::default()
+        });
+        for step in 0..50 {
+            g.inspect(step, f32::NAN, 1.0).unwrap();
+        }
+        assert_eq!(g.lr_scale(), 0.25);
+    }
+
+    #[test]
+    fn guard_state_round_trips_through_json() {
+        let mut g = guard(4);
+        g.inspect(0, 1.0, 1.0).unwrap();
+        g.inspect(1, f32::NAN, 1.0).unwrap();
+        let json = serde_json::to_string(&g).expect("serialise");
+        let back: TrainGuard = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.lr_scale(), g.lr_scale());
+        assert_eq!(back.skipped(), g.skipped());
+        assert_eq!(back.recent_losses(), g.recent_losses());
+    }
+}

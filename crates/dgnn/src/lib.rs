@@ -31,12 +31,14 @@
 pub mod config;
 pub mod decoder;
 pub mod encoder;
+pub mod guard;
 pub mod memory;
 pub mod metrics;
 pub mod trainer;
 
 pub use config::{AggKind, DgnnConfig, EmbedKind, EncoderKind, MemKind, MsgKind};
 pub use decoder::{LinkPredictor, NodeClassifier};
-pub use encoder::{BatchContext, DgnnEncoder};
+pub use encoder::{BatchContext, DgnnEncoder, EncoderState};
+pub use guard::{DivergenceReport, GuardConfig, StepVerdict, TrainGuard};
 pub use memory::{Memory, MemorySnapshot};
 pub use trainer::{EvalScores, NegativeSampler, TrainConfig};

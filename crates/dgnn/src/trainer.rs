@@ -9,6 +9,7 @@
 
 use crate::decoder::LinkPredictor;
 use crate::encoder::DgnnEncoder;
+use crate::guard::{DivergenceReport, GuardConfig, StepVerdict, TrainGuard};
 use cpdg_graph::{DynamicGraph, NodeId, Timestamp};
 use cpdg_tensor::loss::link_prediction_loss;
 use cpdg_tensor::optim::{clip_global_norm, Adam};
@@ -28,11 +29,13 @@ pub struct TrainConfig {
     pub grad_clip: f32,
     /// RNG seed for negative sampling.
     pub seed: u64,
+    /// Divergence watchdog policy (NaN/Inf losses, exploding gradients).
+    pub guard: GuardConfig,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { batch_size: 200, epochs: 1, grad_clip: 5.0, seed: 0 }
+        Self { batch_size: 200, epochs: 1, grad_clip: 5.0, seed: 0, guard: GuardConfig::default() }
     }
 }
 
@@ -66,6 +69,13 @@ impl NegativeSampler {
 /// Trains `(encoder, head)` on temporal link prediction over `graph`.
 /// Returns the mean loss of each epoch. Memory is reset at the start of
 /// every epoch (each epoch replays the stream from scratch).
+///
+/// Poisoned steps (NaN/Inf losses, exploding gradients) are skipped under
+/// `cfg.guard` rather than propagated into parameters; if the run exceeds
+/// the guard's consecutive-failure budget, training stops early with a
+/// warning and the epoch losses recorded so far are returned. Use
+/// [`train_link_prediction_guarded`] to observe the divergence as a typed
+/// error instead.
 pub fn train_link_prediction(
     encoder: &mut DgnnEncoder,
     head: &LinkPredictor,
@@ -74,9 +84,33 @@ pub fn train_link_prediction(
     graph: &DynamicGraph,
     cfg: &TrainConfig,
 ) -> Vec<f32> {
+    let mut guard = TrainGuard::new(cfg.guard.clone());
+    match train_link_prediction_guarded(encoder, head, store, opt, graph, cfg, &mut guard) {
+        Ok(losses) => losses,
+        Err((losses, report)) => {
+            eprintln!("warning: {report}; stopping training early");
+            losses
+        }
+    }
+}
+
+/// [`train_link_prediction`] with an external [`TrainGuard`], surfacing
+/// divergence as a typed error. On divergence the epoch losses completed
+/// before the failure accompany the report.
+#[allow(clippy::type_complexity)]
+pub fn train_link_prediction_guarded(
+    encoder: &mut DgnnEncoder,
+    head: &LinkPredictor,
+    store: &mut ParamStore,
+    opt: &mut Adam,
+    graph: &DynamicGraph,
+    cfg: &TrainConfig,
+    guard: &mut TrainGuard,
+) -> Result<Vec<f32>, (Vec<f32>, DivergenceReport)> {
     let sampler = NegativeSampler::from_graph(graph);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut step = 0usize;
 
     for _ in 0..cfg.epochs {
         encoder.reset_state();
@@ -98,18 +132,29 @@ pub fn train_link_prediction(
             let pos_logits = head.score(&mut tape, store, z_src, z_dst);
             let neg_logits = head.score(&mut tape, store, z_src, z_neg);
             let loss = link_prediction_loss(&mut tape, pos_logits, neg_logits);
-            total += f64::from(tape.value(loss).get(0, 0));
-            batches += 1;
+            let loss_val = tape.value(loss).get(0, 0);
 
             let grads = tape.backward(loss);
             let mut pg = tape.param_grads(&grads);
-            clip_global_norm(&mut pg, cfg.grad_clip);
-            opt.step(store, &pg);
-            encoder.commit(&tape, ctx, chunk);
+            let pre_norm = clip_global_norm(&mut pg, cfg.grad_clip);
+            match guard.inspect(step, loss_val, pre_norm) {
+                Ok(StepVerdict::Proceed) => {
+                    total += f64::from(loss_val);
+                    batches += 1;
+                    let base_lr = opt.lr;
+                    opt.lr = base_lr * guard.lr_scale();
+                    opt.step(store, &pg);
+                    opt.lr = base_lr;
+                    encoder.commit(&tape, ctx, chunk);
+                }
+                Ok(StepVerdict::Skip) => encoder.skip_commit(chunk),
+                Err(report) => return Err((epoch_losses, report)),
+            }
+            step += 1;
         }
         epoch_losses.push((total / batches.max(1) as f64) as f32);
     }
-    epoch_losses
+    Ok(epoch_losses)
 }
 
 /// Scores of one streaming evaluation pass: positives vs sampled negatives.
@@ -277,6 +322,58 @@ mod tests {
         let all = eval_link_prediction(&mut enc, &head, &store, &g, 0, &cfg, None);
         assert!(restricted.pos.len() < all.pos.len());
         assert!(!restricted.pos.is_empty());
+    }
+
+    #[test]
+    fn guarded_training_skips_poisoned_steps_without_touching_params() {
+        let g = planted_graph(10, 10, 400, 11);
+        let (mut store, mut enc, head) = build(EncoderKind::Tgn, 20, 11);
+        let mut opt = Adam::new(1e-2);
+        // A zero explosion threshold marks every step poisoned: the whole
+        // run is skipped and parameters must come out bit-identical.
+        let cfg = TrainConfig {
+            batch_size: 50,
+            epochs: 1,
+            guard: GuardConfig { max_grad_norm: 0.0, max_retries: usize::MAX, ..GuardConfig::default() },
+            ..Default::default()
+        };
+        let before = store.clone();
+        let mut guard = TrainGuard::new(cfg.guard.clone());
+        let losses = train_link_prediction_guarded(
+            &mut enc, &head, &mut store, &mut opt, &g, &cfg, &mut guard,
+        )
+        .expect("never diverges with unbounded retries");
+        assert_eq!(losses.len(), 1);
+        assert!(guard.skipped() > 0);
+        for id in before.ids() {
+            assert_eq!(before.value(id), store.value(id), "{}", before.name(id));
+        }
+        // Memory was never written from poisoned tapes either.
+        assert_eq!(enc.memory.rms(), 0.0);
+    }
+
+    #[test]
+    fn guarded_training_reports_divergence_on_persistent_poison() {
+        let g = planted_graph(8, 8, 300, 12);
+        let (mut store, mut enc, head) = build(EncoderKind::Tgn, 16, 12);
+        // Poison a parameter: every forward pass now yields NaN losses.
+        let id = store.ids().next().unwrap();
+        store.value_mut(id).data_mut()[0] = f32::NAN;
+        let mut opt = Adam::new(1e-2);
+        let cfg = TrainConfig {
+            batch_size: 50,
+            epochs: 1,
+            guard: GuardConfig { max_retries: 2, ..GuardConfig::default() },
+            ..Default::default()
+        };
+        let mut guard = TrainGuard::new(cfg.guard.clone());
+        let (done, report) = train_link_prediction_guarded(
+            &mut enc, &head, &mut store, &mut opt, &g, &cfg, &mut guard,
+        )
+        .expect_err("NaN params must diverge");
+        assert!(done.is_empty(), "no epoch completed");
+        assert_eq!(report.consecutive_bad, 3);
+        assert!(!report.last_loss.is_finite());
     }
 
     #[test]

@@ -85,6 +85,11 @@ pub fn load_jodie_csv(reader: impl Read) -> Result<LoadedGraph, LoadError> {
             .trim()
             .parse()
             .map_err(|e| LoadError::Parse(lineno + 1, format!("bad timestamp: {e}")))?;
+        // `"nan"`/`"inf"` parse as valid f64s but poison every downstream
+        // Δt computation (and NaN breaks chronological ordering entirely).
+        if !t.is_finite() {
+            return Err(LoadError::Parse(lineno + 1, format!("non-finite timestamp {t}")));
+        }
         let label_raw = next("state_label")?.trim();
         let label = match label_raw {
             "0" | "0.0" => false,
@@ -178,6 +183,20 @@ user_id,item_id,timestamp,state_label,comma_separated_list_of_features
         let bad = "h\n0,xyz,1.0,0\n";
         let err = load_jodie_csv(bad.as_bytes()).unwrap_err();
         assert!(matches!(err, LoadError::Parse(2, _)), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_timestamps() {
+        for bad_t in ["nan", "NaN", "inf", "-inf", "infinity"] {
+            let csv = format!("h\n0,0,{bad_t},0\n");
+            let err = load_jodie_csv(csv.as_bytes()).unwrap_err();
+            match err {
+                LoadError::Parse(2, what) => {
+                    assert!(what.contains("non-finite"), "{bad_t}: {what}")
+                }
+                other => panic!("{bad_t}: expected Parse error, got {other}"),
+            }
+        }
     }
 
     #[test]

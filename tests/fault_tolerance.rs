@@ -1,0 +1,231 @@
+//! Fault-tolerance integration tests: kill-and-resume pre-training,
+//! corrupt-checkpoint fallback, crash-safe model saves, and divergence
+//! reporting — the runtime behaviours that keep long experiments alive.
+
+use cpdg::core::checkpoint::CheckpointConfig;
+use cpdg::core::error::CpdgError;
+use cpdg::core::model_io::ModelFile;
+use cpdg::core::pretrain::{pretrain_resumable, PretrainConfig, PretrainRuntime};
+use cpdg::core::storage::fault::CrashingStorage;
+use cpdg::core::storage::{Storage, FS_STORAGE};
+use cpdg::dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, GuardConfig, LinkPredictor};
+use cpdg::graph::{generate, SyntheticConfig, SyntheticDataset};
+use cpdg::tensor::optim::Adam;
+use cpdg::tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn tiny_dataset(seed: u64) -> SyntheticDataset {
+    generate(&SyntheticConfig { n_events: 600, ..SyntheticConfig::amazon_like(seed) }.scaled(0.12))
+}
+
+/// Deterministic model builder: every call with the same inputs yields an
+/// identically initialised encoder/head/store — the contract resume relies on.
+fn build(num_nodes: usize, seed: u64) -> (ParamStore, DgnnEncoder, LinkPredictor) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = DgnnConfig::preset(EncoderKind::Tgn, 16, 10_000.0);
+    let enc = DgnnEncoder::new(&mut store, &mut rng, "enc", num_nodes, cfg);
+    let head = LinkPredictor::new(&mut store, &mut rng, "head", 16);
+    (store, enc, head)
+}
+
+fn pcfg() -> PretrainConfig {
+    PretrainConfig { epochs: 1, batch_size: 50, n_checkpoints: 4, ..Default::default() }
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpdg_ft_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn kill_and_resume_matches_uninterrupted_run_exactly() {
+    let ds = tiny_dataset(0);
+    let cfg = pcfg();
+
+    // Reference: one uninterrupted run, no persistence.
+    let (mut ref_store, mut ref_enc, ref_head) = build(ds.graph.num_nodes(), 0);
+    let mut ref_opt = Adam::new(1e-2);
+    let reference = pretrain_resumable(
+        &mut ref_enc,
+        &ref_head,
+        &mut ref_store,
+        &mut ref_opt,
+        &ds.graph,
+        &cfg,
+        &PretrainRuntime::default(),
+    )
+    .expect("reference run");
+
+    // Interrupted: checkpoint every 3 steps, kill after 7.
+    let dir = test_dir("resume");
+    let ckpt = CheckpointConfig { dir: dir.clone(), every_n_steps: 3, keep: 3 };
+    let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 0);
+    let mut opt = Adam::new(1e-2);
+    let err = pretrain_resumable(
+        &mut enc,
+        &head,
+        &mut store,
+        &mut opt,
+        &ds.graph,
+        &cfg,
+        &PretrainRuntime {
+            checkpoint: Some(ckpt.clone()),
+            step_limit: Some(7),
+            ..PretrainRuntime::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, CpdgError::Interrupted { step: 7, .. }), "{err}");
+
+    // Resume in a fresh, identically seeded process image.
+    let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 0);
+    let mut opt = Adam::new(1e-2);
+    let resumed = pretrain_resumable(
+        &mut enc,
+        &head,
+        &mut store,
+        &mut opt,
+        &ds.graph,
+        &cfg,
+        &PretrainRuntime {
+            checkpoint: Some(ckpt),
+            resume: true,
+            ..PretrainRuntime::default()
+        },
+    )
+    .expect("resumed run");
+
+    // The resumed run must land exactly where the uninterrupted one did:
+    // per-batch RNG reseeding makes the trajectories identical.
+    assert_eq!(resumed.checkpoints.len(), cfg.n_checkpoints);
+    assert_eq!(resumed.epoch_losses.len(), reference.epoch_losses.len());
+    for (a, b) in resumed.epoch_losses.iter().zip(&reference.epoch_losses) {
+        assert!(a.total.is_finite());
+        assert!((a.total - b.total).abs() < 1e-5, "{} vs {}", a.total, b.total);
+    }
+    assert_eq!(
+        store.to_json(),
+        ref_store.to_json(),
+        "resumed parameters must be bit-identical to the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_skips_corrupt_newest_checkpoint() {
+    let ds = tiny_dataset(1);
+    let cfg = pcfg();
+    let dir = test_dir("corrupt");
+    let ckpt = CheckpointConfig { dir: dir.clone(), every_n_steps: 3, keep: 3 };
+
+    let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 1);
+    let mut opt = Adam::new(1e-2);
+    pretrain_resumable(
+        &mut enc,
+        &head,
+        &mut store,
+        &mut opt,
+        &ds.graph,
+        &cfg,
+        &PretrainRuntime {
+            checkpoint: Some(ckpt.clone()),
+            step_limit: Some(7),
+            ..PretrainRuntime::default()
+        },
+    )
+    .unwrap_err();
+
+    // Truncate the newest checkpoint file (torn legacy write / bad disk).
+    let mut files: Vec<PathBuf> = FS_STORAGE
+        .list(&dir)
+        .unwrap()
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.starts_with("ckpt-"))
+                .unwrap_or(false)
+        })
+        .collect();
+    assert!(files.len() >= 2, "expected at least two checkpoints, got {files:?}");
+    let newest = files.pop().unwrap();
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+    // Resume must fall back to the older valid checkpoint and complete.
+    let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 1);
+    let mut opt = Adam::new(1e-2);
+    let resumed = pretrain_resumable(
+        &mut enc,
+        &head,
+        &mut store,
+        &mut opt,
+        &ds.graph,
+        &cfg,
+        &PretrainRuntime { checkpoint: Some(ckpt), resume: true, ..PretrainRuntime::default() },
+    )
+    .expect("resume past the corrupt file");
+    assert_eq!(resumed.checkpoints.len(), cfg.n_checkpoints);
+    assert!(resumed.epoch_losses.iter().all(|e| e.total.is_finite()));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crashed_model_save_preserves_previous_version() {
+    let dir = test_dir("model_crash");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    let storage = CrashingStorage::new();
+
+    let mut params = ParamStore::new();
+    params.register("w", cpdg::tensor::Matrix::full(1, 2, 1.0));
+    let v1 = ModelFile::new(DgnnConfig::preset(EncoderKind::Tgn, 8, 1.0), 3, params, vec![]);
+    v1.save_with(&storage, &path).expect("first save");
+
+    let mut params = ParamStore::new();
+    params.register("w", cpdg::tensor::Matrix::full(1, 2, 2.0));
+    let v2 = ModelFile::new(DgnnConfig::preset(EncoderKind::Tgn, 8, 1.0), 3, params, vec![]);
+    storage.crash_after(16);
+    v2.save_with(&storage, &path).expect_err("armed save must crash");
+    assert_eq!(storage.crashes(), 1);
+
+    // The bundle on disk is still the complete first version.
+    let back = ModelFile::load_with(&storage, &path).expect("previous version intact");
+    let id = back.params.lookup("w").unwrap();
+    assert_eq!(back.params.value(id).get(0, 0), 1.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn poisoned_model_diverges_with_typed_report() {
+    // Synthetic loss spike: every parameter is NaN, so every step is
+    // poisoned and a small retry budget must trip the watchdog.
+    let ds = tiny_dataset(2);
+    let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 2);
+    let ids: Vec<_> = store.ids().collect();
+    for id in ids {
+        for v in store.value_mut(id).data_mut() {
+            *v = f32::NAN;
+        }
+    }
+    let mut opt = Adam::new(1e-2);
+    let runtime = PretrainRuntime {
+        guard: GuardConfig { max_retries: 2, ..GuardConfig::default() },
+        ..PretrainRuntime::default()
+    };
+    let err =
+        pretrain_resumable(&mut enc, &head, &mut store, &mut opt, &ds.graph, &pcfg(), &runtime)
+            .unwrap_err();
+    match &err {
+        CpdgError::Diverged(report) => {
+            assert_eq!(report.consecutive_bad, 3);
+            assert!(!report.last_loss.is_finite());
+        }
+        other => panic!("expected Diverged, got {other}"),
+    }
+    assert_eq!(err.exit_code(), 5, "divergence has its own exit code");
+}
