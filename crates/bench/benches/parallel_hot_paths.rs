@@ -1,0 +1,76 @@
+//! Criterion microbenches for the threaded hot paths: blocked matmul and
+//! batched subgraph sampling, each swept across worker counts against the
+//! sequential baseline. `src/bin/parallel_bench.rs` records the same
+//! comparisons as machine-readable JSON (`BENCH_parallel.json`).
+
+use cpdg_core::sampler::batch::BatchSampler;
+use cpdg_core::sampler::bfs::BfsConfig;
+use cpdg_core::sampler::dfs::DfsConfig;
+use cpdg_core::sampler::prob::TemporalBias;
+use cpdg_graph::{generate, NodeId, SyntheticConfig, Timestamp};
+use cpdg_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn lcg_matrix(rows: usize, cols: usize, mut state: u64) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn parallel_benches(c: &mut Criterion) {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Sweep 1/2/4/all-cores, deduplicated (criterion rejects duplicate ids).
+    let mut sweep = vec![1usize, 2, 4, hw];
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    let mut group = c.benchmark_group("matmul_256");
+    let a = lcg_matrix(256, 256, 1);
+    let b256 = lcg_matrix(256, 256, 2);
+    for &threads in &sweep {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{threads}t")), &threads, |b, &t| {
+            b.iter(|| black_box(a.matmul_with_threads(&b256, t)));
+        });
+    }
+    group.finish();
+
+    let ds = generate(&SyntheticConfig::amazon_like(13).scaled(0.3));
+    let graph = &ds.graph;
+    let t_end = graph.t_max().unwrap() + 1.0;
+    let queries: Vec<(NodeId, Timestamp)> =
+        graph.active_nodes().into_iter().cycle().take(256).map(|n| (n, t_end)).collect();
+    let bfs = BfsConfig::new(5, 2, 0.5, TemporalBias::Chronological);
+    let rev = BfsConfig::new(5, 2, 0.5, TemporalBias::ReverseChronological);
+    let dfs = DfsConfig::new(3, 2);
+    let pool = graph.active_nodes();
+
+    let mut group = c.benchmark_group("sampler_batch_256_queries");
+    for &threads in &sweep {
+        let sampler = BatchSampler::with_threads(graph, threads);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{threads}t")), &threads, |b, _| {
+            b.iter(|| {
+                black_box(sampler.sample_bfs_pairs(&queries, &bfs, &rev, 7));
+                black_box(sampler.sample_dfs_pairs(&queries, &pool, &dfs, 7));
+            });
+        });
+    }
+    group.finish();
+
+    // Index build amortisation: the one-off cost the batched path pays to
+    // replace per-query adjacency scans.
+    c.bench_function("temporal_index_build", |b| {
+        b.iter(|| black_box(cpdg_graph::TemporalAdjacencyIndex::build(graph)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = parallel_benches
+}
+criterion_main!(benches);

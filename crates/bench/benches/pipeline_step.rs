@@ -6,6 +6,7 @@
 use cpdg_core::contrast::structural::{structural_contrast_loss, StructuralContrastConfig};
 use cpdg_core::contrast::temporal::{temporal_contrast_loss, TemporalContrastConfig};
 use cpdg_core::eie::{EieFusion, EieModule};
+use cpdg_core::sampler::batch::BatchSampler;
 use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind};
 use cpdg_graph::{generate, NodeId, SyntheticConfig, Timestamp};
 use cpdg_tensor::{ParamStore, Tape};
@@ -38,28 +39,32 @@ fn pipeline_benches(c: &mut Criterion) {
         });
     });
 
+    let sampler = BatchSampler::new(&graph);
+
     c.bench_function("temporal_contrast_16_centers", |b| {
         let tc = TemporalContrastConfig::default();
-        let mut srng = StdRng::seed_from_u64(1);
+        let mut seed = 0u64;
         b.iter(|| {
             let mut tape = Tape::new();
             let ctx = encoder.apply_pending(&mut tape, &store, &graph);
             let z = encoder.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times);
+            seed += 1;
             black_box(temporal_contrast_loss(
-                &mut tape, &encoder, &store, &graph, &centers, z, &tc, &mut srng,
+                &mut tape, &encoder, &store, &sampler, &centers, z, &tc, seed,
             ))
         });
     });
 
     c.bench_function("structural_contrast_16_centers", |b| {
         let sc = StructuralContrastConfig::default();
-        let mut srng = StdRng::seed_from_u64(2);
+        let mut seed = 0u64;
         b.iter(|| {
             let mut tape = Tape::new();
             let ctx = encoder.apply_pending(&mut tape, &store, &graph);
             let z = encoder.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times);
+            seed += 1;
             black_box(structural_contrast_loss(
-                &mut tape, &encoder, &store, &graph, &centers, z, &pool, &sc, &mut srng,
+                &mut tape, &encoder, &store, &sampler, &centers, z, &pool, &sc, seed,
             ))
         });
     });

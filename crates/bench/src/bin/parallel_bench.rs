@@ -1,0 +1,132 @@
+//! Records the sequential-vs-parallel wall time of the three hot paths —
+//! blocked matmul, batched subgraph sampling, one pre-training epoch — and
+//! writes the comparison as machine-readable JSON to `BENCH_parallel.json`
+//! (override the path with `--out <file>`).
+//!
+//! The parallel runs use every available core (capped by the global thread
+//! knob's default); the determinism suites guarantee the outputs are
+//! bit-identical to the sequential baseline, so this binary only reports
+//! *time*, never accuracy.
+
+use cpdg_core::pretrain::{pretrain, PretrainConfig};
+use cpdg_core::sampler::batch::BatchSampler;
+use cpdg_core::sampler::bfs::BfsConfig;
+use cpdg_core::sampler::dfs::DfsConfig;
+use cpdg_core::sampler::prob::TemporalBias;
+use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor};
+use cpdg_graph::{generate, NodeId, SyntheticConfig, Timestamp};
+use cpdg_tensor::optim::Adam;
+use cpdg_tensor::{Matrix, ParamStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn lcg_matrix(rows: usize, cols: usize, mut state: u64) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn entry(name: &str, seq_ms: f64, par_ms: f64) -> serde_json::Value {
+    let speedup = seq_ms / par_ms.max(1e-9);
+    println!("{name:<28} seq {seq_ms:>9.2} ms   par {par_ms:>9.2} ms   speedup {speedup:>5.2}x");
+    serde_json::json!({ "seq_ms": seq_ms, "par_ms": par_ms, "speedup": speedup })
+}
+
+fn pretrain_epoch_ms(threads: usize) -> f64 {
+    cpdg_tensor::threading::set_threads(threads);
+    let ds = generate(
+        &SyntheticConfig { n_events: 600, ..SyntheticConfig::amazon_like(17) }.scaled(0.1),
+    );
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(17);
+    let dcfg = DgnnConfig::preset(EncoderKind::Tgn, 32, 10_000.0);
+    let mut enc = DgnnEncoder::new(&mut store, &mut rng, "enc", ds.graph.num_nodes(), dcfg);
+    let head = LinkPredictor::new(&mut store, &mut rng, "head", 32);
+    let mut opt = Adam::new(2e-2);
+    let cfg = PretrainConfig { epochs: 1, batch_size: 100, seed: 9, ..Default::default() };
+    let start = Instant::now();
+    let out = pretrain(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg);
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    cpdg_tensor::threading::reset_threads();
+    assert!(out.epoch_losses[0].total.is_finite());
+    ms
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_parallel.json");
+
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = cpdg_tensor::threading::current_threads();
+    println!("parallel hot-path benchmark: {threads} worker thread(s), {hw} hardware thread(s)\n");
+
+    // --- matmul 256³ ------------------------------------------------------
+    let a = lcg_matrix(256, 256, 1);
+    let b = lcg_matrix(256, 256, 2);
+    let seq = best_ms(5, || {
+        std::hint::black_box(a.matmul_with_threads(&b, 1));
+    });
+    let par = best_ms(5, || {
+        std::hint::black_box(a.matmul_with_threads(&b, threads));
+    });
+    let matmul = entry("matmul_256", seq, par);
+
+    // --- batched sampler over 10k-edge graph ------------------------------
+    let ds = generate(&SyntheticConfig::amazon_like(13).scaled(0.5));
+    let graph = &ds.graph;
+    let t_end = graph.t_max().unwrap() + 1.0;
+    let queries: Vec<(NodeId, Timestamp)> =
+        graph.active_nodes().into_iter().cycle().take(512).map(|n| (n, t_end)).collect();
+    let bfs = BfsConfig::new(5, 2, 0.5, TemporalBias::Chronological);
+    let rev = BfsConfig::new(5, 2, 0.5, TemporalBias::ReverseChronological);
+    let dfs = DfsConfig::new(3, 2);
+    let pool = graph.active_nodes();
+    let solo = BatchSampler::with_threads(graph, 1);
+    let many = BatchSampler::with_threads(graph, threads);
+    let seq = best_ms(5, || {
+        std::hint::black_box(solo.sample_bfs_pairs(&queries, &bfs, &rev, 7));
+        std::hint::black_box(solo.sample_dfs_pairs(&queries, &pool, &dfs, 7));
+    });
+    let par = best_ms(5, || {
+        std::hint::black_box(many.sample_bfs_pairs(&queries, &bfs, &rev, 7));
+        std::hint::black_box(many.sample_dfs_pairs(&queries, &pool, &dfs, 7));
+    });
+    let sampler = entry("sampler_batch_512_queries", seq, par);
+
+    // --- one pre-training epoch ------------------------------------------
+    let seq = pretrain_epoch_ms(1);
+    let par = pretrain_epoch_ms(threads);
+    let epoch = entry("pretrain_epoch", seq, par);
+
+    let report = serde_json::json!({
+        "threads": threads,
+        "available_parallelism": hw,
+        "matmul_256": matmul,
+        "sampler_batch_512_queries": sampler,
+        "pretrain_epoch": epoch,
+    });
+    std::fs::write(out_path, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

@@ -46,11 +46,17 @@ USAGE:
                 [--scale X] [--seed N] --out <file.csv>
   cpdg stats    --data <file.csv>
   cpdg pretrain --data <file.csv> [--encoder tgn|jodie|dyrep] [--dim N]
-                [--epochs N] [--beta X] [--seed N] [--vanilla]
+                [--epochs N] [--beta X] [--seed N] [--vanilla] [--threads N]
                 [--ckpt-dir <dir>] [--ckpt-every N] [--keep N]
                 [--resume <dir>] --out <model.json>
   cpdg finetune --data <file.csv> --model <model.json>
-                [--strategy full|eie-mean|eie-attn|eie-gru] [--epochs N] [--seed N]
+                [--strategy full|eie-mean|eie-attn|eie-gru] [--epochs N]
+                [--seed N] [--threads N]
+
+Parallelism: hot paths (blocked matmul, batched subgraph sampling) fan out
+across worker threads. The pool size defaults to the machine's available
+parallelism, capped at 16; override with --threads N or the CPDG_THREADS
+environment variable. Results are bit-identical at any thread count.
 
 Crash safety: with --ckpt-dir, pre-training snapshots its full state every
 --ckpt-every batches (keeping the --keep newest files plus a `latest`
@@ -142,7 +148,24 @@ fn parse_encoder(name: &str) -> CpdgResult<EncoderKind> {
     }
 }
 
+/// Applies the `--threads N` override to the global worker-thread knob.
+/// Without the option the pool keeps its default (CPDG_THREADS env or
+/// hardware parallelism); thread count never changes numeric results.
+fn apply_threads(args: &Args) -> CpdgResult<()> {
+    if let Some(v) = args.get("threads") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| CpdgError::Invalid(format!("invalid value for --threads: {v:?}")))?;
+        if n == 0 {
+            return Err(CpdgError::Invalid("--threads must be >= 1".to_string()));
+        }
+        cpdg_tensor::threading::set_threads(n);
+    }
+    Ok(())
+}
+
 fn cmd_pretrain(args: &Args) -> CpdgResult<()> {
+    apply_threads(args)?;
     let data = args.require("data")?;
     let out = args.require("out")?;
     let encoder_kind = parse_encoder(args.get_or("encoder", "tgn"))?;
@@ -219,6 +242,7 @@ fn parse_strategy(name: &str) -> CpdgResult<FinetuneStrategy> {
 }
 
 fn cmd_finetune(args: &Args) -> CpdgResult<()> {
+    apply_threads(args)?;
     let data = args.require("data")?;
     let model_path = args.require("model")?;
     let strategy = parse_strategy(args.get_or("strategy", "eie-gru"))?;
@@ -342,5 +366,21 @@ mod tests {
     fn unknown_subcommand_is_usage_error() {
         let err = parse_encoder("sage").unwrap_err();
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn threads_option_validates_and_applies() {
+        // Error paths never touch the global knob.
+        let err = apply_threads(&parse("pretrain --threads 0")).unwrap_err();
+        assert!(matches!(err, CpdgError::Invalid(_)), "{err}");
+        let err = apply_threads(&parse("pretrain --threads lots")).unwrap_err();
+        assert!(matches!(err, CpdgError::Invalid(_)), "{err}");
+        // Absent option leaves the default untouched.
+        apply_threads(&parse("pretrain")).unwrap();
+        // A valid value lands in the global knob (single test mutates it,
+        // so no cross-test race in this binary).
+        apply_threads(&parse("pretrain --threads 3")).unwrap();
+        assert_eq!(cpdg_tensor::threading::current_threads(), 3);
+        cpdg_tensor::threading::reset_threads();
     }
 }

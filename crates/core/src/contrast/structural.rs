@@ -8,13 +8,12 @@
 //! signatures.
 
 use crate::contrast::temporal::readout_with;
-use crate::sampler::dfs::{eps_dfs, DfsConfig};
+use crate::sampler::batch::BatchSampler;
+use crate::sampler::dfs::DfsConfig;
 use cpdg_dgnn::DgnnEncoder;
-use cpdg_graph::{DynamicGraph, NodeId, Timestamp};
+use cpdg_graph::{NodeId, Timestamp};
 use cpdg_tensor::loss::triplet_margin;
 use cpdg_tensor::{Matrix, ParamStore, Tape, Var};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 /// Structural-contrast hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -39,40 +38,32 @@ impl Default for StructuralContrastConfig {
 ///
 /// `negative_pool` supplies the candidate `i'` roots (typically all nodes
 /// active in the pre-training graph); it must contain at least two distinct
-/// nodes for the discrimination to be meaningful.
+/// nodes for the discrimination to be meaningful. The positive/negative
+/// subgraph pairs are sampled by `sampler` across its worker threads, each
+/// centre drawing its negative root from a private stream derived from
+/// `batch_seed` — the result is independent of the thread count.
 pub fn structural_contrast_loss(
     tape: &mut Tape,
     encoder: &DgnnEncoder,
     store: &ParamStore,
-    graph: &DynamicGraph,
+    sampler: &BatchSampler<'_>,
     centers: &[(NodeId, Timestamp)],
     z: Var,
     negative_pool: &[NodeId],
     cfg: &StructuralContrastConfig,
-    rng: &mut StdRng,
+    batch_seed: u64,
 ) -> Var {
     assert_eq!(tape.value(z).rows(), centers.len(), "structural_contrast_loss: row mismatch");
     assert!(!negative_pool.is_empty(), "structural_contrast_loss: empty negative pool");
     let dim = encoder.dim();
     let dfs = DfsConfig::new(cfg.epsilon, cfg.k);
 
+    let pairs = sampler.sample_dfs_pairs(centers, negative_pool, &dfs, batch_seed);
     let mut pos = Matrix::zeros(centers.len(), dim);
     let mut neg = Matrix::zeros(centers.len(), dim);
-    for (row, &(node, t)) in centers.iter().enumerate() {
-        let sp = eps_dfs(graph, node, t, &dfs);
-        pos.set_row(row, readout_with(encoder, store, &sp, cfg.readout).row(0));
-
-        // Draw i' ≠ i (bounded retry; falls back to any pool node when the
-        // pool is a single distinct id).
-        let mut other = negative_pool[rng.random_range(0..negative_pool.len())];
-        for _ in 0..8 {
-            if other != node {
-                break;
-            }
-            other = negative_pool[rng.random_range(0..negative_pool.len())];
-        }
-        let sn = eps_dfs(graph, other, t, &dfs);
-        neg.set_row(row, readout_with(encoder, store, &sn, cfg.readout).row(0));
+    for (row, (sp, sn)) in pairs.iter().enumerate() {
+        pos.set_row(row, readout_with(encoder, store, sp, cfg.readout).row(0));
+        neg.set_row(row, readout_with(encoder, store, sn, cfg.readout).row(0));
     }
     let pos = tape.constant(pos);
     let neg = tape.constant(neg);
@@ -83,8 +74,10 @@ pub fn structural_contrast_loss(
 mod tests {
     use super::*;
     use crate::contrast::temporal::readout;
+    use crate::sampler::dfs::eps_dfs;
     use cpdg_dgnn::{DgnnConfig, EncoderKind};
-    use cpdg_graph::graph_from_triples;
+    use cpdg_graph::{graph_from_triples, DynamicGraph};
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn setup() -> (ParamStore, DgnnEncoder, DynamicGraph) {
@@ -104,15 +97,15 @@ mod tests {
     #[test]
     fn loss_is_finite_non_negative_scalar() {
         let (store, enc, graph) = setup();
+        let sampler = BatchSampler::new(&graph);
         let mut tape = Tape::new();
         let ctx = enc.apply_pending(&mut tape, &store, &graph);
         let centers = [(0u32, 5.0f64), (2, 5.0)];
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[0, 2], &[5.0, 5.0]);
-        let mut rng = StdRng::seed_from_u64(1);
         let pool: Vec<NodeId> = (0..6).collect();
         let loss = structural_contrast_loss(
-            &mut tape, &enc, &store, &graph, &centers, z, &pool,
-            &StructuralContrastConfig::default(), &mut rng,
+            &mut tape, &enc, &store, &sampler, &centers, z, &pool,
+            &StructuralContrastConfig::default(), 1,
         );
         assert_eq!(tape.value(loss).shape(), (1, 1));
         let v = tape.value(loss).get(0, 0);
@@ -122,14 +115,14 @@ mod tests {
     #[test]
     fn gradient_reaches_encoder() {
         let (store, enc, graph) = setup();
+        let sampler = BatchSampler::new(&graph);
         let mut tape = Tape::new();
         let ctx = enc.apply_pending(&mut tape, &store, &graph);
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[0], &[5.0]);
-        let mut rng = StdRng::seed_from_u64(2);
         let pool: Vec<NodeId> = (0..6).collect();
         let cfg = StructuralContrastConfig { margin: 100.0, ..Default::default() };
         let loss = structural_contrast_loss(
-            &mut tape, &enc, &store, &graph, &[(0, 5.0)], z, &pool, &cfg, &mut rng,
+            &mut tape, &enc, &store, &sampler, &[(0, 5.0)], z, &pool, &cfg, 2,
         );
         let grads = tape.backward(loss);
         assert!(!tape.param_grads(&grads).is_empty());
@@ -154,13 +147,13 @@ mod tests {
     #[should_panic(expected = "empty negative pool")]
     fn rejects_empty_pool() {
         let (store, enc, graph) = setup();
+        let sampler = BatchSampler::new(&graph);
         let mut tape = Tape::new();
         let ctx = enc.apply_pending(&mut tape, &store, &graph);
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[0], &[5.0]);
-        let mut rng = StdRng::seed_from_u64(3);
         structural_contrast_loss(
-            &mut tape, &enc, &store, &graph, &[(0, 5.0)], z, &[],
-            &StructuralContrastConfig::default(), &mut rng,
+            &mut tape, &enc, &store, &sampler, &[(0, 5.0)], z, &[],
+            &StructuralContrastConfig::default(), 3,
         );
     }
 }

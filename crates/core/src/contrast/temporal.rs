@@ -13,13 +13,13 @@
 //! as constants, mirroring TGN's treatment of out-of-batch nodes; gradient
 //! flows through the centre embeddings into the encoder.
 
-use crate::sampler::bfs::{eta_bfs, BfsConfig};
+use crate::sampler::batch::BatchSampler;
+use crate::sampler::bfs::BfsConfig;
 use crate::sampler::prob::TemporalBias;
 use cpdg_dgnn::DgnnEncoder;
-use cpdg_graph::{DynamicGraph, NodeId, Timestamp};
+use cpdg_graph::{NodeId, Timestamp};
 use cpdg_tensor::loss::triplet_margin;
 use cpdg_tensor::{Matrix, ParamStore, Tape, Var};
-use rand::rngs::StdRng;
 
 /// Temporal-contrast hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -74,31 +74,35 @@ pub fn readout_with(
 
 /// Computes the TC loss `L_η` (Eq. 11) for a batch of centre nodes.
 ///
+/// * `sampler` — the batched sampler over the pre-training graph; both
+///   subgraph fans run across its worker threads.
 /// * `centers` — `(node, t)` pairs, row-aligned with `z` (`m × dim`
 ///   embeddings already on the tape).
+/// * `batch_seed` — seeds centre `i`'s private RNG stream
+///   ([`crate::sampler::query_rng`]), making the loss a pure function of
+///   `(inputs, batch_seed)` at any thread count.
 /// * Returns a `1×1` scalar loss variable.
 pub fn temporal_contrast_loss(
     tape: &mut Tape,
     encoder: &DgnnEncoder,
     store: &ParamStore,
-    graph: &DynamicGraph,
+    sampler: &BatchSampler<'_>,
     centers: &[(NodeId, Timestamp)],
     z: Var,
     cfg: &TemporalContrastConfig,
-    rng: &mut StdRng,
+    batch_seed: u64,
 ) -> Var {
     assert_eq!(tape.value(z).rows(), centers.len(), "temporal_contrast_loss: row mismatch");
     let dim = encoder.dim();
     let chrono = BfsConfig::new(cfg.eta, cfg.k, cfg.tau, cfg.pos_bias);
     let reverse = BfsConfig::new(cfg.eta, cfg.k, cfg.tau, cfg.neg_bias);
 
+    let pairs = sampler.sample_bfs_pairs(centers, &chrono, &reverse, batch_seed);
     let mut pos = Matrix::zeros(centers.len(), dim);
     let mut neg = Matrix::zeros(centers.len(), dim);
-    for (row, &(node, t)) in centers.iter().enumerate() {
-        let tp = eta_bfs(graph, node, t, &chrono, rng);
-        let tn = eta_bfs(graph, node, t, &reverse, rng);
-        pos.set_row(row, readout_with(encoder, store, &tp, cfg.readout).row(0));
-        neg.set_row(row, readout_with(encoder, store, &tn, cfg.readout).row(0));
+    for (row, (tp, tn)) in pairs.iter().enumerate() {
+        pos.set_row(row, readout_with(encoder, store, tp, cfg.readout).row(0));
+        neg.set_row(row, readout_with(encoder, store, tn, cfg.readout).row(0));
     }
     let pos = tape.constant(pos);
     let neg = tape.constant(neg);
@@ -109,7 +113,8 @@ pub fn temporal_contrast_loss(
 mod tests {
     use super::*;
     use cpdg_dgnn::{DgnnConfig, EncoderKind};
-    use cpdg_graph::graph_from_triples;
+    use cpdg_graph::{graph_from_triples, DynamicGraph};
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn setup() -> (ParamStore, DgnnEncoder, DynamicGraph) {
@@ -129,16 +134,16 @@ mod tests {
     #[test]
     fn loss_is_finite_scalar() {
         let (store, enc, graph) = setup();
+        let sampler = BatchSampler::new(&graph);
         let mut tape = Tape::new();
         let ctx = enc.apply_pending(&mut tape, &store, &graph);
         let centers = [(0u32, 5.0f64), (1, 5.0)];
         let nodes: Vec<NodeId> = centers.iter().map(|c| c.0).collect();
         let times: Vec<Timestamp> = centers.iter().map(|c| c.1).collect();
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times);
-        let mut rng = StdRng::seed_from_u64(1);
         let loss = temporal_contrast_loss(
-            &mut tape, &enc, &store, &graph, &centers, z,
-            &TemporalContrastConfig::default(), &mut rng,
+            &mut tape, &enc, &store, &sampler, &centers, z,
+            &TemporalContrastConfig::default(), 1,
         );
         assert_eq!(tape.value(loss).shape(), (1, 1));
         assert!(tape.value(loss).get(0, 0).is_finite());
@@ -148,15 +153,15 @@ mod tests {
     #[test]
     fn gradient_reaches_encoder_params() {
         let (store, enc, graph) = setup();
+        let sampler = BatchSampler::new(&graph);
         let mut tape = Tape::new();
         let ctx = enc.apply_pending(&mut tape, &store, &graph);
         let centers = [(0u32, 5.0f64)];
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[0], &[5.0]);
-        let mut rng = StdRng::seed_from_u64(2);
         // Large margin guarantees the hinge is active.
         let cfg = TemporalContrastConfig { margin: 100.0, ..Default::default() };
         let loss =
-            temporal_contrast_loss(&mut tape, &enc, &store, &graph, &centers, z, &cfg, &mut rng);
+            temporal_contrast_loss(&mut tape, &enc, &store, &sampler, &centers, z, &cfg, 2);
         let grads = tape.backward(loss);
         let pg = tape.param_grads(&grads);
         assert!(!pg.is_empty(), "TC must train the encoder");
@@ -183,10 +188,10 @@ mod tests {
         let ctx = enc.apply_pending(&mut tape, &store, &graph);
         // Node 4 at t = 1.0 has no events strictly before.
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[4], &[1.0]);
-        let mut rng = StdRng::seed_from_u64(3);
+        let sampler = BatchSampler::new(&graph);
         let cfg = TemporalContrastConfig { margin: 0.7, ..Default::default() };
         let loss = temporal_contrast_loss(
-            &mut tape, &enc, &store, &graph, &[(4, 1.0)], z, &cfg, &mut rng,
+            &mut tape, &enc, &store, &sampler, &[(4, 1.0)], z, &cfg, 3,
         );
         let v = tape.value(loss).get(0, 0);
         assert!((v - 0.7).abs() < 1e-5, "expected margin, got {v}");

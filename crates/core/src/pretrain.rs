@@ -18,13 +18,18 @@
 //! Resume determinism: instead of one RNG threaded through the whole run,
 //! each batch derives its RNG from `(cfg.seed, global step)`, so a resumed
 //! run samples exactly the negatives/contrast paths the uninterrupted run
-//! would have.
+//! would have. Contrast subgraphs are drawn by a [`BatchSampler`] (built
+//! once per run over a flattened temporal adjacency index) that fans each
+//! batch's centre queries across worker threads; per-centre RNG streams
+//! derive from the batch seed, so the trajectory is bit-identical at any
+//! thread count.
 
 use crate::checkpoint::{CheckpointConfig, CheckpointManager, TrainCheckpoint, CHECKPOINT_VERSION};
 use crate::contrast::structural::{structural_contrast_loss, StructuralContrastConfig};
 use crate::contrast::temporal::{temporal_contrast_loss, TemporalContrastConfig};
 use crate::error::{CpdgError, CpdgResult};
 use crate::objective::CpdgObjective;
+use crate::sampler::batch::BatchSampler;
 use crate::storage::{Storage, FS_STORAGE};
 use cpdg_dgnn::trainer::NegativeSampler;
 use cpdg_dgnn::{DgnnEncoder, GuardConfig, LinkPredictor, MemorySnapshot, StepVerdict, TrainGuard};
@@ -131,10 +136,21 @@ pub struct PretrainOutput {
     pub skipped_steps: usize,
 }
 
+/// Decorrelates the structural-contrast stream from the temporal-contrast
+/// stream of the same batch (both derive from [`batch_seed`]).
+const SC_STREAM_SALT: u64 = 0x5343_5343_5343_5343;
+
+/// The deterministic seed of batch `step` under run seed `seed`
+/// (golden-ratio mixing). Resumed runs replay the exact sampling sequence,
+/// and the batched contrast samplers derive per-query streams from it.
+fn batch_seed(seed: u64, step: usize) -> u64 {
+    seed ^ (step as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// The per-batch RNG: a deterministic function of the run seed and the
 /// global step, so resumed runs replay the exact sampling sequence.
 fn batch_rng(seed: u64, step: usize) -> StdRng {
-    StdRng::seed_from_u64(seed ^ (step as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    StdRng::seed_from_u64(batch_seed(seed, step))
 }
 
 /// Pre-trains `(encoder, head)` with the CPDG objective over `graph`.
@@ -187,6 +203,9 @@ pub fn pretrain_resumable(
 ) -> CpdgResult<PretrainOutput> {
     let sampler = NegativeSampler::from_graph(graph);
     let negative_pool: Vec<NodeId> = graph.active_nodes();
+    // Built once per run: the temporal adjacency index plus the worker pool
+    // that fans each batch's contrast queries across threads.
+    let contrast_sampler = BatchSampler::new(graph);
 
     let batch_size = cfg.batch_size.max(1);
     let n_batches = graph.events().chunks(batch_size).count();
@@ -307,15 +326,17 @@ pub fn pretrain_resumable(
                 (None, None)
             } else {
                 let z_centers = tape.gather_rows(z_src, &center_rows);
+                let bseed = batch_seed(cfg.seed, step);
                 let tc = cfg.objective.use_tc.then(|| {
                     temporal_contrast_loss(
-                        &mut tape, encoder, store, graph, &centers, z_centers, &cfg.tc, &mut rng,
+                        &mut tape, encoder, store, &contrast_sampler, &centers, z_centers,
+                        &cfg.tc, bseed,
                     )
                 });
                 let sc = cfg.objective.use_sc.then(|| {
                     structural_contrast_loss(
-                        &mut tape, encoder, store, graph, &centers, z_centers, &negative_pool,
-                        &cfg.sc, &mut rng,
+                        &mut tape, encoder, store, &contrast_sampler, &centers, z_centers,
+                        &negative_pool, &cfg.sc, bseed ^ SC_STREAM_SALT,
                     )
                 });
                 (tc, sc)

@@ -1,0 +1,263 @@
+//! Batched, multi-threaded subgraph sampling with per-query RNG streams.
+//!
+//! Pre-training asks for η-BFS / ε-DFS subgraphs in batches — one positive
+//! and one negative per contrast centre (paper §IV-B). [`BatchSampler`]
+//! builds a [`TemporalAdjacencyIndex`] once per graph and fans the `(root,
+//! t)` queries of each batch across scoped worker threads.
+//!
+//! **Determinism contract.** Every query `i` of a batch draws from its own
+//! RNG stream, [`query_rng`]`(batch_seed, i)` — the same splittable
+//! reseeding discipline the training loop already uses per batch. A query's
+//! result therefore depends only on `(batch_seed, i)` and the immutable
+//! index, never on which worker ran it or in what order, so batch results
+//! are bit-identical at every thread count (enforced by the
+//! `sampler_determinism` suite).
+
+use crate::sampler::bfs::{eta_bfs_indexed, BfsConfig};
+use crate::sampler::dfs::{eps_dfs_indexed, DfsConfig};
+use cpdg_graph::{DynamicGraph, NodeId, TemporalAdjacencyIndex, Timestamp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The RNG stream of query `index` within a batch seeded by `batch_seed`
+/// (golden-ratio mixing, matching the per-batch discipline in
+/// `pretrain::batch_rng`).
+pub fn query_rng(batch_seed: u64, index: usize) -> StdRng {
+    StdRng::seed_from_u64(batch_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs `f(0..n)` across `threads` scoped workers, returning results in
+/// index order. Each worker owns a contiguous chunk of the output, so no
+/// locks are needed and the result layout is independent of scheduling.
+fn fan_out<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let per = n.div_ceil(threads.min(n));
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (block, chunk) in slots.chunks_mut(per).enumerate() {
+            scope.spawn(move || {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(block * per + j));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("fan_out: every index below n lies in exactly one chunk"))
+        .collect()
+}
+
+/// A reusable batched sampler over one graph: the temporal adjacency index
+/// is built once, then every batch call fans its queries across worker
+/// threads (count taken from [`cpdg_tensor::threading`] unless overridden).
+pub struct BatchSampler<'g> {
+    graph: &'g DynamicGraph,
+    index: TemporalAdjacencyIndex,
+    threads: usize,
+}
+
+impl<'g> BatchSampler<'g> {
+    /// Builds the index for `graph`; worker count from
+    /// [`cpdg_tensor::threading::current_threads`].
+    pub fn new(graph: &'g DynamicGraph) -> Self {
+        Self::with_threads(graph, cpdg_tensor::threading::current_threads())
+    }
+
+    /// Builds the index with an explicit worker count (≥ 1).
+    pub fn with_threads(graph: &'g DynamicGraph, threads: usize) -> Self {
+        Self { graph, index: TemporalAdjacencyIndex::build(graph), threads: threads.max(1) }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g DynamicGraph {
+        self.graph
+    }
+
+    /// The prebuilt temporal adjacency index.
+    pub fn index(&self) -> &TemporalAdjacencyIndex {
+        &self.index
+    }
+
+    /// Worker threads used per batch call.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// η-BFS over a batch of `(root, t)` queries; result `i` is bit-identical
+    /// to `eta_bfs_indexed(index, root_i, t_i, cfg, &mut query_rng(batch_seed, i))`
+    /// at any thread count.
+    pub fn sample_bfs_batch(
+        &self,
+        queries: &[(NodeId, Timestamp)],
+        cfg: &BfsConfig,
+        batch_seed: u64,
+    ) -> Vec<Vec<NodeId>> {
+        fan_out(queries.len(), self.threads, |i| {
+            let (root, t) = queries[i];
+            let mut rng = query_rng(batch_seed, i);
+            eta_bfs_indexed(&self.index, root, t, cfg, &mut rng)
+        })
+    }
+
+    /// ε-DFS over a batch of `(root, t)` queries (deterministic; no RNG).
+    pub fn sample_dfs_batch(
+        &self,
+        queries: &[(NodeId, Timestamp)],
+        cfg: &DfsConfig,
+    ) -> Vec<Vec<NodeId>> {
+        fan_out(queries.len(), self.threads, |i| {
+            let (root, t) = queries[i];
+            eps_dfs_indexed(&self.index, root, t, cfg)
+        })
+    }
+
+    /// The temporal-contrast sampling pattern: per query, a positive η-BFS
+    /// (chronological bias) then a negative η-BFS (reverse bias), both drawn
+    /// from query `i`'s stream in that order.
+    pub fn sample_bfs_pairs(
+        &self,
+        queries: &[(NodeId, Timestamp)],
+        pos_cfg: &BfsConfig,
+        neg_cfg: &BfsConfig,
+        batch_seed: u64,
+    ) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
+        fan_out(queries.len(), self.threads, |i| {
+            let (root, t) = queries[i];
+            let mut rng = query_rng(batch_seed, i);
+            let pos = eta_bfs_indexed(&self.index, root, t, pos_cfg, &mut rng);
+            let neg = eta_bfs_indexed(&self.index, root, t, neg_cfg, &mut rng);
+            (pos, neg)
+        })
+    }
+
+    /// The structural-contrast sampling pattern: per query, the positive
+    /// ε-DFS rooted at the centre plus a negative ε-DFS rooted at a random
+    /// pool node `≠` centre (bounded retry, falling back to any pool node
+    /// when the pool holds a single distinct id).
+    ///
+    /// # Panics
+    /// Panics if `negative_pool` is empty.
+    pub fn sample_dfs_pairs(
+        &self,
+        queries: &[(NodeId, Timestamp)],
+        negative_pool: &[NodeId],
+        cfg: &DfsConfig,
+        batch_seed: u64,
+    ) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
+        assert!(!negative_pool.is_empty(), "sample_dfs_pairs: empty negative pool");
+        fan_out(queries.len(), self.threads, |i| {
+            let (root, t) = queries[i];
+            let mut rng = query_rng(batch_seed, i);
+            let pos = eps_dfs_indexed(&self.index, root, t, cfg);
+            let mut other = negative_pool[rng.random_range(0..negative_pool.len())];
+            for _ in 0..8 {
+                if other != root {
+                    break;
+                }
+                other = negative_pool[rng.random_range(0..negative_pool.len())];
+            }
+            let neg = eps_dfs_indexed(&self.index, other, t, cfg);
+            (pos, neg)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::prob::TemporalBias;
+    use cpdg_graph::{generate, SyntheticConfig};
+
+    fn sampler_with(threads: usize) -> (cpdg_graph::SyntheticDataset, usize) {
+        let ds = generate(&SyntheticConfig::amazon_like(21).scaled(0.05));
+        (ds, threads)
+    }
+
+    fn queries(graph: &DynamicGraph, n: usize) -> Vec<(NodeId, Timestamp)> {
+        let t = graph.t_max().unwrap() + 1.0;
+        graph.active_nodes().into_iter().take(n).map(|node| (node, t)).collect()
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let (ds, _) = sampler_with(1);
+        let s = BatchSampler::with_threads(&ds.graph, 1);
+        let q = queries(&ds.graph, 12);
+        let cfg = BfsConfig::new(3, 2, 0.5, TemporalBias::Chronological);
+        let batch = s.sample_bfs_batch(&q, &cfg, 77);
+        for (i, &(root, t)) in q.iter().enumerate() {
+            let mut rng = query_rng(77, i);
+            let solo = eta_bfs_indexed(s.index(), root, t, &cfg, &mut rng);
+            assert_eq!(batch[i], solo, "query {i}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (ds, _) = sampler_with(1);
+        let q = queries(&ds.graph, 16);
+        let bfs = BfsConfig::new(3, 2, 0.5, TemporalBias::Chronological);
+        let rev = BfsConfig::new(3, 2, 0.5, TemporalBias::ReverseChronological);
+        let dfs = DfsConfig::new(3, 2);
+        let pool = ds.graph.active_nodes();
+        let reference = BatchSampler::with_threads(&ds.graph, 1);
+        let want_bfs = reference.sample_bfs_pairs(&q, &bfs, &rev, 5);
+        let want_dfs = reference.sample_dfs_pairs(&q, &pool, &dfs, 5);
+        for threads in [2, 3, 8] {
+            let s = BatchSampler::with_threads(&ds.graph, threads);
+            assert_eq!(s.sample_bfs_pairs(&q, &bfs, &rev, 5), want_bfs, "{threads} threads");
+            assert_eq!(s.sample_dfs_pairs(&q, &pool, &dfs, 5), want_dfs, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn different_batch_seeds_differ() {
+        let (ds, _) = sampler_with(1);
+        let s = BatchSampler::with_threads(&ds.graph, 2);
+        let q = queries(&ds.graph, 16);
+        let cfg = BfsConfig::new(3, 2, 0.5, TemporalBias::Chronological);
+        let a = s.sample_bfs_batch(&q, &cfg, 1);
+        let b = s.sample_bfs_batch(&q, &cfg, 2);
+        assert_ne!(a, b, "distinct batch seeds must explore differently");
+    }
+
+    #[test]
+    fn dfs_batch_is_seed_free_and_deterministic() {
+        let (ds, _) = sampler_with(1);
+        let q = queries(&ds.graph, 10);
+        let cfg = DfsConfig::new(2, 2);
+        let a = BatchSampler::with_threads(&ds.graph, 1).sample_dfs_batch(&q, &cfg);
+        let b = BatchSampler::with_threads(&ds.graph, 4).sample_dfs_batch(&q, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (ds, _) = sampler_with(1);
+        let s = BatchSampler::with_threads(&ds.graph, 4);
+        let cfg = BfsConfig::new(2, 1, 0.5, TemporalBias::Chronological);
+        assert!(s.sample_bfs_batch(&[], &cfg, 0).is_empty());
+        assert!(s.sample_dfs_batch(&[], &DfsConfig::new(2, 1)).is_empty());
+    }
+
+    #[test]
+    fn negative_roots_avoid_center_when_pool_allows() {
+        let (ds, _) = sampler_with(1);
+        let s = BatchSampler::with_threads(&ds.graph, 2);
+        let q = queries(&ds.graph, 8);
+        let pool: Vec<NodeId> = q.iter().map(|&(n, _)| n).collect();
+        let pairs = s.sample_dfs_pairs(&q, &pool, &DfsConfig::new(2, 2), 9);
+        for (i, (pos, neg)) in pairs.iter().enumerate() {
+            assert_eq!(pos[0], q[i].0, "positive rooted at the centre");
+            assert_ne!(neg[0], q[i].0, "negative root must differ (pool has {} ids)", pool.len());
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! chronological probability (Eq. 8) the *agelong* subgraph `TN_i^t`.
 
 use crate::sampler::prob::{temporal_probs, TemporalBias};
-use cpdg_graph::{DynamicGraph, NodeId, Timestamp};
+use cpdg_graph::{DynamicGraph, NodeId, TemporalAdjacencyIndex, Timestamp};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -71,21 +71,67 @@ pub fn eta_bfs(
     seen
 }
 
+/// η-BFS against a prebuilt [`TemporalAdjacencyIndex`] instead of the
+/// graph's nested adjacency lists. Produces *bit-identical* output to
+/// [`eta_bfs`] for the same `(root, t, cfg)` and RNG state — the index holds
+/// the same entries in the same time-sorted order, so the weighted draw
+/// consumes the RNG stream identically — while skipping the per-node
+/// timestamp re-collection the graph path pays on every frontier expansion.
+pub fn eta_bfs_indexed(
+    index: &TemporalAdjacencyIndex,
+    root: NodeId,
+    t: Timestamp,
+    cfg: &BfsConfig,
+    rng: &mut StdRng,
+) -> Vec<NodeId> {
+    let mut seen: Vec<NodeId> = vec![root];
+    let mut frontier: Vec<NodeId> = vec![root];
+    for _hop in 0..cfg.k {
+        let mut next: Vec<NodeId> = Vec::new();
+        for &node in &frontier {
+            let view = index.before(node, t);
+            if view.is_empty() {
+                continue;
+            }
+            let probs = temporal_probs(view.times, t, cfg.tau, cfg.bias);
+            for idx in sample_without_replacement(&probs, cfg.eta, rng) {
+                let cand = view.neighbors[idx];
+                if !seen.contains(&cand) {
+                    seen.push(cand);
+                    next.push(cand);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    seen
+}
+
 /// Weighted sampling of up to `n` distinct indices without replacement
 /// (Efraimidis–Spirakis exponential-keys method: draw `u^(1/w)` per item,
 /// keep the `n` largest).
+///
+/// Degenerate inputs are handled rather than trusted away: items with
+/// zero, negative, NaN, or infinite weight are excluded before any RNG
+/// draw (so they can neither be selected nor poison the key ordering),
+/// `n` larger than the candidate set returns every positive-weight index,
+/// and the sort uses `total_cmp`, which cannot panic even if a key
+/// underflows (`u^(1/w)` can reach 0.0 for tiny weights).
 fn sample_without_replacement(weights: &[f32], n: usize, rng: &mut StdRng) -> Vec<usize> {
     let mut keyed: Vec<(f32, usize)> = weights
         .iter()
         .enumerate()
-        .filter(|(_, &w)| w > 0.0)
+        .filter(|(_, &w)| w > 0.0 && w.is_finite())
         .map(|(i, &w)| {
             let u: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
             (u.powf(1.0 / w), i)
         })
         .collect();
     let take = n.min(keyed.len());
-    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite keys"));
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
     keyed.truncate(take);
     keyed.into_iter().map(|(_, i)| i).collect()
 }
@@ -214,6 +260,67 @@ mod tests {
             d.sort_unstable();
             d.dedup();
             assert_eq!(d.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn weighted_sample_all_zero_weights_is_empty() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(sample_without_replacement(&[0.0, 0.0, 0.0], 2, &mut rng).is_empty());
+        assert!(sample_without_replacement(&[], 2, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn weighted_sample_n_exceeding_candidates_returns_all() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = sample_without_replacement(&[0.4, 0.0, 0.6], 10, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 2], "only the positive-weight indices, each once");
+    }
+
+    #[test]
+    fn weighted_sample_single_candidate() {
+        let mut rng = StdRng::seed_from_u64(10);
+        assert_eq!(sample_without_replacement(&[1.0], 1, &mut rng), vec![0]);
+        assert_eq!(sample_without_replacement(&[1.0], 5, &mut rng), vec![0]);
+        assert!(sample_without_replacement(&[1.0], 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn weighted_sample_rejects_non_finite_and_negative_weights() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = [f32::NAN, -1.0, f32::INFINITY, 0.5, f32::NEG_INFINITY];
+        for _ in 0..20 {
+            let s = sample_without_replacement(&w, 3, &mut rng);
+            assert_eq!(s, vec![3], "only the finite positive weight survives");
+        }
+    }
+
+    #[test]
+    fn weighted_sample_tiny_weights_do_not_panic() {
+        // u^(1/w) underflows to 0.0 for tiny w; total_cmp keeps the sort
+        // well-defined where partial_cmp would have to handle equality of
+        // degenerate keys.
+        let mut rng = StdRng::seed_from_u64(12);
+        let w = [1e-30f32, 1e-30, 1e-30, 1.0];
+        for _ in 0..20 {
+            let s = sample_without_replacement(&w, 2, &mut rng);
+            assert_eq!(s.len(), 2);
+        }
+    }
+
+    #[test]
+    fn indexed_bfs_matches_graph_path_bitwise() {
+        let g = two_hop_graph();
+        let idx = cpdg_graph::TemporalAdjacencyIndex::build(&g);
+        for seed in 0..20 {
+            for bias in [TemporalBias::Chronological, TemporalBias::ReverseChronological] {
+                let mut r1 = StdRng::seed_from_u64(seed);
+                let mut r2 = StdRng::seed_from_u64(seed);
+                let a = eta_bfs(&g, 0, 10.0, &cfg(bias), &mut r1);
+                let b = eta_bfs_indexed(&idx, 0, 10.0, &cfg(bias), &mut r2);
+                assert_eq!(a, b, "seed {seed} bias {bias:?}");
+            }
         }
     }
 

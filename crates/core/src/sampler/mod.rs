@@ -1,9 +1,11 @@
 //! The flexible structural-temporal subgraph sampler (paper §IV-A).
 
+pub mod batch;
 pub mod bfs;
 pub mod dfs;
 pub mod prob;
 
-pub use bfs::{eta_bfs, BfsConfig};
-pub use dfs::{eps_dfs, DfsConfig};
+pub use batch::{query_rng, BatchSampler};
+pub use bfs::{eta_bfs, eta_bfs_indexed, BfsConfig};
+pub use dfs::{eps_dfs, eps_dfs_indexed, DfsConfig};
 pub use prob::{temporal_probs, TemporalBias};

@@ -5,6 +5,7 @@ use cpdg_core::contrast::structural::{structural_contrast_loss, StructuralContra
 use cpdg_core::contrast::temporal::{readout_with, temporal_contrast_loss, TemporalContrastConfig};
 use cpdg_core::contrast::ReadoutKind;
 use cpdg_core::eie::{EieFusion, EieModule};
+use cpdg_core::sampler::batch::BatchSampler;
 use cpdg_core::sampler::bfs::{eta_bfs, BfsConfig};
 use cpdg_core::sampler::dfs::{eps_dfs, DfsConfig};
 use cpdg_core::sampler::prob::TemporalBias;
@@ -92,13 +93,13 @@ fn uniform_bias_removes_the_temporal_signal() {
     let nodes: Vec<NodeId> = centers.iter().map(|c| c.0).collect();
     let times: Vec<Timestamp> = centers.iter().map(|c| c.1).collect();
 
-    let loss_with = |pos_bias, neg_bias, seed| -> f32 {
+    let sampler = BatchSampler::new(&graph);
+    let loss_with = |pos_bias, neg_bias, seed: u64| -> f32 {
         let mut tape = Tape::new();
         let ctx = enc.apply_pending(&mut tape, &store, &graph);
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times);
         let cfg = TemporalContrastConfig { pos_bias, neg_bias, ..Default::default() };
-        let mut rng = StdRng::seed_from_u64(seed);
-        let l = temporal_contrast_loss(&mut tape, &enc, &store, &graph, &centers, z, &cfg, &mut rng);
+        let l = temporal_contrast_loss(&mut tape, &enc, &store, &sampler, &centers, z, &cfg, seed);
         tape.value(l).get(0, 0)
     };
 
@@ -123,14 +124,14 @@ fn structural_negatives_are_harder_for_similar_nodes() {
     let nodes: Vec<NodeId> = centers.iter().map(|c| c.0).collect();
     let times: Vec<Timestamp> = centers.iter().map(|c| c.1).collect();
     let pool = graph.active_nodes();
+    let sampler = BatchSampler::new(&graph);
     for readout in [ReadoutKind::Mean, ReadoutKind::Max] {
         let mut tape = Tape::new();
         let ctx = enc.apply_pending(&mut tape, &store, &graph);
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times);
         let cfg = StructuralContrastConfig { readout, ..Default::default() };
-        let mut rng = StdRng::seed_from_u64(4);
         let l = structural_contrast_loss(
-            &mut tape, &enc, &store, &graph, &centers, z, &pool, &cfg, &mut rng,
+            &mut tape, &enc, &store, &sampler, &centers, z, &pool, &cfg, 4,
         );
         let v = tape.value(l).get(0, 0);
         assert!(v.is_finite() && v >= 0.0, "{readout:?}: {v}");
@@ -194,10 +195,10 @@ fn lstm_backbone_supports_the_full_contrast_stack() {
     let mut tape = Tape::new();
     let ctx = enc.apply_pending(&mut tape, &store, &ds.graph);
     let z = enc.embed_many(&mut tape, &store, &ctx, &ds.graph, &nodes, &times);
-    let mut srng = StdRng::seed_from_u64(8);
+    let sampler = BatchSampler::new(&ds.graph);
     let tc = temporal_contrast_loss(
-        &mut tape, &enc, &store, &ds.graph, &centers, z,
-        &TemporalContrastConfig::default(), &mut srng,
+        &mut tape, &enc, &store, &sampler, &centers, z,
+        &TemporalContrastConfig::default(), 8,
     );
     let grads = tape.backward(tc);
     for (_, g) in tape.param_grads(&grads) {

@@ -1,0 +1,141 @@
+//! Golden regression + end-to-end determinism of the pre-training loop.
+//!
+//! Two layers of protection:
+//!
+//! - **Run-to-run / thread-count determinism** (bitwise): the trajectory is
+//!   a pure function of `(dataset, config)` — repeating a run, or changing
+//!   the worker-thread knob, must reproduce parameters and losses exactly.
+//! - **Golden regression** (tolerance): epoch losses of a fixed-seed mini
+//!   run are pinned against `tests/golden/pretrain_losses.json`, catching
+//!   unintended numeric drift from refactors. Bless a legitimate change
+//!   with `CPDG_BLESS=1 cargo test -p cpdg-core --test golden_pretrain`
+//!   (a missing file is blessed automatically on first run).
+
+use cpdg_core::pretrain::{pretrain, LossBreakdown, PretrainConfig};
+use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor};
+use cpdg_graph::{generate, SyntheticConfig};
+use cpdg_tensor::optim::Adam;
+use cpdg_tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Serialises tests that read or write the global worker-thread knob.
+static THREAD_KNOB: Mutex<()> = Mutex::new(());
+
+struct RunResult {
+    epoch_losses: Vec<LossBreakdown>,
+    params_json: String,
+    checkpoint_bits: Vec<Vec<u32>>,
+}
+
+/// One fixed mini pre-training run: ~500 events, 2 epochs, TGN encoder.
+/// Everything that could move is pinned by a literal seed.
+fn mini_run() -> RunResult {
+    let ds = generate(
+        &SyntheticConfig { n_events: 500, ..SyntheticConfig::amazon_like(17) }.scaled(0.1),
+    );
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(17);
+    let dcfg = DgnnConfig::preset(EncoderKind::Tgn, 16, 10_000.0);
+    let mut enc = DgnnEncoder::new(&mut store, &mut rng, "enc", ds.graph.num_nodes(), dcfg);
+    let head = LinkPredictor::new(&mut store, &mut rng, "head", 16);
+    let mut opt = Adam::new(2e-2);
+    let cfg = PretrainConfig {
+        epochs: 2,
+        batch_size: 100,
+        n_checkpoints: 4,
+        contrast_centers: 12,
+        seed: 9,
+        ..Default::default()
+    };
+    let out = pretrain(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg);
+    RunResult {
+        epoch_losses: out.epoch_losses,
+        params_json: store.to_json(),
+        checkpoint_bits: out
+            .checkpoints
+            .iter()
+            .map(|c| c.states.data().iter().map(|v| v.to_bits()).collect())
+            .collect(),
+    }
+}
+
+fn assert_bitwise_equal(a: &RunResult, b: &RunResult, ctx: &str) {
+    assert_eq!(a.epoch_losses.len(), b.epoch_losses.len(), "{ctx}: epoch count");
+    for (i, (x, y)) in a.epoch_losses.iter().zip(&b.epoch_losses).enumerate() {
+        for (name, u, v) in [
+            ("tlp", x.tlp, y.tlp),
+            ("tc", x.tc, y.tc),
+            ("sc", x.sc, y.sc),
+            ("total", x.total, y.total),
+        ] {
+            assert_eq!(u.to_bits(), v.to_bits(), "{ctx}: epoch {i} {name}: {u} vs {v}");
+        }
+    }
+    assert_eq!(a.checkpoint_bits, b.checkpoint_bits, "{ctx}: memory checkpoints");
+    assert_eq!(a.params_json, b.params_json, "{ctx}: final parameters");
+}
+
+#[test]
+fn pretraining_is_bitwise_reproducible_run_to_run() {
+    let _lock = THREAD_KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let first = mini_run();
+    let second = mini_run();
+    assert_bitwise_equal(&second, &first, "repeat run");
+}
+
+#[test]
+fn thread_count_does_not_change_the_training_trajectory() {
+    // The whole point of the determinism contract: 1 worker and 4 workers
+    // walk bit-identical trajectories (threaded matmul keeps reduction
+    // order; batched samplers use per-query RNG streams).
+    let _lock = THREAD_KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    cpdg_tensor::threading::set_threads(1);
+    let solo = mini_run();
+    cpdg_tensor::threading::set_threads(4);
+    let parallel = mini_run();
+    cpdg_tensor::threading::reset_threads();
+    assert_bitwise_equal(&parallel, &solo, "4 threads vs 1 thread");
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/pretrain_losses.json")
+}
+
+#[test]
+fn epoch_losses_match_golden_file() {
+    let _lock = THREAD_KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let got = mini_run().epoch_losses;
+    let path = golden_path();
+
+    let bless = std::env::var_os("CPDG_BLESS").is_some();
+    if bless || !path.exists() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let json = serde_json::to_string_pretty(&got).unwrap();
+        std::fs::write(&path, json + "\n").unwrap();
+        eprintln!("blessed golden file at {} — rerun to verify", path.display());
+        return;
+    }
+
+    let raw = std::fs::read_to_string(&path).unwrap();
+    let want: Vec<LossBreakdown> = serde_json::from_str(&raw)
+        .unwrap_or_else(|e| panic!("corrupt golden file {}: {e}", path.display()));
+    assert_eq!(got.len(), want.len(), "epoch count drifted; bless with CPDG_BLESS=1 if intended");
+
+    // Tolerance absorbs cross-platform libm differences (exp/cos in the
+    // time encoder), not algorithmic drift.
+    let close = |a: f32, b: f32| (a - b).abs() <= 1e-3 + 1e-3 * b.abs();
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        for (name, a, b) in
+            [("tlp", g.tlp, w.tlp), ("tc", g.tc, w.tc), ("sc", g.sc, w.sc), ("total", g.total, w.total)]
+        {
+            assert!(
+                close(a, b),
+                "epoch {i} {name} drifted from golden: got {a}, want {b} \
+                 (bless intentional changes with CPDG_BLESS=1)"
+            );
+        }
+    }
+}

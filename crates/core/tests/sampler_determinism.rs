@@ -1,0 +1,164 @@
+//! Equivalence and determinism guarantees of the indexed/batched samplers.
+//!
+//! Three contracts, each load-bearing for the parallel pre-training path:
+//!
+//! 1. **Index ≡ graph.** `eta_bfs_indexed` / `eps_dfs_indexed` over a
+//!    [`TemporalAdjacencyIndex`] must reproduce `eta_bfs` / `eps_dfs` over
+//!    the raw graph *exactly* — same nodes, same order, same RNG draws —
+//!    on arbitrary random graphs, not just hand-picked fixtures.
+//! 2. **Batch ≡ solo.** Entry `i` of a batch equals the stand-alone call
+//!    with `query_rng(batch_seed, i)`.
+//! 3. **Thread invariance.** Batches are identical at 1, 2 and 8 workers.
+
+use cpdg_core::sampler::batch::{query_rng, BatchSampler};
+use cpdg_core::sampler::bfs::{eta_bfs, eta_bfs_indexed, BfsConfig};
+use cpdg_core::sampler::dfs::{eps_dfs, eps_dfs_indexed, DfsConfig};
+use cpdg_core::sampler::prob::TemporalBias;
+use cpdg_graph::{
+    generate, graph_from_triples, DynamicGraph, NodeId, SyntheticConfig, TemporalAdjacencyIndex,
+    Timestamp,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random-graph strategy: arbitrary (src, dst, t) triples over a small
+/// universe, including self-loops, duplicate edges and tied timestamps —
+/// the degenerate shapes where an index most plausibly diverges from the
+/// raw adjacency scan.
+fn random_graph() -> impl Strategy<Value = DynamicGraph> {
+    (2usize..16).prop_flat_map(|n| {
+        proptest::collection::vec(
+            (0..n as NodeId, 0..n as NodeId, 0.0f64..100.0),
+            1..60,
+        )
+        .prop_map(move |triples| {
+            graph_from_triples(n, &triples).expect("finite times, in-range ids")
+        })
+    })
+}
+
+fn all_biases() -> [TemporalBias; 3] {
+    [TemporalBias::Chronological, TemporalBias::ReverseChronological, TemporalBias::Uniform]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn indexed_bfs_equals_graph_bfs_on_random_graphs(
+        graph in random_graph(),
+        seed in 0u64..500,
+        t in 0.0f64..120.0,
+    ) {
+        let index = TemporalAdjacencyIndex::build(&graph);
+        let cfg = BfsConfig::new(3, 2, 0.5, all_biases()[(seed % 3) as usize]);
+        for root in 0..graph.num_nodes() as NodeId {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let via_graph = eta_bfs(&graph, root, t, &cfg, &mut rng_a);
+            let via_index = eta_bfs_indexed(&index, root, t, &cfg, &mut rng_b);
+            prop_assert_eq!(&via_index, &via_graph, "root {} at t={}", root, t);
+        }
+    }
+
+    #[test]
+    fn indexed_dfs_equals_graph_dfs_on_random_graphs(
+        graph in random_graph(),
+        t in 0.0f64..120.0,
+        eps in 1usize..4,
+        k in 1usize..4,
+    ) {
+        let index = TemporalAdjacencyIndex::build(&graph);
+        let cfg = DfsConfig::new(eps, k);
+        for root in 0..graph.num_nodes() as NodeId {
+            let via_graph = eps_dfs(&graph, root, t, &cfg);
+            let via_index = eps_dfs_indexed(&index, root, t, &cfg);
+            prop_assert_eq!(&via_index, &via_graph, "root {} at t={}", root, t);
+        }
+    }
+}
+
+fn workload() -> (cpdg_graph::SyntheticDataset, Vec<(NodeId, Timestamp)>) {
+    let ds = generate(&SyntheticConfig::amazon_like(31).scaled(0.08));
+    let t = ds.graph.t_max().unwrap() + 1.0;
+    let queries: Vec<(NodeId, Timestamp)> =
+        ds.graph.active_nodes().into_iter().take(40).map(|n| (n, t)).collect();
+    (ds, queries)
+}
+
+#[test]
+fn batch_entries_equal_solo_calls_with_query_rng() {
+    let (ds, queries) = workload();
+    let sampler = BatchSampler::with_threads(&ds.graph, 8);
+    let bfs = BfsConfig::new(4, 2, 0.4, TemporalBias::Chronological);
+    let rev = BfsConfig::new(4, 2, 0.4, TemporalBias::ReverseChronological);
+    let batch_seed = 0xC0FFEE;
+
+    let batch = sampler.sample_bfs_batch(&queries, &bfs, batch_seed);
+    for (i, &(root, t)) in queries.iter().enumerate() {
+        let mut rng = query_rng(batch_seed, i);
+        let solo = eta_bfs_indexed(sampler.index(), root, t, &bfs, &mut rng);
+        assert_eq!(batch[i], solo, "bfs query {i}");
+    }
+
+    let pairs = sampler.sample_bfs_pairs(&queries, &bfs, &rev, batch_seed);
+    for (i, &(root, t)) in queries.iter().enumerate() {
+        let mut rng = query_rng(batch_seed, i);
+        let pos = eta_bfs_indexed(sampler.index(), root, t, &bfs, &mut rng);
+        let neg = eta_bfs_indexed(sampler.index(), root, t, &rev, &mut rng);
+        assert_eq!(pairs[i], (pos, neg), "pair query {i}");
+    }
+}
+
+#[test]
+fn batches_are_identical_across_thread_counts() {
+    let (ds, queries) = workload();
+    let bfs = BfsConfig::new(5, 2, 0.5, TemporalBias::Chronological);
+    let rev = BfsConfig::new(5, 2, 0.5, TemporalBias::ReverseChronological);
+    let dfs = DfsConfig::new(3, 2);
+    let pool = ds.graph.active_nodes();
+
+    let reference = BatchSampler::with_threads(&ds.graph, 1);
+    let want_bfs = reference.sample_bfs_batch(&queries, &bfs, 42);
+    let want_pairs = reference.sample_bfs_pairs(&queries, &bfs, &rev, 42);
+    let want_dfs_pairs = reference.sample_dfs_pairs(&queries, &pool, &dfs, 42);
+
+    for threads in [2, 8] {
+        let s = BatchSampler::with_threads(&ds.graph, threads);
+        assert_eq!(s.sample_bfs_batch(&queries, &bfs, 42), want_bfs, "{threads}t bfs");
+        assert_eq!(s.sample_bfs_pairs(&queries, &bfs, &rev, 42), want_pairs, "{threads}t pairs");
+        assert_eq!(
+            s.sample_dfs_pairs(&queries, &pool, &dfs, 42),
+            want_dfs_pairs,
+            "{threads}t dfs pairs"
+        );
+    }
+}
+
+#[test]
+fn repeated_batches_are_reproducible() {
+    // Same sampler, same seed, called twice — the index is immutable and
+    // each query reseeds from scratch, so nothing may carry over.
+    let (ds, queries) = workload();
+    let sampler = BatchSampler::with_threads(&ds.graph, 4);
+    let bfs = BfsConfig::new(3, 3, 0.6, TemporalBias::Chronological);
+    let a = sampler.sample_bfs_batch(&queries, &bfs, 7);
+    let b = sampler.sample_bfs_batch(&queries, &bfs, 7);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn index_rebuild_is_stable() {
+    // Building the index twice from the same graph yields identical
+    // flattened arrays — a prerequisite for cross-run reproducibility.
+    let (ds, _) = workload();
+    let a = TemporalAdjacencyIndex::build(&ds.graph);
+    let b = TemporalAdjacencyIndex::build(&ds.graph);
+    for node in 0..ds.graph.num_nodes() as NodeId {
+        let (va, vb) = (a.neighborhood(node), b.neighborhood(node));
+        assert_eq!(va.neighbors, vb.neighbors);
+        assert_eq!(va.times, vb.times);
+        assert_eq!(va.edges, vb.edges);
+    }
+}

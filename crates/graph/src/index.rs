@@ -1,0 +1,227 @@
+//! Flattened temporal adjacency index for the sampling hot path.
+//!
+//! [`DynamicGraph`] already keeps per-node time-sorted adjacency lists, but
+//! each list is its own `Vec<NeighborEntry>` of 24-byte AoS entries. The
+//! samplers (η-BFS / ε-DFS, paper §IV-B) touch only the neighbour ids and
+//! timestamps of thousands of nodes per batch, so [`TemporalAdjacencyIndex`]
+//! re-packs the whole adjacency structure once into three flat
+//! structure-of-arrays buffers with a shared offsets table. A temporal
+//! cutoff query is then one binary search over a contiguous `times` slice —
+//! no per-query allocation and no pointer-chasing through nested vectors —
+//! and the resulting [`NeighborhoodView`] borrows directly from the index,
+//! which is what lets a batch of queries fan out across worker threads with
+//! nothing but shared `&` references.
+
+use crate::ctdg::DynamicGraph;
+use crate::event::{NodeId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A borrowed, time-sorted slice of one node's temporal neighbourhood.
+///
+/// The three slices are parallel: `neighbors[i]` interacted with the queried
+/// node at `times[i]` via chronological event `edges[i]`. Entries ascend by
+/// time, matching [`DynamicGraph::neighbors_before`].
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborhoodView<'a> {
+    /// Neighbour node ids, oldest interaction first.
+    pub neighbors: &'a [NodeId],
+    /// Interaction timestamps, ascending.
+    pub times: &'a [Timestamp],
+    /// Chronological event indices of each interaction.
+    pub edges: &'a [usize],
+}
+
+impl NeighborhoodView<'_> {
+    /// Number of neighbourhood entries.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True when the neighbourhood is empty.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+}
+
+/// Structure-of-arrays temporal adjacency, built once per CTDG.
+///
+/// Logically identical to the nested adjacency inside [`DynamicGraph`]
+/// (same entries, same time-sorted order); physically a CSR-style layout:
+/// node `i`'s entries live at `offsets[i]..offsets[i + 1]` of the flat
+/// `neighbors` / `times` / `edges` arrays. Timestamp cutoffs
+/// ([`TemporalAdjacencyIndex::before`]) binary-search the contiguous
+/// `times` run, which is the operation η-BFS and ε-DFS perform for every
+/// frontier node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TemporalAdjacencyIndex {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    times: Vec<Timestamp>,
+    edges: Vec<usize>,
+}
+
+impl TemporalAdjacencyIndex {
+    /// Flattens the graph's per-node adjacency lists into the SoA layout.
+    pub fn build(graph: &DynamicGraph) -> Self {
+        let num_nodes = graph.num_nodes();
+        let total: usize = (0..num_nodes).map(|n| graph.neighbors_all(n as NodeId).len()).sum();
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut neighbors = Vec::with_capacity(total);
+        let mut times = Vec::with_capacity(total);
+        let mut edges = Vec::with_capacity(total);
+        offsets.push(0);
+        for node in 0..num_nodes {
+            for e in graph.neighbors_all(node as NodeId) {
+                neighbors.push(e.neighbor);
+                times.push(e.t);
+                edges.push(e.edge);
+            }
+            offsets.push(neighbors.len());
+        }
+        Self { offsets, neighbors, times, edges }
+    }
+
+    /// Number of nodes the index covers.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The full (all-times) neighbourhood of `node`, oldest first.
+    pub fn neighborhood(&self, node: NodeId) -> NeighborhoodView<'_> {
+        let (lo, hi) = self.span(node);
+        NeighborhoodView {
+            neighbors: &self.neighbors[lo..hi],
+            times: &self.times[lo..hi],
+            edges: &self.edges[lo..hi],
+        }
+    }
+
+    /// The paper's `N_i^t`: neighbours of `node` with interaction time
+    /// strictly before `t`, oldest first. One binary search over the node's
+    /// contiguous timestamp run.
+    pub fn before(&self, node: NodeId, t: Timestamp) -> NeighborhoodView<'_> {
+        let (lo, hi) = self.span(node);
+        let cut = lo + self.times[lo..hi].partition_point(|&x| x < t);
+        NeighborhoodView {
+            neighbors: &self.neighbors[lo..cut],
+            times: &self.times[lo..cut],
+            edges: &self.edges[lo..cut],
+        }
+    }
+
+    /// Temporal degree of `node` before `t`.
+    pub fn degree_before(&self, node: NodeId, t: Timestamp) -> usize {
+        self.before(node, t).len()
+    }
+
+    /// The `n` most recent `(neighbor, time)` pairs of `node` strictly
+    /// before `t`, *most recent first* — the ε-DFS selection (paper Eq. 5),
+    /// yielded without allocating.
+    pub fn recent_before(
+        &self,
+        node: NodeId,
+        t: Timestamp,
+        n: usize,
+    ) -> impl Iterator<Item = (NodeId, Timestamp)> + '_ {
+        let v = self.before(node, t);
+        v.neighbors.iter().rev().zip(v.times.iter().rev()).take(n).map(|(&nb, &tt)| (nb, tt))
+    }
+
+    fn span(&self, node: NodeId) -> (usize, usize) {
+        let i = node as usize;
+        (self.offsets[i], self.offsets[i + 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_triples;
+    use crate::synthetic::{generate, SyntheticConfig};
+
+    fn small() -> (DynamicGraph, TemporalAdjacencyIndex) {
+        let g = graph_from_triples(
+            4,
+            &[(0, 1, 1.0), (0, 2, 2.0), (1, 2, 3.0), (0, 1, 4.0), (2, 3, 5.0)],
+        )
+        .unwrap();
+        let idx = TemporalAdjacencyIndex::build(&g);
+        (g, idx)
+    }
+
+    #[test]
+    fn index_matches_graph_neighborhoods() {
+        let (g, idx) = small();
+        assert_eq!(idx.num_nodes(), g.num_nodes());
+        for node in 0..g.num_nodes() as NodeId {
+            let all = g.neighbors_all(node);
+            let view = idx.neighborhood(node);
+            assert_eq!(view.len(), all.len());
+            for (i, e) in all.iter().enumerate() {
+                assert_eq!(view.neighbors[i], e.neighbor);
+                assert_eq!(view.times[i], e.t);
+                assert_eq!(view.edges[i], e.edge);
+            }
+        }
+    }
+
+    #[test]
+    fn before_matches_graph_cutoffs() {
+        let (g, idx) = small();
+        for node in 0..g.num_nodes() as NodeId {
+            for t in [0.0, 1.0, 2.5, 4.0, 100.0] {
+                let expect = g.neighbors_before(node, t);
+                let view = idx.before(node, t);
+                assert_eq!(view.len(), expect.len(), "node {node} t {t}");
+                for (i, e) in expect.iter().enumerate() {
+                    assert_eq!(view.neighbors[i], e.neighbor);
+                    assert_eq!(view.times[i], e.t);
+                }
+                assert_eq!(idx.degree_before(node, t), g.degree_before(node, t));
+            }
+        }
+    }
+
+    #[test]
+    fn recent_before_matches_graph_recency_order() {
+        let (g, idx) = small();
+        for node in 0..g.num_nodes() as NodeId {
+            for n in [0, 1, 2, 10] {
+                let expect = g.recent_neighbors(node, 10.0, n);
+                let got: Vec<(NodeId, Timestamp)> = idx.recent_before(node, 10.0, n).collect();
+                assert_eq!(got.len(), expect.len());
+                for (a, b) in got.iter().zip(expect.iter()) {
+                    assert_eq!(a.0, b.neighbor);
+                    assert_eq!(a.1, b.t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_agrees_on_synthetic_workload() {
+        let ds = generate(&SyntheticConfig::amazon_like(11).scaled(0.05));
+        let g = &ds.graph;
+        let idx = TemporalAdjacencyIndex::build(g);
+        let t_mid = g.t_max().unwrap() * 0.5;
+        for node in g.active_nodes() {
+            let expect = g.neighbors_before(node, t_mid);
+            let view = idx.before(node, t_mid);
+            assert_eq!(view.len(), expect.len());
+            for (i, e) in expect.iter().enumerate() {
+                assert_eq!(view.neighbors[i], e.neighbor);
+                assert_eq!(view.times[i], e.t);
+                assert_eq!(view.edges[i], e.edge);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_neighborhood_views() {
+        let g = graph_from_triples(3, &[(0, 1, 1.0)]).unwrap();
+        let idx = TemporalAdjacencyIndex::build(&g);
+        assert!(idx.neighborhood(2).is_empty());
+        assert!(idx.before(0, 0.5).is_empty());
+        assert_eq!(idx.recent_before(2, 10.0, 4).count(), 0);
+    }
+}

@@ -20,6 +20,7 @@ pub mod builder;
 pub mod ctdg;
 pub mod dtdg;
 pub mod event;
+pub mod index;
 pub mod loader;
 pub mod split;
 pub mod stats;
@@ -28,6 +29,7 @@ pub mod walk;
 
 pub use builder::{graph_from_triples, DynamicGraphBuilder, GraphError};
 pub use ctdg::{DynamicGraph, NeighborEntry};
+pub use index::{NeighborhoodView, TemporalAdjacencyIndex};
 pub use event::{FieldId, Interaction, LabelEvent, NodeId, Timestamp};
 pub use dtdg::{to_snapshots, Snapshot};
 pub use split::TransferSplit;

@@ -44,6 +44,7 @@ pub mod ops;
 pub mod optim;
 pub mod param;
 pub mod tape;
+pub mod threading;
 
 pub use matrix::Matrix;
 pub use param::{ParamId, ParamStore};

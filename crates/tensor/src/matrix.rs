@@ -6,10 +6,62 @@
 //!
 //! The matmul kernel uses the `i-k-j` loop order so the innermost loop walks
 //! both `b` and `out` contiguously — the single most important layout
-//! decision for a CPU-bound training stack.
+//! decision for a CPU-bound training stack. Large products are additionally
+//! cache-blocked and split by row-blocks across scoped worker threads (see
+//! [`Matrix::matmul_with_threads`]); because every output element still
+//! accumulates over `k` in strictly ascending order, the parallel result is
+//! bit-identical to the sequential one at any thread count.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Minimum `m·k·n` multiply-add volume before the threaded path engages;
+/// below this, thread spawn/join overhead dominates any win.
+const PAR_FLOP_THRESHOLD: usize = 1 << 17;
+
+/// Row-tile height of the cache-blocked kernel (rows of `a` kept hot).
+const MM_ROW_TILE: usize = 32;
+
+/// Depth-tile width of the cache-blocked kernel (rows of `b` kept hot).
+const MM_K_TILE: usize = 64;
+
+/// Minimum output rows worth handing to one worker thread.
+const MIN_ROWS_PER_THREAD: usize = 8;
+
+/// Cache-blocked `i-k-j` kernel computing output rows
+/// `[row0, row0 + out_chunk.len() / n)` of `a · b` into `out_chunk`
+/// (which must arrive zeroed). Accumulation over `k` is strictly ascending
+/// for every output element, so the blocked, unblocked, and row-split
+/// variants all produce bit-identical results.
+fn matmul_block(a: &[f32], b: &[f32], out_chunk: &mut [f32], row0: usize, k: usize, n: usize) {
+    if n == 0 || k == 0 {
+        return;
+    }
+    let rows = out_chunk.len() / n;
+    let mut i0 = 0;
+    while i0 < rows {
+        let i1 = (i0 + MM_ROW_TILE).min(rows);
+        let mut k0 = 0;
+        while k0 < k {
+            let k1 = (k0 + MM_K_TILE).min(k);
+            for i in i0..i1 {
+                let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+                let out_row = &mut out_chunk[i * n..(i + 1) * n];
+                for (kk, &av) in a_row.iter().enumerate().take(k1).skip(k0) {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            k0 = k1;
+        }
+        i0 = i1;
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
@@ -167,11 +219,28 @@ impl Matrix {
         self.row_mut(r).copy_from_slice(src);
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs`, using the process-wide worker count
+    /// from [`crate::threading::current_threads`] for large products.
     ///
     /// # Panics
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_with_threads(rhs, crate::threading::current_threads())
+    }
+
+    /// Matrix product `self · rhs` with an explicit worker-thread count.
+    ///
+    /// Small products (`m·k·n` below an internal threshold) and
+    /// `threads <= 1` run the sequential cache-blocked kernel; larger ones
+    /// split the output rows into contiguous blocks, one scoped worker per
+    /// block. Each output element accumulates over the inner dimension in
+    /// ascending order in every variant, so the result is bit-identical
+    /// regardless of `threads` — this is the determinism contract the
+    /// `parallel_determinism` test suite enforces.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_with_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: {}x{} · {}x{} has mismatched inner dims",
@@ -179,21 +248,19 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
-        // i-k-j ordering: the inner loop is a contiguous axpy over `rhs` rows
-        // and the output row, which vectorises well.
-        for i in 0..m {
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for kk in 0..k {
-                let a = self.data[i * k + kk];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        // Never spawn more workers than there are useful row blocks.
+        let threads = threads.min(m.div_ceil(MIN_ROWS_PER_THREAD)).max(1);
+        if threads <= 1 || m * k * n < PAR_FLOP_THRESHOLD {
+            matmul_block(&self.data, &rhs.data, &mut out.data, 0, k, n);
+            return out;
         }
+        let rows_per = m.div_ceil(threads);
+        let (a, b) = (&self.data, &rhs.data);
+        std::thread::scope(|scope| {
+            for (block, chunk) in out.data.chunks_mut(rows_per * n).enumerate() {
+                scope.spawn(move || matmul_block(a, b, chunk, block * rows_per, k, n));
+            }
+        });
         out
     }
 
@@ -414,6 +481,67 @@ mod tests {
     #[should_panic(expected = "mismatched inner dims")]
     fn matmul_bad_dims_panics() {
         Matrix::ones(2, 3).matmul(&Matrix::ones(2, 3));
+    }
+
+    /// Naive triple-loop reference in the same `k`-ascending accumulation
+    /// order as the production kernel (bitwise comparable).
+    fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k, n) = (a.rows, a.cols, b.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    let av = a.data[i * k + kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    acc += av * b.data[kk * n + j];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Deterministic pseudo-random fill without pulling in an RNG dep.
+    fn lcg_matrix(rows: usize, cols: usize, mut state: u64) -> Matrix {
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn matmul_threaded_bitwise_matches_sequential() {
+        // Shapes straddling the parallel threshold, including ragged row
+        // splits (m not divisible by the thread count).
+        for &(m, k, n) in &[(1, 1, 1), (7, 5, 3), (33, 17, 9), (64, 64, 64), (130, 70, 50)] {
+            let a = lcg_matrix(m, k, 1);
+            let b = lcg_matrix(k, n, 2);
+            let seq = a.matmul_with_threads(&b, 1);
+            assert_eq!(seq, matmul_reference(&a, &b), "{m}x{k}x{n} vs reference");
+            for threads in [2, 3, 8] {
+                let par = a.matmul_with_threads(&b, threads);
+                assert_eq!(seq, par, "{m}x{k}x{n} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_threaded_handles_degenerate_shapes() {
+        for &(m, k, n) in &[(0, 4, 4), (4, 0, 4), (4, 4, 0), (0, 0, 0)] {
+            let a = Matrix::zeros(m, k);
+            let b = Matrix::zeros(k, n);
+            for threads in [1, 4] {
+                let c = a.matmul_with_threads(&b, threads);
+                assert_eq!(c.shape(), (m, n));
+                assert!(c.data().iter().all(|&x| x == 0.0));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Global worker-thread configuration for the parallel hot paths.
+//!
+//! The CPDG stack has exactly one threading knob: a process-wide worker
+//! count consulted by the blocked matmul in [`crate::matrix`] and by the
+//! batched sampler in the core crate. The resolution order is
+//!
+//! 1. an explicit [`set_threads`] call (the CLI's `--threads` flag),
+//! 2. the `CPDG_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`] (capped at 16).
+//!
+//! The knob only controls *how much* hardware is used, never *what* is
+//! computed: every parallel kernel in the workspace is written so its
+//! output is bit-identical at any thread count (see DESIGN.md, "Parallel
+//! execution").
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Explicit override installed via [`set_threads`] (0 = unset).
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Lazily resolved default: `CPDG_THREADS` env var, else hardware.
+static DEFAULT: OnceLock<usize> = OnceLock::new();
+
+/// Upper bound on auto-detected parallelism; explicit settings may exceed it.
+const MAX_AUTO_THREADS: usize = 16;
+
+fn env_or_hardware_default() -> usize {
+    if let Ok(s) = std::env::var("CPDG_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MAX_AUTO_THREADS)
+}
+
+/// The worker-thread count currently in effect (always ≥ 1).
+pub fn current_threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    *DEFAULT.get_or_init(env_or_hardware_default)
+}
+
+/// Installs an explicit worker-thread count, overriding `CPDG_THREADS` and
+/// hardware detection. `n` is clamped to at least 1.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Clears any [`set_threads`] override, restoring the env/hardware default.
+pub fn reset_threads() {
+    OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_round_trip() {
+        // Single test touching the global override to avoid cross-test races.
+        set_threads(3);
+        assert_eq!(current_threads(), 3);
+        set_threads(0); // clamped to 1
+        assert_eq!(current_threads(), 1);
+        reset_threads();
+        assert!(current_threads() >= 1);
+    }
+}

@@ -194,6 +194,40 @@ proptest! {
     }
 
     #[test]
+    fn sqrt_grad(x in smooth_matrix(2, 3)) {
+        // sqrt clamps negatives to 0 in forward; shift the input well above
+        // 0 so both the clamp and the 1/(2√x) blow-up stay out of reach.
+        gradcheck(&x, |t, v| {
+            let shifted = t.add_scalar(v, 2.5);
+            let s = t.sqrt(shifted);
+            t.mean_all(s)
+        });
+    }
+
+    #[test]
+    fn sq_dist_rows_grad(x in smooth_matrix(3, 4)) {
+        // Squared distance is a polynomial — smooth everywhere, including
+        // at zero distance (unlike euclidean_rows).
+        let other = Matrix::full(3, 4, 0.8);
+        gradcheck(&x, |t, v| {
+            let o = t.constant(other.clone());
+            let d = t.sq_dist_rows(v, o);
+            t.mean_all(d)
+        });
+    }
+
+    #[test]
+    fn link_prediction_loss_grad(x in smooth_matrix(4, 1)) {
+        // Perturb the positive logits; fixed negatives keep the BCE halves
+        // coupled only through the final add.
+        let neg = Matrix::from_vec(3, 1, vec![-0.5, 0.3, 1.2]);
+        gradcheck(&x, |t, v| {
+            let n = t.constant(neg.clone());
+            loss::link_prediction_loss(t, v, n)
+        });
+    }
+
+    #[test]
     fn triplet_margin_grad(x in smooth_matrix(2, 3)) {
         // Positive/negative chosen so the hinge is strictly active
         // (loss > 0) and distances stay away from 0, keeping f smooth.
@@ -205,6 +239,27 @@ proptest! {
             loss::triplet_margin(t, v, p, n, 50.0)
         });
     }
+}
+
+#[test]
+fn threaded_matmul_grad() {
+    // 8×64 · 64×256 = 131 072 flops — at or above the parallel threshold,
+    // so on multi-core hosts both the forward and the backward (transposed)
+    // matmuls run through the threaded blocked kernel. Gradients must still
+    // match central differences; bit-equality with the sequential kernel is
+    // covered separately in parallel_determinism.rs.
+    let mut rng_state = 0x5EEDu64;
+    let mut next = move || {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    };
+    let x0 = Matrix::from_vec(8, 64, (0..8 * 64).map(|_| next()).collect());
+    let w = Matrix::from_vec(64, 256, (0..64 * 256).map(|_| next() * 0.2).collect());
+    gradcheck(&x0, |t, v| {
+        let wv = t.constant(w.clone());
+        let y = t.matmul(v, wv);
+        t.mean_all(y)
+    });
 }
 
 #[test]

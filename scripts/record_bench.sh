@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Records the sequential-vs-parallel speedup of the hot paths into
+# BENCH_parallel.json at the repo root. Run on a quiet machine; the
+# parallel numbers use every available core unless CPDG_THREADS is set.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_parallel.json}"
+cargo run --release -p cpdg-bench --bin parallel_bench -- --out "$OUT"
+echo
+echo "=== $OUT ==="
+cat "$OUT"
