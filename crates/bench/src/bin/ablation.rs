@@ -43,7 +43,7 @@ fn run(
         aucs.push(res.auc);
         aps.push(res.ap);
     }
-    eprintln!("{label}: auc {:.4}", aggregate(&aucs).mean);
+    cpdg_obs::info!("bench.ablation", format!("{label}: auc {:.4}", aggregate(&aucs).mean));
     table.row(vec![label.to_string(), aggregate(&aucs).fmt(), aggregate(&aps).fmt()]);
 }
 

@@ -4,6 +4,10 @@
 //! time+field transfer setting. The paper reports these as bars; we print
 //! the bar heights (AUC and AP) plus the drop vs full CPDG.
 
+// Bench binaries print their tables/summaries to stdout by design;
+// diagnostics go through cpdg-obs.
+#![allow(clippy::disallowed_macros)]
+
 use cpdg_bench::harness::{aggregate, HarnessOpts};
 use cpdg_bench::table::TableWriter;
 use cpdg_bench::{amazon_dataset, transfer, Method, Setting};
@@ -49,7 +53,7 @@ fn main() {
                 full_auc = a.mean;
                 full_ap = p.mean;
             }
-            eprintln!("{fname} {label}: auc {:.4}", a.mean);
+            cpdg_obs::info!("bench.fig5", format!("{fname} {label}: auc {:.4}", a.mean));
             table.row(vec![
                 fname.to_string(),
                 label.to_string(),

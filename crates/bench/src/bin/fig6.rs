@@ -4,6 +4,10 @@
 //! The paper's observed shape: Beauty degrades as β grows (temporal
 //! information dominates there), Luxury stays comparatively flat.
 
+// Bench binaries print their tables/summaries to stdout by design;
+// diagnostics go through cpdg-obs.
+#![allow(clippy::disallowed_macros)]
+
 use cpdg_bench::harness::{aggregate, HarnessOpts};
 use cpdg_bench::table::TableWriter;
 use cpdg_bench::{amazon_dataset, transfer, Method, Setting};
@@ -37,7 +41,10 @@ fn main() {
                 aucs.push(auc);
                 aps.push(ap);
             }
-            eprintln!("β={beta:.1} field{field}: auc {:.4}", aggregate(&aucs).mean);
+            cpdg_obs::info!(
+                "bench.fig6",
+                format!("β={beta:.1} field{field}: auc {:.4}", aggregate(&aucs).mean)
+            );
             cells.push(aggregate(&aucs).fmt());
             cells.push(aggregate(&aps).fmt());
         }

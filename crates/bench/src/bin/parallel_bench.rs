@@ -8,6 +8,10 @@
 //! bit-identical to the sequential baseline, so this binary only reports
 //! *time*, never accuracy.
 
+// Bench binaries print their tables/summaries to stdout by design;
+// diagnostics go through cpdg-obs.
+#![allow(clippy::disallowed_macros)]
+
 use cpdg_core::pretrain::{pretrain, PretrainConfig};
 use cpdg_core::sampler::batch::BatchSampler;
 use cpdg_core::sampler::bfs::BfsConfig;

@@ -6,6 +6,10 @@
 //! Reads the `results/table5_*.json` dumps produced by the `table5`
 //! binary — run that first.
 
+// Bench binaries print their tables/summaries to stdout by design;
+// diagnostics go through cpdg-obs.
+#![allow(clippy::disallowed_macros)]
+
 use cpdg_bench::paper_ref::{TABLE5_AUC, TABLE5_COLUMNS, TABLE5_METHODS};
 use cpdg_bench::table::TableWriter;
 use serde_json::Value;
@@ -87,7 +91,9 @@ fn main() {
     for (slug, si) in settings {
         let path = format!("results/table5_{slug}.json");
         let Some(measured) = load_measured(&path) else {
-            eprintln!("skipping {path}: not found or unparsable (run table5 first)");
+            cpdg_obs::warn!("bench.shape_check",
+                "skipping results file: not found or unparsable (run table5 first)";
+                path = path.as_str());
             continue;
         };
         for (ci, col) in TABLE5_COLUMNS.iter().enumerate() {

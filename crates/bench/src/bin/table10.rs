@@ -38,7 +38,10 @@ fn main() {
             }
             let (p_auc, p_ap) = TABLE10[fi][si];
             let a = aggregate(&aucs);
-            eprintln!("{fname} {}: auc {:.4} (paper {p_auc:.4})", strategy.name(), a.mean);
+            cpdg_obs::info!(
+                "bench.table10",
+                format!("{fname} {}: auc {:.4} (paper {p_auc:.4})", strategy.name(), a.mean)
+            );
             table.row(vec![
                 fname.to_string(),
                 strategy.name().to_string(),

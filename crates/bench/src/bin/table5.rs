@@ -51,7 +51,7 @@ fn main() {
                 cells.push(aggregate(&aucs).fmt());
                 cells.push(fmt_ref(TABLE5_AUC[si][mi][ci]));
                 cells.push(aggregate(&aps).fmt());
-                eprintln!(
+                cpdg_obs::info!("bench.table5", format!(
                     "[{:>7.1?}] {} / {} / {}: auc {:.4} (paper {})",
                     t0.elapsed(),
                     setting.short(),
@@ -59,11 +59,11 @@ fn main() {
                     method.name(),
                     aggregate(&aucs).mean,
                     fmt_ref(TABLE5_AUC[si][mi][ci]),
-                );
+                ));
             }
             table.row(cells);
         }
         table.emit(&format!("table5_{}", setting.short().replace('+', "_")));
     }
-    eprintln!("table5 total: {:?}", t0.elapsed());
+    cpdg_obs::info!("bench.table5", format!("table5 total: {:?}", t0.elapsed()));
 }

@@ -34,7 +34,7 @@ fn main() {
             row_idx += 1;
             let a = aggregate(&aucs);
             let p = aggregate(&aps);
-            eprintln!("{label}: auc {:.4} (paper {p_auc:.4})", a.mean);
+            cpdg_obs::info!("bench.table6", format!("{label}: auc {:.4} (paper {p_auc:.4})", a.mean));
             table.row(vec![
                 label.to_string(),
                 a.fmt(),

@@ -54,7 +54,10 @@ fn main() {
                 aucs.push(method.run_classification(&split, &opts, seed));
             }
             let a = aggregate(&aucs);
-            eprintln!("{label} kind{kind}: auc {:.4} (paper {paper:.4})", a.mean);
+            cpdg_obs::info!(
+                "bench.table7",
+                format!("{label} kind{kind}: auc {:.4} (paper {paper:.4})", a.mean)
+            );
             cells.push(a.fmt());
             cells.push(format!("{paper:.4}"));
         }

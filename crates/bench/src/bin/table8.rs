@@ -37,10 +37,10 @@ fn main() {
                         aucs.push(auc);
                     }
                     let a = aggregate(&aucs);
-                    eprintln!(
+                    cpdg_obs::info!("bench.table8", format!(
                         "{} / {} field{}: auc {:.4} (paper {:.4})",
                         setting.short(), method.name(), field, a.mean, paper
-                    );
+                    ));
                     cells.push(a.fmt());
                     cells.push(format!("{paper:.4}"));
                 }

@@ -50,10 +50,10 @@ fn main() {
             }
             let a = aggregate(&aucs);
             let p = aggregate(&aps);
-            eprintln!(
+            cpdg_obs::info!("bench.table9", format!(
                 "{fname} {label}: auc {:.4} (paper {:.4})",
                 a.mean, TABLE9_AUC[fi][ci]
-            );
+            ));
             table.row(vec![
                 fname.to_string(),
                 label,

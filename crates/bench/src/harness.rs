@@ -44,9 +44,13 @@ impl HarnessOpts {
     }
 
     /// Parses `--quick` (default), `--full`, `--scale X`, `--seeds N`,
-    /// `--threads N` from the process arguments.
+    /// `--threads N`, `--log-level L`, `--log-format text|json` from the
+    /// process arguments, and installs the stderr diagnostic sink so every
+    /// bench binary routes warnings/progress through the observability
+    /// layer.
     pub fn from_args() -> Self {
         let args: Vec<String> = env::args().collect();
+        init_diagnostics(&args);
         let mut opts = if args.iter().any(|a| a == "--full") {
             Self::full()
         } else {
@@ -80,6 +84,32 @@ impl HarnessOpts {
 
 fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// Installs the console sink from `--log-level`/`--log-format` (defaults:
+/// info, text). Unparseable values fall back to the defaults with a
+/// warning rather than aborting a long benchmark sweep.
+fn init_diagnostics(args: &[String]) {
+    let value_of = |name: &str| -> Option<&str> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let level = match value_of("--log-level").map(str::parse::<cpdg_obs::Level>) {
+        Some(Ok(l)) => l,
+        Some(Err(e)) => {
+            cpdg_obs::warn!("bench.harness", "ignoring invalid --log-level"; error = e);
+            cpdg_obs::Level::Info
+        }
+        None => cpdg_obs::Level::Info,
+    };
+    let format = match value_of("--log-format").map(str::parse::<cpdg_obs::LogFormat>) {
+        Some(Ok(f)) => f,
+        Some(Err(e)) => {
+            cpdg_obs::warn!("bench.harness", "ignoring invalid --log-format"; error = e);
+            cpdg_obs::LogFormat::Text
+        }
+        None => cpdg_obs::LogFormat::Text,
+    };
+    cpdg_obs::init(level, format);
 }
 
 /// Mean ± population standard deviation of a set of trial results.

@@ -14,6 +14,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::disallowed_macros)]
 
 pub mod datasets;
 pub mod harness;

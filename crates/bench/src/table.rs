@@ -68,7 +68,11 @@ impl TableWriter {
     }
 
     /// Prints the table to stdout and saves the raw rows as JSON under
-    /// `results/<slug>.json` (best effort — IO failures only warn).
+    /// `results/<slug>.json` (best effort — IO failures only warn, through
+    /// the observability layer).
+    // Rendering the table on stdout is this type's purpose; only the
+    // diagnostics route through cpdg-obs.
+    #[allow(clippy::disallowed_macros)]
     pub fn emit(&self, slug: &str) {
         println!("{}", self.render());
         let dir = PathBuf::from("results");
@@ -77,12 +81,14 @@ impl TableWriter {
             match serde_json::to_string_pretty(self) {
                 Ok(json) => {
                     if let Err(e) = fs::write(&path, json) {
-                        eprintln!("warn: could not write {}: {e}", path.display());
+                        cpdg_obs::warn!("bench.table", "could not write results file";
+                            path = path.display().to_string(), error = e.to_string());
                     } else {
                         println!("[results saved to {}]", path.display());
                     }
                 }
-                Err(e) => eprintln!("warn: could not serialise results: {e}"),
+                Err(e) => cpdg_obs::warn!("bench.table", "could not serialise results";
+                    slug = slug, error = e.to_string()),
             }
         }
     }

@@ -16,6 +16,15 @@
 //! Failures map to distinct exit codes (see [`CpdgError::exit_code`]), so
 //! shell drivers can tell a corrupt model file from a diverged run from a
 //! resumable interruption.
+//!
+//! Observability: `--log-level`/`--log-format` configure the stderr
+//! diagnostic stream, and `--run-dir <dir>` records provenance artefacts
+//! (`run.json` manifest + `metrics.jsonl` per-epoch records) for
+//! `pretrain` and `finetune` runs.
+
+// The CLI's job is printing to the console; the workspace-wide
+// disallowed-macros lint applies to library crates only.
+#![allow(clippy::disallowed_macros)]
 
 mod args;
 
@@ -28,6 +37,7 @@ use cpdg_core::pipeline::auto_time_scale;
 use cpdg_core::pretrain::{pretrain_resumable, PretrainConfig, PretrainRuntime};
 use cpdg_core::EieFusion;
 use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor};
+use cpdg_obs::Json;
 use cpdg_graph::loader::{load_jodie_csv, write_jodie_csv};
 use cpdg_graph::{generate, GraphStats, SyntheticConfig};
 use cpdg_tensor::optim::Adam;
@@ -53,6 +63,15 @@ USAGE:
                 [--strategy full|eie-mean|eie-attn|eie-gru] [--epochs N]
                 [--seed N] [--threads N]
 
+Common options (every command):
+  --log-level <error|warn|info|debug|trace>  stderr diagnostic verbosity
+                                             (default info)
+  --log-format <text|json>                   stderr diagnostic rendering
+  --run-dir <dir>   write provenance artefacts into <dir>: run.json
+                    (config, seed, threads, dataset stats, wall-clock,
+                    counter totals) and metrics.jsonl (one record per
+                    pre-train / fine-tune epoch)
+
 Parallelism: hot paths (blocked matmul, batched subgraph sampling) fan out
 across worker threads. The pool size defaults to the machine's available
 parallelism, capped at 16; override with --threads N or the CPDG_THREADS
@@ -73,11 +92,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Console sink + optional run directory; the `RunDir` handle stays
+    // alive for the whole command so metric events land in metrics.jsonl.
+    let run_dir = match init_observability(&args) {
+        Ok(rd) => rd,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(e.exit_code());
+        }
+    };
     let result = match args.command.as_deref() {
         Some("generate") => cmd_generate(&args),
         Some("stats") => cmd_stats(&args),
-        Some("pretrain") => cmd_pretrain(&args),
-        Some("finetune") => cmd_finetune(&args),
+        Some("pretrain") => cmd_pretrain(&args, run_dir.as_ref()),
+        Some("finetune") => cmd_finetune(&args, run_dir.as_ref()),
         Some(other) => Err(CpdgError::Invalid(format!("unknown command {other:?}"))),
         None => Err(CpdgError::Invalid("no command given".to_string())),
     };
@@ -91,6 +119,59 @@ fn main() -> ExitCode {
             ExitCode::from(e.exit_code())
         }
     }
+}
+
+/// Installs the stderr console sink from `--log-level`/`--log-format` and
+/// opens `--run-dir` (creating it) when given.
+fn init_observability(args: &Args) -> CpdgResult<Option<cpdg_obs::RunDir>> {
+    let level: cpdg_obs::Level =
+        args.get_or("log-level", "info").parse().map_err(CpdgError::Invalid)?;
+    let format: cpdg_obs::LogFormat =
+        args.get_or("log-format", "text").parse().map_err(CpdgError::Invalid)?;
+    cpdg_obs::init(level, format);
+    match args.get("run-dir") {
+        None => Ok(None),
+        Some(d) => cpdg_obs::RunDir::create(Path::new(d))
+            .map(Some)
+            .map_err(|e| CpdgError::io(d, e)),
+    }
+}
+
+/// The shared skeleton of a `run.json` manifest: tool identity, command,
+/// lifecycle status, seed, worker-thread count, config, and dataset stats.
+fn run_manifest(command: &str, status: &str, seed: u64, config: Json, dataset: Json) -> Json {
+    Json::obj(vec![
+        ("tool", Json::from("cpdg")),
+        ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+        ("command", Json::from(command)),
+        ("status", Json::from(status)),
+        ("seed", Json::U64(seed)),
+        ("threads", Json::U64(cpdg_tensor::threading::current_threads() as u64)),
+        ("config", config),
+        ("dataset", dataset),
+    ])
+}
+
+/// Dataset provenance block for `run.json`.
+fn dataset_json(path: &str, loaded: &cpdg_graph::loader::LoadedGraph) -> Json {
+    let s = GraphStats::compute(&loaded.graph);
+    Json::obj(vec![
+        ("path", Json::from(path)),
+        ("users", Json::U64(loaded.num_users as u64)),
+        ("items", Json::U64(loaded.num_items as u64)),
+        ("active_nodes", Json::U64(s.active_nodes as u64)),
+        ("events", Json::U64(s.edges as u64)),
+        ("t_min", Json::F64(s.t_min)),
+        ("t_max", Json::F64(s.t_max)),
+    ])
+}
+
+/// Final-manifest decorations shared by pretrain and finetune: wall-clock
+/// plus the process-wide counter and span-histogram totals.
+fn finish_manifest(m: &mut Json, started: std::time::Instant) {
+    m.push("wall_clock_secs", Json::F64(started.elapsed().as_secs_f64()));
+    m.push("counters", cpdg_obs::metrics::counters_json());
+    m.push("spans", cpdg_obs::metrics::histograms_json());
 }
 
 fn cmd_generate(args: &Args) -> CpdgResult<()> {
@@ -164,7 +245,8 @@ fn apply_threads(args: &Args) -> CpdgResult<()> {
     Ok(())
 }
 
-fn cmd_pretrain(args: &Args) -> CpdgResult<()> {
+fn cmd_pretrain(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
+    let started = std::time::Instant::now();
     apply_threads(args)?;
     let data = args.require("data")?;
     let out = args.require("out")?;
@@ -191,6 +273,20 @@ fn cmd_pretrain(args: &Args) -> CpdgResult<()> {
     };
 
     let loaded = load_data(data)?;
+    let config_json = Json::obj(vec![
+        ("encoder", Json::from(encoder_kind.name())),
+        ("dim", Json::U64(dim as u64)),
+        ("epochs", Json::U64(epochs as u64)),
+        ("beta", Json::F64(beta as f64)),
+        ("vanilla", Json::Bool(vanilla)),
+        ("out", Json::from(out)),
+    ]);
+    let data_json = dataset_json(data, &loaded);
+    // First manifest write: provenance survives even if the run crashes.
+    if let Some(run) = run {
+        let m = run_manifest("pretrain", "running", seed, config_json.clone(), data_json.clone());
+        run.write_manifest(&m).map_err(|e| CpdgError::io("run.json", e))?;
+    }
     let graph = loaded.graph;
     let mut store = ParamStore::new();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -226,6 +322,17 @@ fn cmd_pretrain(args: &Args) -> CpdgResult<()> {
     model.save(Path::new(out))?;
     println!("saved model ({} params, {} checkpoints) to {out}",
         model.params.scalar_count(), model.checkpoints.len());
+    if let Some(run) = run {
+        let mut m = run_manifest("pretrain", "complete", seed, config_json, data_json);
+        m.push("epochs_completed", Json::U64(result.epoch_losses.len() as u64));
+        if let Some(last) = result.epoch_losses.last() {
+            m.push("final_loss", Json::F64(last.total as f64));
+        }
+        m.push("skipped_steps", Json::U64(result.skipped_steps as u64));
+        m.push("eie_checkpoints", Json::U64(model.checkpoints.len() as u64));
+        finish_manifest(&mut m, started);
+        run.write_manifest(&m).map_err(|e| CpdgError::io("run.json", e))?;
+    }
     Ok(())
 }
 
@@ -241,7 +348,8 @@ fn parse_strategy(name: &str) -> CpdgResult<FinetuneStrategy> {
     }
 }
 
-fn cmd_finetune(args: &Args) -> CpdgResult<()> {
+fn cmd_finetune(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
+    let started = std::time::Instant::now();
     apply_threads(args)?;
     let data = args.require("data")?;
     let model_path = args.require("model")?;
@@ -251,6 +359,16 @@ fn cmd_finetune(args: &Args) -> CpdgResult<()> {
 
     let model = ModelFile::load(Path::new(model_path))?;
     let loaded = load_data(data)?;
+    let config_json = Json::obj(vec![
+        ("strategy", Json::from(strategy.name())),
+        ("epochs", Json::U64(epochs as u64)),
+        ("model", Json::from(model_path)),
+    ]);
+    let data_json = dataset_json(data, &loaded);
+    if let Some(run) = run {
+        let m = run_manifest("finetune", "running", seed, config_json.clone(), data_json.clone());
+        run.write_manifest(&m).map_err(|e| CpdgError::io("run.json", e))?;
+    }
     let graph = loaded.graph;
     if graph.num_nodes() > model.num_nodes {
         return Err(CpdgError::NodeCountMismatch {
@@ -285,6 +403,14 @@ fn cmd_finetune(args: &Args) -> CpdgResult<()> {
     println!("validation AUC : {:.4}", res.val_auc);
     println!("test AUC       : {:.4}", res.auc);
     println!("test AP        : {:.4}", res.ap);
+    if let Some(run) = run {
+        let mut m = run_manifest("finetune", "complete", seed, config_json, data_json);
+        m.push("val_auc", Json::F64(res.val_auc as f64));
+        m.push("auc", Json::F64(res.auc as f64));
+        m.push("ap", Json::F64(res.ap as f64));
+        finish_manifest(&mut m, started);
+        run.write_manifest(&m).map_err(|e| CpdgError::io("run.json", e))?;
+    }
     Ok(())
 }
 
@@ -328,7 +454,7 @@ mod tests {
             data_path.display(),
             model_path.display()
         ));
-        let err = cmd_finetune(&args).unwrap_err();
+        let err = cmd_finetune(&args, None).unwrap_err();
         match err {
             CpdgError::NodeCountMismatch { data_nodes, model_nodes } => {
                 assert_eq!(data_nodes, 4);
@@ -357,7 +483,7 @@ mod tests {
             data_path.display(),
             model_path.display()
         ));
-        let err = cmd_finetune(&args).unwrap_err();
+        let err = cmd_finetune(&args, None).unwrap_err();
         assert!(matches!(err, CpdgError::Corrupt { .. }), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -366,6 +492,61 @@ mod tests {
     fn unknown_subcommand_is_usage_error() {
         let err = parse_encoder("sage").unwrap_err();
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn observability_flags_validate() {
+        assert!(init_observability(&parse("stats --log-level shouty")).is_err());
+        assert!(init_observability(&parse("stats --log-format yaml")).is_err());
+        let rd = init_observability(&parse("stats --log-level warn")).unwrap();
+        assert!(rd.is_none(), "no --run-dir given");
+        // Restore the default console for any test running after this one.
+        cpdg_obs::init(cpdg_obs::Level::Info, cpdg_obs::LogFormat::Text);
+    }
+
+    #[test]
+    fn pretrain_run_dir_emits_parseable_artifacts() {
+        let dir = std::env::temp_dir().join(format!("cpdg_cli_rundir_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let ds = generate(&SyntheticConfig::amazon_like(7).scaled(0.05));
+        write_jodie_csv(&ds.graph, ds.num_users, File::create(&data_path).unwrap()).unwrap();
+        let run_path = dir.join("run");
+        let model_path = dir.join("model.json");
+        let args = parse(&format!(
+            "pretrain --data {} --out {} --epochs 1 --dim 8 --seed 3 --run-dir {}",
+            data_path.display(),
+            model_path.display(),
+            run_path.display()
+        ));
+        let run = init_observability(&args).unwrap().expect("--run-dir opens a RunDir");
+        cmd_pretrain(&args, Some(&run)).unwrap();
+        drop(run);
+
+        // run.json parses as JSON and carries the provenance fields.
+        let manifest: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(run_path.join("run.json")).unwrap())
+                .unwrap();
+        assert_eq!(manifest["command"], "pretrain");
+        assert_eq!(manifest["status"], "complete");
+        assert_eq!(manifest["seed"], 3);
+        assert_eq!(manifest["config"]["encoder"], "tgn");
+        assert!(manifest["dataset"]["events"].as_u64().unwrap() > 0);
+        assert!(manifest["wall_clock_secs"].as_f64().unwrap() > 0.0);
+        assert!(manifest["counters"]["matmul.dispatches"].as_u64().unwrap() > 0);
+
+        // metrics.jsonl: every line parses; one pretrain_epoch record per
+        // epoch carrying the loss breakdown and counter deltas.
+        let metrics = std::fs::read_to_string(run_path.join("metrics.jsonl")).unwrap();
+        let epochs: Vec<serde_json::Value> = metrics
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .filter(|v: &serde_json::Value| v["event"] == "pretrain_epoch")
+            .collect();
+        assert_eq!(epochs.len(), 1, "{metrics}");
+        assert!(epochs[0]["loss_total"].is_number(), "{}", epochs[0]);
+        assert!(epochs[0]["d_matmul.dispatches"].as_u64().unwrap() > 0, "{}", epochs[0]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

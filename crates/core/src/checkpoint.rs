@@ -117,6 +117,7 @@ impl<'s> CheckpointManager<'s> {
     /// Atomically publishes `ckpt`, updates the `latest` pointer, and
     /// prunes files beyond the rotation window. Returns the file written.
     pub fn save(&self, ckpt: &TrainCheckpoint) -> CpdgResult<PathBuf> {
+        let _timer = cpdg_obs::span("checkpoint.save_us");
         let name = checkpoint_file_name(ckpt.step);
         let path = self.cfg.dir.join(&name);
         let bytes = serde_json::to_vec(ckpt).map_err(|e| CpdgError::Serialize(e.to_string()))?;
@@ -126,6 +127,13 @@ impl<'s> CheckpointManager<'s> {
             .write_atomic(&latest, name.as_bytes())
             .map_err(|e| CpdgError::io(&latest, e))?;
         self.prune()?;
+        cpdg_obs::counter!("checkpoint.saves").inc();
+        cpdg_obs::debug!(
+            "core.checkpoint",
+            "checkpoint published";
+            step = ckpt.step,
+            bytes = bytes.len(),
+        );
         Ok(path)
     }
 
@@ -148,8 +156,10 @@ impl<'s> CheckpointManager<'s> {
     }
 
     /// Loads the newest checkpoint in `dir` that parses and version-checks,
-    /// skipping corrupt/truncated candidates with a warning on stderr.
-    /// Returns `Ok(None)` when the directory has no usable checkpoint.
+    /// skipping corrupt/truncated candidates with a structured warning on
+    /// the `core.checkpoint` target (and a `checkpoint.load_skips` counter
+    /// bump). Returns `Ok(None)` when the directory has no usable
+    /// checkpoint.
     pub fn load_latest(
         storage: &dyn Storage,
         dir: &Path,
@@ -180,7 +190,13 @@ impl<'s> CheckpointManager<'s> {
             match Self::load_one(storage, &path) {
                 Ok(ckpt) => return Ok(Some((ckpt, path))),
                 Err(e) => {
-                    eprintln!("warning: skipping unusable checkpoint {}: {e}", path.display());
+                    cpdg_obs::counter!("checkpoint.load_skips").inc();
+                    cpdg_obs::warn!(
+                        "core.checkpoint",
+                        "skipping unusable checkpoint";
+                        path = path.display().to_string(),
+                        error = e.to_string(),
+                    );
                 }
             }
         }
@@ -284,6 +300,57 @@ mod tests {
         std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
         let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
         assert_eq!(ckpt.step, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn skipped_checkpoint_emits_structured_warning() {
+        let dir = test_dir("warnlog");
+        let mgr = CheckpointManager::new(CheckpointConfig::new(&dir), &FS_STORAGE).unwrap();
+        mgr.save(&dummy_checkpoint(10)).unwrap();
+        mgr.save(&dummy_checkpoint(20)).unwrap();
+        let newest = dir.join(checkpoint_file_name(20));
+        std::fs::write(&newest, b"{ definitely not json").unwrap();
+
+        let cap = cpdg_obs::capture();
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        assert_eq!(ckpt.step, 10);
+        // The skip must be observable: a warn record naming the file, not
+        // an invisible stderr line.
+        let warns: Vec<_> = cap
+            .records_for("core.checkpoint")
+            .into_iter()
+            .filter(|r| {
+                r.level == cpdg_obs::Level::Warn
+                    && matches!(r.field("path"), Some(cpdg_obs::Value::Str(p))
+                        if p.ends_with("ckpt-00000020.json"))
+            })
+            .collect();
+        assert_eq!(warns.len(), 1, "{warns:?}");
+        assert!(warns[0].message.contains("skipping unusable checkpoint"));
+        assert!(warns[0].field("error").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_latest_pointer_to_pruned_file_recovers() {
+        let dir = test_dir("stale_ptr");
+        let mgr = CheckpointManager::new(CheckpointConfig::new(&dir), &FS_STORAGE).unwrap();
+        mgr.save(&dummy_checkpoint(10)).unwrap();
+        mgr.save(&dummy_checkpoint(20)).unwrap();
+        // Simulate a crash window where pruning outran the pointer: `latest`
+        // names a file that no longer exists.
+        std::fs::write(dir.join(LATEST_FILE), b"ckpt-00000005.json").unwrap();
+        let cap = cpdg_obs::capture();
+        let (ckpt, path) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        assert_eq!(ckpt.step, 20, "must recover to the newest parseable file");
+        assert!(path.ends_with("ckpt-00000020.json"));
+        // The dangling pointer itself is reported as a skipped candidate.
+        let warned_missing = cap.records_for("core.checkpoint").iter().any(|r| {
+            matches!(r.field("path"), Some(cpdg_obs::Value::Str(p))
+                if p.ends_with("ckpt-00000005.json"))
+        });
+        assert!(warned_missing, "dangling latest pointer should warn");
         std::fs::remove_dir_all(&dir).ok();
     }
 

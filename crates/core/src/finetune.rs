@@ -170,7 +170,8 @@ pub fn finetune_link_prediction(
     let mut best_val = f64::NEG_INFINITY;
     let mut best_params: Option<ParamStore> = None;
 
-    for _epoch in 0..cfg.epochs.max(1) {
+    for epoch in 0..cfg.epochs.max(1) {
+        let _epoch_timer = cpdg_obs::span("finetune.epoch_us");
         encoder.reset_state();
         // --- train on [0, train_end) ---------------------------------
         for chunk in graph.events()[..train_end].chunks(cfg.batch_size.max(1)) {
@@ -199,10 +200,20 @@ pub fn finetune_link_prediction(
         let val = score_range(encoder, store, &model, graph, checkpoints, &sampler,
                               train_end, train_end, val_end, cfg, None, &mut rng);
         let (val_auc, _) = metrics::link_prediction_metrics(&val.0, &val.1);
-        if val_auc > best_val {
+        let selected = val_auc > best_val;
+        if selected {
             best_val = val_auc;
             best_params = Some(store.clone());
         }
+        cpdg_obs::emit_metrics(
+            "finetune_epoch",
+            vec![
+                ("epoch".into(), (epoch as u64).into()),
+                ("strategy".into(), cfg.strategy.name().into()),
+                ("val_auc".into(), val_auc.into()),
+                ("selected".into(), selected.into()),
+            ],
+        );
     }
 
     if let Some(best) = best_params {
@@ -222,7 +233,19 @@ pub fn finetune_link_prediction(
     } else {
         metrics::link_prediction_metrics(&test.0, &test.1)
     };
-    LinkPredResult { auc, ap, val_auc: best_val.max(0.0), eie_degraded: false }
+    let result = LinkPredResult { auc, ap, val_auc: best_val.max(0.0), eie_degraded: false };
+    cpdg_obs::emit_metrics(
+        "finetune_result",
+        vec![
+            ("strategy".into(), cfg.strategy.name().into()),
+            ("auc".into(), result.auc.into()),
+            ("ap".into(), result.ap.into()),
+            ("val_auc".into(), result.val_auc.into()),
+            ("scored_events".into(), test.0.len().into()),
+            ("inductive".into(), inductive_nodes.is_some().into()),
+        ],
+    );
+    result
 }
 
 /// Streams `graph.events()[stream_from..]` (the encoder's memory must

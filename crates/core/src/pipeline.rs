@@ -155,6 +155,28 @@ fn prepare(split: &TransferSplit, cfg: &PipelineConfig) -> PipelineArtifacts {
     PipelineArtifacts { encoder, store, pretrain: pretrain_out }
 }
 
+/// Degrades an EIE fine-tuning request to `Full` when no pre-training
+/// checkpoints exist, warning through the observability layer and bumping
+/// the `pipeline.eie_degraded` counter — sweeps must never mislabel this
+/// condition as EIE. Returns whether the degradation happened.
+fn degrade_eie_without_checkpoints(
+    fcfg: &mut FinetuneConfig,
+    num_checkpoints: usize,
+    label: &str,
+) -> bool {
+    if num_checkpoints > 0 || !matches!(fcfg.strategy, FinetuneStrategy::Eie(_)) {
+        return false;
+    }
+    cpdg_obs::counter!("pipeline.eie_degraded").inc();
+    cpdg_obs::warn!(
+        "core.pipeline",
+        "EIE fine-tuning requested but no pre-training checkpoints exist; degrading to Full";
+        pipeline = label,
+    );
+    fcfg.strategy = FinetuneStrategy::Full;
+    true
+}
+
 /// Nodes active in the downstream graph but never seen during
 /// pre-training — the paper's inductive evaluation set.
 pub fn unseen_nodes(split: &TransferSplit) -> HashSet<NodeId> {
@@ -179,17 +201,7 @@ pub fn run_link_prediction(
     let checkpoints = art.pretrain.as_ref().map(|p| p.checkpoints.as_slice()).unwrap_or(&[]);
     let mut fcfg = cfg.finetune.clone();
     let eie_degraded =
-        checkpoints.is_empty() && matches!(fcfg.strategy, FinetuneStrategy::Eie(_));
-    if eie_degraded {
-        // EIE needs pre-training checkpoints; degrade gracefully — but
-        // observably, so sweeps cannot mislabel this condition as EIE.
-        eprintln!(
-            "warning: {} requested EIE fine-tuning but no pre-training checkpoints exist; \
-             degrading to Full",
-            cfg.label()
-        );
-        fcfg.strategy = FinetuneStrategy::Full;
-    }
+        degrade_eie_without_checkpoints(&mut fcfg, checkpoints.len(), &cfg.label());
     let unseen = inductive.then(|| unseen_nodes(split)).filter(|s| !s.is_empty());
     let checkpoints = checkpoints.to_vec();
     let mut res = finetune_link_prediction(
@@ -211,14 +223,7 @@ pub fn run_node_classification(split: &TransferSplit, cfg: &PipelineConfig) -> f
     let checkpoints =
         art.pretrain.as_ref().map(|p| p.checkpoints.clone()).unwrap_or_default();
     let mut fcfg = cfg.finetune.clone();
-    if checkpoints.is_empty() && matches!(fcfg.strategy, FinetuneStrategy::Eie(_)) {
-        eprintln!(
-            "warning: {} requested EIE fine-tuning but no pre-training checkpoints exist; \
-             degrading to Full",
-            cfg.label()
-        );
-        fcfg.strategy = FinetuneStrategy::Full;
-    }
+    degrade_eie_without_checkpoints(&mut fcfg, checkpoints.len(), &cfg.label());
     finetune_node_classification(
         &mut art.encoder,
         &mut art.store,
@@ -310,8 +315,19 @@ mod tests {
         let mut cfg = PipelineConfig::no_pretrain(EncoderKind::Tgn).with_seed(6);
         quick(&mut cfg);
         cfg.finetune.strategy = FinetuneStrategy::Eie(EieFusion::Gru);
+        let cap = cpdg_obs::capture();
+        let skips_before = cpdg_obs::metrics::counter("pipeline.eie_degraded").get();
         let res = run_link_prediction(&split, &cfg, false);
         assert!(res.eie_degraded, "degraded EIE condition must be flagged");
+        // ... and must leave a structured audit trail, not just a flag.
+        assert!(cpdg_obs::metrics::counter("pipeline.eie_degraded").get() > skips_before);
+        let warns: Vec<_> = cap
+            .records_for("core.pipeline")
+            .into_iter()
+            .filter(|r| r.level == cpdg_obs::Level::Warn && r.message.contains("degrading to Full"))
+            .collect();
+        assert!(!warns.is_empty());
+        assert!(warns[0].field("pipeline").is_some());
 
         // A genuine CPDG run with checkpoints must NOT be flagged.
         let mut cfg = PipelineConfig::cpdg(EncoderKind::Tgn).with_seed(6);

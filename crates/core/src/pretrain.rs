@@ -261,9 +261,13 @@ pub fn pretrain_resumable(
                 CpdgError::corrupt(&path, "epoch/step cursor inconsistent with this dataset")
             })?;
         resumed = true;
-        eprintln!(
-            "resuming pre-training from {} (step {step}/{total_steps}, epoch {start_epoch})",
-            path.display()
+        cpdg_obs::info!(
+            "core.pretrain",
+            "resuming pre-training from checkpoint";
+            path = path.display().to_string(),
+            step = step,
+            total_steps = total_steps,
+            epoch = start_epoch,
         );
     }
 
@@ -277,6 +281,9 @@ pub fn pretrain_resumable(
             batches = 0;
         }
         let to_skip = if continuing { skip_batches } else { 0 };
+        let counters_at_epoch_start = cpdg_obs::counters_snapshot();
+        let step_at_epoch_start = step;
+        let epoch_started = std::time::Instant::now();
 
         for (batch_idx, chunk) in graph.events().chunks(batch_size).enumerate() {
             if batch_idx < to_skip {
@@ -287,6 +294,7 @@ pub fn pretrain_resumable(
                     return Err(CpdgError::Interrupted { step, total_steps });
                 }
             }
+            let _step_timer = cpdg_obs::span("pretrain.step_us");
             let mut rng = batch_rng(cfg.seed, step);
 
             let mut tape = Tape::new();
@@ -400,12 +408,34 @@ pub fn pretrain_resumable(
         }
 
         let inv = 1.0 / batches.max(1) as f32;
-        epoch_losses.push(LossBreakdown {
+        let eb = LossBreakdown {
             tlp: sums.tlp * inv,
             tc: sums.tc * inv,
             sc: sums.sc * inv,
             total: sums.total * inv,
-        });
+        };
+        epoch_losses.push(eb);
+
+        // One metric record per epoch: losses, throughput, and how far
+        // every counter moved during the epoch (run directories persist
+        // these to metrics.jsonl; see cpdg-obs).
+        let epoch_secs = epoch_started.elapsed().as_secs_f64();
+        let epoch_steps = step - step_at_epoch_start;
+        let mut fields: Vec<(String, cpdg_obs::Value)> = vec![
+            ("epoch".into(), (epoch as u64).into()),
+            ("loss_tlp".into(), eb.tlp.into()),
+            ("loss_tc".into(), eb.tc.into()),
+            ("loss_sc".into(), eb.sc.into()),
+            ("loss_total".into(), eb.total.into()),
+            ("batches".into(), batches.into()),
+            ("steps".into(), epoch_steps.into()),
+            ("secs".into(), epoch_secs.into()),
+            ("steps_per_sec".into(), (epoch_steps as f64 / epoch_secs.max(1e-9)).into()),
+        ];
+        for (name, delta) in cpdg_obs::counter_deltas(&counters_at_epoch_start) {
+            fields.push((format!("d_{name}"), delta.into()));
+        }
+        cpdg_obs::emit_metrics("pretrain_epoch", fields);
     }
 
     // Terminal checkpoint so a completed run is also its own snapshot.

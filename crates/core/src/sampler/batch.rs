@@ -26,6 +26,14 @@ pub fn query_rng(batch_seed: u64, index: usize) -> StdRng {
     StdRng::seed_from_u64(batch_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// Bumps the process-wide sampler counters for one batch of `queries`
+/// centre queries (observation only — never touches the RNG streams, so the
+/// determinism contract above is unaffected).
+fn note_batch(queries: usize) {
+    cpdg_obs::counter!("sampler.batches").inc();
+    cpdg_obs::counter!("sampler.queries").add(queries as u64);
+}
+
 /// Runs `f(0..n)` across `threads` scoped workers, returning results in
 /// index order. Each worker owns a contiguous chunk of the output, so no
 /// locks are needed and the result layout is independent of scheduling.
@@ -100,6 +108,7 @@ impl<'g> BatchSampler<'g> {
         cfg: &BfsConfig,
         batch_seed: u64,
     ) -> Vec<Vec<NodeId>> {
+        note_batch(queries.len());
         fan_out(queries.len(), self.threads, |i| {
             let (root, t) = queries[i];
             let mut rng = query_rng(batch_seed, i);
@@ -113,6 +122,7 @@ impl<'g> BatchSampler<'g> {
         queries: &[(NodeId, Timestamp)],
         cfg: &DfsConfig,
     ) -> Vec<Vec<NodeId>> {
+        note_batch(queries.len());
         fan_out(queries.len(), self.threads, |i| {
             let (root, t) = queries[i];
             eps_dfs_indexed(&self.index, root, t, cfg)
@@ -129,6 +139,7 @@ impl<'g> BatchSampler<'g> {
         neg_cfg: &BfsConfig,
         batch_seed: u64,
     ) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
+        note_batch(queries.len());
         fan_out(queries.len(), self.threads, |i| {
             let (root, t) = queries[i];
             let mut rng = query_rng(batch_seed, i);
@@ -153,6 +164,7 @@ impl<'g> BatchSampler<'g> {
         batch_seed: u64,
     ) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
         assert!(!negative_pool.is_empty(), "sample_dfs_pairs: empty negative pool");
+        note_batch(queries.len());
         fan_out(queries.len(), self.threads, |i| {
             let (root, t) = queries[i];
             let mut rng = query_rng(batch_seed, i);

@@ -11,6 +11,9 @@
 //!   with `CPDG_BLESS=1 cargo test -p cpdg-core --test golden_pretrain`
 //!   (a missing file is blessed automatically on first run).
 
+// Test binaries are exempt from the library-crate print ban.
+#![allow(clippy::disallowed_macros)]
+
 use cpdg_core::pretrain::{pretrain, LossBreakdown, PretrainConfig};
 use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor};
 use cpdg_graph::{generate, SyntheticConfig};

@@ -148,7 +148,17 @@ impl TrainGuard {
         if poisoned {
             self.consecutive_bad += 1;
             self.skipped += 1;
+            cpdg_obs::counter!("guard.skips").inc();
+            cpdg_obs::debug!(
+                "dgnn.guard",
+                "poisoned step skipped";
+                step = step,
+                loss = loss,
+                grad_norm = grad_norm,
+                consecutive_bad = self.consecutive_bad,
+            );
             if self.consecutive_bad > self.cfg.max_retries {
+                cpdg_obs::counter!("guard.divergences").inc();
                 return Err(DivergenceReport {
                     step,
                     consecutive_bad: self.consecutive_bad,

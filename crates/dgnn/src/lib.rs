@@ -27,6 +27,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::disallowed_macros)]
 
 pub mod config;
 pub mod decoder;

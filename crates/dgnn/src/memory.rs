@@ -81,6 +81,7 @@ impl Memory {
     pub fn write_rows(&mut self, nodes: &[NodeId], values: &Matrix, t: Timestamp) {
         assert_eq!(values.rows(), nodes.len(), "write_rows: row count mismatch");
         assert_eq!(values.cols(), self.dim, "write_rows: width mismatch");
+        cpdg_obs::counter!("memory.updates").add(nodes.len() as u64);
         for (r, &node) in nodes.iter().enumerate() {
             self.states.set_row(node as usize, values.row(r));
             self.last_update[node as usize] = t;
@@ -89,6 +90,7 @@ impl Memory {
 
     /// Resets all states to zero and clears update times (fresh encoder).
     pub fn reset(&mut self) {
+        cpdg_obs::counter!("memory.resets").inc();
         self.states = Matrix::zeros(self.states.rows(), self.dim);
         self.last_update.fill(0.0);
     }

@@ -1,12 +1,39 @@
 //! Ranking metrics: ROC-AUC and Average Precision (the paper's evaluation
 //! metrics for dynamic link prediction and node classification, §V-C).
+//!
+//! Both metrics tolerate non-finite scores: sorting uses
+//! [`f32::total_cmp`], which gives NaN/±∞ a definite rank (NaN sorts past
+//! ±∞) instead of panicking mid-evaluation. Non-finite inputs almost
+//! always mean the model diverged, so they are counted on the
+//! `metrics.nonfinite_scores` counter and reported through a structured
+//! warning — the evaluation completes and the run's diagnostics say why
+//! the number is suspect.
+
+/// Counts non-finite entries in `scores`; if any, bumps the
+/// `metrics.nonfinite_scores` counter and warns with the callsite name.
+fn note_nonfinite(scores: &[f32], metric: &'static str) {
+    let nonfinite = scores.iter().filter(|s| !s.is_finite()).count();
+    if nonfinite > 0 {
+        cpdg_obs::counter!("metrics.nonfinite_scores").add(nonfinite as u64);
+        cpdg_obs::warn!(
+            "dgnn.metrics",
+            "non-finite scores in metric input (model likely diverged)";
+            metric = metric,
+            nonfinite = nonfinite,
+            total = scores.len(),
+        );
+    }
+}
 
 /// Area under the ROC curve for `(score, label)` pairs.
 ///
 /// Computed via the Mann–Whitney U statistic with proper tie handling
-/// (ties contribute ½). Returns 0.5 when either class is empty.
+/// (ties contribute ½). Returns 0.5 when either class is empty. Non-finite
+/// scores are ranked by [`f32::total_cmp`] (and reported, see module
+/// docs); the result is always in `[0, 1]`.
 pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "roc_auc: length mismatch");
+    note_nonfinite(scores, "roc_auc");
     let mut pairs: Vec<(f32, bool)> =
         scores.iter().copied().zip(labels.iter().copied()).collect();
     let n_pos = labels.iter().filter(|&&l| l).count();
@@ -14,7 +41,7 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
     if n_pos == 0 || n_neg == 0 {
         return 0.5;
     }
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     // Assign average ranks to tied groups.
     let mut rank_sum_pos = 0.0f64;
@@ -41,16 +68,18 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
 /// step-wise interpolation scikit-learn uses,
 /// `AP = Σ_k (R_k − R_{k−1}) · P_k` over *distinct score thresholds* — so
 /// tied scores form one block and the result is independent of input
-/// order. Returns 0.0 when there are no positives.
+/// order. Returns 0.0 when there are no positives. Non-finite scores are
+/// ranked by [`f32::total_cmp`] (and reported, see module docs).
 pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "average_precision: length mismatch");
+    note_nonfinite(scores, "average_precision");
     let n_pos = labels.iter().filter(|&&l| l).count();
     if n_pos == 0 {
         return 0.0;
     }
     let mut pairs: Vec<(f32, bool)> =
         scores.iter().copied().zip(labels.iter().copied()).collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut tp = 0usize;
     let mut seen = 0usize;
     let mut ap = 0.0f64;
@@ -147,6 +176,77 @@ mod tests {
     }
 
     #[test]
+    fn nan_scores_do_not_panic_and_stay_in_unit_interval() {
+        let scores = [0.9, f32::NAN, 0.2, f32::NAN];
+        let labels = [true, true, false, false];
+        let auc = roc_auc(&scores, &labels);
+        assert!((0.0..=1.0).contains(&auc), "auc={auc}");
+        let ap = average_precision(&scores, &labels);
+        assert!((0.0..=1.0).contains(&ap), "ap={ap}");
+        assert!(auc.is_finite() && ap.is_finite());
+    }
+
+    #[test]
+    fn infinite_scores_rank_at_the_extremes() {
+        // +inf positive outranks everything; -inf negative ranks last:
+        // perfect separation despite non-finite values.
+        let scores = [f32::INFINITY, 0.5, 0.4, f32::NEG_INFINITY];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        assert_eq!(average_precision(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn all_nan_scores_degrade_gracefully() {
+        let scores = [f32::NAN; 4];
+        let labels = [true, false, true, false];
+        let auc = roc_auc(&scores, &labels);
+        assert!((0.0..=1.0).contains(&auc), "auc={auc}");
+        let ap = average_precision(&scores, &labels);
+        assert!((0.0..=1.0).contains(&ap), "ap={ap}");
+    }
+
+    /// Captured `dgnn.metrics` records carrying a specific `metric` field
+    /// value — lets assertions ignore warnings from concurrently running
+    /// tests (the capture sink is process-global).
+    fn records_with_metric(cap: &cpdg_obs::Capture, name: &str) -> Vec<cpdg_obs::Record> {
+        cap.records_for("dgnn.metrics")
+            .into_iter()
+            .filter(|r| r.field("metric") == Some(&cpdg_obs::Value::Str(name.into())))
+            .collect()
+    }
+
+    #[test]
+    fn nonfinite_scores_are_counted_and_warned() {
+        let cap = cpdg_obs::capture();
+        let before = cpdg_obs::metrics::counter("metrics.nonfinite_scores").get();
+        note_nonfinite(&[0.3, f32::NAN, f32::INFINITY], "probe_nonfinite");
+        let after = cpdg_obs::metrics::counter("metrics.nonfinite_scores").get();
+        assert!(after - before >= 2, "counter advanced by {}", after - before);
+        let warns = records_with_metric(&cap, "probe_nonfinite");
+        assert_eq!(warns.len(), 1, "{warns:?}");
+        assert_eq!(warns[0].level, cpdg_obs::Level::Warn);
+        assert_eq!(warns[0].field("nonfinite"), Some(&cpdg_obs::Value::U64(2)));
+        assert_eq!(warns[0].field("total"), Some(&cpdg_obs::Value::U64(3)));
+    }
+
+    #[test]
+    fn public_metrics_route_through_nonfinite_warning() {
+        let cap = cpdg_obs::capture();
+        roc_auc(&[0.3, f32::NAN], &[true, false]);
+        average_precision(&[f32::INFINITY, 0.1], &[true, false]);
+        assert!(!records_with_metric(&cap, "roc_auc").is_empty());
+        assert!(!records_with_metric(&cap, "average_precision").is_empty());
+    }
+
+    #[test]
+    fn finite_scores_do_not_warn() {
+        let cap = cpdg_obs::capture();
+        note_nonfinite(&[0.3, 0.7, -1.5], "probe_finite");
+        assert!(records_with_metric(&cap, "probe_finite").is_empty());
+    }
+
+    #[test]
     fn link_prediction_wrapper() {
         let (auc, ap) = link_prediction_metrics(&[0.9, 0.8], &[0.1, 0.2]);
         assert_eq!(auc, 1.0);
@@ -180,6 +280,31 @@ mod tests {
             let transformed: Vec<f32> = scores.iter().map(|&s| (s * 0.3).tanh() * 2.0 + 1.0).collect();
             let a2 = roc_auc(&transformed, &labels);
             prop_assert!((a1 - a2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn metrics_total_on_scores_with_nonfinite_holes(
+            scores in proptest::collection::vec(
+                prop_oneof![
+                    4 => (-10.0f32..10.0).prop_map(|x| x),
+                    1 => Just(f32::NAN),
+                    1 => Just(f32::INFINITY),
+                    1 => Just(f32::NEG_INFINITY),
+                ],
+                2..60,
+            ),
+            seed in 0u64..1000
+        ) {
+            let labels: Vec<bool> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (i as u64).wrapping_mul(seed + 3) % 2 == 0)
+                .collect();
+            // Must return (not panic) and stay in range for ANY score mix.
+            let auc = roc_auc(&scores, &labels);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&auc), "auc={auc}");
+            let ap = average_precision(&scores, &labels);
+            prop_assert!((-1e-9..=1.0 + 1e-6).contains(&ap), "ap={ap}");
         }
 
         #[test]

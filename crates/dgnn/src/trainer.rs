@@ -88,7 +88,12 @@ pub fn train_link_prediction(
     match train_link_prediction_guarded(encoder, head, store, opt, graph, cfg, &mut guard) {
         Ok(losses) => losses,
         Err((losses, report)) => {
-            eprintln!("warning: {report}; stopping training early");
+            cpdg_obs::warn!(
+                "dgnn.trainer",
+                format!("{report}; stopping training early");
+                step = report.step,
+                consecutive_bad = report.consecutive_bad,
+            );
             losses
         }
     }

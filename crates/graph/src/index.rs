@@ -102,6 +102,10 @@ impl TemporalAdjacencyIndex {
     pub fn before(&self, node: NodeId, t: Timestamp) -> NeighborhoodView<'_> {
         let (lo, hi) = self.span(node);
         let cut = lo + self.times[lo..hi].partition_point(|&x| x < t);
+        cpdg_obs::counter!("graph.index_lookups").inc();
+        if cut > lo {
+            cpdg_obs::counter!("graph.index_hits").inc();
+        }
         NeighborhoodView {
             neighbors: &self.neighbors[lo..cut],
             times: &self.times[lo..cut],

@@ -15,6 +15,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::disallowed_macros)]
 
 pub mod builder;
 pub mod ctdg;

@@ -1,0 +1,240 @@
+//! A minimal JSON document model with compact and pretty rendering.
+//!
+//! `cpdg-obs` is zero-dependency by design, so the `run.json` manifest and
+//! JSONL sinks render through this hand-rolled writer instead of serde.
+//! Only *emission* is supported — consumers parse with whatever JSON
+//! library they have (tests in dependent crates use `serde_json`).
+
+use crate::Value;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Float; non-finite values render as `null`.
+    F64(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Ordered array.
+    Arr(Vec<Json>),
+    /// Ordered object (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(entries: Vec<(&str, Json)>) -> Json {
+        Json::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Appends `(key, value)` to an object; panics on non-objects.
+    pub fn push(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(entries) => entries.push((key.to_string(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.pretty_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn pretty_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.pretty_into(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    v.pretty_into(out, indent + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            other => other.render_into(out),
+        }
+    }
+}
+
+impl From<Value> for Json {
+    fn from(v: Value) -> Self {
+        match v {
+            Value::Bool(b) => Json::Bool(b),
+            Value::I64(v) => Json::I64(v),
+            Value::U64(v) => Json::U64(v),
+            Value::F64(v) => Json::F64(v),
+            Value::Str(s) => Json::Str(s),
+        }
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_renders() {
+        let j = Json::obj(vec![
+            ("a", Json::U64(1)),
+            ("b", Json::Str("x\"y".into())),
+            ("c", Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(j.render(), r#"{"a":1,"b":"x\"y","c":[true,null]}"#);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(1.25).render(), "1.25");
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        let mut s = String::new();
+        escape_into("a\nb\u{01}", &mut s);
+        assert_eq!(s, "\"a\\nb\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_is_indented_and_ends_with_newline() {
+        let j = Json::obj(vec![("k", Json::obj(vec![("n", Json::U64(2))]))]);
+        let p = j.pretty();
+        assert!(p.ends_with('\n'));
+        assert!(p.contains("  \"k\": {"));
+        assert!(p.contains("    \"n\": 2"));
+    }
+
+    #[test]
+    fn push_extends_objects() {
+        let mut j = Json::obj(vec![]);
+        j.push("x", Json::from(3u64));
+        assert_eq!(j.render(), r#"{"x":3}"#);
+    }
+}

@@ -1,0 +1,298 @@
+//! Process-wide named counters and histograms.
+//!
+//! Counters are monotonic `AtomicU64`s registered by name; handles are
+//! `&'static` so hot paths pay one relaxed atomic add after a one-time
+//! lookup (the [`counter!`](crate::counter!) macro caches the handle in a
+//! call-site `OnceLock`). Histograms use log₂ bucketing — coarse, but
+//! zero-allocation and mergeable, which is all span timing needs.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A named monotonic counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+fn counter_registry() -> &'static Mutex<BTreeMap<&'static str, &'static Counter>> {
+    static REG: OnceLock<Mutex<BTreeMap<&'static str, &'static Counter>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Returns the counter registered under `name`, creating it on first use.
+/// Handles are `'static` and freely shareable across threads.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = counter_registry().lock().expect("obs counter registry poisoned");
+    reg.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Counter { name, value: AtomicU64::new(0) })))
+}
+
+/// Snapshot of every registered counter (name → total), sorted by name.
+pub fn counters_snapshot() -> BTreeMap<String, u64> {
+    let reg = counter_registry().lock().expect("obs counter registry poisoned");
+    reg.iter().map(|(name, c)| (name.to_string(), c.get())).collect()
+}
+
+/// Counters that advanced since `before` (a [`counters_snapshot`]),
+/// as `(name, delta)` pairs. Counters created after `before` report their
+/// full value; zero deltas are omitted.
+pub fn counter_deltas(before: &BTreeMap<String, u64>) -> Vec<(String, u64)> {
+    counters_snapshot()
+        .into_iter()
+        .filter_map(|(name, now)| {
+            let delta = now.saturating_sub(before.get(&name).copied().unwrap_or(0));
+            if delta > 0 {
+                Some((name, delta))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All counters as a JSON object (for `run.json`).
+pub fn counters_json() -> Json {
+    Json::Obj(
+        counters_snapshot()
+            .into_iter()
+            .map(|(name, v)| (name, Json::U64(v)))
+            .collect(),
+    )
+}
+
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed histogram of `u64` samples (typically microseconds
+/// recorded by [`span`](crate::span())). Bucket `i` counts samples in
+/// `[2^i, 2^(i+1))`, with bucket 0 holding 0 and 1.
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Approximate 50th percentile (upper edge of the median's bucket).
+    pub p50: u64,
+    /// Approximate 95th percentile (upper edge of its bucket).
+    pub p95: u64,
+}
+
+impl Histogram {
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample.
+    pub fn record(&self, sample: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(sample, Ordering::Relaxed);
+        self.max.fetch_max(sample, Ordering::Relaxed);
+        let bucket = (64 - sample.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes an approximate snapshot (buckets are read without a global
+    /// lock, so concurrent recording can skew percentiles slightly).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, b) in buckets.iter().enumerate() {
+                seen += b;
+                if seen >= rank {
+                    // Upper edge of bucket i: 2^(i+1) - 1.
+                    return if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                }
+            }
+            self.max.load(Ordering::Relaxed)
+        };
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+        }
+    }
+}
+
+fn histogram_registry() -> &'static Mutex<BTreeMap<&'static str, &'static Histogram>> {
+    static REG: OnceLock<Mutex<BTreeMap<&'static str, &'static Histogram>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Returns the histogram registered under `name`, creating it on first
+/// use.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = histogram_registry().lock().expect("obs histogram registry poisoned");
+    reg.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    })
+}
+
+/// All histograms as a JSON object keyed by name (for `run.json`):
+/// `{count, sum, mean, p50, p95, max}` per histogram.
+pub fn histograms_json() -> Json {
+    let reg = histogram_registry().lock().expect("obs histogram registry poisoned");
+    Json::Obj(
+        reg.iter()
+            .map(|(name, h)| {
+                let s = h.snapshot();
+                let mean = if s.count > 0 { s.sum as f64 / s.count as f64 } else { 0.0 };
+                (
+                    name.to_string(),
+                    Json::obj(vec![
+                        ("count", Json::U64(s.count)),
+                        ("sum", Json::U64(s.sum)),
+                        ("mean", Json::F64(mean)),
+                        ("p50", Json::U64(s.p50)),
+                        ("p95", Json::U64(s.p95)),
+                        ("max", Json::U64(s.max)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Returns a `&'static Counter` by name, caching the registry lookup at
+/// the call site so hot loops pay one atomic load + one atomic add:
+///
+/// ```
+/// cpdg_obs::counter!("demo.metrics_macro").add(2);
+/// assert!(cpdg_obs::counter!("demo.metrics_macro").get() >= 2);
+/// ```
+///
+/// The name must be a string literal (it becomes the registered
+/// `'static` name).
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static CACHED: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *CACHED.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = counter("metrics.test.alpha");
+        let before = counters_snapshot();
+        c.add(3);
+        c.inc();
+        let deltas = counter_deltas(&before);
+        assert!(deltas.contains(&("metrics.test.alpha".to_string(), 4)));
+    }
+
+    #[test]
+    fn counter_handles_are_shared() {
+        let a = counter("metrics.test.shared");
+        let b = counter("metrics.test.shared");
+        let base = a.get();
+        b.inc();
+        assert_eq!(a.get(), base + 1);
+    }
+
+    #[test]
+    fn counter_macro_caches_handle() {
+        let before = counter!("metrics.test.macro").get();
+        counter!("metrics.test.macro").add(2);
+        assert_eq!(counter!("metrics.test.macro").get(), before + 2);
+    }
+
+    #[test]
+    fn zero_deltas_are_omitted() {
+        counter("metrics.test.idle");
+        let before = counters_snapshot();
+        let deltas = counter_deltas(&before);
+        assert!(!deltas.iter().any(|(n, _)| n == "metrics.test.idle"));
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let h = histogram("metrics.test.hist");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.max, 1000);
+        assert!(s.p50 >= 3 && s.p50 <= 7, "p50={}", s.p50);
+        assert!(s.p95 >= 1000, "p95={}", s.p95);
+    }
+
+    #[test]
+    fn histogram_zero_sample_lands_in_first_bucket() {
+        let h = histogram("metrics.test.hist_zero");
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, 1); // upper edge of bucket 0
+    }
+
+    #[test]
+    fn counters_json_renders() {
+        counter("metrics.test.json").add(7);
+        let rendered = counters_json().render();
+        assert!(rendered.contains(r#""metrics.test.json":"#), "{rendered}");
+    }
+}

@@ -1,0 +1,60 @@
+//! RAII scope timers feeding histograms.
+
+use crate::metrics::{histogram, Histogram};
+use std::time::Instant;
+
+/// Starts a scope timer; when the returned [`Span`] drops, the elapsed
+/// microseconds are recorded into the histogram registered under `name`.
+///
+/// ```
+/// {
+///     let _t = cpdg_obs::span("demo.span_scope_us");
+///     // ... timed work ...
+/// }
+/// assert!(cpdg_obs::histogram("demo.span_scope_us").snapshot().count >= 1);
+/// ```
+pub fn span(name: &'static str) -> Span {
+    Span { hist: histogram(name), start: Instant::now() }
+}
+
+/// A running scope timer created by [`span`]; records on drop.
+pub struct Span {
+    hist: &'static Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// Elapsed time so far, without stopping the timer.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record(self.elapsed_micros());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let before = histogram("span.test.scope").snapshot().count;
+        {
+            let _t = span("span.test.scope");
+        }
+        let after = histogram("span.test.scope").snapshot().count;
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let t = span("span.test.elapsed");
+        let a = t.elapsed_micros();
+        let b = t.elapsed_micros();
+        assert!(b >= a);
+    }
+}

@@ -36,6 +36,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::disallowed_macros)]
 
 pub mod loss;
 pub mod matrix;

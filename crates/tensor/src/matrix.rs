@@ -247,6 +247,8 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        cpdg_obs::counter!("matmul.dispatches").inc();
+        cpdg_obs::counter!("matmul.flops").add(2 * (m * k * n) as u64);
         let mut out = Matrix::zeros(m, n);
         // Never spawn more workers than there are useful row blocks.
         let threads = threads.min(m.div_ceil(MIN_ROWS_PER_THREAD)).max(1);

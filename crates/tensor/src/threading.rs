@@ -25,15 +25,44 @@ static DEFAULT: OnceLock<usize> = OnceLock::new();
 /// Upper bound on auto-detected parallelism; explicit settings may exceed it.
 const MAX_AUTO_THREADS: usize = 16;
 
-fn env_or_hardware_default() -> usize {
-    if let Ok(s) = std::env::var("CPDG_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+/// Parses a `CPDG_THREADS` value: `Ok(n)` for a positive integer,
+/// `Err(why)` for anything else (empty, non-numeric, zero, …).
+fn parse_threads_env(raw: &str) -> Result<usize, &'static str> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("thread count must be at least 1"),
+        Ok(n) => Ok(n),
+        Err(_) => Err("not a positive integer"),
     }
+}
+
+fn hardware_default() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MAX_AUTO_THREADS)
+}
+
+/// Rejection path for a bad `CPDG_THREADS` value: warns through the
+/// observability layer (naming the rejected value and the fallback) and
+/// returns the hardware default. Reached only from inside the `DEFAULT`
+/// memoisation, so the warning fires at most once per process.
+fn reject_threads_env(raw: &str, why: &'static str) -> usize {
+    let fallback = hardware_default();
+    cpdg_obs::warn!(
+        "tensor.threading",
+        "ignoring invalid CPDG_THREADS value";
+        value = raw,
+        reason = why,
+        fallback = fallback,
+    );
+    fallback
+}
+
+fn env_or_hardware_default() -> usize {
+    match std::env::var("CPDG_THREADS") {
+        Ok(raw) => match parse_threads_env(&raw) {
+            Ok(n) => n,
+            Err(why) => reject_threads_env(&raw, why),
+        },
+        Err(_) => hardware_default(),
+    }
 }
 
 /// The worker-thread count currently in effect (always ≥ 1).
@@ -59,6 +88,40 @@ pub fn reset_threads() {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn env_parser_accepts_positive_integers() {
+        assert_eq!(parse_threads_env("4"), Ok(4));
+        assert_eq!(parse_threads_env(" 12 "), Ok(12));
+    }
+
+    #[test]
+    fn env_parser_rejects_garbage_zero_and_negatives() {
+        assert!(parse_threads_env("0").is_err());
+        assert!(parse_threads_env("-3").is_err());
+        assert!(parse_threads_env("many").is_err());
+        assert!(parse_threads_env("").is_err());
+        assert!(parse_threads_env("4.5").is_err());
+    }
+
+    #[test]
+    fn invalid_env_value_warns_through_obs() {
+        // Drive the rejection path directly rather than via the env var:
+        // DEFAULT may already be memoised when this test runs, and other
+        // tests read CPDG_THREADS concurrently.
+        let cap = cpdg_obs::capture();
+        let why = parse_threads_env("not-a-number").unwrap_err();
+        let n = reject_threads_env("not-a-number", why);
+        assert!(n >= 1);
+        let records = cap.records_for("tensor.threading");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].level, cpdg_obs::Level::Warn);
+        assert_eq!(
+            records[0].field("value"),
+            Some(&cpdg_obs::Value::Str("not-a-number".into()))
+        );
+        assert!(records[0].field("fallback").is_some());
+    }
 
     #[test]
     fn override_round_trip() {

@@ -11,6 +11,9 @@
 //! cargo run --release --example churn_detection
 //! ```
 
+// Examples narrate their results on stdout by design.
+#![allow(clippy::disallowed_macros)]
+
 use cpdg::core::pipeline::{run_node_classification, PipelineConfig};
 use cpdg::dgnn::EncoderKind;
 use cpdg::graph::split::time_transfer;

@@ -8,6 +8,9 @@
 //! cargo run --release --example encoder_zoo
 //! ```
 
+// Examples narrate their results on stdout by design.
+#![allow(clippy::disallowed_macros)]
+
 use cpdg::core::pipeline::{run_link_prediction, PipelineConfig};
 use cpdg::dgnn::{DgnnConfig, DgnnEncoder, EncoderKind};
 use cpdg::graph::split::time_transfer;

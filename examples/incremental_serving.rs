@@ -13,6 +13,9 @@
 //! cargo run --release --example incremental_serving
 //! ```
 
+// Examples narrate their results on stdout by design.
+#![allow(clippy::disallowed_macros)]
+
 use cpdg::core::pipeline::auto_time_scale;
 use cpdg::core::pretrain::{pretrain, PretrainConfig};
 use cpdg::dgnn::metrics::link_prediction_metrics;

@@ -6,6 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples narrate their results on stdout by design.
+#![allow(clippy::disallowed_macros)]
+
 use cpdg::core::pipeline::{run_link_prediction, PipelineConfig};
 use cpdg::dgnn::EncoderKind;
 use cpdg::graph::split::time_transfer;

@@ -11,6 +11,9 @@
 //! cargo run --release --example recommender
 //! ```
 
+// Examples narrate their results on stdout by design.
+#![allow(clippy::disallowed_macros)]
+
 use cpdg::core::pipeline::{run_link_prediction, PipelineConfig};
 use cpdg::dgnn::EncoderKind;
 use cpdg::graph::split::{subgraph_where, time_cut};

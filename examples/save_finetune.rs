@@ -11,6 +11,9 @@
 //! cargo run --release --example save_finetune
 //! ```
 
+// Examples narrate their results on stdout by design.
+#![allow(clippy::disallowed_macros)]
+
 use cpdg::core::finetune::{finetune_link_prediction, FinetuneConfig, FinetuneStrategy};
 use cpdg::core::model_io::ModelFile;
 use cpdg::core::pipeline::auto_time_scale;

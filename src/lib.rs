@@ -9,7 +9,9 @@
 //! * [`dgnn`] — the DGNN encoder family (TGN / JODIE / DyRep),
 //! * [`baselines`] — the paper's ten comparison methods,
 //! * [`core`] — CPDG itself: samplers, contrastive pre-training, EIE
-//!   fine-tuning, and one-call pipelines.
+//!   fine-tuning, and one-call pipelines,
+//! * [`obs`] — structured logging, counters/span timers, and run-directory
+//!   provenance (`run.json` + `metrics.jsonl`).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -17,4 +19,5 @@ pub use cpdg_baselines as baselines;
 pub use cpdg_core as core;
 pub use cpdg_dgnn as dgnn;
 pub use cpdg_graph as graph;
+pub use cpdg_obs as obs;
 pub use cpdg_tensor as tensor;

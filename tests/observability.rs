@@ -1,0 +1,94 @@
+//! Cross-crate observability integration: a fixed-seed mini CPDG pipeline
+//! must leave behind a parseable provenance trail — `metrics.jsonl` records
+//! for every pre-train/fine-tune epoch (with counter deltas) and a
+//! `run.json` manifest whose counter totals reflect the hot paths that
+//! actually ran. Parsing goes through `serde_json`, deliberately a
+//! different JSON implementation than the hand-rolled writer in `cpdg-obs`.
+
+use cpdg::core::pipeline::{run_link_prediction, PipelineConfig};
+use cpdg::dgnn::EncoderKind;
+use cpdg::graph::split::time_transfer;
+use cpdg::graph::{generate, SyntheticConfig};
+use cpdg::obs::{Json, RunDir};
+
+fn quick(mut cfg: PipelineConfig) -> PipelineConfig {
+    cfg.dim = 8;
+    cfg.pretrain.epochs = 2;
+    cfg.pretrain.batch_size = 100;
+    cfg.pretrain.contrast_centers = 8;
+    cfg.finetune.epochs = 1;
+    cfg.finetune.batch_size = 100;
+    cfg
+}
+
+/// One test drives the whole trail: metric sinks are process-global, so a
+/// single test owning the run directory avoids cross-test interleaving.
+#[test]
+fn pipeline_leaves_a_parseable_provenance_trail() {
+    let dir = std::env::temp_dir().join(format!("cpdg_obs_e2e_{}", std::process::id()));
+    let ds = generate(
+        &SyntheticConfig { n_events: 1200, ..SyntheticConfig::amazon_like(11) }.scaled(0.15),
+    );
+    let split = time_transfer(&ds.graph, 0.6).unwrap();
+    let cfg = quick(PipelineConfig::cpdg(EncoderKind::Tgn).with_seed(11));
+
+    let res = {
+        let run = RunDir::create(&dir).unwrap();
+        let res = run_link_prediction(&split, &cfg, false);
+        let mut manifest = Json::obj(vec![
+            ("seed", Json::U64(11)),
+            ("auc", Json::F64(res.auc as f64)),
+        ]);
+        manifest.push("counters", cpdg::obs::metrics::counters_json());
+        manifest.push("spans", cpdg::obs::metrics::histograms_json());
+        run.write_manifest(&manifest).unwrap();
+        res
+    };
+    assert!(res.auc.is_finite());
+
+    // run.json parses with serde_json and the hot-path counters all moved.
+    let manifest: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("run.json")).unwrap()).unwrap();
+    assert_eq!(manifest["seed"], 11);
+    for counter in [
+        "matmul.dispatches",
+        "matmul.flops",
+        "sampler.batches",
+        "sampler.queries",
+        "memory.updates",
+        "graph.index_lookups",
+    ] {
+        assert!(
+            manifest["counters"][counter].as_u64().unwrap_or(0) > 0,
+            "counter {counter} never moved: {}",
+            manifest["counters"]
+        );
+    }
+    assert!(
+        manifest["spans"]["pretrain.step_us"]["count"].as_u64().unwrap_or(0) > 0,
+        "{}",
+        manifest["spans"]
+    );
+
+    // metrics.jsonl: every line parses; the expected per-epoch records are
+    // present with loss values and counter deltas.
+    let metrics = std::fs::read_to_string(dir.join("metrics.jsonl")).unwrap();
+    let records: Vec<serde_json::Value> =
+        metrics.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+    let events = |name: &str| -> Vec<&serde_json::Value> {
+        records.iter().filter(|r| r["event"] == name).collect()
+    };
+    let pretrain_epochs = events("pretrain_epoch");
+    assert_eq!(pretrain_epochs.len(), cfg.pretrain.epochs, "{metrics}");
+    for (i, e) in pretrain_epochs.iter().enumerate() {
+        assert_eq!(e["epoch"].as_u64().unwrap(), i as u64);
+        assert!(e["loss_total"].as_f64().unwrap().is_finite(), "{e}");
+        assert!(e["d_matmul.dispatches"].as_u64().unwrap() > 0, "{e}");
+    }
+    assert!(!events("finetune_epoch").is_empty(), "{metrics}");
+    let result = events("finetune_result");
+    assert_eq!(result.len(), 1, "{metrics}");
+    assert!(result[0]["auc"].as_f64().unwrap().is_finite());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
