@@ -29,17 +29,18 @@
 mod args;
 
 use args::Args;
+use cpdg_core::chaos::{load_jodie_chaos, FaultHook, FaultPlan, RetryPolicy};
 use cpdg_core::checkpoint::CheckpointConfig;
 use cpdg_core::error::{CpdgError, CpdgResult};
 use cpdg_core::finetune::{finetune_link_prediction, FinetuneConfig, FinetuneStrategy};
 use cpdg_core::model_io::ModelFile;
 use cpdg_core::pipeline::auto_time_scale;
 use cpdg_core::pretrain::{pretrain_resumable, PretrainConfig, PretrainRuntime};
-use cpdg_core::EieFusion;
+use cpdg_core::{EieFusion, FS_STORAGE};
 use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor};
-use cpdg_obs::Json;
-use cpdg_graph::loader::{load_jodie_csv, write_jodie_csv};
+use cpdg_graph::loader::{write_jodie_csv, LoadMode, LoadOptions};
 use cpdg_graph::{generate, GraphStats, SyntheticConfig};
+use cpdg_obs::Json;
 use cpdg_tensor::optim::Adam;
 use cpdg_tensor::ParamStore;
 use rand::rngs::StdRng;
@@ -58,10 +59,23 @@ USAGE:
   cpdg pretrain --data <file.csv> [--encoder tgn|jodie|dyrep] [--dim N]
                 [--epochs N] [--beta X] [--seed N] [--vanilla] [--threads N]
                 [--ckpt-dir <dir>] [--ckpt-every N] [--keep N]
-                [--resume <dir>] --out <model.json>
+                [--resume <dir>] [--chaos-plan <plan.json>] --out <model.json>
   cpdg finetune --data <file.csv> --model <model.json>
                 [--strategy full|eie-mean|eie-attn|eie-gru] [--epochs N]
                 [--seed N] [--threads N]
+
+Data loading (stats / pretrain / finetune):
+  --strict-load     fail on the first malformed CSV row (default)
+  --lenient-load    quarantine malformed rows instead of failing; the report
+                    (count, line numbers, reasons) lands in run.json
+  --max-events N    refuse data files with more than N interaction events
+  --max-nodes N     refuse data files whose node universe exceeds N
+
+Fault injection (pretrain / finetune):
+  --chaos-plan <f>  read a JSON fault plan and inject deterministic faults at
+                    the named points (storage.write, ckpt.save, loader.row, …).
+                    Transient faults are retried with exponential backoff;
+                    permanent ones surface as typed errors. See DESIGN.md.
 
 Common options (every command):
   --log-level <error|warn|info|debug|trace>  stderr diagnostic verbosity
@@ -152,10 +166,11 @@ fn run_manifest(command: &str, status: &str, seed: u64, config: Json, dataset: J
     ])
 }
 
-/// Dataset provenance block for `run.json`.
+/// Dataset provenance block for `run.json`, including the ingestion
+/// quarantine summary when lenient loading set any rows aside.
 fn dataset_json(path: &str, loaded: &cpdg_graph::loader::LoadedGraph) -> Json {
     let s = GraphStats::compute(&loaded.graph);
-    Json::obj(vec![
+    let mut d = Json::obj(vec![
         ("path", Json::from(path)),
         ("users", Json::U64(loaded.num_users as u64)),
         ("items", Json::U64(loaded.num_items as u64)),
@@ -163,7 +178,24 @@ fn dataset_json(path: &str, loaded: &cpdg_graph::loader::LoadedGraph) -> Json {
         ("events", Json::U64(s.edges as u64)),
         ("t_min", Json::F64(s.t_min)),
         ("t_max", Json::F64(s.t_max)),
-    ])
+        ("quarantined", Json::U64(loaded.quarantine.total as u64)),
+    ]);
+    if !loaded.quarantine.is_empty() {
+        let rows = loaded
+            .quarantine
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("line", Json::U64(r.line as u64)),
+                    ("reason", Json::from(r.reason.as_str())),
+                ])
+            })
+            .collect();
+        d.push("quarantine_truncated", Json::Bool(loaded.quarantine.truncated()));
+        d.push("quarantined_rows", Json::Arr(rows));
+    }
+    d
 }
 
 /// Final-manifest decorations shared by pretrain and finetune: wall-clock
@@ -204,7 +236,7 @@ fn cmd_generate(args: &Args) -> CpdgResult<()> {
 
 fn cmd_stats(args: &Args) -> CpdgResult<()> {
     let data = args.require("data")?;
-    let loaded = load_data(data)?;
+    let loaded = load_data(data, &load_options(args)?, &FaultHook::none())?;
     let s = GraphStats::compute(&loaded.graph);
     println!("file           : {data}");
     println!("users / items  : {} / {}", loaded.num_users, loaded.num_items);
@@ -215,6 +247,9 @@ fn cmd_stats(args: &Args) -> CpdgResult<()> {
     println!("mean degree    : {:.2}", s.mean_degree);
     println!("labels         : {} ({:.2}% positive)",
         loaded.graph.labels().len(), s.label_positive_rate * 100.0);
+    if !loaded.quarantine.is_empty() {
+        println!("quarantined    : {} malformed row(s) set aside", loaded.quarantine.total);
+    }
     Ok(())
 }
 
@@ -259,6 +294,7 @@ fn cmd_pretrain(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
 
     let resume_dir = args.get("resume");
     let ckpt_dir = args.get("ckpt-dir").or(resume_dir);
+    let chaos = chaos_hook(args)?;
     let runtime = PretrainRuntime {
         checkpoint: match ckpt_dir {
             Some(d) => Some(CheckpointConfig {
@@ -269,16 +305,24 @@ fn cmd_pretrain(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
             None => None,
         },
         resume: resume_dir.is_some(),
+        chaos: chaos.clone(),
         ..PretrainRuntime::default()
     };
 
-    let loaded = load_data(data)?;
+    let load_opts = load_options(args)?;
+    let loaded = load_data(data, &load_opts, &chaos)?;
+    let chaos_plan_json = match args.get("chaos-plan") {
+        Some(p) => Json::from(p),
+        None => Json::Null,
+    };
     let config_json = Json::obj(vec![
         ("encoder", Json::from(encoder_kind.name())),
         ("dim", Json::U64(dim as u64)),
         ("epochs", Json::U64(epochs as u64)),
         ("beta", Json::F64(beta as f64)),
         ("vanilla", Json::Bool(vanilla)),
+        ("lenient_load", Json::Bool(matches!(load_opts.mode, LoadMode::Lenient))),
+        ("chaos_plan", chaos_plan_json),
         ("out", Json::from(out)),
     ]);
     let data_json = dataset_json(data, &loaded);
@@ -358,7 +402,7 @@ fn cmd_finetune(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
     let seed: u64 = args.get_num("seed", 0)?;
 
     let model = ModelFile::load(Path::new(model_path))?;
-    let loaded = load_data(data)?;
+    let loaded = load_data(data, &load_options(args)?, &chaos_hook(args)?)?;
     let config_json = Json::obj(vec![
         ("strategy", Json::from(strategy.name())),
         ("epochs", Json::U64(epochs as u64)),
@@ -414,9 +458,70 @@ fn cmd_finetune(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
     Ok(())
 }
 
-fn load_data(path: &str) -> CpdgResult<cpdg_graph::loader::LoadedGraph> {
-    let file = File::open(path).map_err(|e| CpdgError::io(path, e))?;
-    load_jodie_csv(file).map_err(CpdgError::from)
+/// Optional `--key N` usize option.
+fn opt_usize(args: &Args, key: &str) -> CpdgResult<Option<usize>> {
+    match args.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CpdgError::Invalid(format!("invalid value for --{key}: {v:?}"))),
+    }
+}
+
+/// Parses the shared ingestion options: `--strict-load` / `--lenient-load`
+/// and the `--max-events` / `--max-nodes` resource guards.
+fn load_options(args: &Args) -> CpdgResult<LoadOptions> {
+    if args.has_flag("strict-load") && args.has_flag("lenient-load") {
+        return Err(CpdgError::Invalid(
+            "--strict-load and --lenient-load are mutually exclusive".to_string(),
+        ));
+    }
+    let mut opts = LoadOptions::default();
+    if args.has_flag("lenient-load") {
+        opts.mode = LoadMode::Lenient;
+    }
+    opts.max_events = opt_usize(args, "max-events")?;
+    opts.max_nodes = opt_usize(args, "max-nodes")?;
+    Ok(opts)
+}
+
+/// Reads `--chaos-plan <file>` into an installed [`FaultHook`], or returns
+/// the zero-overhead inert hook when the option is absent.
+fn chaos_hook(args: &Args) -> CpdgResult<FaultHook> {
+    match args.get("chaos-plan") {
+        None => Ok(FaultHook::none()),
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| CpdgError::io(p, e))?;
+            let plan = FaultPlan::from_json(&text)
+                .map_err(|e| CpdgError::Invalid(format!("bad --chaos-plan {p}: {e}")))?;
+            Ok(FaultHook::install(&plan))
+        }
+    }
+}
+
+/// Loads a JODIE CSV through the chaos-aware path: reads are retried under
+/// the default policy, and `hook` (when active) injects `storage.read` and
+/// `loader.row` faults. A non-empty quarantine additionally lands in
+/// metrics.jsonl as an `ingest` record.
+fn load_data(
+    path: &str,
+    opts: &LoadOptions,
+    hook: &FaultHook,
+) -> CpdgResult<cpdg_graph::loader::LoadedGraph> {
+    let loaded =
+        load_jodie_chaos(&FS_STORAGE, Path::new(path), opts, &RetryPolicy::default(), hook)?;
+    if !loaded.quarantine.is_empty() {
+        cpdg_obs::emit_metrics(
+            "ingest",
+            vec![
+                ("path".to_string(), cpdg_obs::Value::from(path)),
+                ("quarantined".to_string(), cpdg_obs::Value::from(loaded.quarantine.total)),
+                ("events".to_string(), cpdg_obs::Value::from(loaded.graph.num_events())),
+            ],
+        );
+    }
+    Ok(loaded)
 }
 
 #[cfg(test)]
@@ -546,6 +651,91 @@ mod tests {
         assert_eq!(epochs.len(), 1, "{metrics}");
         assert!(epochs[0]["loss_total"].is_number(), "{}", epochs[0]);
         assert!(epochs[0]["d_matmul.dispatches"].as_u64().unwrap() > 0, "{}", epochs[0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_option_flags_validate_and_apply() {
+        let o = load_options(&parse("stats --lenient-load --max-events 10 --max-nodes 5")).unwrap();
+        assert!(matches!(o.mode, LoadMode::Lenient));
+        assert_eq!(o.max_events, Some(10));
+        assert_eq!(o.max_nodes, Some(5));
+        // Defaults: strict, unbounded.
+        let d = load_options(&parse("stats")).unwrap();
+        assert!(matches!(d.mode, LoadMode::Strict));
+        assert_eq!(d.max_events, None);
+        // Contradictory modes and junk numbers are usage errors.
+        assert!(load_options(&parse("stats --strict-load --lenient-load")).is_err());
+        assert!(load_options(&parse("stats --max-events lots")).is_err());
+    }
+
+    #[test]
+    fn lenient_load_quarantines_where_strict_load_fails() {
+        let dir = std::env::temp_dir().join(format!("cpdg_cli_lenient_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        std::fs::write(
+            &data_path,
+            "user_id,item_id,timestamp,state_label,f\n0,0,1.0,0,0\nnot,a,row\n1,1,2.0,0,0\n",
+        )
+        .unwrap();
+        let path = data_path.to_str().unwrap();
+
+        let err = load_data(path, &LoadOptions::strict(), &FaultHook::none()).unwrap_err();
+        assert!(matches!(err, CpdgError::Data(_)), "{err}");
+
+        let loaded = load_data(path, &LoadOptions::lenient(), &FaultHook::none()).unwrap();
+        assert_eq!(loaded.quarantine.total, 1);
+        assert_eq!(loaded.quarantine.rows[0].line, 3);
+        assert_eq!(loaded.graph.num_events(), 2);
+        // The quarantine summary reaches the run.json dataset block.
+        let d = dataset_json(path, &loaded).render();
+        assert!(d.contains("\"quarantined\":1"), "{d}");
+        assert!(d.contains("\"line\":3"), "{d}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resource_guard_flags_map_to_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("cpdg_cli_guard_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        std::fs::write(&data_path, "h\n0,0,1.0,0\n1,1,2.0,0\n0,1,3.0,0\n").unwrap();
+        let path = data_path.to_str().unwrap();
+        let opts = load_options(&parse("stats --max-events 2")).unwrap();
+        let err = load_data(path, &opts, &FaultHook::none()).unwrap_err();
+        match err {
+            CpdgError::ResourceLimit { what, limit, .. } => {
+                assert_eq!(what, "events");
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected ResourceLimit, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_plan_option_installs_a_hook() {
+        // Absent option: the inert, zero-overhead hook.
+        assert!(!chaos_hook(&parse("pretrain")).unwrap().is_active());
+        let dir = std::env::temp_dir().join(format!("cpdg_cli_plan_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan_path = dir.join("plan.json");
+        std::fs::write(
+            &plan_path,
+            r#"{"seed": 7, "faults": [
+                {"point": "storage.write", "kind": "transient",
+                 "trigger": {"when": "nth", "n": 1}}]}"#,
+        )
+        .unwrap();
+        let args = parse(&format!("pretrain --chaos-plan {}", plan_path.display()));
+        assert!(chaos_hook(&args).unwrap().is_active());
+        // Unreadable and malformed plans surface as typed errors.
+        let missing = parse(&format!("pretrain --chaos-plan {}", dir.join("nope.json").display()));
+        assert!(matches!(chaos_hook(&missing).unwrap_err(), CpdgError::Io { .. }));
+        std::fs::write(&plan_path, b"{not json").unwrap();
+        let args = parse(&format!("pretrain --chaos-plan {}", plan_path.display()));
+        assert!(matches!(chaos_hook(&args).unwrap_err(), CpdgError::Invalid(_)));
         std::fs::remove_dir_all(&dir).ok();
     }
 

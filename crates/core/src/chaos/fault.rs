@@ -1,0 +1,277 @@
+//! Fault plans: where and when to inject which kind of fault.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The named places in the pipeline where faults can be injected. Each
+/// point corresponds to one consult of the [`FaultHook`](super::FaultHook)
+/// in production code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultPoint {
+    /// A raw byte write through the [`Storage`](crate::storage::Storage)
+    /// trait (including the temp-file leg of atomic publishes).
+    #[serde(rename = "storage.write")]
+    StorageWrite,
+    /// A raw byte read through the `Storage` trait.
+    #[serde(rename = "storage.read")]
+    StorageRead,
+    /// One data row of JODIE CSV ingestion (a fired fault corrupts the
+    /// row stream with a malformed line; see [`super::ingest`]).
+    #[serde(rename = "loader.row")]
+    LoaderRow,
+    /// One contrast-subgraph sampling batch inside the pre-training loop.
+    #[serde(rename = "sampler.batch")]
+    SamplerBatch,
+    /// One encoder memory commit inside the pre-training loop.
+    #[serde(rename = "memory.update")]
+    MemoryUpdate,
+    /// One checkpoint publish (the whole atomic save, pointer included).
+    #[serde(rename = "ckpt.save")]
+    CkptSave,
+    /// One checkpoint candidate read during resume.
+    #[serde(rename = "ckpt.load")]
+    CkptLoad,
+}
+
+impl FaultPoint {
+    /// Every fault point, in catalogue order.
+    pub const ALL: [FaultPoint; 7] = [
+        FaultPoint::StorageWrite,
+        FaultPoint::StorageRead,
+        FaultPoint::LoaderRow,
+        FaultPoint::SamplerBatch,
+        FaultPoint::MemoryUpdate,
+        FaultPoint::CkptSave,
+        FaultPoint::CkptLoad,
+    ];
+
+    /// The dotted wire name (`storage.write`, `ckpt.save`, …) used in plan
+    /// files, log fields, and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::StorageWrite => "storage.write",
+            FaultPoint::StorageRead => "storage.read",
+            FaultPoint::LoaderRow => "loader.row",
+            FaultPoint::SamplerBatch => "sampler.batch",
+            FaultPoint::MemoryUpdate => "memory.update",
+            FaultPoint::CkptSave => "ckpt.save",
+            FaultPoint::CkptLoad => "ckpt.load",
+        }
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FaultPoint {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultPoint::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| format!("unknown fault point {s:?}"))
+    }
+}
+
+/// Whether an injected fault is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultKind {
+    /// Goes away on retry (flaky disk, transient EINTR). Retried by
+    /// [`RetryPolicy`](super::RetryPolicy) up to its attempt budget.
+    Transient,
+    /// Sticks: retrying is pointless (dead disk, killed process). Surfaces
+    /// immediately as an error — the crash half of crash/resume drills.
+    Permanent,
+}
+
+/// When a fault fires, counted in *hits* of its fault point (retries hit
+/// the point again, so a transient `Nth` fault clears itself on retry).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "when", rename_all = "snake_case")]
+pub enum Trigger {
+    /// Fires exactly once, on the `n`-th hit (1-based).
+    Nth {
+        /// 1-based hit index that fires.
+        n: u64,
+    },
+    /// Fires on every `k`-th hit (hit `k`, `2k`, `3k`, …).
+    Every {
+        /// Period in hits (≥ 1; 0 is treated as 1).
+        k: u64,
+    },
+    /// Fires with probability `p` per hit, decided by a deterministic
+    /// seeded hash of `(plan seed, point, hit index)` — never OS entropy.
+    Prob {
+        /// Fire probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+impl Trigger {
+    /// Whether the trigger fires on 1-based hit `hit` of `point` under
+    /// `seed`. Pure: same inputs, same answer, on every thread and host.
+    pub fn fires(self, seed: u64, point: FaultPoint, hit: u64) -> bool {
+        match self {
+            Trigger::Nth { n } => hit == n.max(1),
+            Trigger::Every { k } => hit % k.max(1) == 0,
+            Trigger::Prob { p } => {
+                if p <= 0.0 {
+                    return false;
+                }
+                if p >= 1.0 {
+                    return true;
+                }
+                let mixed = splitmix64(
+                    seed ^ (point as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ hit.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                );
+                // Map the hash to [0, 1) and compare against p.
+                (mixed >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+            }
+        }
+    }
+}
+
+/// SplitMix64 finaliser — the standard avalanche mix used for the seeded
+/// probability trigger.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One injection rule: raise a `kind` fault at `point` whenever `trigger`
+/// fires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Where to inject.
+    pub point: FaultPoint,
+    /// Transient or permanent.
+    pub kind: FaultKind,
+    /// When to fire, in hits of `point`.
+    pub trigger: Trigger,
+}
+
+/// A complete, seedable fault schedule. Serialises to JSON for
+/// `--chaos-plan` files:
+///
+/// ```json
+/// {
+///   "seed": 7,
+///   "faults": [
+///     {"point": "storage.write", "kind": "transient", "trigger": {"when": "every", "k": 3}},
+///     {"point": "ckpt.save", "kind": "permanent", "trigger": {"when": "nth", "n": 2}}
+///   ]
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the probability triggers (irrelevant to `nth`/`every`).
+    #[serde(default)]
+    pub seed: u64,
+    /// The injection rules, consulted in order (first firing rule wins).
+    #[serde(default)]
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan under `seed` — extend with [`FaultPlan::with`].
+    pub fn new(seed: u64) -> Self {
+        Self { seed, faults: Vec::new() }
+    }
+
+    /// Adds one injection rule (builder style).
+    pub fn with(mut self, point: FaultPoint, kind: FaultKind, trigger: Trigger) -> Self {
+        self.faults.push(FaultSpec { point, kind, trigger });
+        self
+    }
+
+    /// Parses a plan from its JSON representation.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("invalid chaos plan: {e}"))
+    }
+
+    /// Renders the plan as JSON (the `--chaos-plan` file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plans are plain data")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_names_round_trip() {
+        for p in FaultPoint::ALL {
+            assert_eq!(p.name().parse::<FaultPoint>().unwrap(), p);
+        }
+        assert!("disk.melt".parse::<FaultPoint>().is_err());
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let t = Trigger::Nth { n: 3 };
+        let fired: Vec<u64> =
+            (1..=10).filter(|&h| t.fires(0, FaultPoint::CkptSave, h)).collect();
+        assert_eq!(fired, vec![3]);
+    }
+
+    #[test]
+    fn every_k_is_periodic() {
+        let t = Trigger::Every { k: 4 };
+        let fired: Vec<u64> =
+            (1..=12).filter(|&h| t.fires(0, FaultPoint::StorageWrite, h)).collect();
+        assert_eq!(fired, vec![4, 8, 12]);
+        // k = 0 degrades to every hit, not a division panic.
+        assert!(Trigger::Every { k: 0 }.fires(0, FaultPoint::StorageWrite, 1));
+    }
+
+    #[test]
+    fn prob_is_deterministic_and_seed_sensitive() {
+        let t = Trigger::Prob { p: 0.5 };
+        let a: Vec<bool> = (1..=64).map(|h| t.fires(1, FaultPoint::LoaderRow, h)).collect();
+        let b: Vec<bool> = (1..=64).map(|h| t.fires(1, FaultPoint::LoaderRow, h)).collect();
+        assert_eq!(a, b, "same seed must give the same schedule");
+        let c: Vec<bool> = (1..=64).map(|h| t.fires(2, FaultPoint::LoaderRow, h)).collect();
+        assert_ne!(a, c, "different seeds must differ");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!((10..=54).contains(&fired), "p=0.5 over 64 hits fired {fired} times");
+        // Degenerate probabilities are exact.
+        assert!(!Trigger::Prob { p: 0.0 }.fires(0, FaultPoint::LoaderRow, 1));
+        assert!(Trigger::Prob { p: 1.0 }.fires(0, FaultPoint::LoaderRow, 1));
+    }
+
+    #[test]
+    fn plan_json_round_trips() {
+        let plan = FaultPlan::new(7)
+            .with(FaultPoint::StorageWrite, FaultKind::Transient, Trigger::Every { k: 3 })
+            .with(FaultPoint::CkptSave, FaultKind::Permanent, Trigger::Nth { n: 2 })
+            .with(FaultPoint::LoaderRow, FaultKind::Transient, Trigger::Prob { p: 0.25 });
+        let json = plan.to_json();
+        assert!(json.contains("\"storage.write\""), "{json}");
+        assert_eq!(FaultPlan::from_json(&json).unwrap(), plan);
+    }
+
+    #[test]
+    fn plan_json_rejects_unknown_points() {
+        let err = FaultPlan::from_json(
+            r#"{"seed":0,"faults":[{"point":"gpu.melt","kind":"transient","trigger":{"when":"nth","n":1}}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("invalid chaos plan"), "{err}");
+    }
+
+    #[test]
+    fn empty_plan_parses_from_minimal_json() {
+        let plan = FaultPlan::from_json("{}").unwrap();
+        assert!(plan.faults.is_empty());
+        assert_eq!(plan.seed, 0);
+    }
+}

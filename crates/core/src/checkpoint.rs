@@ -17,6 +17,7 @@
 //! candidates newest-first and *skips* corrupt or truncated files with a
 //! warning, landing on the newest checkpoint that actually parses.
 
+use crate::chaos::{Fault, FaultHook, FaultPoint, RetryPolicy};
 use crate::error::{CpdgError, CpdgResult};
 use crate::pretrain::LossBreakdown;
 use crate::storage::Storage;
@@ -79,10 +80,15 @@ impl CheckpointConfig {
     }
 }
 
-/// Writes rotating checkpoints through a [`Storage`].
+/// Writes rotating checkpoints through a [`Storage`]. Every publish and
+/// candidate read runs under a [`RetryPolicy`] and consults the
+/// `ckpt.save` / `ckpt.load` fault points — inert by default, active
+/// when constructed [`with_chaos`](CheckpointManager::with_chaos).
 pub struct CheckpointManager<'s> {
     cfg: CheckpointConfig,
     storage: &'s dyn Storage,
+    hook: FaultHook,
+    retry: RetryPolicy,
 }
 
 fn checkpoint_file_name(step: usize) -> String {
@@ -97,10 +103,22 @@ fn is_checkpoint_file(path: &Path) -> bool {
 }
 
 impl<'s> CheckpointManager<'s> {
-    /// Creates the checkpoint directory and a manager writing into it.
+    /// Creates the checkpoint directory and a manager writing into it
+    /// (no fault injection, default retry policy).
     pub fn new(cfg: CheckpointConfig, storage: &'s dyn Storage) -> CpdgResult<Self> {
+        Self::with_chaos(cfg, storage, FaultHook::none(), RetryPolicy::default())
+    }
+
+    /// Like [`CheckpointManager::new`], but with an explicit fault hook
+    /// and retry policy for chaos runs.
+    pub fn with_chaos(
+        cfg: CheckpointConfig,
+        storage: &'s dyn Storage,
+        hook: FaultHook,
+        retry: RetryPolicy,
+    ) -> CpdgResult<Self> {
         storage.create_dir_all(&cfg.dir).map_err(|e| CpdgError::io(&cfg.dir, e))?;
-        Ok(Self { cfg, storage })
+        Ok(Self { cfg, storage, hook, retry })
     }
 
     /// The directory this manager writes into.
@@ -121,11 +139,17 @@ impl<'s> CheckpointManager<'s> {
         let name = checkpoint_file_name(ckpt.step);
         let path = self.cfg.dir.join(&name);
         let bytes = serde_json::to_vec(ckpt).map_err(|e| CpdgError::Serialize(e.to_string()))?;
-        self.storage.write_atomic(&path, &bytes).map_err(|e| CpdgError::io(&path, e))?;
         let latest = self.cfg.dir.join(LATEST_FILE);
-        self.storage
-            .write_atomic(&latest, name.as_bytes())
-            .map_err(|e| CpdgError::io(&latest, e))?;
+        // The whole publish (data file + pointer) is one retryable unit:
+        // re-running it after a transient fault is idempotent, and the
+        // `ckpt.save` fault point is consulted once per attempt.
+        self.retry
+            .run(FaultPoint::CkptSave.name(), || {
+                self.hook.check(FaultPoint::CkptSave).map_err(Fault::into_io)?;
+                self.storage.write_atomic(&path, &bytes)?;
+                self.storage.write_atomic(&latest, name.as_bytes())
+            })
+            .map_err(|e| CpdgError::io(&path, e))?;
         self.prune()?;
         cpdg_obs::counter!("checkpoint.saves").inc();
         cpdg_obs::debug!(
@@ -164,6 +188,19 @@ impl<'s> CheckpointManager<'s> {
         storage: &dyn Storage,
         dir: &Path,
     ) -> CpdgResult<Option<(TrainCheckpoint, PathBuf)>> {
+        Self::load_latest_with(storage, dir, &FaultHook::none(), &RetryPolicy::default())
+    }
+
+    /// Like [`CheckpointManager::load_latest`], but candidate reads run
+    /// under `retry` and consult the `ckpt.load` fault point. A candidate
+    /// whose read faults permanently is skipped like a corrupt file, so
+    /// resume falls back to the next-newest checkpoint.
+    pub fn load_latest_with(
+        storage: &dyn Storage,
+        dir: &Path,
+        hook: &FaultHook,
+        retry: &RetryPolicy,
+    ) -> CpdgResult<Option<(TrainCheckpoint, PathBuf)>> {
         let mut candidates: Vec<PathBuf> = Vec::new();
         // The pointer names the newest fully-published file; try it first.
         if let Ok(bytes) = storage.read(&dir.join(LATEST_FILE)) {
@@ -187,7 +224,7 @@ impl<'s> CheckpointManager<'s> {
         }
 
         for path in candidates {
-            match Self::load_one(storage, &path) {
+            match Self::load_one(storage, &path, hook, retry) {
                 Ok(ckpt) => return Ok(Some((ckpt, path))),
                 Err(e) => {
                     cpdg_obs::counter!("checkpoint.load_skips").inc();
@@ -203,8 +240,18 @@ impl<'s> CheckpointManager<'s> {
         Ok(None)
     }
 
-    fn load_one(storage: &dyn Storage, path: &Path) -> CpdgResult<TrainCheckpoint> {
-        let bytes = storage.read(path).map_err(|e| CpdgError::io(path, e))?;
+    fn load_one(
+        storage: &dyn Storage,
+        path: &Path,
+        hook: &FaultHook,
+        retry: &RetryPolicy,
+    ) -> CpdgResult<TrainCheckpoint> {
+        let bytes = retry
+            .run(FaultPoint::CkptLoad.name(), || {
+                hook.check(FaultPoint::CkptLoad).map_err(Fault::into_io)?;
+                storage.read(path)
+            })
+            .map_err(|e| CpdgError::io(path, e))?;
         let ckpt: TrainCheckpoint = serde_json::from_slice(&bytes)
             .map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
         if ckpt.version != CHECKPOINT_VERSION {
@@ -374,6 +421,81 @@ mod tests {
         assert!(CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().is_none());
         FS_STORAGE.create_dir_all(&dir).unwrap();
         assert!(CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_save_fault_clears_on_retry() {
+        use crate::chaos::{FaultKind, FaultPlan, Trigger};
+        let dir = test_dir("chaos_save_transient");
+        let plan = FaultPlan::new(0).with(
+            FaultPoint::CkptSave,
+            FaultKind::Transient,
+            Trigger::Nth { n: 1 },
+        );
+        let hook = FaultHook::install(&plan);
+        let mgr = CheckpointManager::with_chaos(
+            CheckpointConfig::new(&dir),
+            &FS_STORAGE,
+            hook.clone(),
+            RetryPolicy { max_attempts: 3, base_delay_ms: 0, max_delay_ms: 0 },
+        )
+        .unwrap();
+        mgr.save(&dummy_checkpoint(10)).unwrap();
+        assert_eq!(hook.injected_at(FaultPoint::CkptSave), 1);
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        assert_eq!(ckpt.step, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn permanent_save_fault_fails_but_older_checkpoints_survive() {
+        use crate::chaos::{FaultKind, FaultPlan, Trigger};
+        let dir = test_dir("chaos_save_permanent");
+        // First publish is clean; the second hits a permanent fault.
+        let plan = FaultPlan::new(0).with(
+            FaultPoint::CkptSave,
+            FaultKind::Permanent,
+            Trigger::Nth { n: 2 },
+        );
+        let mgr = CheckpointManager::with_chaos(
+            CheckpointConfig::new(&dir),
+            &FS_STORAGE,
+            FaultHook::install(&plan),
+            RetryPolicy { max_attempts: 3, base_delay_ms: 0, max_delay_ms: 0 },
+        )
+        .unwrap();
+        mgr.save(&dummy_checkpoint(10)).unwrap();
+        assert!(matches!(mgr.save(&dummy_checkpoint(20)), Err(CpdgError::Io { .. })));
+        // The crash left only whole files behind; step 10 still loads.
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        assert_eq!(ckpt.step, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulted_load_candidate_falls_back_to_older_checkpoint() {
+        use crate::chaos::{FaultKind, FaultPlan, Trigger};
+        let dir = test_dir("chaos_load_fallback");
+        let mgr = CheckpointManager::new(CheckpointConfig::new(&dir), &FS_STORAGE).unwrap();
+        mgr.save(&dummy_checkpoint(10)).unwrap();
+        mgr.save(&dummy_checkpoint(20)).unwrap();
+        // The newest candidate's read faults permanently on every attempt.
+        let plan = FaultPlan::new(0).with(
+            FaultPoint::CkptLoad,
+            FaultKind::Permanent,
+            Trigger::Nth { n: 1 },
+        );
+        let (ckpt, path) = CheckpointManager::load_latest_with(
+            &FS_STORAGE,
+            &dir,
+            &FaultHook::install(&plan),
+            &RetryPolicy::none(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(ckpt.step, 10, "faulted newest read must fall back");
+        assert!(path.ends_with("ckpt-00000010.json"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

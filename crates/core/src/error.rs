@@ -69,6 +69,24 @@ pub enum CpdgError {
     Data(LoadError),
     /// Invalid arguments or configuration.
     Invalid(String),
+    /// An input exceeded a configured resource guard (`--max-events`,
+    /// `--max-nodes`) and was rejected before it could exhaust memory.
+    ResourceLimit {
+        /// Which guard tripped (`"events"` or `"nodes"`).
+        what: &'static str,
+        /// The configured ceiling.
+        limit: usize,
+        /// How many were seen when the guard tripped (a lower bound).
+        seen: usize,
+    },
+    /// A chaos-injected fault survived every recovery attempt (retry
+    /// budget exhausted, or a permanent fault at a non-storage point).
+    Fault {
+        /// Dotted fault-point name (`sampler.batch`, `ckpt.save`, …).
+        point: String,
+        /// Description of the injected fault.
+        reason: String,
+    },
 }
 
 impl CpdgError {
@@ -83,12 +101,15 @@ impl CpdgError {
     }
 
     /// Process exit code for this error class, so scripts can branch on
-    /// failure modes (`1` generic IO/data, `2` usage, `3` model/data
-    /// mismatch, `4` corrupt/incompatible artifact, `5` divergence,
-    /// `6` interrupted-resumable).
+    /// failure modes (`1` generic IO/data/injected-fault, `2` usage,
+    /// `3` model/data mismatch, `4` corrupt/incompatible artifact,
+    /// `5` divergence, `6` interrupted-resumable, `7` resource limit).
     pub fn exit_code(&self) -> u8 {
         match self {
-            CpdgError::Io { .. } | CpdgError::Data(_) | CpdgError::Serialize(_) => 1,
+            CpdgError::Io { .. }
+            | CpdgError::Data(_)
+            | CpdgError::Serialize(_)
+            | CpdgError::Fault { .. } => 1,
             CpdgError::Invalid(_) => 2,
             CpdgError::NodeCountMismatch { .. } => 3,
             CpdgError::Corrupt { .. }
@@ -96,6 +117,7 @@ impl CpdgError {
             | CpdgError::NoCheckpoint { .. } => 4,
             CpdgError::Diverged(_) => 5,
             CpdgError::Interrupted { .. } => 6,
+            CpdgError::ResourceLimit { .. } => 7,
         }
     }
 }
@@ -130,6 +152,13 @@ impl fmt::Display for CpdgError {
             ),
             CpdgError::Data(e) => write!(f, "data error: {e}"),
             CpdgError::Invalid(msg) => write!(f, "{msg}"),
+            CpdgError::ResourceLimit { what, limit, seen } => write!(
+                f,
+                "resource limit exceeded: {what} limit {limit}, saw at least {seen}"
+            ),
+            CpdgError::Fault { point, reason } => {
+                write!(f, "unrecovered injected fault at {point}: {reason}")
+            }
         }
     }
 }
@@ -146,7 +175,12 @@ impl std::error::Error for CpdgError {
 
 impl From<LoadError> for CpdgError {
     fn from(e: LoadError) -> Self {
-        CpdgError::Data(e)
+        match e {
+            LoadError::ResourceLimit { what, limit, seen } => {
+                CpdgError::ResourceLimit { what, limit, seen }
+            }
+            other => CpdgError::Data(other),
+        }
     }
 }
 
@@ -185,6 +219,25 @@ mod tests {
         assert_ne!(usage.exit_code(), mismatch.exit_code());
         assert_ne!(mismatch.exit_code(), corrupt.exit_code());
         assert_ne!(usage.exit_code(), corrupt.exit_code());
+    }
+
+    #[test]
+    fn resource_limits_convert_and_get_their_own_exit_code() {
+        let e: CpdgError =
+            LoadError::ResourceLimit { what: "events", limit: 10, seen: 11 }.into();
+        assert!(matches!(e, CpdgError::ResourceLimit { what: "events", limit: 10, seen: 11 }));
+        assert_eq!(e.exit_code(), 7);
+        assert!(e.to_string().contains("limit 10"), "{e}");
+        // Other load errors still map to the Data class.
+        let d: CpdgError = LoadError::Empty.into();
+        assert!(matches!(d, CpdgError::Data(_)));
+    }
+
+    #[test]
+    fn injected_faults_name_their_point() {
+        let e = CpdgError::Fault { point: "sampler.batch".into(), reason: "boom".into() };
+        assert_eq!(e.exit_code(), 1);
+        assert!(e.to_string().contains("sampler.batch"), "{e}");
     }
 
     #[test]

@@ -164,7 +164,11 @@ pub fn finetune_link_prediction(
     let mut opt = Adam::new(cfg.lr);
     let sampler = NegativeSampler::from_graph(graph);
 
-    let bounds = chrono_boundaries(graph, &[cfg.train_frac, cfg.val_frac, 1.0 - cfg.train_frac - cfg.val_frac]);
+    let bounds = chrono_boundaries(
+        graph,
+        &[cfg.train_frac, cfg.val_frac, 1.0 - cfg.train_frac - cfg.val_frac],
+    )
+    .expect("FinetuneConfig train_frac/val_frac must be finite, non-negative, and sum to <= 1");
     let (train_end, val_end) = (bounds[0], bounds[1]);
 
     let mut best_val = f64::NEG_INFINITY;

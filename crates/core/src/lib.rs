@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::disallowed_macros)]
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod contrast;
 pub mod eie;
@@ -41,6 +42,10 @@ pub mod pretrain;
 pub mod sampler;
 pub mod storage;
 
+pub use chaos::{
+    load_jodie_chaos, ChaosStorage, Fault, FaultHook, FaultKind, FaultPlan, FaultPoint,
+    FaultSpec, RetryPolicy, Trigger,
+};
 pub use checkpoint::{CheckpointConfig, CheckpointManager, TrainCheckpoint};
 pub use eie::{EieFusion, EieModule};
 pub use error::{CpdgError, CpdgResult};

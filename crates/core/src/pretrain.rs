@@ -24,6 +24,7 @@
 //! derive from the batch seed, so the trajectory is bit-identical at any
 //! thread count.
 
+use crate::chaos::{ChaosStorage, Fault, FaultHook, FaultPoint, RetryPolicy};
 use crate::checkpoint::{CheckpointConfig, CheckpointManager, TrainCheckpoint, CHECKPOINT_VERSION};
 use crate::contrast::structural::{structural_contrast_loss, StructuralContrastConfig};
 use crate::contrast::temporal::{temporal_contrast_loss, TemporalContrastConfig};
@@ -111,6 +112,13 @@ pub struct PretrainRuntime<'s> {
     /// Stop with [`CpdgError::Interrupted`] after this many steps *in this
     /// invocation* (used by kill-and-resume tests and time-boxed jobs).
     pub step_limit: Option<usize>,
+    /// Fault-injection hook (inert by default). When a plan is installed,
+    /// `storage.*`, `sampler.batch`, `memory.update`, and `ckpt.*` fault
+    /// points are consulted throughout the run.
+    pub chaos: FaultHook,
+    /// Retry policy for storage/checkpoint I/O and transient injected
+    /// faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PretrainRuntime<'static> {
@@ -121,6 +129,8 @@ impl Default for PretrainRuntime<'static> {
             storage: &FS_STORAGE,
             resume: false,
             step_limit: None,
+            chaos: FaultHook::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -212,8 +222,37 @@ pub fn pretrain_resumable(
     let total_steps = (cfg.epochs * n_batches).max(1);
     let l = cfg.n_checkpoints.max(1);
 
+    // With a chaos plan installed, every raw byte read/write goes through
+    // the fault-injecting wrapper; otherwise the caller's storage is used
+    // directly (zero overhead).
+    let chaos_storage;
+    let storage: &dyn Storage = if runtime.chaos.is_active() {
+        chaos_storage = ChaosStorage::new(runtime.storage, runtime.chaos.clone());
+        &chaos_storage
+    } else {
+        runtime.storage
+    };
+    // A non-storage fault point (sampler.batch / memory.update) raising a
+    // transient fault is retried by re-consulting the point — the hit
+    // counter advances, so an `nth`-triggered fault clears itself.
+    // Unrecovered faults surface as typed `CpdgError::Fault`s.
+    let consult = |point: FaultPoint| -> CpdgResult<()> {
+        if !runtime.chaos.is_active() {
+            return Ok(());
+        }
+        runtime
+            .retry
+            .run(point.name(), || runtime.chaos.check(point).map_err(Fault::into_io))
+            .map_err(|e| CpdgError::Fault { point: point.name().into(), reason: e.to_string() })
+    };
+
     let manager = match &runtime.checkpoint {
-        Some(c) => Some(CheckpointManager::new(c.clone(), runtime.storage)?),
+        Some(c) => Some(CheckpointManager::with_chaos(
+            c.clone(),
+            storage,
+            runtime.chaos.clone(),
+            runtime.retry,
+        )?),
         None => None,
     };
 
@@ -234,8 +273,9 @@ pub fn pretrain_resumable(
             .as_ref()
             .map(|c| c.dir.clone())
             .ok_or_else(|| CpdgError::Invalid("resume requires a checkpoint directory".into()))?;
-        let (ckpt, path) = CheckpointManager::load_latest(runtime.storage, &dir)?
-            .ok_or(CpdgError::NoCheckpoint { dir })?;
+        let (ckpt, path) =
+            CheckpointManager::load_latest_with(storage, &dir, &runtime.chaos, &runtime.retry)?
+                .ok_or(CpdgError::NoCheckpoint { dir })?;
 
         let copied = store.load_matching(&ckpt.params);
         if copied != store.len() {
@@ -295,6 +335,7 @@ pub fn pretrain_resumable(
                 }
             }
             let _step_timer = cpdg_obs::span("pretrain.step_us");
+            consult(FaultPoint::SamplerBatch)?;
             let mut rng = batch_rng(cfg.seed, step);
 
             let mut tape = Tape::new();
@@ -359,6 +400,7 @@ pub fn pretrain_resumable(
 
             match guard.inspect(step, loss_val, pre_norm) {
                 Ok(StepVerdict::Proceed) => {
+                    consult(FaultPoint::MemoryUpdate)?;
                     let base_lr = opt.lr;
                     opt.lr = base_lr * guard.lr_scale();
                     opt.step(store, &pg);

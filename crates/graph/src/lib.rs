@@ -33,7 +33,7 @@ pub use ctdg::{DynamicGraph, NeighborEntry};
 pub use index::{NeighborhoodView, TemporalAdjacencyIndex};
 pub use event::{FieldId, Interaction, LabelEvent, NodeId, Timestamp};
 pub use dtdg::{to_snapshots, Snapshot};
-pub use split::TransferSplit;
+pub use split::{SplitError, TransferSplit};
 pub use stats::GraphStats;
 pub use walk::{temporal_walk, temporal_walks, TemporalWalk};
 pub use synthetic::{generate, SyntheticConfig, SyntheticDataset};

@@ -11,6 +11,20 @@
 //! [`load_jodie_csv`]; the repository's experiments use synthetic
 //! stand-ins (see `crate::synthetic`) written through [`write_jodie_csv`],
 //! which round-trips through this loader byte-identically in tests.
+//!
+//! ## Hardened ingestion
+//!
+//! [`load_jodie_csv_with`] adds production-grade controls on top of the
+//! strict parser:
+//!
+//! * [`LoadMode::Lenient`] quarantines malformed rows (bad fields,
+//!   invalid UTF-8, stray headers) into a bounded [`QuarantineReport`]
+//!   — line numbers plus reasons — instead of aborting the load.
+//! * Resource guards ([`LoadOptions::max_events`] /
+//!   [`LoadOptions::max_nodes`]) reject oversized inputs with a typed
+//!   [`LoadError::ResourceLimit`] before they can exhaust memory.
+//! * Line endings are handled byte-level: CRLF rows and trailing blank
+//!   lines parse identically to their LF equivalents.
 
 use crate::builder::DynamicGraphBuilder;
 use crate::ctdg::DynamicGraph;
@@ -27,6 +41,15 @@ pub enum LoadError {
     Parse(usize, String),
     /// The file contained a header but no data rows.
     Empty,
+    /// The input exceeded a configured resource guard.
+    ResourceLimit {
+        /// Which guard tripped (`"events"` or `"nodes"`).
+        what: &'static str,
+        /// The configured ceiling.
+        limit: usize,
+        /// How many were seen when the guard tripped (a lower bound).
+        seen: usize,
+    },
 }
 
 impl fmt::Display for LoadError {
@@ -35,6 +58,9 @@ impl fmt::Display for LoadError {
             LoadError::Io(e) => write!(f, "io error: {e}"),
             LoadError::Parse(line, what) => write!(f, "line {line}: {what}"),
             LoadError::Empty => write!(f, "no data rows"),
+            LoadError::ResourceLimit { what, limit, seen } => {
+                write!(f, "too many {what}: limit {limit}, saw at least {seen}")
+            }
         }
     }
 }
@@ -47,6 +73,95 @@ impl From<std::io::Error> for LoadError {
     }
 }
 
+/// How to treat malformed rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Abort on the first malformed row with [`LoadError::Parse`].
+    #[default]
+    Strict,
+    /// Skip malformed rows, recording each in the [`QuarantineReport`].
+    Lenient,
+}
+
+/// Default cap on retained quarantine entries (the total count keeps
+/// advancing past it; only the per-row detail is bounded).
+pub const DEFAULT_MAX_QUARANTINE: usize = 100;
+
+/// Knobs for [`load_jodie_csv_with`].
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Strict (fail fast) or lenient (quarantine) handling of bad rows.
+    pub mode: LoadMode,
+    /// Reject inputs with more than this many parsed events.
+    pub max_events: Option<usize>,
+    /// Reject inputs whose combined user+item id space exceeds this.
+    pub max_nodes: Option<usize>,
+    /// Retain at most this many quarantined-row details.
+    pub max_quarantine: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            mode: LoadMode::Strict,
+            max_events: None,
+            max_nodes: None,
+            max_quarantine: DEFAULT_MAX_QUARANTINE,
+        }
+    }
+}
+
+impl LoadOptions {
+    /// Strict options: abort on the first malformed row, no limits.
+    pub fn strict() -> Self {
+        Self::default()
+    }
+
+    /// Lenient options: quarantine malformed rows, no limits.
+    pub fn lenient() -> Self {
+        Self { mode: LoadMode::Lenient, ..Self::default() }
+    }
+}
+
+/// One malformed row set aside by lenient loading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// 1-based physical line number in the input.
+    pub line: usize,
+    /// Why the row was rejected.
+    pub reason: String,
+}
+
+/// Summary of every row lenient loading refused, bounded by
+/// [`LoadOptions::max_quarantine`]: `total` counts all rejections,
+/// `rows` holds details for the first `max_quarantine` of them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Total malformed rows encountered.
+    pub total: usize,
+    /// Per-row detail for the earliest rejections (capped).
+    pub rows: Vec<QuarantinedRow>,
+}
+
+impl QuarantineReport {
+    /// Whether nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Whether per-row detail was dropped because the cap was hit.
+    pub fn truncated(&self) -> bool {
+        self.total > self.rows.len()
+    }
+
+    fn push(&mut self, line: usize, reason: String, cap: usize) {
+        self.total += 1;
+        if self.rows.len() < cap {
+            self.rows.push(QuarantinedRow { line, reason });
+        }
+    }
+}
+
 /// Result of loading: the graph plus the id-space layout.
 #[derive(Debug)]
 pub struct LoadedGraph {
@@ -56,52 +171,137 @@ pub struct LoadedGraph {
     pub num_users: usize,
     /// Number of distinct items (ids `num_users..num_users+num_items`).
     pub num_items: usize,
+    /// Rows refused by lenient loading (always empty under strict mode,
+    /// which aborts instead).
+    pub quarantine: QuarantineReport,
 }
 
-/// Parses a JODIE-format CSV from any reader.
+/// Parses one data row; the error is a human-readable reason.
+fn parse_row(line: &str) -> Result<(u64, u64, f64, bool), String> {
+    let mut parts = line.split(',');
+    let mut next = |what: &str| parts.next().ok_or_else(|| format!("missing {what}"));
+    let user: u64 =
+        next("user_id")?.trim().parse().map_err(|e| format!("bad user_id: {e}"))?;
+    let item: u64 =
+        next("item_id")?.trim().parse().map_err(|e| format!("bad item_id: {e}"))?;
+    let t: f64 =
+        next("timestamp")?.trim().parse().map_err(|e| format!("bad timestamp: {e}"))?;
+    // `"nan"`/`"inf"` parse as valid f64s but poison every downstream
+    // Δt computation (and NaN breaks chronological ordering entirely).
+    if !t.is_finite() {
+        return Err(format!("non-finite timestamp {t}"));
+    }
+    let label_raw = next("state_label")?.trim();
+    let label = match label_raw {
+        "0" | "0.0" => false,
+        "1" | "1.0" => true,
+        other => return Err(format!("bad state_label {other:?}")),
+    };
+    Ok((user, item, t, label))
+}
+
+/// Parses a JODIE-format CSV from any reader, strictly: the first
+/// malformed row aborts the load. Equivalent to
+/// [`load_jodie_csv_with`]`(reader, &LoadOptions::strict())`.
 pub fn load_jodie_csv(reader: impl Read) -> Result<LoadedGraph, LoadError> {
-    let reader = BufReader::new(reader);
+    load_jodie_csv_with(reader, &LoadOptions::strict())
+}
+
+/// Parses a JODIE-format CSV with explicit [`LoadOptions`]: strict or
+/// lenient malformed-row handling, plus `max_events` / `max_nodes`
+/// resource guards.
+///
+/// The input is consumed line by line at the byte level, so CRLF endings,
+/// trailing blank lines, and (in lenient mode) invalid UTF-8 are all
+/// handled without buffering the whole file.
+pub fn load_jodie_csv_with(
+    reader: impl Read,
+    opts: &LoadOptions,
+) -> Result<LoadedGraph, LoadError> {
+    let mut reader = BufReader::new(reader);
     let mut rows: Vec<(u64, u64, f64, bool)> = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        if lineno == 0 || line.trim().is_empty() {
-            continue; // header / trailing blank
+    let mut quarantine = QuarantineReport::default();
+    let mut raw: Vec<u8> = Vec::new();
+    let mut lineno = 0usize;
+    let mut max_user: u64 = 0;
+    let mut max_item: u64 = 0;
+    loop {
+        raw.clear();
+        if reader.read_until(b'\n', &mut raw)? == 0 {
+            break;
         }
-        let mut parts = line.split(',');
-        let mut next = |what: &str| {
-            parts
-                .next()
-                .ok_or_else(|| LoadError::Parse(lineno + 1, format!("missing {what}")))
-        };
-        let user: u64 = next("user_id")?
-            .trim()
-            .parse()
-            .map_err(|e| LoadError::Parse(lineno + 1, format!("bad user_id: {e}")))?;
-        let item: u64 = next("item_id")?
-            .trim()
-            .parse()
-            .map_err(|e| LoadError::Parse(lineno + 1, format!("bad item_id: {e}")))?;
-        let t: f64 = next("timestamp")?
-            .trim()
-            .parse()
-            .map_err(|e| LoadError::Parse(lineno + 1, format!("bad timestamp: {e}")))?;
-        // `"nan"`/`"inf"` parse as valid f64s but poison every downstream
-        // Δt computation (and NaN breaks chronological ordering entirely).
-        if !t.is_finite() {
-            return Err(LoadError::Parse(lineno + 1, format!("non-finite timestamp {t}")));
+        lineno += 1;
+        // Strip the terminator byte-wise so CRLF files parse like LF ones.
+        let mut bytes: &[u8] = &raw;
+        bytes = bytes.strip_suffix(b"\n").unwrap_or(bytes);
+        bytes = bytes.strip_suffix(b"\r").unwrap_or(bytes);
+        if lineno == 1 {
+            continue; // header
         }
-        let label_raw = next("state_label")?.trim();
-        let label = match label_raw {
-            "0" | "0.0" => false,
-            "1" | "1.0" => true,
-            other => {
-                return Err(LoadError::Parse(lineno + 1, format!("bad state_label {other:?}")))
+        let line = match std::str::from_utf8(bytes) {
+            Ok(s) => s,
+            Err(_) => {
+                match opts.mode {
+                    LoadMode::Strict => {
+                        return Err(LoadError::Parse(lineno, "invalid UTF-8".into()))
+                    }
+                    LoadMode::Lenient => {
+                        quarantine.push(lineno, "invalid UTF-8".into(), opts.max_quarantine)
+                    }
+                }
+                continue;
             }
         };
+        if line.trim().is_empty() {
+            continue; // blank / trailing newline
+        }
+        let (user, item, t, label) = match parse_row(line) {
+            Ok(row) => row,
+            Err(reason) => {
+                match opts.mode {
+                    LoadMode::Strict => return Err(LoadError::Parse(lineno, reason)),
+                    LoadMode::Lenient => {
+                        quarantine.push(lineno, reason, opts.max_quarantine)
+                    }
+                }
+                continue;
+            }
+        };
+        if let Some(limit) = opts.max_events {
+            if rows.len() >= limit {
+                return Err(LoadError::ResourceLimit {
+                    what: "events",
+                    limit,
+                    seen: rows.len() + 1,
+                });
+            }
+        }
+        max_user = max_user.max(user);
+        max_item = max_item.max(item);
+        if let Some(limit) = opts.max_nodes {
+            let nodes = max_user.saturating_add(1).saturating_add(max_item.saturating_add(1));
+            if nodes > limit as u64 {
+                return Err(LoadError::ResourceLimit {
+                    what: "nodes",
+                    limit,
+                    seen: nodes as usize,
+                });
+            }
+        }
         rows.push((user, item, t, label));
     }
     if rows.is_empty() {
         return Err(LoadError::Empty);
+    }
+    if !quarantine.is_empty() {
+        cpdg_obs::counter!("loader.quarantined").add(quarantine.total as u64);
+        cpdg_obs::warn!(
+            "graph.loader",
+            "quarantined malformed rows";
+            quarantined = quarantine.total,
+            detailed = quarantine.rows.len(),
+            kept = rows.len(),
+        );
     }
 
     let num_users = rows.iter().map(|r| r.0 + 1).max().unwrap_or(0) as usize;
@@ -116,7 +316,7 @@ pub fn load_jodie_csv(reader: impl Read) -> Result<LoadedGraph, LoadError> {
         b.add_label(user, t, label);
     }
     let graph = b.build().map_err(|e| LoadError::Parse(0, e.to_string()))?;
-    Ok(LoadedGraph { graph, num_users, num_items })
+    Ok(LoadedGraph { graph, num_users, num_items, quarantine })
 }
 
 /// Writes a graph in JODIE CSV format. `num_users` tells the writer where
@@ -168,6 +368,7 @@ user_id,item_id,timestamp,state_label,comma_separated_list_of_features
         assert_eq!(loaded.num_users, 2);
         assert_eq!(loaded.num_items, 2);
         assert_eq!(loaded.graph.num_events(), 3);
+        assert!(loaded.quarantine.is_empty());
         // Item 0 becomes node 2 (offset by num_users).
         assert_eq!(loaded.graph.events()[0].dst, 2);
         // Every row carries a state label; exactly one is positive
@@ -209,6 +410,87 @@ user_id,item_id,timestamp,state_label,comma_separated_list_of_features
     fn tolerates_blank_trailing_lines() {
         let with_blank = format!("{SAMPLE}\n\n");
         assert_eq!(load_jodie_csv(with_blank.as_bytes()).unwrap().graph.num_events(), 3);
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_like_lf() {
+        let crlf = SAMPLE.replace('\n', "\r\n");
+        let loaded = load_jodie_csv(crlf.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_events(), 3);
+        assert_eq!(loaded.num_users, 2);
+        assert!(loaded.quarantine.is_empty());
+        // A final blank CRLF line must not produce a spurious parse error.
+        let trailing = format!("{crlf}\r\n\r\n");
+        assert_eq!(load_jodie_csv(trailing.as_bytes()).unwrap().graph.num_events(), 3);
+    }
+
+    #[test]
+    fn lenient_mode_quarantines_bad_rows() {
+        let csv = "h\n0,0,0.0,0\nwhat,is,this,row\n1,0,2.0,1\n0,1,nan,0\n";
+        let loaded = load_jodie_csv_with(csv.as_bytes(), &LoadOptions::lenient()).unwrap();
+        assert_eq!(loaded.graph.num_events(), 2);
+        assert_eq!(loaded.quarantine.total, 2);
+        assert!(!loaded.quarantine.truncated());
+        assert_eq!(loaded.quarantine.rows[0].line, 3);
+        assert!(loaded.quarantine.rows[0].reason.contains("bad user_id"));
+        assert_eq!(loaded.quarantine.rows[1].line, 5);
+        assert!(loaded.quarantine.rows[1].reason.contains("non-finite"));
+    }
+
+    #[test]
+    fn lenient_mode_quarantines_invalid_utf8() {
+        let mut bytes = b"h\n0,0,0.0,0\n".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, b',', 0x80, b'\n']);
+        bytes.extend_from_slice(b"1,0,2.0,0\n");
+        let err = load_jodie_csv(&bytes[..]).unwrap_err();
+        assert!(matches!(err, LoadError::Parse(3, _)), "{err}");
+        let loaded = load_jodie_csv_with(&bytes[..], &LoadOptions::lenient()).unwrap();
+        assert_eq!(loaded.graph.num_events(), 2);
+        assert_eq!(loaded.quarantine.total, 1);
+        assert_eq!(loaded.quarantine.rows[0].reason, "invalid UTF-8");
+    }
+
+    #[test]
+    fn quarantine_detail_is_capped_but_total_counts_all() {
+        let mut csv = String::from("h\n0,0,0.0,0\n");
+        for _ in 0..10 {
+            csv.push_str("junk,junk,junk,junk\n");
+        }
+        let opts = LoadOptions { max_quarantine: 3, ..LoadOptions::lenient() };
+        let loaded = load_jodie_csv_with(csv.as_bytes(), &opts).unwrap();
+        assert_eq!(loaded.quarantine.total, 10);
+        assert_eq!(loaded.quarantine.rows.len(), 3);
+        assert!(loaded.quarantine.truncated());
+    }
+
+    #[test]
+    fn max_events_guard_trips_with_typed_error() {
+        let opts = LoadOptions { max_events: Some(2), ..LoadOptions::strict() };
+        let err = load_jodie_csv_with(SAMPLE.as_bytes(), &opts).unwrap_err();
+        match err {
+            LoadError::ResourceLimit { what, limit, seen } => {
+                assert_eq!(what, "events");
+                assert_eq!(limit, 2);
+                assert_eq!(seen, 3);
+            }
+            other => panic!("expected ResourceLimit, got {other}"),
+        }
+        // At the limit exactly, loading succeeds.
+        let opts = LoadOptions { max_events: Some(3), ..LoadOptions::strict() };
+        assert_eq!(load_jodie_csv_with(SAMPLE.as_bytes(), &opts).unwrap().graph.num_events(), 3);
+    }
+
+    #[test]
+    fn max_nodes_guard_trips_with_typed_error() {
+        // SAMPLE spans 2 users + 2 items = 4 nodes.
+        let opts = LoadOptions { max_nodes: Some(3), ..LoadOptions::strict() };
+        let err = load_jodie_csv_with(SAMPLE.as_bytes(), &opts).unwrap_err();
+        assert!(
+            matches!(err, LoadError::ResourceLimit { what: "nodes", limit: 3, .. }),
+            "{err}"
+        );
+        let opts = LoadOptions { max_nodes: Some(4), ..LoadOptions::strict() };
+        assert!(load_jodie_csv_with(SAMPLE.as_bytes(), &opts).is_ok());
     }
 
     #[test]

@@ -19,6 +19,34 @@ use crate::ctdg::DynamicGraph;
 use crate::event::{FieldId, Interaction, Timestamp};
 use crate::builder::GraphError;
 
+/// Invalid fraction sets passed to [`chrono_boundaries`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitError {
+    /// The fraction slice was empty.
+    Empty,
+    /// A fraction was negative, NaN, or infinite.
+    BadFraction(f64),
+    /// The fractions sum past 1 (beyond float tolerance), which would
+    /// produce overlapping partitions.
+    SumExceedsOne(f64),
+}
+
+impl std::fmt::Display for SplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitError::Empty => write!(f, "need at least one split fraction"),
+            SplitError::BadFraction(v) => {
+                write!(f, "split fraction {v} is not a finite non-negative number")
+            }
+            SplitError::SumExceedsOne(s) => {
+                write!(f, "split fractions sum to {s}, which exceeds 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
 /// A pre-train / downstream pair.
 #[derive(Debug, Clone)]
 pub struct TransferSplit {
@@ -98,11 +126,32 @@ pub fn time_field_transfer(
     })
 }
 
+/// Tolerance for fraction sums: `[0.7, 0.15, 1.0 - 0.7 - 0.15]` can sum a
+/// few ULPs past 1.0 in f64 and must still be accepted.
+const FRAC_SUM_TOLERANCE: f64 = 1e-9;
+
 /// Chronological boundaries for an in-graph split: given fractions summing
 /// to ≤ 1 (e.g. `[0.7, 0.15, 0.15]` for train/val/test), returns the event
 /// indices where each part ends. The last boundary is always `num_events`.
-pub fn chrono_boundaries(graph: &DynamicGraph, fracs: &[f64]) -> Vec<usize> {
-    assert!(!fracs.is_empty(), "chrono_boundaries: need at least one fraction");
+///
+/// # Errors
+/// [`SplitError`] when `fracs` is empty, contains a negative or non-finite
+/// value, or sums past 1 — any of which would silently produce empty or
+/// overlapping partitions.
+pub fn chrono_boundaries(graph: &DynamicGraph, fracs: &[f64]) -> Result<Vec<usize>, SplitError> {
+    if fracs.is_empty() {
+        return Err(SplitError::Empty);
+    }
+    let mut sum = 0.0;
+    for &f in fracs {
+        if !f.is_finite() || f < 0.0 {
+            return Err(SplitError::BadFraction(f));
+        }
+        sum += f;
+    }
+    if sum > 1.0 + FRAC_SUM_TOLERANCE {
+        return Err(SplitError::SumExceedsOne(sum));
+    }
     let n = graph.num_events();
     let mut acc = 0.0;
     let mut out: Vec<usize> = fracs
@@ -113,7 +162,7 @@ pub fn chrono_boundaries(graph: &DynamicGraph, fracs: &[f64]) -> Vec<usize> {
         })
         .collect();
     *out.last_mut().expect("non-empty") = n;
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -192,10 +241,46 @@ mod tests {
     #[test]
     fn chrono_boundaries_cover_all_events() {
         let g = fielded_graph();
-        let b = chrono_boundaries(&g, &[0.6, 0.2, 0.1, 0.1]);
+        let b = chrono_boundaries(&g, &[0.6, 0.2, 0.1, 0.1]).unwrap();
         assert_eq!(b.len(), 4);
         assert_eq!(*b.last().unwrap(), 6);
         assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn chrono_boundaries_rejects_bad_fraction_sets() {
+        let g = fielded_graph();
+        assert_eq!(chrono_boundaries(&g, &[]).unwrap_err(), SplitError::Empty);
+        assert!(matches!(
+            chrono_boundaries(&g, &[0.5, f64::NAN]),
+            Err(SplitError::BadFraction(_))
+        ));
+        assert!(matches!(
+            chrono_boundaries(&g, &[0.5, f64::INFINITY]),
+            Err(SplitError::BadFraction(_))
+        ));
+        assert!(matches!(
+            chrono_boundaries(&g, &[0.9, -0.1]),
+            Err(SplitError::BadFraction(v)) if v < 0.0
+        ));
+        match chrono_boundaries(&g, &[0.7, 0.3, 0.3]) {
+            Err(SplitError::SumExceedsOne(s)) => assert!((s - 1.3).abs() < 1e-12),
+            other => panic!("expected SumExceedsOne, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chrono_boundaries_tolerates_float_dust_at_one() {
+        let g = fielded_graph();
+        // 1.0 - 0.7 - 0.15 lands a few ULPs above 0.15; the trio must
+        // still count as summing to 1.
+        let fracs = [0.7, 0.15, 1.0 - 0.7 - 0.15];
+        let b = chrono_boundaries(&g, &fracs).unwrap();
+        assert_eq!(*b.last().unwrap(), 6);
+        // Sums under 1 are fine (the remainder is simply unassigned).
+        assert!(chrono_boundaries(&g, &[0.5, 0.2]).is_ok());
+        // A single full fraction is the identity split.
+        assert_eq!(chrono_boundaries(&g, &[1.0]).unwrap(), vec![6]);
     }
 
     #[test]

@@ -85,7 +85,7 @@ proptest! {
         f2 in 0.1f64..0.4,
     ) {
         let g = graph_from_triples(N as usize, &triples).unwrap();
-        let b = chrono_boundaries(&g, &[f1, f2, 1.0 - f1 - f2]);
+        let b = chrono_boundaries(&g, &[f1, f2, 1.0 - f1 - f2]).unwrap();
         prop_assert!(b.windows(2).all(|w| w[0] <= w[1]));
         prop_assert_eq!(*b.last().unwrap(), g.num_events());
     }

@@ -1,0 +1,146 @@
+//! Property fuzzing for the JODIE CSV loader: lenient mode must never
+//! panic (arbitrary bytes, truncation, field deletion, duplicated
+//! headers), quarantine counts must match the corruptions injected, and
+//! strict mode must point at the exact offending line.
+
+use cpdg_graph::loader::{
+    load_jodie_csv, load_jodie_csv_with, LoadError, LoadMode, LoadOptions,
+};
+use proptest::prelude::*;
+
+const HEADER: &str = "user_id,item_id,timestamp,state_label,f\n";
+/// A line no JODIE row can parse as (the leading field is not a u64).
+const JUNK: &str = "%%junk%%,%%junk%%";
+
+/// `n` well-formed data rows under the standard header. The feature column
+/// is deliberately non-numeric so deleting *any* of the four parsed fields
+/// shifts an unparseable token into a parsed slot.
+fn valid_csv(n: usize) -> String {
+    let mut s = String::from(HEADER);
+    for i in 0..n {
+        s.push_str(&format!("{},{},{i}.0,{},x\n", i % 7, i % 5, u8::from(i % 9 == 0)));
+    }
+    s
+}
+
+/// Lenient options with resource guards, so adversarial inputs that happen
+/// to parse huge ids trip a typed error instead of allocating.
+fn guarded_lenient() -> LoadOptions {
+    LoadOptions {
+        mode: LoadMode::Lenient,
+        max_events: Some(4096),
+        max_nodes: Some(4096),
+        ..LoadOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lenient_mode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        match load_jodie_csv_with(&bytes[..], &guarded_lenient()) {
+            Ok(loaded) => prop_assert!(loaded.graph.num_events() <= 4096),
+            Err(LoadError::Empty | LoadError::ResourceLimit { .. }) => {}
+            Err(other) => prop_assert!(false, "lenient mode surfaced {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_never_panics_on_truncated_files(
+        n in 1usize..40,
+        cut in 0usize..2048,
+    ) {
+        let full = valid_csv(n);
+        let cut = cut.min(full.len());
+        // A cut mid-row leaves at most one damaged line at the tail.
+        match load_jodie_csv_with(&full.as_bytes()[..cut], &guarded_lenient()) {
+            Ok(loaded) => {
+                prop_assert!(loaded.graph.num_events() <= n);
+                prop_assert!(loaded.quarantine.total <= 1, "{:?}", loaded.quarantine);
+            }
+            Err(LoadError::Empty) => {}
+            Err(other) => prop_assert!(false, "truncation surfaced {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_junk_lines_are_counted_exactly_and_strict_names_the_first(
+        n in 1usize..30,
+        positions in proptest::collection::vec(0usize..64, 1..6),
+    ) {
+        let clean = valid_csv(n);
+        let mut lines: Vec<String> = clean.lines().skip(1).map(String::from).collect();
+        for &p in &positions {
+            let idx = p % (lines.len() + 1);
+            lines.insert(idx, JUNK.to_string());
+        }
+        let injected = positions.len();
+        let dirty = format!("{HEADER}{}\n", lines.join("\n"));
+
+        // Lenient: every junk line quarantined, nothing else touched — the
+        // surviving event stream is the clean one.
+        let loaded = load_jodie_csv_with(dirty.as_bytes(), &LoadOptions::lenient()).unwrap();
+        prop_assert_eq!(loaded.quarantine.total, injected);
+        prop_assert_eq!(loaded.graph.num_events(), n);
+        let reference = load_jodie_csv(clean.as_bytes()).unwrap();
+        for (a, b) in loaded.graph.events().iter().zip(reference.graph.events()) {
+            prop_assert_eq!((a.src, a.dst, a.t), (b.src, b.dst, b.t));
+        }
+
+        // Strict: the error points at the first junk line's physical
+        // 1-based line number (header is line 1).
+        let first = lines.iter().position(|l| l.as_str() == JUNK).unwrap() + 2;
+        match load_jodie_csv(dirty.as_bytes()) {
+            Err(LoadError::Parse(line, _)) => prop_assert_eq!(line, first),
+            other => prop_assert!(false, "expected Parse at line {first}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deleting_any_parsed_field_is_caught_on_the_right_line(
+        n in 2usize..30,
+        victim in 0usize..64,
+        field in 0usize..4,
+    ) {
+        let victim = victim % n;
+        let clean = valid_csv(n);
+        let mut lines: Vec<String> = clean.lines().skip(1).map(String::from).collect();
+        let mut parts: Vec<&str> = lines[victim].split(',').collect();
+        parts.remove(field);
+        lines[victim] = parts.join(",");
+        let dirty = format!("{HEADER}{}\n", lines.join("\n"));
+        let lineno = victim + 2;
+
+        match load_jodie_csv(dirty.as_bytes()) {
+            Err(LoadError::Parse(line, _)) => prop_assert_eq!(line, lineno),
+            other => prop_assert!(false, "expected Parse at line {lineno}, got {other:?}"),
+        }
+        let loaded = load_jodie_csv_with(dirty.as_bytes(), &LoadOptions::lenient()).unwrap();
+        prop_assert_eq!(loaded.quarantine.total, 1);
+        prop_assert_eq!(loaded.quarantine.rows[0].line, lineno);
+        prop_assert_eq!(loaded.graph.num_events(), n - 1);
+    }
+
+    #[test]
+    fn duplicated_header_rows_are_quarantined(n in 1usize..20, pos in 0usize..32) {
+        let clean = valid_csv(n);
+        let mut lines: Vec<String> = clean.lines().skip(1).map(String::from).collect();
+        let idx = pos % (lines.len() + 1);
+        lines.insert(idx, HEADER.trim_end().to_string());
+        let dirty = format!("{HEADER}{}\n", lines.join("\n"));
+
+        match load_jodie_csv(dirty.as_bytes()) {
+            Err(LoadError::Parse(line, reason)) => {
+                prop_assert_eq!(line, idx + 2);
+                prop_assert!(reason.contains("user_id"), "{reason}");
+            }
+            other => prop_assert!(false, "expected Parse error, got {other:?}"),
+        }
+        let loaded = load_jodie_csv_with(dirty.as_bytes(), &LoadOptions::lenient()).unwrap();
+        prop_assert_eq!(loaded.quarantine.total, 1);
+        prop_assert_eq!(loaded.graph.num_events(), n);
+    }
+}

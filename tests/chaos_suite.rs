@@ -1,0 +1,277 @@
+//! Chaos-harness integration suite: the recovery-correctness oracle.
+//!
+//! Each test runs the pipeline under a deterministic [`FaultPlan`] and
+//! asserts the outcome is **bit-identical** to the fault-free run — faults
+//! that are retried, resumed past, or quarantined must leave no trace in
+//! the final parameters or metrics. Three distinct plans are covered:
+//!
+//! 1. transient storage / sampler / memory faults cleared by retry;
+//! 2. a permanent `ckpt.save` fault that crashes pre-training mid-run,
+//!    followed by a plan-free resume;
+//! 3. malformed rows spliced into ingestion (`loader.row`) and quarantined
+//!    by the lenient loader.
+
+use cpdg::core::chaos::{
+    load_jodie_chaos, FaultHook, FaultKind, FaultPlan, FaultPoint, RetryPolicy, Trigger,
+};
+use cpdg::core::checkpoint::CheckpointConfig;
+use cpdg::core::error::CpdgError;
+use cpdg::core::pretrain::{pretrain_resumable, PretrainConfig, PretrainRuntime};
+use cpdg::core::storage::FS_STORAGE;
+use cpdg::dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor};
+use cpdg::graph::loader::{write_jodie_csv, LoadOptions};
+use cpdg::graph::{generate, SyntheticConfig, SyntheticDataset};
+use cpdg::tensor::optim::Adam;
+use cpdg::tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn tiny_dataset(seed: u64) -> SyntheticDataset {
+    generate(&SyntheticConfig { n_events: 600, ..SyntheticConfig::amazon_like(seed) }.scaled(0.12))
+}
+
+/// Deterministic model builder: same inputs, same initialisation — the
+/// contract both resume and the bit-identity oracle rely on.
+fn build(num_nodes: usize, seed: u64) -> (ParamStore, DgnnEncoder, LinkPredictor) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = DgnnConfig::preset(EncoderKind::Tgn, 16, 10_000.0);
+    let enc = DgnnEncoder::new(&mut store, &mut rng, "enc", num_nodes, cfg);
+    let head = LinkPredictor::new(&mut store, &mut rng, "head", 16);
+    (store, enc, head)
+}
+
+fn pcfg() -> PretrainConfig {
+    PretrainConfig { epochs: 1, batch_size: 50, n_checkpoints: 4, ..Default::default() }
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpdg_chaos_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The fault-free reference: one uninterrupted run, no persistence.
+fn reference_run(ds: &SyntheticDataset, seed: u64) -> (ParamStore, Vec<u32>) {
+    let (mut store, mut enc, head) = build(ds.graph.num_nodes(), seed);
+    let mut opt = Adam::new(1e-2);
+    let out = pretrain_resumable(
+        &mut enc,
+        &head,
+        &mut store,
+        &mut opt,
+        &ds.graph,
+        &pcfg(),
+        &PretrainRuntime::default(),
+    )
+    .expect("reference run");
+    let loss_bits = out.epoch_losses.iter().map(|e| e.total.to_bits()).collect();
+    (store, loss_bits)
+}
+
+#[test]
+fn transient_faults_are_retried_to_a_bit_identical_run() {
+    let ds = tiny_dataset(10);
+    let (ref_store, ref_losses) = reference_run(&ds, 10);
+
+    // Plan 1: transient faults at three different layers. Every trigger is
+    // self-clearing under retry: the hit counter advances on each retry, so
+    // an `nth`/`every` rule stops matching on the next consultation.
+    let plan = FaultPlan::new(42)
+        .with(FaultPoint::StorageWrite, FaultKind::Transient, Trigger::Every { k: 3 })
+        .with(FaultPoint::SamplerBatch, FaultKind::Transient, Trigger::Nth { n: 2 })
+        .with(FaultPoint::MemoryUpdate, FaultKind::Transient, Trigger::Nth { n: 3 });
+    let hook = FaultHook::install(&plan);
+
+    let dir = test_dir("transient");
+    let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 10);
+    let mut opt = Adam::new(1e-2);
+    let out = pretrain_resumable(
+        &mut enc,
+        &head,
+        &mut store,
+        &mut opt,
+        &ds.graph,
+        &pcfg(),
+        &PretrainRuntime {
+            checkpoint: Some(CheckpointConfig { dir: dir.clone(), every_n_steps: 3, keep: 3 }),
+            chaos: hook.clone(),
+            ..PretrainRuntime::default()
+        },
+    )
+    .expect("transient faults must be absorbed by retry");
+
+    // The plan actually fired — this test is not vacuous.
+    assert!(hook.injected() >= 3, "expected several injections, got {}", hook.injected());
+    assert!(hook.injected_at(FaultPoint::StorageWrite) > 0);
+    assert!(hook.injected_at(FaultPoint::SamplerBatch) > 0);
+    assert!(hook.injected_at(FaultPoint::MemoryUpdate) > 0);
+
+    // …and left no trace: parameters and losses match the fault-free run
+    // bit for bit.
+    let losses: Vec<u32> = out.epoch_losses.iter().map(|e| e.total.to_bits()).collect();
+    assert_eq!(losses, ref_losses, "epoch losses diverged under transient chaos");
+    assert_eq!(
+        store.to_json(),
+        ref_store.to_json(),
+        "parameters diverged under transient chaos"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn permanent_ckpt_save_fault_crashes_then_resumes_bit_identically() {
+    let ds = tiny_dataset(11);
+    let (ref_store, ref_losses) = reference_run(&ds, 11);
+
+    // Plan 2: the second checkpoint publish dies permanently — retry must
+    // give up immediately (permanent faults are not transient) and the run
+    // must surface a typed I/O error mid-stream.
+    let plan = FaultPlan::new(7)
+        .with(FaultPoint::CkptSave, FaultKind::Permanent, Trigger::Nth { n: 2 });
+    let hook = FaultHook::install(&plan);
+
+    let dir = test_dir("ckpt_crash");
+    let ckpt = CheckpointConfig { dir: dir.clone(), every_n_steps: 3, keep: 3 };
+    let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 11);
+    let mut opt = Adam::new(1e-2);
+    let err = pretrain_resumable(
+        &mut enc,
+        &head,
+        &mut store,
+        &mut opt,
+        &ds.graph,
+        &pcfg(),
+        &PretrainRuntime {
+            checkpoint: Some(ckpt.clone()),
+            chaos: hook.clone(),
+            ..PretrainRuntime::default()
+        },
+    )
+    .expect_err("permanent ckpt.save fault must abort the run");
+    assert!(matches!(err, CpdgError::Io { .. }), "{err}");
+    assert_eq!(hook.injected_at(FaultPoint::CkptSave), 1);
+
+    // The first checkpoint survived the crash; resuming without any plan
+    // replays the remaining steps to the exact fault-free endpoint.
+    let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 11);
+    let mut opt = Adam::new(1e-2);
+    let resumed = pretrain_resumable(
+        &mut enc,
+        &head,
+        &mut store,
+        &mut opt,
+        &ds.graph,
+        &pcfg(),
+        &PretrainRuntime { checkpoint: Some(ckpt), resume: true, ..PretrainRuntime::default() },
+    )
+    .expect("resume after the injected crash");
+
+    let losses: Vec<u32> = resumed.epoch_losses.iter().map(|e| e.total.to_bits()).collect();
+    assert_eq!(losses, ref_losses, "epoch losses diverged across crash+resume");
+    assert_eq!(
+        store.to_json(),
+        ref_store.to_json(),
+        "resumed parameters must be bit-identical to the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quarantined_malformed_rows_leave_downstream_metrics_untouched() {
+    let ds = tiny_dataset(12);
+    let dir = test_dir("ingest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("data.csv");
+    write_jodie_csv(&ds.graph, ds.num_users, std::fs::File::create(&path).unwrap()).unwrap();
+
+    // Fault-free parse of the same bytes.
+    let clean = load_jodie_chaos(
+        &FS_STORAGE,
+        &path,
+        &LoadOptions::lenient(),
+        &RetryPolicy::default(),
+        &FaultHook::none(),
+    )
+    .expect("clean load");
+    assert_eq!(clean.quarantine.total, 0);
+
+    // Plan 3: splice a malformed line in front of every 40th data row. The
+    // lenient loader must set each one aside and reconstruct the exact
+    // clean graph.
+    let plan = FaultPlan::new(3)
+        .with(FaultPoint::LoaderRow, FaultKind::Permanent, Trigger::Every { k: 40 });
+    let hook = FaultHook::install(&plan);
+    let dirty = load_jodie_chaos(
+        &FS_STORAGE,
+        &path,
+        &LoadOptions::lenient(),
+        &RetryPolicy::default(),
+        &hook,
+    )
+    .expect("lenient load absorbs injected rows");
+
+    let injected = hook.injected_at(FaultPoint::LoaderRow) as usize;
+    assert!(injected > 0, "plan must have fired");
+    assert_eq!(
+        dirty.quarantine.total, injected,
+        "every injected malformed line is quarantined, nothing else"
+    );
+    assert_eq!(dirty.graph.num_events(), clean.graph.num_events());
+    assert_eq!(dirty.num_users, clean.num_users);
+    assert_eq!(dirty.num_items, clean.num_items);
+
+    // Downstream bit-identity: pre-training on the quarantine-cleaned graph
+    // equals pre-training on the clean one, parameter for parameter.
+    let run = |g: &cpdg::graph::DynamicGraph| {
+        let (mut store, mut enc, head) = build(g.num_nodes(), 12);
+        let mut opt = Adam::new(1e-2);
+        let out = pretrain_resumable(
+            &mut enc,
+            &head,
+            &mut store,
+            &mut opt,
+            g,
+            &pcfg(),
+            &PretrainRuntime::default(),
+        )
+        .expect("pretrain");
+        let bits: Vec<u32> = out.epoch_losses.iter().map(|e| e.total.to_bits()).collect();
+        (store.to_json(), bits)
+    };
+    let (clean_params, clean_bits) = run(&clean.graph);
+    let (dirty_params, dirty_bits) = run(&dirty.graph);
+    assert_eq!(dirty_bits, clean_bits, "losses diverged after quarantine");
+    assert_eq!(dirty_params, clean_params, "parameters diverged after quarantine");
+
+    // Strict mode refuses the same injected stream with a parse error.
+    let strict_hook = FaultHook::install(&plan);
+    let err = load_jodie_chaos(
+        &FS_STORAGE,
+        &path,
+        &LoadOptions::strict(),
+        &RetryPolicy::default(),
+        &strict_hook,
+    )
+    .expect_err("strict mode must reject injected rows");
+    assert!(matches!(err, CpdgError::Data(_)), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn probability_triggers_are_reproducible_across_identical_plans() {
+    // The `prob` trigger must be a pure function of (seed, point, hit):
+    // two hooks built from the same plan inject at exactly the same hits.
+    let plan = FaultPlan::new(99)
+        .with(FaultPoint::SamplerBatch, FaultKind::Transient, Trigger::Prob { p: 0.3 });
+    let trace = |plan: &FaultPlan| -> Vec<bool> {
+        let hook = FaultHook::install(plan);
+        (0..200).map(|_| hook.check(FaultPoint::SamplerBatch).is_err()).collect()
+    };
+    let a = trace(&plan);
+    let b = trace(&plan);
+    assert_eq!(a, b, "identical plans must produce identical fault schedules");
+    let fired = a.iter().filter(|&&f| f).count();
+    assert!(fired > 20 && fired < 100, "p=0.3 over 200 hits fired {fired} times");
+}
