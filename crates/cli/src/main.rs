@@ -7,6 +7,8 @@
 //! cpdg pretrain  --data data.csv --out model.json --ckpt-dir ckpts --ckpt-every 50
 //! cpdg pretrain  --data data.csv --out model.json --resume ckpts
 //! cpdg finetune  --data data.csv --model model.json --strategy eie-gru --epochs 3
+//! cpdg serve     --model model.json --port 7654 --memory-out state.json
+//! cpdg query     --addr 127.0.0.1:7654 --send "SCORE 0 42"
 //! ```
 //!
 //! Data files are JODIE-format CSVs (`user_id,item_id,timestamp,
@@ -63,6 +65,28 @@ USAGE:
   cpdg finetune --data <file.csv> --model <model.json>
                 [--strategy full|eie-mean|eie-attn|eie-gru] [--epochs N]
                 [--seed N] [--threads N]
+  cpdg serve    --model <model.json> [--port N] [--workers N] [--queue N]
+                [--deadline-ms N] [--breaker-k N] [--breaker-probe N]
+                [--memory-in <state.json>] [--memory-out <state.json>]
+                [--ingest <script>] [--chaos-plan <plan.json>] [--seed N]
+  cpdg query    (--addr <host:port> | --port N) [--send \"<request line>\"]
+
+Serving: `serve` loads a pre-trained model and answers a line protocol
+(EVENT src dst t [field] / EMB node [t] / SCORE src dst [t] /
+RELOAD path / STATS / PING) on 127.0.0.1; --port 0 (default) picks a free
+port, printed as `listening on …`. Requests beyond --queue are shed with
+`ERR overloaded`; --deadline-ms bounds each inference; after --breaker-k
+consecutive inference failures a circuit breaker serves degraded static
+embeddings until a probe (every --breaker-probe requests) succeeds.
+SIGTERM/SIGINT drains gracefully: admitted requests finish, then
+--memory-out persists the DGNN memory (CRC-sealed, crash-safe).
+--ingest <script> applies a request file in-process instead of serving
+TCP — the reference path the end-to-end smoke test compares against.
+`query` connects, sends --send (or each stdin line), and prints replies.
+
+Signals: `pretrain` also traps SIGTERM/SIGINT — it publishes a final
+checkpoint (with --ckpt-dir) and exits with code 8 so schedulers can tell
+a clean preemption from a crash; resume with --resume.
 
 Data loading (stats / pretrain / finetune):
   --strict-load     fail on the first malformed CSV row (default)
@@ -120,6 +144,8 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args),
         Some("pretrain") => cmd_pretrain(&args, run_dir.as_ref()),
         Some("finetune") => cmd_finetune(&args, run_dir.as_ref()),
+        Some("serve") => cmd_serve(&args),
+        Some("query") => cmd_query(&args),
         Some(other) => Err(CpdgError::Invalid(format!("unknown command {other:?}"))),
         None => Err(CpdgError::Invalid("no command given".to_string())),
     };
@@ -295,6 +321,9 @@ fn cmd_pretrain(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
     let resume_dir = args.get("resume");
     let ckpt_dir = args.get("ckpt-dir").or(resume_dir);
     let chaos = chaos_hook(args)?;
+    // Trap SIGTERM/SIGINT so a preempted run checkpoints before exiting
+    // (exit code 8, resumable with --resume).
+    sig::install();
     let runtime = PretrainRuntime {
         checkpoint: match ckpt_dir {
             Some(d) => Some(CheckpointConfig {
@@ -306,6 +335,7 @@ fn cmd_pretrain(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
         },
         resume: resume_dir.is_some(),
         chaos: chaos.clone(),
+        stop: Some(&sig::STOP),
         ..PretrainRuntime::default()
     };
 
@@ -454,6 +484,161 @@ fn cmd_finetune(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
         m.push("ap", Json::F64(res.ap as f64));
         finish_manifest(&mut m, started);
         run.write_manifest(&m).map_err(|e| CpdgError::io("run.json", e))?;
+    }
+    Ok(())
+}
+
+/// Flag-based signal handling: the handler only stores the signal number
+/// into an atomic (the one async-signal-safe thing worth doing), and the
+/// long-running loops poll it at safe boundaries — `pretrain` between
+/// batches (checkpoint, then exit 8), `serve` in its wait loop (graceful
+/// drain, then persist memory).
+mod sig {
+    use std::sync::atomic::AtomicI32;
+
+    /// Last signal received; 0 means none.
+    pub static STOP: AtomicI32 = AtomicI32::new(0);
+
+    #[cfg(unix)]
+    mod imp {
+        use std::sync::atomic::Ordering;
+
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+
+        extern "C" {
+            // `signal(2)`. Return value (the previous handler) is ignored.
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        }
+
+        extern "C" fn on_signal(sig: i32) {
+            // A relaxed atomic store is async-signal-safe.
+            super::STOP.store(sig, Ordering::Relaxed);
+        }
+
+        pub fn install() {
+            unsafe {
+                signal(SIGINT, on_signal);
+                signal(SIGTERM, on_signal);
+            }
+        }
+    }
+
+    #[cfg(not(unix))]
+    mod imp {
+        pub fn install() {}
+    }
+
+    /// Installs the SIGINT/SIGTERM flag hook (no-op off unix).
+    pub fn install() {
+        imp::install();
+    }
+}
+
+/// Builds the serving engine from `--model` and the shared tuning knobs.
+fn serve_engine(args: &Args) -> CpdgResult<std::sync::Arc<cpdg_serve::Engine>> {
+    let model_path = args.require("model")?;
+    let engine_cfg = cpdg_serve::EngineConfig {
+        deadline: opt_usize(args, "deadline-ms")?
+            .map(|ms| std::time::Duration::from_millis(ms as u64)),
+        breaker_threshold: args.get_num("breaker-k", 3u32)?,
+        breaker_probe_every: args.get_num("breaker-probe", 4u32)?,
+        seed: args.get_num("seed", 0u64)?,
+    };
+    let engine = cpdg_serve::Engine::from_model_file(
+        Path::new(model_path),
+        engine_cfg,
+        chaos_hook(args)?,
+    )?;
+    if let Some(mem) = args.get("memory-in") {
+        engine.restore_memory_file(&FS_STORAGE, Path::new(mem))?;
+        println!("restored memory from {mem}");
+    }
+    Ok(std::sync::Arc::new(engine))
+}
+
+fn cmd_serve(args: &Args) -> CpdgResult<()> {
+    use std::sync::atomic::Ordering;
+    apply_threads(args)?;
+    let engine = serve_engine(args)?;
+
+    if let Some(script) = args.get("ingest") {
+        // Offline mode: apply a request script in-process (no sockets) and
+        // print one reply per request. With --memory-out this is the
+        // reference run the e2e smoke test `cmp`s a drained server against.
+        let text = std::fs::read_to_string(script).map_err(|e| CpdgError::io(script, e))?;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = match cpdg_serve::parse_line(line) {
+                Ok(cmd) => engine.execute(cmd),
+                Err(detail) => cpdg_serve::Reply::Err { kind: cpdg_serve::ErrKind::Parse, detail },
+            };
+            println!("{}", reply.render());
+        }
+    } else {
+        sig::install();
+        let port: u16 = args.get_num("port", 0u16)?;
+        let server_cfg = cpdg_serve::ServerConfig {
+            addr: format!("127.0.0.1:{port}"),
+            workers: args.get_num("workers", 2usize)?,
+            queue_capacity: args.get_num("queue", 64usize)?,
+        };
+        let server = cpdg_serve::Server::start(std::sync::Arc::clone(&engine), &server_cfg)
+            .map_err(|e| CpdgError::io(server_cfg.addr.clone(), e))?;
+        println!("listening on {}", server.local_addr());
+        while sig::STOP.load(Ordering::Relaxed) == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        println!("signal {}: draining…", sig::STOP.load(Ordering::Relaxed));
+        server.shutdown();
+    }
+
+    if let Some(out) = args.get("memory-out") {
+        engine.persist_memory(&FS_STORAGE, Path::new(out))?;
+        println!("persisted memory to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> CpdgResult<()> {
+    use std::io::{BufRead, BufReader, Write};
+    let addr = match (args.get("addr"), args.get("port")) {
+        (Some(a), _) => a.to_string(),
+        (None, Some(p)) => format!("127.0.0.1:{p}"),
+        (None, None) => {
+            return Err(CpdgError::Invalid("query needs --addr or --port".to_string()))
+        }
+    };
+    let mut stream =
+        std::net::TcpStream::connect(&addr).map_err(|e| CpdgError::io(&addr, e))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| CpdgError::io(&addr, e))?;
+    let mut reader =
+        BufReader::new(stream.try_clone().map_err(|e| CpdgError::io(&addr, e))?);
+    let mut roundtrip = |line: &str| -> CpdgResult<()> {
+        writeln!(stream, "{line}").map_err(|e| CpdgError::io(&addr, e))?;
+        stream.flush().map_err(|e| CpdgError::io(&addr, e))?;
+        let mut reply = String::new();
+        reader.read_line(&mut reply).map_err(|e| CpdgError::io(&addr, e))?;
+        print!("{reply}");
+        Ok(())
+    };
+    match args.get("send") {
+        Some(line) => roundtrip(line)?,
+        None => {
+            // Streaming mode: one request per stdin line, lockstep replies.
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| CpdgError::io("stdin", e))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                roundtrip(&line)?;
+            }
+        }
     }
     Ok(())
 }

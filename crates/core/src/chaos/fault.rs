@@ -32,11 +32,23 @@ pub enum FaultPoint {
     /// One checkpoint candidate read during resume.
     #[serde(rename = "ckpt.load")]
     CkptLoad,
+    /// Admission of one request into the serving queue (a fired fault
+    /// sheds the request with a typed `Overloaded` rejection).
+    #[serde(rename = "serve.accept")]
+    ServeAccept,
+    /// One full-path inference attempt inside the serving engine (a fired
+    /// fault counts as an inference failure toward the circuit breaker).
+    #[serde(rename = "serve.infer")]
+    ServeInfer,
+    /// One hot model reload attempt (a fired fault aborts the swap and
+    /// keeps the previous model epoch live).
+    #[serde(rename = "serve.reload")]
+    ServeReload,
 }
 
 impl FaultPoint {
     /// Every fault point, in catalogue order.
-    pub const ALL: [FaultPoint; 7] = [
+    pub const ALL: [FaultPoint; 10] = [
         FaultPoint::StorageWrite,
         FaultPoint::StorageRead,
         FaultPoint::LoaderRow,
@@ -44,6 +56,9 @@ impl FaultPoint {
         FaultPoint::MemoryUpdate,
         FaultPoint::CkptSave,
         FaultPoint::CkptLoad,
+        FaultPoint::ServeAccept,
+        FaultPoint::ServeInfer,
+        FaultPoint::ServeReload,
     ];
 
     /// The dotted wire name (`storage.write`, `ckpt.save`, …) used in plan
@@ -57,6 +72,9 @@ impl FaultPoint {
             FaultPoint::MemoryUpdate => "memory.update",
             FaultPoint::CkptSave => "ckpt.save",
             FaultPoint::CkptLoad => "ckpt.load",
+            FaultPoint::ServeAccept => "serve.accept",
+            FaultPoint::ServeInfer => "serve.infer",
+            FaultPoint::ServeReload => "serve.reload",
         }
     }
 }

@@ -54,8 +54,14 @@ impl RetryPolicy {
 
     /// The deterministic delay before re-attempt number `attempt`
     /// (1-based: the delay after the first failure is `backoff_delay(1)`).
+    ///
+    /// The exponential shift is clamped to 63 so `1u64 << shift` stays
+    /// defined for any attempt count (a shift of ≥ 64 is undefined
+    /// behaviour on u64), and the multiply saturates before the
+    /// `max_delay_ms` cap is applied — `attempt = u32::MAX` is as safe as
+    /// `attempt = 2`.
     pub fn backoff_delay(&self, attempt: u32) -> Duration {
-        let shift = attempt.saturating_sub(1).min(16);
+        let shift = attempt.saturating_sub(1).min(63);
         let ms = self.base_delay_ms.saturating_mul(1u64 << shift).min(self.max_delay_ms);
         Duration::from_millis(ms)
     }
@@ -128,6 +134,33 @@ mod tests {
         assert_eq!(p.backoff_delay(3), Duration::from_millis(20));
         assert_eq!(p.backoff_delay(4), Duration::from_millis(35));
         assert_eq!(p.backoff_delay(60), Duration::from_millis(35), "huge attempts stay capped");
+    }
+
+    #[test]
+    fn backoff_shift_boundary_cannot_overflow() {
+        // Attempts at and beyond the 64-bit shift boundary: with the shift
+        // clamped to 63 and a saturating multiply, every attempt count maps
+        // to the configured ceiling instead of overflowing (attempt 64
+        // would otherwise shift by 64 — undefined on u64 — and attempt 65+
+        // would wrap to tiny delays).
+        let p = RetryPolicy { max_attempts: u32::MAX, base_delay_ms: 5, max_delay_ms: 500 };
+        for attempt in [63, 64, 65, 1_000, u32::MAX] {
+            assert_eq!(
+                p.backoff_delay(attempt),
+                Duration::from_millis(500),
+                "attempt {attempt} must hit the cap, not overflow"
+            );
+        }
+        // Even a degenerate policy with no ceiling saturates instead of
+        // wrapping: the delay is monotone non-decreasing in the attempt.
+        let unbounded =
+            RetryPolicy { max_attempts: u32::MAX, base_delay_ms: 3, max_delay_ms: u64::MAX };
+        let mut last = Duration::ZERO;
+        for attempt in [1, 2, 62, 63, 64, 65, u32::MAX] {
+            let d = unbounded.backoff_delay(attempt);
+            assert!(d >= last, "backoff regressed at attempt {attempt}: {d:?} < {last:?}");
+            last = d;
+        }
     }
 
     #[test]

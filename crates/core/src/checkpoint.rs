@@ -138,7 +138,8 @@ impl<'s> CheckpointManager<'s> {
         let _timer = cpdg_obs::span("checkpoint.save_us");
         let name = checkpoint_file_name(ckpt.step);
         let path = self.cfg.dir.join(&name);
-        let bytes = serde_json::to_vec(ckpt).map_err(|e| CpdgError::Serialize(e.to_string()))?;
+        let json = serde_json::to_vec(ckpt).map_err(|e| CpdgError::Serialize(e.to_string()))?;
+        let bytes = crate::integrity::seal(&json);
         let latest = self.cfg.dir.join(LATEST_FILE);
         // The whole publish (data file + pointer) is one retryable unit:
         // re-running it after a transient fault is idempotent, and the
@@ -252,7 +253,8 @@ impl<'s> CheckpointManager<'s> {
                 storage.read(path)
             })
             .map_err(|e| CpdgError::io(path, e))?;
-        let ckpt: TrainCheckpoint = serde_json::from_slice(&bytes)
+        let payload = crate::integrity::unseal(&bytes, path)?;
+        let ckpt: TrainCheckpoint = serde_json::from_slice(payload)
             .map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
         if ckpt.version != CHECKPOINT_VERSION {
             return Err(CpdgError::VersionMismatch {
@@ -376,6 +378,30 @@ mod tests {
         assert_eq!(warns.len(), 1, "{warns:?}");
         assert!(warns[0].message.contains("skipping unusable checkpoint"));
         assert!(warns[0].field("error").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_rotted_checkpoint_fails_crc_and_is_skipped() {
+        let dir = test_dir("bitrot");
+        let mgr = CheckpointManager::new(CheckpointConfig::new(&dir), &FS_STORAGE).unwrap();
+        mgr.save(&dummy_checkpoint(10)).unwrap();
+        mgr.save(&dummy_checkpoint(20)).unwrap();
+        // Flip one payload bit in the newest file: still valid JSON shape is
+        // possible, but the CRC footer catches it regardless.
+        let newest = dir.join(checkpoint_file_name(20));
+        let mut bytes = FS_STORAGE.read(&newest).unwrap();
+        bytes[20] ^= 0x04;
+        std::fs::write(&newest, &bytes).unwrap();
+        let direct = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        assert_eq!(direct.0.step, 10, "crc failure must fall back to older checkpoint");
+        // Legacy un-footered checkpoints still load.
+        let legacy = dir.join(checkpoint_file_name(40));
+        let json = serde_json::to_vec(&dummy_checkpoint(40)).unwrap();
+        std::fs::write(&legacy, &json).unwrap();
+        std::fs::write(dir.join(LATEST_FILE), b"ckpt-00000040.json").unwrap();
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        assert_eq!(ckpt.step, 40);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -87,6 +87,28 @@ pub enum CpdgError {
         /// Description of the injected fault.
         reason: String,
     },
+    /// An artifact's CRC32 integrity footer does not match its payload:
+    /// the bytes were silently altered after the atomic publish (bit rot,
+    /// partial overwrite by a foreign tool). Distinct from [`Corrupt`]
+    /// (unparseable contents) so operators know the file *was* valid once.
+    ///
+    /// [`Corrupt`]: CpdgError::Corrupt
+    CorruptArtifact {
+        /// The offending file.
+        path: PathBuf,
+        /// CRC32 recorded in the footer.
+        expected: u32,
+        /// CRC32 recomputed over the payload.
+        found: u32,
+    },
+    /// The process received SIGTERM/SIGINT and stopped gracefully after
+    /// persisting a checkpoint. Resume from the checkpoint directory.
+    Signalled {
+        /// Signal number that triggered the stop (15 TERM, 2 INT).
+        signal: i32,
+        /// Global steps completed when the run stopped.
+        step: usize,
+    },
 }
 
 impl CpdgError {
@@ -103,7 +125,8 @@ impl CpdgError {
     /// Process exit code for this error class, so scripts can branch on
     /// failure modes (`1` generic IO/data/injected-fault, `2` usage,
     /// `3` model/data mismatch, `4` corrupt/incompatible artifact,
-    /// `5` divergence, `6` interrupted-resumable, `7` resource limit).
+    /// `5` divergence, `6` interrupted-resumable, `7` resource limit,
+    /// `8` graceful signal stop).
     pub fn exit_code(&self) -> u8 {
         match self {
             CpdgError::Io { .. }
@@ -113,11 +136,13 @@ impl CpdgError {
             CpdgError::Invalid(_) => 2,
             CpdgError::NodeCountMismatch { .. } => 3,
             CpdgError::Corrupt { .. }
+            | CpdgError::CorruptArtifact { .. }
             | CpdgError::VersionMismatch { .. }
             | CpdgError::NoCheckpoint { .. } => 4,
             CpdgError::Diverged(_) => 5,
             CpdgError::Interrupted { .. } => 6,
             CpdgError::ResourceLimit { .. } => 7,
+            CpdgError::Signalled { .. } => 8,
         }
     }
 }
@@ -159,6 +184,17 @@ impl fmt::Display for CpdgError {
             CpdgError::Fault { point, reason } => {
                 write!(f, "unrecovered injected fault at {point}: {reason}")
             }
+            CpdgError::CorruptArtifact { path, expected, found } => write!(
+                f,
+                "integrity check failed on {}: footer crc32 {expected:#010x}, payload crc32 \
+                 {found:#010x}",
+                disp(path)
+            ),
+            CpdgError::Signalled { signal, step } => write!(
+                f,
+                "stopped by signal {signal} at step {step} after checkpointing; resume from the \
+                 checkpoint directory to continue"
+            ),
         }
     }
 }
@@ -238,6 +274,22 @@ mod tests {
         let e = CpdgError::Fault { point: "sampler.batch".into(), reason: "boom".into() };
         assert_eq!(e.exit_code(), 1);
         assert!(e.to_string().contains("sampler.batch"), "{e}");
+    }
+
+    #[test]
+    fn checksum_and_signal_errors_have_distinct_codes() {
+        let crc = CpdgError::CorruptArtifact {
+            path: "/m.json".into(),
+            expected: 0xDEAD_BEEF,
+            found: 0x1234_5678,
+        };
+        assert_eq!(crc.exit_code(), 4, "crc failures join the corrupt-artifact family");
+        assert!(crc.to_string().contains("0xdeadbeef"), "{crc}");
+        assert!(crc.to_string().contains("/m.json"), "{crc}");
+        let sig = CpdgError::Signalled { signal: 15, step: 7 };
+        assert_eq!(sig.exit_code(), 8);
+        assert!(sig.to_string().contains("signal 15"), "{sig}");
+        assert!(sig.to_string().contains("step 7"), "{sig}");
     }
 
     #[test]

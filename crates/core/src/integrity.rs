@@ -1,0 +1,174 @@
+//! CRC32 integrity footers for on-disk artifacts.
+//!
+//! Atomic publishes ([`Storage::write_atomic`](crate::storage::Storage))
+//! guarantee a file is either the old version or the new one — but they
+//! cannot detect bytes altered *after* the rename (bit rot, a foreign tool
+//! truncating the file in place, a bad disk sector). The integrity footer
+//! closes that gap: writers append a fixed-width CRC32 trailer over the
+//! payload, and loaders recompute it before parsing.
+//!
+//! The footer is deliberately JSON-inert — a trailing comment-style line —
+//! so a human inspecting the file sees the checksum, and tooling that
+//! strips it recovers the exact original payload:
+//!
+//! ```text
+//! {"version":1, ...}
+//! #crc32:9a8b7c6d
+//! ```
+//!
+//! Legacy files written before this footer existed load unchanged: a
+//! missing footer is tolerated with a one-time warning and a
+//! `integrity.legacy_loads` counter bump, so fleets can find un-resealed
+//! artifacts without breaking them.
+
+use crate::error::{CpdgError, CpdgResult};
+use std::path::Path;
+use std::sync::Once;
+
+/// Footer prefix: newline so the payload's final byte is untouched, then a
+/// comment-style marker no JSON payload can end with.
+const FOOTER_PREFIX: &[u8] = b"\n#crc32:";
+/// Total footer width: prefix + 8 lowercase hex digits + trailing newline.
+const FOOTER_LEN: usize = FOOTER_PREFIX.len() + 8 + 1;
+
+/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+/// Table-free bitwise form — artifact files are small enough that the
+/// simplicity beats a 1 KiB table.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends the integrity footer to `payload`, producing the bytes to hand
+/// to [`Storage::write_atomic`](crate::storage::Storage::write_atomic).
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FOOTER_LEN);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(FOOTER_PREFIX);
+    out.extend_from_slice(format!("{:08x}", crc32(payload)).as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// Splits `bytes` into payload + verified footer.
+///
+/// * Footer present and CRC matches → the payload slice.
+/// * Footer present and CRC differs → [`CpdgError::CorruptArtifact`].
+/// * No footer (legacy file) → the whole input, with a one-time warning
+///   and an `integrity.legacy_loads` counter bump per occurrence.
+pub fn unseal<'a>(bytes: &'a [u8], path: &Path) -> CpdgResult<&'a [u8]> {
+    let Some((payload, footer_crc)) = split_footer(bytes) else {
+        static LEGACY_WARN: Once = Once::new();
+        LEGACY_WARN.call_once(|| {
+            cpdg_obs::warn!(
+                "core.integrity",
+                "loading artifact without integrity footer (legacy format); re-save to seal it";
+                path = path.display().to_string(),
+            );
+        });
+        cpdg_obs::counter!("integrity.legacy_loads").inc();
+        return Ok(bytes);
+    };
+    let computed = crc32(payload);
+    if computed != footer_crc {
+        cpdg_obs::counter!("integrity.crc_failures").inc();
+        return Err(CpdgError::CorruptArtifact {
+            path: path.to_path_buf(),
+            expected: footer_crc,
+            found: computed,
+        });
+    }
+    Ok(payload)
+}
+
+/// Parses the trailing footer, if one is present and well-formed.
+fn split_footer(bytes: &[u8]) -> Option<(&[u8], u32)> {
+    if bytes.len() < FOOTER_LEN || bytes.last() != Some(&b'\n') {
+        return None;
+    }
+    let footer_start = bytes.len() - FOOTER_LEN;
+    let footer = &bytes[footer_start..];
+    if !footer.starts_with(FOOTER_PREFIX) {
+        return None;
+    }
+    let hex = &footer[FOOTER_PREFIX.len()..FOOTER_LEN - 1];
+    let hex = std::str::from_utf8(hex).ok()?;
+    let crc = u32::from_str_radix(hex, 16).ok()?;
+    Some((&bytes[..footer_start], crc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn seal_unseal_round_trips() {
+        let payload = br#"{"version":1,"params":{}}"#;
+        let sealed = seal(payload);
+        assert_eq!(sealed.len(), payload.len() + FOOTER_LEN);
+        let back = unseal(&sealed, Path::new("/x.json")).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn flipped_bit_is_detected() {
+        let mut sealed = seal(b"important model bytes");
+        sealed[3] ^= 0x40;
+        let err = unseal(&sealed, Path::new("/m.json")).unwrap_err();
+        match err {
+            CpdgError::CorruptArtifact { path, expected, found } => {
+                assert_eq!(path, PathBuf::from("/m.json"));
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected CorruptArtifact, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tampered_footer_is_detected() {
+        let sealed = seal(b"payload");
+        // Rewrite the recorded checksum to a different valid hex string.
+        let mut forged = sealed.clone();
+        let at = forged.len() - 2;
+        forged[at] = if forged[at] == b'0' { b'1' } else { b'0' };
+        assert!(matches!(
+            unseal(&forged, Path::new("/m.json")),
+            Err(CpdgError::CorruptArtifact { .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_unfootered_bytes_pass_through() {
+        let legacy = br#"{"version":1}"#;
+        let back = unseal(legacy, Path::new("/legacy.json")).unwrap();
+        assert_eq!(back, legacy.as_slice());
+        // Short inputs never index out of bounds.
+        assert_eq!(unseal(b"", Path::new("/e")).unwrap(), b"");
+        assert_eq!(unseal(b"\n", Path::new("/n")).unwrap(), b"\n");
+    }
+
+    #[test]
+    fn payload_ending_in_footer_lookalike_still_verifies() {
+        // A payload whose own tail mimics the footer marker must survive a
+        // seal/unseal round trip untouched (the real footer wins).
+        let tricky = b"data\n#crc32:deadbeef\n";
+        let sealed = seal(tricky);
+        assert_eq!(unseal(&sealed, Path::new("/t")).unwrap(), tricky.as_slice());
+    }
+}

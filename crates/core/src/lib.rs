@@ -35,6 +35,7 @@ pub mod contrast;
 pub mod eie;
 pub mod error;
 pub mod finetune;
+pub mod integrity;
 pub mod model_io;
 pub mod objective;
 pub mod pipeline;

@@ -54,7 +54,9 @@ impl ModelFile {
     /// point for crash-safety tests).
     pub fn save_with(&self, storage: &dyn Storage, path: &Path) -> CpdgResult<()> {
         let json = serde_json::to_vec(self).map_err(|e| CpdgError::Serialize(e.to_string()))?;
-        storage.write_atomic(path, &json).map_err(|e| CpdgError::io(path, e))
+        storage
+            .write_atomic(path, &crate::integrity::seal(&json))
+            .map_err(|e| CpdgError::io(path, e))
     }
 
     /// Reads a bundle back, checking the version.
@@ -62,11 +64,14 @@ impl ModelFile {
         Self::load_with(&FS_STORAGE, path)
     }
 
-    /// [`ModelFile::load`] through an explicit [`Storage`].
+    /// [`ModelFile::load`] through an explicit [`Storage`]. Verifies the
+    /// CRC32 integrity footer when present (legacy un-footered files load
+    /// with a one-time warning).
     pub fn load_with(storage: &dyn Storage, path: &Path) -> CpdgResult<Self> {
         let bytes = storage.read(path).map_err(|e| CpdgError::io(path, e))?;
-        let model: ModelFile =
-            serde_json::from_slice(&bytes).map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
+        let payload = crate::integrity::unseal(&bytes, path)?;
+        let model: ModelFile = serde_json::from_slice(payload)
+            .map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
         if model.version != VERSION {
             return Err(CpdgError::VersionMismatch { found: model.version, expected: VERSION });
         }
@@ -163,6 +168,38 @@ mod tests {
         model.save(&path).unwrap();
         let back = ModelFile::load(&path).unwrap();
         assert!(back.checkpoints.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn saved_files_carry_a_verified_crc_footer() {
+        let dir = test_dir("crc");
+        let path = dir.join("model.json");
+        tiny_model().save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(
+            bytes.windows(8).any(|w| w == b"\n#crc32:"),
+            "saved model must end with an integrity footer"
+        );
+        // A single flipped payload bit is caught before JSON parsing.
+        let mut tampered = bytes.clone();
+        tampered[10] ^= 0x01;
+        std::fs::write(&path, &tampered).unwrap();
+        let err = ModelFile::load(&path).unwrap_err();
+        assert!(matches!(err, CpdgError::CorruptArtifact { .. }), "{err}");
+        assert_eq!(err.exit_code(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_unfootered_model_still_loads() {
+        let dir = test_dir("legacy");
+        let path = dir.join("model.json");
+        // Write the pre-footer format: bare JSON, no trailer.
+        let json = serde_json::to_vec(&tiny_model()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        let back = ModelFile::load(&path).unwrap();
+        assert_eq!(back.num_nodes, 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -119,6 +119,12 @@ pub struct PretrainRuntime<'s> {
     /// Retry policy for storage/checkpoint I/O and transient injected
     /// faults.
     pub retry: RetryPolicy,
+    /// Cooperative stop flag, polled between batches. When it becomes
+    /// non-zero (conventionally the signal number a handler stored), the
+    /// loop publishes a final checkpoint and returns
+    /// [`CpdgError::Signalled`] — the graceful-SIGTERM path of
+    /// `cpdg pretrain`.
+    pub stop: Option<&'s std::sync::atomic::AtomicI32>,
 }
 
 impl Default for PretrainRuntime<'static> {
@@ -131,6 +137,7 @@ impl Default for PretrainRuntime<'static> {
             step_limit: None,
             chaos: FaultHook::none(),
             retry: RetryPolicy::default(),
+            stop: None,
         }
     }
 }
@@ -332,6 +339,39 @@ pub fn pretrain_resumable(
             if let Some(limit) = runtime.step_limit {
                 if steps_this_run >= limit {
                     return Err(CpdgError::Interrupted { step, total_steps });
+                }
+            }
+            if let Some(flag) = runtime.stop {
+                let signal = flag.load(std::sync::atomic::Ordering::Relaxed);
+                if signal != 0 {
+                    // Publish the state reached so far, then stop with the
+                    // typed graceful-signal error (exit code 8). The save
+                    // is best-effort ordered before the return so `--resume`
+                    // continues from this exact batch boundary.
+                    if let Some(mgr) = &manager {
+                        mgr.save(&TrainCheckpoint {
+                            version: CHECKPOINT_VERSION,
+                            step,
+                            epoch,
+                            next_cp,
+                            params: store.clone(),
+                            opt: opt.clone(),
+                            encoder: encoder.export_state(),
+                            guard: guard.clone(),
+                            eie_checkpoints: checkpoints.clone(),
+                            epoch_losses: epoch_losses.clone(),
+                            partial_sums: sums,
+                            partial_batches: batches,
+                        })?;
+                    }
+                    cpdg_obs::info!(
+                        "core.pretrain",
+                        "stopping gracefully on signal";
+                        signal = signal,
+                        step = step,
+                        total_steps = total_steps,
+                    );
+                    return Err(CpdgError::Signalled { signal, step });
                 }
             }
             let _step_timer = cpdg_obs::span("pretrain.step_us");
@@ -622,6 +662,50 @@ mod tests {
             }
             other => panic!("expected Interrupted, got {other}"),
         }
+    }
+
+    #[test]
+    fn stop_flag_checkpoints_then_surfaces_signalled() {
+        use std::sync::atomic::{AtomicI32, Ordering};
+        let ds = tiny_dataset(7);
+        let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 7);
+        let mut opt = Adam::new(1e-2);
+        let cfg = PretrainConfig { epochs: 1, batch_size: 100, ..Default::default() };
+        let dir = std::env::temp_dir().join(format!("cpdg_sigstop_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // The flag is already set when the loop starts: the very first
+        // batch boundary must checkpoint and stop.
+        let flag = AtomicI32::new(15);
+        let runtime = PretrainRuntime {
+            checkpoint: Some(CheckpointConfig::new(&dir)),
+            stop: Some(&flag),
+            ..PretrainRuntime::default()
+        };
+        let err = pretrain_resumable(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime)
+            .unwrap_err();
+        match err {
+            CpdgError::Signalled { signal, step } => {
+                assert_eq!(signal, 15);
+                assert_eq!(step, 0);
+            }
+            other => panic!("expected Signalled, got {other}"),
+        }
+        // A checkpoint was published before exiting; resuming with the flag
+        // cleared completes the run.
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        assert_eq!(ckpt.step, 0);
+        flag.store(0, Ordering::Relaxed);
+        let (mut store2, mut enc2, head2) = build(ds.graph.num_nodes(), 7);
+        let mut opt2 = Adam::new(1e-2);
+        let runtime2 = PretrainRuntime {
+            checkpoint: Some(CheckpointConfig::new(&dir)),
+            resume: true,
+            stop: Some(&flag),
+            ..PretrainRuntime::default()
+        };
+        pretrain_resumable(&mut enc2, &head2, &mut store2, &mut opt2, &ds.graph, &cfg, &runtime2)
+            .expect("cleared flag resumes and completes");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

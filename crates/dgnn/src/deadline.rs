@@ -1,0 +1,110 @@
+//! Per-request deadline budgets with checked cancellation points.
+//!
+//! Online serving gives each query a time budget; once it is spent, the
+//! most expensive thing the encoder can do is *keep going*. A [`Deadline`]
+//! is passed down into the forward pass and consulted at row granularity
+//! (one temporal embedding per check), so an expired request abandons its
+//! remaining work within one row's latency instead of finishing a doomed
+//! batch.
+//!
+//! Determinism: tests never race the wall clock. [`Deadline::none`] never
+//! expires and [`Deadline::expired`] is already expired, so both outcomes
+//! of every cancellation point are reachable deterministically; only
+//! [`Deadline::within`] consults [`Instant`], and only in production.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A request's time budget, checked at cancellation points.
+#[derive(Debug, Clone, Copy)]
+pub enum Deadline {
+    /// No budget: checks always pass (batch training, tests).
+    Unbounded,
+    /// Expires when the wall clock reaches the instant.
+    At(Instant),
+    /// Already expired: checks always fail (deterministic test path).
+    Expired,
+}
+
+/// Typed cancellation: the deadline passed before the work completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+impl fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("deadline exceeded")
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn none() -> Self {
+        Deadline::Unbounded
+    }
+
+    /// Expires `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline::At(Instant::now() + budget)
+    }
+
+    /// Already expired — every cancellation point fires immediately.
+    /// Exists so tests can pin the cancellation path without sleeping.
+    pub fn expired() -> Self {
+        Deadline::Expired
+    }
+
+    /// Whether the budget has run out.
+    pub fn is_expired(&self) -> bool {
+        match self {
+            Deadline::Unbounded => false,
+            Deadline::At(t) => Instant::now() >= *t,
+            Deadline::Expired => true,
+        }
+    }
+
+    /// The checked cancellation point: `Err(DeadlineExceeded)` once the
+    /// budget is spent.
+    pub fn check(&self) -> Result<(), DeadlineExceeded> {
+        if self.is_expired() {
+            Err(DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::Unbounded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.is_expired());
+        assert!(d.check().is_ok());
+    }
+
+    #[test]
+    fn expired_always_fails() {
+        let d = Deadline::expired();
+        assert!(d.is_expired());
+        assert_eq!(d.check(), Err(DeadlineExceeded));
+        assert_eq!(DeadlineExceeded.to_string(), "deadline exceeded");
+    }
+
+    #[test]
+    fn wall_clock_deadline_expires_after_budget() {
+        let d = Deadline::within(Duration::from_secs(3600));
+        assert!(d.check().is_ok(), "an hour budget cannot expire instantly");
+        let past = Deadline::within(Duration::ZERO);
+        assert!(past.is_expired(), "a zero budget is expired on arrival");
+    }
+}

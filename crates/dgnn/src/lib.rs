@@ -30,6 +30,7 @@
 #![warn(clippy::disallowed_macros)]
 
 pub mod config;
+pub mod deadline;
 pub mod decoder;
 pub mod encoder;
 pub mod guard;
@@ -38,6 +39,7 @@ pub mod metrics;
 pub mod trainer;
 
 pub use config::{AggKind, DgnnConfig, EmbedKind, EncoderKind, MemKind, MsgKind};
+pub use deadline::{Deadline, DeadlineExceeded};
 pub use decoder::{LinkPredictor, NodeClassifier};
 pub use encoder::{BatchContext, DgnnEncoder, EncoderState};
 pub use guard::{DivergenceReport, GuardConfig, StepVerdict, TrainGuard};

@@ -18,6 +18,11 @@ pub enum GraphError {
     NonFiniteTime,
     /// The builder contained no events.
     Empty,
+    /// A streamed append ran backwards in time: appended events must be
+    /// chronological ([`DynamicGraph::push_event`]).
+    ///
+    /// [`DynamicGraph::push_event`]: crate::ctdg::DynamicGraph::push_event
+    OutOfOrder,
 }
 
 impl fmt::Display for GraphError {
@@ -28,6 +33,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::NonFiniteTime => write!(f, "non-finite event timestamp"),
             GraphError::Empty => write!(f, "dynamic graph has no events"),
+            GraphError::OutOfOrder => {
+                write!(f, "appended event is earlier than the latest stored event")
+            }
         }
     }
 }

@@ -36,6 +36,56 @@ pub struct DynamicGraph {
 }
 
 impl DynamicGraph {
+    /// An event-less graph over a fixed node universe — the seed of the
+    /// streaming-ingestion path. Unlike
+    /// [`DynamicGraphBuilder`](crate::builder::DynamicGraphBuilder) (which
+    /// rejects empty logs because batch pipelines have nothing to train
+    /// on), a server legitimately starts with zero events and grows by
+    /// [`DynamicGraph::push_event`].
+    pub fn empty(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            events: Vec::new(),
+            labels: Vec::new(),
+            adjacency: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Appends one interaction at the chronological tail, keeping the
+    /// per-node adjacency index sorted. Returns the new event's edge id.
+    ///
+    /// Validation mirrors the builder (node range, finite time) plus the
+    /// streaming invariant: `t` must be `>=` the latest stored event time
+    /// (equal times are allowed, preserving arrival order, the same
+    /// tie-break the batch builder uses).
+    pub fn push_event(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        t: Timestamp,
+        field: FieldId,
+    ) -> Result<usize, crate::builder::GraphError> {
+        use crate::builder::GraphError;
+        for node in [src, dst] {
+            if node as usize >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange { node, num_nodes: self.num_nodes });
+            }
+        }
+        if !t.is_finite() {
+            return Err(GraphError::NonFiniteTime);
+        }
+        if let Some(last) = self.events.last() {
+            if t < last.t {
+                return Err(GraphError::OutOfOrder);
+            }
+        }
+        let idx = self.events.len();
+        self.events.push(Interaction { src, dst, t, field, idx });
+        self.adjacency[src as usize].push(NeighborEntry { neighbor: dst, t, edge: idx });
+        self.adjacency[dst as usize].push(NeighborEntry { neighbor: src, t, edge: idx });
+        Ok(idx)
+    }
+
     /// Size of the node id universe (not all ids need appear in events; a
     /// field-split subgraph keeps the parent universe so ids stay stable
     /// across transfer stages).
@@ -207,6 +257,51 @@ mod tests {
         assert!(g.has_edge(0, 1));
         assert!(g.has_edge(1, 0));
         assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn empty_graph_grows_by_chronological_appends() {
+        use crate::builder::GraphError;
+        let mut g = DynamicGraph::empty(3);
+        assert_eq!(g.num_events(), 0);
+        assert_eq!(g.t_min(), None);
+        assert!(g.active_nodes().is_empty());
+
+        assert_eq!(g.push_event(0, 1, 1.0, 0).unwrap(), 0);
+        assert_eq!(g.push_event(1, 2, 2.0, 0).unwrap(), 1);
+        assert_eq!(g.push_event(0, 2, 2.0, 1).unwrap(), 2, "equal times allowed");
+        assert_eq!(g.num_events(), 3);
+        assert_eq!(g.t_max(), Some(2.0));
+        // Adjacency stays time-sorted and bidirectional.
+        assert_eq!(g.neighbors_before(2, 10.0).len(), 2);
+        assert!(g.has_edge(2, 1));
+        let r = g.recent_neighbors(0, 10.0, 5);
+        assert_eq!(r[0].t, 2.0, "most recent first");
+
+        // Streaming invariants: monotone time, valid ids, finite stamps.
+        assert_eq!(g.push_event(0, 1, 1.5, 0).unwrap_err(), GraphError::OutOfOrder);
+        assert_eq!(
+            g.push_event(0, 7, 3.0, 0).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 7, num_nodes: 3 }
+        );
+        assert_eq!(g.push_event(0, 1, f64::NAN, 0).unwrap_err(), GraphError::NonFiniteTime);
+        assert_eq!(g.num_events(), 3, "rejected appends leave the log untouched");
+    }
+
+    #[test]
+    fn appended_graph_matches_batch_built_graph() {
+        // The streaming path and the batch builder must agree exactly on
+        // the resulting structure (events, ids, adjacency).
+        let triples = [(0, 1, 1.0), (0, 2, 2.0), (1, 2, 3.0), (0, 1, 4.0)];
+        let batch = crate::builder::graph_from_triples(3, &triples).unwrap();
+        let mut streamed = DynamicGraph::empty(3);
+        for &(s, d, t) in &triples {
+            streamed.push_event(s, d, t, 0).unwrap();
+        }
+        assert_eq!(streamed.events(), batch.events());
+        for n in 0..3 {
+            assert_eq!(streamed.neighbors_all(n), batch.neighbors_all(n), "node {n}");
+        }
     }
 
     #[test]

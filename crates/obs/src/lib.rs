@@ -14,8 +14,12 @@
 //! * **Counters and histograms** ([`metrics`]) — named monotonic
 //!   [`Counter`]s and log₂-bucketed [`Histogram`]s instrumenting the hot
 //!   paths (matmul dispatches/flops, sampler queries, memory updates,
-//!   checkpoint saves, guard interventions, EIE degradations). Snapshots
-//!   and deltas feed per-epoch metric records.
+//!   checkpoint saves, guard interventions, EIE degradations; the serving
+//!   layer adds `serve.requests`, `serve.shed`, `serve.degraded`,
+//!   `serve.reloads`, `serve.breaker_trips`, `serve.breaker_closes`, and
+//!   artifact integrity adds `integrity.legacy_loads` /
+//!   `integrity.crc_failures`). Snapshots and deltas feed per-epoch
+//!   metric records.
 //! * **Span timers** ([`span`]) — RAII scope timers recording elapsed
 //!   microseconds into a histogram on drop.
 //! * **Run directories** ([`run`]) — the audit convention for training

@@ -1,0 +1,172 @@
+//! Circuit breaker over the inference path.
+//!
+//! The breaker protects callers from paying the full-forward-pass cost on a
+//! model that is currently failing (injected faults in tests; NaN-producing
+//! parameters or panicking kernels in real life). It trips open after `K`
+//! *consecutive* failures; while open, requests are answered from the
+//! degraded static-embedding fallback without touching the encoder, except
+//! for a deterministic probe every `probe_every`-th request which is allowed
+//! through to test whether the fault has cleared. One probe success closes
+//! the breaker (the underlying faults we inject are deterministic, so one
+//! clean pass is meaningful evidence; a half-open success-streak requirement
+//! would only delay recovery without changing the oracle).
+//!
+//! Determinism contract: the breaker's state is a pure function of the
+//! *sequence* of record calls — no wall-clock cooldowns — so chaos-suite
+//! runs replay identically regardless of thread count or scheduling, as
+//! long as the request order at the breaker is fixed.
+
+/// Outcome of asking the breaker whether to attempt real inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admittance {
+    /// Breaker closed: run inference normally.
+    Closed,
+    /// Breaker open, and this request is a probe: run inference; its
+    /// outcome decides whether the breaker closes.
+    Probe,
+    /// Breaker open: skip inference, serve the degraded fallback.
+    Shorted,
+}
+
+/// Consecutive-failure circuit breaker with count-based (not time-based)
+/// probing.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    /// Consecutive failures that trip the breaker.
+    threshold: u32,
+    /// While open, every `probe_every`-th admittance check is a probe.
+    probe_every: u32,
+    consecutive_failures: u32,
+    open: bool,
+    /// Requests observed while open, for probe cadence.
+    open_requests: u64,
+    /// Lifetime count of trips (diagnostics / STATS).
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures
+    /// (≥ 1; 0 behaves as 1) and probing every `probe_every` requests while
+    /// open (≥ 1; 0 behaves as 1 — every request probes).
+    pub fn new(threshold: u32, probe_every: u32) -> Self {
+        Self {
+            threshold: threshold.max(1),
+            probe_every: probe_every.max(1),
+            consecutive_failures: 0,
+            open: false,
+            open_requests: 0,
+            trips: 0,
+        }
+    }
+
+    /// Whether the breaker is currently open.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Lifetime number of times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Decide how to treat the next inference request. Mutates probe
+    /// bookkeeping, so call exactly once per request.
+    pub fn admit(&mut self) -> Admittance {
+        if !self.open {
+            return Admittance::Closed;
+        }
+        self.open_requests += 1;
+        if self.open_requests % u64::from(self.probe_every) == 0 {
+            Admittance::Probe
+        } else {
+            Admittance::Shorted
+        }
+    }
+
+    /// Record a successful real inference (closed or probe). Resets the
+    /// failure streak and closes an open breaker.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.open {
+            self.open = false;
+            self.open_requests = 0;
+            cpdg_obs::counter!("serve.breaker_closes").inc();
+        }
+    }
+
+    /// Record a failed real inference. Trips the breaker once the
+    /// consecutive-failure streak reaches the threshold.
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if !self.open && self.consecutive_failures >= self.threshold {
+            self.open = true;
+            self.open_requests = 0;
+            self.trips += 1;
+            cpdg_obs::counter!("serve.breaker_trips").inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_only_on_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 4);
+        b.record_failure();
+        b.record_failure();
+        b.record_success(); // streak broken
+        b.record_failure();
+        b.record_failure();
+        assert!(!b.is_open(), "2 < threshold after a reset");
+        b.record_failure();
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn open_breaker_shorts_until_probe() {
+        let mut b = CircuitBreaker::new(1, 3);
+        b.record_failure();
+        assert!(b.is_open());
+        assert_eq!(b.admit(), Admittance::Shorted);
+        assert_eq!(b.admit(), Admittance::Shorted);
+        assert_eq!(b.admit(), Admittance::Probe, "every 3rd request probes");
+        assert_eq!(b.admit(), Admittance::Shorted);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_keeps_open() {
+        let mut b = CircuitBreaker::new(1, 1);
+        b.record_failure();
+        assert_eq!(b.admit(), Admittance::Probe, "probe_every=1 probes every request");
+        b.record_failure(); // probe failed
+        assert!(b.is_open());
+        assert_eq!(b.admit(), Admittance::Probe);
+        b.record_success();
+        assert!(!b.is_open());
+        assert_eq!(b.admit(), Admittance::Closed);
+    }
+
+    #[test]
+    fn reclose_resets_probe_cadence() {
+        let mut b = CircuitBreaker::new(1, 2);
+        b.record_failure();
+        assert_eq!(b.admit(), Admittance::Shorted);
+        assert_eq!(b.admit(), Admittance::Probe);
+        b.record_success(); // closed again
+        b.record_failure(); // second trip
+        assert_eq!(b.trips(), 2);
+        assert_eq!(b.admit(), Admittance::Shorted, "cadence restarts from zero");
+        assert_eq!(b.admit(), Admittance::Probe);
+    }
+
+    #[test]
+    fn degenerate_parameters_clamp_to_one() {
+        let mut b = CircuitBreaker::new(0, 0);
+        b.record_failure();
+        assert!(b.is_open(), "threshold 0 behaves as 1");
+        assert_eq!(b.admit(), Admittance::Probe, "probe_every 0 behaves as 1");
+    }
+}

@@ -1,0 +1,498 @@
+//! The serving engine: model state, streamed ingestion, inference with
+//! cancellation, the circuit breaker, and versioned hot reload.
+//!
+//! ## Concurrency model
+//!
+//! Two locks with strictly separated jobs:
+//!
+//! * `inner: Mutex<EngineInner>` — the *serialisation point*. Everything
+//!   that touches mutable DGNN state (the encoder's node memory, the
+//!   growing event log, breaker bookkeeping) runs under this lock, one
+//!   request at a time. Serialising inference is what makes the chaos
+//!   oracle possible: with a fixed request order, every fault-point hit
+//!   index, breaker transition, and memory update replays identically at
+//!   any worker-thread count.
+//! * `current: RwLock<Arc<Epoch>>` — the *version pointer*. `PING` /
+//!   `STATS` and reply stamping read the live version without queueing
+//!   behind inference. Hot reload reads the new model file off-lock, then
+//!   builds and swaps the new [`Epoch`] under `inner`; a request already
+//!   holding `inner` finishes on the epoch it started with.
+//!
+//! ## Failure taxonomy (what feeds the breaker)
+//!
+//! Only *model-health* failures count toward tripping the circuit breaker:
+//! an injected `serve.infer` fault, a non-finite output, or a panic inside
+//! the forward pass. Deadline expiry is a *request*-health failure (the
+//! model may be fine, the budget was not) and returns `ERR deadline`
+//! without touching the breaker. Bad arguments (`ERR exec`) never reach
+//! inference at all. While open, the breaker serves degraded replies from
+//! the static pre-training embeddings and lets every
+//! `probe_every`-th request through; one clean probe re-closes it.
+
+use crate::breaker::{Admittance, CircuitBreaker};
+use crate::protocol::{render_floats, Command, ErrKind, Reply};
+use cpdg_core::error::{CpdgError, CpdgResult};
+use cpdg_core::storage::Storage;
+use cpdg_core::{FaultHook, FaultPoint, ModelFile};
+use cpdg_dgnn::{Deadline, DgnnConfig, DgnnEncoder, EncoderState, LinkPredictor};
+use cpdg_graph::{DynamicGraph, FieldId, NodeId, Timestamp};
+use cpdg_tensor::{Matrix, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Parameter names the pre-training CLI registers; reloads rebuild the same
+/// namespaces so [`ParamStore::load_matching`] lines up.
+const ENCODER_NAME: &str = "enc";
+const HEAD_NAME: &str = "pretext_head";
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Per-request inference budget; `None` disables deadlines.
+    pub deadline: Option<Duration>,
+    /// Consecutive inference failures that trip the breaker.
+    pub breaker_threshold: u32,
+    /// While open, every `n`-th query probes the real model.
+    pub breaker_probe_every: u32,
+    /// RNG seed for (re)building encoder scaffolding before weights are
+    /// overwritten from the model file. Affects nothing observable when the
+    /// model file covers all parameters, but kept explicit for determinism.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { deadline: None, breaker_threshold: 3, breaker_probe_every: 4, seed: 0 }
+    }
+}
+
+/// One immutable model generation: weights, head, fallback embeddings.
+pub struct Epoch {
+    /// Monotone model generation, starting at 1; bumped on each reload.
+    pub version: u64,
+    /// All parameters (encoder + head), weights loaded from the model file.
+    pub store: ParamStore,
+    /// Link-scoring head over encoder embeddings.
+    pub head: LinkPredictor,
+    /// Encoder wiring.
+    pub cfg: DgnnConfig,
+    /// Node universe size.
+    pub num_nodes: usize,
+    /// `num_nodes × dim` static fallback embeddings (the final EIE memory
+    /// checkpoint from pre-training; zeros when the model carries none).
+    pub static_states: Matrix,
+}
+
+struct EngineInner {
+    epoch: Arc<Epoch>,
+    encoder: DgnnEncoder,
+    graph: DynamicGraph,
+    breaker: CircuitBreaker,
+}
+
+/// Monotone counters shared between the engine and the server front door.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Ingested events.
+    pub events: AtomicU64,
+    /// Full-fidelity `OK` answers.
+    pub ok: AtomicU64,
+    /// Degraded fallback answers.
+    pub degraded: AtomicU64,
+    /// Requests shed at admission.
+    pub shed: AtomicU64,
+    /// `ERR` replies of any kind (parse, exec, deadline, reload).
+    pub errors: AtomicU64,
+    /// Successful hot reloads.
+    pub reloads: AtomicU64,
+}
+
+impl ServeStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// The serving engine. Thread-safe; share behind an [`Arc`].
+pub struct Engine {
+    inner: Mutex<EngineInner>,
+    current: RwLock<Arc<Epoch>>,
+    hook: FaultHook,
+    config: EngineConfig,
+    /// Shared request counters (the server increments `shed`).
+    pub stats: ServeStats,
+}
+
+fn build_epoch(model: &ModelFile, version: u64, seed: u64) -> (Epoch, DgnnEncoder) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let encoder = DgnnEncoder::new(
+        &mut store,
+        &mut rng,
+        ENCODER_NAME,
+        model.num_nodes,
+        model.encoder_config.clone(),
+    );
+    let head = LinkPredictor::new(&mut store, &mut rng, HEAD_NAME, model.encoder_config.dim);
+    let loaded = store.load_matching(&model.params);
+    if loaded == 0 {
+        cpdg_obs::warn!(
+            "serve.engine",
+            "model file matched no parameters; serving randomly initialised weights";
+            version = version,
+        );
+    }
+    let dim = model.encoder_config.dim;
+    let static_states = match model.checkpoints.last() {
+        Some(snap) if snap.states.rows() == model.num_nodes && snap.states.cols() == dim => {
+            snap.states.clone()
+        }
+        Some(snap) => {
+            cpdg_obs::warn!(
+                "serve.engine",
+                "EIE checkpoint shape does not match model; degraded fallback uses zeros";
+                snapshot_rows = snap.states.rows(),
+                snapshot_cols = snap.states.cols(),
+                num_nodes = model.num_nodes,
+                dim = dim,
+            );
+            Matrix::zeros(model.num_nodes, dim)
+        }
+        None => Matrix::zeros(model.num_nodes, dim),
+    };
+    let epoch = Epoch {
+        version,
+        store,
+        head,
+        cfg: model.encoder_config.clone(),
+        num_nodes: model.num_nodes,
+        static_states,
+    };
+    (epoch, encoder)
+}
+
+/// How one real forward pass ended.
+enum InferOutcome {
+    /// Finite output values.
+    Ok(Vec<f32>),
+    /// The per-request deadline expired mid-pass.
+    DeadlineExpired,
+    /// Injected fault, non-finite output, or panic — breaker-relevant.
+    Failed(String),
+}
+
+impl Engine {
+    /// Loads a pre-trained model bundle and builds a serving engine at
+    /// version 1 with a fresh (zero) memory and an empty event log.
+    pub fn from_model_file(path: &Path, config: EngineConfig, hook: FaultHook) -> CpdgResult<Self> {
+        let model = ModelFile::load(path)?;
+        Ok(Self::from_model(&model, config, hook))
+    }
+
+    /// Builds a serving engine from an already-loaded model bundle.
+    pub fn from_model(model: &ModelFile, config: EngineConfig, hook: FaultHook) -> Self {
+        let (epoch, encoder) = build_epoch(model, 1, config.seed);
+        let epoch = Arc::new(epoch);
+        let graph = DynamicGraph::empty(model.num_nodes);
+        let breaker = CircuitBreaker::new(config.breaker_threshold, config.breaker_probe_every);
+        Self {
+            inner: Mutex::new(EngineInner {
+                epoch: Arc::clone(&epoch),
+                encoder,
+                graph,
+                breaker,
+            }),
+            current: RwLock::new(epoch),
+            hook,
+            config,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The live model version (lock-free with respect to inference).
+    pub fn version(&self) -> u64 {
+        self.current.read().expect("epoch pointer lock").version
+    }
+
+    /// Node universe size of the live model.
+    pub fn num_nodes(&self) -> usize {
+        self.current.read().expect("epoch pointer lock").num_nodes
+    }
+
+    /// Executes one parsed command to a reply. This is the single entry
+    /// point workers call; admission control happens before it.
+    pub fn execute(&self, cmd: Command) -> Reply {
+        cpdg_obs::counter!("serve.requests").inc();
+        let reply = match cmd {
+            Command::Ping => Reply::Ok { version: self.version(), body: "pong".to_string() },
+            Command::Stats => self.stats_reply(),
+            Command::Event { src, dst, t, field } => self.ingest(src, dst, t, field),
+            Command::Emb { node, t } => self.emb(node, t),
+            Command::Score { src, dst, t } => self.score(src, dst, t),
+            Command::Reload { path } => self.reload(Path::new(&path)),
+        };
+        match &reply {
+            Reply::Ok { .. } => ServeStats::bump(&self.stats.ok),
+            Reply::Degraded { .. } => {
+                ServeStats::bump(&self.stats.degraded);
+                cpdg_obs::counter!("serve.degraded").inc();
+            }
+            Reply::Err { .. } => ServeStats::bump(&self.stats.errors),
+        }
+        reply
+    }
+
+    fn stats_reply(&self) -> Reply {
+        let breaker_open = self.inner.lock().expect("engine lock").breaker.is_open();
+        let s = &self.stats;
+        Reply::Ok {
+            version: self.version(),
+            body: format!(
+                "events={} ok={} degraded={} shed={} errors={} reloads={} breaker={}",
+                ServeStats::get(&s.events),
+                ServeStats::get(&s.ok),
+                ServeStats::get(&s.degraded),
+                ServeStats::get(&s.shed),
+                ServeStats::get(&s.errors),
+                ServeStats::get(&s.reloads),
+                if breaker_open { "open" } else { "closed" },
+            ),
+        }
+    }
+
+    /// Ingests one streamed interaction, advancing the DGNN memory exactly
+    /// as training would: flush previously pending messages, then queue
+    /// this event as the new pending batch. Ingestion is never faulted and
+    /// never consults the breaker — the memory stream must stay
+    /// bit-identical across chaos runs for the drain oracle to hold.
+    fn ingest(&self, src: NodeId, dst: NodeId, t: Timestamp, field: FieldId) -> Reply {
+        let mut inner = self.inner.lock().expect("engine lock");
+        let inner = &mut *inner;
+        let idx = match inner.graph.push_event(src, dst, t, field) {
+            Ok(idx) => idx,
+            Err(e) => return Reply::Err { kind: ErrKind::Exec, detail: e.to_string() },
+        };
+        let mut tape = Tape::new();
+        let ctx = inner.encoder.apply_pending(&mut tape, &inner.epoch.store, &inner.graph);
+        let event = *inner.graph.event(idx);
+        inner.encoder.commit(&tape, ctx, &[event]);
+        ServeStats::bump(&self.stats.events);
+        Reply::Ok { version: inner.epoch.version, body: format!("event {idx}") }
+    }
+
+    fn request_deadline(&self) -> Deadline {
+        match self.config.deadline {
+            Some(budget) => Deadline::within(budget),
+            None => Deadline::none(),
+        }
+    }
+
+    /// One guarded forward pass producing the embeddings of `nodes` at `t`,
+    /// flattened row-major. All breaker-relevant failure modes funnel into
+    /// [`InferOutcome::Failed`].
+    fn forward(
+        &self,
+        inner: &EngineInner,
+        nodes: &[NodeId],
+        t: Timestamp,
+        score_pair: bool,
+    ) -> InferOutcome {
+        if let Err(fault) = self.hook.check(FaultPoint::ServeInfer) {
+            return InferOutcome::Failed(fault.to_string());
+        }
+        let deadline = self.request_deadline();
+        let epoch = &inner.epoch;
+        let result = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<f32>, ()> {
+            let mut tape = Tape::new();
+            let ctx = inner.encoder.apply_pending(&mut tape, &epoch.store, &inner.graph);
+            let times = vec![t; nodes.len()];
+            let z = inner
+                .encoder
+                .embed_many_within(&mut tape, &epoch.store, &ctx, &inner.graph, nodes, &times, &deadline)
+                .map_err(|_| ())?;
+            let out = if score_pair {
+                // Row 0 = src, row 1 = dst.
+                let z_src = tape.gather_rows(z, &[0]);
+                let z_dst = tape.gather_rows(z, &[1]);
+                epoch.head.score(&mut tape, &epoch.store, z_src, z_dst)
+            } else {
+                z
+            };
+            Ok(tape.value(out).data().to_vec())
+        }));
+        match result {
+            Ok(Ok(values)) => {
+                if values.iter().all(|v| v.is_finite()) {
+                    InferOutcome::Ok(values)
+                } else {
+                    InferOutcome::Failed("non-finite inference output".to_string())
+                }
+            }
+            Ok(Err(())) => InferOutcome::DeadlineExpired,
+            Err(_) => InferOutcome::Failed("panic during inference".to_string()),
+        }
+    }
+
+    /// Shared query path for `EMB` and `SCORE`.
+    fn query(&self, nodes: &[NodeId], t: Option<Timestamp>, score_pair: bool) -> Reply {
+        let mut inner = self.inner.lock().expect("engine lock");
+        let epoch = Arc::clone(&inner.epoch);
+        for &n in nodes {
+            if (n as usize) >= epoch.num_nodes {
+                return Reply::Err {
+                    kind: ErrKind::Exec,
+                    detail: format!("node {n} out of range for universe of {}", epoch.num_nodes),
+                };
+            }
+        }
+        let t = t.unwrap_or_else(|| inner.graph.t_max().unwrap_or(0.0));
+        let degraded = |version: u64| {
+            let body = if score_pair {
+                let a = epoch.static_states.row(nodes[0] as usize);
+                let b = epoch.static_states.row(nodes[1] as usize);
+                let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                render_floats(&[dot])
+            } else {
+                render_floats(epoch.static_states.row(nodes[0] as usize))
+            };
+            Reply::Degraded { version, body }
+        };
+        match inner.breaker.admit() {
+            Admittance::Shorted => degraded(epoch.version),
+            Admittance::Closed | Admittance::Probe => match self.forward(&inner, nodes, t, score_pair) {
+                InferOutcome::Ok(values) => {
+                    inner.breaker.record_success();
+                    Reply::Ok { version: epoch.version, body: render_floats(&values) }
+                }
+                InferOutcome::DeadlineExpired => {
+                    // The model is not implicated; leave the breaker alone.
+                    Reply::Err { kind: ErrKind::Deadline, detail: String::new() }
+                }
+                InferOutcome::Failed(detail) => {
+                    cpdg_obs::warn!(
+                        "serve.engine",
+                        "inference failed; serving degraded fallback";
+                        detail = detail.as_str(),
+                        version = epoch.version,
+                    );
+                    inner.breaker.record_failure();
+                    degraded(epoch.version)
+                }
+            },
+        }
+    }
+
+    fn emb(&self, node: NodeId, t: Option<Timestamp>) -> Reply {
+        self.query(&[node], t, false)
+    }
+
+    fn score(&self, src: NodeId, dst: NodeId, t: Option<Timestamp>) -> Reply {
+        self.query(&[src, dst], t, true)
+    }
+
+    /// Hot-reloads the model from `path`. On any failure — injected
+    /// `serve.reload` fault, unreadable/corrupt file, incompatible shape,
+    /// state transplant refusal — the old epoch stays live and the reply is
+    /// a typed `ERR reload`. On success the version increments and the live
+    /// DGNN memory carries over unchanged.
+    fn reload(&self, path: &Path) -> Reply {
+        let fail = |detail: String| Reply::Err { kind: ErrKind::Reload, detail };
+        if let Err(fault) = self.hook.check(FaultPoint::ServeReload) {
+            return fail(fault.to_string());
+        }
+        let model = match ModelFile::load(path) {
+            Ok(m) => m,
+            Err(e) => return fail(e.to_string()),
+        };
+        let mut inner = self.inner.lock().expect("engine lock");
+        let old = Arc::clone(&inner.epoch);
+        if model.num_nodes != old.num_nodes || model.encoder_config.dim != old.cfg.dim {
+            return fail(format!(
+                "incompatible model: {} nodes dim {} (serving {} nodes dim {})",
+                model.num_nodes, model.encoder_config.dim, old.num_nodes, old.cfg.dim
+            ));
+        }
+        let (epoch, mut encoder) = build_epoch(&model, old.version + 1, self.config.seed);
+        if let Err(e) = encoder.restore_state(inner.encoder.export_state()) {
+            return fail(format!("memory transplant refused: {e}"));
+        }
+        let epoch = Arc::new(epoch);
+        inner.epoch = Arc::clone(&epoch);
+        inner.encoder = encoder;
+        *self.current.write().expect("epoch pointer lock") = Arc::clone(&epoch);
+        ServeStats::bump(&self.stats.reloads);
+        cpdg_obs::counter!("serve.reloads").inc();
+        cpdg_obs::info!(
+            "serve.engine",
+            "hot reload complete";
+            version = epoch.version,
+            path = path.display().to_string(),
+        );
+        Reply::Ok { version: epoch.version, body: "reloaded".to_string() }
+    }
+
+    /// Flushes pending encoder messages into memory (the same final flush
+    /// [`DgnnEncoder::replay`] performs) — part of graceful drain.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock().expect("engine lock");
+        let inner = &mut *inner;
+        let mut tape = Tape::new();
+        let ctx = inner.encoder.apply_pending(&mut tape, &inner.epoch.store, &inner.graph);
+        inner.encoder.commit(&tape, ctx, &[]);
+    }
+
+    /// Snapshot of the full mutable encoder state (memory, cells, pending).
+    pub fn export_state(&self) -> EncoderState {
+        self.inner.lock().expect("engine lock").encoder.export_state()
+    }
+
+    /// Restores encoder state (e.g. a `--memory-in` warm start), validating
+    /// shape compatibility against the live model.
+    pub fn restore_state(&self, state: EncoderState) -> Result<(), String> {
+        self.inner.lock().expect("engine lock").encoder.restore_state(state)
+    }
+
+    /// Drain-time persistence: flush pending messages, then atomically
+    /// write the CRC-sealed encoder state to `path`. Byte-deterministic for
+    /// a given ingested event sequence, which is what the end-to-end smoke
+    /// test `cmp`s against an in-process run.
+    pub fn persist_memory(&self, storage: &dyn Storage, path: &Path) -> CpdgResult<()> {
+        self.flush();
+        let state = self.export_state();
+        let json =
+            serde_json::to_vec(&state).map_err(|e| CpdgError::Serialize(e.to_string()))?;
+        storage
+            .write_atomic(path, &cpdg_core::integrity::seal(&json))
+            .map_err(|e| CpdgError::io(path, e))
+    }
+
+    /// Loads encoder state persisted by [`Engine::persist_memory`] (legacy
+    /// un-sealed files are accepted with the usual one-time warning).
+    pub fn restore_memory_file(&self, storage: &dyn Storage, path: &Path) -> CpdgResult<()> {
+        let bytes = storage.read(path).map_err(|e| CpdgError::io(path, e))?;
+        let payload = cpdg_core::integrity::unseal(&bytes, path)?;
+        let state: EncoderState = serde_json::from_slice(payload)
+            .map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
+        self.restore_state(state).map_err(|e| CpdgError::corrupt(path, e))
+    }
+
+    /// Whether the circuit breaker is currently open (diagnostics).
+    pub fn breaker_open(&self) -> bool {
+        self.inner.lock().expect("engine lock").breaker.is_open()
+    }
+
+    /// A clone of the engine's fault hook (shares trigger state), so the
+    /// server front door consults the same plan at `serve.accept`.
+    pub fn fault_hook(&self) -> FaultHook {
+        self.hook.clone()
+    }
+}

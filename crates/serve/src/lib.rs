@@ -1,0 +1,50 @@
+//! # cpdg-serve
+//!
+//! A resilient online serving subsystem for pre-trained CPDG models: load
+//! a [`ModelFile`](cpdg_core::ModelFile), keep DGNN memory current from a
+//! stream of edge events, and answer node-embedding / link-scoring queries
+//! over a minimal line protocol — while staying predictable under
+//! overload, slow requests, model failures, and live model swaps.
+//!
+//! The robustness machinery, by module:
+//!
+//! * [`queue`] — bounded admission with typed [`Overloaded`] shedding;
+//!   producers never block, drain answers everything already admitted.
+//! * [`breaker`] — a consecutive-failure [`CircuitBreaker`] over
+//!   inference; while open, queries are served from the model's static
+//!   pre-training embeddings (`DEGRADED` replies) with deterministic
+//!   count-based probing to re-close.
+//! * [`protocol`] — the total, panic-free line grammar (`EVENT`, `EMB`,
+//!   `SCORE`, `RELOAD`, `STATS`, `PING`) and self-describing replies
+//!   (`OK v<version> …` / `DEGRADED v<version> …` / `ERR <kind> …`).
+//! * [`engine`] — model state and execution: streamed ingestion that is
+//!   never faulted (so memory stays bit-identical across chaos runs),
+//!   deadline-checked forward passes
+//!   ([`DgnnEncoder::embed_many_within`](cpdg_dgnn::DgnnEncoder::embed_many_within)),
+//!   versioned hot reload that transplants live memory, and drain-time
+//!   CRC-sealed memory persistence.
+//! * [`server`] — the threaded TCP front door: per-connection lockstep
+//!   (single-connection scripts are worker-count-deterministic), a worker
+//!   pool over the admission queue, graceful drain.
+//!
+//! Chaos integration: the engine threads a
+//! [`FaultHook`](cpdg_core::FaultHook) through three serve-specific fault
+//! points — `serve.accept` (admission), `serve.infer` (query forward
+//! pass), `serve.reload` (hot swap) — so the workspace `serve_suite` can
+//! assert that shedding, breaker trips, failed reloads, and drain leave
+//! served results and persisted memory bit-identical to a fault-free run.
+
+#![warn(missing_docs)]
+#![warn(clippy::disallowed_macros)]
+
+pub mod breaker;
+pub mod engine;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use breaker::{Admittance, CircuitBreaker};
+pub use engine::{Engine, EngineConfig, Epoch, ServeStats};
+pub use protocol::{parse_line, render_floats, Command, ErrKind, Reply};
+pub use queue::{BoundedQueue, Overloaded};
+pub use server::{Server, ServerConfig};

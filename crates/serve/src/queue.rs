@@ -1,0 +1,208 @@
+//! Bounded admission queue: the front door of the serving engine.
+//!
+//! Admission is where overload must be converted into *explicit, cheap*
+//! rejections. An unbounded queue converts overload into latency (every
+//! queued request waits behind every other) and eventually into memory
+//! exhaustion; a bounded queue converts it into a typed [`Overloaded`]
+//! answer the client can act on. Producers never block: a full queue sheds
+//! immediately. Consumers block until work arrives or the queue is closed
+//! and drained — the graceful-shutdown contract: after [`close`], every
+//! already-admitted item is still handed out exactly once, then all
+//! consumers see `None`.
+//!
+//! [`close`]: BoundedQueue::close
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Typed admission rejection: the queue was at capacity (or closed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Capacity at the moment of rejection.
+    pub capacity: usize,
+}
+
+impl fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "admission queue at capacity {}", self.capacity)
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking MPMC queue with a hard capacity and non-blocking admission.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (≥ 1; 0 behaves as 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Non-blocking admission: `Err(Overloaded)` when full or closed.
+    pub fn push(&self, item: T) -> Result<(), Overloaded> {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.closed || st.items.len() >= self.capacity {
+            return Err(Overloaded { capacity: self.capacity });
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking removal: the next item, or `None` once the queue is closed
+    /// *and* empty. Items admitted before [`close`](BoundedQueue::close)
+    /// are always drained, never dropped.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Stops admission. Already-queued items remain poppable; blocked
+    /// consumers wake and drain them before observing `None`.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.closed = true;
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// Items currently waiting (diagnostic; racy by nature).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty (diagnostic; racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_with_capacity() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(Overloaded { capacity: 2 }));
+        // Draining one slot re-opens admission.
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_behaves_as_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(7).unwrap();
+        assert!(q.push(8).is_err());
+    }
+
+    #[test]
+    fn close_drains_admitted_items_then_yields_none() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(Overloaded { capacity: 8 }), "closed queue sheds");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "None is sticky after drain");
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give consumers a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::<u64>::new(1024));
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let mut expect: Vec<u64> =
+            (0..4u64).flat_map(|p| (0..100u64).map(move |i| p * 1000 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect, "every admitted item is consumed exactly once");
+    }
+}

@@ -1,0 +1,326 @@
+//! The threaded line-protocol front door.
+//!
+//! Topology: one accept thread (non-blocking poll so shutdown can
+//! interrupt it), one detached thread per connection, and a fixed pool of
+//! worker threads draining the bounded admission queue. A connection
+//! thread reads one line, pushes one job, and *waits for that job's reply
+//! before reading the next line* — so requests from a single connection
+//! are processed in order regardless of worker count, which is what makes
+//! single-connection chaos scripts worker-count-deterministic.
+//!
+//! Exactly-one-reply invariant: every non-empty request line produces
+//! exactly one reply line — a full `OK`, a typed `DEGRADED`, or a typed
+//! `ERR` (`parse` before admission, `overloaded` at admission, the
+//! engine's verdict after). Jobs admitted before drain starts are always
+//! executed and answered ([`BoundedQueue`] drains on close); jobs arriving
+//! after are shed with `ERR overloaded`.
+//!
+//! Graceful drain ([`Server::shutdown`]): stop accepting connections,
+//! close the queue (new requests shed), let workers finish every admitted
+//! job, join them. Memory persistence is the caller's move afterwards
+//! ([`Engine::persist_memory`]) so the CLI controls where state lands.
+
+use crate::engine::Engine;
+use crate::protocol::{parse_line, ErrKind, Reply};
+use crate::queue::BoundedQueue;
+use cpdg_core::{FaultHook, FaultPoint};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission queue capacity; requests beyond it are shed.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".to_string(), workers: 2, queue_capacity: 64 }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    cmd: crate::protocol::Command,
+    reply: mpsc::Sender<String>,
+}
+
+/// A running server; dropping it without [`Server::shutdown`] aborts
+/// rudely (threads are detached), so call `shutdown` for a clean drain.
+pub struct Server {
+    engine: Arc<Engine>,
+    queue: Arc<BoundedQueue<Job>>,
+    stop: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Resolves one request line to one reply line. Split out of the
+/// connection loop so tests can drive the full admission path without a
+/// socket.
+fn process_line(
+    line: &str,
+    engine: &Engine,
+    queue: &BoundedQueue<Job>,
+    hook: &FaultHook,
+) -> Option<String> {
+    if line.trim().is_empty() {
+        // Blank lines are not requests (tolerates trailing newlines from
+        // piped scripts); no reply.
+        return None;
+    }
+    let cmd = match parse_line(line) {
+        Ok(cmd) => cmd,
+        Err(detail) => {
+            engine.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return Some(Reply::Err { kind: ErrKind::Parse, detail }.render());
+        }
+    };
+    let shed = |detail: String| {
+        engine.stats.shed.fetch_add(1, Ordering::Relaxed);
+        cpdg_obs::counter!("serve.shed").inc();
+        Some(Reply::Err { kind: ErrKind::Overloaded, detail }.render())
+    };
+    if let Err(fault) = hook.check(FaultPoint::ServeAccept) {
+        return shed(fault.to_string());
+    }
+    let (tx, rx) = mpsc::channel();
+    if let Err(over) = queue.push(Job { cmd, reply: tx }) {
+        return shed(over.to_string());
+    }
+    match rx.recv() {
+        Ok(reply) => Some(reply),
+        // Unreachable by construction (admitted jobs are always drained and
+        // answered), but a lost worker must not wedge the connection.
+        Err(_) => Some(Reply::Err { kind: ErrKind::Exec, detail: "reply channel closed".to_string() }.render()),
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: Arc<Engine>, queue: Arc<BoundedQueue<Job>>, hook: FaultHook) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if let Some(reply) = process_line(&line, &engine, &queue, &hook) {
+            if writeln!(writer, "{reply}").is_err() || writer.flush().is_err() {
+                return;
+            }
+        }
+    }
+}
+
+impl Server {
+    /// Binds and starts accepting. The engine is shared — callers keep
+    /// their own [`Arc`] for drain-time persistence.
+    pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+        let hook = engine.fault_hook();
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("cpdg-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            let reply = engine.execute(job.cmd);
+                            // A vanished client must not kill the worker.
+                            let _ = job.reply.send(reply.render());
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name("cpdg-serve-accept".to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let _ = stream.set_nodelay(true);
+                                let engine = Arc::clone(&engine);
+                                let queue = Arc::clone(&queue);
+                                let hook = hook.clone();
+                                let _ = std::thread::Builder::new()
+                                    .name("cpdg-serve-conn".to_string())
+                                    .spawn(move || handle_connection(stream, engine, queue, hook));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        cpdg_obs::info!(
+            "serve.server",
+            "listening";
+            addr = local_addr.to_string(),
+            workers = config.workers.max(1),
+            queue_capacity = config.queue_capacity,
+        );
+        Ok(Self { engine, queue, stop, local_addr, accept_thread: Some(accept_thread), workers })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Graceful drain: stop accepting, shed new requests, finish and
+    /// answer every admitted one, join the workers. Returns the engine so
+    /// the caller can persist memory.
+    pub fn shutdown(mut self) -> Arc<Engine> {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let s = &self.engine.stats;
+        cpdg_obs::info!(
+            "serve.server",
+            "drained";
+            events = s.events.load(Ordering::Relaxed),
+            ok = s.ok.load(Ordering::Relaxed),
+            degraded = s.degraded.load(Ordering::Relaxed),
+            shed = s.shed.load(Ordering::Relaxed),
+            errors = s.errors.load(Ordering::Relaxed),
+        );
+        Arc::clone(&self.engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use cpdg_core::ModelFile;
+    use cpdg_dgnn::{DgnnConfig, EncoderKind};
+    use cpdg_tensor::ParamStore;
+
+    fn tiny_engine(workers_seed: u64) -> Arc<Engine> {
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 100.0);
+        let model = ModelFile::new(cfg, 6, ParamStore::new(), Vec::new());
+        Arc::new(Engine::from_model(
+            &model,
+            EngineConfig { seed: workers_seed, ..EngineConfig::default() },
+            FaultHook::none(),
+        ))
+    }
+
+    fn send(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    }
+
+    #[test]
+    fn serves_ping_event_emb_score_over_tcp() {
+        let server = Server::start(tiny_engine(0), &ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        assert_eq!(send(&mut stream, &mut reader, "PING"), "OK v1 pong");
+        assert_eq!(send(&mut stream, &mut reader, "EVENT 0 1 1.0"), "OK v1 event 0");
+        assert_eq!(send(&mut stream, &mut reader, "EVENT 1 2 2.0"), "OK v1 event 1");
+        let emb = send(&mut stream, &mut reader, "EMB 1");
+        assert!(emb.starts_with("OK v1 "), "{emb}");
+        assert_eq!(emb.trim_start_matches("OK v1 ").split(' ').count(), 8, "dim floats");
+        let score = send(&mut stream, &mut reader, "SCORE 0 2");
+        assert!(score.starts_with("OK v1 "), "{score}");
+        let bad = send(&mut stream, &mut reader, "WHAT 1 2");
+        assert!(bad.starts_with("ERR parse"), "{bad}");
+        let exec = send(&mut stream, &mut reader, "EMB 99");
+        assert!(exec.starts_with("ERR exec"), "{exec}");
+        let stats = send(&mut stream, &mut reader, "STATS");
+        assert!(stats.contains("events=2"), "{stats}");
+        assert!(stats.contains("breaker=closed"), "{stats}");
+
+        let engine = server.shutdown();
+        assert_eq!(engine.stats.events.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn replies_stay_in_order_on_one_connection_with_many_workers() {
+        let server = Server::start(
+            tiny_engine(0),
+            &ServerConfig { workers: 4, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for i in 0..20u32 {
+            let r = send(&mut stream, &mut reader, &format!("EVENT 0 1 {i}.0"));
+            assert_eq!(r, format!("OK v1 event {i}"), "lockstep ordering");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_sheds_new_requests_but_answers_admitted_ones() {
+        let engine = tiny_engine(0);
+        let queue: BoundedQueue<Job> = BoundedQueue::new(4);
+        let hook = FaultHook::none();
+        // Admitted before drain: pushed into the queue.
+        let (tx, rx) = mpsc::channel();
+        queue
+            .push(Job { cmd: parse_line("PING").unwrap(), reply: tx })
+            .unwrap();
+        queue.close();
+        // New arrivals shed with a typed reply.
+        let reply = process_line("PING", &engine, &queue, &hook).unwrap();
+        assert!(reply.starts_with("ERR overloaded"), "{reply}");
+        assert_eq!(engine.stats.shed.load(Ordering::Relaxed), 1);
+        // The admitted job still drains and gets answered.
+        let job = queue.pop().expect("admitted job survives close");
+        let rendered = engine.execute(job.cmd).render();
+        job.reply.send(rendered).unwrap();
+        assert_eq!(rx.recv().unwrap(), "OK v1 pong");
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn blank_lines_are_not_requests() {
+        let engine = tiny_engine(0);
+        let queue: BoundedQueue<Job> = BoundedQueue::new(4);
+        assert!(process_line("", &engine, &queue, &FaultHook::none()).is_none());
+        assert!(process_line("   ", &engine, &queue, &FaultHook::none()).is_none());
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`baselines`] — the paper's ten comparison methods,
 //! * [`core`] — CPDG itself: samplers, contrastive pre-training, EIE
 //!   fine-tuning, and one-call pipelines,
+//! * [`serve`] — resilient online serving of pre-trained models (admission
+//!   control, deadlines, circuit breaking, hot reload, graceful drain),
 //! * [`obs`] — structured logging, counters/span timers, and run-directory
 //!   provenance (`run.json` + `metrics.jsonl`).
 //!
@@ -20,4 +22,5 @@ pub use cpdg_core as core;
 pub use cpdg_dgnn as dgnn;
 pub use cpdg_graph as graph;
 pub use cpdg_obs as obs;
+pub use cpdg_serve as serve;
 pub use cpdg_tensor as tensor;
