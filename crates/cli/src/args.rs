@@ -48,14 +48,17 @@ impl Args {
 
     /// Required string option.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// Parsed numeric option with a default.
     pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v:?}")),
         }
     }
 

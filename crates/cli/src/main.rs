@@ -67,22 +67,34 @@ USAGE:
                 [--seed N] [--threads N]
   cpdg serve    --model <model.json> [--port N] [--workers N] [--queue N]
                 [--deadline-ms N] [--breaker-k N] [--breaker-probe N]
+                [--wal-dir <dir>] [--fsync always|os|every-N]
                 [--memory-in <state.json>] [--memory-out <state.json>]
                 [--ingest <script>] [--chaos-plan <plan.json>] [--seed N]
-  cpdg query    (--addr <host:port> | --port N) [--send \"<request line>\"]
+  cpdg query    (--addr <host:port> | --port N)
+                [--send \"<request line>\" | --status]
 
 Serving: `serve` loads a pre-trained model and answers a line protocol
 (EVENT src dst t [field] / EMB node [t] / SCORE src dst [t] /
-RELOAD path / STATS / PING) on 127.0.0.1; --port 0 (default) picks a free
-port, printed as `listening on …`. Requests beyond --queue are shed with
-`ERR overloaded`; --deadline-ms bounds each inference; after --breaker-k
+RELOAD path / STATS / STATUS / PING) on 127.0.0.1; --port 0 (default)
+picks a free port, printed as `listening on …`. Requests beyond --queue
+are shed with `ERR overloaded`; --deadline-ms bounds each inference
+(a zero budget is rejected at admission); after --breaker-k
 consecutive inference failures a circuit breaker serves degraded static
 embeddings until a probe (every --breaker-probe requests) succeeds.
 SIGTERM/SIGINT drains gracefully: admitted requests finish, then
 --memory-out persists the DGNN memory (CRC-sealed, crash-safe).
 --ingest <script> applies a request file in-process instead of serving
 TCP — the reference path the end-to-end smoke test compares against.
-`query` connects, sends --send (or each stdin line), and prints replies.
+`query` connects, sends --send (or each stdin line), and prints replies;
+--status sends STATUS and prints the server's key=value health line.
+
+Crash recovery: with --wal-dir, every EVENT is appended to a CRC-framed
+write-ahead log *before* it mutates memory, and startup replays the log
+(plus the newest checkpoint) so a process killed at any instant — even
+kill -9 — restarts bit-identical to an uninterrupted run. --fsync picks
+the durability/throughput trade: `always` (default) syncs per append,
+`every-N` batches syncs, `os` leaves flushing to the page cache. A clean
+drain writes a checkpoint and truncates replayed segments.
 
 Signals: `pretrain` also traps SIGTERM/SIGINT — it publishes a final
 checkpoint (with --ckpt-dir) and exits with code 8 so schedulers can tell
@@ -164,10 +176,14 @@ fn main() -> ExitCode {
 /// Installs the stderr console sink from `--log-level`/`--log-format` and
 /// opens `--run-dir` (creating it) when given.
 fn init_observability(args: &Args) -> CpdgResult<Option<cpdg_obs::RunDir>> {
-    let level: cpdg_obs::Level =
-        args.get_or("log-level", "info").parse().map_err(CpdgError::Invalid)?;
-    let format: cpdg_obs::LogFormat =
-        args.get_or("log-format", "text").parse().map_err(CpdgError::Invalid)?;
+    let level: cpdg_obs::Level = args
+        .get_or("log-level", "info")
+        .parse()
+        .map_err(CpdgError::Invalid)?;
+    let format: cpdg_obs::LogFormat = args
+        .get_or("log-format", "text")
+        .parse()
+        .map_err(CpdgError::Invalid)?;
     cpdg_obs::init(level, format);
     match args.get("run-dir") {
         None => Ok(None),
@@ -186,7 +202,10 @@ fn run_manifest(command: &str, status: &str, seed: u64, config: Json, dataset: J
         ("command", Json::from(command)),
         ("status", Json::from(status)),
         ("seed", Json::U64(seed)),
-        ("threads", Json::U64(cpdg_tensor::threading::current_threads() as u64)),
+        (
+            "threads",
+            Json::U64(cpdg_tensor::threading::current_threads() as u64),
+        ),
         ("config", config),
         ("dataset", dataset),
     ])
@@ -218,7 +237,10 @@ fn dataset_json(path: &str, loaded: &cpdg_graph::loader::LoadedGraph) -> Json {
                 ])
             })
             .collect();
-        d.push("quarantine_truncated", Json::Bool(loaded.quarantine.truncated()));
+        d.push(
+            "quarantine_truncated",
+            Json::Bool(loaded.quarantine.truncated()),
+        );
         d.push("quarantined_rows", Json::Arr(rows));
     }
     d
@@ -227,7 +249,10 @@ fn dataset_json(path: &str, loaded: &cpdg_graph::loader::LoadedGraph) -> Json {
 /// Final-manifest decorations shared by pretrain and finetune: wall-clock
 /// plus the process-wide counter and span-histogram totals.
 fn finish_manifest(m: &mut Json, started: std::time::Instant) {
-    m.push("wall_clock_secs", Json::F64(started.elapsed().as_secs_f64()));
+    m.push(
+        "wall_clock_secs",
+        Json::F64(started.elapsed().as_secs_f64()),
+    );
     m.push("counters", cpdg_obs::metrics::counters_json());
     m.push("spans", cpdg_obs::metrics::histograms_json());
 }
@@ -265,16 +290,30 @@ fn cmd_stats(args: &Args) -> CpdgResult<()> {
     let loaded = load_data(data, &load_options(args)?, &FaultHook::none())?;
     let s = GraphStats::compute(&loaded.graph);
     println!("file           : {data}");
-    println!("users / items  : {} / {}", loaded.num_users, loaded.num_items);
+    println!(
+        "users / items  : {} / {}",
+        loaded.num_users, loaded.num_items
+    );
     println!("active nodes   : {}", s.active_nodes);
     println!("events         : {}", s.edges);
     println!("density        : {:.6}%", s.density * 100.0);
-    println!("time span      : {:.0} ({:.0} … {:.0})", s.timespan(), s.t_min, s.t_max);
+    println!(
+        "time span      : {:.0} ({:.0} … {:.0})",
+        s.timespan(),
+        s.t_min,
+        s.t_max
+    );
     println!("mean degree    : {:.2}", s.mean_degree);
-    println!("labels         : {} ({:.2}% positive)",
-        loaded.graph.labels().len(), s.label_positive_rate * 100.0);
+    println!(
+        "labels         : {} ({:.2}% positive)",
+        loaded.graph.labels().len(),
+        s.label_positive_rate * 100.0
+    );
     if !loaded.quarantine.is_empty() {
-        println!("quarantined    : {} malformed row(s) set aside", loaded.quarantine.total);
+        println!(
+            "quarantined    : {} malformed row(s) set aside",
+            loaded.quarantine.total
+        );
     }
     Ok(())
 }
@@ -351,24 +390,39 @@ fn cmd_pretrain(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
         ("epochs", Json::U64(epochs as u64)),
         ("beta", Json::F64(beta as f64)),
         ("vanilla", Json::Bool(vanilla)),
-        ("lenient_load", Json::Bool(matches!(load_opts.mode, LoadMode::Lenient))),
+        (
+            "lenient_load",
+            Json::Bool(matches!(load_opts.mode, LoadMode::Lenient)),
+        ),
         ("chaos_plan", chaos_plan_json),
         ("out", Json::from(out)),
     ]);
     let data_json = dataset_json(data, &loaded);
     // First manifest write: provenance survives even if the run crashes.
     if let Some(run) = run {
-        let m = run_manifest("pretrain", "running", seed, config_json.clone(), data_json.clone());
-        run.write_manifest(&m).map_err(|e| CpdgError::io("run.json", e))?;
+        let m = run_manifest(
+            "pretrain",
+            "running",
+            seed,
+            config_json.clone(),
+            data_json.clone(),
+        );
+        run.write_manifest(&m)
+            .map_err(|e| CpdgError::io("run.json", e))?;
     }
     let graph = loaded.graph;
     let mut store = ParamStore::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let dcfg = DgnnConfig::preset(encoder_kind, dim, auto_time_scale(&graph));
-    let mut encoder = DgnnEncoder::new(&mut store, &mut rng, "enc", graph.num_nodes(), dcfg.clone());
+    let mut encoder =
+        DgnnEncoder::new(&mut store, &mut rng, "enc", graph.num_nodes(), dcfg.clone());
     let head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", dim);
     let mut opt = Adam::new(2e-2);
-    let mut pcfg = PretrainConfig { epochs, seed, ..Default::default() };
+    let mut pcfg = PretrainConfig {
+        epochs,
+        seed,
+        ..Default::default()
+    };
     pcfg.objective.beta = beta;
     if vanilla {
         pcfg.objective.use_tc = false;
@@ -381,31 +435,52 @@ fn cmd_pretrain(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
         if vanilla { "vanilla" } else { "CPDG" },
         graph.num_events()
     );
-    let result =
-        pretrain_resumable(&mut encoder, &head, &mut store, &mut opt, &graph, &pcfg, &runtime)?;
+    let result = pretrain_resumable(
+        &mut encoder,
+        &head,
+        &mut store,
+        &mut opt,
+        &graph,
+        &pcfg,
+        &runtime,
+    )?;
     for (i, e) in result.epoch_losses.iter().enumerate() {
         println!(
             "  epoch {:>2}: total {:.4} (tlp {:.4}, tc {:.4}, sc {:.4})",
-            i + 1, e.total, e.tlp, e.tc, e.sc
+            i + 1,
+            e.total,
+            e.tlp,
+            e.tc,
+            e.sc
         );
     }
     if result.skipped_steps > 0 {
-        println!("  divergence guard skipped {} poisoned step(s)", result.skipped_steps);
+        println!(
+            "  divergence guard skipped {} poisoned step(s)",
+            result.skipped_steps
+        );
     }
     let model = ModelFile::new(dcfg, graph.num_nodes(), store, result.checkpoints);
     model.save(Path::new(out))?;
-    println!("saved model ({} params, {} checkpoints) to {out}",
-        model.params.scalar_count(), model.checkpoints.len());
+    println!(
+        "saved model ({} params, {} checkpoints) to {out}",
+        model.params.scalar_count(),
+        model.checkpoints.len()
+    );
     if let Some(run) = run {
         let mut m = run_manifest("pretrain", "complete", seed, config_json, data_json);
-        m.push("epochs_completed", Json::U64(result.epoch_losses.len() as u64));
+        m.push(
+            "epochs_completed",
+            Json::U64(result.epoch_losses.len() as u64),
+        );
         if let Some(last) = result.epoch_losses.last() {
             m.push("final_loss", Json::F64(last.total as f64));
         }
         m.push("skipped_steps", Json::U64(result.skipped_steps as u64));
         m.push("eie_checkpoints", Json::U64(model.checkpoints.len() as u64));
         finish_manifest(&mut m, started);
-        run.write_manifest(&m).map_err(|e| CpdgError::io("run.json", e))?;
+        run.write_manifest(&m)
+            .map_err(|e| CpdgError::io("run.json", e))?;
     }
     Ok(())
 }
@@ -440,8 +515,15 @@ fn cmd_finetune(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
     ]);
     let data_json = dataset_json(data, &loaded);
     if let Some(run) = run {
-        let m = run_manifest("finetune", "running", seed, config_json.clone(), data_json.clone());
-        run.write_manifest(&m).map_err(|e| CpdgError::io("run.json", e))?;
+        let m = run_manifest(
+            "finetune",
+            "running",
+            seed,
+            config_json.clone(),
+            data_json.clone(),
+        );
+        run.write_manifest(&m)
+            .map_err(|e| CpdgError::io("run.json", e))?;
     }
     let graph = loaded.graph;
     if graph.num_nodes() > model.num_nodes {
@@ -455,7 +537,11 @@ fn cmd_finetune(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
     let mut store = ParamStore::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut encoder = DgnnEncoder::new(
-        &mut store, &mut rng, "enc", model.num_nodes, model.encoder_config.clone(),
+        &mut store,
+        &mut rng,
+        "enc",
+        model.num_nodes,
+        model.encoder_config.clone(),
     );
     let copied = store.load_matching(&model.params);
     println!("loaded {copied} parameter tensors from {model_path}");
@@ -466,14 +552,25 @@ fn cmd_finetune(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
     } else {
         strategy
     };
-    let fcfg = FinetuneConfig { epochs, seed, strategy, ..Default::default() };
+    let fcfg = FinetuneConfig {
+        epochs,
+        seed,
+        strategy,
+        ..Default::default()
+    };
     println!(
         "fine-tuning ({}) on {} events for {epochs} epoch(s)…",
         strategy.name(),
         graph.num_events()
     );
-    let res =
-        finetune_link_prediction(&mut encoder, &mut store, &graph, &model.checkpoints, &fcfg, None);
+    let res = finetune_link_prediction(
+        &mut encoder,
+        &mut store,
+        &graph,
+        &model.checkpoints,
+        &fcfg,
+        None,
+    );
     println!("validation AUC : {:.4}", res.val_auc);
     println!("test AUC       : {:.4}", res.auc);
     println!("test AP        : {:.4}", res.ap);
@@ -483,7 +580,8 @@ fn cmd_finetune(args: &Args, run: Option<&cpdg_obs::RunDir>) -> CpdgResult<()> {
         m.push("auc", Json::F64(res.auc as f64));
         m.push("ap", Json::F64(res.ap as f64));
         finish_manifest(&mut m, started);
-        run.write_manifest(&m).map_err(|e| CpdgError::io("run.json", e))?;
+        run.write_manifest(&m)
+            .map_err(|e| CpdgError::io("run.json", e))?;
     }
     Ok(())
 }
@@ -545,11 +643,8 @@ fn serve_engine(args: &Args) -> CpdgResult<std::sync::Arc<cpdg_serve::Engine>> {
         breaker_probe_every: args.get_num("breaker-probe", 4u32)?,
         seed: args.get_num("seed", 0u64)?,
     };
-    let engine = cpdg_serve::Engine::from_model_file(
-        Path::new(model_path),
-        engine_cfg,
-        chaos_hook(args)?,
-    )?;
+    let engine =
+        cpdg_serve::Engine::from_model_file(Path::new(model_path), engine_cfg, chaos_hook(args)?)?;
     if let Some(mem) = args.get("memory-in") {
         engine.restore_memory_file(&FS_STORAGE, Path::new(mem))?;
         println!("restored memory from {mem}");
@@ -557,10 +652,44 @@ fn serve_engine(args: &Args) -> CpdgResult<std::sync::Arc<cpdg_serve::Engine>> {
     Ok(std::sync::Arc::new(engine))
 }
 
+/// Opens (and recovers from) the write-ahead log when `--wal-dir` is
+/// given. `--fsync` without `--wal-dir` is a configuration mistake worth
+/// refusing loudly rather than silently running without durability.
+fn open_wal(args: &Args, engine: &cpdg_serve::Engine) -> CpdgResult<bool> {
+    let Some(dir) = args.get("wal-dir") else {
+        if args.get("fsync").is_some() {
+            return Err(CpdgError::Invalid(
+                "--fsync requires --wal-dir (no log to sync without one)".to_string(),
+            ));
+        }
+        return Ok(false);
+    };
+    let fsync = match args.get("fsync") {
+        Some(s) => s
+            .parse::<cpdg_core::FsyncPolicy>()
+            .map_err(CpdgError::Invalid)?,
+        None => cpdg_core::FsyncPolicy::Always,
+    };
+    let config = cpdg_core::WalConfig {
+        fsync,
+        ..cpdg_core::WalConfig::default()
+    };
+    let report = engine.open_wal(Path::new(dir), config)?;
+    println!(
+        "wal recovery: checkpoint_applied={} replayed={} segments={} truncated_bytes={}",
+        report.checkpoint_applied,
+        report.replayed,
+        report.recovery.segments,
+        report.recovery.truncated_bytes,
+    );
+    Ok(true)
+}
+
 fn cmd_serve(args: &Args) -> CpdgResult<()> {
     use std::sync::atomic::Ordering;
     apply_threads(args)?;
     let engine = serve_engine(args)?;
+    let wal_attached = open_wal(args, &engine)?;
 
     if let Some(script) = args.get("ingest") {
         // Offline mode: apply a request script in-process (no sockets) and
@@ -573,7 +702,10 @@ fn cmd_serve(args: &Args) -> CpdgResult<()> {
             }
             let reply = match cpdg_serve::parse_line(line) {
                 Ok(cmd) => engine.execute(cmd),
-                Err(detail) => cpdg_serve::Reply::Err { kind: cpdg_serve::ErrKind::Parse, detail },
+                Err(detail) => cpdg_serve::Reply::Err {
+                    kind: cpdg_serve::ErrKind::Parse,
+                    detail,
+                },
             };
             println!("{}", reply.render());
         }
@@ -595,6 +727,15 @@ fn cmd_serve(args: &Args) -> CpdgResult<()> {
         server.shutdown();
     }
 
+    if wal_attached {
+        // Clean exit: fold everything the log holds into a checkpoint so
+        // the next start replays nothing. A crash before this line is the
+        // case the WAL exists for — startup replays the segments instead.
+        if let Some(freed) = engine.checkpoint_wal(&FS_STORAGE)? {
+            println!("wal checkpoint written ({freed} log bytes truncated)");
+        }
+    }
+
     if let Some(out) = args.get("memory-out") {
         engine.persist_memory(&FS_STORAGE, Path::new(out))?;
         println!("persisted memory to {out}");
@@ -608,24 +749,31 @@ fn cmd_query(args: &Args) -> CpdgResult<()> {
         (Some(a), _) => a.to_string(),
         (None, Some(p)) => format!("127.0.0.1:{p}"),
         (None, None) => {
-            return Err(CpdgError::Invalid("query needs --addr or --port".to_string()))
+            return Err(CpdgError::Invalid(
+                "query needs --addr or --port".to_string(),
+            ))
         }
     };
-    let mut stream =
-        std::net::TcpStream::connect(&addr).map_err(|e| CpdgError::io(&addr, e))?;
+    let mut stream = std::net::TcpStream::connect(&addr).map_err(|e| CpdgError::io(&addr, e))?;
     stream
         .set_read_timeout(Some(std::time::Duration::from_secs(30)))
         .map_err(|e| CpdgError::io(&addr, e))?;
-    let mut reader =
-        BufReader::new(stream.try_clone().map_err(|e| CpdgError::io(&addr, e))?);
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| CpdgError::io(&addr, e))?);
     let mut roundtrip = |line: &str| -> CpdgResult<()> {
         writeln!(stream, "{line}").map_err(|e| CpdgError::io(&addr, e))?;
         stream.flush().map_err(|e| CpdgError::io(&addr, e))?;
         let mut reply = String::new();
-        reader.read_line(&mut reply).map_err(|e| CpdgError::io(&addr, e))?;
+        reader
+            .read_line(&mut reply)
+            .map_err(|e| CpdgError::io(&addr, e))?;
         print!("{reply}");
         Ok(())
     };
+    if args.has_flag("status") {
+        // Shorthand for --send STATUS: one key=value health line.
+        roundtrip("STATUS")?;
+        return Ok(());
+    }
     match args.get("send") {
         Some(line) => roundtrip(line)?,
         None => {
@@ -694,15 +842,26 @@ fn load_data(
     opts: &LoadOptions,
     hook: &FaultHook,
 ) -> CpdgResult<cpdg_graph::loader::LoadedGraph> {
-    let loaded =
-        load_jodie_chaos(&FS_STORAGE, Path::new(path), opts, &RetryPolicy::default(), hook)?;
+    let loaded = load_jodie_chaos(
+        &FS_STORAGE,
+        Path::new(path),
+        opts,
+        &RetryPolicy::default(),
+        hook,
+    )?;
     if !loaded.quarantine.is_empty() {
         cpdg_obs::emit_metrics(
             "ingest",
             vec![
                 ("path".to_string(), cpdg_obs::Value::from(path)),
-                ("quarantined".to_string(), cpdg_obs::Value::from(loaded.quarantine.total)),
-                ("events".to_string(), cpdg_obs::Value::from(loaded.graph.num_events())),
+                (
+                    "quarantined".to_string(),
+                    cpdg_obs::Value::from(loaded.quarantine.total),
+                ),
+                (
+                    "events".to_string(),
+                    cpdg_obs::Value::from(loaded.graph.num_events()),
+                ),
             ],
         );
     }
@@ -746,7 +905,10 @@ mod tests {
         ));
         let err = cmd_finetune(&args, None).unwrap_err();
         match err {
-            CpdgError::NodeCountMismatch { data_nodes, model_nodes } => {
+            CpdgError::NodeCountMismatch {
+                data_nodes,
+                model_nodes,
+            } => {
                 assert_eq!(data_nodes, 4);
                 assert_eq!(model_nodes, 2);
             }
@@ -754,7 +916,11 @@ mod tests {
         }
         // And it maps to its own exit code, distinct from usage errors.
         assert_eq!(
-            CpdgError::NodeCountMismatch { data_nodes: 4, model_nodes: 2 }.exit_code(),
+            CpdgError::NodeCountMismatch {
+                data_nodes: 4,
+                model_nodes: 2
+            }
+            .exit_code(),
             3
         );
         std::fs::remove_dir_all(&dir).ok();
@@ -809,7 +975,9 @@ mod tests {
             model_path.display(),
             run_path.display()
         ));
-        let run = init_observability(&args).unwrap().expect("--run-dir opens a RunDir");
+        let run = init_observability(&args)
+            .unwrap()
+            .expect("--run-dir opens a RunDir");
         cmd_pretrain(&args, Some(&run)).unwrap();
         drop(run);
 
@@ -835,7 +1003,11 @@ mod tests {
             .collect();
         assert_eq!(epochs.len(), 1, "{metrics}");
         assert!(epochs[0]["loss_total"].is_number(), "{}", epochs[0]);
-        assert!(epochs[0]["d_matmul.dispatches"].as_u64().unwrap() > 0, "{}", epochs[0]);
+        assert!(
+            epochs[0]["d_matmul.dispatches"].as_u64().unwrap() > 0,
+            "{}",
+            epochs[0]
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -916,11 +1088,20 @@ mod tests {
         let args = parse(&format!("pretrain --chaos-plan {}", plan_path.display()));
         assert!(chaos_hook(&args).unwrap().is_active());
         // Unreadable and malformed plans surface as typed errors.
-        let missing = parse(&format!("pretrain --chaos-plan {}", dir.join("nope.json").display()));
-        assert!(matches!(chaos_hook(&missing).unwrap_err(), CpdgError::Io { .. }));
+        let missing = parse(&format!(
+            "pretrain --chaos-plan {}",
+            dir.join("nope.json").display()
+        ));
+        assert!(matches!(
+            chaos_hook(&missing).unwrap_err(),
+            CpdgError::Io { .. }
+        ));
         std::fs::write(&plan_path, b"{not json").unwrap();
         let args = parse(&format!("pretrain --chaos-plan {}", plan_path.display()));
-        assert!(matches!(chaos_hook(&args).unwrap_err(), CpdgError::Invalid(_)));
+        assert!(matches!(
+            chaos_hook(&args).unwrap_err(),
+            CpdgError::Invalid(_)
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

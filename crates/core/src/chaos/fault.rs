@@ -44,11 +44,28 @@ pub enum FaultPoint {
     /// keeps the previous model epoch live).
     #[serde(rename = "serve.reload")]
     ServeReload,
+    /// One write-ahead-log record append (before the frame bytes hit the
+    /// segment file; a fired fault rejects the event, leaving it in
+    /// neither memory nor the log).
+    #[serde(rename = "wal.append")]
+    WalAppend,
+    /// One WAL fsync per the configured policy (a fired fault rolls the
+    /// segment back to its pre-append length — exactly-once semantics).
+    #[serde(rename = "wal.fsync")]
+    WalFsync,
+    /// One WAL record visited during startup replay (a fired permanent
+    /// fault aborts recovery with a typed error).
+    #[serde(rename = "wal.replay")]
+    WalReplay,
+    /// One job drained by a serving worker thread (a fired fault panics
+    /// the worker, exercising the supervisor restart path).
+    #[serde(rename = "serve.worker")]
+    ServeWorker,
 }
 
 impl FaultPoint {
     /// Every fault point, in catalogue order.
-    pub const ALL: [FaultPoint; 10] = [
+    pub const ALL: [FaultPoint; 14] = [
         FaultPoint::StorageWrite,
         FaultPoint::StorageRead,
         FaultPoint::LoaderRow,
@@ -59,6 +76,10 @@ impl FaultPoint {
         FaultPoint::ServeAccept,
         FaultPoint::ServeInfer,
         FaultPoint::ServeReload,
+        FaultPoint::WalAppend,
+        FaultPoint::WalFsync,
+        FaultPoint::WalReplay,
+        FaultPoint::ServeWorker,
     ];
 
     /// The dotted wire name (`storage.write`, `ckpt.save`, …) used in plan
@@ -75,6 +96,10 @@ impl FaultPoint {
             FaultPoint::ServeAccept => "serve.accept",
             FaultPoint::ServeInfer => "serve.infer",
             FaultPoint::ServeReload => "serve.reload",
+            FaultPoint::WalAppend => "wal.append",
+            FaultPoint::WalFsync => "wal.fsync",
+            FaultPoint::WalReplay => "wal.replay",
+            FaultPoint::ServeWorker => "serve.worker",
         }
     }
 }
@@ -201,12 +226,19 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// An empty plan under `seed` — extend with [`FaultPlan::with`].
     pub fn new(seed: u64) -> Self {
-        Self { seed, faults: Vec::new() }
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
     }
 
     /// Adds one injection rule (builder style).
     pub fn with(mut self, point: FaultPoint, kind: FaultKind, trigger: Trigger) -> Self {
-        self.faults.push(FaultSpec { point, kind, trigger });
+        self.faults.push(FaultSpec {
+            point,
+            kind,
+            trigger,
+        });
         self
     }
 
@@ -236,16 +268,18 @@ mod tests {
     #[test]
     fn nth_fires_exactly_once() {
         let t = Trigger::Nth { n: 3 };
-        let fired: Vec<u64> =
-            (1..=10).filter(|&h| t.fires(0, FaultPoint::CkptSave, h)).collect();
+        let fired: Vec<u64> = (1..=10)
+            .filter(|&h| t.fires(0, FaultPoint::CkptSave, h))
+            .collect();
         assert_eq!(fired, vec![3]);
     }
 
     #[test]
     fn every_k_is_periodic() {
         let t = Trigger::Every { k: 4 };
-        let fired: Vec<u64> =
-            (1..=12).filter(|&h| t.fires(0, FaultPoint::StorageWrite, h)).collect();
+        let fired: Vec<u64> = (1..=12)
+            .filter(|&h| t.fires(0, FaultPoint::StorageWrite, h))
+            .collect();
         assert_eq!(fired, vec![4, 8, 12]);
         // k = 0 degrades to every hit, not a division panic.
         assert!(Trigger::Every { k: 0 }.fires(0, FaultPoint::StorageWrite, 1));
@@ -254,13 +288,22 @@ mod tests {
     #[test]
     fn prob_is_deterministic_and_seed_sensitive() {
         let t = Trigger::Prob { p: 0.5 };
-        let a: Vec<bool> = (1..=64).map(|h| t.fires(1, FaultPoint::LoaderRow, h)).collect();
-        let b: Vec<bool> = (1..=64).map(|h| t.fires(1, FaultPoint::LoaderRow, h)).collect();
+        let a: Vec<bool> = (1..=64)
+            .map(|h| t.fires(1, FaultPoint::LoaderRow, h))
+            .collect();
+        let b: Vec<bool> = (1..=64)
+            .map(|h| t.fires(1, FaultPoint::LoaderRow, h))
+            .collect();
         assert_eq!(a, b, "same seed must give the same schedule");
-        let c: Vec<bool> = (1..=64).map(|h| t.fires(2, FaultPoint::LoaderRow, h)).collect();
+        let c: Vec<bool> = (1..=64)
+            .map(|h| t.fires(2, FaultPoint::LoaderRow, h))
+            .collect();
         assert_ne!(a, c, "different seeds must differ");
         let fired = a.iter().filter(|&&f| f).count();
-        assert!((10..=54).contains(&fired), "p=0.5 over 64 hits fired {fired} times");
+        assert!(
+            (10..=54).contains(&fired),
+            "p=0.5 over 64 hits fired {fired} times"
+        );
         // Degenerate probabilities are exact.
         assert!(!Trigger::Prob { p: 0.0 }.fires(0, FaultPoint::LoaderRow, 1));
         assert!(Trigger::Prob { p: 1.0 }.fires(0, FaultPoint::LoaderRow, 1));
@@ -269,9 +312,21 @@ mod tests {
     #[test]
     fn plan_json_round_trips() {
         let plan = FaultPlan::new(7)
-            .with(FaultPoint::StorageWrite, FaultKind::Transient, Trigger::Every { k: 3 })
-            .with(FaultPoint::CkptSave, FaultKind::Permanent, Trigger::Nth { n: 2 })
-            .with(FaultPoint::LoaderRow, FaultKind::Transient, Trigger::Prob { p: 0.25 });
+            .with(
+                FaultPoint::StorageWrite,
+                FaultKind::Transient,
+                Trigger::Every { k: 3 },
+            )
+            .with(
+                FaultPoint::CkptSave,
+                FaultKind::Permanent,
+                Trigger::Nth { n: 2 },
+            )
+            .with(
+                FaultPoint::LoaderRow,
+                FaultKind::Transient,
+                Trigger::Prob { p: 0.25 },
+            );
         let json = plan.to_json();
         assert!(json.contains("\"storage.write\""), "{json}");
         assert_eq!(FaultPlan::from_json(&json).unwrap(), plan);

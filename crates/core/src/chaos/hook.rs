@@ -35,7 +35,10 @@ impl Fault {
             FaultKind::Transient => io::ErrorKind::Interrupted,
             FaultKind::Permanent => io::ErrorKind::Other,
         };
-        io::Error::new(kind, format!("injected {} fault at {}", kind_name(self.kind), self.point))
+        io::Error::new(
+            kind,
+            format!("injected {} fault at {}", kind_name(self.kind), self.point),
+        )
     }
 }
 
@@ -48,7 +51,12 @@ fn kind_name(kind: FaultKind) -> &'static str {
 
 impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "injected {} fault at {}", kind_name(self.kind), self.point)
+        write!(
+            f,
+            "injected {} fault at {}",
+            kind_name(self.kind),
+            self.point
+        )
     }
 }
 
@@ -88,7 +96,10 @@ impl PlanState {
                     kind = kind_name(s.spec.kind),
                     hit = hit,
                 );
-                return Err(Fault { point, kind: s.spec.kind });
+                return Err(Fault {
+                    point,
+                    kind: s.spec.kind,
+                });
             }
         }
         Ok(())
@@ -118,7 +129,10 @@ impl FaultHook {
             specs: plan
                 .faults
                 .iter()
-                .map(|&spec| SpecState { spec, injected: AtomicU64::new(0) })
+                .map(|&spec| SpecState {
+                    spec,
+                    injected: AtomicU64::new(0),
+                })
                 .collect(),
             hits: std::array::from_fn(|_| AtomicU64::new(0)),
         })))
@@ -150,7 +164,12 @@ impl FaultHook {
     pub fn injected(&self) -> u64 {
         self.0
             .as_ref()
-            .map(|s| s.specs.iter().map(|x| x.injected.load(Ordering::Relaxed)).sum())
+            .map(|s| {
+                s.specs
+                    .iter()
+                    .map(|x| x.injected.load(Ordering::Relaxed))
+                    .sum()
+            })
             .unwrap_or(0)
     }
 
@@ -197,7 +216,9 @@ impl<'a> ChaosStorage<'a> {
 
 impl Storage for ChaosStorage<'_> {
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
-        self.hook.check(FaultPoint::StorageWrite).map_err(Fault::into_io)?;
+        self.hook
+            .check(FaultPoint::StorageWrite)
+            .map_err(Fault::into_io)?;
         self.inner.write(path, bytes)
     }
 
@@ -206,7 +227,9 @@ impl Storage for ChaosStorage<'_> {
     }
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
-        self.hook.check(FaultPoint::StorageRead).map_err(Fault::into_io)?;
+        self.hook
+            .check(FaultPoint::StorageRead)
+            .map_err(Fault::into_io)?;
         self.inner.read(path)
     }
 
@@ -276,22 +299,37 @@ mod tests {
 
     #[test]
     fn transient_fault_maps_to_interrupted_io_error() {
-        let t = Fault { point: FaultPoint::StorageWrite, kind: FaultKind::Transient }.into_io();
+        let t = Fault {
+            point: FaultPoint::StorageWrite,
+            kind: FaultKind::Transient,
+        }
+        .into_io();
         assert_eq!(t.kind(), io::ErrorKind::Interrupted);
         assert!(t.to_string().contains("storage.write"), "{t}");
-        let p = Fault { point: FaultPoint::StorageRead, kind: FaultKind::Permanent }.into_io();
+        let p = Fault {
+            point: FaultPoint::StorageRead,
+            kind: FaultKind::Permanent,
+        }
+        .into_io();
         assert_ne!(p.kind(), io::ErrorKind::Interrupted);
     }
 
     #[test]
     fn chaos_storage_injects_on_write_and_read() {
-        let dir = std::env::temp_dir()
-            .join(format!("cpdg_chaos_storage_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("cpdg_chaos_storage_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("x.bin");
         let plan = FaultPlan::new(0)
-            .with(FaultPoint::StorageWrite, FaultKind::Transient, Trigger::Nth { n: 1 })
-            .with(FaultPoint::StorageRead, FaultKind::Permanent, Trigger::Nth { n: 2 });
+            .with(
+                FaultPoint::StorageWrite,
+                FaultKind::Transient,
+                Trigger::Nth { n: 1 },
+            )
+            .with(
+                FaultPoint::StorageRead,
+                FaultKind::Permanent,
+                Trigger::Nth { n: 2 },
+            );
         let storage = ChaosStorage::new(&FS_STORAGE, FaultHook::install(&plan));
         // First write faults; the atomic protocol cleans up after itself.
         let err = storage.write_atomic(&path, b"payload").unwrap_err();

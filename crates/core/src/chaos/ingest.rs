@@ -42,11 +42,16 @@ pub fn load_jodie_chaos(
 ) -> CpdgResult<LoadedGraph> {
     let bytes = retry
         .run(FaultPoint::StorageRead.name(), || {
-            hook.check(FaultPoint::StorageRead).map_err(Fault::into_io)?;
+            hook.check(FaultPoint::StorageRead)
+                .map_err(Fault::into_io)?;
             storage.read(path)
         })
         .map_err(|e| CpdgError::io(path, e))?;
-    let bytes = if hook.is_active() { inject_row_faults(&bytes, hook) } else { bytes };
+    let bytes = if hook.is_active() {
+        inject_row_faults(&bytes, hook)
+    } else {
+        bytes
+    };
     load_jodie_csv_with(&bytes[..], opts).map_err(CpdgError::from)
 }
 
@@ -98,8 +103,7 @@ user_id,item_id,timestamp,state_label
             &FaultHook::none(),
         )
         .unwrap();
-        let plain =
-            cpdg_graph::loader::load_jodie_csv(SAMPLE.as_bytes()).unwrap();
+        let plain = cpdg_graph::loader::load_jodie_csv(SAMPLE.as_bytes()).unwrap();
         assert_eq!(chaos.graph.num_events(), plain.graph.num_events());
         assert_eq!(chaos.num_users, plain.num_users);
         assert!(chaos.quarantine.is_empty());
@@ -165,7 +169,11 @@ user_id,item_id,timestamp,state_label
             &FS_STORAGE,
             &path,
             &LoadOptions::strict(),
-            &RetryPolicy { max_attempts: 3, base_delay_ms: 0, max_delay_ms: 0 },
+            &RetryPolicy {
+                max_attempts: 3,
+                base_delay_ms: 0,
+                max_delay_ms: 0,
+            },
             &hook,
         )
         .unwrap();

@@ -5,10 +5,13 @@
 //!
 //! * [`FaultPlan`] ([`fault`]) — a seedable description of *where* (named
 //!   [`FaultPoint`]s: `storage.write`, `storage.read`, `loader.row`,
-//!   `sampler.batch`, `memory.update`, `ckpt.save`, `ckpt.load`) and
-//!   *when* (nth-hit, every-k, seeded probability) to raise typed
-//!   transient or permanent faults. Plans serialise to JSON so a chaos
-//!   run is reproducible from a `--chaos-plan` file.
+//!   `sampler.batch`, `memory.update`, `ckpt.save`, `ckpt.load`, the
+//!   serving points `serve.accept`/`serve.infer`/`serve.reload`/
+//!   `serve.worker`, and the durability points
+//!   `wal.append`/`wal.fsync`/`wal.replay`) and *when* (nth-hit,
+//!   every-k, seeded probability) to raise typed transient or permanent
+//!   faults. Plans serialise to JSON so a chaos run is reproducible from
+//!   a `--chaos-plan` file.
 //! * [`FaultHook`] ([`hook`]) — the lightweight handle threaded through
 //!   the [`Storage`](crate::storage::Storage) trait (via
 //!   [`ChaosStorage`]), the checkpoint manager

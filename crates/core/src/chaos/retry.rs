@@ -32,14 +32,22 @@ pub struct RetryPolicy {
 impl Default for RetryPolicy {
     /// Four attempts with 5 ms → 10 ms → 20 ms backoff, capped at 500 ms.
     fn default() -> Self {
-        Self { max_attempts: 4, base_delay_ms: 5, max_delay_ms: 500 }
+        Self {
+            max_attempts: 4,
+            base_delay_ms: 5,
+            max_delay_ms: 500,
+        }
     }
 }
 
 impl RetryPolicy {
     /// A policy that never retries: one attempt, no delay.
     pub fn none() -> Self {
-        Self { max_attempts: 1, base_delay_ms: 0, max_delay_ms: 0 }
+        Self {
+            max_attempts: 1,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        }
     }
 
     /// Whether `err` is worth retrying. Transient kinds are the ones the
@@ -62,7 +70,10 @@ impl RetryPolicy {
     /// `attempt = 2`.
     pub fn backoff_delay(&self, attempt: u32) -> Duration {
         let shift = attempt.saturating_sub(1).min(63);
-        let ms = self.base_delay_ms.saturating_mul(1u64 << shift).min(self.max_delay_ms);
+        let ms = self
+            .base_delay_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_delay_ms);
         Duration::from_millis(ms)
     }
 
@@ -123,17 +134,29 @@ mod tests {
     }
 
     fn fast(max_attempts: u32) -> RetryPolicy {
-        RetryPolicy { max_attempts, base_delay_ms: 0, max_delay_ms: 0 }
+        RetryPolicy {
+            max_attempts,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        }
     }
 
     #[test]
     fn backoff_doubles_and_caps() {
-        let p = RetryPolicy { max_attempts: 8, base_delay_ms: 5, max_delay_ms: 35 };
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay_ms: 5,
+            max_delay_ms: 35,
+        };
         assert_eq!(p.backoff_delay(1), Duration::from_millis(5));
         assert_eq!(p.backoff_delay(2), Duration::from_millis(10));
         assert_eq!(p.backoff_delay(3), Duration::from_millis(20));
         assert_eq!(p.backoff_delay(4), Duration::from_millis(35));
-        assert_eq!(p.backoff_delay(60), Duration::from_millis(35), "huge attempts stay capped");
+        assert_eq!(
+            p.backoff_delay(60),
+            Duration::from_millis(35),
+            "huge attempts stay capped"
+        );
     }
 
     #[test]
@@ -143,7 +166,11 @@ mod tests {
         // to the configured ceiling instead of overflowing (attempt 64
         // would otherwise shift by 64 — undefined on u64 — and attempt 65+
         // would wrap to tiny delays).
-        let p = RetryPolicy { max_attempts: u32::MAX, base_delay_ms: 5, max_delay_ms: 500 };
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_delay_ms: 5,
+            max_delay_ms: 500,
+        };
         for attempt in [63, 64, 65, 1_000, u32::MAX] {
             assert_eq!(
                 p.backoff_delay(attempt),
@@ -153,12 +180,18 @@ mod tests {
         }
         // Even a degenerate policy with no ceiling saturates instead of
         // wrapping: the delay is monotone non-decreasing in the attempt.
-        let unbounded =
-            RetryPolicy { max_attempts: u32::MAX, base_delay_ms: 3, max_delay_ms: u64::MAX };
+        let unbounded = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_delay_ms: 3,
+            max_delay_ms: u64::MAX,
+        };
         let mut last = Duration::ZERO;
         for attempt in [1, 2, 62, 63, 64, 65, u32::MAX] {
             let d = unbounded.backoff_delay(attempt);
-            assert!(d >= last, "backoff regressed at attempt {attempt}: {d:?} < {last:?}");
+            assert!(
+                d >= last,
+                "backoff regressed at attempt {attempt}: {d:?} < {last:?}"
+            );
             last = d;
         }
     }

@@ -76,7 +76,11 @@ pub struct CheckpointConfig {
 impl CheckpointConfig {
     /// Checkpoints into `dir` every 50 steps, keeping the 3 newest files.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into(), every_n_steps: 50, keep: 3 }
+        Self {
+            dir: dir.into(),
+            every_n_steps: 50,
+            keep: 3,
+        }
     }
 }
 
@@ -117,8 +121,15 @@ impl<'s> CheckpointManager<'s> {
         hook: FaultHook,
         retry: RetryPolicy,
     ) -> CpdgResult<Self> {
-        storage.create_dir_all(&cfg.dir).map_err(|e| CpdgError::io(&cfg.dir, e))?;
-        Ok(Self { cfg, storage, hook, retry })
+        storage
+            .create_dir_all(&cfg.dir)
+            .map_err(|e| CpdgError::io(&cfg.dir, e))?;
+        Ok(Self {
+            cfg,
+            storage,
+            hook,
+            retry,
+        })
     }
 
     /// The directory this manager writes into.
@@ -146,7 +157,9 @@ impl<'s> CheckpointManager<'s> {
         // `ckpt.save` fault point is consulted once per attempt.
         self.retry
             .run(FaultPoint::CkptSave.name(), || {
-                self.hook.check(FaultPoint::CkptSave).map_err(Fault::into_io)?;
+                self.hook
+                    .check(FaultPoint::CkptSave)
+                    .map_err(Fault::into_io)?;
                 self.storage.write_atomic(&path, &bytes)?;
                 self.storage.write_atomic(&latest, name.as_bytes())
             })
@@ -175,7 +188,9 @@ impl<'s> CheckpointManager<'s> {
         let keep = self.cfg.keep.max(1);
         while files.len() > keep {
             let victim = files.remove(0);
-            self.storage.remove_file(&victim).map_err(|e| CpdgError::io(&victim, e))?;
+            self.storage
+                .remove_file(&victim)
+                .map_err(|e| CpdgError::io(&victim, e))?;
         }
         Ok(())
     }
@@ -213,7 +228,10 @@ impl<'s> CheckpointManager<'s> {
             }
         }
         let mut all: Vec<PathBuf> = match storage.list(dir) {
-            Ok(files) => files.into_iter().filter(|p| is_checkpoint_file(p)).collect(),
+            Ok(files) => files
+                .into_iter()
+                .filter(|p| is_checkpoint_file(p))
+                .collect(),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(CpdgError::io(dir, e)),
         };
@@ -254,8 +272,8 @@ impl<'s> CheckpointManager<'s> {
             })
             .map_err(|e| CpdgError::io(path, e))?;
         let payload = crate::integrity::unseal(&bytes, path)?;
-        let ckpt: TrainCheckpoint = serde_json::from_slice(payload)
-            .map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
+        let ckpt: TrainCheckpoint =
+            serde_json::from_slice(payload).map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
         if ckpt.version != CHECKPOINT_VERSION {
             return Err(CpdgError::VersionMismatch {
                 found: ckpt.version,
@@ -274,8 +292,7 @@ mod tests {
     use cpdg_tensor::Matrix;
 
     fn test_dir(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("cpdg_ckpt_{name}_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("cpdg_ckpt_{name}_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
     }
@@ -309,7 +326,9 @@ mod tests {
         let mgr = CheckpointManager::new(CheckpointConfig::new(&dir), &FS_STORAGE).unwrap();
         mgr.save(&dummy_checkpoint(10)).unwrap();
         mgr.save(&dummy_checkpoint(20)).unwrap();
-        let (ckpt, path) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        let (ckpt, path) = CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .unwrap();
         assert_eq!(ckpt.step, 20);
         assert!(path.ends_with("ckpt-00000020.json"));
         assert_eq!(ckpt.encoder.pending, vec![(0, 1, 1.0)]);
@@ -319,7 +338,10 @@ mod tests {
     #[test]
     fn rotation_keeps_only_newest_files() {
         let dir = test_dir("rotate");
-        let cfg = CheckpointConfig { keep: 2, ..CheckpointConfig::new(&dir) };
+        let cfg = CheckpointConfig {
+            keep: 2,
+            ..CheckpointConfig::new(&dir)
+        };
         let mgr = CheckpointManager::new(cfg, &FS_STORAGE).unwrap();
         for step in [5, 10, 15, 20] {
             mgr.save(&dummy_checkpoint(step)).unwrap();
@@ -347,7 +369,9 @@ mod tests {
         let newest = dir.join(checkpoint_file_name(20));
         let bytes = FS_STORAGE.read(&newest).unwrap();
         std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
-        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .unwrap();
         assert_eq!(ckpt.step, 10);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -362,7 +386,9 @@ mod tests {
         std::fs::write(&newest, b"{ definitely not json").unwrap();
 
         let cap = cpdg_obs::capture();
-        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .unwrap();
         assert_eq!(ckpt.step, 10);
         // The skip must be observable: a warn record naming the file, not
         // an invisible stderr line.
@@ -393,14 +419,21 @@ mod tests {
         let mut bytes = FS_STORAGE.read(&newest).unwrap();
         bytes[20] ^= 0x04;
         std::fs::write(&newest, &bytes).unwrap();
-        let direct = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
-        assert_eq!(direct.0.step, 10, "crc failure must fall back to older checkpoint");
+        let direct = CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            direct.0.step, 10,
+            "crc failure must fall back to older checkpoint"
+        );
         // Legacy un-footered checkpoints still load.
         let legacy = dir.join(checkpoint_file_name(40));
         let json = serde_json::to_vec(&dummy_checkpoint(40)).unwrap();
         std::fs::write(&legacy, &json).unwrap();
         std::fs::write(dir.join(LATEST_FILE), b"ckpt-00000040.json").unwrap();
-        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .unwrap();
         assert_eq!(ckpt.step, 40);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -415,7 +448,9 @@ mod tests {
         // names a file that no longer exists.
         std::fs::write(dir.join(LATEST_FILE), b"ckpt-00000005.json").unwrap();
         let cap = cpdg_obs::capture();
-        let (ckpt, path) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        let (ckpt, path) = CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .unwrap();
         assert_eq!(ckpt.step, 20, "must recover to the newest parseable file");
         assert!(path.ends_with("ckpt-00000020.json"));
         // The dangling pointer itself is reported as a skipped candidate.
@@ -436,7 +471,9 @@ mod tests {
         mgr.save(&bad).unwrap();
         mgr.save(&dummy_checkpoint(20)).unwrap();
         // Step 30 is newest but has an alien version: fall back to 20.
-        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .unwrap();
         assert_eq!(ckpt.step, 20);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -444,9 +481,13 @@ mod tests {
     #[test]
     fn empty_or_missing_directory_yields_none() {
         let dir = test_dir("empty");
-        assert!(CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().is_none());
+        assert!(CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .is_none());
         FS_STORAGE.create_dir_all(&dir).unwrap();
-        assert!(CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().is_none());
+        assert!(CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -464,12 +505,18 @@ mod tests {
             CheckpointConfig::new(&dir),
             &FS_STORAGE,
             hook.clone(),
-            RetryPolicy { max_attempts: 3, base_delay_ms: 0, max_delay_ms: 0 },
+            RetryPolicy {
+                max_attempts: 3,
+                base_delay_ms: 0,
+                max_delay_ms: 0,
+            },
         )
         .unwrap();
         mgr.save(&dummy_checkpoint(10)).unwrap();
         assert_eq!(hook.injected_at(FaultPoint::CkptSave), 1);
-        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .unwrap();
         assert_eq!(ckpt.step, 10);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -488,13 +535,22 @@ mod tests {
             CheckpointConfig::new(&dir),
             &FS_STORAGE,
             FaultHook::install(&plan),
-            RetryPolicy { max_attempts: 3, base_delay_ms: 0, max_delay_ms: 0 },
+            RetryPolicy {
+                max_attempts: 3,
+                base_delay_ms: 0,
+                max_delay_ms: 0,
+            },
         )
         .unwrap();
         mgr.save(&dummy_checkpoint(10)).unwrap();
-        assert!(matches!(mgr.save(&dummy_checkpoint(20)), Err(CpdgError::Io { .. })));
+        assert!(matches!(
+            mgr.save(&dummy_checkpoint(20)),
+            Err(CpdgError::Io { .. })
+        ));
         // The crash left only whole files behind; step 10 still loads.
-        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .unwrap();
         assert_eq!(ckpt.step, 10);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -528,7 +584,10 @@ mod tests {
     #[test]
     fn should_save_respects_interval() {
         let dir = test_dir("interval");
-        let cfg = CheckpointConfig { every_n_steps: 25, ..CheckpointConfig::new(&dir) };
+        let cfg = CheckpointConfig {
+            every_n_steps: 25,
+            ..CheckpointConfig::new(&dir)
+        };
         let mgr = CheckpointManager::new(cfg, &FS_STORAGE).unwrap();
         assert!(!mgr.should_save(0));
         assert!(!mgr.should_save(24));

@@ -30,7 +30,12 @@ pub struct StructuralContrastConfig {
 
 impl Default for StructuralContrastConfig {
     fn default() -> Self {
-        Self { epsilon: 3, k: 2, margin: 1.0, readout: Default::default() }
+        Self {
+            epsilon: 3,
+            k: 2,
+            margin: 1.0,
+            readout: Default::default(),
+        }
     }
 }
 
@@ -53,8 +58,15 @@ pub fn structural_contrast_loss(
     cfg: &StructuralContrastConfig,
     batch_seed: u64,
 ) -> Var {
-    assert_eq!(tape.value(z).rows(), centers.len(), "structural_contrast_loss: row mismatch");
-    assert!(!negative_pool.is_empty(), "structural_contrast_loss: empty negative pool");
+    assert_eq!(
+        tape.value(z).rows(),
+        centers.len(),
+        "structural_contrast_loss: row mismatch"
+    );
+    assert!(
+        !negative_pool.is_empty(),
+        "structural_contrast_loss: empty negative pool"
+    );
     let dim = encoder.dim();
     let dfs = DfsConfig::new(cfg.epsilon, cfg.k);
 
@@ -86,7 +98,13 @@ mod tests {
         let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 1.0);
         let graph = graph_from_triples(
             6,
-            &[(0, 1, 1.0), (0, 2, 2.0), (2, 3, 3.0), (1, 4, 1.5), (3, 5, 3.5)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (2, 3, 3.0),
+                (1, 4, 1.5),
+                (3, 5, 3.5),
+            ],
         )
         .unwrap();
         let mut enc = DgnnEncoder::new(&mut store, &mut rng, "enc", 6, cfg);
@@ -104,8 +122,15 @@ mod tests {
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[0, 2], &[5.0, 5.0]);
         let pool: Vec<NodeId> = (0..6).collect();
         let loss = structural_contrast_loss(
-            &mut tape, &enc, &store, &sampler, &centers, z, &pool,
-            &StructuralContrastConfig::default(), 1,
+            &mut tape,
+            &enc,
+            &store,
+            &sampler,
+            &centers,
+            z,
+            &pool,
+            &StructuralContrastConfig::default(),
+            1,
         );
         assert_eq!(tape.value(loss).shape(), (1, 1));
         let v = tape.value(loss).get(0, 0);
@@ -120,9 +145,20 @@ mod tests {
         let ctx = enc.apply_pending(&mut tape, &store, &graph);
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[0], &[5.0]);
         let pool: Vec<NodeId> = (0..6).collect();
-        let cfg = StructuralContrastConfig { margin: 100.0, ..Default::default() };
+        let cfg = StructuralContrastConfig {
+            margin: 100.0,
+            ..Default::default()
+        };
         let loss = structural_contrast_loss(
-            &mut tape, &enc, &store, &sampler, &[(0, 5.0)], z, &pool, &cfg, 2,
+            &mut tape,
+            &enc,
+            &store,
+            &sampler,
+            &[(0, 5.0)],
+            z,
+            &pool,
+            &cfg,
+            2,
         );
         let grads = tape.backward(loss);
         assert!(!tape.param_grads(&grads).is_empty());
@@ -152,8 +188,15 @@ mod tests {
         let ctx = enc.apply_pending(&mut tape, &store, &graph);
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[0], &[5.0]);
         structural_contrast_loss(
-            &mut tape, &enc, &store, &sampler, &[(0, 5.0)], z, &[],
-            &StructuralContrastConfig::default(), 3,
+            &mut tape,
+            &enc,
+            &store,
+            &sampler,
+            &[(0, 5.0)],
+            z,
+            &[],
+            &StructuralContrastConfig::default(),
+            3,
         );
     }
 }

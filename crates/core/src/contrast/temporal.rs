@@ -92,7 +92,11 @@ pub fn temporal_contrast_loss(
     cfg: &TemporalContrastConfig,
     batch_seed: u64,
 ) -> Var {
-    assert_eq!(tape.value(z).rows(), centers.len(), "temporal_contrast_loss: row mismatch");
+    assert_eq!(
+        tape.value(z).rows(),
+        centers.len(),
+        "temporal_contrast_loss: row mismatch"
+    );
     let dim = encoder.dim();
     let chrono = BfsConfig::new(cfg.eta, cfg.k, cfg.tau, cfg.pos_bias);
     let reverse = BfsConfig::new(cfg.eta, cfg.k, cfg.tau, cfg.neg_bias);
@@ -123,7 +127,13 @@ mod tests {
         let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 1.0);
         let graph = graph_from_triples(
             6,
-            &[(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0), (1, 4, 1.5), (3, 5, 3.5)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (0, 3, 3.0),
+                (1, 4, 1.5),
+                (3, 5, 3.5),
+            ],
         )
         .unwrap();
         let mut enc = DgnnEncoder::new(&mut store, &mut rng, "enc", 6, cfg);
@@ -142,12 +152,21 @@ mod tests {
         let times: Vec<Timestamp> = centers.iter().map(|c| c.1).collect();
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &nodes, &times);
         let loss = temporal_contrast_loss(
-            &mut tape, &enc, &store, &sampler, &centers, z,
-            &TemporalContrastConfig::default(), 1,
+            &mut tape,
+            &enc,
+            &store,
+            &sampler,
+            &centers,
+            z,
+            &TemporalContrastConfig::default(),
+            1,
         );
         assert_eq!(tape.value(loss).shape(), (1, 1));
         assert!(tape.value(loss).get(0, 0).is_finite());
-        assert!(tape.value(loss).get(0, 0) >= 0.0, "hinge loss is non-negative");
+        assert!(
+            tape.value(loss).get(0, 0) >= 0.0,
+            "hinge loss is non-negative"
+        );
     }
 
     #[test]
@@ -159,9 +178,11 @@ mod tests {
         let centers = [(0u32, 5.0f64)];
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[0], &[5.0]);
         // Large margin guarantees the hinge is active.
-        let cfg = TemporalContrastConfig { margin: 100.0, ..Default::default() };
-        let loss =
-            temporal_contrast_loss(&mut tape, &enc, &store, &sampler, &centers, z, &cfg, 2);
+        let cfg = TemporalContrastConfig {
+            margin: 100.0,
+            ..Default::default()
+        };
+        let loss = temporal_contrast_loss(&mut tape, &enc, &store, &sampler, &centers, z, &cfg, 2);
         let grads = tape.backward(loss);
         let pg = tape.param_grads(&grads);
         assert!(!pg.is_empty(), "TC must train the encoder");
@@ -189,10 +210,12 @@ mod tests {
         // Node 4 at t = 1.0 has no events strictly before.
         let z = enc.embed_many(&mut tape, &store, &ctx, &graph, &[4], &[1.0]);
         let sampler = BatchSampler::new(&graph);
-        let cfg = TemporalContrastConfig { margin: 0.7, ..Default::default() };
-        let loss = temporal_contrast_loss(
-            &mut tape, &enc, &store, &sampler, &[(4, 1.0)], z, &cfg, 3,
-        );
+        let cfg = TemporalContrastConfig {
+            margin: 0.7,
+            ..Default::default()
+        };
+        let loss =
+            temporal_contrast_loss(&mut tape, &enc, &store, &sampler, &[(4, 1.0)], z, &cfg, 3);
         let v = tape.value(loss).get(0, 0);
         assert!((v - 0.7).abs() < 1e-5, "expected margin, got {v}");
         let grads = tape.backward(loss);

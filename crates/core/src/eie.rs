@@ -64,13 +64,25 @@ impl EieModule {
         dim: usize,
         fusion: EieFusion,
     ) -> Self {
-        let mlp = Mlp::new(store, rng, &format!("{name}.adapter"), &[dim, dim, dim], Activation::Relu);
+        let mlp = Mlp::new(
+            store,
+            rng,
+            &format!("{name}.adapter"),
+            &[dim, dim, dim],
+            Activation::Relu,
+        );
         let attn = matches!(fusion, EieFusion::Attn).then(|| {
             NeighborAttention::new(store, rng, &format!("{name}.attn"), dim, dim, dim, dim)
         });
         let gru = matches!(fusion, EieFusion::Gru)
             .then(|| GruCell::new(store, rng, &format!("{name}.gru"), dim, dim));
-        Self { fusion, mlp, attn, gru, dim }
+        Self {
+            fusion,
+            mlp,
+            attn,
+            gru,
+            dim,
+        }
     }
 
     /// Which fusion this module applies.
@@ -122,12 +134,16 @@ impl EieModule {
                             .iter()
                             .flat_map(|cp| cp.states.row(i).iter().copied())
                             .collect();
-                        let kv =
-                            tape.constant(Matrix::from_vec(checkpoints.len(), self.dim, seq));
+                        let kv = tape.constant(Matrix::from_vec(checkpoints.len(), self.dim, seq));
                         let q = tape.constant(Matrix::from_vec(
                             1,
                             self.dim,
-                            checkpoints.last().expect("non-empty").states.row(i).to_vec(),
+                            checkpoints
+                                .last()
+                                .expect("non-empty")
+                                .states
+                                .row(i)
+                                .to_vec(),
                         ));
                         attn.forward_one(tape, store, q, kv)
                     })
@@ -139,8 +155,16 @@ impl EieModule {
 
     /// Eq. 19: `Z_EIE = [z_down ‖ MLP(EI)]`, producing `m × 2·dim`.
     pub fn enhance(&self, tape: &mut Tape, store: &ParamStore, z_down: Var, ei: Var) -> Var {
-        assert_eq!(tape.value(z_down).cols(), self.dim, "enhance: embedding width mismatch");
-        assert_eq!(tape.value(ei).cols(), self.dim, "enhance: EI width mismatch");
+        assert_eq!(
+            tape.value(z_down).cols(),
+            self.dim,
+            "enhance: embedding width mismatch"
+        );
+        assert_eq!(
+            tape.value(ei).cols(),
+            self.dim,
+            "enhance: EI width mismatch"
+        );
         let adapted = self.mlp.forward(tape, store, ei);
         tape.concat_cols(z_down, adapted)
     }
@@ -186,7 +210,10 @@ mod tests {
         assert_eq!(tape.value(ei).shape(), (3, 4));
         let loss = tape.mean_all(ei);
         let grads = tape.backward(loss);
-        assert!(!tape.param_grads(&grads).is_empty(), "GRU fusion must be trainable");
+        assert!(
+            !tape.param_grads(&grads).is_empty(),
+            "GRU fusion must be trainable"
+        );
     }
 
     #[test]

@@ -114,12 +114,18 @@ pub enum CpdgError {
 impl CpdgError {
     /// Wraps an IO error with the path it occurred on.
     pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
-        CpdgError::Io { path: path.into(), source }
+        CpdgError::Io {
+            path: path.into(),
+            source,
+        }
     }
 
     /// Flags a corrupt artifact.
     pub fn corrupt(path: impl Into<PathBuf>, reason: impl Into<String>) -> Self {
-        CpdgError::Corrupt { path: path.into(), reason: reason.into() }
+        CpdgError::Corrupt {
+            path: path.into(),
+            reason: reason.into(),
+        }
     }
 
     /// Process exit code for this error class, so scripts can branch on
@@ -159,7 +165,10 @@ impl fmt::Display for CpdgError {
                 write!(f, "corrupt file {}: {reason}", disp(path))
             }
             CpdgError::VersionMismatch { found, expected } => {
-                write!(f, "file format version {found} unsupported (expected {expected})")
+                write!(
+                    f,
+                    "file format version {found} unsupported (expected {expected})"
+                )
             }
             CpdgError::NoCheckpoint { dir } => {
                 write!(f, "no valid checkpoint found in {}", disp(dir))
@@ -170,7 +179,10 @@ impl fmt::Display for CpdgError {
                 "run paused at step {step}/{total_steps}; resume from the checkpoint directory \
                  to continue"
             ),
-            CpdgError::NodeCountMismatch { data_nodes, model_nodes } => write!(
+            CpdgError::NodeCountMismatch {
+                data_nodes,
+                model_nodes,
+            } => write!(
                 f,
                 "data has {data_nodes} nodes but the model was pre-trained for {model_nodes} — \
                  pre-train on the union id space first"
@@ -184,7 +196,11 @@ impl fmt::Display for CpdgError {
             CpdgError::Fault { point, reason } => {
                 write!(f, "unrecovered injected fault at {point}: {reason}")
             }
-            CpdgError::CorruptArtifact { path, expected, found } => write!(
+            CpdgError::CorruptArtifact {
+                path,
+                expected,
+                found,
+            } => write!(
                 f,
                 "integrity check failed on {}: footer crc32 {expected:#010x}, payload crc32 \
                  {found:#010x}",
@@ -238,11 +254,20 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CpdgError::io("/tmp/x.json", io::Error::new(io::ErrorKind::NotFound, "gone"));
+        let e = CpdgError::io(
+            "/tmp/x.json",
+            io::Error::new(io::ErrorKind::NotFound, "gone"),
+        );
         assert!(e.to_string().contains("/tmp/x.json"));
-        let e = CpdgError::VersionMismatch { found: 9, expected: 1 };
+        let e = CpdgError::VersionMismatch {
+            found: 9,
+            expected: 1,
+        };
         assert!(e.to_string().contains('9'));
-        let e = CpdgError::NodeCountMismatch { data_nodes: 10, model_nodes: 5 };
+        let e = CpdgError::NodeCountMismatch {
+            data_nodes: 10,
+            model_nodes: 5,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains('5'));
     }
@@ -250,7 +275,10 @@ mod tests {
     #[test]
     fn exit_codes_distinguish_failure_classes() {
         let usage = CpdgError::Invalid("bad flag".into());
-        let mismatch = CpdgError::NodeCountMismatch { data_nodes: 2, model_nodes: 1 };
+        let mismatch = CpdgError::NodeCountMismatch {
+            data_nodes: 2,
+            model_nodes: 1,
+        };
         let corrupt = CpdgError::corrupt("/m.json", "truncated");
         assert_ne!(usage.exit_code(), mismatch.exit_code());
         assert_ne!(mismatch.exit_code(), corrupt.exit_code());
@@ -259,9 +287,20 @@ mod tests {
 
     #[test]
     fn resource_limits_convert_and_get_their_own_exit_code() {
-        let e: CpdgError =
-            LoadError::ResourceLimit { what: "events", limit: 10, seen: 11 }.into();
-        assert!(matches!(e, CpdgError::ResourceLimit { what: "events", limit: 10, seen: 11 }));
+        let e: CpdgError = LoadError::ResourceLimit {
+            what: "events",
+            limit: 10,
+            seen: 11,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            CpdgError::ResourceLimit {
+                what: "events",
+                limit: 10,
+                seen: 11
+            }
+        ));
         assert_eq!(e.exit_code(), 7);
         assert!(e.to_string().contains("limit 10"), "{e}");
         // Other load errors still map to the Data class.
@@ -271,7 +310,10 @@ mod tests {
 
     #[test]
     fn injected_faults_name_their_point() {
-        let e = CpdgError::Fault { point: "sampler.batch".into(), reason: "boom".into() };
+        let e = CpdgError::Fault {
+            point: "sampler.batch".into(),
+            reason: "boom".into(),
+        };
         assert_eq!(e.exit_code(), 1);
         assert!(e.to_string().contains("sampler.batch"), "{e}");
     }
@@ -283,10 +325,17 @@ mod tests {
             expected: 0xDEAD_BEEF,
             found: 0x1234_5678,
         };
-        assert_eq!(crc.exit_code(), 4, "crc failures join the corrupt-artifact family");
+        assert_eq!(
+            crc.exit_code(),
+            4,
+            "crc failures join the corrupt-artifact family"
+        );
         assert!(crc.to_string().contains("0xdeadbeef"), "{crc}");
         assert!(crc.to_string().contains("/m.json"), "{crc}");
-        let sig = CpdgError::Signalled { signal: 15, step: 7 };
+        let sig = CpdgError::Signalled {
+            signal: 15,
+            step: 7,
+        };
         assert_eq!(sig.exit_code(), 8);
         assert!(sig.to_string().contains("signal 15"), "{sig}");
         assert!(sig.to_string().contains("step 7"), "{sig}");

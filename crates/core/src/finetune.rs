@@ -114,9 +114,13 @@ impl FtModel {
     ) -> Self {
         let eie = match strategy {
             FinetuneStrategy::Full => None,
-            FinetuneStrategy::Eie(fusion) => {
-                Some(EieModule::new(store, rng, &format!("{name}.eie"), dim, fusion))
-            }
+            FinetuneStrategy::Eie(fusion) => Some(EieModule::new(
+                store,
+                rng,
+                &format!("{name}.eie"),
+                dim,
+                fusion,
+            )),
         };
         let head_dim = if eie.is_some() { 2 * dim } else { dim };
         let head = LinkPredictor::new(store, rng, &format!("{name}.head"), head_dim);
@@ -166,7 +170,11 @@ pub fn finetune_link_prediction(
 
     let bounds = chrono_boundaries(
         graph,
-        &[cfg.train_frac, cfg.val_frac, 1.0 - cfg.train_frac - cfg.val_frac],
+        &[
+            cfg.train_frac,
+            cfg.val_frac,
+            1.0 - cfg.train_frac - cfg.val_frac,
+        ],
     )
     .expect("FinetuneConfig train_frac/val_frac must be finite, non-negative, and sum to <= 1");
     let (train_end, val_end) = (bounds[0], bounds[1]);
@@ -186,9 +194,36 @@ pub fn finetune_link_prediction(
             let times: Vec<Timestamp> = chunk.iter().map(|e| e.t).collect();
             let negs: Vec<NodeId> = chunk.iter().map(|_| sampler.sample(&mut rng)).collect();
 
-            let z_src = model.embed(&mut tape, encoder, store, &ctx, graph, checkpoints, &srcs, &times);
-            let z_dst = model.embed(&mut tape, encoder, store, &ctx, graph, checkpoints, &dsts, &times);
-            let z_neg = model.embed(&mut tape, encoder, store, &ctx, graph, checkpoints, &negs, &times);
+            let z_src = model.embed(
+                &mut tape,
+                encoder,
+                store,
+                &ctx,
+                graph,
+                checkpoints,
+                &srcs,
+                &times,
+            );
+            let z_dst = model.embed(
+                &mut tape,
+                encoder,
+                store,
+                &ctx,
+                graph,
+                checkpoints,
+                &dsts,
+                &times,
+            );
+            let z_neg = model.embed(
+                &mut tape,
+                encoder,
+                store,
+                &ctx,
+                graph,
+                checkpoints,
+                &negs,
+                &times,
+            );
             let pos = model.head.score(&mut tape, store, z_src, z_dst);
             let neg = model.head.score(&mut tape, store, z_src, z_neg);
             let loss = link_prediction_loss(&mut tape, pos, neg);
@@ -201,8 +236,20 @@ pub fn finetune_link_prediction(
         }
         // --- validation scores on [train_end, val_end): memory is warm
         // through the train region, so continue the stream from there.
-        let val = score_range(encoder, store, &model, graph, checkpoints, &sampler,
-                              train_end, train_end, val_end, cfg, None, &mut rng);
+        let val = score_range(
+            encoder,
+            store,
+            &model,
+            graph,
+            checkpoints,
+            &sampler,
+            train_end,
+            train_end,
+            val_end,
+            cfg,
+            None,
+            &mut rng,
+        );
         let (val_auc, _) = metrics::link_prediction_metrics(&val.0, &val.1);
         let selected = val_auc > best_val;
         if selected {
@@ -228,8 +275,20 @@ pub fn finetune_link_prediction(
     // replay the whole stream, warming memory through train+val without
     // scoring, then score the test region.
     encoder.reset_state();
-    let test = score_range(encoder, store, &model, graph, checkpoints, &sampler,
-                           0, val_end, graph.num_events(), cfg, inductive_nodes, &mut rng);
+    let test = score_range(
+        encoder,
+        store,
+        &model,
+        graph,
+        checkpoints,
+        &sampler,
+        0,
+        val_end,
+        graph.num_events(),
+        cfg,
+        inductive_nodes,
+        &mut rng,
+    );
     // An inductive restriction can leave nothing to score; report NaN
     // rather than a misleading degenerate 0.5.
     let (auc, ap) = if test.0.is_empty() {
@@ -237,7 +296,12 @@ pub fn finetune_link_prediction(
     } else {
         metrics::link_prediction_metrics(&test.0, &test.1)
     };
-    let result = LinkPredResult { auc, ap, val_auc: best_val.max(0.0), eie_degraded: false };
+    let result = LinkPredResult {
+        auc,
+        ap,
+        val_auc: best_val.max(0.0),
+        eie_degraded: false,
+    };
     cpdg_obs::emit_metrics(
         "finetune_result",
         vec![
@@ -293,9 +357,36 @@ fn score_range(
             let dsts: Vec<NodeId> = scored.iter().map(|e| e.dst).collect();
             let times: Vec<Timestamp> = scored.iter().map(|e| e.t).collect();
             let negs: Vec<NodeId> = scored.iter().map(|_| sampler.sample(rng)).collect();
-            let z_src = model.embed(&mut tape, encoder, store, &ctx, graph, checkpoints, &srcs, &times);
-            let z_dst = model.embed(&mut tape, encoder, store, &ctx, graph, checkpoints, &dsts, &times);
-            let z_neg = model.embed(&mut tape, encoder, store, &ctx, graph, checkpoints, &negs, &times);
+            let z_src = model.embed(
+                &mut tape,
+                encoder,
+                store,
+                &ctx,
+                graph,
+                checkpoints,
+                &srcs,
+                &times,
+            );
+            let z_dst = model.embed(
+                &mut tape,
+                encoder,
+                store,
+                &ctx,
+                graph,
+                checkpoints,
+                &dsts,
+                &times,
+            );
+            let z_neg = model.embed(
+                &mut tape,
+                encoder,
+                store,
+                &ctx,
+                graph,
+                checkpoints,
+                &negs,
+                &times,
+            );
             let pos = model.head.score(&mut tape, store, z_src, z_dst);
             let neg = model.head.score(&mut tape, store, z_src, z_neg);
             pos_out.extend(tape.value(pos).data());
@@ -330,11 +421,19 @@ pub fn finetune_node_classification(
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(17));
     let eie = match cfg.strategy {
         FinetuneStrategy::Full => None,
-        FinetuneStrategy::Eie(fusion) => {
-            Some(EieModule::new(store, &mut rng, "nc.eie", encoder.dim(), fusion))
-        }
+        FinetuneStrategy::Eie(fusion) => Some(EieModule::new(
+            store,
+            &mut rng,
+            "nc.eie",
+            encoder.dim(),
+            fusion,
+        )),
     };
-    let feat_dim = if eie.is_some() { 2 * encoder.dim() } else { encoder.dim() };
+    let feat_dim = if eie.is_some() {
+        2 * encoder.dim()
+    } else {
+        encoder.dim()
+    };
 
     encoder.reset_state();
     let mut feats: Vec<Vec<f32>> = Vec::new();
@@ -393,7 +492,10 @@ pub fn finetune_node_classification(
     let train_y = Matrix::from_vec(
         train_end,
         1,
-        labels[..train_end].iter().map(|&l| f32::from(l as u8)).collect(),
+        labels[..train_end]
+            .iter()
+            .map(|&l| f32::from(l as u8))
+            .collect(),
     );
     let mut best_val = f64::NEG_INFINITY;
     let mut best_clf = clf_store.clone();
@@ -436,43 +538,91 @@ mod tests {
     use cpdg_graph::{generate, SyntheticConfig};
 
     fn quick_cfg() -> FinetuneConfig {
-        FinetuneConfig { batch_size: 100, epochs: 1, lr: 2e-2, ..Default::default() }
+        FinetuneConfig {
+            batch_size: 100,
+            epochs: 1,
+            lr: 2e-2,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn link_prediction_full_pipeline_runs() {
-        let ds = generate(&SyntheticConfig { n_events: 900, ..SyntheticConfig::amazon_like(0) }.scaled(0.12));
+        let ds = generate(
+            &SyntheticConfig {
+                n_events: 900,
+                ..SyntheticConfig::amazon_like(0)
+            }
+            .scaled(0.12),
+        );
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
         let dcfg = DgnnConfig::preset(EncoderKind::Tgn, 16, 10_000.0);
         let mut enc = DgnnEncoder::new(&mut store, &mut rng, "enc", ds.graph.num_nodes(), dcfg);
         let head = LinkPredictor::new(&mut store, &mut rng, "pre_head", 16);
         let mut opt = Adam::new(1e-2);
-        let out = pretrain(&mut enc, &head, &mut store, &mut opt, &ds.graph,
-                           &PretrainConfig { epochs: 1, batch_size: 100, ..Default::default() });
+        let out = pretrain(
+            &mut enc,
+            &head,
+            &mut store,
+            &mut opt,
+            &ds.graph,
+            &PretrainConfig {
+                epochs: 1,
+                batch_size: 100,
+                ..Default::default()
+            },
+        );
 
-        let res = finetune_link_prediction(&mut enc, &mut store, &ds.graph, &out.checkpoints,
-                                           &quick_cfg(), None);
+        let res = finetune_link_prediction(
+            &mut enc,
+            &mut store,
+            &ds.graph,
+            &out.checkpoints,
+            &quick_cfg(),
+            None,
+        );
         assert!(res.auc > 0.0 && res.auc <= 1.0);
         assert!(res.ap > 0.0 && res.ap <= 1.0 + 1e-6);
     }
 
     #[test]
     fn eie_strategies_change_head_width_and_run() {
-        let ds = generate(&SyntheticConfig { n_events: 600, ..SyntheticConfig::amazon_like(1) }.scaled(0.1));
+        let ds = generate(
+            &SyntheticConfig {
+                n_events: 600,
+                ..SyntheticConfig::amazon_like(1)
+            }
+            .scaled(0.1),
+        );
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(1);
         let dcfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 10_000.0);
         let mut enc = DgnnEncoder::new(&mut store, &mut rng, "enc", ds.graph.num_nodes(), dcfg);
         let head = LinkPredictor::new(&mut store, &mut rng, "pre_head", 8);
         let mut opt = Adam::new(1e-2);
-        let out = pretrain(&mut enc, &head, &mut store, &mut opt, &ds.graph,
-                           &PretrainConfig { epochs: 1, batch_size: 100, n_checkpoints: 4, ..Default::default() });
+        let out = pretrain(
+            &mut enc,
+            &head,
+            &mut store,
+            &mut opt,
+            &ds.graph,
+            &PretrainConfig {
+                epochs: 1,
+                batch_size: 100,
+                n_checkpoints: 4,
+                ..Default::default()
+            },
+        );
 
         for fusion in EieFusion::all() {
             let mut s = store.clone();
-            let cfg = FinetuneConfig { strategy: FinetuneStrategy::Eie(fusion), ..quick_cfg() };
-            let res = finetune_link_prediction(&mut enc, &mut s, &ds.graph, &out.checkpoints, &cfg, None);
+            let cfg = FinetuneConfig {
+                strategy: FinetuneStrategy::Eie(fusion),
+                ..quick_cfg()
+            };
+            let res =
+                finetune_link_prediction(&mut enc, &mut s, &ds.graph, &out.checkpoints, &cfg, None);
             assert!(res.auc.is_finite(), "{fusion:?}");
         }
     }
@@ -480,7 +630,11 @@ mod tests {
     #[test]
     fn node_classification_runs_on_labelled_data() {
         let ds = generate(
-            &SyntheticConfig { n_events: 1200, ..SyntheticConfig::wikipedia_like(2) }.scaled(0.15),
+            &SyntheticConfig {
+                n_events: 1200,
+                ..SyntheticConfig::wikipedia_like(2)
+            }
+            .scaled(0.15),
         );
         assert!(!ds.graph.labels().is_empty());
         let mut store = ParamStore::new();
@@ -493,7 +647,13 @@ mod tests {
 
     #[test]
     fn node_classification_without_labels_returns_half() {
-        let ds = generate(&SyntheticConfig { n_events: 400, ..SyntheticConfig::amazon_like(3) }.scaled(0.1));
+        let ds = generate(
+            &SyntheticConfig {
+                n_events: 400,
+                ..SyntheticConfig::amazon_like(3)
+            }
+            .scaled(0.1),
+        );
         assert!(ds.graph.labels().is_empty());
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(3);

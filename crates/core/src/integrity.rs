@@ -114,7 +114,10 @@ mod tests {
         // Standard IEEE CRC32 check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -132,7 +135,11 @@ mod tests {
         sealed[3] ^= 0x40;
         let err = unseal(&sealed, Path::new("/m.json")).unwrap_err();
         match err {
-            CpdgError::CorruptArtifact { path, expected, found } => {
+            CpdgError::CorruptArtifact {
+                path,
+                expected,
+                found,
+            } => {
                 assert_eq!(path, PathBuf::from("/m.json"));
                 assert_ne!(expected, found);
             }

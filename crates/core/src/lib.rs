@@ -42,19 +42,21 @@ pub mod pipeline;
 pub mod pretrain;
 pub mod sampler;
 pub mod storage;
+pub mod wal;
 
 pub use chaos::{
-    load_jodie_chaos, ChaosStorage, Fault, FaultHook, FaultKind, FaultPlan, FaultPoint,
-    FaultSpec, RetryPolicy, Trigger,
+    load_jodie_chaos, ChaosStorage, Fault, FaultHook, FaultKind, FaultPlan, FaultPoint, FaultSpec,
+    RetryPolicy, Trigger,
 };
 pub use checkpoint::{CheckpointConfig, CheckpointManager, TrainCheckpoint};
 pub use eie::{EieFusion, EieModule};
 pub use error::{CpdgError, CpdgResult};
-pub use model_io::ModelFile;
 pub use finetune::{FinetuneConfig, FinetuneStrategy, LinkPredResult};
+pub use model_io::ModelFile;
 pub use objective::CpdgObjective;
 pub use pipeline::{PipelineConfig, PretrainMode};
 pub use pretrain::{
     pretrain, pretrain_resumable, LossBreakdown, PretrainConfig, PretrainOutput, PretrainRuntime,
 };
 pub use storage::{FsStorage, Storage, FS_STORAGE};
+pub use wal::{FsyncPolicy, RecoveryStats, Wal, WalCheckpoint, WalConfig};

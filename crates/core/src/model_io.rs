@@ -42,7 +42,13 @@ impl ModelFile {
         params: ParamStore,
         checkpoints: Vec<MemorySnapshot>,
     ) -> Self {
-        Self { version: VERSION, encoder_config, num_nodes, params, checkpoints }
+        Self {
+            version: VERSION,
+            encoder_config,
+            num_nodes,
+            params,
+            checkpoints,
+        }
     }
 
     /// Writes the bundle as JSON via a crash-safe atomic publish.
@@ -70,10 +76,13 @@ impl ModelFile {
     pub fn load_with(storage: &dyn Storage, path: &Path) -> CpdgResult<Self> {
         let bytes = storage.read(path).map_err(|e| CpdgError::io(path, e))?;
         let payload = crate::integrity::unseal(&bytes, path)?;
-        let model: ModelFile = serde_json::from_slice(payload)
-            .map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
+        let model: ModelFile =
+            serde_json::from_slice(payload).map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
         if model.version != VERSION {
-            return Err(CpdgError::VersionMismatch { found: model.version, expected: VERSION });
+            return Err(CpdgError::VersionMismatch {
+                found: model.version,
+                expected: VERSION,
+            });
         }
         Ok(model)
     }
@@ -91,7 +100,10 @@ mod tests {
         let mut params = ParamStore::new();
         params.register("w", Matrix::from_rows(&[&[1.5, -0.5]]));
         let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 100.0);
-        let snap = MemorySnapshot { states: Matrix::full(3, 8, 0.25), progress: 0.5 };
+        let snap = MemorySnapshot {
+            states: Matrix::full(3, 8, 0.25),
+            progress: 0.5,
+        };
         ModelFile::new(cfg, 3, params, vec![snap])
     }
 
@@ -126,7 +138,13 @@ mod tests {
         let json = serde_json::to_string(&model).unwrap();
         std::fs::write(&path, json).unwrap();
         let err = ModelFile::load(&path).unwrap_err();
-        assert!(matches!(err, CpdgError::VersionMismatch { found: 999, expected: VERSION }));
+        assert!(matches!(
+            err,
+            CpdgError::VersionMismatch {
+                found: 999,
+                expected: VERSION
+            }
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -155,7 +173,10 @@ mod tests {
         let dir = test_dir("garbage");
         let path = dir.join("model.json");
         std::fs::write(&path, b"{\"version\": \"not a number\"}").unwrap();
-        assert!(matches!(ModelFile::load(&path).unwrap_err(), CpdgError::Corrupt { .. }));
+        assert!(matches!(
+            ModelFile::load(&path).unwrap_err(),
+            CpdgError::Corrupt { .. }
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -19,7 +19,11 @@ pub struct CpdgObjective {
 
 impl Default for CpdgObjective {
     fn default() -> Self {
-        Self { beta: 0.5, use_tc: true, use_sc: true }
+        Self {
+            beta: 0.5,
+            use_tc: true,
+            use_sc: true,
+        }
     }
 }
 
@@ -60,7 +64,11 @@ mod tests {
         let tlp = scalar(&mut tape, 1.0);
         let tc = scalar(&mut tape, 10.0);
         let sc = scalar(&mut tape, 100.0);
-        let obj = CpdgObjective { beta: 0.3, use_tc: true, use_sc: true };
+        let obj = CpdgObjective {
+            beta: 0.3,
+            use_tc: true,
+            use_sc: true,
+        };
         let total = obj.combine(&mut tape, tlp, Some(tc), Some(sc));
         // 1 + 0.7·10 + 0.3·100 = 38.
         assert!((tape.value(total).get(0, 0) - 38.0).abs() < 1e-4);
@@ -72,7 +80,11 @@ mod tests {
         let tlp = scalar(&mut tape, 1.0);
         let tc = scalar(&mut tape, 10.0);
         let sc = scalar(&mut tape, 100.0);
-        let obj = CpdgObjective { beta: 0.5, use_tc: false, use_sc: true };
+        let obj = CpdgObjective {
+            beta: 0.5,
+            use_tc: false,
+            use_sc: true,
+        };
         let total = obj.combine(&mut tape, tlp, Some(tc), Some(sc));
         assert!((tape.value(total).get(0, 0) - 51.0).abs() < 1e-4);
     }
@@ -83,7 +95,11 @@ mod tests {
         let tlp = scalar(&mut tape, 1.0);
         let tc = scalar(&mut tape, 10.0);
         let sc = scalar(&mut tape, 100.0);
-        let obj = CpdgObjective { beta: 0.5, use_tc: true, use_sc: false };
+        let obj = CpdgObjective {
+            beta: 0.5,
+            use_tc: true,
+            use_sc: false,
+        };
         let total = obj.combine(&mut tape, tlp, Some(tc), Some(sc));
         assert!((tape.value(total).get(0, 0) - 6.0).abs() < 1e-4);
     }
@@ -103,7 +119,11 @@ mod tests {
         let tlp = scalar(&mut tape, 0.0);
         let tc = scalar(&mut tape, 4.0);
         let sc = scalar(&mut tape, 8.0);
-        let obj = CpdgObjective { beta: 0.0, use_tc: true, use_sc: true };
+        let obj = CpdgObjective {
+            beta: 0.0,
+            use_tc: true,
+            use_sc: true,
+        };
         let total = obj.combine(&mut tape, tlp, Some(tc), Some(sc));
         assert!((tape.value(total).get(0, 0) - 4.0).abs() < 1e-5);
     }

@@ -79,12 +79,20 @@ impl PipelineConfig {
     /// Vanilla task-supervised pre-training with full fine-tuning — the
     /// paper's DyRep/JODIE/TGN baseline rows.
     pub fn vanilla(encoder: EncoderKind) -> Self {
-        Self { mode: PretrainMode::Vanilla, finetune: FinetuneConfig::default(), ..Self::cpdg(encoder) }
+        Self {
+            mode: PretrainMode::Vanilla,
+            finetune: FinetuneConfig::default(),
+            ..Self::cpdg(encoder)
+        }
     }
 
     /// No pre-training (Table IX).
     pub fn no_pretrain(encoder: EncoderKind) -> Self {
-        Self { mode: PretrainMode::None, finetune: FinetuneConfig::default(), ..Self::cpdg(encoder) }
+        Self {
+            mode: PretrainMode::None,
+            finetune: FinetuneConfig::default(),
+            ..Self::cpdg(encoder)
+        }
     }
 
     /// Sets the seed on all nested configs.
@@ -136,8 +144,13 @@ fn prepare(split: &TransferSplit, cfg: &PipelineConfig) -> PipelineArtifacts {
     if let Some(mem) = cfg.mem_override {
         dcfg.mem = mem;
     }
-    let mut encoder =
-        DgnnEncoder::new(&mut store, &mut rng, "enc", split.pretrain.num_nodes(), dcfg);
+    let mut encoder = DgnnEncoder::new(
+        &mut store,
+        &mut rng,
+        "enc",
+        split.pretrain.num_nodes(),
+        dcfg,
+    );
 
     let pretrain_out = match cfg.mode {
         PretrainMode::None => None,
@@ -149,10 +162,21 @@ fn prepare(split: &TransferSplit, cfg: &PipelineConfig) -> PipelineArtifacts {
                 pcfg.objective.use_tc = false;
                 pcfg.objective.use_sc = false;
             }
-            Some(pretrain(&mut encoder, &head, &mut store, &mut opt, &split.pretrain, &pcfg))
+            Some(pretrain(
+                &mut encoder,
+                &head,
+                &mut store,
+                &mut opt,
+                &split.pretrain,
+                &pcfg,
+            ))
         }
     };
-    PipelineArtifacts { encoder, store, pretrain: pretrain_out }
+    PipelineArtifacts {
+        encoder,
+        store,
+        pretrain: pretrain_out,
+    }
 }
 
 /// Degrades an EIE fine-tuning request to `Full` when no pre-training
@@ -198,11 +222,16 @@ pub fn run_link_prediction(
     inductive: bool,
 ) -> LinkPredResult {
     let mut art = prepare(split, cfg);
-    let checkpoints = art.pretrain.as_ref().map(|p| p.checkpoints.as_slice()).unwrap_or(&[]);
+    let checkpoints = art
+        .pretrain
+        .as_ref()
+        .map(|p| p.checkpoints.as_slice())
+        .unwrap_or(&[]);
     let mut fcfg = cfg.finetune.clone();
-    let eie_degraded =
-        degrade_eie_without_checkpoints(&mut fcfg, checkpoints.len(), &cfg.label());
-    let unseen = inductive.then(|| unseen_nodes(split)).filter(|s| !s.is_empty());
+    let eie_degraded = degrade_eie_without_checkpoints(&mut fcfg, checkpoints.len(), &cfg.label());
+    let unseen = inductive
+        .then(|| unseen_nodes(split))
+        .filter(|s| !s.is_empty());
     let checkpoints = checkpoints.to_vec();
     let mut res = finetune_link_prediction(
         &mut art.encoder,
@@ -220,8 +249,11 @@ pub fn run_link_prediction(
 /// returning the test AUC.
 pub fn run_node_classification(split: &TransferSplit, cfg: &PipelineConfig) -> f64 {
     let mut art = prepare(split, cfg);
-    let checkpoints =
-        art.pretrain.as_ref().map(|p| p.checkpoints.clone()).unwrap_or_default();
+    let checkpoints = art
+        .pretrain
+        .as_ref()
+        .map(|p| p.checkpoints.clone())
+        .unwrap_or_default();
     let mut fcfg = cfg.finetune.clone();
     degrade_eie_without_checkpoints(&mut fcfg, checkpoints.len(), &cfg.label());
     finetune_node_classification(
@@ -249,7 +281,13 @@ mod tests {
     }
 
     fn tiny_split(seed: u64) -> TransferSplit {
-        let ds = generate(&SyntheticConfig { n_events: 800, ..SyntheticConfig::amazon_like(seed) }.scaled(0.1));
+        let ds = generate(
+            &SyntheticConfig {
+                n_events: 800,
+                ..SyntheticConfig::amazon_like(seed)
+            }
+            .scaled(0.1),
+        );
         time_transfer(&ds.graph, 0.6).unwrap()
     }
 
@@ -289,8 +327,7 @@ mod tests {
     fn unseen_nodes_disjoint_from_pretrain() {
         let split = tiny_split(3);
         let unseen = unseen_nodes(&split);
-        let pre: std::collections::HashSet<_> =
-            split.pretrain.active_nodes().into_iter().collect();
+        let pre: std::collections::HashSet<_> = split.pretrain.active_nodes().into_iter().collect();
         assert!(unseen.iter().all(|n| !pre.contains(n)));
     }
 
@@ -303,7 +340,10 @@ mod tests {
 
     #[test]
     fn labels_name_conditions() {
-        assert_eq!(PipelineConfig::cpdg(EncoderKind::Tgn).label(), "TGN with CPDG");
+        assert_eq!(
+            PipelineConfig::cpdg(EncoderKind::Tgn).label(),
+            "TGN with CPDG"
+        );
         assert_eq!(PipelineConfig::vanilla(EncoderKind::Tgn).label(), "TGN");
     }
 
@@ -339,7 +379,11 @@ mod tests {
     #[test]
     fn node_classification_pipeline_runs() {
         let ds = generate(
-            &SyntheticConfig { n_events: 1000, ..SyntheticConfig::wikipedia_like(5) }.scaled(0.12),
+            &SyntheticConfig {
+                n_events: 1000,
+                ..SyntheticConfig::wikipedia_like(5)
+            }
+            .scaled(0.12),
         );
         let split = time_transfer(&ds.graph, 0.6).unwrap();
         let mut cfg = PipelineConfig::cpdg(EncoderKind::Tgn).with_seed(5);

@@ -188,8 +188,10 @@ pub fn pretrain(
     graph: &DynamicGraph,
     cfg: &PretrainConfig,
 ) -> PretrainOutput {
-    let runtime =
-        PretrainRuntime { guard: GuardConfig::never_diverge(), ..PretrainRuntime::default() };
+    let runtime = PretrainRuntime {
+        guard: GuardConfig::never_diverge(),
+        ..PretrainRuntime::default()
+    };
     pretrain_resumable(encoder, head, store, opt, graph, cfg, &runtime)
         .expect("guard never diverges and no storage is touched")
 }
@@ -249,8 +251,13 @@ pub fn pretrain_resumable(
         }
         runtime
             .retry
-            .run(point.name(), || runtime.chaos.check(point).map_err(Fault::into_io))
-            .map_err(|e| CpdgError::Fault { point: point.name().into(), reason: e.to_string() })
+            .run(point.name(), || {
+                runtime.chaos.check(point).map_err(Fault::into_io)
+            })
+            .map_err(|e| CpdgError::Fault {
+                point: point.name().into(),
+                reason: e.to_string(),
+            })
     };
 
     let manager = match &runtime.checkpoint {
@@ -288,10 +295,15 @@ pub fn pretrain_resumable(
         if copied != store.len() {
             return Err(CpdgError::corrupt(
                 &path,
-                format!("checkpoint covers {copied} of {} model parameters", store.len()),
+                format!(
+                    "checkpoint covers {copied} of {} model parameters",
+                    store.len()
+                ),
             ));
         }
-        encoder.restore_state(ckpt.encoder).map_err(|e| CpdgError::corrupt(&path, e))?;
+        encoder
+            .restore_state(ckpt.encoder)
+            .map_err(|e| CpdgError::corrupt(&path, e))?;
         *opt = ckpt.opt;
         guard = ckpt.guard;
         checkpoints = ckpt.eie_checkpoints;
@@ -418,14 +430,27 @@ pub fn pretrain_resumable(
                 let bseed = batch_seed(cfg.seed, step);
                 let tc = cfg.objective.use_tc.then(|| {
                     temporal_contrast_loss(
-                        &mut tape, encoder, store, &contrast_sampler, &centers, z_centers,
-                        &cfg.tc, bseed,
+                        &mut tape,
+                        encoder,
+                        store,
+                        &contrast_sampler,
+                        &centers,
+                        z_centers,
+                        &cfg.tc,
+                        bseed,
                     )
                 });
                 let sc = cfg.objective.use_sc.then(|| {
                     structural_contrast_loss(
-                        &mut tape, encoder, store, &contrast_sampler, &centers, z_centers,
-                        &negative_pool, &cfg.sc, bseed ^ SC_STREAM_SALT,
+                        &mut tape,
+                        encoder,
+                        store,
+                        &contrast_sampler,
+                        &centers,
+                        z_centers,
+                        &negative_pool,
+                        &cfg.sc,
+                        bseed ^ SC_STREAM_SALT,
                     )
                 });
                 (tc, sc)
@@ -512,7 +537,10 @@ pub fn pretrain_resumable(
             ("batches".into(), batches.into()),
             ("steps".into(), epoch_steps.into()),
             ("secs".into(), epoch_secs.into()),
-            ("steps_per_sec".into(), (epoch_steps as f64 / epoch_secs.max(1e-9)).into()),
+            (
+                "steps_per_sec".into(),
+                (epoch_steps as f64 / epoch_secs.max(1e-9)).into(),
+            ),
         ];
         for (name, delta) in cpdg_obs::counter_deltas(&counters_at_epoch_start) {
             fields.push((format!("d_{name}"), delta.into()));
@@ -538,7 +566,11 @@ pub fn pretrain_resumable(
         })?;
     }
 
-    Ok(PretrainOutput { checkpoints, epoch_losses, skipped_steps: guard.skipped() })
+    Ok(PretrainOutput {
+        checkpoints,
+        epoch_losses,
+        skipped_steps: guard.skipped(),
+    })
 }
 
 #[cfg(test)]
@@ -549,7 +581,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny_dataset(seed: u64) -> cpdg_graph::SyntheticDataset {
-        generate(&SyntheticConfig { n_events: 800, ..SyntheticConfig::amazon_like(seed) }.scaled(0.12))
+        generate(
+            &SyntheticConfig {
+                n_events: 800,
+                ..SyntheticConfig::amazon_like(seed)
+            }
+            .scaled(0.12),
+        )
     }
 
     fn build(num_nodes: usize, seed: u64) -> (ParamStore, DgnnEncoder, LinkPredictor) {
@@ -566,7 +604,12 @@ mod tests {
         let ds = tiny_dataset(0);
         let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 0);
         let mut opt = Adam::new(1e-2);
-        let cfg = PretrainConfig { epochs: 2, n_checkpoints: 5, batch_size: 100, ..Default::default() };
+        let cfg = PretrainConfig {
+            epochs: 2,
+            n_checkpoints: 5,
+            batch_size: 100,
+            ..Default::default()
+        };
         let out = pretrain(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg);
         assert_eq!(out.checkpoints.len(), 5);
         // Progress stamps increase and end at 1.0.
@@ -583,7 +626,11 @@ mod tests {
         let ds = tiny_dataset(1);
         let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 1);
         let mut opt = Adam::new(1e-2);
-        let cfg = PretrainConfig { epochs: 1, batch_size: 100, ..Default::default() };
+        let cfg = PretrainConfig {
+            epochs: 1,
+            batch_size: 100,
+            ..Default::default()
+        };
         let out = pretrain(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg);
         let e = &out.epoch_losses[0];
         for v in [e.tlp, e.tc, e.sc, e.total] {
@@ -601,7 +648,11 @@ mod tests {
         let ds = tiny_dataset(2);
         let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 2);
         let mut opt = Adam::new(1e-2);
-        let mut cfg = PretrainConfig { epochs: 1, batch_size: 100, ..Default::default() };
+        let mut cfg = PretrainConfig {
+            epochs: 1,
+            batch_size: 100,
+            ..Default::default()
+        };
         cfg.objective.use_tc = false;
         let out = pretrain(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg);
         assert_eq!(out.epoch_losses[0].tc, 0.0);
@@ -613,7 +664,11 @@ mod tests {
         let ds = tiny_dataset(3);
         let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 3);
         let mut opt = Adam::new(2e-2);
-        let cfg = PretrainConfig { epochs: 4, batch_size: 100, ..Default::default() };
+        let cfg = PretrainConfig {
+            epochs: 4,
+            batch_size: 100,
+            ..Default::default()
+        };
         let out = pretrain(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg);
         let first = out.epoch_losses.first().unwrap().total;
         let last = out.epoch_losses.last().unwrap().total;
@@ -628,7 +683,11 @@ mod tests {
         let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 4);
         let before = store.to_json();
         let mut opt = Adam::new(1e-2);
-        let cfg = PretrainConfig { epochs: 1, batch_size: 200, ..Default::default() };
+        let cfg = PretrainConfig {
+            epochs: 1,
+            batch_size: 200,
+            ..Default::default()
+        };
         let runtime = PretrainRuntime {
             guard: GuardConfig {
                 max_grad_norm: 0.0,
@@ -637,11 +696,16 @@ mod tests {
             },
             ..PretrainRuntime::default()
         };
-        let out =
-            pretrain_resumable(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime)
-                .expect("never-diverging guard cannot fail");
+        let out = pretrain_resumable(
+            &mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime,
+        )
+        .expect("never-diverging guard cannot fail");
         assert!(out.skipped_steps > 0);
-        assert_eq!(store.to_json(), before, "skipped steps must not touch parameters");
+        assert_eq!(
+            store.to_json(),
+            before,
+            "skipped steps must not touch parameters"
+        );
         // No healthy batches → epoch loss reads zero, not NaN.
         assert_eq!(out.epoch_losses[0].total, 0.0);
     }
@@ -651,10 +715,19 @@ mod tests {
         let ds = tiny_dataset(5);
         let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 5);
         let mut opt = Adam::new(1e-2);
-        let cfg = PretrainConfig { epochs: 1, batch_size: 100, ..Default::default() };
-        let runtime = PretrainRuntime { step_limit: Some(2), ..PretrainRuntime::default() };
-        let err = pretrain_resumable(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime)
-            .unwrap_err();
+        let cfg = PretrainConfig {
+            epochs: 1,
+            batch_size: 100,
+            ..Default::default()
+        };
+        let runtime = PretrainRuntime {
+            step_limit: Some(2),
+            ..PretrainRuntime::default()
+        };
+        let err = pretrain_resumable(
+            &mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime,
+        )
+        .unwrap_err();
         match err {
             CpdgError::Interrupted { step, total_steps } => {
                 assert_eq!(step, 2);
@@ -670,7 +743,11 @@ mod tests {
         let ds = tiny_dataset(7);
         let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 7);
         let mut opt = Adam::new(1e-2);
-        let cfg = PretrainConfig { epochs: 1, batch_size: 100, ..Default::default() };
+        let cfg = PretrainConfig {
+            epochs: 1,
+            batch_size: 100,
+            ..Default::default()
+        };
         let dir = std::env::temp_dir().join(format!("cpdg_sigstop_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         // The flag is already set when the loop starts: the very first
@@ -681,8 +758,10 @@ mod tests {
             stop: Some(&flag),
             ..PretrainRuntime::default()
         };
-        let err = pretrain_resumable(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime)
-            .unwrap_err();
+        let err = pretrain_resumable(
+            &mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime,
+        )
+        .unwrap_err();
         match err {
             CpdgError::Signalled { signal, step } => {
                 assert_eq!(signal, 15);
@@ -692,7 +771,9 @@ mod tests {
         }
         // A checkpoint was published before exiting; resuming with the flag
         // cleared completes the run.
-        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir).unwrap().unwrap();
+        let (ckpt, _) = CheckpointManager::load_latest(&FS_STORAGE, &dir)
+            .unwrap()
+            .unwrap();
         assert_eq!(ckpt.step, 0);
         flag.store(0, Ordering::Relaxed);
         let (mut store2, mut enc2, head2) = build(ds.graph.num_nodes(), 7);
@@ -703,8 +784,16 @@ mod tests {
             stop: Some(&flag),
             ..PretrainRuntime::default()
         };
-        pretrain_resumable(&mut enc2, &head2, &mut store2, &mut opt2, &ds.graph, &cfg, &runtime2)
-            .expect("cleared flag resumes and completes");
+        pretrain_resumable(
+            &mut enc2,
+            &head2,
+            &mut store2,
+            &mut opt2,
+            &ds.graph,
+            &cfg,
+            &runtime2,
+        )
+        .expect("cleared flag resumes and completes");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -713,7 +802,11 @@ mod tests {
         let ds = tiny_dataset(6);
         let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 6);
         let mut opt = Adam::new(1e-2);
-        let cfg = PretrainConfig { epochs: 1, batch_size: 100, ..Default::default() };
+        let cfg = PretrainConfig {
+            epochs: 1,
+            batch_size: 100,
+            ..Default::default()
+        };
         let dir = std::env::temp_dir().join(format!("cpdg_noresume_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let runtime = PretrainRuntime {
@@ -721,8 +814,10 @@ mod tests {
             resume: true,
             ..PretrainRuntime::default()
         };
-        let err = pretrain_resumable(&mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime)
-            .unwrap_err();
+        let err = pretrain_resumable(
+            &mut enc, &head, &mut store, &mut opt, &ds.graph, &cfg, &runtime,
+        )
+        .unwrap_err();
         assert!(matches!(err, CpdgError::NoCheckpoint { .. }), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -81,7 +81,11 @@ impl<'g> BatchSampler<'g> {
 
     /// Builds the index with an explicit worker count (≥ 1).
     pub fn with_threads(graph: &'g DynamicGraph, threads: usize) -> Self {
-        Self { graph, index: TemporalAdjacencyIndex::build(graph), threads: threads.max(1) }
+        Self {
+            graph,
+            index: TemporalAdjacencyIndex::build(graph),
+            threads: threads.max(1),
+        }
     }
 
     /// The underlying graph.
@@ -163,7 +167,10 @@ impl<'g> BatchSampler<'g> {
         cfg: &DfsConfig,
         batch_seed: u64,
     ) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
-        assert!(!negative_pool.is_empty(), "sample_dfs_pairs: empty negative pool");
+        assert!(
+            !negative_pool.is_empty(),
+            "sample_dfs_pairs: empty negative pool"
+        );
         note_batch(queries.len());
         fan_out(queries.len(), self.threads, |i| {
             let (root, t) = queries[i];
@@ -195,7 +202,12 @@ mod tests {
 
     fn queries(graph: &DynamicGraph, n: usize) -> Vec<(NodeId, Timestamp)> {
         let t = graph.t_max().unwrap() + 1.0;
-        graph.active_nodes().into_iter().take(n).map(|node| (node, t)).collect()
+        graph
+            .active_nodes()
+            .into_iter()
+            .take(n)
+            .map(|node| (node, t))
+            .collect()
     }
 
     #[test]
@@ -225,8 +237,16 @@ mod tests {
         let want_dfs = reference.sample_dfs_pairs(&q, &pool, &dfs, 5);
         for threads in [2, 3, 8] {
             let s = BatchSampler::with_threads(&ds.graph, threads);
-            assert_eq!(s.sample_bfs_pairs(&q, &bfs, &rev, 5), want_bfs, "{threads} threads");
-            assert_eq!(s.sample_dfs_pairs(&q, &pool, &dfs, 5), want_dfs, "{threads} threads");
+            assert_eq!(
+                s.sample_bfs_pairs(&q, &bfs, &rev, 5),
+                want_bfs,
+                "{threads} threads"
+            );
+            assert_eq!(
+                s.sample_dfs_pairs(&q, &pool, &dfs, 5),
+                want_dfs,
+                "{threads} threads"
+            );
         }
     }
 
@@ -269,7 +289,12 @@ mod tests {
         let pairs = s.sample_dfs_pairs(&q, &pool, &DfsConfig::new(2, 2), 9);
         for (i, (pos, neg)) in pairs.iter().enumerate() {
             assert_eq!(pos[0], q[i].0, "positive rooted at the centre");
-            assert_ne!(neg[0], q[i].0, "negative root must differ (pool has {} ids)", pool.len());
+            assert_ne!(
+                neg[0],
+                q[i].0,
+                "negative root must differ (pool has {} ids)",
+                pool.len()
+            );
         }
     }
 }

@@ -187,7 +187,13 @@ mod tests {
         let g = two_hop_graph();
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..20 {
-            let nodes = eta_bfs(&g, 0, 10.0, &cfg(TemporalBias::ReverseChronological), &mut rng);
+            let nodes = eta_bfs(
+                &g,
+                0,
+                10.0,
+                &cfg(TemporalBias::ReverseChronological),
+                &mut rng,
+            );
             let mut sorted = nodes.clone();
             sorted.sort_unstable();
             sorted.dedup();
@@ -245,8 +251,14 @@ mod tests {
                 rev_old += 1;
             }
         }
-        assert!(chrono_recent > trials * 8 / 10, "chrono picked recent {chrono_recent}/{trials}");
-        assert!(rev_old > trials * 8 / 10, "reverse picked old {rev_old}/{trials}");
+        assert!(
+            chrono_recent > trials * 8 / 10,
+            "chrono picked recent {chrono_recent}/{trials}"
+        );
+        assert!(
+            rev_old > trials * 8 / 10,
+            "reverse picked old {rev_old}/{trials}"
+        );
     }
 
     #[test]
@@ -314,7 +326,10 @@ mod tests {
         let g = two_hop_graph();
         let idx = cpdg_graph::TemporalAdjacencyIndex::build(&g);
         for seed in 0..20 {
-            for bias in [TemporalBias::Chronological, TemporalBias::ReverseChronological] {
+            for bias in [
+                TemporalBias::Chronological,
+                TemporalBias::ReverseChronological,
+            ] {
                 let mut r1 = StdRng::seed_from_u64(seed);
                 let mut r2 = StdRng::seed_from_u64(seed);
                 let a = eta_bfs(&g, 0, 10.0, &cfg(bias), &mut r1);

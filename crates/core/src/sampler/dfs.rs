@@ -127,8 +127,14 @@ mod tests {
         // recent neighbours are the v's.
         assert!(nodes.contains(&5) && nodes.contains(&4), "{nodes:?}");
         assert!(!nodes.contains(&1) && !nodes.contains(&2) && !nodes.contains(&3));
-        assert!(nodes.contains(&8) && nodes.contains(&9), "v's of u5: {nodes:?}");
-        assert!(nodes.contains(&6) && nodes.contains(&7), "v's of u4: {nodes:?}");
+        assert!(
+            nodes.contains(&8) && nodes.contains(&9),
+            "v's of u5: {nodes:?}"
+        );
+        assert!(
+            nodes.contains(&6) && nodes.contains(&7),
+            "v's of u4: {nodes:?}"
+        );
     }
 
     #[test]

@@ -71,7 +71,12 @@ mod tests {
 
     #[test]
     fn reverse_prefers_old() {
-        let p = temporal_probs(&[1.0, 5.0, 9.0], 10.0, 0.5, TemporalBias::ReverseChronological);
+        let p = temporal_probs(
+            &[1.0, 5.0, 9.0],
+            10.0,
+            0.5,
+            TemporalBias::ReverseChronological,
+        );
         assert!(p[0] > p[1] && p[1] > p[2], "{p:?}");
     }
 

@@ -44,7 +44,10 @@ pub trait Storage {
     /// and the previous contents of `path` remain intact.
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         let tmp = tmp_sibling(path);
-        match self.write(&tmp, bytes).and_then(|()| self.rename(&tmp, path)) {
+        match self
+            .write(&tmp, bytes)
+            .and_then(|()| self.rename(&tmp, path))
+        {
             Ok(()) => Ok(()),
             Err(e) => {
                 let _ = self.remove_file(&tmp);
@@ -56,7 +59,10 @@ pub trait Storage {
 
 /// The temp-file name used by [`Storage::write_atomic`] for `path`.
 pub fn tmp_sibling(path: &Path) -> PathBuf {
-    let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
     path.with_file_name(format!(".{name}.tmp"))
 }
 

@@ -1,0 +1,1145 @@
+//! Append-only write-ahead log for durable event ingestion.
+//!
+//! The serving engine streams edge events into DGNN memory; until PR 6
+//! that state lived only in RAM, so a crash lost every event since the
+//! last graceful drain. This module makes ingestion crash-consistent:
+//! every event is framed, CRC-protected, and written to a segmented log
+//! *before* memory mutates, and on startup the log is replayed through
+//! the exact ingestion path to reconstruct state bit-identically.
+//!
+//! ## On-disk format (the contract the future mmap event store reads)
+//!
+//! A WAL directory holds segment files named `wal-{start:016x}.seg`,
+//! where `start` is the index of the first record in the segment.
+//! Each segment begins with a 16-byte header:
+//!
+//! ```text
+//! [magic "CPDGWAL1": 8 bytes][start index: u64 LE]
+//! ```
+//!
+//! followed by back-to-back record frames:
+//!
+//! ```text
+//! [len: u32 LE][crc32: u32 LE][index: u64 LE][payload: len - 8 bytes]
+//! ```
+//!
+//! `len` counts the body (index + payload); `crc32` is
+//! [`integrity::crc32`](crate::integrity::crc32) over the body. Record
+//! indexes are contiguous across segments, starting at 0. Event payloads
+//! use the fixed 18-byte encoding of [`encode_event`].
+//!
+//! ## Durability and recovery invariants
+//!
+//! * **Append-before-mutate.** The engine appends to the WAL first; only
+//!   a successful append may mutate memory.
+//! * **Exactly-once.** A failed append (injected fault, full disk,
+//!   failed fsync) rolls the segment back to its pre-append length, so a
+//!   rejected event is in *neither* memory nor the log — replay can never
+//!   resurrect an event the client saw `ERR` for.
+//! * **Torn-tail truncation.** [`Wal::open`] scans every frame; a torn
+//!   or corrupt tail in the *last* segment is truncated away (a crash
+//!   mid-write is expected), while corruption in a sealed interior
+//!   segment is a hard [`CpdgError::Corrupt`] (that is bit rot, not a
+//!   crash artifact).
+//! * **Checkpoint-then-truncate.** A drain writes a CRC-sealed
+//!   [`WalCheckpoint`] (graph + encoder state + applied index) via the
+//!   atomic-publish protocol, then drops fully-covered sealed segments.
+//!
+//! Fsync cadence is configurable via [`FsyncPolicy`]: `always` (sync
+//! every append), `every-N` (sync each N-th append), or `os` (leave
+//! flushing to the OS page cache — fastest, weakest).
+//!
+//! Chaos integration: appends consult the `wal.append` and `wal.fsync`
+//! fault points, replay consults `wal.replay`; transient faults are
+//! absorbed by the configured [`RetryPolicy`], permanent ones surface as
+//! [`CpdgError::Fault`].
+
+use crate::chaos::{Fault, FaultHook, FaultPoint, RetryPolicy};
+use crate::error::{CpdgError, CpdgResult};
+use crate::integrity::crc32;
+use crate::storage::Storage;
+use cpdg_dgnn::EncoderState;
+use cpdg_graph::{DynamicGraph, FieldId, NodeId, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"CPDGWAL1";
+/// Segment header length: magic + start index.
+pub const SEGMENT_HEADER_LEN: u64 = 16;
+/// Frame header length: `len` + `crc32`.
+const FRAME_HEADER_LEN: u64 = 8;
+/// Sanity cap on one record body, so a corrupt `len` cannot trigger a
+/// multi-gigabyte allocation during the open scan.
+const MAX_RECORD_BODY: u32 = 1 << 24;
+/// Fixed width of one encoded event payload ([`encode_event`]).
+pub const EVENT_PAYLOAD_LEN: usize = 18;
+/// Conventional file name for the drain checkpoint inside a WAL dir.
+pub const CHECKPOINT_FILE: &str = "checkpoint.cpdg";
+
+/// When appended records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append — strongest durability, slowest.
+    Always,
+    /// `fsync` after every N-th append (N ≥ 1); a crash loses at most
+    /// N − 1 acknowledged events.
+    EveryN(u32),
+    /// Never `fsync` explicitly; the OS page cache decides. Survives
+    /// process crashes (`kill -9`) but not power loss.
+    Os,
+}
+
+impl FsyncPolicy {
+    /// The wire spelling used by `--fsync` and [`FromStr`].
+    pub fn render(self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".to_string(),
+            FsyncPolicy::EveryN(n) => format!("every-{n}"),
+            FsyncPolicy::Os => "os".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "os" => Ok(FsyncPolicy::Os),
+            _ => match s.strip_prefix("every-").and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => Ok(FsyncPolicy::EveryN(n)),
+                _ => Err(format!(
+                    "invalid fsync policy {s:?} (expected always, os, or every-N with N >= 1)"
+                )),
+            },
+        }
+    }
+}
+
+/// Write-ahead-log tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Rotate to a fresh segment once the open one reaches this size.
+    pub segment_bytes: u64,
+    /// Fsync cadence for appends.
+    pub fsync: FsyncPolicy,
+    /// Retry budget for transient append/fsync/replay faults.
+    pub retry: RetryPolicy,
+}
+
+impl Default for WalConfig {
+    /// 1 MiB segments, fsync on every append, the default retry budget.
+    fn default() -> Self {
+        Self {
+            segment_bytes: 1 << 20,
+            fsync: FsyncPolicy::Always,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What [`Wal::open`] found and repaired — surfaced in `STATUS` replies
+/// and the recovery log record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Segment files scanned (the dropped tail, if any, included).
+    pub segments: usize,
+    /// Valid records found across all segments.
+    pub records: u64,
+    /// Torn-tail bytes truncated from the last segment (or the whole
+    /// last file, when its header itself was torn).
+    pub truncated_bytes: u64,
+}
+
+/// One sealed (no longer written) segment.
+#[derive(Debug, Clone)]
+struct SegmentInfo {
+    path: PathBuf,
+    /// Index of the first record in the segment.
+    start: u64,
+    /// One past the index of the last record (== next segment's start).
+    end: u64,
+    /// File size in bytes.
+    bytes: u64,
+}
+
+/// The append-only write-ahead log. One instance owns a WAL directory;
+/// appends go to the open tail segment, sealed segments are kept until a
+/// checkpoint covers them ([`Wal::truncate_through`]).
+pub struct Wal {
+    dir: PathBuf,
+    config: WalConfig,
+    hook: FaultHook,
+    sealed: Vec<SegmentInfo>,
+    /// Open tail segment.
+    file: File,
+    seg_path: PathBuf,
+    seg_start: u64,
+    seg_len: u64,
+    next_index: u64,
+    appends_since_sync: u32,
+    recovery: RecoveryStats,
+}
+
+fn segment_path(dir: &Path, start: u64) -> PathBuf {
+    dir.join(format!("wal-{start:016x}.seg"))
+}
+
+fn segment_header(start: u64) -> [u8; SEGMENT_HEADER_LEN as usize] {
+    let mut h = [0u8; SEGMENT_HEADER_LEN as usize];
+    h[..8].copy_from_slice(&SEGMENT_MAGIC);
+    h[8..].copy_from_slice(&start.to_le_bytes());
+    h
+}
+
+/// Frames one record: `[len][crc32][index][payload]`.
+fn encode_frame(index: u64, payload: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(8 + payload.len());
+    body.extend_from_slice(&index.to_le_bytes());
+    body.extend_from_slice(payload);
+    let mut frame = Vec::with_capacity(8 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Outcome of scanning one segment's frames.
+struct SegmentScan {
+    /// Records successfully parsed, in order: `(index, payload)`.
+    records: Vec<(u64, Vec<u8>)>,
+    /// Byte offset one past the last valid frame.
+    valid_len: u64,
+    /// Total bytes in the scanned buffer (header included).
+    total_len: u64,
+}
+
+/// Parses every frame in `bytes` (a whole segment file). Returns the
+/// records that parse and where parsing stopped; the caller decides
+/// whether a short `valid_len` is a torn tail (truncate) or corruption
+/// (error). `None` when the header itself is invalid.
+fn scan_segment(bytes: &[u8], expect_start: Option<u64>) -> Option<SegmentScan> {
+    if bytes.len() < SEGMENT_HEADER_LEN as usize || bytes[..8] != SEGMENT_MAGIC {
+        return None;
+    }
+    let start = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if let Some(expect) = expect_start {
+        if start != expect {
+            return None;
+        }
+    }
+    let mut records = Vec::new();
+    let mut offset = SEGMENT_HEADER_LEN as usize;
+    let mut next = start;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.len() < FRAME_HEADER_LEN as usize {
+            break;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len < 8 || len > MAX_RECORD_BODY {
+            break;
+        }
+        let body_end = FRAME_HEADER_LEN as usize + len as usize;
+        if rest.len() < body_end {
+            break;
+        }
+        let body = &rest[FRAME_HEADER_LEN as usize..body_end];
+        if crc32(body) != crc {
+            break;
+        }
+        let index = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+        if index != next {
+            break;
+        }
+        records.push((index, body[8..].to_vec()));
+        next += 1;
+        offset += body_end;
+    }
+    Some(SegmentScan {
+        records,
+        valid_len: offset as u64,
+        total_len: bytes.len() as u64,
+    })
+}
+
+impl Wal {
+    /// Opens (creating if absent) the WAL in `dir`, scanning and
+    /// repairing existing segments: a torn tail in the last segment is
+    /// truncated (crash artifact), while an invalid frame or header in a
+    /// sealed interior segment is [`CpdgError::Corrupt`]. The recovery
+    /// stats report what was found; [`Wal::replay`] streams the
+    /// surviving records.
+    pub fn open(dir: &Path, config: WalConfig, hook: FaultHook) -> CpdgResult<Wal> {
+        std::fs::create_dir_all(dir).map_err(|e| CpdgError::io(dir, e))?;
+        let mut starts: Vec<u64> = std::fs::read_dir(dir)
+            .map_err(|e| CpdgError::io(dir, e))?
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name().into_string().ok()?;
+                let hex = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+                u64::from_str_radix(hex, 16).ok()
+            })
+            .collect();
+        starts.sort_unstable();
+
+        let mut stats = RecoveryStats {
+            segments: starts.len(),
+            ..Default::default()
+        };
+        let mut sealed: Vec<SegmentInfo> = Vec::new();
+        let mut next_index = starts.first().copied().unwrap_or(0);
+        let mut tail: Option<(PathBuf, u64, u64)> = None; // (path, start, valid_len)
+        for (i, &start) in starts.iter().enumerate() {
+            let path = segment_path(dir, start);
+            let bytes = std::fs::read(&path).map_err(|e| CpdgError::io(&path, e))?;
+            let last = i + 1 == starts.len();
+            let scan = match scan_segment(&bytes, Some(next_index)) {
+                Some(scan) => scan,
+                None if last => {
+                    // The tail's header itself is torn: drop the file and
+                    // reopen a fresh tail at the expected index.
+                    stats.truncated_bytes += bytes.len() as u64;
+                    std::fs::remove_file(&path).map_err(|e| CpdgError::io(&path, e))?;
+                    cpdg_obs::warn!(
+                        "core.wal",
+                        "dropped WAL tail segment with torn header";
+                        path = path.display().to_string(),
+                        bytes = bytes.len() as u64,
+                    );
+                    break;
+                }
+                None => {
+                    return Err(CpdgError::corrupt(
+                        &path,
+                        "sealed WAL segment has an invalid header",
+                    ))
+                }
+            };
+            stats.records += scan.records.len() as u64;
+            next_index += scan.records.len() as u64;
+            if !last {
+                if scan.valid_len != scan.total_len {
+                    return Err(CpdgError::corrupt(
+                        &path,
+                        format!(
+                            "sealed WAL segment has an invalid frame at byte {}",
+                            scan.valid_len
+                        ),
+                    ));
+                }
+                sealed.push(SegmentInfo {
+                    path,
+                    start,
+                    end: next_index,
+                    bytes: scan.total_len,
+                });
+            } else {
+                if scan.valid_len != scan.total_len {
+                    stats.truncated_bytes += scan.total_len - scan.valid_len;
+                    let f = OpenOptions::new()
+                        .write(true)
+                        .open(&path)
+                        .map_err(|e| CpdgError::io(&path, e))?;
+                    f.set_len(scan.valid_len)
+                        .map_err(|e| CpdgError::io(&path, e))?;
+                    f.sync_data().map_err(|e| CpdgError::io(&path, e))?;
+                    cpdg_obs::warn!(
+                        "core.wal",
+                        "truncated torn WAL tail";
+                        path = path.display().to_string(),
+                        bytes = scan.total_len - scan.valid_len,
+                    );
+                }
+                tail = Some((path, start, scan.valid_len));
+            }
+        }
+        if stats.truncated_bytes > 0 {
+            cpdg_obs::counter!("wal.truncated_bytes").add(stats.truncated_bytes);
+        }
+
+        // Open (or create) the tail segment for appending.
+        let (seg_path, seg_start, seg_len, file) = match tail {
+            Some((path, start, len)) => {
+                let mut file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| CpdgError::io(&path, e))?;
+                file.seek(SeekFrom::Start(len))
+                    .map_err(|e| CpdgError::io(&path, e))?;
+                (path, start, len, file)
+            }
+            None => {
+                let path = segment_path(dir, next_index);
+                let mut file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(&path)
+                    .map_err(|e| CpdgError::io(&path, e))?;
+                file.write_all(&segment_header(next_index))
+                    .map_err(|e| CpdgError::io(&path, e))?;
+                file.sync_data().map_err(|e| CpdgError::io(&path, e))?;
+                (path, next_index, SEGMENT_HEADER_LEN, file)
+            }
+        };
+
+        cpdg_obs::info!(
+            "core.wal",
+            "WAL opened";
+            dir = dir.display().to_string(),
+            segments = stats.segments as u64,
+            records = stats.records,
+            truncated_bytes = stats.truncated_bytes,
+            next_index = next_index,
+        );
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            config,
+            hook,
+            sealed,
+            file,
+            seg_path,
+            seg_start,
+            seg_len,
+            next_index,
+            appends_since_sync: 0,
+            recovery: stats,
+        })
+    }
+
+    /// What [`Wal::open`] found and repaired.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// The WAL directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Index the next appended record will get (== records ever logged
+    /// when the log has never been truncated).
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Index of the first record still present in the log.
+    pub fn first_index(&self) -> u64 {
+        self.sealed
+            .first()
+            .map(|s| s.start)
+            .unwrap_or(self.seg_start)
+    }
+
+    /// Live segment files (sealed + the open tail).
+    pub fn segment_count(&self) -> usize {
+        self.sealed.len() + 1
+    }
+
+    /// Total bytes across live segments, headers included.
+    pub fn total_bytes(&self) -> u64 {
+        self.sealed.iter().map(|s| s.bytes).sum::<u64>() + self.seg_len
+    }
+
+    /// Appends one record, returning its index. The record is on disk
+    /// (to the degree the [`FsyncPolicy`] guarantees) when this returns
+    /// `Ok`; on *any* failure the segment is rolled back to its
+    /// pre-append length, so a failed append leaves no trace for replay
+    /// to resurrect.
+    pub fn append(&mut self, payload: &[u8]) -> CpdgResult<u64> {
+        let index = self.next_index;
+        let frame = encode_frame(index, payload);
+        let pre_len = self.seg_len;
+        let retry = self.config.retry;
+
+        let write = {
+            let file = &mut self.file;
+            let hook = &self.hook;
+            retry.run(FaultPoint::WalAppend.name(), || {
+                hook.check(FaultPoint::WalAppend).map_err(Fault::into_io)?;
+                // A prior torn attempt is undone before re-writing.
+                file.set_len(pre_len)?;
+                file.seek(SeekFrom::Start(pre_len))?;
+                file.write_all(&frame)?;
+                Ok(())
+            })
+        };
+        if let Err(e) = write {
+            self.rollback(pre_len);
+            cpdg_obs::counter!("wal.append_failures").inc();
+            return Err(CpdgError::Fault {
+                point: FaultPoint::WalAppend.name().to_string(),
+                reason: e.to_string(),
+            });
+        }
+
+        let want_sync = match self.config.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync + 1 >= n.max(1),
+            FsyncPolicy::Os => false,
+        };
+        if want_sync {
+            let sync = {
+                let file = &mut self.file;
+                let hook = &self.hook;
+                retry.run(FaultPoint::WalFsync.name(), || {
+                    hook.check(FaultPoint::WalFsync).map_err(Fault::into_io)?;
+                    file.sync_data()?;
+                    Ok(())
+                })
+            };
+            if let Err(e) = sync {
+                // An unsynced record offers no durability promise we can
+                // keep — roll it back so the caller's ERR is the truth.
+                self.rollback(pre_len);
+                cpdg_obs::counter!("wal.append_failures").inc();
+                return Err(CpdgError::Fault {
+                    point: FaultPoint::WalFsync.name().to_string(),
+                    reason: e.to_string(),
+                });
+            }
+            self.appends_since_sync = 0;
+        } else {
+            self.appends_since_sync += 1;
+        }
+
+        self.seg_len = pre_len + frame.len() as u64;
+        self.next_index = index + 1;
+        cpdg_obs::counter!("wal.appends").inc();
+        if self.seg_len >= self.config.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(index)
+    }
+
+    /// Best-effort restoration of the pre-append segment length after a
+    /// failed append. A failure here leaves a torn tail — exactly what
+    /// the open scan truncates away.
+    fn rollback(&mut self, pre_len: u64) {
+        let _ = self.file.set_len(pre_len);
+        let _ = self.file.seek(SeekFrom::Start(pre_len));
+    }
+
+    /// Seals the open tail (final fsync) and starts a fresh segment.
+    fn rotate(&mut self) -> CpdgResult<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| CpdgError::io(&self.seg_path, e))?;
+        self.sealed.push(SegmentInfo {
+            path: self.seg_path.clone(),
+            start: self.seg_start,
+            end: self.next_index,
+            bytes: self.seg_len,
+        });
+        let path = segment_path(&self.dir, self.next_index);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| CpdgError::io(&path, e))?;
+        file.write_all(&segment_header(self.next_index))
+            .map_err(|e| CpdgError::io(&path, e))?;
+        file.sync_data().map_err(|e| CpdgError::io(&path, e))?;
+        cpdg_obs::info!(
+            "core.wal",
+            "rotated WAL segment";
+            sealed = self.seg_path.display().to_string(),
+            next = path.display().to_string(),
+        );
+        self.seg_path = path;
+        self.seg_start = self.next_index;
+        self.seg_len = SEGMENT_HEADER_LEN;
+        self.file = file;
+        self.appends_since_sync = 0;
+        cpdg_obs::counter!("wal.rotations").inc();
+        Ok(())
+    }
+
+    /// Forces an fsync of the open tail regardless of policy (drain).
+    pub fn sync(&mut self) -> CpdgResult<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| CpdgError::io(&self.seg_path, e))?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Streams every record with index ≥ `from` through `f`, in index
+    /// order. Each visited record consults the `wal.replay` fault point:
+    /// transient faults are retried under the configured policy,
+    /// permanent ones abort with [`CpdgError::Fault`]. Returns the
+    /// number of records delivered.
+    pub fn replay(
+        &self,
+        from: u64,
+        mut f: impl FnMut(u64, &[u8]) -> CpdgResult<()>,
+    ) -> CpdgResult<u64> {
+        let mut delivered = 0u64;
+        let tail = SegmentInfo {
+            path: self.seg_path.clone(),
+            start: self.seg_start,
+            end: self.next_index,
+            bytes: self.seg_len,
+        };
+        for seg in self.sealed.iter().chain(std::iter::once(&tail)) {
+            if seg.end <= from {
+                continue;
+            }
+            let mut bytes = Vec::new();
+            let mut file = File::open(&seg.path).map_err(|e| CpdgError::io(&seg.path, e))?;
+            file.read_to_end(&mut bytes)
+                .map_err(|e| CpdgError::io(&seg.path, e))?;
+            // The open tail may hold rolled-back bytes past seg.bytes on
+            // disk only in crash windows; scanning re-validates frames
+            // rather than trusting in-memory offsets.
+            let scan = scan_segment(&bytes, Some(seg.start)).ok_or_else(|| {
+                CpdgError::corrupt(&seg.path, "WAL segment header changed under replay")
+            })?;
+            for (index, payload) in &scan.records {
+                if *index < from {
+                    continue;
+                }
+                self.config
+                    .retry
+                    .run(FaultPoint::WalReplay.name(), || {
+                        self.hook
+                            .check(FaultPoint::WalReplay)
+                            .map_err(Fault::into_io)
+                    })
+                    .map_err(|e| CpdgError::Fault {
+                        point: FaultPoint::WalReplay.name().to_string(),
+                        reason: e.to_string(),
+                    })?;
+                f(*index, payload)?;
+                delivered += 1;
+            }
+        }
+        if delivered > 0 {
+            cpdg_obs::counter!("wal.replayed").add(delivered);
+        }
+        Ok(delivered)
+    }
+
+    /// Removes sealed segments whose every record index is `< through`
+    /// (i.e. covered by a checkpoint that applied records up to, not
+    /// including, `through`). The open tail is never removed. Returns
+    /// the bytes freed.
+    pub fn truncate_through(&mut self, through: u64) -> CpdgResult<u64> {
+        let mut freed = 0u64;
+        let mut kept = Vec::with_capacity(self.sealed.len());
+        for seg in self.sealed.drain(..) {
+            if seg.end <= through {
+                std::fs::remove_file(&seg.path).map_err(|e| CpdgError::io(&seg.path, e))?;
+                freed += seg.bytes;
+            } else {
+                kept.push(seg);
+            }
+        }
+        self.sealed = kept;
+        if freed > 0 {
+            cpdg_obs::info!(
+                "core.wal",
+                "truncated checkpoint-covered WAL segments";
+                through = through,
+                freed_bytes = freed,
+            );
+        }
+        Ok(freed)
+    }
+}
+
+/// Encodes one edge event into the fixed 18-byte WAL payload:
+/// `[src: u32 LE][dst: u32 LE][t: f64 bits LE][field: u16 LE]`.
+pub fn encode_event(
+    src: NodeId,
+    dst: NodeId,
+    t: Timestamp,
+    field: FieldId,
+) -> [u8; EVENT_PAYLOAD_LEN] {
+    let mut buf = [0u8; EVENT_PAYLOAD_LEN];
+    buf[0..4].copy_from_slice(&src.to_le_bytes());
+    buf[4..8].copy_from_slice(&dst.to_le_bytes());
+    buf[8..16].copy_from_slice(&t.to_bits().to_le_bytes());
+    buf[16..18].copy_from_slice(&field.to_le_bytes());
+    buf
+}
+
+/// Decodes a payload written by [`encode_event`].
+pub fn decode_event(payload: &[u8]) -> Result<(NodeId, NodeId, Timestamp, FieldId), String> {
+    if payload.len() != EVENT_PAYLOAD_LEN {
+        return Err(format!(
+            "bad WAL event payload: {} bytes (expected {EVENT_PAYLOAD_LEN})",
+            payload.len()
+        ));
+    }
+    let src = NodeId::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+    let dst = NodeId::from_le_bytes(payload[4..8].try_into().expect("4 bytes"));
+    let t = Timestamp::from_bits(u64::from_le_bytes(
+        payload[8..16].try_into().expect("8 bytes"),
+    ));
+    let field = FieldId::from_le_bytes(payload[16..18].try_into().expect("2 bytes"));
+    Ok((src, dst, t, field))
+}
+
+/// A drain checkpoint: the full serving state (dynamic graph + encoder
+/// memory, *including* pending messages so no flush is needed) plus the
+/// WAL index up to which events are already applied. Saved CRC-sealed
+/// through the atomic-publish protocol; records `< applied` become
+/// redundant and their sealed segments can be truncated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalCheckpoint {
+    /// Records with index `< applied` are captured in this checkpoint.
+    pub applied: u64,
+    /// The ingested dynamic graph at `applied`.
+    pub graph: DynamicGraph,
+    /// Encoder state at `applied` (memory, cell state, pending batch).
+    pub encoder: EncoderState,
+}
+
+impl WalCheckpoint {
+    /// Serialises, CRC-seals, and atomically publishes the checkpoint.
+    pub fn save(&self, storage: &dyn Storage, path: &Path) -> CpdgResult<()> {
+        let payload = serde_json::to_vec(self).map_err(|e| CpdgError::Serialize(e.to_string()))?;
+        let sealed = crate::integrity::seal(&payload);
+        storage
+            .write_atomic(path, &sealed)
+            .map_err(|e| CpdgError::io(path, e))?;
+        cpdg_obs::info!(
+            "core.wal",
+            "WAL checkpoint saved";
+            path = path.display().to_string(),
+            applied = self.applied,
+            bytes = sealed.len() as u64,
+        );
+        Ok(())
+    }
+
+    /// Loads a checkpoint saved by [`WalCheckpoint::save`]. `Ok(None)`
+    /// when no checkpoint file exists (a cold start, not an error).
+    pub fn load(storage: &dyn Storage, path: &Path) -> CpdgResult<Option<WalCheckpoint>> {
+        let bytes = match storage.read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CpdgError::io(path, e)),
+        };
+        let payload = crate::integrity::unseal(&bytes, path)?;
+        let ckpt: WalCheckpoint = serde_json::from_slice(payload)
+            .map_err(|e| CpdgError::corrupt(path, format!("bad WAL checkpoint: {e}")))?;
+        Ok(Some(ckpt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{FaultKind, FaultPlan, Trigger};
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpdg_wal_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn collect(wal: &Wal, from: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        wal.replay(from, |i, p| {
+            out.push((i, p.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        out
+    }
+
+    fn fast_config() -> WalConfig {
+        WalConfig {
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_delay_ms: 0,
+                max_delay_ms: 0,
+            },
+            ..WalConfig::default()
+        }
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_renders() {
+        assert_eq!(
+            "always".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::Always
+        );
+        assert_eq!("os".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Os);
+        assert_eq!(
+            "every-8".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::EveryN(8)
+        );
+        for bad in ["", "sometimes", "every-0", "every-", "every-x", "ALWAYS"] {
+            assert!(
+                bad.parse::<FsyncPolicy>().is_err(),
+                "{bad:?} must not parse"
+            );
+        }
+        for p in [FsyncPolicy::Always, FsyncPolicy::Os, FsyncPolicy::EveryN(3)] {
+            assert_eq!(p.render().parse::<FsyncPolicy>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn append_replay_round_trips() {
+        let dir = test_dir("round_trip");
+        let mut wal = Wal::open(&dir, fast_config(), FaultHook::none()).unwrap();
+        for i in 0u64..5 {
+            let idx = wal.append(format!("payload-{i}").as_bytes()).unwrap();
+            assert_eq!(idx, i);
+        }
+        let got = collect(&wal, 0);
+        assert_eq!(got.len(), 5);
+        for (i, (idx, payload)) in got.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(payload, format!("payload-{i}").as_bytes());
+        }
+        // Replay from an offset skips the covered prefix.
+        assert_eq!(collect(&wal, 3).len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_all_records() {
+        let dir = test_dir("reopen");
+        {
+            let mut wal = Wal::open(&dir, fast_config(), FaultHook::none()).unwrap();
+            for i in 0u64..7 {
+                wal.append(&i.to_le_bytes()).unwrap();
+            }
+        }
+        let wal = Wal::open(&dir, fast_config(), FaultHook::none()).unwrap();
+        assert_eq!(wal.next_index(), 7);
+        assert_eq!(wal.recovery_stats().records, 7);
+        assert_eq!(wal.recovery_stats().truncated_bytes, 0);
+        assert_eq!(collect(&wal, 0).len(), 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segments_rotate_at_threshold() {
+        let dir = test_dir("rotate");
+        let config = WalConfig {
+            segment_bytes: 64,
+            ..fast_config()
+        };
+        let mut wal = Wal::open(&dir, config, FaultHook::none()).unwrap();
+        for i in 0u64..10 {
+            wal.append(&[i as u8; 16]).unwrap();
+        }
+        assert!(wal.segment_count() > 1, "64-byte segments must rotate");
+        assert_eq!(collect(&wal, 0).len(), 10);
+        // Reopen sees the same multi-segment log.
+        drop(wal);
+        let wal = Wal::open(&dir, config, FaultHook::none()).unwrap();
+        assert_eq!(wal.next_index(), 10);
+        assert_eq!(collect(&wal, 0).len(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = test_dir("torn");
+        {
+            let mut wal = Wal::open(&dir, fast_config(), FaultHook::none()).unwrap();
+            for i in 0u64..4 {
+                wal.append(&[i as u8; 8]).unwrap();
+            }
+        }
+        // Tear the last frame: chop 3 bytes off the tail segment.
+        let seg = segment_path(&dir, 0);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let mut wal = Wal::open(&dir, fast_config(), FaultHook::none()).unwrap();
+        assert_eq!(wal.recovery_stats().records, 3, "the torn record is gone");
+        assert!(wal.recovery_stats().truncated_bytes > 0);
+        assert_eq!(wal.next_index(), 3);
+        // The log accepts fresh appends at the truncated index.
+        assert_eq!(wal.append(b"recovered").unwrap(), 3);
+        assert_eq!(collect(&wal, 0).len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_in_tail_truncates_from_flip() {
+        let dir = test_dir("bitflip");
+        {
+            let mut wal = Wal::open(&dir, fast_config(), FaultHook::none()).unwrap();
+            for i in 0u64..4 {
+                wal.append(&[i as u8; 8]).unwrap();
+            }
+        }
+        // Flip one payload bit in the third record; frames after the flip
+        // are unreachable (the scan stops at the CRC mismatch).
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let frame = 8 + 8 + 8; // header + index + payload
+        let third_payload = SEGMENT_HEADER_LEN as usize + 2 * frame + 8 + 8 + 2;
+        bytes[third_payload] ^= 0x40;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let wal = Wal::open(&dir, fast_config(), FaultHook::none()).unwrap();
+        assert_eq!(wal.recovery_stats().records, 2);
+        assert!(wal.recovery_stats().truncated_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_sealed_segment_is_an_error() {
+        let dir = test_dir("sealed_corrupt");
+        let config = WalConfig {
+            segment_bytes: 64,
+            ..fast_config()
+        };
+        {
+            let mut wal = Wal::open(&dir, config, FaultHook::none()).unwrap();
+            for i in 0u64..10 {
+                wal.append(&[i as u8; 16]).unwrap();
+            }
+            assert!(wal.segment_count() > 1);
+        }
+        // Corrupt the FIRST (sealed) segment — that is bit rot, not a
+        // crash artifact, and recovery must refuse to silently drop it.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = Wal::open(&dir, config, FaultHook::none()).unwrap_err();
+        assert!(matches!(err, CpdgError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_append_leaves_no_record() {
+        let dir = test_dir("exactly_once");
+        let plan = FaultPlan::new(0).with(
+            FaultPoint::WalAppend,
+            FaultKind::Permanent,
+            Trigger::Nth { n: 2 },
+        );
+        let mut wal = Wal::open(&dir, fast_config(), FaultHook::install(&plan)).unwrap();
+        assert_eq!(wal.append(b"first").unwrap(), 0);
+        let err = wal.append(b"rejected").unwrap_err();
+        assert!(matches!(err, CpdgError::Fault { .. }), "{err}");
+        // The rejected record is gone; the next append reuses its index.
+        assert_eq!(wal.append(b"second").unwrap(), 1);
+        let got = collect(&wal, 0);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].1, b"second");
+        // Reopen agrees: nothing torn, nothing resurrected.
+        drop(wal);
+        let wal = Wal::open(&dir, fast_config(), FaultHook::none()).unwrap();
+        assert_eq!(wal.recovery_stats().records, 2);
+        assert_eq!(wal.recovery_stats().truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_fsync_rolls_back_like_append() {
+        let dir = test_dir("fsync_fail");
+        let plan = FaultPlan::new(0).with(
+            FaultPoint::WalFsync,
+            FaultKind::Permanent,
+            Trigger::Nth { n: 1 },
+        );
+        let mut wal = Wal::open(&dir, fast_config(), FaultHook::install(&plan)).unwrap();
+        let err = wal.append(b"unsynced").unwrap_err();
+        assert!(
+            matches!(err, CpdgError::Fault { ref point, .. } if point == "wal.fsync"),
+            "{err}"
+        );
+        assert_eq!(wal.next_index(), 0);
+        assert_eq!(wal.append(b"synced").unwrap(), 0);
+        assert_eq!(collect(&wal, 0), vec![(0, b"synced".to_vec())]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_append_faults_are_retried_invisibly() {
+        let dir = test_dir("transient");
+        let plan = FaultPlan::new(0)
+            .with(
+                FaultPoint::WalAppend,
+                FaultKind::Transient,
+                Trigger::Nth { n: 2 },
+            )
+            .with(
+                FaultPoint::WalFsync,
+                FaultKind::Transient,
+                Trigger::Nth { n: 3 },
+            );
+        let hook = FaultHook::install(&plan);
+        let mut wal = Wal::open(&dir, fast_config(), hook.clone()).unwrap();
+        for i in 0u64..5 {
+            assert_eq!(
+                wal.append(&i.to_le_bytes()).unwrap(),
+                i,
+                "transient faults must clear"
+            );
+        }
+        assert_eq!(hook.injected(), 2);
+        assert_eq!(collect(&wal, 0).len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn permanent_replay_fault_aborts() {
+        let dir = test_dir("replay_fault");
+        {
+            let mut wal = Wal::open(&dir, fast_config(), FaultHook::none()).unwrap();
+            for i in 0u64..3 {
+                wal.append(&i.to_le_bytes()).unwrap();
+            }
+        }
+        let plan = FaultPlan::new(0).with(
+            FaultPoint::WalReplay,
+            FaultKind::Permanent,
+            Trigger::Nth { n: 2 },
+        );
+        let wal = Wal::open(&dir, fast_config(), FaultHook::install(&plan)).unwrap();
+        let mut seen = 0u64;
+        let err = wal
+            .replay(0, |_, _| {
+                seen += 1;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, CpdgError::Fault { ref point, .. } if point == "wal.replay"),
+            "{err}"
+        );
+        assert_eq!(seen, 1, "replay must stop at the faulted record");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_n_fsync_counts_appends() {
+        let dir = test_dir("every_n");
+        let config = WalConfig {
+            fsync: FsyncPolicy::EveryN(3),
+            ..fast_config()
+        };
+        let plan = FaultPlan::new(0).with(
+            FaultPoint::WalFsync,
+            FaultKind::Transient,
+            Trigger::Nth { n: 100 }, // never fires; we only count hits
+        );
+        let hook = FaultHook::install(&plan);
+        let mut wal = Wal::open(&dir, config, hook.clone()).unwrap();
+        for i in 0u64..7 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        // Appends 3 and 6 sync; 7 appends → 2 fsync consults.
+        assert_eq!(hook.hits(FaultPoint::WalFsync), 2);
+        assert_eq!(hook.hits(FaultPoint::WalAppend), 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_through_drops_covered_sealed_segments() {
+        let dir = test_dir("truncate");
+        let config = WalConfig {
+            segment_bytes: 64,
+            ..fast_config()
+        };
+        let mut wal = Wal::open(&dir, config, FaultHook::none()).unwrap();
+        for i in 0u64..12 {
+            wal.append(&[i as u8; 16]).unwrap();
+        }
+        let before = wal.segment_count();
+        assert!(before > 2);
+        let freed = wal.truncate_through(wal.next_index()).unwrap();
+        assert!(freed > 0);
+        assert_eq!(wal.segment_count(), 1, "only the open tail survives");
+        // Replay from the checkpoint index yields nothing — and reopening
+        // the truncated log starts at the right index.
+        assert_eq!(collect(&wal, 12).len(), 0);
+        drop(wal);
+        let mut wal = Wal::open(&dir, config, FaultHook::none()).unwrap();
+        assert_eq!(
+            wal.next_index(),
+            12,
+            "truncation must not lose the index position"
+        );
+        assert_eq!(wal.append(b"after-truncate").unwrap(), 12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn event_payload_round_trips() {
+        for (src, dst, t, field) in [
+            (0u32, 1u32, 0.0f64, 0u16),
+            (7, 11, 123.456, 3),
+            (u32::MAX, 0, f64::MAX, u16::MAX),
+            (42, 42, -0.0, 9),
+        ] {
+            let buf = encode_event(src, dst, t, field);
+            let (s, d, tt, ff) = decode_event(&buf).unwrap();
+            assert_eq!((s, d, ff), (src, dst, field));
+            assert_eq!(
+                tt.to_bits(),
+                t.to_bits(),
+                "timestamps must round-trip bit-exactly"
+            );
+        }
+        assert!(decode_event(&[0u8; 17]).is_err());
+        assert!(decode_event(&[]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_save_load_round_trips() {
+        use crate::storage::FS_STORAGE;
+        let dir = test_dir("ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        assert!(WalCheckpoint::load(&FS_STORAGE, &path).unwrap().is_none());
+
+        let mut graph = DynamicGraph::empty(4);
+        graph.push_event(0, 1, 1.0, 0).unwrap();
+        graph.push_event(1, 2, 2.0, 1).unwrap();
+        let ckpt = WalCheckpoint {
+            applied: 2,
+            graph,
+            encoder: EncoderState {
+                memory: cpdg_dgnn::Memory::new(4, 3),
+                cell_state: None,
+                pending: vec![(0, 1, 1.0)],
+            },
+        };
+        ckpt.save(&FS_STORAGE, &path).unwrap();
+        let loaded = WalCheckpoint::load(&FS_STORAGE, &path).unwrap().unwrap();
+        assert_eq!(loaded.applied, 2);
+        assert_eq!(loaded.graph.num_events(), 2);
+        assert_eq!(loaded.encoder.pending, vec![(0, 1, 1.0)]);
+
+        // A flipped byte is CorruptArtifact, not a silent bad load.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = WalCheckpoint::load(&FS_STORAGE, &path).unwrap_err();
+        assert!(matches!(err, CpdgError::CorruptArtifact { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,15 +8,23 @@
 //! batch.
 //!
 //! Determinism: tests never race the wall clock. [`Deadline::none`] never
-//! expires and [`Deadline::expired`] is already expired, so both outcomes
-//! of every cancellation point are reachable deterministically; only
+//! expires, [`Deadline::expired`] is already expired, and
+//! [`Deadline::after_checks`] expires after a fixed number of successful
+//! cancellation checks — so every outcome of every cancellation point,
+//! including the mid-batch boundary, is reachable deterministically; only
 //! [`Deadline::within`] consults [`Instant`], and only in production.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A request's time budget, checked at cancellation points.
-#[derive(Debug, Clone, Copy)]
+///
+/// Not `Copy`: the [`AfterChecks`](Deadline::AfterChecks) variant carries a
+/// shared credit pool, and clones deliberately share it (a cloned deadline
+/// is the *same* budget, not a fresh one).
+#[derive(Debug, Clone)]
 pub enum Deadline {
     /// No budget: checks always pass (batch training, tests).
     Unbounded,
@@ -24,6 +32,11 @@ pub enum Deadline {
     At(Instant),
     /// Already expired: checks always fail (deterministic test path).
     Expired,
+    /// A budget of `n` successful [`check`](Deadline::check) calls: the
+    /// first `n` pass, every later one fails. Deterministic stand-in for a
+    /// wall-clock budget that runs out mid-batch, pinning the
+    /// exactly-`k`-rows-completed cancellation boundary without sleeping.
+    AfterChecks(Arc<AtomicU64>),
 }
 
 /// Typed cancellation: the deadline passed before the work completed.
@@ -55,22 +68,40 @@ impl Deadline {
         Deadline::Expired
     }
 
-    /// Whether the budget has run out.
+    /// Expires after `checks` successful [`check`](Deadline::check) calls.
+    /// `after_checks(0)` is equivalent to [`Deadline::expired`].
+    pub fn after_checks(checks: u64) -> Self {
+        Deadline::AfterChecks(Arc::new(AtomicU64::new(checks)))
+    }
+
+    /// Whether the budget has run out. Non-consuming: for
+    /// [`AfterChecks`](Deadline::AfterChecks) this reads the remaining
+    /// credits without spending one.
     pub fn is_expired(&self) -> bool {
         match self {
             Deadline::Unbounded => false,
             Deadline::At(t) => Instant::now() >= *t,
             Deadline::Expired => true,
+            Deadline::AfterChecks(credits) => credits.load(Ordering::Relaxed) == 0,
         }
     }
 
     /// The checked cancellation point: `Err(DeadlineExceeded)` once the
-    /// budget is spent.
+    /// budget is spent. For [`AfterChecks`](Deadline::AfterChecks) a
+    /// passing call consumes one credit.
     pub fn check(&self) -> Result<(), DeadlineExceeded> {
-        if self.is_expired() {
-            Err(DeadlineExceeded)
-        } else {
-            Ok(())
+        match self {
+            Deadline::AfterChecks(credits) => credits
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| c.checked_sub(1))
+                .map(|_| ())
+                .map_err(|_| DeadlineExceeded),
+            _ => {
+                if self.is_expired() {
+                    Err(DeadlineExceeded)
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 }
@@ -106,5 +137,36 @@ mod tests {
         assert!(d.check().is_ok(), "an hour budget cannot expire instantly");
         let past = Deadline::within(Duration::ZERO);
         assert!(past.is_expired(), "a zero budget is expired on arrival");
+    }
+
+    #[test]
+    fn after_checks_spends_exactly_its_credits() {
+        let d = Deadline::after_checks(2);
+        assert!(!d.is_expired(), "is_expired must not consume a credit");
+        assert!(!d.is_expired());
+        assert!(d.check().is_ok());
+        assert!(d.check().is_ok());
+        assert!(d.is_expired(), "both credits spent");
+        assert_eq!(d.check(), Err(DeadlineExceeded));
+        assert_eq!(d.check(), Err(DeadlineExceeded), "stays expired");
+    }
+
+    #[test]
+    fn after_checks_zero_is_expired_on_arrival() {
+        let d = Deadline::after_checks(0);
+        assert!(d.is_expired());
+        assert_eq!(d.check(), Err(DeadlineExceeded));
+    }
+
+    #[test]
+    fn clones_share_the_credit_pool() {
+        let d = Deadline::after_checks(1);
+        let shared = d.clone();
+        assert!(d.check().is_ok());
+        assert_eq!(
+            shared.check(),
+            Err(DeadlineExceeded),
+            "clone is the same budget"
+        );
     }
 }

@@ -65,10 +65,46 @@ impl DynamicGraph {
         t: Timestamp,
         field: FieldId,
     ) -> Result<usize, crate::builder::GraphError> {
+        self.validate_event(src, dst, t)?;
+        let idx = self.events.len();
+        self.events.push(Interaction {
+            src,
+            dst,
+            t,
+            field,
+            idx,
+        });
+        self.adjacency[src as usize].push(NeighborEntry {
+            neighbor: dst,
+            t,
+            edge: idx,
+        });
+        self.adjacency[dst as usize].push(NeighborEntry {
+            neighbor: src,
+            t,
+            edge: idx,
+        });
+        Ok(idx)
+    }
+
+    /// Checks whether `push_event` would accept `(src, dst, t)` without
+    /// mutating anything — the same node-range, finite-time, and
+    /// chronological checks, in the same order. The serving engine calls
+    /// this *before* appending the event to its write-ahead log, so a
+    /// durably logged event can never be rejected on replay.
+    pub fn validate_event(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        t: Timestamp,
+    ) -> Result<(), crate::builder::GraphError> {
         use crate::builder::GraphError;
         for node in [src, dst] {
             if node as usize >= self.num_nodes {
-                return Err(GraphError::NodeOutOfRange { node, num_nodes: self.num_nodes });
+                return Err(GraphError::NodeOutOfRange {
+                    node,
+                    num_nodes: self.num_nodes,
+                });
             }
         }
         if !t.is_finite() {
@@ -79,11 +115,7 @@ impl DynamicGraph {
                 return Err(GraphError::OutOfOrder);
             }
         }
-        let idx = self.events.len();
-        self.events.push(Interaction { src, dst, t, field, idx });
-        self.adjacency[src as usize].push(NeighborEntry { neighbor: dst, t, edge: idx });
-        self.adjacency[dst as usize].push(NeighborEntry { neighbor: src, t, edge: idx });
-        Ok(idx)
+        Ok(())
     }
 
     /// Size of the node id universe (not all ids need appear in events; a
@@ -156,7 +188,9 @@ impl DynamicGraph {
 
     /// Ids of all nodes that appear in at least one event.
     pub fn active_nodes(&self) -> Vec<NodeId> {
-        (0..self.num_nodes as NodeId).filter(|&n| self.is_active(n)).collect()
+        (0..self.num_nodes as NodeId)
+            .filter(|&n| self.is_active(n))
+            .collect()
     }
 
     /// Distinct field tags present in the event log.
@@ -269,7 +303,11 @@ mod tests {
 
         assert_eq!(g.push_event(0, 1, 1.0, 0).unwrap(), 0);
         assert_eq!(g.push_event(1, 2, 2.0, 0).unwrap(), 1);
-        assert_eq!(g.push_event(0, 2, 2.0, 1).unwrap(), 2, "equal times allowed");
+        assert_eq!(
+            g.push_event(0, 2, 2.0, 1).unwrap(),
+            2,
+            "equal times allowed"
+        );
         assert_eq!(g.num_events(), 3);
         assert_eq!(g.t_max(), Some(2.0));
         // Adjacency stays time-sorted and bidirectional.
@@ -279,13 +317,58 @@ mod tests {
         assert_eq!(r[0].t, 2.0, "most recent first");
 
         // Streaming invariants: monotone time, valid ids, finite stamps.
-        assert_eq!(g.push_event(0, 1, 1.5, 0).unwrap_err(), GraphError::OutOfOrder);
+        assert_eq!(
+            g.push_event(0, 1, 1.5, 0).unwrap_err(),
+            GraphError::OutOfOrder
+        );
         assert_eq!(
             g.push_event(0, 7, 3.0, 0).unwrap_err(),
-            GraphError::NodeOutOfRange { node: 7, num_nodes: 3 }
+            GraphError::NodeOutOfRange {
+                node: 7,
+                num_nodes: 3
+            }
         );
-        assert_eq!(g.push_event(0, 1, f64::NAN, 0).unwrap_err(), GraphError::NonFiniteTime);
-        assert_eq!(g.num_events(), 3, "rejected appends leave the log untouched");
+        assert_eq!(
+            g.push_event(0, 1, f64::NAN, 0).unwrap_err(),
+            GraphError::NonFiniteTime
+        );
+        assert_eq!(
+            g.num_events(),
+            3,
+            "rejected appends leave the log untouched"
+        );
+    }
+
+    #[test]
+    fn validate_event_mirrors_push_event_without_mutating() {
+        use crate::builder::GraphError;
+        let mut g = DynamicGraph::empty(3);
+        g.push_event(0, 1, 2.0, 0).unwrap();
+        // Accepts what push_event would accept...
+        assert!(g.validate_event(1, 2, 2.0).is_ok());
+        assert!(g.validate_event(0, 2, 5.0).is_ok());
+        // ...rejects what it would reject, with the same errors...
+        assert_eq!(
+            g.validate_event(0, 3, 3.0).unwrap_err(),
+            GraphError::NodeOutOfRange {
+                node: 3,
+                num_nodes: 3
+            }
+        );
+        assert_eq!(
+            g.validate_event(0, 1, f64::INFINITY).unwrap_err(),
+            GraphError::NonFiniteTime
+        );
+        assert_eq!(
+            g.validate_event(0, 1, 1.0).unwrap_err(),
+            GraphError::OutOfOrder
+        );
+        // ...and never mutates.
+        assert_eq!(g.num_events(), 1);
+        assert!(
+            g.validate_event(1, 2, 2.0).is_ok(),
+            "validation is repeatable"
+        );
     }
 
     #[test]
@@ -300,7 +383,11 @@ mod tests {
         }
         assert_eq!(streamed.events(), batch.events());
         for n in 0..3 {
-            assert_eq!(streamed.neighbors_all(n), batch.neighbors_all(n), "node {n}");
+            assert_eq!(
+                streamed.neighbors_all(n),
+                batch.neighbors_all(n),
+                "node {n}"
+            );
         }
     }
 

@@ -140,7 +140,11 @@ mod tests {
     fn probe_success_closes_probe_failure_keeps_open() {
         let mut b = CircuitBreaker::new(1, 1);
         b.record_failure();
-        assert_eq!(b.admit(), Admittance::Probe, "probe_every=1 probes every request");
+        assert_eq!(
+            b.admit(),
+            Admittance::Probe,
+            "probe_every=1 probes every request"
+        );
         b.record_failure(); // probe failed
         assert!(b.is_open());
         assert_eq!(b.admit(), Admittance::Probe);

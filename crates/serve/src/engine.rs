@@ -33,6 +33,7 @@ use crate::breaker::{Admittance, CircuitBreaker};
 use crate::protocol::{render_floats, Command, ErrKind, Reply};
 use cpdg_core::error::{CpdgError, CpdgResult};
 use cpdg_core::storage::Storage;
+use cpdg_core::wal::{self, RecoveryStats, Wal, WalCheckpoint, WalConfig};
 use cpdg_core::{FaultHook, FaultPoint, ModelFile};
 use cpdg_dgnn::{Deadline, DgnnConfig, DgnnEncoder, EncoderState, LinkPredictor};
 use cpdg_graph::{DynamicGraph, FieldId, NodeId, Timestamp};
@@ -67,7 +68,12 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { deadline: None, breaker_threshold: 3, breaker_probe_every: 4, seed: 0 }
+        Self {
+            deadline: None,
+            breaker_threshold: 3,
+            breaker_probe_every: 4,
+            seed: 0,
+        }
     }
 }
 
@@ -93,6 +99,23 @@ struct EngineInner {
     encoder: DgnnEncoder,
     graph: DynamicGraph,
     breaker: CircuitBreaker,
+    /// Durable event log; `None` until [`Engine::open_wal`] attaches one.
+    /// Lives under the engine lock so the append → mutate sequence is
+    /// atomic with respect to other requests.
+    wal: Option<Wal>,
+    /// What the last [`Engine::open_wal`] recovered (for `STATUS`).
+    recovery: Option<WalRecoveryReport>,
+}
+
+/// What [`Engine::open_wal`] reconstructed on startup.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalRecoveryReport {
+    /// Events restored wholesale from the drain checkpoint.
+    pub checkpoint_applied: u64,
+    /// Events replayed one-by-one from WAL records past the checkpoint.
+    pub replayed: u64,
+    /// What the segment scan found and repaired.
+    pub recovery: RecoveryStats,
 }
 
 /// Monotone counters shared between the engine and the server front door.
@@ -110,6 +133,8 @@ pub struct ServeStats {
     pub errors: AtomicU64,
     /// Successful hot reloads.
     pub reloads: AtomicU64,
+    /// Worker panics caught and recovered by the supervisor.
+    pub worker_panics: AtomicU64,
 }
 
 impl ServeStats {
@@ -210,6 +235,8 @@ impl Engine {
                 encoder,
                 graph,
                 breaker,
+                wal: None,
+                recovery: None,
             }),
             current: RwLock::new(epoch),
             hook,
@@ -229,12 +256,25 @@ impl Engine {
     }
 
     /// Executes one parsed command to a reply. This is the single entry
-    /// point workers call; admission control happens before it.
+    /// point workers call; admission control happens before it. Offline
+    /// callers (the `--ingest` reference path, tests) see a queue depth
+    /// of 0 in `STATUS` replies — use [`Engine::execute_with_depth`] to
+    /// report the live queue.
     pub fn execute(&self, cmd: Command) -> Reply {
+        self.execute_with_depth(cmd, 0)
+    }
+
+    /// [`Engine::execute`] with the caller's admission-queue depth, which
+    /// only the `STATUS` reply reports.
+    pub fn execute_with_depth(&self, cmd: Command, queue_depth: usize) -> Reply {
         cpdg_obs::counter!("serve.requests").inc();
         let reply = match cmd {
-            Command::Ping => Reply::Ok { version: self.version(), body: "pong".to_string() },
+            Command::Ping => Reply::Ok {
+                version: self.version(),
+                body: "pong".to_string(),
+            },
             Command::Stats => self.stats_reply(),
+            Command::Status => self.status_reply(queue_depth),
             Command::Event { src, dst, t, field } => self.ingest(src, dst, t, field),
             Command::Emb { node, t } => self.emb(node, t),
             Command::Score { src, dst, t } => self.score(src, dst, t),
@@ -269,28 +309,204 @@ impl Engine {
         }
     }
 
+    /// The `STATUS` reply: engine health as `key=value` pairs — epoch,
+    /// queue depth, breaker state, counters, WAL occupancy, and what the
+    /// last recovery reconstructed. Unlike `STATS`, the body includes
+    /// live queue/WAL occupancy, so `STATUS` replies are *not* expected
+    /// to be identical across runs.
+    fn status_reply(&self, queue_depth: usize) -> Reply {
+        let inner = self.inner.lock().expect("engine lock");
+        let breaker = if inner.breaker.is_open() {
+            "open"
+        } else {
+            "closed"
+        };
+        let trips = inner.breaker.trips();
+        let (wal_attached, wal_segments, wal_bytes, wal_next) = match inner.wal.as_ref() {
+            Some(w) => (
+                1u64,
+                w.segment_count() as u64,
+                w.total_bytes(),
+                w.next_index(),
+            ),
+            None => (0, 0, 0, 0),
+        };
+        let rec = inner.recovery.unwrap_or_default();
+        drop(inner);
+        let s = &self.stats;
+        Reply::Ok {
+            version: self.version(),
+            body: format!(
+                "epoch={} queue_depth={queue_depth} breaker={breaker} breaker_trips={trips} \
+                 events={} ok={} degraded={} shed={} errors={} reloads={} worker_panics={} \
+                 wal={wal_attached} wal_segments={wal_segments} wal_bytes={wal_bytes} \
+                 wal_next_index={wal_next} recovered_from_checkpoint={} recovered_replayed={} \
+                 recovered_truncated_bytes={}",
+                self.version(),
+                ServeStats::get(&s.events),
+                ServeStats::get(&s.ok),
+                ServeStats::get(&s.degraded),
+                ServeStats::get(&s.shed),
+                ServeStats::get(&s.errors),
+                ServeStats::get(&s.reloads),
+                ServeStats::get(&s.worker_panics),
+                rec.checkpoint_applied,
+                rec.replayed,
+                rec.recovery.truncated_bytes,
+            ),
+        }
+    }
+
     /// Ingests one streamed interaction, advancing the DGNN memory exactly
     /// as training would: flush previously pending messages, then queue
-    /// this event as the new pending batch. Ingestion is never faulted and
-    /// never consults the breaker — the memory stream must stay
-    /// bit-identical across chaos runs for the drain oracle to hold.
+    /// this event as the new pending batch. Ingestion never consults the
+    /// breaker, and with a WAL attached it is *append-before-mutate*: the
+    /// event is validated, durably logged, and only then applied — a
+    /// failed append returns `ERR` with the event in neither memory nor
+    /// the log, so crash replay reconstructs exactly the acknowledged
+    /// stream and memory stays bit-identical across chaos runs.
     fn ingest(&self, src: NodeId, dst: NodeId, t: Timestamp, field: FieldId) -> Reply {
         let mut inner = self.inner.lock().expect("engine lock");
         let inner = &mut *inner;
-        let idx = match inner.graph.push_event(src, dst, t, field) {
-            Ok(idx) => idx,
-            Err(e) => return Reply::Err { kind: ErrKind::Exec, detail: e.to_string() },
-        };
+        if let Err(e) = inner.graph.validate_event(src, dst, t) {
+            return Reply::Err {
+                kind: ErrKind::Exec,
+                detail: e.to_string(),
+            };
+        }
+        if let Some(w) = inner.wal.as_mut() {
+            if let Err(e) = w.append(&wal::encode_event(src, dst, t, field)) {
+                return Reply::Err {
+                    kind: ErrKind::Exec,
+                    detail: e.to_string(),
+                };
+            }
+        }
+        let idx = inner
+            .graph
+            .push_event(src, dst, t, field)
+            .expect("validate_event mirrors push_event");
         let mut tape = Tape::new();
-        let ctx = inner.encoder.apply_pending(&mut tape, &inner.epoch.store, &inner.graph);
+        let ctx = inner
+            .encoder
+            .apply_pending(&mut tape, &inner.epoch.store, &inner.graph);
         let event = *inner.graph.event(idx);
         inner.encoder.commit(&tape, ctx, &[event]);
         ServeStats::bump(&self.stats.events);
-        Reply::Ok { version: inner.epoch.version, body: format!("event {idx}") }
+        Reply::Ok {
+            version: inner.epoch.version,
+            body: format!("event {idx}"),
+        }
+    }
+
+    /// Attaches (creating if needed) the durable WAL in `dir` and
+    /// recovers state from it: the drain checkpoint (if any) restores
+    /// graph + encoder wholesale, then every WAL record past the
+    /// checkpoint replays through the exact per-event ingestion path —
+    /// `apply_pending` + `commit`, no trailing flush — so recovered state
+    /// is bit-identical to an uninterrupted run's, pending messages
+    /// included. Call before serving traffic.
+    pub fn open_wal(&self, dir: &Path, config: WalConfig) -> CpdgResult<WalRecoveryReport> {
+        let mut inner = self.inner.lock().expect("engine lock");
+        let inner = &mut *inner;
+        let ckpt_path = dir.join(wal::CHECKPOINT_FILE);
+        let mut applied = 0u64;
+        if let Some(ckpt) = WalCheckpoint::load(&cpdg_core::FS_STORAGE, &ckpt_path)? {
+            if ckpt.graph.num_nodes() != inner.epoch.num_nodes {
+                return Err(CpdgError::corrupt(
+                    &ckpt_path,
+                    format!(
+                        "checkpoint universe of {} nodes does not match model's {}",
+                        ckpt.graph.num_nodes(),
+                        inner.epoch.num_nodes
+                    ),
+                ));
+            }
+            inner
+                .encoder
+                .restore_state(ckpt.encoder)
+                .map_err(|e| CpdgError::corrupt(&ckpt_path, e))?;
+            inner.graph = ckpt.graph;
+            applied = ckpt.applied;
+        }
+        let wal = Wal::open(dir, config, self.hook.clone())?;
+        let mut replayed = 0u64;
+        wal.replay(applied, |index, payload| {
+            let (src, dst, t, field) = wal::decode_event(payload)
+                .map_err(|e| CpdgError::corrupt(dir, format!("record {index}: {e}")))?;
+            let idx = inner.graph.push_event(src, dst, t, field).map_err(|e| {
+                CpdgError::corrupt(dir, format!("WAL record {index} rejected on replay: {e}"))
+            })?;
+            let mut tape = Tape::new();
+            let ctx = inner
+                .encoder
+                .apply_pending(&mut tape, &inner.epoch.store, &inner.graph);
+            let event = *inner.graph.event(idx);
+            inner.encoder.commit(&tape, ctx, &[event]);
+            ServeStats::bump(&self.stats.events);
+            replayed += 1;
+            Ok(())
+        })?;
+        let report = WalRecoveryReport {
+            checkpoint_applied: applied,
+            replayed,
+            recovery: wal.recovery_stats(),
+        };
+        inner.wal = Some(wal);
+        inner.recovery = Some(report);
+        cpdg_obs::info!(
+            "serve.engine",
+            "WAL recovery complete";
+            dir = dir.display().to_string(),
+            checkpoint_applied = report.checkpoint_applied,
+            replayed = report.replayed,
+            truncated_bytes = report.recovery.truncated_bytes,
+        );
+        Ok(report)
+    }
+
+    /// Drain-time WAL checkpoint: fsync the tail, atomically publish a
+    /// CRC-sealed [`WalCheckpoint`] capturing graph + encoder state
+    /// (pending messages included — no flush, so a restart resumes
+    /// bit-identically), then drop the sealed segments the checkpoint
+    /// covers. Returns the bytes freed, or `None` when no WAL is
+    /// attached.
+    pub fn checkpoint_wal(&self, storage: &dyn Storage) -> CpdgResult<Option<u64>> {
+        let mut inner = self.inner.lock().expect("engine lock");
+        let inner = &mut *inner;
+        let Some(w) = inner.wal.as_mut() else {
+            return Ok(None);
+        };
+        w.sync()?;
+        let ckpt = WalCheckpoint {
+            applied: w.next_index(),
+            graph: inner.graph.clone(),
+            encoder: inner.encoder.export_state(),
+        };
+        let path = w.dir().join(wal::CHECKPOINT_FILE);
+        ckpt.save(storage, &path)?;
+        let freed = w.truncate_through(ckpt.applied)?;
+        Ok(Some(freed))
+    }
+
+    /// Feeds one supervised-worker panic into engine health: counted in
+    /// [`ServeStats::worker_panics`] and the `serve.worker_panic`
+    /// counter, and recorded as a failure toward the circuit breaker (a
+    /// crashing worker is model-health evidence, same as a panicking
+    /// forward pass).
+    pub fn note_worker_panic(&self) {
+        ServeStats::bump(&self.stats.worker_panics);
+        cpdg_obs::counter!("serve.worker_panic").inc();
+        self.inner
+            .lock()
+            .expect("engine lock")
+            .breaker
+            .record_failure();
     }
 
     fn request_deadline(&self) -> Deadline {
         match self.config.deadline {
+            Some(budget) if budget.is_zero() => Deadline::expired(),
             Some(budget) => Deadline::within(budget),
             None => Deadline::none(),
         }
@@ -305,19 +521,29 @@ impl Engine {
         nodes: &[NodeId],
         t: Timestamp,
         score_pair: bool,
+        deadline: &Deadline,
     ) -> InferOutcome {
         if let Err(fault) = self.hook.check(FaultPoint::ServeInfer) {
             return InferOutcome::Failed(fault.to_string());
         }
-        let deadline = self.request_deadline();
         let epoch = &inner.epoch;
         let result = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<f32>, ()> {
             let mut tape = Tape::new();
-            let ctx = inner.encoder.apply_pending(&mut tape, &epoch.store, &inner.graph);
+            let ctx = inner
+                .encoder
+                .apply_pending(&mut tape, &epoch.store, &inner.graph);
             let times = vec![t; nodes.len()];
             let z = inner
                 .encoder
-                .embed_many_within(&mut tape, &epoch.store, &ctx, &inner.graph, nodes, &times, &deadline)
+                .embed_many_within(
+                    &mut tape,
+                    &epoch.store,
+                    &ctx,
+                    &inner.graph,
+                    nodes,
+                    &times,
+                    deadline,
+                )
                 .map_err(|_| ())?;
             let out = if score_pair {
                 // Row 0 = src, row 1 = dst.
@@ -355,6 +581,16 @@ impl Engine {
             }
         }
         let t = t.unwrap_or_else(|| inner.graph.t_max().unwrap_or(0.0));
+        // A zero or already-elapsed budget is rejected here, at admission:
+        // the forward pass (and its `serve.infer` fault point) is never
+        // entered for a request that cannot finish.
+        let deadline = self.request_deadline();
+        if deadline.is_expired() {
+            return Reply::Err {
+                kind: ErrKind::Deadline,
+                detail: String::new(),
+            };
+        }
         let degraded = |version: u64| {
             let body = if score_pair {
                 let a = epoch.static_states.row(nodes[0] as usize);
@@ -368,26 +604,34 @@ impl Engine {
         };
         match inner.breaker.admit() {
             Admittance::Shorted => degraded(epoch.version),
-            Admittance::Closed | Admittance::Probe => match self.forward(&inner, nodes, t, score_pair) {
-                InferOutcome::Ok(values) => {
-                    inner.breaker.record_success();
-                    Reply::Ok { version: epoch.version, body: render_floats(&values) }
+            Admittance::Closed | Admittance::Probe => {
+                match self.forward(&inner, nodes, t, score_pair, &deadline) {
+                    InferOutcome::Ok(values) => {
+                        inner.breaker.record_success();
+                        Reply::Ok {
+                            version: epoch.version,
+                            body: render_floats(&values),
+                        }
+                    }
+                    InferOutcome::DeadlineExpired => {
+                        // The model is not implicated; leave the breaker alone.
+                        Reply::Err {
+                            kind: ErrKind::Deadline,
+                            detail: String::new(),
+                        }
+                    }
+                    InferOutcome::Failed(detail) => {
+                        cpdg_obs::warn!(
+                            "serve.engine",
+                            "inference failed; serving degraded fallback";
+                            detail = detail.as_str(),
+                            version = epoch.version,
+                        );
+                        inner.breaker.record_failure();
+                        degraded(epoch.version)
+                    }
                 }
-                InferOutcome::DeadlineExpired => {
-                    // The model is not implicated; leave the breaker alone.
-                    Reply::Err { kind: ErrKind::Deadline, detail: String::new() }
-                }
-                InferOutcome::Failed(detail) => {
-                    cpdg_obs::warn!(
-                        "serve.engine",
-                        "inference failed; serving degraded fallback";
-                        detail = detail.as_str(),
-                        version = epoch.version,
-                    );
-                    inner.breaker.record_failure();
-                    degraded(epoch.version)
-                }
-            },
+            }
         }
     }
 
@@ -405,7 +649,10 @@ impl Engine {
     /// a typed `ERR reload`. On success the version increments and the live
     /// DGNN memory carries over unchanged.
     fn reload(&self, path: &Path) -> Reply {
-        let fail = |detail: String| Reply::Err { kind: ErrKind::Reload, detail };
+        let fail = |detail: String| Reply::Err {
+            kind: ErrKind::Reload,
+            detail,
+        };
         if let Err(fault) = self.hook.check(FaultPoint::ServeReload) {
             return fail(fault.to_string());
         }
@@ -437,7 +684,10 @@ impl Engine {
             version = epoch.version,
             path = path.display().to_string(),
         );
-        Reply::Ok { version: epoch.version, body: "reloaded".to_string() }
+        Reply::Ok {
+            version: epoch.version,
+            body: "reloaded".to_string(),
+        }
     }
 
     /// Flushes pending encoder messages into memory (the same final flush
@@ -446,19 +696,29 @@ impl Engine {
         let mut inner = self.inner.lock().expect("engine lock");
         let inner = &mut *inner;
         let mut tape = Tape::new();
-        let ctx = inner.encoder.apply_pending(&mut tape, &inner.epoch.store, &inner.graph);
+        let ctx = inner
+            .encoder
+            .apply_pending(&mut tape, &inner.epoch.store, &inner.graph);
         inner.encoder.commit(&tape, ctx, &[]);
     }
 
     /// Snapshot of the full mutable encoder state (memory, cells, pending).
     pub fn export_state(&self) -> EncoderState {
-        self.inner.lock().expect("engine lock").encoder.export_state()
+        self.inner
+            .lock()
+            .expect("engine lock")
+            .encoder
+            .export_state()
     }
 
     /// Restores encoder state (e.g. a `--memory-in` warm start), validating
     /// shape compatibility against the live model.
     pub fn restore_state(&self, state: EncoderState) -> Result<(), String> {
-        self.inner.lock().expect("engine lock").encoder.restore_state(state)
+        self.inner
+            .lock()
+            .expect("engine lock")
+            .encoder
+            .restore_state(state)
     }
 
     /// Drain-time persistence: flush pending messages, then atomically
@@ -468,8 +728,7 @@ impl Engine {
     pub fn persist_memory(&self, storage: &dyn Storage, path: &Path) -> CpdgResult<()> {
         self.flush();
         let state = self.export_state();
-        let json =
-            serde_json::to_vec(&state).map_err(|e| CpdgError::Serialize(e.to_string()))?;
+        let json = serde_json::to_vec(&state).map_err(|e| CpdgError::Serialize(e.to_string()))?;
         storage
             .write_atomic(path, &cpdg_core::integrity::seal(&json))
             .map_err(|e| CpdgError::io(path, e))
@@ -480,9 +739,10 @@ impl Engine {
     pub fn restore_memory_file(&self, storage: &dyn Storage, path: &Path) -> CpdgResult<()> {
         let bytes = storage.read(path).map_err(|e| CpdgError::io(path, e))?;
         let payload = cpdg_core::integrity::unseal(&bytes, path)?;
-        let state: EncoderState = serde_json::from_slice(payload)
-            .map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
-        self.restore_state(state).map_err(|e| CpdgError::corrupt(path, e))
+        let state: EncoderState =
+            serde_json::from_slice(payload).map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
+        self.restore_state(state)
+            .map_err(|e| CpdgError::corrupt(path, e))
     }
 
     /// Whether the circuit breaker is currently open (diagnostics).
@@ -494,5 +754,125 @@ impl Engine {
     /// server front door consults the same plan at `serve.accept`.
     pub fn fault_hook(&self) -> FaultHook {
         self.hook.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdg_core::{FaultPlan, FS_STORAGE};
+    use cpdg_dgnn::EncoderKind;
+    use std::path::PathBuf;
+
+    fn tiny_model() -> ModelFile {
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 100.0);
+        ModelFile::new(cfg, 6, ParamStore::new(), Vec::new())
+    }
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpdg-engine-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn zero_budget_is_rejected_at_admission() {
+        let model = tiny_model();
+        // An installed (empty) plan arms hit counting without injecting
+        // anything, so `hits(ServeInfer)` proves whether the forward path
+        // was entered.
+        let hook = FaultHook::install(&FaultPlan::new(0));
+        let engine = Engine::from_model(
+            &model,
+            EngineConfig {
+                deadline: Some(Duration::ZERO),
+                ..EngineConfig::default()
+            },
+            hook.clone(),
+        );
+        let ingest = engine.execute(Command::Event {
+            src: 0,
+            dst: 1,
+            t: 1.0,
+            field: 0,
+        });
+        assert!(matches!(ingest, Reply::Ok { .. }), "{ingest:?}");
+        let reply = engine.execute(Command::Emb {
+            node: 0,
+            t: Some(1.0),
+        });
+        assert!(
+            matches!(
+                reply,
+                Reply::Err {
+                    kind: ErrKind::Deadline,
+                    ..
+                }
+            ),
+            "{reply:?}"
+        );
+        // Rejected before inference: the serve.infer fault point was never
+        // consulted and the breaker saw no model-health failure.
+        assert_eq!(hook.hits(FaultPoint::ServeInfer), 0);
+        assert!(!engine.breaker_open());
+        assert_eq!(engine.stats.errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wal_recovery_is_bit_identical_in_process() {
+        let dir = test_dir("recover");
+        let model = tiny_model();
+
+        let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        let report = engine.open_wal(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.replayed, 0);
+        for (src, dst, t) in [(0u32, 1u32, 1.0f64), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 4.0)] {
+            let r = engine.execute(Command::Event {
+                src,
+                dst,
+                t,
+                field: 0,
+            });
+            assert!(matches!(r, Reply::Ok { .. }), "{r:?}");
+        }
+        let reference = engine.execute(Command::Emb {
+            node: 2,
+            t: Some(4.0),
+        });
+        // Simulated kill -9: drop the engine without drain or checkpoint.
+        drop(engine);
+
+        let recovered = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        let report = recovered.open_wal(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.replayed, 4);
+        assert_eq!(report.checkpoint_applied, 0);
+        assert_eq!(
+            recovered.execute(Command::Emb {
+                node: 2,
+                t: Some(4.0)
+            }),
+            reference,
+            "recovered reply must be bit-identical"
+        );
+        // Events survive as state *and* as the next log index.
+        assert_eq!(recovered.stats.events.load(Ordering::Relaxed), 4);
+
+        // Checkpoint, then reopen: nothing left to replay.
+        let freed = recovered.checkpoint_wal(&FS_STORAGE).unwrap();
+        assert!(freed.is_some());
+        drop(recovered);
+        let warm = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        let report = warm.open_wal(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.checkpoint_applied, 4);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(
+            warm.execute(Command::Emb {
+                node: 2,
+                t: Some(4.0)
+            }),
+            reference
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -15,24 +15,33 @@
 //!   pre-training embeddings (`DEGRADED` replies) with deterministic
 //!   count-based probing to re-close.
 //! * [`protocol`] — the total, panic-free line grammar (`EVENT`, `EMB`,
-//!   `SCORE`, `RELOAD`, `STATS`, `PING`) and self-describing replies
-//!   (`OK v<version> …` / `DEGRADED v<version> …` / `ERR <kind> …`).
-//! * [`engine`] — model state and execution: streamed ingestion that is
-//!   never faulted (so memory stays bit-identical across chaos runs),
-//!   deadline-checked forward passes
-//!   ([`DgnnEncoder::embed_many_within`](cpdg_dgnn::DgnnEncoder::embed_many_within)),
-//!   versioned hot reload that transplants live memory, and drain-time
-//!   CRC-sealed memory persistence.
+//!   `SCORE`, `RELOAD`, `STATS`, `STATUS`, `PING`) and self-describing
+//!   replies (`OK v<version> …` / `DEGRADED v<version> …` /
+//!   `ERR <kind> …`).
+//! * [`engine`] — model state and execution: crash-consistent streamed
+//!   ingestion (each `EVENT` is appended to a CRC-framed
+//!   [write-ahead log](cpdg_core::Wal) *before* it mutates memory, and
+//!   replayed on startup so a recovered engine is bit-identical to an
+//!   uninterrupted one), deadline-checked forward passes
+//!   ([`DgnnEncoder::embed_many_within`](cpdg_dgnn::DgnnEncoder::embed_many_within))
+//!   with zero/elapsed budgets rejected at admission, versioned hot
+//!   reload that transplants live memory, and drain-time CRC-sealed
+//!   checkpoints that truncate replayed WAL segments.
 //! * [`server`] — the threaded TCP front door: per-connection lockstep
-//!   (single-connection scripts are worker-count-deterministic), a worker
-//!   pool over the admission queue, graceful drain.
+//!   (single-connection scripts are worker-count-deterministic), a
+//!   *supervised* worker pool over the admission queue (per-worker panics
+//!   are caught, counted, fed to the breaker, and the worker restarts
+//!   with bounded deterministic backoff), graceful drain.
 //!
 //! Chaos integration: the engine threads a
-//! [`FaultHook`](cpdg_core::FaultHook) through three serve-specific fault
+//! [`FaultHook`](cpdg_core::FaultHook) through seven serve-side fault
 //! points — `serve.accept` (admission), `serve.infer` (query forward
-//! pass), `serve.reload` (hot swap) — so the workspace `serve_suite` can
-//! assert that shedding, breaker trips, failed reloads, and drain leave
-//! served results and persisted memory bit-identical to a fault-free run.
+//! pass), `serve.reload` (hot swap), `serve.worker` (worker panic),
+//! `wal.append` / `wal.fsync` (durable ingestion), and `wal.replay`
+//! (recovery) — so the workspace `serve_suite` and `wal_suite` can assert
+//! that shedding, breaker trips, failed reloads, crashes at any fault
+//! point, and drain leave served results and persisted state bit-identical
+//! to a fault-free run.
 
 #![warn(missing_docs)]
 #![warn(clippy::disallowed_macros)]
@@ -44,7 +53,7 @@ pub mod queue;
 pub mod server;
 
 pub use breaker::{Admittance, CircuitBreaker};
-pub use engine::{Engine, EngineConfig, Epoch, ServeStats};
+pub use engine::{Engine, EngineConfig, Epoch, ServeStats, WalRecoveryReport};
 pub use protocol::{parse_line, render_floats, Command, ErrKind, Reply};
 pub use queue::{BoundedQueue, Overloaded};
 pub use server::{Server, ServerConfig};

@@ -4,7 +4,8 @@
 //! no quoting, no escaping — because the protocol exists to exercise the
 //! robustness machinery, not to be a product API. What *is* load-bearing:
 //!
-//! * parsing is total: any byte sequence maps to either a [`Command`] or a
+//! * parsing is total: any byte sequence maps to either a [`Command`]
+//!   (`EVENT`, `EMB`, `SCORE`, `RELOAD`, `STATS`, `STATUS`, `PING`) or a
 //!   typed parse error, never a panic (property-tested in the serve suite);
 //! * replies are self-describing: `OK v<version> …` / `DEGRADED v<version> …`
 //!   carry the model version that answered, so clients observe hot reloads;
@@ -53,6 +54,9 @@ pub enum Command {
     },
     /// `STATS` — one-line counters snapshot.
     Stats,
+    /// `STATUS` — key=value health snapshot: epoch, queue depth, breaker
+    /// state, WAL occupancy, last-recovery stats.
+    Status,
     /// `PING` — liveness check, never touches the engine.
     Ping,
 }
@@ -149,11 +153,14 @@ pub fn render_floats(values: &[f32]) -> String {
 }
 
 fn parse_node(tok: &str, what: &str) -> Result<NodeId, String> {
-    tok.parse::<NodeId>().map_err(|_| format!("bad {what} node id {tok:?}"))
+    tok.parse::<NodeId>()
+        .map_err(|_| format!("bad {what} node id {tok:?}"))
 }
 
 fn parse_time(tok: &str) -> Result<Timestamp, String> {
-    let t = tok.parse::<Timestamp>().map_err(|_| format!("bad time {tok:?}"))?;
+    let t = tok
+        .parse::<Timestamp>()
+        .map_err(|_| format!("bad time {tok:?}"))?;
     if !t.is_finite() {
         return Err(format!("non-finite time {tok:?}"));
     }
@@ -161,7 +168,8 @@ fn parse_time(tok: &str) -> Result<Timestamp, String> {
 }
 
 fn parse_field(tok: &str) -> Result<FieldId, String> {
-    tok.parse::<FieldId>().map_err(|_| format!("bad field {tok:?}"))
+    tok.parse::<FieldId>()
+        .map_err(|_| format!("bad field {tok:?}"))
 }
 
 fn arity(cmd: &str, got: usize, want: &str) -> String {
@@ -183,7 +191,11 @@ pub fn parse_line(line: &str) -> Result<Command, String> {
             let src = parse_node(args[0], "src")?;
             let dst = parse_node(args[1], "dst")?;
             let t = parse_time(args[2])?;
-            let field = if args.len() == 4 { parse_field(args[3])? } else { 0 };
+            let field = if args.len() == 4 {
+                parse_field(args[3])?
+            } else {
+                0
+            };
             Ok(Command::Event { src, dst, t, field })
         }
         "EMB" => {
@@ -191,7 +203,11 @@ pub fn parse_line(line: &str) -> Result<Command, String> {
                 return Err(arity("EMB", args.len(), "1 or 2"));
             }
             let node = parse_node(args[0], "query")?;
-            let t = if args.len() == 2 { Some(parse_time(args[1])?) } else { None };
+            let t = if args.len() == 2 {
+                Some(parse_time(args[1])?)
+            } else {
+                None
+            };
             Ok(Command::Emb { node, t })
         }
         "SCORE" => {
@@ -200,20 +216,32 @@ pub fn parse_line(line: &str) -> Result<Command, String> {
             }
             let src = parse_node(args[0], "src")?;
             let dst = parse_node(args[1], "dst")?;
-            let t = if args.len() == 3 { Some(parse_time(args[2])?) } else { None };
+            let t = if args.len() == 3 {
+                Some(parse_time(args[2])?)
+            } else {
+                None
+            };
             Ok(Command::Score { src, dst, t })
         }
         "RELOAD" => {
             if args.len() != 1 {
                 return Err(arity("RELOAD", args.len(), "1"));
             }
-            Ok(Command::Reload { path: args[0].to_string() })
+            Ok(Command::Reload {
+                path: args[0].to_string(),
+            })
         }
         "STATS" => {
             if !args.is_empty() {
                 return Err(arity("STATS", args.len(), "0"));
             }
             Ok(Command::Stats)
+        }
+        "STATUS" => {
+            if !args.is_empty() {
+                return Err(arity("STATUS", args.len(), "0"));
+            }
+            Ok(Command::Status)
         }
         "PING" => {
             if !args.is_empty() {
@@ -233,31 +261,64 @@ mod tests {
     fn parses_every_verb() {
         assert_eq!(
             parse_line("EVENT 3 7 12.5 2"),
-            Ok(Command::Event { src: 3, dst: 7, t: 12.5, field: 2 })
+            Ok(Command::Event {
+                src: 3,
+                dst: 7,
+                t: 12.5,
+                field: 2
+            })
         );
         assert_eq!(
             parse_line("EVENT 3 7 12.5"),
-            Ok(Command::Event { src: 3, dst: 7, t: 12.5, field: 0 }),
+            Ok(Command::Event {
+                src: 3,
+                dst: 7,
+                t: 12.5,
+                field: 0
+            }),
             "field defaults to 0"
         );
         assert_eq!(parse_line("EMB 4"), Ok(Command::Emb { node: 4, t: None }));
-        assert_eq!(parse_line("EMB 4 9.0"), Ok(Command::Emb { node: 4, t: Some(9.0) }));
-        assert_eq!(parse_line("SCORE 1 2"), Ok(Command::Score { src: 1, dst: 2, t: None }));
+        assert_eq!(
+            parse_line("EMB 4 9.0"),
+            Ok(Command::Emb {
+                node: 4,
+                t: Some(9.0)
+            })
+        );
+        assert_eq!(
+            parse_line("SCORE 1 2"),
+            Ok(Command::Score {
+                src: 1,
+                dst: 2,
+                t: None
+            })
+        );
         assert_eq!(
             parse_line("SCORE 1 2 5.5"),
-            Ok(Command::Score { src: 1, dst: 2, t: Some(5.5) })
+            Ok(Command::Score {
+                src: 1,
+                dst: 2,
+                t: Some(5.5)
+            })
         );
         assert_eq!(
             parse_line("RELOAD /tmp/model.json"),
-            Ok(Command::Reload { path: "/tmp/model.json".to_string() })
+            Ok(Command::Reload {
+                path: "/tmp/model.json".to_string()
+            })
         );
         assert_eq!(parse_line("STATS"), Ok(Command::Stats));
+        assert_eq!(parse_line("STATUS"), Ok(Command::Status));
         assert_eq!(parse_line("PING"), Ok(Command::Ping));
     }
 
     #[test]
     fn whitespace_is_forgiven() {
-        assert_eq!(parse_line("  EMB   4  "), Ok(Command::Emb { node: 4, t: None }));
+        assert_eq!(
+            parse_line("  EMB   4  "),
+            Ok(Command::Emb { node: 4, t: None })
+        );
         assert_eq!(parse_line("\tPING\t"), Ok(Command::Ping));
     }
 
@@ -265,39 +326,86 @@ mod tests {
     fn rejects_malformed_lines_with_reasons() {
         assert!(parse_line("").unwrap_err().contains("empty"));
         assert!(parse_line("   ").unwrap_err().contains("empty"));
-        assert!(parse_line("FROB 1 2").unwrap_err().contains("unknown command"));
-        assert!(parse_line("emb 4").unwrap_err().contains("unknown command"), "case-sensitive");
+        assert!(parse_line("FROB 1 2")
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(
+            parse_line("emb 4").unwrap_err().contains("unknown command"),
+            "case-sensitive"
+        );
         assert!(parse_line("EMB").unwrap_err().contains("expects"));
-        assert!(parse_line("EMB x").unwrap_err().contains("bad query node id"));
+        assert!(parse_line("EMB x")
+            .unwrap_err()
+            .contains("bad query node id"));
         assert!(parse_line("EMB 4 nanx").unwrap_err().contains("bad time"));
         assert!(parse_line("EMB 4 NaN").unwrap_err().contains("non-finite"));
         assert!(parse_line("EMB 4 inf").unwrap_err().contains("non-finite"));
         assert!(parse_line("EVENT 1 2").unwrap_err().contains("expects"));
-        assert!(parse_line("EVENT 1 2 3.0 4 5").unwrap_err().contains("expects"));
-        assert!(parse_line("EVENT -1 2 3.0").unwrap_err().contains("bad src node id"));
-        assert!(parse_line("EVENT 1 2 3.0 70000").unwrap_err().contains("bad field"));
+        assert!(parse_line("EVENT 1 2 3.0 4 5")
+            .unwrap_err()
+            .contains("expects"));
+        assert!(parse_line("EVENT -1 2 3.0")
+            .unwrap_err()
+            .contains("bad src node id"));
+        assert!(parse_line("EVENT 1 2 3.0 70000")
+            .unwrap_err()
+            .contains("bad field"));
         assert!(parse_line("SCORE 1").unwrap_err().contains("expects"));
         assert!(parse_line("RELOAD").unwrap_err().contains("expects"));
         assert!(parse_line("RELOAD a b").unwrap_err().contains("expects"));
         assert!(parse_line("STATS now").unwrap_err().contains("expects"));
+        assert!(parse_line("STATUS now").unwrap_err().contains("expects"));
         assert!(parse_line("PING 1").unwrap_err().contains("expects"));
     }
 
     #[test]
     fn replies_render_single_lines() {
-        assert_eq!(Reply::Ok { version: 3, body: "pong".into() }.render(), "OK v3 pong");
-        assert_eq!(Reply::Ok { version: 1, body: String::new() }.render(), "OK v1");
         assert_eq!(
-            Reply::Degraded { version: 2, body: "0.5".into() }.render(),
+            Reply::Ok {
+                version: 3,
+                body: "pong".into()
+            }
+            .render(),
+            "OK v3 pong"
+        );
+        assert_eq!(
+            Reply::Ok {
+                version: 1,
+                body: String::new()
+            }
+            .render(),
+            "OK v1"
+        );
+        assert_eq!(
+            Reply::Degraded {
+                version: 2,
+                body: "0.5".into()
+            }
+            .render(),
             "DEGRADED v2 0.5"
         );
         assert_eq!(
-            Reply::Err { kind: ErrKind::Overloaded, detail: "queue at 8".into() }.render(),
+            Reply::Err {
+                kind: ErrKind::Overloaded,
+                detail: "queue at 8".into()
+            }
+            .render(),
             "ERR overloaded queue at 8"
         );
-        assert_eq!(Reply::Err { kind: ErrKind::Deadline, detail: String::new() }.render(), "ERR deadline");
         assert_eq!(
-            Reply::Err { kind: ErrKind::Parse, detail: "a\nb\rc".into() }.render(),
+            Reply::Err {
+                kind: ErrKind::Deadline,
+                detail: String::new()
+            }
+            .render(),
+            "ERR deadline"
+        );
+        assert_eq!(
+            Reply::Err {
+                kind: ErrKind::Parse,
+                detail: "a\nb\rc".into()
+            }
+            .render(),
             "ERR parse a b c",
             "newlines in details are flattened"
         );

@@ -47,7 +47,10 @@ impl<T> BoundedQueue<T> {
     /// A queue admitting at most `capacity` items (≥ 1; 0 behaves as 1).
     pub fn new(capacity: usize) -> Self {
         Self {
-            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
         }
@@ -62,7 +65,9 @@ impl<T> BoundedQueue<T> {
     pub fn push(&self, item: T) -> Result<(), Overloaded> {
         let mut st = self.state.lock().expect("queue lock");
         if st.closed || st.items.len() >= self.capacity {
-            return Err(Overloaded { capacity: self.capacity });
+            return Err(Overloaded {
+                capacity: self.capacity,
+            });
         }
         st.items.push_back(item);
         drop(st);
@@ -145,7 +150,11 @@ mod tests {
         q.push(1).unwrap();
         q.push(2).unwrap();
         q.close();
-        assert_eq!(q.push(3), Err(Overloaded { capacity: 8 }), "closed queue sheds");
+        assert_eq!(
+            q.push(3),
+            Err(Overloaded { capacity: 8 }),
+            "closed queue sheds"
+        );
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
@@ -198,10 +207,14 @@ mod tests {
             p.join().unwrap();
         }
         q.close();
-        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
         all.sort_unstable();
-        let mut expect: Vec<u64> =
-            (0..4u64).flat_map(|p| (0..100u64).map(move |i| p * 1000 + i)).collect();
+        let mut expect: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..100u64).map(move |i| p * 1000 + i))
+            .collect();
         expect.sort_unstable();
         assert_eq!(all, expect, "every admitted item is consumed exactly once");
     }

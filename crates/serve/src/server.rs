@@ -2,11 +2,14 @@
 //!
 //! Topology: one accept thread (non-blocking poll so shutdown can
 //! interrupt it), one detached thread per connection, and a fixed pool of
-//! worker threads draining the bounded admission queue. A connection
-//! thread reads one line, pushes one job, and *waits for that job's reply
-//! before reading the next line* — so requests from a single connection
-//! are processed in order regardless of worker count, which is what makes
-//! single-connection chaos scripts worker-count-deterministic.
+//! *supervised* worker threads draining the bounded admission queue
+//! ([`supervise_worker`]: panics are caught with `catch_unwind`, counted,
+//! fed to the circuit breaker, and the worker restarts after a bounded
+//! deterministic backoff). A connection thread reads one line, pushes one
+//! job, and *waits for that job's reply before reading the next line* —
+//! so requests from a single connection are processed in order regardless
+//! of worker count, which is what makes single-connection chaos scripts
+//! worker-count-deterministic.
 //!
 //! Exactly-one-reply invariant: every non-empty request line produces
 //! exactly one reply line — a full `OK`, a typed `DEGRADED`, or a typed
@@ -23,10 +26,11 @@
 use crate::engine::Engine;
 use crate::protocol::{parse_line, ErrKind, Reply};
 use crate::queue::BoundedQueue;
-use cpdg_core::{FaultHook, FaultPoint};
+use cpdg_core::{FaultHook, FaultPoint, RetryPolicy};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -44,7 +48,11 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:0".to_string(), workers: 2, queue_capacity: 64 }
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+        }
     }
 }
 
@@ -83,13 +91,25 @@ fn process_line(
         Ok(cmd) => cmd,
         Err(detail) => {
             engine.stats.errors.fetch_add(1, Ordering::Relaxed);
-            return Some(Reply::Err { kind: ErrKind::Parse, detail }.render());
+            return Some(
+                Reply::Err {
+                    kind: ErrKind::Parse,
+                    detail,
+                }
+                .render(),
+            );
         }
     };
     let shed = |detail: String| {
         engine.stats.shed.fetch_add(1, Ordering::Relaxed);
         cpdg_obs::counter!("serve.shed").inc();
-        Some(Reply::Err { kind: ErrKind::Overloaded, detail }.render())
+        Some(
+            Reply::Err {
+                kind: ErrKind::Overloaded,
+                detail,
+            }
+            .render(),
+        )
     };
     if let Err(fault) = hook.check(FaultPoint::ServeAccept) {
         return shed(fault.to_string());
@@ -102,11 +122,84 @@ fn process_line(
         Ok(reply) => Some(reply),
         // Unreachable by construction (admitted jobs are always drained and
         // answered), but a lost worker must not wedge the connection.
-        Err(_) => Some(Reply::Err { kind: ErrKind::Exec, detail: "reply channel closed".to_string() }.render()),
+        Err(_) => Some(
+            Reply::Err {
+                kind: ErrKind::Exec,
+                detail: "reply channel closed".to_string(),
+            }
+            .render(),
+        ),
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: Arc<Engine>, queue: Arc<BoundedQueue<Job>>, hook: FaultHook) {
+/// One supervised worker: an outer restart loop around a
+/// `catch_unwind`-guarded drain loop. A panic inside a job — injected by
+/// the `serve.worker` fault point or genuine — is caught here, counted
+/// ([`Engine::note_worker_panic`] feeds it to the circuit breaker), and
+/// answered by restarting the drain loop after a bounded deterministic
+/// backoff ([`RetryPolicy::backoff_delay`]). The panicked job's reply
+/// sender is dropped, so its connection gets the deterministic
+/// `ERR exec reply channel closed` — other connections never notice.
+/// Processing any job resets the backoff streak, so an isolated panic
+/// stays a 1-step delay while a crash loop backs off to the cap.
+fn supervise_worker(
+    id: usize,
+    engine: Arc<Engine>,
+    queue: Arc<BoundedQueue<Job>>,
+    hook: FaultHook,
+) {
+    let backoff = RetryPolicy::default();
+    let mut streak: u32 = 0;
+    let processed = AtomicU64::new(0);
+    let mut last_processed = 0u64;
+    loop {
+        let drained = catch_unwind(AssertUnwindSafe(|| {
+            while let Some(job) = queue.pop() {
+                // The chaos harness can crash a worker mid-job; the panic
+                // unwinds past the job (dropping its reply sender) into
+                // the supervisor above.
+                if let Err(fault) = hook.check(FaultPoint::ServeWorker) {
+                    panic!("{fault}");
+                }
+                let reply = engine.execute_with_depth(job.cmd, queue.len());
+                // A vanished client must not kill the worker.
+                let _ = job.reply.send(reply.render());
+                processed.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+        match drained {
+            // Queue closed and fully drained: clean exit.
+            Ok(()) => return,
+            Err(_) => {
+                let done = processed.load(Ordering::Relaxed);
+                if done != last_processed {
+                    last_processed = done;
+                    streak = 0;
+                }
+                streak += 1;
+                engine.note_worker_panic();
+                let delay = backoff.backoff_delay(streak);
+                cpdg_obs::warn!(
+                    "serve.server",
+                    "worker panicked; restarting after backoff";
+                    worker = id as u64,
+                    streak = streak,
+                    backoff_ms = delay.as_millis() as u64,
+                );
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: Arc<Engine>,
+    queue: Arc<BoundedQueue<Job>>,
+    hook: FaultHook,
+) {
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
@@ -137,16 +230,11 @@ impl Server {
         for i in 0..config.workers.max(1) {
             let queue = Arc::clone(&queue);
             let engine = Arc::clone(&engine);
+            let hook = hook.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("cpdg-serve-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(job) = queue.pop() {
-                            let reply = engine.execute(job.cmd);
-                            // A vanished client must not kill the worker.
-                            let _ = job.reply.send(reply.render());
-                        }
-                    })
+                    .spawn(move || supervise_worker(i, engine, queue, hook))
                     .expect("spawn worker"),
             );
         }
@@ -167,7 +255,13 @@ impl Server {
                                 let hook = hook.clone();
                                 let _ = std::thread::Builder::new()
                                     .name("cpdg-serve-conn".to_string())
-                                    .spawn(move || handle_connection(stream, engine, queue, hook));
+                                    .spawn(move || {
+                                        // A panicking connection handler is
+                                        // contained to its own connection.
+                                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                                            handle_connection(stream, engine, queue, hook)
+                                        }));
+                                    });
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(Duration::from_millis(5));
@@ -186,7 +280,14 @@ impl Server {
             workers = config.workers.max(1),
             queue_capacity = config.queue_capacity,
         );
-        Ok(Self { engine, queue, stop, local_addr, accept_thread: Some(accept_thread), workers })
+        Ok(Self {
+            engine,
+            queue,
+            stop,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
     }
 
     /// The bound address (resolves port 0).
@@ -238,7 +339,10 @@ mod tests {
         let model = ModelFile::new(cfg, 6, ParamStore::new(), Vec::new());
         Arc::new(Engine::from_model(
             &model,
-            EngineConfig { seed: workers_seed, ..EngineConfig::default() },
+            EngineConfig {
+                seed: workers_seed,
+                ..EngineConfig::default()
+            },
             FaultHook::none(),
         ))
     }
@@ -258,11 +362,21 @@ mod tests {
         let mut reader = BufReader::new(stream.try_clone().unwrap());
 
         assert_eq!(send(&mut stream, &mut reader, "PING"), "OK v1 pong");
-        assert_eq!(send(&mut stream, &mut reader, "EVENT 0 1 1.0"), "OK v1 event 0");
-        assert_eq!(send(&mut stream, &mut reader, "EVENT 1 2 2.0"), "OK v1 event 1");
+        assert_eq!(
+            send(&mut stream, &mut reader, "EVENT 0 1 1.0"),
+            "OK v1 event 0"
+        );
+        assert_eq!(
+            send(&mut stream, &mut reader, "EVENT 1 2 2.0"),
+            "OK v1 event 1"
+        );
         let emb = send(&mut stream, &mut reader, "EMB 1");
         assert!(emb.starts_with("OK v1 "), "{emb}");
-        assert_eq!(emb.trim_start_matches("OK v1 ").split(' ').count(), 8, "dim floats");
+        assert_eq!(
+            emb.trim_start_matches("OK v1 ").split(' ').count(),
+            8,
+            "dim floats"
+        );
         let score = send(&mut stream, &mut reader, "SCORE 0 2");
         assert!(score.starts_with("OK v1 "), "{score}");
         let bad = send(&mut stream, &mut reader, "WHAT 1 2");
@@ -281,7 +395,10 @@ mod tests {
     fn replies_stay_in_order_on_one_connection_with_many_workers() {
         let server = Server::start(
             tiny_engine(0),
-            &ServerConfig { workers: 4, ..ServerConfig::default() },
+            &ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
         )
         .unwrap();
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
@@ -301,7 +418,10 @@ mod tests {
         // Admitted before drain: pushed into the queue.
         let (tx, rx) = mpsc::channel();
         queue
-            .push(Job { cmd: parse_line("PING").unwrap(), reply: tx })
+            .push(Job {
+                cmd: parse_line("PING").unwrap(),
+                reply: tx,
+            })
             .unwrap();
         queue.close();
         // New arrivals shed with a typed reply.
@@ -314,6 +434,82 @@ mod tests {
         job.reply.send(rendered).unwrap();
         assert_eq!(rx.recv().unwrap(), "OK v1 pong");
         assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn status_reports_key_value_health() {
+        let server = Server::start(tiny_engine(0), &ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        assert_eq!(
+            send(&mut stream, &mut reader, "EVENT 0 1 1.0"),
+            "OK v1 event 0"
+        );
+        let status = send(&mut stream, &mut reader, "STATUS");
+        assert!(status.starts_with("OK v1 "), "{status}");
+        for pair in [
+            "epoch=1",
+            "queue_depth=0",
+            "breaker=closed",
+            "breaker_trips=0",
+            "events=1",
+            "worker_panics=0",
+            "wal=0",
+            "wal_segments=0",
+            "recovered_replayed=0",
+        ] {
+            assert!(status.contains(pair), "missing {pair} in {status}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicked_worker_is_restarted_and_counted() {
+        use cpdg_core::{FaultKind, FaultPlan, FaultPoint, Trigger};
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 100.0);
+        let model = ModelFile::new(cfg, 6, ParamStore::new(), Vec::new());
+        let plan = FaultPlan::new(0).with(
+            FaultPoint::ServeWorker,
+            FaultKind::Permanent,
+            Trigger::Nth { n: 2 },
+        );
+        let engine = Arc::new(Engine::from_model(
+            &model,
+            EngineConfig::default(),
+            FaultHook::install(&plan),
+        ));
+        let server = Server::start(
+            engine,
+            &ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        assert_eq!(send(&mut stream, &mut reader, "PING"), "OK v1 pong");
+        // The second job panics the worker mid-flight; its dropped reply
+        // sender yields the deterministic lost-worker reply.
+        assert_eq!(
+            send(&mut stream, &mut reader, "PING"),
+            "ERR exec reply channel closed"
+        );
+        // The supervisor restarted the worker: the same connection (and
+        // queue) keep working without a reconnect.
+        assert_eq!(
+            send(&mut stream, &mut reader, "EVENT 0 1 1.0"),
+            "OK v1 event 0"
+        );
+        assert_eq!(send(&mut stream, &mut reader, "PING"), "OK v1 pong");
+        let status = send(&mut stream, &mut reader, "STATUS");
+        assert!(status.contains("worker_panics=1"), "{status}");
+        let engine = server.shutdown();
+        assert_eq!(engine.stats.worker_panics.load(Ordering::Relaxed), 1);
+        assert!(
+            !engine.breaker_open(),
+            "one isolated panic must not trip the breaker"
+        );
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! WAL chaos suite: the crash-recovery oracle.
+//!
+//! The durability contract under test: an engine that crashes at *any*
+//! fault point — a failed append, a failed fsync, an outright `kill -9`
+//! between any two requests — and then recovers by replaying its
+//! write-ahead log must serve **byte-identical** replies to an engine
+//! that ran uninterrupted over the same accepted events. Not "close",
+//! not "equivalent": the rendered reply strings are compared verbatim.
+//!
+//! Three pillars:
+//!
+//! * every WAL fault point (`wal.append`, `wal.fsync`, `wal.replay`)
+//!   is driven both transiently (retried invisibly) and permanently
+//!   (typed rejection, exactly-once semantics: a rejected event is in
+//!   neither memory nor log);
+//! * the kill -9 analog — dropping the engine with no drain, no
+//!   checkpoint, no sync beyond the per-append policy — at every cut
+//!   point of the event stream, including across segment rotations and
+//!   checkpoints;
+//! * a panicking worker is restarted by the supervisor without
+//!   disturbing other live connections.
+//!
+//! Determinism notes: tests keep at most one request in flight, so fault
+//! trigger hit-counts map 1:1 to script positions at any worker count;
+//! the scripted `kill -9` variant (a real SIGKILL against the `cpdg`
+//! binary) lives in CI's wal-suite job, this file is the in-process
+//! oracle it leans on.
+
+use cpdg::core::chaos::{FaultHook, FaultKind, FaultPlan, FaultPoint, Trigger};
+use cpdg::core::storage::FS_STORAGE;
+use cpdg::core::wal::WalConfig;
+use cpdg::core::{CpdgError, ModelFile};
+use cpdg::dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor, MemorySnapshot};
+use cpdg::serve::{parse_line, Engine, EngineConfig, Server, ServerConfig};
+use cpdg::tensor::{Matrix, ParamStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const NODES: usize = 12;
+const DIM: usize = 8;
+
+/// A model bundle shaped like `cpdg pretrain` writes (namespaces `enc` /
+/// `pretext_head`), so engines built from it serve real replies.
+fn trained_model(seed: u64) -> ModelFile {
+    let cfg = DgnnConfig::preset(EncoderKind::Tgn, DIM, 100.0);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _enc = DgnnEncoder::new(&mut store, &mut rng, "enc", NODES, cfg.clone());
+    let _head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", DIM);
+    let states = Matrix::from_vec(
+        NODES,
+        DIM,
+        (0..NODES * DIM)
+            .map(|i| ((i % 13) as f32) * 0.04 - 0.2)
+            .collect(),
+    );
+    ModelFile::new(
+        cfg,
+        NODES,
+        store,
+        vec![MemorySnapshot {
+            states,
+            progress: 1.0,
+        }],
+    )
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpdg_wal_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Small segments so multi-event streams cross rotation boundaries — the
+/// recovery paths under test must walk sealed segments, not just the tail.
+fn tiny_segments() -> WalConfig {
+    WalConfig {
+        segment_bytes: 64,
+        ..WalConfig::default()
+    }
+}
+
+fn exec(engine: &Engine, line: &str) -> String {
+    let cmd = parse_line(line).unwrap_or_else(|e| panic!("bad script line {line:?}: {e}"));
+    engine.execute(cmd).render()
+}
+
+/// The ingestion stream: enough events to span several 64-byte segments.
+fn events() -> Vec<String> {
+    (0..10u32)
+        .map(|i| format!("EVENT {} {} {}.0", i % 6, (i + 1) % 6, i + 1))
+        .collect()
+}
+
+/// Deterministic queries (explicit timestamps) probing the ingested state.
+fn queries() -> Vec<String> {
+    let mut q = Vec::new();
+    for i in 0..6u32 {
+        q.push(format!("EMB {i} 10.0"));
+        q.push(format!("SCORE {} {} 10.0", i, (i + 3) % 6));
+    }
+    q
+}
+
+/// Replies of an uninterrupted, WAL-less engine that ingested exactly
+/// `accepted` — the oracle every recovered engine is compared against.
+fn reference_replies(model: &ModelFile, accepted: &[String]) -> Vec<String> {
+    let engine = Engine::from_model(model, EngineConfig::default(), FaultHook::none());
+    for line in accepted {
+        let r = exec(&engine, line);
+        assert!(
+            r.starts_with("OK "),
+            "reference ingest failed: {line:?} -> {r}"
+        );
+    }
+    queries().iter().map(|q| exec(&engine, q)).collect()
+}
+
+#[test]
+fn kill_nine_at_every_cut_point_recovers_bit_identical() {
+    let model = trained_model(7);
+    let stream = events();
+    for cut in 0..=stream.len() {
+        let dir = test_dir(&format!("cut{cut}"));
+        let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        engine.open_wal(&dir, tiny_segments()).unwrap();
+        for line in &stream[..cut] {
+            let r = exec(&engine, line);
+            assert!(r.starts_with("OK "), "{line:?} -> {r}");
+        }
+        // kill -9 analog: no drain, no checkpoint, no final sync.
+        drop(engine);
+
+        let recovered = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        let report = recovered.open_wal(&dir, tiny_segments()).unwrap();
+        assert_eq!(report.replayed, cut as u64, "cut {cut}");
+        // Finish the stream on the recovered engine: replay + remainder
+        // must equal one uninterrupted run of the full stream.
+        for line in &stream[cut..] {
+            let r = exec(&recovered, line);
+            assert!(r.starts_with("OK "), "post-recovery {line:?} -> {r}");
+        }
+        let got: Vec<String> = queries().iter().map(|q| exec(&recovered, q)).collect();
+        assert_eq!(got, reference_replies(&model, &stream), "cut {cut}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn checkpoint_then_crash_replays_only_the_suffix() {
+    let model = trained_model(7);
+    let stream = events();
+    let dir = test_dir("ckpt");
+    let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+    engine.open_wal(&dir, tiny_segments()).unwrap();
+    for line in &stream[..6] {
+        exec(&engine, line);
+    }
+    engine.checkpoint_wal(&FS_STORAGE).unwrap();
+    for line in &stream[6..] {
+        exec(&engine, line);
+    }
+    drop(engine); // crash after the checkpoint, with live tail in the log
+
+    let recovered = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+    let report = recovered.open_wal(&dir, tiny_segments()).unwrap();
+    assert_eq!(report.checkpoint_applied, 6);
+    assert_eq!(report.replayed, (stream.len() - 6) as u64);
+    let got: Vec<String> = queries().iter().map(|q| exec(&recovered, q)).collect();
+    assert_eq!(got, reference_replies(&model, &stream));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn permanent_append_and_fsync_faults_reject_exactly_once() {
+    let model = trained_model(7);
+    let stream = events();
+    // Fault the 4th hit of each point: the 4th EVENT must be rejected,
+    // every other event accepted, and recovery must reconstruct exactly
+    // the accepted set — the rejected event is in neither memory nor log.
+    for point in [FaultPoint::WalAppend, FaultPoint::WalFsync] {
+        let dir = test_dir(&format!("reject_{}", point.name().replace('.', "_")));
+        let plan = FaultPlan::new(5).with(point, FaultKind::Permanent, Trigger::Nth { n: 4 });
+        let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::install(&plan));
+        engine.open_wal(&dir, tiny_segments()).unwrap();
+        let mut accepted = Vec::new();
+        for (i, line) in stream.iter().enumerate() {
+            let r = exec(&engine, line);
+            if i == 3 {
+                assert!(r.starts_with("ERR exec "), "{point:?} pos {i}: {r}");
+            } else {
+                assert!(r.starts_with("OK "), "{point:?} pos {i}: {r}");
+                accepted.push(line.clone());
+            }
+        }
+        let live: Vec<String> = queries().iter().map(|q| exec(&engine, q)).collect();
+        let reference = reference_replies(&model, &accepted);
+        assert_eq!(live, reference, "{point:?}: live replies after rejection");
+        drop(engine);
+
+        let recovered = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        let report = recovered.open_wal(&dir, tiny_segments()).unwrap();
+        assert_eq!(report.replayed, accepted.len() as u64, "{point:?}");
+        let got: Vec<String> = queries().iter().map(|q| exec(&recovered, q)).collect();
+        assert_eq!(got, reference, "{point:?}: recovered replies");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn transient_wal_faults_are_retried_invisibly() {
+    let model = trained_model(7);
+    let stream = events();
+    let dir = test_dir("transient");
+    // One transient fault on each WAL point: the retry policy absorbs all
+    // of them; every event lands and recovery sees the full stream.
+    let plan = FaultPlan::new(3)
+        .with(
+            FaultPoint::WalAppend,
+            FaultKind::Transient,
+            Trigger::Nth { n: 2 },
+        )
+        .with(
+            FaultPoint::WalFsync,
+            FaultKind::Transient,
+            Trigger::Nth { n: 5 },
+        )
+        .with(
+            FaultPoint::WalReplay,
+            FaultKind::Transient,
+            Trigger::Nth { n: 3 },
+        );
+    let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::install(&plan));
+    engine.open_wal(&dir, tiny_segments()).unwrap();
+    for line in &stream {
+        let r = exec(&engine, line);
+        assert!(r.starts_with("OK "), "{line:?} -> {r}");
+    }
+    drop(engine);
+
+    // Recovery shares the same plan instance semantics: a fresh install
+    // re-arms the replay fault, which must be retried invisibly too.
+    let recovered = Engine::from_model(&model, EngineConfig::default(), FaultHook::install(&plan));
+    let report = recovered.open_wal(&dir, tiny_segments()).unwrap();
+    assert_eq!(report.replayed, stream.len() as u64);
+    let got: Vec<String> = queries().iter().map(|q| exec(&recovered, q)).collect();
+    assert_eq!(got, reference_replies(&model, &stream));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn permanent_replay_fault_is_a_typed_recovery_error() {
+    let model = trained_model(7);
+    let dir = test_dir("replay_err");
+    let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+    engine.open_wal(&dir, tiny_segments()).unwrap();
+    for line in &events() {
+        exec(&engine, line);
+    }
+    drop(engine);
+
+    let plan = FaultPlan::new(1).with(
+        FaultPoint::WalReplay,
+        FaultKind::Permanent,
+        Trigger::Nth { n: 2 },
+    );
+    let broken = Engine::from_model(&model, EngineConfig::default(), FaultHook::install(&plan));
+    match broken.open_wal(&dir, tiny_segments()) {
+        Err(CpdgError::Fault { point, .. }) => assert_eq!(point, "wal.replay"),
+        other => panic!("expected a typed replay fault, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One lockstep request/reply over an existing connection.
+fn send(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(stream, "{line}").unwrap();
+    stream.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(!reply.is_empty(), "connection closed at {line:?}");
+    reply.trim_end().to_string()
+}
+
+#[test]
+fn panicking_worker_spares_other_connections() {
+    let model = trained_model(7);
+    for workers in [1usize, 4] {
+        // The 3rd job processed by the pool panics its worker. Requests
+        // are kept lockstep across both connections, so hit order (and
+        // therefore which request dies) is deterministic at any pool size.
+        let plan = FaultPlan::new(2).with(
+            FaultPoint::ServeWorker,
+            FaultKind::Permanent,
+            Trigger::Nth { n: 3 },
+        );
+        let engine = Arc::new(Engine::from_model(
+            &model,
+            EngineConfig::default(),
+            FaultHook::install(&plan),
+        ));
+        let server = Server::start(
+            Arc::clone(&engine),
+            &ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut a = TcpStream::connect(server.local_addr()).unwrap();
+        let mut ra = BufReader::new(a.try_clone().unwrap());
+        let mut b = TcpStream::connect(server.local_addr()).unwrap();
+        let mut rb = BufReader::new(b.try_clone().unwrap());
+
+        assert_eq!(send(&mut b, &mut rb, "EVENT 0 1 1.0"), "OK v1 event 0");
+        assert_eq!(send(&mut a, &mut ra, "PING"), "OK v1 pong");
+        // Hit 3: connection A's request rides the panicking worker and
+        // gets the deterministic lost-reply error…
+        assert_eq!(
+            send(&mut a, &mut ra, "PING"),
+            "ERR exec reply channel closed"
+        );
+        // …while connection B — open throughout — never notices: the
+        // supervisor restarted the worker and the pool keeps serving.
+        assert_eq!(send(&mut b, &mut rb, "EVENT 1 2 2.0"), "OK v1 event 1");
+        assert_eq!(send(&mut b, &mut rb, "EMB 1 2.0"), {
+            let reference = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+            exec(&reference, "EVENT 0 1 1.0");
+            exec(&reference, "EVENT 1 2 2.0");
+            exec(&reference, "EMB 1 2.0")
+        });
+        let status = send(&mut b, &mut rb, "STATUS");
+        assert!(
+            status.contains("worker_panics=1"),
+            "workers={workers}: {status}"
+        );
+        // A's connection also stays usable after its lost request.
+        assert_eq!(send(&mut a, &mut ra, "PING"), "OK v1 pong");
+        drop((a, ra, b, rb));
+        let engine = server.shutdown();
+        assert_eq!(
+            engine
+                .stats
+                .worker_panics
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn status_surfaces_wal_and_recovery_fields() {
+    let model = trained_model(7);
+    let dir = test_dir("status");
+    let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+    engine.open_wal(&dir, tiny_segments()).unwrap();
+    for line in &events() {
+        exec(&engine, line);
+    }
+    drop(engine);
+
+    let recovered = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+    recovered.open_wal(&dir, tiny_segments()).unwrap();
+    let status = exec(&recovered, "STATUS");
+    for pair in [
+        "wal=1",
+        "recovered_replayed=10",
+        "wal_next_index=10",
+        "events=10",
+    ] {
+        assert!(status.contains(pair), "missing {pair} in {status}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
