@@ -66,8 +66,9 @@ USAGE:
                 [--strategy full|eie-mean|eie-attn|eie-gru] [--epochs N]
                 [--seed N] [--threads N]
   cpdg serve    --model <model.json> [--port N] [--workers N] [--queue N]
-                [--deadline-ms N] [--breaker-k N] [--breaker-probe N]
-                [--wal-dir <dir>] [--fsync always|os|every-N]
+                [--shards N] [--deadline-ms N] [--breaker-k N]
+                [--breaker-probe N] [--wal-dir <dir>]
+                [--fsync always|os|every-N]
                 [--memory-in <state.json>] [--memory-out <state.json>]
                 [--ingest <script>] [--chaos-plan <plan.json>] [--seed N]
   cpdg query    (--addr <host:port> | --port N)
@@ -95,6 +96,13 @@ kill -9 — restarts bit-identical to an uninterrupted run. --fsync picks
 the durability/throughput trade: `always` (default) syncs per append,
 `every-N` batches syncs, `os` leaves flushing to the page cache. A clean
 drain writes a checkpoint and truncates replayed segments.
+
+Sharding: --shards N (default 1) partitions WAL streams, breaker
+replicas, and admission queues by node id; each shard's log lives under
+<wal-dir>/wal.shard<k>/ with globally-sequenced records that recovery
+merge-replays in ingestion order. Replies are bit-identical at any
+shard count; a checkpoint written under one --shards value is refused
+(typed error) under another — restart with the same count.
 
 Signals: `pretrain` also traps SIGTERM/SIGINT — it publishes a final
 checkpoint (with --ckpt-dir) and exits with code 8 so schedulers can tell
@@ -636,12 +644,19 @@ mod sig {
 /// Builds the serving engine from `--model` and the shared tuning knobs.
 fn serve_engine(args: &Args) -> CpdgResult<std::sync::Arc<cpdg_serve::Engine>> {
     let model_path = args.require("model")?;
+    let shards: usize = args.get_num("shards", 1usize)?;
+    if shards == 0 {
+        return Err(CpdgError::Invalid(
+            "--shards must be at least 1".to_string(),
+        ));
+    }
     let engine_cfg = cpdg_serve::EngineConfig {
         deadline: opt_usize(args, "deadline-ms")?
             .map(|ms| std::time::Duration::from_millis(ms as u64)),
         breaker_threshold: args.get_num("breaker-k", 3u32)?,
         breaker_probe_every: args.get_num("breaker-probe", 4u32)?,
         seed: args.get_num("seed", 0u64)?,
+        shards,
     };
     let engine =
         cpdg_serve::Engine::from_model_file(Path::new(model_path), engine_cfg, chaos_hook(args)?)?;

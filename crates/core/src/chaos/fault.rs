@@ -61,11 +61,16 @@ pub enum FaultPoint {
     /// the worker, exercising the supervisor restart path).
     #[serde(rename = "serve.worker")]
     ServeWorker,
+    /// Routing one `EVENT` to its owning shard in the sharded serving
+    /// engine (a fired fault rejects the event before the WAL append, so
+    /// it lands in neither memory nor any shard's log).
+    #[serde(rename = "shard.route")]
+    ShardRoute,
 }
 
 impl FaultPoint {
     /// Every fault point, in catalogue order.
-    pub const ALL: [FaultPoint; 14] = [
+    pub const ALL: [FaultPoint; 15] = [
         FaultPoint::StorageWrite,
         FaultPoint::StorageRead,
         FaultPoint::LoaderRow,
@@ -80,6 +85,7 @@ impl FaultPoint {
         FaultPoint::WalFsync,
         FaultPoint::WalReplay,
         FaultPoint::ServeWorker,
+        FaultPoint::ShardRoute,
     ];
 
     /// The dotted wire name (`storage.write`, `ckpt.save`, …) used in plan
@@ -100,6 +106,7 @@ impl FaultPoint {
             FaultPoint::WalFsync => "wal.fsync",
             FaultPoint::WalReplay => "wal.replay",
             FaultPoint::ServeWorker => "serve.worker",
+            FaultPoint::ShardRoute => "shard.route",
         }
     }
 }

@@ -26,6 +26,24 @@ pub fn query_rng(batch_seed: u64, index: usize) -> StdRng {
     StdRng::seed_from_u64(batch_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// Domain-separation salt folded into [`shard_query_rng`] so a sharded
+/// stream never collides with an unsharded [`query_rng`] stream for any
+/// `(batch_seed, index)` pair (the shard-0 stream is salted too).
+pub const SHARD_STREAM_SALT: u64 = 0x5348_4152_445F_5631; // "SHARD_V1"
+
+/// The RNG stream of query `index` on shard `shard` — a pure function of
+/// `(batch_seed, shard, index)`, extending the [`query_rng`] salt scheme
+/// with a shard id (DESIGN §13). Per-shard batch work (e.g. shard-local
+/// contrast sampling) draws from these streams so two shards can never
+/// alias each other's randomness; the result depends only on the triple,
+/// never on thread count or scheduling, preserving the bit-identity
+/// discipline of [`query_rng`].
+pub fn shard_query_rng(batch_seed: u64, shard: usize, index: usize) -> StdRng {
+    let salted =
+        batch_seed ^ SHARD_STREAM_SALT ^ (shard as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    query_rng(salted, index)
+}
+
 /// Bumps the process-wide sampler counters for one batch of `queries`
 /// centre queries (observation only — never touches the RNG streams, so the
 /// determinism contract above is unaffected).
@@ -259,6 +277,35 @@ mod tests {
         let a = s.sample_bfs_batch(&q, &cfg, 1);
         let b = s.sample_bfs_batch(&q, &cfg, 2);
         assert_ne!(a, b, "distinct batch seeds must explore differently");
+    }
+
+    #[test]
+    fn shard_streams_are_pure_and_domain_separated() {
+        // Pure: same (seed, shard, index) triple, same stream.
+        let a: Vec<u64> = {
+            let mut rng = shard_query_rng(9, 3, 5);
+            (0..8).map(|_| rng.random::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = shard_query_rng(9, 3, 5);
+            (0..8).map(|_| rng.random::<u64>()).collect()
+        };
+        assert_eq!(a, b, "shard streams must be pure functions of the triple");
+        // Every coordinate of the triple separates streams.
+        for (seed, shard, index) in [(10u64, 3usize, 5usize), (9, 4, 5), (9, 3, 6)] {
+            let mut rng = shard_query_rng(seed, shard, index);
+            let other: Vec<u64> = (0..8).map(|_| rng.random::<u64>()).collect();
+            assert_ne!(
+                a, other,
+                "({seed}, {shard}, {index}) must not alias (9, 3, 5)"
+            );
+        }
+        // Shard 0 is salted too: no collision with the unsharded stream.
+        let mut sharded = shard_query_rng(9, 0, 5);
+        let mut unsharded = query_rng(9, 5);
+        let s: Vec<u64> = (0..8).map(|_| sharded.random::<u64>()).collect();
+        let u: Vec<u64> = (0..8).map(|_| unsharded.random::<u64>()).collect();
+        assert_ne!(s, u, "shard-0 streams must not alias query_rng streams");
     }
 
     #[test]

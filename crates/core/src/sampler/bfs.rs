@@ -7,7 +7,7 @@
 //! chronological probability (Eq. 8) the *agelong* subgraph `TN_i^t`.
 
 use crate::sampler::prob::{temporal_probs, TemporalBias};
-use cpdg_graph::{DynamicGraph, NodeId, TemporalAdjacencyIndex, Timestamp};
+use cpdg_graph::{DynamicGraph, NodeId, TemporalNeighbors, Timestamp};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -71,14 +71,18 @@ pub fn eta_bfs(
     seen
 }
 
-/// η-BFS against a prebuilt [`TemporalAdjacencyIndex`] instead of the
-/// graph's nested adjacency lists. Produces *bit-identical* output to
-/// [`eta_bfs`] for the same `(root, t, cfg)` and RNG state — the index holds
-/// the same entries in the same time-sorted order, so the weighted draw
-/// consumes the RNG stream identically — while skipping the per-node
-/// timestamp re-collection the graph path pays on every frontier expansion.
-pub fn eta_bfs_indexed(
-    index: &TemporalAdjacencyIndex,
+/// η-BFS against any prebuilt [`TemporalNeighbors`] lookup — a monolithic
+/// `TemporalAdjacencyIndex` or a `ShardedTemporalIndex` spanning shard
+/// partitions — instead of the graph's nested adjacency lists. Produces
+/// *bit-identical* output to [`eta_bfs`] for the same `(root, t, cfg)` and
+/// RNG state — every implementor serves the same entries in the same
+/// time-sorted order, so the weighted draw consumes the RNG stream
+/// identically — while skipping the per-node timestamp re-collection the
+/// graph path pays on every frontier expansion. Cross-shard hops need no
+/// special casing: each frontier node's lookup is routed to its owning
+/// partition by the composite index itself.
+pub fn eta_bfs_indexed<I: TemporalNeighbors + ?Sized>(
+    index: &I,
     root: NodeId,
     t: Timestamp,
     cfg: &BfsConfig,
@@ -335,6 +339,28 @@ mod tests {
                 let a = eta_bfs(&g, 0, 10.0, &cfg(bias), &mut r1);
                 let b = eta_bfs_indexed(&idx, 0, 10.0, &cfg(bias), &mut r2);
                 assert_eq!(a, b, "seed {seed} bias {bias:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_index_bfs_is_bit_identical_at_any_shard_count() {
+        use cpdg_graph::{ShardRouter, ShardedTemporalIndex};
+        let g = two_hop_graph();
+        let idx = cpdg_graph::TemporalAdjacencyIndex::build(&g);
+        for shards in [1usize, 2, 8] {
+            let sharded = ShardedTemporalIndex::build(&g, ShardRouter::new(shards));
+            for seed in 0..10 {
+                for bias in [
+                    TemporalBias::Chronological,
+                    TemporalBias::ReverseChronological,
+                ] {
+                    let mut r1 = StdRng::seed_from_u64(seed);
+                    let mut r2 = StdRng::seed_from_u64(seed);
+                    let a = eta_bfs_indexed(&idx, 0, 10.0, &cfg(bias), &mut r1);
+                    let b = eta_bfs_indexed(&sharded, 0, 10.0, &cfg(bias), &mut r2);
+                    assert_eq!(a, b, "shards {shards} seed {seed} bias {bias:?}");
+                }
             }
         }
     }

@@ -7,7 +7,7 @@
 //! the same most-recent-first preference — and it is the generator of the
 //! structural positive/negative subgraphs `SP_i^t` / `SN_{i'}^t`.
 
-use cpdg_graph::{DynamicGraph, NodeId, TemporalAdjacencyIndex, Timestamp};
+use cpdg_graph::{DynamicGraph, NodeId, TemporalNeighbors, Timestamp};
 
 /// ε-DFS hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -55,13 +55,17 @@ fn expand(
     }
 }
 
-/// ε-DFS against a prebuilt [`TemporalAdjacencyIndex`]. The selection is
-/// fully deterministic, so this is *identical* (not merely equivalent) to
-/// [`eps_dfs`] for the same arguments; it differs only in cost — the index
-/// yields the ε most recent neighbours without the per-node `Vec`
-/// allocation [`DynamicGraph::recent_neighbors`] performs.
-pub fn eps_dfs_indexed(
-    index: &TemporalAdjacencyIndex,
+/// ε-DFS against any prebuilt [`TemporalNeighbors`] lookup — a monolithic
+/// `TemporalAdjacencyIndex` or a `ShardedTemporalIndex` spanning shard
+/// partitions. The selection is fully deterministic, so this is
+/// *identical* (not merely equivalent) to [`eps_dfs`] for the same
+/// arguments; it differs only in cost — the index yields the ε most
+/// recent neighbours without the per-node `Vec` allocation
+/// [`DynamicGraph::recent_neighbors`] performs. Cross-shard recursion
+/// needs no special casing: each child lookup is routed to its owning
+/// partition by the composite index itself.
+pub fn eps_dfs_indexed<I: TemporalNeighbors + ?Sized>(
+    index: &I,
     root: NodeId,
     t: Timestamp,
     cfg: &DfsConfig,
@@ -71,8 +75,8 @@ pub fn eps_dfs_indexed(
     seen
 }
 
-fn expand_indexed(
-    index: &TemporalAdjacencyIndex,
+fn expand_indexed<I: TemporalNeighbors + ?Sized>(
+    index: &I,
     node: NodeId,
     t: Timestamp,
     depth_left: usize,
@@ -82,7 +86,18 @@ fn expand_indexed(
     if depth_left == 0 {
         return;
     }
-    for (neighbor, et) in index.recent_before(node, t, cfg.epsilon) {
+    // The ε most recent entries are the suffix of the ascending `before`
+    // view, walked newest-first — the same order
+    // `TemporalAdjacencyIndex::recent_before` yields.
+    let view = index.before(node, t);
+    let picks = view
+        .neighbors
+        .iter()
+        .rev()
+        .zip(view.times.iter().rev())
+        .take(cfg.epsilon)
+        .map(|(&nb, &tt)| (nb, tt));
+    for (neighbor, et) in picks {
         if !seen.contains(&neighbor) {
             seen.push(neighbor);
             // Recurse at the *event* time, matching `expand`: the child sees
@@ -199,6 +214,28 @@ mod tests {
                         eps_dfs_indexed(&idx, root, t, &cfg),
                         "root {root} t {t} eps {eps} k {k}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_index_dfs_is_bit_identical_at_any_shard_count() {
+        use cpdg_graph::{ShardRouter, ShardedTemporalIndex};
+        let g = fig4_like_graph();
+        let idx = cpdg_graph::TemporalAdjacencyIndex::build(&g);
+        for shards in [1usize, 2, 8] {
+            let sharded = ShardedTemporalIndex::build(&g, ShardRouter::new(shards));
+            for root in 0..10u32 {
+                for t in [0.5, 2.5, 4.2, 6.0, 100.0] {
+                    for (eps, k) in [(1, 1), (2, 2), (3, 3)] {
+                        let cfg = DfsConfig::new(eps, k);
+                        assert_eq!(
+                            eps_dfs_indexed(&idx, root, t, &cfg),
+                            eps_dfs_indexed(&sharded, root, t, &cfg),
+                            "shards {shards} root {root} t {t} eps {eps} k {k}"
+                        );
+                    }
                 }
             }
         }

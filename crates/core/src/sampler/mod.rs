@@ -5,7 +5,7 @@ pub mod bfs;
 pub mod dfs;
 pub mod prob;
 
-pub use batch::{query_rng, BatchSampler};
+pub use batch::{query_rng, shard_query_rng, BatchSampler, SHARD_STREAM_SALT};
 pub use bfs::{eta_bfs, eta_bfs_indexed, BfsConfig};
 pub use dfs::{eps_dfs, eps_dfs_indexed, DfsConfig};
 pub use prob::{temporal_probs, TemporalBias};

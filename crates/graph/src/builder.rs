@@ -57,7 +57,12 @@ pub struct DynamicGraphBuilder {
 impl DynamicGraphBuilder {
     /// A builder over a node universe of `num_nodes` ids (`0..num_nodes`).
     pub fn new(num_nodes: usize) -> Self {
-        Self { num_nodes, events: Vec::new(), labels: Vec::new(), error: None }
+        Self {
+            num_nodes,
+            events: Vec::new(),
+            labels: Vec::new(),
+            error: None,
+        }
     }
 
     /// Queues one interaction event.
@@ -67,7 +72,10 @@ impl DynamicGraphBuilder {
         }
         for node in [src, dst] {
             if node as usize >= self.num_nodes {
-                self.error = Some(GraphError::NodeOutOfRange { node, num_nodes: self.num_nodes });
+                self.error = Some(GraphError::NodeOutOfRange {
+                    node,
+                    num_nodes: self.num_nodes,
+                });
                 return;
             }
         }
@@ -84,7 +92,10 @@ impl DynamicGraphBuilder {
             return;
         }
         if node as usize >= self.num_nodes {
-            self.error = Some(GraphError::NodeOutOfRange { node, num_nodes: self.num_nodes });
+            self.error = Some(GraphError::NodeOutOfRange {
+                node,
+                num_nodes: self.num_nodes,
+            });
             return;
         }
         self.labels.push(LabelEvent { node, t, label });
@@ -109,18 +120,33 @@ impl DynamicGraphBuilder {
         if self.events.is_empty() {
             return Err(GraphError::Empty);
         }
-        self.events.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("validated finite"));
+        self.events
+            .sort_by(|a, b| a.2.partial_cmp(&b.2).expect("validated finite"));
         let events: Vec<Interaction> = self
             .events
             .iter()
             .enumerate()
-            .map(|(idx, &(src, dst, t, field))| Interaction { src, dst, t, field, idx })
+            .map(|(idx, &(src, dst, t, field))| Interaction {
+                src,
+                dst,
+                t,
+                field,
+                idx,
+            })
             .collect();
 
         let mut adjacency: Vec<Vec<NeighborEntry>> = vec![Vec::new(); self.num_nodes];
         for e in &events {
-            adjacency[e.src as usize].push(NeighborEntry { neighbor: e.dst, t: e.t, edge: e.idx });
-            adjacency[e.dst as usize].push(NeighborEntry { neighbor: e.src, t: e.t, edge: e.idx });
+            adjacency[e.src as usize].push(NeighborEntry {
+                neighbor: e.dst,
+                t: e.t,
+                edge: e.idx,
+            });
+            adjacency[e.dst as usize].push(NeighborEntry {
+                neighbor: e.src,
+                t: e.t,
+                edge: e.idx,
+            });
         }
         // Events were appended in chronological order, so each list is
         // already sorted; assert in debug builds rather than re-sorting.
@@ -128,8 +154,14 @@ impl DynamicGraphBuilder {
             .iter()
             .all(|adj| adj.windows(2).all(|w| w[0].t <= w[1].t)));
 
-        self.labels.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("validated finite"));
-        Ok(DynamicGraph { num_nodes: self.num_nodes, events, labels: self.labels, adjacency })
+        self.labels
+            .sort_by(|a, b| a.t.partial_cmp(&b.t).expect("validated finite"));
+        Ok(DynamicGraph {
+            num_nodes: self.num_nodes,
+            events,
+            labels: self.labels,
+            adjacency,
+        })
     }
 }
 
@@ -180,7 +212,10 @@ mod tests {
         b.add_interaction(0, 5, 1.0, 0);
         assert_eq!(
             b.build().unwrap_err(),
-            GraphError::NodeOutOfRange { node: 5, num_nodes: 2 }
+            GraphError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 2
+            }
         );
     }
 
@@ -202,7 +237,10 @@ mod tests {
         let mut b = DynamicGraphBuilder::new(2);
         b.add_interaction(0, 9, 1.0, 0); // error recorded
         b.add_interaction(0, 1, 2.0, 0); // ignored
-        assert!(matches!(b.build(), Err(GraphError::NodeOutOfRange { node: 9, .. })));
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::NodeOutOfRange { node: 9, .. })
+        ));
     }
 
     #[test]
@@ -225,7 +263,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = GraphError::NodeOutOfRange { node: 7, num_nodes: 3 };
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            num_nodes: 3,
+        };
         assert!(e.to_string().contains("7"));
         assert!(e.to_string().contains("3"));
     }

@@ -83,7 +83,13 @@ mod tests {
     fn sample() -> DynamicGraph {
         graph_from_triples(
             4,
-            &[(0, 1, 0.0), (0, 1, 1.0), (1, 2, 5.0), (2, 3, 9.0), (0, 3, 10.0)],
+            &[
+                (0, 1, 0.0),
+                (0, 1, 1.0),
+                (1, 2, 5.0),
+                (2, 3, 9.0),
+                (0, 3, 10.0),
+            ],
         )
         .unwrap()
     }

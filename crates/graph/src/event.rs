@@ -55,7 +55,13 @@ mod tests {
 
     #[test]
     fn interaction_round_trips_through_serde() {
-        let e = Interaction { src: 1, dst: 2, t: 3.5, field: 4, idx: 5 };
+        let e = Interaction {
+            src: 1,
+            dst: 2,
+            t: 3.5,
+            field: 4,
+            idx: 5,
+        };
         let json = serde_json::to_string(&e).unwrap();
         let back: Interaction = serde_json::from_str(&json).unwrap();
         assert_eq!(e, back);
@@ -63,7 +69,11 @@ mod tests {
 
     #[test]
     fn label_event_round_trips_through_serde() {
-        let l = LabelEvent { node: 9, t: 1.25, label: true };
+        let l = LabelEvent {
+            node: 9,
+            t: 1.25,
+            label: true,
+        };
         let json = serde_json::to_string(&l).unwrap();
         assert_eq!(l, serde_json::from_str::<LabelEvent>(&json).unwrap());
     }

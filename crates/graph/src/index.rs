@@ -16,6 +16,62 @@ use crate::ctdg::DynamicGraph;
 use crate::event::{NodeId, Timestamp};
 use serde::{Deserialize, Serialize};
 
+/// A stable, total node → shard map: `splitmix64(node) mod shards`.
+///
+/// The map is a pure function of the node id and the shard count — no
+/// state, no registration order, no OS entropy — so it is invariant
+/// across process restarts, which is what lets a write-ahead-log record
+/// be re-routed to its originating shard during crash recovery. The
+/// splitmix64 finaliser spreads consecutive node ids across shards
+/// (plain `node % shards` would put all hub nodes of a contiguous id
+/// range on the same shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards (0 is clamped to 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The owning shard of `node`, in `0..shards`.
+    pub fn route(&self, node: NodeId) -> usize {
+        (splitmix64(node as u64) % self.shards as u64) as usize
+    }
+}
+
+/// SplitMix64 finaliser — the avalanche mix behind [`ShardRouter::route`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Read access to temporal neighbourhoods, abstracted over physical
+/// layout. Implemented by the monolithic [`TemporalAdjacencyIndex`] and
+/// by the per-shard composite [`ShardedTemporalIndex`]; the η-BFS /
+/// ε-DFS samplers are generic over this trait, so cross-shard sampling
+/// is *the same algorithm* as single-index sampling — bit-identical
+/// output is by construction, not by re-implementation.
+pub trait TemporalNeighbors {
+    /// Number of nodes covered.
+    fn num_nodes(&self) -> usize;
+
+    /// Neighbours of `node` with interaction time strictly before `t`,
+    /// oldest first (the paper's `N_i^t`).
+    fn before(&self, node: NodeId, t: Timestamp) -> NeighborhoodView<'_>;
+}
+
 /// A borrowed, time-sorted slice of one node's temporal neighbourhood.
 ///
 /// The three slices are parallel: `neighbors[i]` interacted with the queried
@@ -64,7 +120,9 @@ impl TemporalAdjacencyIndex {
     /// Flattens the graph's per-node adjacency lists into the SoA layout.
     pub fn build(graph: &DynamicGraph) -> Self {
         let num_nodes = graph.num_nodes();
-        let total: usize = (0..num_nodes).map(|n| graph.neighbors_all(n as NodeId).len()).sum();
+        let total: usize = (0..num_nodes)
+            .map(|n| graph.neighbors_all(n as NodeId).len())
+            .sum();
         let mut offsets = Vec::with_capacity(num_nodes + 1);
         let mut neighbors = Vec::with_capacity(total);
         let mut times = Vec::with_capacity(total);
@@ -78,7 +136,43 @@ impl TemporalAdjacencyIndex {
             }
             offsets.push(neighbors.len());
         }
-        Self { offsets, neighbors, times, edges }
+        Self {
+            offsets,
+            neighbors,
+            times,
+            edges,
+        }
+    }
+
+    /// Flattens only the adjacency rows of nodes `router` assigns to
+    /// `shard`; every other node gets an empty row. The partition is an
+    /// exact row-slice of [`TemporalAdjacencyIndex::build`]'s output —
+    /// same entries, same time-sorted order — so a lookup for an owned
+    /// node is bit-identical to the monolithic index, and the union of
+    /// all `shards` partitions covers every row exactly once.
+    pub fn build_partition(graph: &DynamicGraph, router: ShardRouter, shard: usize) -> Self {
+        let num_nodes = graph.num_nodes();
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut neighbors = Vec::new();
+        let mut times = Vec::new();
+        let mut edges = Vec::new();
+        offsets.push(0);
+        for node in 0..num_nodes {
+            if router.route(node as NodeId) == shard {
+                for e in graph.neighbors_all(node as NodeId) {
+                    neighbors.push(e.neighbor);
+                    times.push(e.t);
+                    edges.push(e.edge);
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+        Self {
+            offsets,
+            neighbors,
+            times,
+            edges,
+        }
     }
 
     /// Number of nodes the index covers.
@@ -128,12 +222,71 @@ impl TemporalAdjacencyIndex {
         n: usize,
     ) -> impl Iterator<Item = (NodeId, Timestamp)> + '_ {
         let v = self.before(node, t);
-        v.neighbors.iter().rev().zip(v.times.iter().rev()).take(n).map(|(&nb, &tt)| (nb, tt))
+        v.neighbors
+            .iter()
+            .rev()
+            .zip(v.times.iter().rev())
+            .take(n)
+            .map(|(&nb, &tt)| (nb, tt))
     }
 
     fn span(&self, node: NodeId) -> (usize, usize) {
         let i = node as usize;
         (self.offsets[i], self.offsets[i + 1])
+    }
+}
+
+impl TemporalNeighbors for TemporalAdjacencyIndex {
+    fn num_nodes(&self) -> usize {
+        TemporalAdjacencyIndex::num_nodes(self)
+    }
+
+    fn before(&self, node: NodeId, t: Timestamp) -> NeighborhoodView<'_> {
+        TemporalAdjacencyIndex::before(self, node, t)
+    }
+}
+
+/// A temporal adjacency index physically partitioned into per-shard
+/// slices: shard `k` holds the full adjacency rows of exactly the nodes
+/// `router.route(node) == k`, and a lookup consults the owning shard's
+/// partition. Because each partition row is byte-identical to the
+/// monolithic index's row ([`TemporalAdjacencyIndex::build_partition`]),
+/// any traversal over this composite — including cross-shard η-BFS /
+/// ε-DFS frontiers that hop between owners — produces bit-identical
+/// results at *any* shard count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedTemporalIndex {
+    router: ShardRouter,
+    parts: Vec<TemporalAdjacencyIndex>,
+}
+
+impl ShardedTemporalIndex {
+    /// Builds all `router.shards()` partitions of `graph`.
+    pub fn build(graph: &DynamicGraph, router: ShardRouter) -> Self {
+        let parts = (0..router.shards())
+            .map(|k| TemporalAdjacencyIndex::build_partition(graph, router, k))
+            .collect();
+        Self { router, parts }
+    }
+
+    /// The routing map the composite was built with.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Shard `k`'s partition.
+    pub fn part(&self, k: usize) -> &TemporalAdjacencyIndex {
+        &self.parts[k]
+    }
+}
+
+impl TemporalNeighbors for ShardedTemporalIndex {
+    fn num_nodes(&self) -> usize {
+        self.parts.first().map_or(0, |p| p.num_nodes())
+    }
+
+    fn before(&self, node: NodeId, t: Timestamp) -> NeighborhoodView<'_> {
+        self.parts[self.router.route(node)].before(node, t)
     }
 }
 
@@ -146,7 +299,13 @@ mod tests {
     fn small() -> (DynamicGraph, TemporalAdjacencyIndex) {
         let g = graph_from_triples(
             4,
-            &[(0, 1, 1.0), (0, 2, 2.0), (1, 2, 3.0), (0, 1, 4.0), (2, 3, 5.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 2, 3.0),
+                (0, 1, 4.0),
+                (2, 3, 5.0),
+            ],
         )
         .unwrap();
         let idx = TemporalAdjacencyIndex::build(&g);
@@ -227,5 +386,66 @@ mod tests {
         assert!(idx.neighborhood(2).is_empty());
         assert!(idx.before(0, 0.5).is_empty());
         assert_eq!(idx.recent_before(2, 10.0, 4).count(), 0);
+    }
+
+    #[test]
+    fn router_is_total_stable_and_restart_invariant() {
+        for shards in [1usize, 2, 3, 8, 64] {
+            let a = ShardRouter::new(shards);
+            let b = ShardRouter::new(shards); // a "restarted" router
+            for node in 0..10_000u32 {
+                let k = a.route(node);
+                assert!(k < shards, "route must be total: {node} -> {k}");
+                assert_eq!(k, b.route(node), "route must be stateless");
+            }
+        }
+        // 0 shards is clamped, never a division by zero.
+        assert_eq!(ShardRouter::new(0).route(7), 0);
+    }
+
+    #[test]
+    fn partitions_tile_the_monolithic_index() {
+        let ds = generate(&SyntheticConfig::amazon_like(7).scaled(0.05));
+        let g = &ds.graph;
+        let global = TemporalAdjacencyIndex::build(g);
+        for shards in [1usize, 2, 8] {
+            let router = ShardRouter::new(shards);
+            let parts: Vec<TemporalAdjacencyIndex> = (0..shards)
+                .map(|k| TemporalAdjacencyIndex::build_partition(g, router, k))
+                .collect();
+            for node in 0..g.num_nodes() as NodeId {
+                let owner = router.route(node);
+                for (k, part) in parts.iter().enumerate() {
+                    let view = part.neighborhood(node);
+                    if k == owner {
+                        let want = global.neighborhood(node);
+                        assert_eq!(view.neighbors, want.neighbors, "node {node} shard {k}");
+                        assert_eq!(view.times, want.times);
+                        assert_eq!(view.edges, want.edges);
+                    } else {
+                        assert!(view.is_empty(), "node {node} leaked into shard {k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_composite_lookups_match_global_at_any_shard_count() {
+        let ds = generate(&SyntheticConfig::amazon_like(13).scaled(0.05));
+        let g = &ds.graph;
+        let global = TemporalAdjacencyIndex::build(g);
+        let t_mid = g.t_max().unwrap() * 0.6;
+        for shards in [1usize, 2, 8] {
+            let sharded = ShardedTemporalIndex::build(g, ShardRouter::new(shards));
+            assert_eq!(TemporalNeighbors::num_nodes(&sharded), g.num_nodes());
+            for node in 0..g.num_nodes() as NodeId {
+                let a = global.before(node, t_mid);
+                let b = sharded.before(node, t_mid);
+                assert_eq!(a.neighbors, b.neighbors, "node {node} at {shards} shards");
+                assert_eq!(a.times, b.times);
+                assert_eq!(a.edges, b.edges);
+            }
+        }
     }
 }

@@ -30,10 +30,12 @@ pub mod walk;
 
 pub use builder::{graph_from_triples, DynamicGraphBuilder, GraphError};
 pub use ctdg::{DynamicGraph, NeighborEntry};
-pub use index::{NeighborhoodView, TemporalAdjacencyIndex};
-pub use event::{FieldId, Interaction, LabelEvent, NodeId, Timestamp};
 pub use dtdg::{to_snapshots, Snapshot};
+pub use event::{FieldId, Interaction, LabelEvent, NodeId, Timestamp};
+pub use index::{
+    NeighborhoodView, ShardRouter, ShardedTemporalIndex, TemporalAdjacencyIndex, TemporalNeighbors,
+};
 pub use split::{SplitError, TransferSplit};
 pub use stats::GraphStats;
-pub use walk::{temporal_walk, temporal_walks, TemporalWalk};
 pub use synthetic::{generate, SyntheticConfig, SyntheticDataset};
+pub use walk::{temporal_walk, temporal_walks, TemporalWalk};

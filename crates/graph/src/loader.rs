@@ -119,7 +119,10 @@ impl LoadOptions {
 
     /// Lenient options: quarantine malformed rows, no limits.
     pub fn lenient() -> Self {
-        Self { mode: LoadMode::Lenient, ..Self::default() }
+        Self {
+            mode: LoadMode::Lenient,
+            ..Self::default()
+        }
     }
 }
 
@@ -180,12 +183,18 @@ pub struct LoadedGraph {
 fn parse_row(line: &str) -> Result<(u64, u64, f64, bool), String> {
     let mut parts = line.split(',');
     let mut next = |what: &str| parts.next().ok_or_else(|| format!("missing {what}"));
-    let user: u64 =
-        next("user_id")?.trim().parse().map_err(|e| format!("bad user_id: {e}"))?;
-    let item: u64 =
-        next("item_id")?.trim().parse().map_err(|e| format!("bad item_id: {e}"))?;
-    let t: f64 =
-        next("timestamp")?.trim().parse().map_err(|e| format!("bad timestamp: {e}"))?;
+    let user: u64 = next("user_id")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad user_id: {e}"))?;
+    let item: u64 = next("item_id")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad item_id: {e}"))?;
+    let t: f64 = next("timestamp")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad timestamp: {e}"))?;
     // `"nan"`/`"inf"` parse as valid f64s but poison every downstream
     // Δt computation (and NaN breaks chronological ordering entirely).
     if !t.is_finite() {
@@ -260,9 +269,7 @@ pub fn load_jodie_csv_with(
             Err(reason) => {
                 match opts.mode {
                     LoadMode::Strict => return Err(LoadError::Parse(lineno, reason)),
-                    LoadMode::Lenient => {
-                        quarantine.push(lineno, reason, opts.max_quarantine)
-                    }
+                    LoadMode::Lenient => quarantine.push(lineno, reason, opts.max_quarantine),
                 }
                 continue;
             }
@@ -279,7 +286,9 @@ pub fn load_jodie_csv_with(
         max_user = max_user.max(user);
         max_item = max_item.max(item);
         if let Some(limit) = opts.max_nodes {
-            let nodes = max_user.saturating_add(1).saturating_add(max_item.saturating_add(1));
+            let nodes = max_user
+                .saturating_add(1)
+                .saturating_add(max_item.saturating_add(1));
             if nodes > limit as u64 {
                 return Err(LoadError::ResourceLimit {
                     what: "nodes",
@@ -316,7 +325,12 @@ pub fn load_jodie_csv_with(
         b.add_label(user, t, label);
     }
     let graph = b.build().map_err(|e| LoadError::Parse(0, e.to_string()))?;
-    Ok(LoadedGraph { graph, num_users, num_items, quarantine })
+    Ok(LoadedGraph {
+        graph,
+        num_users,
+        num_items,
+        quarantine,
+    })
 }
 
 /// Writes a graph in JODIE CSV format. `num_users` tells the writer where
@@ -328,7 +342,10 @@ pub fn write_jodie_csv(
     num_users: usize,
     mut out: impl Write,
 ) -> std::io::Result<()> {
-    writeln!(out, "user_id,item_id,timestamp,state_label,comma_separated_list_of_features")?;
+    writeln!(
+        out,
+        "user_id,item_id,timestamp,state_label,comma_separated_list_of_features"
+    )?;
     // Index labels by (node, time-bits) for exact lookup.
     use std::collections::HashSet;
     let labelled: HashSet<(NodeId, u64)> = graph
@@ -346,7 +363,14 @@ pub fn write_jodie_csv(
             continue;
         };
         let label = u8::from(labelled.contains(&(user, e.t.to_bits())));
-        writeln!(out, "{},{},{},{},0", user, item as usize - num_users, e.t, label)?;
+        writeln!(
+            out,
+            "{},{},{},{},0",
+            user,
+            item as usize - num_users,
+            e.t,
+            label
+        )?;
     }
     Ok(())
 }
@@ -409,7 +433,13 @@ user_id,item_id,timestamp,state_label,comma_separated_list_of_features
     #[test]
     fn tolerates_blank_trailing_lines() {
         let with_blank = format!("{SAMPLE}\n\n");
-        assert_eq!(load_jodie_csv(with_blank.as_bytes()).unwrap().graph.num_events(), 3);
+        assert_eq!(
+            load_jodie_csv(with_blank.as_bytes())
+                .unwrap()
+                .graph
+                .num_events(),
+            3
+        );
     }
 
     #[test]
@@ -421,7 +451,13 @@ user_id,item_id,timestamp,state_label,comma_separated_list_of_features
         assert!(loaded.quarantine.is_empty());
         // A final blank CRLF line must not produce a spurious parse error.
         let trailing = format!("{crlf}\r\n\r\n");
-        assert_eq!(load_jodie_csv(trailing.as_bytes()).unwrap().graph.num_events(), 3);
+        assert_eq!(
+            load_jodie_csv(trailing.as_bytes())
+                .unwrap()
+                .graph
+                .num_events(),
+            3
+        );
     }
 
     #[test]
@@ -456,7 +492,10 @@ user_id,item_id,timestamp,state_label,comma_separated_list_of_features
         for _ in 0..10 {
             csv.push_str("junk,junk,junk,junk\n");
         }
-        let opts = LoadOptions { max_quarantine: 3, ..LoadOptions::lenient() };
+        let opts = LoadOptions {
+            max_quarantine: 3,
+            ..LoadOptions::lenient()
+        };
         let loaded = load_jodie_csv_with(csv.as_bytes(), &opts).unwrap();
         assert_eq!(loaded.quarantine.total, 10);
         assert_eq!(loaded.quarantine.rows.len(), 3);
@@ -465,7 +504,10 @@ user_id,item_id,timestamp,state_label,comma_separated_list_of_features
 
     #[test]
     fn max_events_guard_trips_with_typed_error() {
-        let opts = LoadOptions { max_events: Some(2), ..LoadOptions::strict() };
+        let opts = LoadOptions {
+            max_events: Some(2),
+            ..LoadOptions::strict()
+        };
         let err = load_jodie_csv_with(SAMPLE.as_bytes(), &opts).unwrap_err();
         match err {
             LoadError::ResourceLimit { what, limit, seen } => {
@@ -476,20 +518,42 @@ user_id,item_id,timestamp,state_label,comma_separated_list_of_features
             other => panic!("expected ResourceLimit, got {other}"),
         }
         // At the limit exactly, loading succeeds.
-        let opts = LoadOptions { max_events: Some(3), ..LoadOptions::strict() };
-        assert_eq!(load_jodie_csv_with(SAMPLE.as_bytes(), &opts).unwrap().graph.num_events(), 3);
+        let opts = LoadOptions {
+            max_events: Some(3),
+            ..LoadOptions::strict()
+        };
+        assert_eq!(
+            load_jodie_csv_with(SAMPLE.as_bytes(), &opts)
+                .unwrap()
+                .graph
+                .num_events(),
+            3
+        );
     }
 
     #[test]
     fn max_nodes_guard_trips_with_typed_error() {
         // SAMPLE spans 2 users + 2 items = 4 nodes.
-        let opts = LoadOptions { max_nodes: Some(3), ..LoadOptions::strict() };
+        let opts = LoadOptions {
+            max_nodes: Some(3),
+            ..LoadOptions::strict()
+        };
         let err = load_jodie_csv_with(SAMPLE.as_bytes(), &opts).unwrap_err();
         assert!(
-            matches!(err, LoadError::ResourceLimit { what: "nodes", limit: 3, .. }),
+            matches!(
+                err,
+                LoadError::ResourceLimit {
+                    what: "nodes",
+                    limit: 3,
+                    ..
+                }
+            ),
             "{err}"
         );
-        let opts = LoadOptions { max_nodes: Some(4), ..LoadOptions::strict() };
+        let opts = LoadOptions {
+            max_nodes: Some(4),
+            ..LoadOptions::strict()
+        };
         assert!(load_jodie_csv_with(SAMPLE.as_bytes(), &opts).is_ok());
     }
 

@@ -15,9 +15,9 @@
 //! (Definition 2 of the paper).
 
 use crate::builder::DynamicGraphBuilder;
+use crate::builder::GraphError;
 use crate::ctdg::DynamicGraph;
 use crate::event::{FieldId, Interaction, Timestamp};
-use crate::builder::GraphError;
 
 /// Invalid fraction sets passed to [`chrono_boundaries`].
 #[derive(Debug, Clone, PartialEq)]
@@ -188,7 +188,10 @@ mod tests {
     fn time_transfer_partitions_chronologically() {
         let g = fielded_graph();
         let split = time_transfer(&g, 0.5).unwrap();
-        assert_eq!(split.pretrain.num_events() + split.downstream.num_events(), 6);
+        assert_eq!(
+            split.pretrain.num_events() + split.downstream.num_events(),
+            6
+        );
         let pre_max = split.pretrain.t_max().unwrap();
         let down_min = split.downstream.t_min().unwrap();
         assert!(pre_max < down_min);
@@ -217,8 +220,16 @@ mod tests {
         let g = fielded_graph();
         let split = time_field_transfer(&g, &[0], 1, 0.5).unwrap();
         let cut = time_cut(&g, 0.5);
-        assert!(split.pretrain.events().iter().all(|e| e.field == 0 && e.t < cut));
-        assert!(split.downstream.events().iter().all(|e| e.field == 1 && e.t >= cut));
+        assert!(split
+            .pretrain
+            .events()
+            .iter()
+            .all(|e| e.field == 0 && e.t < cut));
+        assert!(split
+            .downstream
+            .events()
+            .iter()
+            .all(|e| e.field == 1 && e.t >= cut));
     }
 
     #[test]

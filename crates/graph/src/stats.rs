@@ -28,9 +28,12 @@ impl GraphStats {
         let active = graph.active_nodes();
         let n = active.len();
         let m = graph.num_events();
-        let pairs = if n >= 2 { n as f64 * (n as f64 - 1.0) / 2.0 } else { 1.0 };
-        let total_degree: usize =
-            active.iter().map(|&v| graph.neighbors_all(v).len()).sum();
+        let pairs = if n >= 2 {
+            n as f64 * (n as f64 - 1.0) / 2.0
+        } else {
+            1.0
+        };
+        let total_degree: usize = active.iter().map(|&v| graph.neighbors_all(v).len()).sum();
         let labels = graph.labels();
         let pos = labels.iter().filter(|l| l.label).count();
         Self {
@@ -39,8 +42,16 @@ impl GraphStats {
             density: m as f64 / pairs,
             t_min: graph.t_min().unwrap_or(0.0),
             t_max: graph.t_max().unwrap_or(0.0),
-            mean_degree: if n > 0 { total_degree as f64 / n as f64 } else { 0.0 },
-            label_positive_rate: if labels.is_empty() { 0.0 } else { pos as f64 / labels.len() as f64 },
+            mean_degree: if n > 0 {
+                total_degree as f64 / n as f64
+            } else {
+                0.0
+            },
+            label_positive_rate: if labels.is_empty() {
+                0.0
+            } else {
+                pos as f64 / labels.len() as f64
+            },
         }
     }
 
@@ -61,7 +72,10 @@ mod tests {
         let s = GraphStats::compute(&g);
         assert_eq!(s.active_nodes, 3); // node 3 never appears
         assert_eq!(s.edges, 3);
-        assert!((s.density - 1.0).abs() < 1e-9, "3 edges over 3 possible pairs");
+        assert!(
+            (s.density - 1.0).abs() < 1e-9,
+            "3 edges over 3 possible pairs"
+        );
         assert_eq!(s.t_min, 1.0);
         assert_eq!(s.t_max, 3.0);
         assert!((s.timespan() - 2.0).abs() < 1e-9);

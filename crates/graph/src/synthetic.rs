@@ -272,7 +272,12 @@ pub fn generate(config: &SyntheticConfig) -> SyntheticDataset {
             };
             // Heavy-tailed activity: exp of a scaled uniform.
             let activity = (2.5 * rng.random::<f64>()).exp();
-            UserState { long_term: w, session, anomaly_onset, activity }
+            UserState {
+                long_term: w,
+                session,
+                anomaly_onset,
+                activity,
+            }
         })
         .collect();
 
@@ -289,8 +294,9 @@ pub fn generate(config: &SyntheticConfig) -> SyntheticDataset {
     // Item node id = n_users + field * n_items_per_field + local index.
     // Community of an item: local_index % n_communities (even partition),
     // with per-community popularity ranks for the zipf skew.
-    let item_node =
-        |field: usize, local: usize| (config.n_users + field * config.n_items_per_field + local) as NodeId;
+    let item_node = |field: usize, local: usize| {
+        (config.n_users + field * config.n_items_per_field + local) as NodeId
+    };
 
     // Pre-group items of each (field, community).
     let mut community_items: Vec<Vec<Vec<usize>>> =
@@ -302,8 +308,9 @@ pub fn generate(config: &SyntheticConfig) -> SyntheticDataset {
     }
 
     // --- trends ----------------------------------------------------------
-    let trending: Vec<usize> =
-        (0..config.n_trend_windows.max(1)).map(|_| rng.random_range(0..config.n_communities)).collect();
+    let trending: Vec<usize> = (0..config.n_trend_windows.max(1))
+        .map(|_| rng.random_range(0..config.n_communities))
+        .collect();
     let window_of = |t: f64| {
         let w = (t / config.horizon * trending.len() as f64) as usize;
         w.min(trending.len() - 1)
@@ -325,7 +332,9 @@ pub fn generate(config: &SyntheticConfig) -> SyntheticDataset {
             Some(p) if rng.random::<f64>() < config.burstiness => p,
             _ => {
                 let x = rng.random::<f64>() * total_activity;
-                activity_cdf.partition_point(|&c| c < x).min(config.n_users - 1)
+                activity_cdf
+                    .partition_point(|&c| c < x)
+                    .min(config.n_users - 1)
             }
         };
         prev_user = Some(uid);
@@ -334,7 +343,11 @@ pub fn generate(config: &SyntheticConfig) -> SyntheticDataset {
         let field = rng.random_range(0..config.n_fields);
 
         // Session dynamics (anomalous users churn sessions rapidly).
-        let switch_p = if anomalous { 0.8 } else { config.session_switch_prob };
+        let switch_p = if anomalous {
+            0.8
+        } else {
+            config.session_switch_prob
+        };
         if rng.random::<f64>() < switch_p {
             users[uid].session = if rng.random::<f64>() < config.trend_follow_prob && !anomalous {
                 trending[window_of(t)]
@@ -417,7 +430,11 @@ mod tests {
     use super::*;
 
     fn small_config(seed: u64) -> SyntheticConfig {
-        SyntheticConfig { n_events: 2000, ..SyntheticConfig::amazon_like(seed) }.scaled(0.3)
+        SyntheticConfig {
+            n_events: 2000,
+            ..SyntheticConfig::amazon_like(seed)
+        }
+        .scaled(0.3)
     }
 
     #[test]
@@ -441,7 +458,10 @@ mod tests {
             .zip(b.graph.events())
             .filter(|(x, y)| x.src == y.src && x.dst == y.dst)
             .count();
-        assert!(same < a.graph.num_events() / 2, "seeds produced near-identical graphs");
+        assert!(
+            same < a.graph.num_events() / 2,
+            "seeds produced near-identical graphs"
+        );
     }
 
     #[test]
@@ -510,7 +530,11 @@ mod tests {
 
     #[test]
     fn anomaly_labels_present_and_consistent() {
-        let cfg = SyntheticConfig { n_events: 3000, ..SyntheticConfig::wikipedia_like(11) }.scaled(0.3);
+        let cfg = SyntheticConfig {
+            n_events: 3000,
+            ..SyntheticConfig::wikipedia_like(11)
+        }
+        .scaled(0.3);
         let ds = generate(&cfg);
         let labels = ds.graph.labels();
         assert!(!labels.is_empty(), "labelled dataset must emit labels");
@@ -551,7 +575,10 @@ mod tests {
         for _ in 0..5000 {
             counts[sample_zipf(&mut rng, 10, 1.2)] += 1;
         }
-        assert!(counts[0] > counts[9] * 3, "zipf skew not visible: {counts:?}");
+        assert!(
+            counts[0] > counts[9] * 3,
+            "zipf skew not visible: {counts:?}"
+        );
     }
 
     #[test]

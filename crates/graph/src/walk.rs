@@ -71,7 +71,9 @@ pub fn temporal_walks(
     n_walks: usize,
     rng: &mut StdRng,
 ) -> Vec<TemporalWalk> {
-    (0..n_walks).map(|_| temporal_walk(graph, root, t, max_hops, rng)).collect()
+    (0..n_walks)
+        .map(|_| temporal_walk(graph, root, t, max_hops, rng))
+        .collect()
 }
 
 #[cfg(test)]

@@ -42,6 +42,11 @@ pub struct CircuitBreaker {
     open_requests: u64,
     /// Lifetime count of trips (diagnostics / STATS).
     trips: u64,
+    /// Whether this instance feeds the process-global
+    /// `serve.breaker_trips` / `serve.breaker_closes` counters. Lockstep
+    /// replicas in the sharded engine's bank are silenced so one logical
+    /// trip is counted once, not once per shard.
+    counted: bool,
 }
 
 impl CircuitBreaker {
@@ -56,7 +61,24 @@ impl CircuitBreaker {
             open: false,
             open_requests: 0,
             trips: 0,
+            counted: true,
         }
+    }
+
+    /// Marks this instance as a lockstep replica: its state still advances
+    /// normally (and is reported per shard in `STATUS`), but it stops
+    /// feeding the process-global `serve.breaker_trips` /
+    /// `serve.breaker_closes` counters, which the canonical replica
+    /// already counts — otherwise one logical trip would be counted once
+    /// per shard.
+    pub fn mark_replica(&mut self) {
+        self.counted = false;
+    }
+
+    /// Whether this instance feeds the process-global counters (`false`
+    /// after [`CircuitBreaker::mark_replica`]).
+    pub fn is_counted(&self) -> bool {
+        self.counted
     }
 
     /// Whether the breaker is currently open.
@@ -67,6 +89,16 @@ impl CircuitBreaker {
     /// Lifetime number of times the breaker has tripped open.
     pub fn trips(&self) -> u64 {
         self.trips
+    }
+
+    /// The state as a wire token for `STATUS` lines: `"open"` or
+    /// `"closed"`.
+    pub fn state_name(&self) -> &'static str {
+        if self.open {
+            "open"
+        } else {
+            "closed"
+        }
     }
 
     /// Decide how to treat the next inference request. Mutates probe
@@ -90,7 +122,9 @@ impl CircuitBreaker {
         if self.open {
             self.open = false;
             self.open_requests = 0;
-            cpdg_obs::counter!("serve.breaker_closes").inc();
+            if self.counted {
+                cpdg_obs::counter!("serve.breaker_closes").inc();
+            }
         }
     }
 
@@ -102,7 +136,9 @@ impl CircuitBreaker {
             self.open = true;
             self.open_requests = 0;
             self.trips += 1;
-            cpdg_obs::counter!("serve.breaker_trips").inc();
+            if self.counted {
+                cpdg_obs::counter!("serve.breaker_trips").inc();
+            }
         }
     }
 }

@@ -28,15 +28,28 @@
 //! inference at all. While open, the breaker serves degraded replies from
 //! the static pre-training embeddings and lets every
 //! `probe_every`-th request through; one clean probe re-closes it.
+//!
+//! ## Sharding
+//!
+//! With `--shards N` the durability/resilience domain is partitioned by
+//! node id into a [`ShardBank`]: each shard owns a WAL segment stream
+//! under `wal.shard<k>/`, a breaker replica kept in deterministic
+//! lockstep, and per-shard counters, while the DGNN compute core stays
+//! shared and serialised under the engine lock — which is why replies
+//! are bit-identical at any shard count (the invariance oracle in
+//! `tests/shard_suite.rs`). `shards == 1` is *exactly* the legacy
+//! engine: flat WAL directory, unstamped 18-byte record payloads,
+//! legacy checkpoints.
 
-use crate::breaker::{Admittance, CircuitBreaker};
+use crate::breaker::Admittance;
 use crate::protocol::{render_floats, Command, ErrKind, Reply};
+use crate::shard::ShardBank;
 use cpdg_core::error::{CpdgError, CpdgResult};
 use cpdg_core::storage::Storage;
 use cpdg_core::wal::{self, RecoveryStats, Wal, WalCheckpoint, WalConfig};
 use cpdg_core::{FaultHook, FaultPoint, ModelFile};
 use cpdg_dgnn::{Deadline, DgnnConfig, DgnnEncoder, EncoderState, LinkPredictor};
-use cpdg_graph::{DynamicGraph, FieldId, NodeId, Timestamp};
+use cpdg_graph::{DynamicGraph, FieldId, NodeId, ShardRouter, Timestamp};
 use cpdg_tensor::{Matrix, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,6 +77,12 @@ pub struct EngineConfig {
     /// overwritten from the model file. Affects nothing observable when the
     /// model file covers all parameters, but kept explicit for determinism.
     pub seed: u64,
+    /// Number of durability/resilience shards (≥ 1). `1` (the default)
+    /// runs the legacy single-shard layout byte-for-byte; `N > 1`
+    /// partitions WAL streams, breaker replicas, and admission queues by
+    /// node id. Replies are bit-identical at any value — enforced by
+    /// `tests/shard_suite.rs`.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +92,7 @@ impl Default for EngineConfig {
             breaker_threshold: 3,
             breaker_probe_every: 4,
             seed: 0,
+            shards: 1,
         }
     }
 }
@@ -98,11 +118,11 @@ struct EngineInner {
     epoch: Arc<Epoch>,
     encoder: DgnnEncoder,
     graph: DynamicGraph,
-    breaker: CircuitBreaker,
-    /// Durable event log; `None` until [`Engine::open_wal`] attaches one.
-    /// Lives under the engine lock so the append → mutate sequence is
-    /// atomic with respect to other requests.
-    wal: Option<Wal>,
+    /// Per-shard durability and resilience state: breaker replicas in
+    /// lockstep, per-shard WALs (attached by [`Engine::open_wal`]), the
+    /// global event sequence. Lives under the engine lock so the
+    /// append → mutate sequence is atomic with respect to other requests.
+    bank: ShardBank,
     /// What the last [`Engine::open_wal`] recovered (for `STATUS`).
     recovery: Option<WalRecoveryReport>,
 }
@@ -228,14 +248,17 @@ impl Engine {
         let (epoch, encoder) = build_epoch(model, 1, config.seed);
         let epoch = Arc::new(epoch);
         let graph = DynamicGraph::empty(model.num_nodes);
-        let breaker = CircuitBreaker::new(config.breaker_threshold, config.breaker_probe_every);
+        let bank = ShardBank::new(
+            config.shards,
+            config.breaker_threshold,
+            config.breaker_probe_every,
+        );
         Self {
             inner: Mutex::new(EngineInner {
                 epoch: Arc::clone(&epoch),
                 encoder,
                 graph,
-                breaker,
-                wal: None,
+                bank,
                 recovery: None,
             }),
             current: RwLock::new(epoch),
@@ -255,18 +278,43 @@ impl Engine {
         self.current.read().expect("epoch pointer lock").num_nodes
     }
 
+    /// Number of durability/resilience shards this engine runs (≥ 1).
+    /// Lock-free: fixed at construction.
+    pub fn shard_count(&self) -> usize {
+        self.config.shards.max(1)
+    }
+
+    /// The shard whose admission queue owns `cmd`: data-plane commands
+    /// route by their primary node (`EVENT`/`SCORE` by `src`, `EMB` by
+    /// its node); control-plane commands (`PING`, `STATS`, `STATUS`,
+    /// `RELOAD`) go to shard 0. Lock-free — the router is a pure
+    /// function of the configured shard count.
+    pub fn shard_of(&self, cmd: &Command) -> usize {
+        match cmd.shard_key() {
+            Some(node) => ShardRouter::new(self.shard_count()).route(node),
+            None => 0,
+        }
+    }
+
     /// Executes one parsed command to a reply. This is the single entry
     /// point workers call; admission control happens before it. Offline
     /// callers (the `--ingest` reference path, tests) see a queue depth
-    /// of 0 in `STATUS` replies — use [`Engine::execute_with_depth`] to
-    /// report the live queue.
+    /// of 0 in `STATUS` replies — use [`Engine::execute_with_depth`] or
+    /// [`Engine::execute_with_depths`] to report the live queue(s).
     pub fn execute(&self, cmd: Command) -> Reply {
-        self.execute_with_depth(cmd, 0)
+        self.execute_with_depths(cmd, &[])
     }
 
     /// [`Engine::execute`] with the caller's admission-queue depth, which
     /// only the `STATUS` reply reports.
     pub fn execute_with_depth(&self, cmd: Command, queue_depth: usize) -> Reply {
+        self.execute_with_depths(cmd, &[queue_depth])
+    }
+
+    /// [`Engine::execute`] with every shard queue's live depth (indexed
+    /// by shard). `STATUS` reports their sum as the global `queue_depth`
+    /// and, when sharded, each entry as `shard<k>.queue_depth`.
+    pub fn execute_with_depths(&self, cmd: Command, queue_depths: &[usize]) -> Reply {
         cpdg_obs::counter!("serve.requests").inc();
         let reply = match cmd {
             Command::Ping => Reply::Ok {
@@ -274,7 +322,7 @@ impl Engine {
                 body: "pong".to_string(),
             },
             Command::Stats => self.stats_reply(),
-            Command::Status => self.status_reply(queue_depth),
+            Command::Status => self.status_reply(queue_depths),
             Command::Event { src, dst, t, field } => self.ingest(src, dst, t, field),
             Command::Emb { node, t } => self.emb(node, t),
             Command::Score { src, dst, t } => self.score(src, dst, t),
@@ -292,7 +340,7 @@ impl Engine {
     }
 
     fn stats_reply(&self) -> Reply {
-        let breaker_open = self.inner.lock().expect("engine lock").breaker.is_open();
+        let breaker_open = self.inner.lock().expect("engine lock").bank.is_open();
         let s = &self.stats;
         Reply::Ok {
             version: self.version(),
@@ -311,26 +359,51 @@ impl Engine {
 
     /// The `STATUS` reply: engine health as `key=value` pairs — epoch,
     /// queue depth, breaker state, counters, WAL occupancy, and what the
-    /// last recovery reconstructed. Unlike `STATS`, the body includes
-    /// live queue/WAL occupancy, so `STATUS` replies are *not* expected
-    /// to be identical across runs.
-    fn status_reply(&self, queue_depth: usize) -> Reply {
+    /// last recovery reconstructed. Global fields come first and keep
+    /// their legacy names; a `shards=` field always follows, and with
+    /// more than one shard a `shard<k>.*` block reports each shard's
+    /// breaker replica, queue depth, applied/replayed events, model
+    /// epoch, and WAL occupancy. Aggregation rules: the global
+    /// `queue_depth` is the *sum* of per-shard depths; global
+    /// `breaker`/`breaker_trips` are read from one canonical replica —
+    /// replicas are in lockstep, so summing trips would multiply one
+    /// logical trip by the shard count; `worker_panics` is global only
+    /// (the worker pool belongs to the server, not to a shard) and is
+    /// never repeated per shard. Unlike `STATS`, the body includes live
+    /// queue/WAL occupancy, so `STATUS` replies are *not* expected to be
+    /// identical across runs.
+    fn status_reply(&self, queue_depths: &[usize]) -> Reply {
         let inner = self.inner.lock().expect("engine lock");
-        let breaker = if inner.breaker.is_open() {
-            "open"
+        let breaker = inner.bank.slot(0).breaker().state_name();
+        let trips = inner.bank.trips();
+        let wal_attached = u64::from(inner.bank.wal_attached());
+        let (wal_segments, wal_bytes) = inner.bank.wal_totals();
+        let wal_next = if inner.bank.is_sharded() {
+            inner.bank.next_seq()
         } else {
-            "closed"
+            inner.bank.slot(0).wal().map_or(0, |w| w.next_index())
         };
-        let trips = inner.breaker.trips();
-        let (wal_attached, wal_segments, wal_bytes, wal_next) = match inner.wal.as_ref() {
-            Some(w) => (
-                1u64,
-                w.segment_count() as u64,
-                w.total_bytes(),
-                w.next_index(),
-            ),
-            None => (0, 0, 0, 0),
-        };
+        let queue_depth: usize = queue_depths.iter().sum();
+        let mut shard_block = format!(" shards={}", inner.bank.shards());
+        if inner.bank.is_sharded() {
+            for (k, slot) in inner.bank.slots().iter().enumerate() {
+                let (segs, bytes) = match slot.wal() {
+                    Some(w) => (w.segment_count() as u64, w.total_bytes()),
+                    None => (0, 0),
+                };
+                shard_block.push_str(&format!(
+                    " shard{k}.breaker={} shard{k}.breaker_trips={} shard{k}.queue_depth={} \
+                     shard{k}.events={} shard{k}.replayed={} shard{k}.epoch={} \
+                     shard{k}.wal_segments={segs} shard{k}.wal_bytes={bytes}",
+                    slot.breaker().state_name(),
+                    slot.breaker().trips(),
+                    queue_depths.get(k).copied().unwrap_or(0),
+                    slot.events(),
+                    slot.replayed(),
+                    slot.epoch_version(),
+                ));
+            }
+        }
         let rec = inner.recovery.unwrap_or_default();
         drop(inner);
         let s = &self.stats;
@@ -341,7 +414,7 @@ impl Engine {
                  events={} ok={} degraded={} shed={} errors={} reloads={} worker_panics={} \
                  wal={wal_attached} wal_segments={wal_segments} wal_bytes={wal_bytes} \
                  wal_next_index={wal_next} recovered_from_checkpoint={} recovered_replayed={} \
-                 recovered_truncated_bytes={}",
+                 recovered_truncated_bytes={}{shard_block}",
                 self.version(),
                 ServeStats::get(&s.events),
                 ServeStats::get(&s.ok),
@@ -361,10 +434,15 @@ impl Engine {
     /// as training would: flush previously pending messages, then queue
     /// this event as the new pending batch. Ingestion never consults the
     /// breaker, and with a WAL attached it is *append-before-mutate*: the
-    /// event is validated, durably logged, and only then applied — a
-    /// failed append returns `ERR` with the event in neither memory nor
-    /// the log, so crash replay reconstructs exactly the acknowledged
-    /// stream and memory stays bit-identical across chaos runs.
+    /// event is validated, routed to its owning shard (the `shard.route`
+    /// fault point fires here — at any shard count, so fault runs are
+    /// themselves shard-count-invariant), durably logged on that shard's
+    /// stream, and only then applied — a failed route or append returns
+    /// `ERR` with the event in neither memory nor any shard's log, so
+    /// crash replay reconstructs exactly the acknowledged stream and
+    /// memory stays bit-identical across chaos runs. Sharded streams stamp
+    /// each record with the global sequence number so merge-replay
+    /// reconstructs the exact ingestion order.
     fn ingest(&self, src: NodeId, dst: NodeId, t: Timestamp, field: FieldId) -> Reply {
         let mut inner = self.inner.lock().expect("engine lock");
         let inner = &mut *inner;
@@ -374,8 +452,22 @@ impl Engine {
                 detail: e.to_string(),
             };
         }
-        if let Some(w) = inner.wal.as_mut() {
-            if let Err(e) = w.append(&wal::encode_event(src, dst, t, field)) {
+        let shard = inner.bank.route(src);
+        if let Err(fault) = self.hook.check(FaultPoint::ShardRoute) {
+            return Reply::Err {
+                kind: ErrKind::Exec,
+                detail: fault.to_string(),
+            };
+        }
+        let seq = inner.bank.next_seq();
+        let sharded = inner.bank.is_sharded();
+        if let Some(w) = inner.bank.wal_mut(shard) {
+            let appended = if sharded {
+                w.append(&wal::encode_event_seq(seq, src, dst, t, field))
+            } else {
+                w.append(&wal::encode_event(src, dst, t, field))
+            };
+            if let Err(e) = appended {
                 return Reply::Err {
                     kind: ErrKind::Exec,
                     detail: e.to_string(),
@@ -392,6 +484,8 @@ impl Engine {
             .apply_pending(&mut tape, &inner.epoch.store, &inner.graph);
         let event = *inner.graph.event(idx);
         inner.encoder.commit(&tape, ctx, &[event]);
+        inner.bank.bump_seq();
+        inner.bank.note_event(shard);
         ServeStats::bump(&self.stats.events);
         Reply::Ok {
             version: inner.epoch.version,
@@ -399,19 +493,47 @@ impl Engine {
         }
     }
 
-    /// Attaches (creating if needed) the durable WAL in `dir` and
-    /// recovers state from it: the drain checkpoint (if any) restores
+    /// Attaches (creating if needed) the durable WAL layout under `dir`
+    /// and recovers state from it: the drain checkpoint (if any) restores
     /// graph + encoder wholesale, then every WAL record past the
     /// checkpoint replays through the exact per-event ingestion path —
     /// `apply_pending` + `commit`, no trailing flush — so recovered state
     /// is bit-identical to an uninterrupted run's, pending messages
     /// included. Call before serving traffic.
+    ///
+    /// At `shards == 1` this is the legacy flat layout: one WAL directly
+    /// in `dir`, unstamped record payloads. At `shards > 1` each shard's
+    /// stream lives in `dir/wal.shard<k>/`, records carry the global
+    /// sequence number, and recovery merge-replays all shards' records in
+    /// sequence order, verifying the merged stream is contiguous. A
+    /// checkpoint written under a different `--shards` value (including
+    /// the legacy layout's) is refused with a typed corruption error —
+    /// never silently reinterpreted.
     pub fn open_wal(&self, dir: &Path, config: WalConfig) -> CpdgResult<WalRecoveryReport> {
+        let shards = self.shard_count();
+        if shards == 1 {
+            self.open_wal_legacy(dir, config)
+        } else {
+            self.open_wal_sharded(dir, config, shards)
+        }
+    }
+
+    fn open_wal_legacy(&self, dir: &Path, config: WalConfig) -> CpdgResult<WalRecoveryReport> {
         let mut inner = self.inner.lock().expect("engine lock");
         let inner = &mut *inner;
         let ckpt_path = dir.join(wal::CHECKPOINT_FILE);
         let mut applied = 0u64;
         if let Some(ckpt) = WalCheckpoint::load(&cpdg_core::FS_STORAGE, &ckpt_path)? {
+            if ckpt.shards != 0 {
+                return Err(CpdgError::corrupt(
+                    &ckpt_path,
+                    format!(
+                        "checkpoint was written by a sharded engine (--shards {}); \
+                         reopen with the same shard count",
+                        ckpt.shards
+                    ),
+                ));
+            }
             if ckpt.graph.num_nodes() != inner.epoch.num_nodes {
                 return Err(CpdgError::corrupt(
                     &ckpt_path,
@@ -452,12 +574,163 @@ impl Engine {
             replayed,
             recovery: wal.recovery_stats(),
         };
-        inner.wal = Some(wal);
+        inner.bank.attach_wal(0, wal);
+        inner.bank.set_wal_root(dir.to_path_buf());
+        inner.bank.set_next_seq(applied + replayed);
+        for _ in 0..replayed {
+            inner.bank.note_event(0);
+            inner.bank.note_replayed(0);
+        }
         inner.recovery = Some(report);
         cpdg_obs::info!(
             "serve.engine",
             "WAL recovery complete";
             dir = dir.display().to_string(),
+            checkpoint_applied = report.checkpoint_applied,
+            replayed = report.replayed,
+            truncated_bytes = report.recovery.truncated_bytes,
+        );
+        Ok(report)
+    }
+
+    fn open_wal_sharded(
+        &self,
+        dir: &Path,
+        config: WalConfig,
+        shards: usize,
+    ) -> CpdgResult<WalRecoveryReport> {
+        let mut inner = self.inner.lock().expect("engine lock");
+        let inner = &mut *inner;
+        let ckpt_path = dir.join(wal::CHECKPOINT_FILE);
+        let mut applied = 0u64;
+        let mut shard_from = vec![0u64; shards];
+        if let Some(ckpt) = WalCheckpoint::load(&cpdg_core::FS_STORAGE, &ckpt_path)? {
+            if ckpt.shards == 0 {
+                return Err(CpdgError::corrupt(
+                    &ckpt_path,
+                    format!(
+                        "checkpoint was written by the legacy single-shard layout; \
+                         recovering it with --shards {shards} would misroute its \
+                         records — reopen with --shards 1"
+                    ),
+                ));
+            }
+            if ckpt.shards != shards as u64 {
+                return Err(CpdgError::corrupt(
+                    &ckpt_path,
+                    format!(
+                        "checkpoint was written with --shards {} and cannot be \
+                         recovered with --shards {shards}",
+                        ckpt.shards
+                    ),
+                ));
+            }
+            if ckpt.shard_applied.len() != shards {
+                return Err(CpdgError::corrupt(
+                    &ckpt_path,
+                    format!(
+                        "checkpoint records {} per-shard cursors for {shards} shards",
+                        ckpt.shard_applied.len()
+                    ),
+                ));
+            }
+            if ckpt.graph.num_nodes() != inner.epoch.num_nodes {
+                return Err(CpdgError::corrupt(
+                    &ckpt_path,
+                    format!(
+                        "checkpoint universe of {} nodes does not match model's {}",
+                        ckpt.graph.num_nodes(),
+                        inner.epoch.num_nodes
+                    ),
+                ));
+            }
+            inner
+                .encoder
+                .restore_state(ckpt.encoder)
+                .map_err(|e| CpdgError::corrupt(&ckpt_path, e))?;
+            inner.graph = ckpt.graph;
+            applied = ckpt.applied;
+            shard_from.copy_from_slice(&ckpt.shard_applied);
+        }
+        let mut wals = Vec::with_capacity(shards);
+        for k in 0..shards {
+            wals.push(Wal::open(
+                &wal::shard_dir(dir, k),
+                config,
+                self.hook.clone(),
+            )?);
+        }
+        // Merge-replay: collect every shard's records past its checkpoint
+        // cursor, order them by the stamped global sequence number, and
+        // verify the merged stream is a dense continuation of the
+        // checkpoint — a gap or duplicate means a shard's log is missing
+        // or mixed from a different run.
+        let mut pending: Vec<(u64, usize, NodeId, NodeId, Timestamp, FieldId)> = Vec::new();
+        for (k, w) in wals.iter().enumerate() {
+            w.replay(shard_from[k], |index, payload| {
+                let (seq, src, dst, t, field) = wal::decode_event_seq(payload).map_err(|e| {
+                    CpdgError::corrupt(dir, format!("shard {k} record {index}: {e}"))
+                })?;
+                pending.push((seq, k, src, dst, t, field));
+                Ok(())
+            })?;
+        }
+        pending.sort_by_key(|rec| rec.0);
+        for (i, rec) in pending.iter().enumerate() {
+            let expect = applied + i as u64;
+            if rec.0 != expect {
+                return Err(CpdgError::corrupt(
+                    dir,
+                    format!(
+                        "merged shard streams are not contiguous: expected global \
+                         seq {expect}, found {} (from shard {})",
+                        rec.0, rec.1
+                    ),
+                ));
+            }
+        }
+        let mut replayed = 0u64;
+        for &(seq, shard, src, dst, t, field) in &pending {
+            let idx = inner.graph.push_event(src, dst, t, field).map_err(|e| {
+                CpdgError::corrupt(
+                    dir,
+                    format!("WAL record seq {seq} (shard {shard}) rejected on replay: {e}"),
+                )
+            })?;
+            let mut tape = Tape::new();
+            let ctx = inner
+                .encoder
+                .apply_pending(&mut tape, &inner.epoch.store, &inner.graph);
+            let event = *inner.graph.event(idx);
+            inner.encoder.commit(&tape, ctx, &[event]);
+            ServeStats::bump(&self.stats.events);
+            inner.bank.note_event(shard);
+            inner.bank.note_replayed(shard);
+            replayed += 1;
+        }
+        let mut recovery = RecoveryStats::default();
+        for w in &wals {
+            let r = w.recovery_stats();
+            recovery.segments += r.segments;
+            recovery.records += r.records;
+            recovery.truncated_bytes += r.truncated_bytes;
+        }
+        for (k, w) in wals.into_iter().enumerate() {
+            inner.bank.attach_wal(k, w);
+        }
+        inner.bank.set_wal_root(dir.to_path_buf());
+        inner.bank.set_next_seq(applied + replayed);
+        let report = WalRecoveryReport {
+            checkpoint_applied: applied,
+            replayed,
+            recovery,
+        };
+        inner.recovery = Some(report);
+        cpdg_obs::info!(
+            "serve.engine",
+            "sharded WAL recovery complete";
+            dir = dir.display().to_string(),
+            shards = shards as u64,
             checkpoint_applied = report.checkpoint_applied,
             replayed = report.replayed,
             truncated_bytes = report.recovery.truncated_bytes,
@@ -474,33 +747,76 @@ impl Engine {
     pub fn checkpoint_wal(&self, storage: &dyn Storage) -> CpdgResult<Option<u64>> {
         let mut inner = self.inner.lock().expect("engine lock");
         let inner = &mut *inner;
-        let Some(w) = inner.wal.as_mut() else {
+        if !inner.bank.is_sharded() {
+            let Some(w) = inner.bank.wal_mut(0) else {
+                return Ok(None);
+            };
+            w.sync()?;
+            let ckpt = WalCheckpoint {
+                applied: w.next_index(),
+                graph: inner.graph.clone(),
+                encoder: inner.encoder.export_state(),
+                shards: 0,
+                shard_applied: Vec::new(),
+            };
+            let path = w.dir().join(wal::CHECKPOINT_FILE);
+            ckpt.save(storage, &path)?;
+            let freed = w.truncate_through(ckpt.applied)?;
+            return Ok(Some(freed));
+        }
+        if !inner.bank.wal_attached() {
             return Ok(None);
-        };
-        w.sync()?;
+        }
+        // Sharded: fsync every stream, publish one root checkpoint that
+        // records the global sequence plus each shard's local cursor, then
+        // drop the covered segments on every shard.
+        let shards = inner.bank.shards();
+        let mut shard_applied = Vec::with_capacity(shards);
+        for k in 0..shards {
+            let w = inner
+                .bank
+                .wal_mut(k)
+                .expect("sharded open_wal attaches every shard's stream");
+            w.sync()?;
+            shard_applied.push(w.next_index());
+        }
+        let root = inner
+            .bank
+            .wal_root()
+            .cloned()
+            .expect("sharded open_wal records the layout root");
         let ckpt = WalCheckpoint {
-            applied: w.next_index(),
+            applied: inner.bank.next_seq(),
             graph: inner.graph.clone(),
             encoder: inner.encoder.export_state(),
+            shards: shards as u64,
+            shard_applied: shard_applied.clone(),
         };
-        let path = w.dir().join(wal::CHECKPOINT_FILE);
-        ckpt.save(storage, &path)?;
-        let freed = w.truncate_through(ckpt.applied)?;
+        ckpt.save(storage, &root.join(wal::CHECKPOINT_FILE))?;
+        let mut freed = 0u64;
+        for (k, &through) in shard_applied.iter().enumerate() {
+            let w = inner
+                .bank
+                .wal_mut(k)
+                .expect("sharded open_wal attaches every shard's stream");
+            freed += w.truncate_through(through)?;
+        }
         Ok(Some(freed))
     }
 
     /// Feeds one supervised-worker panic into engine health: counted in
     /// [`ServeStats::worker_panics`] and the `serve.worker_panic`
-    /// counter, and recorded as a failure toward the circuit breaker (a
+    /// counter, and recorded as a failure toward every breaker replica (a
     /// crashing worker is model-health evidence, same as a panicking
-    /// forward pass).
+    /// forward pass — global, so the broadcast keeps replicas in
+    /// lockstep).
     pub fn note_worker_panic(&self) {
         ServeStats::bump(&self.stats.worker_panics);
         cpdg_obs::counter!("serve.worker_panic").inc();
         self.inner
             .lock()
             .expect("engine lock")
-            .breaker
+            .bank
             .record_failure();
     }
 
@@ -602,12 +918,13 @@ impl Engine {
             };
             Reply::Degraded { version, body }
         };
-        match inner.breaker.admit() {
+        let shard = inner.bank.route(nodes[0]);
+        match inner.bank.admit(shard) {
             Admittance::Shorted => degraded(epoch.version),
             Admittance::Closed | Admittance::Probe => {
                 match self.forward(&inner, nodes, t, score_pair, &deadline) {
                     InferOutcome::Ok(values) => {
-                        inner.breaker.record_success();
+                        inner.bank.record_success();
                         Reply::Ok {
                             version: epoch.version,
                             body: render_floats(&values),
@@ -627,7 +944,7 @@ impl Engine {
                             detail = detail.as_str(),
                             version = epoch.version,
                         );
-                        inner.breaker.record_failure();
+                        inner.bank.record_failure();
                         degraded(epoch.version)
                     }
                 }
@@ -675,6 +992,7 @@ impl Engine {
         let epoch = Arc::new(epoch);
         inner.epoch = Arc::clone(&epoch);
         inner.encoder = encoder;
+        inner.bank.note_reload(epoch.version);
         *self.current.write().expect("epoch pointer lock") = Arc::clone(&epoch);
         ServeStats::bump(&self.stats.reloads);
         cpdg_obs::counter!("serve.reloads").inc();
@@ -745,9 +1063,10 @@ impl Engine {
             .map_err(|e| CpdgError::corrupt(path, e))
     }
 
-    /// Whether the circuit breaker is currently open (diagnostics).
+    /// Whether the circuit breaker is currently open (diagnostics; the
+    /// replicas are in lockstep, so one canonical replica answers).
     pub fn breaker_open(&self) -> bool {
-        self.inner.lock().expect("engine lock").breaker.is_open()
+        self.inner.lock().expect("engine lock").bank.is_open()
     }
 
     /// A clone of the engine's fault hook (shares trigger state), so the
@@ -870,6 +1189,101 @@ mod tests {
             warm.execute(Command::Emb {
                 node: 2,
                 t: Some(4.0)
+            }),
+            reference
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn sharded_config(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_wal_recovery_is_bit_identical_and_mismatches_are_refused() {
+        let dir = test_dir("shard-recover");
+        let model = tiny_model();
+        let events = [
+            (0u32, 1u32, 1.0f64),
+            (1, 2, 2.0),
+            (2, 3, 3.0),
+            (0, 3, 4.0),
+            (4, 5, 5.0),
+        ];
+        // Reference reply from the legacy single-shard engine, no WAL.
+        let legacy = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        for &(src, dst, t) in &events {
+            let r = legacy.execute(Command::Event {
+                src,
+                dst,
+                t,
+                field: 0,
+            });
+            assert!(matches!(r, Reply::Ok { .. }), "{r:?}");
+        }
+        let reference = legacy.execute(Command::Emb {
+            node: 2,
+            t: Some(5.0),
+        });
+
+        let engine = Engine::from_model(&model, sharded_config(4), FaultHook::none());
+        engine.open_wal(&dir, WalConfig::default()).unwrap();
+        for &(src, dst, t) in &events {
+            let r = engine.execute(Command::Event {
+                src,
+                dst,
+                t,
+                field: 0,
+            });
+            assert!(matches!(r, Reply::Ok { .. }), "{r:?}");
+        }
+        assert_eq!(
+            engine.execute(Command::Emb {
+                node: 2,
+                t: Some(5.0)
+            }),
+            reference,
+            "sharded live reply must be bit-identical to the legacy engine's"
+        );
+        // Simulated kill -9: drop without drain or checkpoint.
+        drop(engine);
+
+        let recovered = Engine::from_model(&model, sharded_config(4), FaultHook::none());
+        let report = recovered.open_wal(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.replayed, 5);
+        assert_eq!(report.checkpoint_applied, 0);
+        assert_eq!(
+            recovered.execute(Command::Emb {
+                node: 2,
+                t: Some(5.0)
+            }),
+            reference,
+            "merge-replayed reply must be bit-identical"
+        );
+
+        // Drain checkpoint at 4 shards; a different shard count (or the
+        // legacy layout) must refuse it with a typed error, and the
+        // matching count must warm-start with nothing left to replay.
+        let freed = recovered.checkpoint_wal(&FS_STORAGE).unwrap();
+        assert!(freed.is_some());
+        drop(recovered);
+        let wrong = Engine::from_model(&model, sharded_config(2), FaultHook::none());
+        let err = wrong.open_wal(&dir, WalConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("--shards"), "{err}");
+        let unsharded = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        let err = unsharded.open_wal(&dir, WalConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("shard"), "{err}");
+        let warm = Engine::from_model(&model, sharded_config(4), FaultHook::none());
+        let report = warm.open_wal(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.checkpoint_applied, 5);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(
+            warm.execute(Command::Emb {
+                node: 2,
+                t: Some(5.0)
             }),
             reference
         );

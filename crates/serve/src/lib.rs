@@ -29,19 +29,30 @@
 //!   checkpoints that truncate replayed WAL segments.
 //! * [`server`] — the threaded TCP front door: per-connection lockstep
 //!   (single-connection scripts are worker-count-deterministic), a
-//!   *supervised* worker pool over the admission queue (per-worker panics
-//!   are caught, counted, fed to the breaker, and the worker restarts
-//!   with bounded deterministic backoff), graceful drain.
+//!   *supervised* worker pool per shard queue (per-worker panics are
+//!   caught, counted, fed to the breaker, and the worker restarts with
+//!   bounded deterministic backoff), graceful drain.
+//! * [`shard`] — the `--shards N` partition of the durability/resilience
+//!   domain: a stable node→shard router ([`ShardRouter`](cpdg_graph::ShardRouter)),
+//!   per-shard WAL streams under `wal.shard<k>/` with globally-sequenced
+//!   records merge-replayed on recovery, breaker replicas kept in
+//!   deterministic lockstep, and per-shard admission queues. The compute
+//!   core stays shared and serialised, so replies are **bit-identical at
+//!   any shard count** — the invariance oracle the workspace
+//!   `shard_suite` enforces at 1, 2, and 8 shards, including under
+//!   drain, reload, breaker trips, and crash recovery.
 //!
 //! Chaos integration: the engine threads a
-//! [`FaultHook`](cpdg_core::FaultHook) through seven serve-side fault
+//! [`FaultHook`](cpdg_core::FaultHook) through eight serve-side fault
 //! points — `serve.accept` (admission), `serve.infer` (query forward
 //! pass), `serve.reload` (hot swap), `serve.worker` (worker panic),
-//! `wal.append` / `wal.fsync` (durable ingestion), and `wal.replay`
-//! (recovery) — so the workspace `serve_suite` and `wal_suite` can assert
-//! that shedding, breaker trips, failed reloads, crashes at any fault
-//! point, and drain leave served results and persisted state bit-identical
-//! to a fault-free run.
+//! `shard.route` (routing an `EVENT` to its owning shard),
+//! `wal.append` / `wal.fsync` (durable ingestion, per shard stream), and
+//! `wal.replay` (recovery) — so the workspace `serve_suite`, `wal_suite`,
+//! and `shard_suite` can assert that shedding, breaker trips, failed
+//! reloads, crashes at any fault point, and drain leave served results
+//! and persisted state bit-identical to a fault-free run at any shard
+//! count.
 
 #![warn(missing_docs)]
 #![warn(clippy::disallowed_macros)]
@@ -51,9 +62,11 @@ pub mod engine;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod shard;
 
 pub use breaker::{Admittance, CircuitBreaker};
 pub use engine::{Engine, EngineConfig, Epoch, ServeStats, WalRecoveryReport};
 pub use protocol::{parse_line, render_floats, Command, ErrKind, Reply};
-pub use queue::{BoundedQueue, Overloaded};
+pub use queue::{split_capacity, BoundedQueue, Overloaded};
 pub use server::{Server, ServerConfig};
+pub use shard::{ShardBank, ShardSlot};

@@ -61,6 +61,24 @@ pub enum Command {
     Ping,
 }
 
+impl Command {
+    /// The node id that determines which shard's admission queue owns
+    /// this command, or `None` for control-plane commands (`RELOAD`,
+    /// `STATS`, `STATUS`, `PING`), which the coordinator sends to shard
+    /// 0. Data-plane commands route by their primary node: `EVENT` and
+    /// `SCORE` by `src`, `EMB` by its query node — the same key the
+    /// engine uses to pick the WAL stream an `EVENT` is logged on, so a
+    /// replayed record always lands back on its originating shard.
+    pub fn shard_key(&self) -> Option<NodeId> {
+        match self {
+            Command::Event { src, .. } => Some(*src),
+            Command::Emb { node, .. } => Some(*node),
+            Command::Score { src, .. } => Some(*src),
+            Command::Reload { .. } | Command::Stats | Command::Status | Command::Ping => None,
+        }
+    }
+}
+
 /// Machine-readable error kind token in `ERR <kind> …` replies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrKind {
@@ -311,6 +329,28 @@ mod tests {
         assert_eq!(parse_line("STATS"), Ok(Command::Stats));
         assert_eq!(parse_line("STATUS"), Ok(Command::Status));
         assert_eq!(parse_line("PING"), Ok(Command::Ping));
+    }
+
+    #[test]
+    fn shard_keys_follow_the_primary_node() {
+        assert_eq!(
+            parse_line("EVENT 3 7 12.5").unwrap().shard_key(),
+            Some(3),
+            "EVENT routes by src"
+        );
+        assert_eq!(
+            parse_line("SCORE 5 2").unwrap().shard_key(),
+            Some(5),
+            "SCORE routes by src"
+        );
+        assert_eq!(parse_line("EMB 4").unwrap().shard_key(), Some(4));
+        for line in ["PING", "STATS", "STATUS", "RELOAD /tmp/m.json"] {
+            assert_eq!(
+                parse_line(line).unwrap().shard_key(),
+                None,
+                "{line} is control-plane"
+            );
+        }
     }
 
     #[test]

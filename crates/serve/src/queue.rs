@@ -31,6 +31,15 @@ impl fmt::Display for Overloaded {
 
 impl std::error::Error for Overloaded {}
 
+/// Splits a total admission capacity across `shards` per-shard queues:
+/// each queue gets `total / shards`, floored, never below 1. With one
+/// shard this is exactly `total`, so the legacy single-queue server is
+/// unchanged; with more, the aggregate bound stays ≤ `total` (sharding
+/// never *increases* how much work the server will buffer).
+pub fn split_capacity(total: usize, shards: usize) -> usize {
+    (total / shards.max(1)).max(1)
+}
+
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -115,6 +124,20 @@ impl<T> BoundedQueue<T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn split_capacity_preserves_the_single_shard_bound() {
+        assert_eq!(split_capacity(64, 1), 64, "one shard keeps the full bound");
+        assert_eq!(split_capacity(64, 4), 16);
+        assert_eq!(split_capacity(64, 0), 64, "0 shards behaves as 1");
+        assert_eq!(split_capacity(3, 8), 1, "never below one slot per shard");
+        for shards in 1..12usize {
+            assert!(
+                split_capacity(64, shards) * shards <= 64,
+                "aggregate bound never exceeds the configured total"
+            );
+        }
+    }
 
     #[test]
     fn push_pop_fifo() {

@@ -1,15 +1,20 @@
 //! The threaded line-protocol front door.
 //!
 //! Topology: one accept thread (non-blocking poll so shutdown can
-//! interrupt it), one detached thread per connection, and a fixed pool of
-//! *supervised* worker threads draining the bounded admission queue
-//! ([`supervise_worker`]: panics are caught with `catch_unwind`, counted,
-//! fed to the circuit breaker, and the worker restarts after a bounded
-//! deterministic backoff). A connection thread reads one line, pushes one
-//! job, and *waits for that job's reply before reading the next line* —
-//! so requests from a single connection are processed in order regardless
-//! of worker count, which is what makes single-connection chaos scripts
-//! worker-count-deterministic.
+//! interrupt it), one detached thread per connection, and — per shard —
+//! a bounded admission queue with its own pool of *supervised* worker
+//! threads draining it ([`supervise_worker`]: panics are caught with
+//! `catch_unwind`, counted, fed to the circuit breaker, and the worker
+//! restarts after a bounded deterministic backoff). The coordinator
+//! routes each parsed command to its owning shard's queue
+//! ([`Engine::shard_of`]); with one shard (the default) this is exactly
+//! the legacy single-queue server. The total admission bound is split
+//! across shards ([`split_capacity`]), so sharding never increases how
+//! much work the server will buffer. A connection thread reads one line,
+//! pushes one job, and *waits for that job's reply before reading the
+//! next line* — so requests from a single connection are processed in
+//! order regardless of worker count *and* shard count, which is what
+//! makes single-connection chaos scripts deterministic at any topology.
 //!
 //! Exactly-one-reply invariant: every non-empty request line produces
 //! exactly one reply line — a full `OK`, a typed `DEGRADED`, or a typed
@@ -25,7 +30,7 @@
 
 use crate::engine::Engine;
 use crate::protocol::{parse_line, ErrKind, Reply};
-use crate::queue::BoundedQueue;
+use crate::queue::{split_capacity, BoundedQueue};
 use cpdg_core::{FaultHook, FaultPoint, RetryPolicy};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,9 +45,11 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (see [`Server::local_addr`]).
     pub addr: String,
-    /// Worker threads draining the admission queue.
+    /// Worker threads draining *each shard's* admission queue (the total
+    /// pool is `workers × shards`).
     pub workers: usize,
-    /// Admission queue capacity; requests beyond it are shed.
+    /// Total admission capacity, split evenly across shard queues
+    /// ([`split_capacity`]); requests beyond a shard's slice are shed.
     pub queue_capacity: usize,
 }
 
@@ -66,20 +73,20 @@ struct Job {
 /// rudely (threads are detached), so call `shutdown` for a clean drain.
 pub struct Server {
     engine: Arc<Engine>,
-    queue: Arc<BoundedQueue<Job>>,
+    queues: Vec<Arc<BoundedQueue<Job>>>,
     stop: Arc<AtomicBool>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-/// Resolves one request line to one reply line. Split out of the
-/// connection loop so tests can drive the full admission path without a
-/// socket.
+/// Resolves one request line to one reply line, routing the parsed
+/// command to its owning shard's queue. Split out of the connection loop
+/// so tests can drive the full admission path without a socket.
 fn process_line(
     line: &str,
     engine: &Engine,
-    queue: &BoundedQueue<Job>,
+    queues: &[Arc<BoundedQueue<Job>>],
     hook: &FaultHook,
 ) -> Option<String> {
     if line.trim().is_empty() {
@@ -114,8 +121,9 @@ fn process_line(
     if let Err(fault) = hook.check(FaultPoint::ServeAccept) {
         return shed(fault.to_string());
     }
+    let shard = engine.shard_of(&cmd);
     let (tx, rx) = mpsc::channel();
-    if let Err(over) = queue.push(Job { cmd, reply: tx }) {
+    if let Err(over) = queues[shard].push(Job { cmd, reply: tx }) {
         return shed(over.to_string());
     }
     match rx.recv() {
@@ -142,10 +150,15 @@ fn process_line(
 /// `ERR exec reply channel closed` — other connections never notice.
 /// Processing any job resets the backoff streak, so an isolated panic
 /// stays a 1-step delay while a crash loop backs off to the cap.
+///
+/// Each worker drains exactly one shard's queue (`queues[shard]`) but
+/// sees every shard's live depth, which `STATUS` reports both summed and
+/// per shard.
 fn supervise_worker(
     id: usize,
+    shard: usize,
     engine: Arc<Engine>,
-    queue: Arc<BoundedQueue<Job>>,
+    queues: Vec<Arc<BoundedQueue<Job>>>,
     hook: FaultHook,
 ) {
     let backoff = RetryPolicy::default();
@@ -154,14 +167,15 @@ fn supervise_worker(
     let mut last_processed = 0u64;
     loop {
         let drained = catch_unwind(AssertUnwindSafe(|| {
-            while let Some(job) = queue.pop() {
+            while let Some(job) = queues[shard].pop() {
                 // The chaos harness can crash a worker mid-job; the panic
                 // unwinds past the job (dropping its reply sender) into
                 // the supervisor above.
                 if let Err(fault) = hook.check(FaultPoint::ServeWorker) {
                     panic!("{fault}");
                 }
-                let reply = engine.execute_with_depth(job.cmd, queue.len());
+                let depths: Vec<usize> = queues.iter().map(|q| q.len()).collect();
+                let reply = engine.execute_with_depths(job.cmd, &depths);
                 // A vanished client must not kill the worker.
                 let _ = job.reply.send(reply.render());
                 processed.fetch_add(1, Ordering::Relaxed);
@@ -183,6 +197,7 @@ fn supervise_worker(
                     "serve.server",
                     "worker panicked; restarting after backoff";
                     worker = id as u64,
+                    shard = shard as u64,
                     streak = streak,
                     backoff_ms = delay.as_millis() as u64,
                 );
@@ -197,7 +212,7 @@ fn supervise_worker(
 fn handle_connection(
     stream: TcpStream,
     engine: Arc<Engine>,
-    queue: Arc<BoundedQueue<Job>>,
+    queues: Vec<Arc<BoundedQueue<Job>>>,
     hook: FaultHook,
 ) {
     let reader = match stream.try_clone() {
@@ -207,7 +222,7 @@ fn handle_connection(
     let mut writer = stream;
     for line in reader.lines() {
         let Ok(line) = line else { return };
-        if let Some(reply) = process_line(&line, &engine, &queue, &hook) {
+        if let Some(reply) = process_line(&line, &engine, &queues, &hook) {
             if writeln!(writer, "{reply}").is_err() || writer.flush().is_err() {
                 return;
             }
@@ -222,26 +237,34 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let shards = engine.shard_count();
+        let per_shard_capacity = split_capacity(config.queue_capacity, shards);
+        let queues: Vec<Arc<BoundedQueue<Job>>> = (0..shards)
+            .map(|_| Arc::new(BoundedQueue::new(per_shard_capacity)))
+            .collect();
         let stop = Arc::new(AtomicBool::new(false));
         let hook = engine.fault_hook();
 
-        let mut workers = Vec::with_capacity(config.workers.max(1));
-        for i in 0..config.workers.max(1) {
-            let queue = Arc::clone(&queue);
-            let engine = Arc::clone(&engine);
-            let hook = hook.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("cpdg-serve-worker-{i}"))
-                    .spawn(move || supervise_worker(i, engine, queue, hook))
-                    .expect("spawn worker"),
-            );
+        let per_shard_workers = config.workers.max(1);
+        let mut workers = Vec::with_capacity(shards * per_shard_workers);
+        for shard in 0..shards {
+            for i in 0..per_shard_workers {
+                let queues = queues.clone();
+                let engine = Arc::clone(&engine);
+                let hook = hook.clone();
+                let id = shard * per_shard_workers + i;
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("cpdg-serve-worker-{shard}-{i}"))
+                        .spawn(move || supervise_worker(id, shard, engine, queues, hook))
+                        .expect("spawn worker"),
+                );
+            }
         }
 
         let accept_thread = {
             let stop = Arc::clone(&stop);
-            let queue = Arc::clone(&queue);
+            let queues = queues.clone();
             let engine = Arc::clone(&engine);
             std::thread::Builder::new()
                 .name("cpdg-serve-accept".to_string())
@@ -251,7 +274,7 @@ impl Server {
                             Ok((stream, _)) => {
                                 let _ = stream.set_nodelay(true);
                                 let engine = Arc::clone(&engine);
-                                let queue = Arc::clone(&queue);
+                                let queues = queues.clone();
                                 let hook = hook.clone();
                                 let _ = std::thread::Builder::new()
                                     .name("cpdg-serve-conn".to_string())
@@ -259,7 +282,7 @@ impl Server {
                                         // A panicking connection handler is
                                         // contained to its own connection.
                                         let _ = catch_unwind(AssertUnwindSafe(|| {
-                                            handle_connection(stream, engine, queue, hook)
+                                            handle_connection(stream, engine, queues, hook)
                                         }));
                                     });
                             }
@@ -277,12 +300,13 @@ impl Server {
             "serve.server",
             "listening";
             addr = local_addr.to_string(),
-            workers = config.workers.max(1),
+            shards = shards as u64,
+            workers = per_shard_workers,
             queue_capacity = config.queue_capacity,
         );
         Ok(Self {
             engine,
-            queue,
+            queues,
             stop,
             local_addr,
             accept_thread: Some(accept_thread),
@@ -301,14 +325,16 @@ impl Server {
     }
 
     /// Graceful drain: stop accepting, shed new requests, finish and
-    /// answer every admitted one, join the workers. Returns the engine so
-    /// the caller can persist memory.
+    /// answer every admitted one on every shard, join the workers.
+    /// Returns the engine so the caller can persist memory.
     pub fn shutdown(mut self) -> Arc<Engine> {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        self.queue.close();
+        for q in &self.queues {
+            q.close();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -413,27 +439,27 @@ mod tests {
     #[test]
     fn drain_sheds_new_requests_but_answers_admitted_ones() {
         let engine = tiny_engine(0);
-        let queue: BoundedQueue<Job> = BoundedQueue::new(4);
+        let queues = vec![Arc::new(BoundedQueue::<Job>::new(4))];
         let hook = FaultHook::none();
         // Admitted before drain: pushed into the queue.
         let (tx, rx) = mpsc::channel();
-        queue
+        queues[0]
             .push(Job {
                 cmd: parse_line("PING").unwrap(),
                 reply: tx,
             })
             .unwrap();
-        queue.close();
+        queues[0].close();
         // New arrivals shed with a typed reply.
-        let reply = process_line("PING", &engine, &queue, &hook).unwrap();
+        let reply = process_line("PING", &engine, &queues, &hook).unwrap();
         assert!(reply.starts_with("ERR overloaded"), "{reply}");
         assert_eq!(engine.stats.shed.load(Ordering::Relaxed), 1);
         // The admitted job still drains and gets answered.
-        let job = queue.pop().expect("admitted job survives close");
+        let job = queues[0].pop().expect("admitted job survives close");
         let rendered = engine.execute(job.cmd).render();
         job.reply.send(rendered).unwrap();
         assert_eq!(rx.recv().unwrap(), "OK v1 pong");
-        assert!(queue.pop().is_none());
+        assert!(queues[0].pop().is_none());
     }
 
     #[test]
@@ -515,8 +541,73 @@ mod tests {
     #[test]
     fn blank_lines_are_not_requests() {
         let engine = tiny_engine(0);
-        let queue: BoundedQueue<Job> = BoundedQueue::new(4);
-        assert!(process_line("", &engine, &queue, &FaultHook::none()).is_none());
-        assert!(process_line("   ", &engine, &queue, &FaultHook::none()).is_none());
+        let queues = vec![Arc::new(BoundedQueue::<Job>::new(4))];
+        assert!(process_line("", &engine, &queues, &FaultHook::none()).is_none());
+        assert!(process_line("   ", &engine, &queues, &FaultHook::none()).is_none());
+    }
+
+    #[test]
+    fn sharded_server_answers_identically_and_reports_shard_blocks() {
+        // The same single-connection script against 1 and 4 shards must
+        // produce byte-identical replies (STATUS aside — it reports the
+        // topology), and the 4-shard STATUS must carry per-shard blocks.
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 100.0);
+        let model = ModelFile::new(cfg, 6, ParamStore::new(), Vec::new());
+        let script = [
+            "PING",
+            "EVENT 0 1 1.0",
+            "EVENT 1 2 2.0",
+            "EVENT 4 5 3.0",
+            "EMB 1",
+            "SCORE 0 2",
+            "EMB 5 3.5",
+        ];
+        let mut transcripts = Vec::new();
+        for shards in [1usize, 4] {
+            let engine = Arc::new(Engine::from_model(
+                &model,
+                EngineConfig {
+                    shards,
+                    ..EngineConfig::default()
+                },
+                FaultHook::none(),
+            ));
+            let server = Server::start(engine, &ServerConfig::default()).unwrap();
+            let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let replies: Vec<String> = script
+                .iter()
+                .map(|line| send(&mut stream, &mut reader, line))
+                .collect();
+            let status = send(&mut stream, &mut reader, "STATUS");
+            assert!(
+                status.contains(&format!("shards={shards}")),
+                "missing shards= in {status}"
+            );
+            if shards > 1 {
+                for k in 0..shards {
+                    for field in ["breaker=closed", "breaker_trips=0", "queue_depth=0"] {
+                        let pair = format!("shard{k}.{field}");
+                        assert!(status.contains(&pair), "missing {pair} in {status}");
+                    }
+                }
+                // Per-shard event counts must sum to the global count
+                // without double-counting.
+                let per_shard: u64 = (0..shards)
+                    .map(|k| {
+                        let key = format!("shard{k}.events=");
+                        let tail = &status[status.find(&key).unwrap() + key.len()..];
+                        tail.split(' ').next().unwrap().parse::<u64>().unwrap()
+                    })
+                    .sum();
+                assert_eq!(per_shard, 3, "{status}");
+            }
+            server.shutdown();
+            transcripts.push(replies);
+        }
+        assert_eq!(
+            transcripts[0], transcripts[1],
+            "replies must be bit-identical at 1 and 4 shards"
+        );
     }
 }

@@ -1,0 +1,389 @@
+//! The shard bank: per-shard durability and resilience state behind the
+//! sharded serving engine (DESIGN §13).
+//!
+//! ## The coordinator-compute model
+//!
+//! Sharding in `cpdg-serve` partitions the *durability and resilience
+//! domain* — WAL segment streams, breaker replicas, per-shard counters,
+//! drain/recovery bookkeeping — by node id, while the DGNN compute core
+//! (encoder memory + event log) stays shared and serialised under the
+//! engine lock. That split is what makes the shard-count-invariance
+//! oracle (`tests/shard_suite.rs`) provable: replies are computed by the
+//! same serialised core at any shard count, so bit-identity holds by
+//! construction, while durability scales by adding `wal.shard<k>/`
+//! streams.
+//!
+//! ## Replicated breakers in deterministic lockstep
+//!
+//! Each shard owns a [`CircuitBreaker`] replica, but model-health
+//! evidence is global (the model is shared), so every verdict-relevant
+//! call — [`ShardBank::admit`], [`ShardBank::record_success`],
+//! [`ShardBank::record_failure`] — advances **all** replicas and reads
+//! the owning shard's verdict. Replicas therefore never diverge, which is
+//! exactly why breaker trips, probe cadence, and degraded fallbacks are
+//! identical at 1, 2, and 8 shards for the same request stream. The
+//! per-shard objects are still real state, reported per shard in
+//! `STATUS`, and shape-ready for a future where shards host independent
+//! model replicas.
+
+use crate::breaker::{Admittance, CircuitBreaker};
+use cpdg_core::wal::Wal;
+use cpdg_core::RecoveryStats;
+use cpdg_graph::{NodeId, ShardRouter};
+use std::path::PathBuf;
+
+/// One shard's slice of durability/resilience state.
+#[derive(Debug)]
+pub struct ShardSlot {
+    breaker: CircuitBreaker,
+    wal: Option<Wal>,
+    events: u64,
+    replayed: u64,
+    epoch_version: u64,
+}
+
+impl ShardSlot {
+    fn new(threshold: u32, probe_every: u32) -> Self {
+        Self {
+            breaker: CircuitBreaker::new(threshold, probe_every),
+            wal: None,
+            events: 0,
+            replayed: 0,
+            epoch_version: 1,
+        }
+    }
+
+    /// This shard's breaker replica (read-only; mutation goes through the
+    /// bank so replicas stay in lockstep).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// This shard's WAL, when one is attached.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Events this shard has applied this process (live + replayed).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events replayed onto this shard by the last recovery.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// The model epoch this shard last acknowledged (hot-reload state).
+    pub fn epoch_version(&self) -> u64 {
+        self.epoch_version
+    }
+}
+
+/// All shards' slots plus the stable router and the global event
+/// sequence. Owned by the engine, mutated only under the engine lock.
+#[derive(Debug)]
+pub struct ShardBank {
+    router: ShardRouter,
+    slots: Vec<ShardSlot>,
+    /// Global sequence number of the next acknowledged event. Stamped
+    /// into sharded WAL records so merge-replay reconstructs the exact
+    /// ingestion order; advanced only after a successful append (dense —
+    /// a rejected event consumes no sequence number).
+    next_seq: u64,
+    /// Root directory the sharded WAL layout was opened under (the
+    /// checkpoint file lives here, above the `wal.shard<k>/` streams).
+    wal_root: Option<PathBuf>,
+}
+
+impl ShardBank {
+    /// A bank of `shards` slots (≥ 1; 0 behaves as 1), each with a fresh
+    /// breaker replica.
+    pub fn new(shards: usize, threshold: u32, probe_every: u32) -> Self {
+        let shards = shards.max(1);
+        let mut slots: Vec<ShardSlot> = (0..shards)
+            .map(|_| ShardSlot::new(threshold, probe_every))
+            .collect();
+        // Slot 0 is the canonical replica for global reads and the
+        // process-global obs counters; the lockstep broadcast would
+        // otherwise count one logical trip once per shard.
+        for s in &mut slots[1..] {
+            s.breaker.mark_replica();
+        }
+        Self {
+            router: ShardRouter::new(shards),
+            slots,
+            next_seq: 0,
+            wal_root: None,
+        }
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether this bank runs the sharded layout (more than one shard).
+    /// One shard is *exactly* the legacy engine: flat WAL directory,
+    /// unstamped record payloads, legacy checkpoints.
+    pub fn is_sharded(&self) -> bool {
+        self.slots.len() > 1
+    }
+
+    /// The stable node → shard router.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The shard owning `node`.
+    pub fn route(&self, node: NodeId) -> usize {
+        self.router.route(node)
+    }
+
+    /// Read access to one slot.
+    pub fn slot(&self, shard: usize) -> &ShardSlot {
+        &self.slots[shard]
+    }
+
+    /// All slots in shard order.
+    pub fn slots(&self) -> &[ShardSlot] {
+        &self.slots
+    }
+
+    /// Mutable access to one shard's WAL (attached by the engine's
+    /// `open_wal`).
+    pub fn wal_mut(&mut self, shard: usize) -> Option<&mut Wal> {
+        self.slots[shard].wal.as_mut()
+    }
+
+    /// Attaches `wal` to `shard`.
+    pub fn attach_wal(&mut self, shard: usize, wal: Wal) {
+        self.slots[shard].wal = Some(wal);
+    }
+
+    /// Whether any shard has a WAL attached (all-or-nothing in practice:
+    /// `open_wal` attaches every shard's stream or fails).
+    pub fn wal_attached(&self) -> bool {
+        self.slots.iter().any(|s| s.wal.is_some())
+    }
+
+    /// Records the root directory of the sharded WAL layout.
+    pub fn set_wal_root(&mut self, root: PathBuf) {
+        self.wal_root = Some(root);
+    }
+
+    /// The sharded WAL layout's root directory, when attached.
+    pub fn wal_root(&self) -> Option<&PathBuf> {
+        self.wal_root.as_ref()
+    }
+
+    /// The next global event sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Advances the global sequence by one acknowledged event.
+    pub fn bump_seq(&mut self) {
+        self.next_seq += 1;
+    }
+
+    /// Resets the global sequence after recovery (`applied + replayed`).
+    pub fn set_next_seq(&mut self, seq: u64) {
+        self.next_seq = seq;
+    }
+
+    /// Counts one applied (live-ingested or replayed) event on `shard`.
+    pub fn note_event(&mut self, shard: usize) {
+        self.slots[shard].events += 1;
+    }
+
+    /// Counts one recovery-replayed event on `shard` (also an applied
+    /// event — callers pair this with [`ShardBank::note_event`]).
+    pub fn note_replayed(&mut self, shard: usize) {
+        self.slots[shard].replayed += 1;
+    }
+
+    /// Marks every shard as serving model epoch `version` (hot reload).
+    pub fn note_reload(&mut self, version: u64) {
+        for s in &mut self.slots {
+            s.epoch_version = version;
+        }
+    }
+
+    /// Breaker admittance for a request owned by `shard`. Advances every
+    /// replica's probe bookkeeping in lockstep, then returns the owning
+    /// replica's verdict — identical across replicas by construction, so
+    /// the verdict for a given request stream does not depend on the
+    /// shard count.
+    pub fn admit(&mut self, shard: usize) -> Admittance {
+        let mut verdict = Admittance::Closed;
+        for (k, s) in self.slots.iter_mut().enumerate() {
+            let v = s.breaker.admit();
+            if k == shard {
+                verdict = v;
+            }
+        }
+        verdict
+    }
+
+    /// Broadcasts a successful real inference to every breaker replica.
+    pub fn record_success(&mut self) {
+        for s in &mut self.slots {
+            s.breaker.record_success();
+        }
+    }
+
+    /// Broadcasts a breaker-relevant failure to every breaker replica.
+    pub fn record_failure(&mut self) {
+        for s in &mut self.slots {
+            s.breaker.record_failure();
+        }
+    }
+
+    /// Whether the breaker is open (replicas agree; slot 0 is canonical).
+    pub fn is_open(&self) -> bool {
+        self.slots[0].breaker.is_open()
+    }
+
+    /// Lifetime breaker trips (replicas agree; slot 0 is canonical —
+    /// summing replicas would multiply one logical trip by the shard
+    /// count, the `STATUS` double-counting trap).
+    pub fn trips(&self) -> u64 {
+        self.slots[0].breaker.trips()
+    }
+
+    /// Aggregate recovery stats across all attached WALs.
+    pub fn recovery_totals(&self) -> RecoveryStats {
+        let mut total = RecoveryStats::default();
+        for s in &self.slots {
+            if let Some(w) = s.wal.as_ref() {
+                let r = w.recovery_stats();
+                total.segments += r.segments;
+                total.records += r.records;
+                total.truncated_bytes += r.truncated_bytes;
+            }
+        }
+        total
+    }
+
+    /// Aggregate WAL occupancy: `(segments, bytes)` summed over shards.
+    pub fn wal_totals(&self) -> (u64, u64) {
+        let mut segments = 0u64;
+        let mut bytes = 0u64;
+        for s in &self.slots {
+            if let Some(w) = s.wal.as_ref() {
+                segments += w.segment_count() as u64;
+                bytes += w.total_bytes();
+            }
+        }
+        (segments, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shards_behaves_as_one_and_routing_is_total() {
+        let bank = ShardBank::new(0, 3, 4);
+        assert_eq!(bank.shards(), 1);
+        assert!(!bank.is_sharded());
+        let bank = ShardBank::new(4, 3, 4);
+        for node in 0..10_000u32 {
+            assert!(bank.route(node) < 4, "node {node} routed out of range");
+        }
+    }
+
+    #[test]
+    fn breaker_replicas_stay_in_lockstep() {
+        // Drive a bank of 8 replicas and a single reference breaker with
+        // the same call sequence; the owning-shard verdict must match the
+        // single breaker's at every step, for any owner.
+        let mut bank = ShardBank::new(8, 2, 3);
+        let mut reference = CircuitBreaker::new(2, 3);
+        let script = [
+            "fail", "fail", // trips
+            "admit", "admit", "admit", // shorted, shorted, probe
+            "ok",    // probe success closes
+            "admit", // closed
+            "fail", "fail", // trips again
+            "admit",
+        ];
+        for (i, step) in script.iter().enumerate() {
+            match *step {
+                "fail" => {
+                    bank.record_failure();
+                    reference.record_failure();
+                }
+                "ok" => {
+                    bank.record_success();
+                    reference.record_success();
+                }
+                "admit" => {
+                    let want = reference.admit();
+                    // Rotate the owning shard to prove the verdict is
+                    // owner-independent.
+                    let got = bank.admit(i % 8);
+                    assert_eq!(got, want, "step {i}");
+                }
+                _ => unreachable!(),
+            }
+            for (k, slot) in bank.slots().iter().enumerate() {
+                assert_eq!(
+                    slot.breaker().is_open(),
+                    reference.is_open(),
+                    "replica {k} diverged at step {i}"
+                );
+                assert_eq!(
+                    slot.breaker().trips(),
+                    reference.trips(),
+                    "replica {k} trip count diverged at step {i}"
+                );
+            }
+        }
+        assert_eq!(bank.trips(), reference.trips());
+    }
+
+    #[test]
+    fn only_the_canonical_replica_feeds_global_counters() {
+        // One logical trip reaches 8 lockstep replicas; only slot 0 may
+        // feed the process-global `serve.breaker_trips` counter, or STATS
+        // dashboards would see the shard count, not the trip count.
+        let bank = ShardBank::new(8, 1, 1);
+        assert!(bank.slot(0).breaker().is_counted());
+        for (k, slot) in bank.slots().iter().enumerate().skip(1) {
+            assert!(!slot.breaker().is_counted(), "replica {k} still counted");
+        }
+        // The legacy single-shard bank keeps the counting breaker.
+        assert!(ShardBank::new(1, 1, 1).slot(0).breaker().is_counted());
+    }
+
+    #[test]
+    fn sequence_is_dense_and_resettable() {
+        let mut bank = ShardBank::new(2, 3, 4);
+        assert_eq!(bank.next_seq(), 0);
+        bank.bump_seq();
+        bank.bump_seq();
+        assert_eq!(bank.next_seq(), 2);
+        bank.set_next_seq(10);
+        assert_eq!(bank.next_seq(), 10);
+    }
+
+    #[test]
+    fn per_shard_counters_accumulate_independently() {
+        let mut bank = ShardBank::new(3, 3, 4);
+        bank.note_event(0);
+        bank.note_event(2);
+        bank.note_event(2);
+        bank.note_replayed(2);
+        assert_eq!(bank.slot(0).events(), 1);
+        assert_eq!(bank.slot(1).events(), 0);
+        assert_eq!(bank.slot(2).events(), 2);
+        assert_eq!(bank.slot(2).replayed(), 1);
+        bank.note_reload(5);
+        for s in bank.slots() {
+            assert_eq!(s.epoch_version(), 5);
+        }
+    }
+}

@@ -18,17 +18,25 @@ use cpdg::core::checkpoint::CheckpointConfig;
 use cpdg::core::error::CpdgError;
 use cpdg::core::pretrain::{pretrain_resumable, PretrainConfig, PretrainRuntime};
 use cpdg::core::storage::FS_STORAGE;
-use cpdg::dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor};
+use cpdg::core::ModelFile;
+use cpdg::dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor, MemorySnapshot};
 use cpdg::graph::loader::{write_jodie_csv, LoadOptions};
 use cpdg::graph::{generate, SyntheticConfig, SyntheticDataset};
+use cpdg::serve::{parse_line, Engine, EngineConfig};
 use cpdg::tensor::optim::Adam;
-use cpdg::tensor::ParamStore;
+use cpdg::tensor::{Matrix, ParamStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 
 fn tiny_dataset(seed: u64) -> SyntheticDataset {
-    generate(&SyntheticConfig { n_events: 600, ..SyntheticConfig::amazon_like(seed) }.scaled(0.12))
+    generate(
+        &SyntheticConfig {
+            n_events: 600,
+            ..SyntheticConfig::amazon_like(seed)
+        }
+        .scaled(0.12),
+    )
 }
 
 /// Deterministic model builder: same inputs, same initialisation — the
@@ -43,7 +51,12 @@ fn build(num_nodes: usize, seed: u64) -> (ParamStore, DgnnEncoder, LinkPredictor
 }
 
 fn pcfg() -> PretrainConfig {
-    PretrainConfig { epochs: 1, batch_size: 50, n_checkpoints: 4, ..Default::default() }
+    PretrainConfig {
+        epochs: 1,
+        batch_size: 50,
+        n_checkpoints: 4,
+        ..Default::default()
+    }
 }
 
 fn test_dir(name: &str) -> PathBuf {
@@ -79,9 +92,21 @@ fn transient_faults_are_retried_to_a_bit_identical_run() {
     // self-clearing under retry: the hit counter advances on each retry, so
     // an `nth`/`every` rule stops matching on the next consultation.
     let plan = FaultPlan::new(42)
-        .with(FaultPoint::StorageWrite, FaultKind::Transient, Trigger::Every { k: 3 })
-        .with(FaultPoint::SamplerBatch, FaultKind::Transient, Trigger::Nth { n: 2 })
-        .with(FaultPoint::MemoryUpdate, FaultKind::Transient, Trigger::Nth { n: 3 });
+        .with(
+            FaultPoint::StorageWrite,
+            FaultKind::Transient,
+            Trigger::Every { k: 3 },
+        )
+        .with(
+            FaultPoint::SamplerBatch,
+            FaultKind::Transient,
+            Trigger::Nth { n: 2 },
+        )
+        .with(
+            FaultPoint::MemoryUpdate,
+            FaultKind::Transient,
+            Trigger::Nth { n: 3 },
+        );
     let hook = FaultHook::install(&plan);
 
     let dir = test_dir("transient");
@@ -95,7 +120,11 @@ fn transient_faults_are_retried_to_a_bit_identical_run() {
         &ds.graph,
         &pcfg(),
         &PretrainRuntime {
-            checkpoint: Some(CheckpointConfig { dir: dir.clone(), every_n_steps: 3, keep: 3 }),
+            checkpoint: Some(CheckpointConfig {
+                dir: dir.clone(),
+                every_n_steps: 3,
+                keep: 3,
+            }),
             chaos: hook.clone(),
             ..PretrainRuntime::default()
         },
@@ -103,7 +132,11 @@ fn transient_faults_are_retried_to_a_bit_identical_run() {
     .expect("transient faults must be absorbed by retry");
 
     // The plan actually fired — this test is not vacuous.
-    assert!(hook.injected() >= 3, "expected several injections, got {}", hook.injected());
+    assert!(
+        hook.injected() >= 3,
+        "expected several injections, got {}",
+        hook.injected()
+    );
     assert!(hook.injected_at(FaultPoint::StorageWrite) > 0);
     assert!(hook.injected_at(FaultPoint::SamplerBatch) > 0);
     assert!(hook.injected_at(FaultPoint::MemoryUpdate) > 0);
@@ -111,7 +144,10 @@ fn transient_faults_are_retried_to_a_bit_identical_run() {
     // …and left no trace: parameters and losses match the fault-free run
     // bit for bit.
     let losses: Vec<u32> = out.epoch_losses.iter().map(|e| e.total.to_bits()).collect();
-    assert_eq!(losses, ref_losses, "epoch losses diverged under transient chaos");
+    assert_eq!(
+        losses, ref_losses,
+        "epoch losses diverged under transient chaos"
+    );
     assert_eq!(
         store.to_json(),
         ref_store.to_json(),
@@ -128,12 +164,19 @@ fn permanent_ckpt_save_fault_crashes_then_resumes_bit_identically() {
     // Plan 2: the second checkpoint publish dies permanently — retry must
     // give up immediately (permanent faults are not transient) and the run
     // must surface a typed I/O error mid-stream.
-    let plan = FaultPlan::new(7)
-        .with(FaultPoint::CkptSave, FaultKind::Permanent, Trigger::Nth { n: 2 });
+    let plan = FaultPlan::new(7).with(
+        FaultPoint::CkptSave,
+        FaultKind::Permanent,
+        Trigger::Nth { n: 2 },
+    );
     let hook = FaultHook::install(&plan);
 
     let dir = test_dir("ckpt_crash");
-    let ckpt = CheckpointConfig { dir: dir.clone(), every_n_steps: 3, keep: 3 };
+    let ckpt = CheckpointConfig {
+        dir: dir.clone(),
+        every_n_steps: 3,
+        keep: 3,
+    };
     let (mut store, mut enc, head) = build(ds.graph.num_nodes(), 11);
     let mut opt = Adam::new(1e-2);
     let err = pretrain_resumable(
@@ -164,12 +207,23 @@ fn permanent_ckpt_save_fault_crashes_then_resumes_bit_identically() {
         &mut opt,
         &ds.graph,
         &pcfg(),
-        &PretrainRuntime { checkpoint: Some(ckpt), resume: true, ..PretrainRuntime::default() },
+        &PretrainRuntime {
+            checkpoint: Some(ckpt),
+            resume: true,
+            ..PretrainRuntime::default()
+        },
     )
     .expect("resume after the injected crash");
 
-    let losses: Vec<u32> = resumed.epoch_losses.iter().map(|e| e.total.to_bits()).collect();
-    assert_eq!(losses, ref_losses, "epoch losses diverged across crash+resume");
+    let losses: Vec<u32> = resumed
+        .epoch_losses
+        .iter()
+        .map(|e| e.total.to_bits())
+        .collect();
+    assert_eq!(
+        losses, ref_losses,
+        "epoch losses diverged across crash+resume"
+    );
     assert_eq!(
         store.to_json(),
         ref_store.to_json(),
@@ -184,7 +238,12 @@ fn quarantined_malformed_rows_leave_downstream_metrics_untouched() {
     let dir = test_dir("ingest");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("data.csv");
-    write_jodie_csv(&ds.graph, ds.num_users, std::fs::File::create(&path).unwrap()).unwrap();
+    write_jodie_csv(
+        &ds.graph,
+        ds.num_users,
+        std::fs::File::create(&path).unwrap(),
+    )
+    .unwrap();
 
     // Fault-free parse of the same bytes.
     let clean = load_jodie_chaos(
@@ -200,8 +259,11 @@ fn quarantined_malformed_rows_leave_downstream_metrics_untouched() {
     // Plan 3: splice a malformed line in front of every 40th data row. The
     // lenient loader must set each one aside and reconstruct the exact
     // clean graph.
-    let plan = FaultPlan::new(3)
-        .with(FaultPoint::LoaderRow, FaultKind::Permanent, Trigger::Every { k: 40 });
+    let plan = FaultPlan::new(3).with(
+        FaultPoint::LoaderRow,
+        FaultKind::Permanent,
+        Trigger::Every { k: 40 },
+    );
     let hook = FaultHook::install(&plan);
     let dirty = load_jodie_chaos(
         &FS_STORAGE,
@@ -243,7 +305,10 @@ fn quarantined_malformed_rows_leave_downstream_metrics_untouched() {
     let (clean_params, clean_bits) = run(&clean.graph);
     let (dirty_params, dirty_bits) = run(&dirty.graph);
     assert_eq!(dirty_bits, clean_bits, "losses diverged after quarantine");
-    assert_eq!(dirty_params, clean_params, "parameters diverged after quarantine");
+    assert_eq!(
+        dirty_params, clean_params,
+        "parameters diverged after quarantine"
+    );
 
     // Strict mode refuses the same injected stream with a parse error.
     let strict_hook = FaultHook::install(&plan);
@@ -259,19 +324,122 @@ fn quarantined_malformed_rows_leave_downstream_metrics_untouched() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The serve-side `shard.route` fault point: a faulted `EVENT` is
+/// rejected with `ERR exec` *before* it reaches any WAL stream or the
+/// encoder, the rejection leaves no trace (an engine fed only the
+/// accepted events answers identically), and — because routing is
+/// consulted exactly once per `EVENT` at any shard count — the whole
+/// faulted trace is itself shard-count-invariant.
+#[test]
+fn shard_route_faults_reject_identically_at_any_shard_count() {
+    const NODES: usize = 12;
+    const DIM: usize = 8;
+    let model = {
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, DIM, 100.0);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(19);
+        let _enc = DgnnEncoder::new(&mut store, &mut rng, "enc", NODES, cfg.clone());
+        let _head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", DIM);
+        let states = Matrix::from_vec(NODES, DIM, vec![0.1; NODES * DIM]);
+        ModelFile::new(
+            cfg,
+            NODES,
+            store,
+            vec![MemorySnapshot {
+                states,
+                progress: 1.0,
+            }],
+        )
+    };
+    let events: Vec<String> = (0..8u32)
+        .map(|i| format!("EVENT {} {} {}.0", i % 6, (i + 1) % 6, i + 1))
+        .collect();
+    let queries: Vec<String> = (0..6u32).map(|i| format!("EMB {i} 9.0")).collect();
+    let exec = |engine: &Engine, line: &str| -> String {
+        engine
+            .execute(parse_line(line).expect("script line"))
+            .render()
+    };
+
+    let run = |shards: usize| -> (Vec<String>, u64) {
+        let plan = FaultPlan::new(13).with(
+            FaultPoint::ShardRoute,
+            FaultKind::Permanent,
+            Trigger::Nth { n: 3 },
+        );
+        let hook = FaultHook::install(&plan);
+        let engine = Engine::from_model(
+            &model,
+            EngineConfig {
+                shards,
+                ..EngineConfig::default()
+            },
+            hook.clone(),
+        );
+        let mut replies: Vec<String> = events.iter().map(|l| exec(&engine, l)).collect();
+        replies.extend(queries.iter().map(|l| exec(&engine, l)));
+        (replies, hook.injected_at(FaultPoint::ShardRoute))
+    };
+
+    let (reference, injected) = run(1);
+    assert_eq!(injected, 1, "the route fault fired exactly once");
+    assert!(
+        reference[2].starts_with("ERR exec "),
+        "3rd EVENT must be rejected at routing: {}",
+        reference[2]
+    );
+
+    // Exactly-once: a fault-free engine fed only the accepted events
+    // answers every query identically — the rejected event left no trace.
+    let clean = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+    for (i, line) in events.iter().enumerate() {
+        if i != 2 {
+            assert!(
+                exec(&clean, line).starts_with("OK "),
+                "clean ingest {line:?}"
+            );
+        }
+    }
+    for (q, expect) in queries.iter().zip(&reference[events.len()..]) {
+        assert_eq!(
+            &exec(&clean, q),
+            expect,
+            "accepted-only state diverged at {q}"
+        );
+    }
+
+    let (sharded, injected) = run(4);
+    assert_eq!(injected, 1);
+    assert_eq!(
+        sharded, reference,
+        "shard.route chaos trace diverges at 4 shards"
+    );
+}
+
 #[test]
 fn probability_triggers_are_reproducible_across_identical_plans() {
     // The `prob` trigger must be a pure function of (seed, point, hit):
     // two hooks built from the same plan inject at exactly the same hits.
-    let plan = FaultPlan::new(99)
-        .with(FaultPoint::SamplerBatch, FaultKind::Transient, Trigger::Prob { p: 0.3 });
+    let plan = FaultPlan::new(99).with(
+        FaultPoint::SamplerBatch,
+        FaultKind::Transient,
+        Trigger::Prob { p: 0.3 },
+    );
     let trace = |plan: &FaultPlan| -> Vec<bool> {
         let hook = FaultHook::install(plan);
-        (0..200).map(|_| hook.check(FaultPoint::SamplerBatch).is_err()).collect()
+        (0..200)
+            .map(|_| hook.check(FaultPoint::SamplerBatch).is_err())
+            .collect()
     };
     let a = trace(&plan);
     let b = trace(&plan);
-    assert_eq!(a, b, "identical plans must produce identical fault schedules");
+    assert_eq!(
+        a, b,
+        "identical plans must produce identical fault schedules"
+    );
     let fired = a.iter().filter(|&&f| f).count();
-    assert!(fired > 20 && fired < 100, "p=0.3 over 200 hits fired {fired} times");
+    assert!(
+        fired > 20 && fired < 100,
+        "p=0.3 over 200 hits fired {fired} times"
+    );
 }

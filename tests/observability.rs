@@ -5,11 +5,18 @@
 //! actually ran. Parsing goes through `serde_json`, deliberately a
 //! different JSON implementation than the hand-rolled writer in `cpdg-obs`.
 
+use cpdg::core::chaos::{FaultHook, FaultKind, FaultPlan, FaultPoint, Trigger};
 use cpdg::core::pipeline::{run_link_prediction, PipelineConfig};
-use cpdg::dgnn::EncoderKind;
+use cpdg::core::wal::WalConfig;
+use cpdg::core::ModelFile;
+use cpdg::dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor, MemorySnapshot};
 use cpdg::graph::split::time_transfer;
 use cpdg::graph::{generate, SyntheticConfig};
 use cpdg::obs::{Json, RunDir};
+use cpdg::serve::{parse_line, Engine, EngineConfig};
+use cpdg::tensor::{Matrix, ParamStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn quick(mut cfg: PipelineConfig) -> PipelineConfig {
     cfg.dim = 8;
@@ -27,7 +34,11 @@ fn quick(mut cfg: PipelineConfig) -> PipelineConfig {
 fn pipeline_leaves_a_parseable_provenance_trail() {
     let dir = std::env::temp_dir().join(format!("cpdg_obs_e2e_{}", std::process::id()));
     let ds = generate(
-        &SyntheticConfig { n_events: 1200, ..SyntheticConfig::amazon_like(11) }.scaled(0.15),
+        &SyntheticConfig {
+            n_events: 1200,
+            ..SyntheticConfig::amazon_like(11)
+        }
+        .scaled(0.15),
     );
     let split = time_transfer(&ds.graph, 0.6).unwrap();
     let cfg = quick(PipelineConfig::cpdg(EncoderKind::Tgn).with_seed(11));
@@ -65,7 +76,10 @@ fn pipeline_leaves_a_parseable_provenance_trail() {
         );
     }
     assert!(
-        manifest["spans"]["pretrain.step_us"]["count"].as_u64().unwrap_or(0) > 0,
+        manifest["spans"]["pretrain.step_us"]["count"]
+            .as_u64()
+            .unwrap_or(0)
+            > 0,
         "{}",
         manifest["spans"]
     );
@@ -73,8 +87,10 @@ fn pipeline_leaves_a_parseable_provenance_trail() {
     // metrics.jsonl: every line parses; the expected per-epoch records are
     // present with loss values and counter deltas.
     let metrics = std::fs::read_to_string(dir.join("metrics.jsonl")).unwrap();
-    let records: Vec<serde_json::Value> =
-        metrics.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+    let records: Vec<serde_json::Value> = metrics
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
     let events = |name: &str| -> Vec<&serde_json::Value> {
         records.iter().filter(|r| r["event"] == name).collect()
     };
@@ -89,6 +105,143 @@ fn pipeline_leaves_a_parseable_provenance_trail() {
     let result = events("finetune_result");
     assert_eq!(result.len(), 1, "{metrics}");
     assert!(result[0]["auc"].as_f64().unwrap().is_finite());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sharded `STATUS` aggregation, watched through a capture sink: after a
+/// crash + merge-replay recovery at 4 shards, one breaker trip, and one
+/// worker panic, the merged line must report per-shard breaker / queue /
+/// WAL state while keeping the global fields *singular* — `breaker_trips`
+/// reads the canonical replica (a lockstep bank would otherwise multiply
+/// one logical trip by the shard count), `worker_panics` stays global
+/// only, and per-shard event counts sum to the global one. Recovery's
+/// structured log record is asserted through the additive capture sink.
+#[test]
+fn sharded_status_aggregates_without_double_counting() {
+    const NODES: usize = 12;
+    const DIM: usize = 8;
+    const SHARDS: usize = 4;
+    let model = {
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, DIM, 100.0);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let _enc = DgnnEncoder::new(&mut store, &mut rng, "enc", NODES, cfg.clone());
+        let _head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", DIM);
+        let states = Matrix::from_vec(NODES, DIM, vec![0.1; NODES * DIM]);
+        ModelFile::new(
+            cfg,
+            NODES,
+            store,
+            vec![MemorySnapshot {
+                states,
+                progress: 1.0,
+            }],
+        )
+    };
+    let dir = std::env::temp_dir().join(format!("cpdg_obs_shard_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let exec = |engine: &Engine, line: &str| -> String {
+        engine
+            .execute(parse_line(line).expect("script line"))
+            .render()
+    };
+    let config = EngineConfig {
+        shards: SHARDS,
+        ..EngineConfig::default()
+    };
+
+    // Ingest six events into per-shard WAL streams, then crash (drop — no
+    // drain, no checkpoint).
+    {
+        let engine = Engine::from_model(&model, config.clone(), FaultHook::none());
+        engine.open_wal(&dir, WalConfig::default()).unwrap();
+        for i in 0..6u32 {
+            let line = format!("EVENT {} {} {}.0", i % 6, (i + 1) % 6, i + 1);
+            assert!(exec(&engine, &line).starts_with("OK "), "{line}");
+        }
+    }
+
+    let cap = cpdg::obs::capture();
+    // Recover under a plan that fails every inference: threshold 3 trips
+    // the replicated breaker bank exactly once (logically).
+    let plan = FaultPlan::new(29).with(
+        FaultPoint::ServeInfer,
+        FaultKind::Transient,
+        Trigger::Every { k: 1 },
+    );
+    let engine = Engine::from_model(&model, config, FaultHook::install(&plan));
+    engine.open_wal(&dir, WalConfig::default()).unwrap();
+    assert!(
+        cap.any_message_contains("sharded WAL recovery complete"),
+        "recovery must log through the sinks: {:?}",
+        cap.records_for("serve")
+    );
+    for i in 0..3u32 {
+        let r = exec(&engine, &format!("EMB {i} 9.0"));
+        assert!(r.starts_with("DEGRADED "), "faulted inference {i}: {r}");
+    }
+    engine.note_worker_panic();
+
+    let status = exec(&engine, "STATUS");
+    for key in [
+        " shards=4",
+        " breaker=open",
+        " breaker_trips=1",
+        " worker_panics=1",
+        " wal=1",
+        " recovered_replayed=6",
+        " wal_next_index=6",
+    ] {
+        assert!(status.contains(key), "missing {key:?} in {status}");
+    }
+    for k in 0..SHARDS {
+        for key in [
+            format!("shard{k}.breaker=open"),
+            format!("shard{k}.breaker_trips=1"),
+            format!("shard{k}.queue_depth=0"),
+        ] {
+            assert!(status.contains(&key), "missing {key:?} in {status}");
+        }
+    }
+    // No double counting: `worker_panics` has no per-shard variant (the
+    // pool supervisor is global), and the global breaker fields read the
+    // canonical replica instead of summing the lockstep bank.
+    assert_eq!(
+        status.matches("worker_panics=").count(),
+        1,
+        "worker_panics must appear exactly once: {status}"
+    );
+    assert!(
+        !status.contains("breaker_trips=4"),
+        "lockstep replicas were summed: {status}"
+    );
+    // Per-shard applied-event counts partition the global count.
+    let field = |key: &str| -> u64 {
+        let at = status
+            .find(key)
+            .unwrap_or_else(|| panic!("missing {key:?} in {status}"))
+            + key.len();
+        status[at..]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let per_shard: u64 = (0..SHARDS)
+        .map(|k| field(&format!("shard{k}.events=")))
+        .sum();
+    assert_eq!(
+        per_shard,
+        field(" events="),
+        "shard events must sum to the global count"
+    );
+    let replayed: u64 = (0..SHARDS)
+        .map(|k| field(&format!("shard{k}.replayed=")))
+        .sum();
+    assert_eq!(replayed, 6, "all six events replayed across the shards");
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,457 @@
+//! Shard suite: the shard-count-invariance oracle.
+//!
+//! The sharded serving engine partitions the *durability and resilience*
+//! domain — WAL streams, breaker replicas, admission queues — by node id,
+//! while the DGNN compute core stays shared and serialised. The contract
+//! that makes `--shards N` safe to deploy is therefore an invariance, not
+//! a behaviour: **the same event and query streams must produce
+//! bit-identical replies at 1, 2, and 8 shards**, including under drain,
+//! hot reload, breaker trips, and crash recovery. "Bit-identical" is
+//! literal — rendered reply strings and drained memory files are compared
+//! verbatim.
+//!
+//! Alongside the oracle, property tests pin the routing map itself:
+//! * routing is *total* — every node id maps to one in-range shard at any
+//!   shard count;
+//! * routing is *stable* — a rebuilt router (a restart) produces the same
+//!   map, and the engine-side [`ShardBank`] agrees with the raw
+//!   [`ShardRouter`], so a replayed WAL record always lands on the shard
+//!   that originally owned it (asserted directly against on-disk
+//!   `wal.shard<k>/` streams below).
+//!
+//! Topology-dependent surfaces (`STATUS` reports `shards=N` and per-shard
+//! blocks by design) stay out of the compared scripts; their shape is
+//! covered by the serve crate's inline tests and `observability.rs`.
+
+use cpdg::core::chaos::{FaultHook, FaultKind, FaultPlan, FaultPoint, Trigger};
+use cpdg::core::storage::FS_STORAGE;
+use cpdg::core::wal::{decode_event_seq, shard_dir, Wal, WalConfig};
+use cpdg::core::ModelFile;
+use cpdg::dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor, MemorySnapshot};
+use cpdg::graph::ShardRouter;
+use cpdg::serve::{parse_line, Engine, EngineConfig, Server, ServerConfig, ShardBank};
+use cpdg::tensor::{Matrix, ParamStore};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const NODES: usize = 12;
+const DIM: usize = 8;
+/// Every oracle below runs at these shard counts; 1 is the legacy layout.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A model bundle shaped like `cpdg pretrain` writes (namespaces `enc` /
+/// `pretext_head`), so engines built from it serve real replies.
+fn trained_model(seed: u64) -> ModelFile {
+    let cfg = DgnnConfig::preset(EncoderKind::Tgn, DIM, 100.0);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _enc = DgnnEncoder::new(&mut store, &mut rng, "enc", NODES, cfg.clone());
+    let _head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", DIM);
+    let states = Matrix::from_vec(
+        NODES,
+        DIM,
+        (0..NODES * DIM)
+            .map(|i| ((i % 11) as f32) * 0.03 - 0.15)
+            .collect(),
+    );
+    ModelFile::new(
+        cfg,
+        NODES,
+        store,
+        vec![MemorySnapshot {
+            states,
+            progress: 1.0,
+        }],
+    )
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpdg_shard_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sharded_config(shards: usize) -> EngineConfig {
+    EngineConfig {
+        shards,
+        ..EngineConfig::default()
+    }
+}
+
+/// Small segments so multi-event streams cross rotation boundaries in
+/// every shard's log, not just the single-shard one.
+fn tiny_segments() -> WalConfig {
+    WalConfig {
+        segment_bytes: 64,
+        ..WalConfig::default()
+    }
+}
+
+fn exec(engine: &Engine, line: &str) -> String {
+    let cmd = parse_line(line).unwrap_or_else(|e| panic!("bad script line {line:?}: {e}"));
+    engine.execute(cmd).render()
+}
+
+/// The ingestion stream: node pairs chosen so that routing at 2, 4, and 8
+/// shards spreads events across several `wal.shard<k>/` streams.
+fn events() -> Vec<String> {
+    (0..10u32)
+        .map(|i| format!("EVENT {} {} {}.0", i % 6, (i + 1) % 6, i + 1))
+        .collect()
+}
+
+/// Deterministic queries (explicit timestamps) probing the ingested state.
+fn queries() -> Vec<String> {
+    let mut q = Vec::new();
+    for i in 0..6u32 {
+        q.push(format!("EMB {i} 10.0"));
+        q.push(format!("SCORE {} {} 10.0", i, (i + 3) % 6));
+    }
+    q
+}
+
+/// Replies of an uninterrupted, WAL-less, single-shard engine over the
+/// same stream — the reference every sharded run is compared against.
+fn reference_replies(model: &ModelFile, accepted: &[String]) -> Vec<String> {
+    let engine = Engine::from_model(model, EngineConfig::default(), FaultHook::none());
+    for line in accepted {
+        let r = exec(&engine, line);
+        assert!(
+            r.starts_with("OK "),
+            "reference ingest failed: {line:?} -> {r}"
+        );
+    }
+    queries().iter().map(|q| exec(&engine, q)).collect()
+}
+
+/// Runs a script over a real TCP server at the given topology, drains,
+/// persists memory, and returns `(replies, drained memory bytes)`.
+fn run_serve(
+    script: &[String],
+    shards: usize,
+    workers: usize,
+    plan: Option<&FaultPlan>,
+    model: &ModelFile,
+    mem_path: &Path,
+) -> (Vec<String>, Vec<u8>) {
+    let hook = match plan {
+        Some(p) => FaultHook::install(p),
+        None => FaultHook::none(),
+    };
+    let engine = Arc::new(Engine::from_model(model, sharded_config(shards), hook));
+    let server = Server::start(
+        Arc::clone(&engine),
+        &ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind serve");
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut replies = Vec::with_capacity(script.len());
+    for line in script {
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            !reply.is_empty(),
+            "connection closed mid-script at {line:?}"
+        );
+        replies.push(reply.trim_end().to_string());
+    }
+    drop((stream, reader));
+    let engine = server.shutdown();
+    engine
+        .persist_memory(&FS_STORAGE, mem_path)
+        .expect("persist drained memory");
+    let bytes = std::fs::read(mem_path).unwrap();
+    (replies, bytes)
+}
+
+/// Events then queries, `STATUS`/`STATS` excluded: those report topology
+/// and shed counts, which differ across shard counts by design.
+fn invariance_script() -> Vec<String> {
+    let mut s = vec!["PING".to_string()];
+    s.extend(events());
+    s.extend(queries());
+    s.push("PING".to_string());
+    s
+}
+
+// ---------------------------------------------------------------------
+// The tentpole oracle: bit-identical replies and drained memory at
+// 1 / 2 / 8 shards, each crossed with 1 / 4 workers per shard.
+// ---------------------------------------------------------------------
+
+#[test]
+fn replies_and_drained_memory_are_invariant_across_shard_counts() {
+    let model = trained_model(21);
+    let script = invariance_script();
+    let dir = test_dir("invariance");
+    let (reference, reference_mem) =
+        run_serve(&script, 1, 1, None, &model, &dir.join("mem_ref.json"));
+    for r in &reference {
+        assert!(r.starts_with("OK v1 "), "fault-free reference reply: {r}");
+    }
+    for shards in SHARD_COUNTS {
+        for workers in [1usize, 4] {
+            let mem_path = dir.join(format!("mem_s{shards}_w{workers}.json"));
+            let (replies, mem) = run_serve(&script, shards, workers, None, &model, &mem_path);
+            assert_eq!(
+                replies, reference,
+                "replies diverge at shards={shards} workers={workers}"
+            );
+            assert_eq!(
+                mem, reference_mem,
+                "drained memory diverges at shards={shards} workers={workers}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn breaker_trips_and_degraded_fallback_are_invariant_across_shard_counts() {
+    let model = trained_model(23);
+    // Every inference fails: the replicated breaker bank must trip in
+    // lockstep at any shard count, and the degraded static-embedding
+    // fallback (plus count-based probes, which also fail) must render the
+    // exact same reply stream everywhere. Events keep succeeding — only
+    // the query path is broken.
+    let plan = FaultPlan::new(31).with(
+        FaultPoint::ServeInfer,
+        FaultKind::Transient,
+        Trigger::Every { k: 1 },
+    );
+    let mut script = events();
+    script.extend(queries());
+    let run = |shards: usize| -> Vec<String> {
+        let engine = Engine::from_model(&model, sharded_config(shards), FaultHook::install(&plan));
+        script.iter().map(|line| exec(&engine, line)).collect()
+    };
+    let reference = run(1);
+    assert!(
+        reference.iter().any(|r| r.starts_with("DEGRADED ")),
+        "fault plan never tripped the breaker: {reference:?}"
+    );
+    for shards in SHARD_COUNTS {
+        assert_eq!(run(shards), reference, "shards={shards}");
+    }
+}
+
+#[test]
+fn hot_reload_is_invariant_across_shard_counts() {
+    let model = trained_model(25);
+    let dir = test_dir("reload");
+    let next_path = dir.join("next_model.cpdg");
+    trained_model(26).save(&next_path).unwrap();
+    let mut script: Vec<String> = events()[..4].to_vec();
+    script.push(format!("RELOAD {}", next_path.display()));
+    script.extend(events()[4..].iter().cloned());
+    script.extend(queries());
+    let run = |shards: usize| -> Vec<String> {
+        let engine = Engine::from_model(&model, sharded_config(shards), FaultHook::none());
+        script.iter().map(|line| exec(&engine, line)).collect()
+    };
+    let reference = run(1);
+    assert!(
+        reference[4].starts_with("OK v2 reloaded"),
+        "reload reply: {}",
+        reference[4]
+    );
+    assert!(
+        reference.last().unwrap().starts_with("OK v2 "),
+        "post-reload replies are v2: {:?}",
+        reference.last()
+    );
+    for shards in SHARD_COUNTS {
+        assert_eq!(run(shards), reference, "shards={shards}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery: a mid-stream kill -9 analog at every shard count must
+// recover to the exact same replies as an uninterrupted single-shard run,
+// cold (merge-replay) and warm (checkpoint + empty suffix).
+// ---------------------------------------------------------------------
+
+#[test]
+fn crash_recovery_is_invariant_across_shard_counts() {
+    let model = trained_model(7);
+    let stream = events();
+    let cut = 7usize;
+    let reference = reference_replies(&model, &stream);
+    for shards in SHARD_COUNTS {
+        let dir = test_dir(&format!("crash{shards}"));
+        let engine = Engine::from_model(&model, sharded_config(shards), FaultHook::none());
+        engine.open_wal(&dir, tiny_segments()).unwrap();
+        for line in &stream[..cut] {
+            let r = exec(&engine, line);
+            assert!(r.starts_with("OK "), "shards={shards} {line:?} -> {r}");
+        }
+        // kill -9 analog: no drain, no checkpoint, no final sync.
+        drop(engine);
+
+        let recovered = Engine::from_model(&model, sharded_config(shards), FaultHook::none());
+        let report = recovered.open_wal(&dir, tiny_segments()).unwrap();
+        assert_eq!(report.replayed, cut as u64, "shards={shards}");
+        for line in &stream[cut..] {
+            let r = exec(&recovered, line);
+            assert!(r.starts_with("OK "), "shards={shards} {line:?} -> {r}");
+        }
+        let got: Vec<String> = queries().iter().map(|q| exec(&recovered, q)).collect();
+        assert_eq!(got, reference, "cold recovery at shards={shards}");
+
+        // Checkpoint, crash again, warm-start: nothing left to replay.
+        recovered.checkpoint_wal(&FS_STORAGE).unwrap();
+        drop(recovered);
+        let warm = Engine::from_model(&model, sharded_config(shards), FaultHook::none());
+        let report = warm.open_wal(&dir, tiny_segments()).unwrap();
+        assert_eq!(
+            report.checkpoint_applied,
+            stream.len() as u64,
+            "shards={shards}"
+        );
+        assert_eq!(report.replayed, 0, "shards={shards}");
+        let got: Vec<String> = queries().iter().map(|q| exec(&warm, q)).collect();
+        assert_eq!(got, reference, "warm recovery at shards={shards}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn shard_count_mismatch_is_a_typed_refusal() {
+    let model = trained_model(7);
+
+    // A checkpoint written at --shards 2 must refuse every other count.
+    let dir = test_dir("mismatch");
+    let engine = Engine::from_model(&model, sharded_config(2), FaultHook::none());
+    engine.open_wal(&dir, tiny_segments()).unwrap();
+    for line in &events()[..4] {
+        exec(&engine, line);
+    }
+    engine.checkpoint_wal(&FS_STORAGE).unwrap();
+    drop(engine);
+    for wrong in [4usize, 8] {
+        let e = Engine::from_model(&model, sharded_config(wrong), FaultHook::none());
+        let err = e.open_wal(&dir, tiny_segments()).unwrap_err().to_string();
+        assert!(
+            err.contains("--shards"),
+            "shards=2 checkpoint opened at {wrong}: {err}"
+        );
+    }
+    let legacy = Engine::from_model(&model, sharded_config(1), FaultHook::none());
+    let err = legacy
+        .open_wal(&dir, tiny_segments())
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("shard"),
+        "sharded checkpoint under legacy: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // And the converse: a legacy checkpoint refuses a sharded reopen.
+    let dir = test_dir("legacy");
+    let engine = Engine::from_model(&model, sharded_config(1), FaultHook::none());
+    engine.open_wal(&dir, tiny_segments()).unwrap();
+    for line in &events()[..4] {
+        exec(&engine, line);
+    }
+    engine.checkpoint_wal(&FS_STORAGE).unwrap();
+    drop(engine);
+    let sharded = Engine::from_model(&model, sharded_config(2), FaultHook::none());
+    let err = sharded
+        .open_wal(&dir, tiny_segments())
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("--shards 1"),
+        "legacy checkpoint under shards=2: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Routing: replayed records land on the shard that wrote them, because
+// the node→shard map is a pure function shared by the live router, the
+// engine's ShardBank, and recovery.
+// ---------------------------------------------------------------------
+
+#[test]
+fn replayed_records_land_on_their_originating_shard() {
+    let model = trained_model(7);
+    let shards = 4usize;
+    let dir = test_dir("origin");
+    let engine = Engine::from_model(&model, sharded_config(shards), FaultHook::none());
+    engine.open_wal(&dir, tiny_segments()).unwrap();
+    let stream = events();
+    for line in &stream {
+        let r = exec(&engine, line);
+        assert!(r.starts_with("OK "), "{line:?} -> {r}");
+    }
+    drop(engine);
+
+    // Walk each on-disk wal.shard<k>/ stream directly: every record's
+    // source node must route back to exactly the shard that holds it, and
+    // the union of sequence numbers must be dense — the merge-replay
+    // contiguity precondition.
+    let router = ShardRouter::new(shards);
+    let mut seqs = Vec::new();
+    for k in 0..shards {
+        let wal = Wal::open(&shard_dir(&dir, k), tiny_segments(), FaultHook::none()).unwrap();
+        wal.replay(0, |_, payload| {
+            let (seq, src, _dst, _t, _field) = decode_event_seq(payload)
+                .unwrap_or_else(|e| panic!("shard {k}: undecodable sharded frame: {e}"));
+            assert_eq!(
+                router.route(src),
+                k,
+                "seq {seq} (src {src}) persisted on shard {k}"
+            );
+            seqs.push(seq);
+            Ok(())
+        })
+        .unwrap();
+    }
+    seqs.sort_unstable();
+    let expect: Vec<u64> = (0..stream.len() as u64).collect();
+    assert_eq!(seqs, expect, "merged shard streams cover a dense seq range");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    /// Routing is total (always one in-range shard) and restart-stable
+    /// (a rebuilt router produces the same map — the property WAL
+    /// recovery relies on to re-own records after a crash).
+    #[test]
+    fn routing_is_total_and_restart_stable(node in any::<u32>(), shards in 1usize..64) {
+        let owner = ShardRouter::new(shards).route(node);
+        prop_assert!(owner < shards, "node {node} routed out of range: {owner} >= {shards}");
+        prop_assert_eq!(
+            owner,
+            ShardRouter::new(shards).route(node),
+            "a rebuilt router (restart) must agree"
+        );
+    }
+
+    /// The engine-side ShardBank and the raw router agree on ownership,
+    /// so a record appended by the bank is found by recovery's per-shard
+    /// walk — each node belongs to exactly one shard under both views.
+    #[test]
+    fn bank_and_router_agree_on_ownership(node in any::<u32>(), shards in 1usize..16) {
+        let bank = ShardBank::new(shards, 3, 4);
+        let owner = bank.route(node);
+        prop_assert_eq!(owner, ShardRouter::new(shards).route(node));
+        let claims = (0..shards).filter(|&k| k == owner).count();
+        prop_assert_eq!(claims, 1, "exactly one shard owns node {node}");
+    }
+}

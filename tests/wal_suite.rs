@@ -125,29 +125,39 @@ fn reference_replies(model: &ModelFile, accepted: &[String]) -> Vec<String> {
 fn kill_nine_at_every_cut_point_recovers_bit_identical() {
     let model = trained_model(7);
     let stream = events();
-    for cut in 0..=stream.len() {
-        let dir = test_dir(&format!("cut{cut}"));
-        let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
-        engine.open_wal(&dir, tiny_segments()).unwrap();
-        for line in &stream[..cut] {
-            let r = exec(&engine, line);
-            assert!(r.starts_with("OK "), "{line:?} -> {r}");
-        }
-        // kill -9 analog: no drain, no checkpoint, no final sync.
-        drop(engine);
+    let reference = reference_replies(&model, &stream);
+    // The oracle runs at both the legacy flat layout and the sharded one:
+    // a crash between any two requests must recover identically whether
+    // replay walks one WAL or merge-replays four `wal.shard<k>/` streams.
+    for shards in [1usize, 4] {
+        let config = EngineConfig {
+            shards,
+            ..EngineConfig::default()
+        };
+        for cut in 0..=stream.len() {
+            let dir = test_dir(&format!("cut{cut}_s{shards}"));
+            let engine = Engine::from_model(&model, config.clone(), FaultHook::none());
+            engine.open_wal(&dir, tiny_segments()).unwrap();
+            for line in &stream[..cut] {
+                let r = exec(&engine, line);
+                assert!(r.starts_with("OK "), "{line:?} -> {r}");
+            }
+            // kill -9 analog: no drain, no checkpoint, no final sync.
+            drop(engine);
 
-        let recovered = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
-        let report = recovered.open_wal(&dir, tiny_segments()).unwrap();
-        assert_eq!(report.replayed, cut as u64, "cut {cut}");
-        // Finish the stream on the recovered engine: replay + remainder
-        // must equal one uninterrupted run of the full stream.
-        for line in &stream[cut..] {
-            let r = exec(&recovered, line);
-            assert!(r.starts_with("OK "), "post-recovery {line:?} -> {r}");
+            let recovered = Engine::from_model(&model, config.clone(), FaultHook::none());
+            let report = recovered.open_wal(&dir, tiny_segments()).unwrap();
+            assert_eq!(report.replayed, cut as u64, "cut {cut} shards {shards}");
+            // Finish the stream on the recovered engine: replay + remainder
+            // must equal one uninterrupted run of the full stream.
+            for line in &stream[cut..] {
+                let r = exec(&recovered, line);
+                assert!(r.starts_with("OK "), "post-recovery {line:?} -> {r}");
+            }
+            let got: Vec<String> = queries().iter().map(|q| exec(&recovered, q)).collect();
+            assert_eq!(got, reference, "cut {cut} shards {shards}");
+            std::fs::remove_dir_all(&dir).ok();
         }
-        let got: Vec<String> = queries().iter().map(|q| exec(&recovered, q)).collect();
-        assert_eq!(got, reference_replies(&model, &stream), "cut {cut}");
-        std::fs::remove_dir_all(&dir).ok();
     }
 }
 
@@ -182,33 +192,60 @@ fn permanent_append_and_fsync_faults_reject_exactly_once() {
     let stream = events();
     // Fault the 4th hit of each point: the 4th EVENT must be rejected,
     // every other event accepted, and recovery must reconstruct exactly
-    // the accepted set — the rejected event is in neither memory nor log.
-    for point in [FaultPoint::WalAppend, FaultPoint::WalFsync] {
-        let dir = test_dir(&format!("reject_{}", point.name().replace('.', "_")));
-        let plan = FaultPlan::new(5).with(point, FaultKind::Permanent, Trigger::Nth { n: 4 });
-        let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::install(&plan));
-        engine.open_wal(&dir, tiny_segments()).unwrap();
-        let mut accepted = Vec::new();
-        for (i, line) in stream.iter().enumerate() {
-            let r = exec(&engine, line);
-            if i == 3 {
-                assert!(r.starts_with("ERR exec "), "{point:?} pos {i}: {r}");
-            } else {
-                assert!(r.starts_with("OK "), "{point:?} pos {i}: {r}");
-                accepted.push(line.clone());
+    // the accepted set — the rejected event is in neither memory nor any
+    // shard's log. Each point is consulted exactly once per EVENT at any
+    // shard count (`shard.route` by the coordinator, `wal.append` /
+    // `wal.fsync` by whichever shard stream owns the event), so the same
+    // plan rejects the same script position everywhere.
+    for shards in [1usize, 4] {
+        let config = EngineConfig {
+            shards,
+            ..EngineConfig::default()
+        };
+        for point in [
+            FaultPoint::ShardRoute,
+            FaultPoint::WalAppend,
+            FaultPoint::WalFsync,
+        ] {
+            let dir = test_dir(&format!(
+                "reject_{}_s{shards}",
+                point.name().replace('.', "_")
+            ));
+            let plan = FaultPlan::new(5).with(point, FaultKind::Permanent, Trigger::Nth { n: 4 });
+            let engine = Engine::from_model(&model, config.clone(), FaultHook::install(&plan));
+            engine.open_wal(&dir, tiny_segments()).unwrap();
+            let mut accepted = Vec::new();
+            for (i, line) in stream.iter().enumerate() {
+                let r = exec(&engine, line);
+                if i == 3 {
+                    assert!(r.starts_with("ERR exec "), "{point:?} pos {i}: {r}");
+                } else {
+                    assert!(r.starts_with("OK "), "{point:?} pos {i}: {r}");
+                    accepted.push(line.clone());
+                }
             }
-        }
-        let live: Vec<String> = queries().iter().map(|q| exec(&engine, q)).collect();
-        let reference = reference_replies(&model, &accepted);
-        assert_eq!(live, reference, "{point:?}: live replies after rejection");
-        drop(engine);
+            let live: Vec<String> = queries().iter().map(|q| exec(&engine, q)).collect();
+            let reference = reference_replies(&model, &accepted);
+            assert_eq!(
+                live, reference,
+                "{point:?} shards={shards}: live replies after rejection"
+            );
+            drop(engine);
 
-        let recovered = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
-        let report = recovered.open_wal(&dir, tiny_segments()).unwrap();
-        assert_eq!(report.replayed, accepted.len() as u64, "{point:?}");
-        let got: Vec<String> = queries().iter().map(|q| exec(&recovered, q)).collect();
-        assert_eq!(got, reference, "{point:?}: recovered replies");
-        std::fs::remove_dir_all(&dir).ok();
+            let recovered = Engine::from_model(&model, config.clone(), FaultHook::none());
+            let report = recovered.open_wal(&dir, tiny_segments()).unwrap();
+            assert_eq!(
+                report.replayed,
+                accepted.len() as u64,
+                "{point:?} shards={shards}"
+            );
+            let got: Vec<String> = queries().iter().map(|q| exec(&recovered, q)).collect();
+            assert_eq!(
+                got, reference,
+                "{point:?} shards={shards}: recovered replies"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 }
 
