@@ -1,0 +1,218 @@
+//! Seeded traffic-replay load harness for the serving engine.
+//!
+//! Replays a deterministic mixed stream (~10% `EVENT`, ~90% `EMB`/`SCORE`)
+//! against an in-process [`Engine`], coalescing contiguous query runs into
+//! fused batches exactly the way a server worker's drain loop does, and
+//! reports client-visible latency percentiles and throughput as JSON
+//! (default `BENCH_serve_load.json`, override with `--out`).
+//!
+//! Latency attribution is the pessimistic client view: every request in a
+//! drain cycle is charged the whole cycle's wall time, since the last reply
+//! of a fused batch waits for all of it. The replies themselves are
+//! bit-identical at any `--batch`/`--cache` setting (the `coalesce_suite`
+//! oracle), so this binary only reports *time*, never accuracy.
+//!
+//! Knobs: `--ops N` (default 1_000_000), `--batch N` (default 8),
+//! `--cache on|off` (default on), `--nodes N` (default 256),
+//! `--seed S` (default 17), `--out <file>`.
+
+// Bench binaries print their summaries to stdout by design.
+#![allow(clippy::disallowed_macros)]
+
+use cpdg_core::chaos::FaultHook;
+use cpdg_core::ModelFile;
+use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor, MemorySnapshot};
+use cpdg_serve::{Command, Engine, EngineConfig};
+use cpdg_tensor::{Matrix, ParamStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const DIM: usize = 16;
+
+fn arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn serving_model(nodes: usize, seed: u64) -> ModelFile {
+    let cfg = DgnnConfig::preset(EncoderKind::Tgn, DIM, 1_000.0);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _enc = DgnnEncoder::new(&mut store, &mut rng, "enc", nodes, cfg.clone());
+    let _head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", DIM);
+    let states = Matrix::from_vec(
+        nodes,
+        DIM,
+        (0..nodes * DIM)
+            .map(|i| ((i % 13) as f32) * 0.02 - 0.12)
+            .collect(),
+    );
+    ModelFile::new(
+        cfg,
+        nodes,
+        store,
+        vec![MemorySnapshot {
+            states,
+            progress: 1.0,
+        }],
+    )
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops: usize = arg(&args, "--ops", 1_000_000);
+    let batch: usize = arg(&args, "--batch", 8).max(1);
+    let cache = !matches!(
+        args.iter()
+            .position(|a| a == "--cache")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str),
+        Some("off")
+    );
+    let nodes: usize = arg(&args, "--nodes", 256).max(8);
+    let seed: u64 = arg(&args, "--seed", 17);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve_load.json");
+
+    println!(
+        "serve load: {ops} ops, batch {batch}, cache {}, {nodes} nodes, seed {seed}",
+        if cache { "on" } else { "off" }
+    );
+
+    let model = serving_model(nodes, seed);
+    let engine = Engine::from_model(
+        &model,
+        EngineConfig {
+            cache,
+            ..EngineConfig::default()
+        },
+        FaultHook::none(),
+    );
+
+    // Traffic generator: a hot working set a quarter the graph keeps the
+    // cache relevant, ~10% events keep invalidation on the hot path.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let hot = (nodes / 4).max(4) as u32;
+    let mut t = 0.0f64;
+    let mut next_event = |rng: &mut StdRng, t: &mut f64| {
+        *t += 1.0;
+        Command::Event {
+            src: rng.random_range(0..nodes as u32),
+            dst: rng.random_range(0..nodes as u32),
+            t: *t,
+            field: 0,
+        }
+    };
+    // Seed ingest so every query probes real dynamic state.
+    for _ in 0..nodes {
+        let cmd = next_event(&mut rng, &mut t);
+        assert!(engine.execute(cmd).render().starts_with("OK "));
+    }
+
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(ops);
+    let mut run: Vec<Command> = Vec::with_capacity(batch);
+    let mut queries = 0usize;
+    let mut events = 0usize;
+    let mut errors = 0usize;
+
+    let mut flush = |run: &mut Vec<Command>, latencies_us: &mut Vec<u64>, errors: &mut usize| {
+        if run.is_empty() {
+            return;
+        }
+        let start = Instant::now();
+        let replies = engine.execute_query_batch(run.as_slice(), &[]);
+        let us = start.elapsed().as_micros() as u64;
+        for reply in &replies {
+            if reply.render().starts_with("ERR ") {
+                *errors += 1;
+            }
+        }
+        latencies_us.extend((0..run.len()).map(|_| us));
+        run.clear();
+    };
+
+    let wall = Instant::now();
+    for _ in 0..ops {
+        if rng.random_range(0..10u8) == 0 {
+            flush(&mut run, &mut latencies_us, &mut errors);
+            let cmd = next_event(&mut rng, &mut t);
+            let start = Instant::now();
+            let reply = engine.execute(cmd);
+            latencies_us.push(start.elapsed().as_micros() as u64);
+            if reply.render().starts_with("ERR ") {
+                errors += 1;
+            }
+            events += 1;
+        } else {
+            let node = rng.random_range(0..hot);
+            run.push(if rng.random_range(0..4u8) == 0 {
+                Command::Score {
+                    src: node,
+                    dst: rng.random_range(0..hot),
+                    t: None,
+                }
+            } else {
+                Command::Emb { node, t: None }
+            });
+            queries += 1;
+            if run.len() >= batch {
+                flush(&mut run, &mut latencies_us, &mut errors);
+            }
+        }
+    }
+    flush(&mut run, &mut latencies_us, &mut errors);
+    let elapsed_s = wall.elapsed().as_secs_f64();
+
+    latencies_us.sort_unstable();
+    let p50 = percentile_us(&latencies_us, 0.50);
+    let p99 = percentile_us(&latencies_us, 0.99);
+    let qps = ops as f64 / elapsed_s.max(1e-9);
+    let (hits, misses, invalidations) = engine.cache_counters();
+    let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+
+    println!(
+        "{ops} ops in {elapsed_s:.2}s  qps {qps:.0}  p50 {p50}us  p99 {p99}us  \
+         hit_rate {hit_rate:.3} ({hits}h/{misses}m, {invalidations} invalidated)"
+    );
+    assert_eq!(errors, 0, "the generated stream must be error-free");
+
+    let report = serde_json::json!({
+        "ops": ops,
+        "batch": batch,
+        "cache": cache,
+        "nodes": nodes,
+        "seed": seed,
+        "events": events,
+        "queries": queries,
+        "elapsed_s": elapsed_s,
+        "qps": qps,
+        "p50_us": p50,
+        "p99_us": p99,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_invalidations": invalidations,
+        "hit_rate": hit_rate,
+    });
+    std::fs::write(
+        out_path,
+        serde_json::to_string_pretty(&report).unwrap() + "\n",
+    )
+    .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -66,7 +66,8 @@ USAGE:
                 [--strategy full|eie-mean|eie-attn|eie-gru] [--epochs N]
                 [--seed N] [--threads N]
   cpdg serve    --model <model.json> [--port N] [--workers N] [--queue N]
-                [--shards N] [--deadline-ms N] [--breaker-k N]
+                [--shards N] [--batch N] [--cache on|off]
+                [--deadline-ms N] [--breaker-k N]
                 [--breaker-probe N] [--wal-dir <dir>]
                 [--fsync always|os|every-N]
                 [--memory-in <state.json>] [--memory-out <state.json>]
@@ -96,6 +97,14 @@ kill -9 — restarts bit-identical to an uninterrupted run. --fsync picks
 the durability/throughput trade: `always` (default) syncs per append,
 `every-N` batches syncs, `os` leaves flushing to the page cache. A clean
 drain writes a checkpoint and truncates replayed segments.
+
+Coalescing & caching: --batch N (default 1) lets each worker drain up
+to N contiguous queued queries and run them as one fused forward pass;
+--cache on (default off) replays repeat queries from a temporal
+embedding cache invalidated per-node by EVENTs and wholesale by
+RELOAD/recovery. Both are latency knobs only: replies are bit-identical
+to --batch 1 --cache off at any shard count (STATUS reports batches,
+cache_hits, cache_misses, cache_invalidations, cache_entries).
 
 Sharding: --shards N (default 1) partitions WAL streams, breaker
 replicas, and admission queues by node id; each shard's log lives under
@@ -650,6 +659,16 @@ fn serve_engine(args: &Args) -> CpdgResult<std::sync::Arc<cpdg_serve::Engine>> {
             "--shards must be at least 1".to_string(),
         ));
     }
+    let cache = match args.get("cache") {
+        None => false,
+        Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            return Err(CpdgError::Invalid(format!(
+                "invalid value for --cache: {other:?} (expected on|off)"
+            )))
+        }
+    };
     let engine_cfg = cpdg_serve::EngineConfig {
         deadline: opt_usize(args, "deadline-ms")?
             .map(|ms| std::time::Duration::from_millis(ms as u64)),
@@ -657,6 +676,7 @@ fn serve_engine(args: &Args) -> CpdgResult<std::sync::Arc<cpdg_serve::Engine>> {
         breaker_probe_every: args.get_num("breaker-probe", 4u32)?,
         seed: args.get_num("seed", 0u64)?,
         shards,
+        cache,
     };
     let engine =
         cpdg_serve::Engine::from_model_file(Path::new(model_path), engine_cfg, chaos_hook(args)?)?;
@@ -700,6 +720,26 @@ fn open_wal(args: &Args, engine: &cpdg_serve::Engine) -> CpdgResult<bool> {
     Ok(true)
 }
 
+/// Validates `--batch` / `--queue` against the shard topology before any
+/// socket is bound: a zero batch is meaningless, and a total admission
+/// capacity below the shard count would leave some shard with no slots
+/// (the same constraint [`cpdg_serve::split_capacity`] enforces, surfaced
+/// here as a friendlier CLI error).
+fn serve_admission_knobs(args: &Args, shards: usize) -> CpdgResult<(usize, usize)> {
+    let batch: usize = args.get_num("batch", 1usize)?;
+    if batch == 0 {
+        return Err(CpdgError::Invalid("--batch must be at least 1".to_string()));
+    }
+    let queue_capacity: usize = args.get_num("queue", 64usize)?;
+    if queue_capacity < shards {
+        return Err(CpdgError::Invalid(format!(
+            "--queue {queue_capacity} cannot give each of {shards} shards an admission slot \
+             (need --queue >= --shards)"
+        )));
+    }
+    Ok((batch, queue_capacity))
+}
+
 fn cmd_serve(args: &Args) -> CpdgResult<()> {
     use std::sync::atomic::Ordering;
     apply_threads(args)?;
@@ -727,10 +767,12 @@ fn cmd_serve(args: &Args) -> CpdgResult<()> {
     } else {
         sig::install();
         let port: u16 = args.get_num("port", 0u16)?;
+        let (batch, queue_capacity) = serve_admission_knobs(args, engine.shard_count())?;
         let server_cfg = cpdg_serve::ServerConfig {
             addr: format!("127.0.0.1:{port}"),
             workers: args.get_num("workers", 2usize)?,
-            queue_capacity: args.get_num("queue", 64usize)?,
+            queue_capacity,
+            batch,
         };
         let server = cpdg_serve::Server::start(std::sync::Arc::clone(&engine), &server_cfg)
             .map_err(|e| CpdgError::io(server_cfg.addr.clone(), e))?;
@@ -1118,6 +1160,29 @@ mod tests {
             CpdgError::Invalid(_)
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_admission_and_cache_flags_validate() {
+        // --batch 0 and --queue < --shards are refused before any socket.
+        let err = serve_admission_knobs(&parse("serve --batch 0"), 1).unwrap_err();
+        assert!(matches!(err, CpdgError::Invalid(_)), "{err}");
+        let err = serve_admission_knobs(&parse("serve --queue 2"), 4).unwrap_err();
+        assert!(err.to_string().contains("4 shards"), "{err}");
+        assert_eq!(
+            serve_admission_knobs(&parse("serve --batch 8 --queue 16"), 4).unwrap(),
+            (8, 16)
+        );
+        assert_eq!(
+            serve_admission_knobs(&parse("serve"), 1).unwrap(),
+            (1, 64),
+            "defaults: no coalescing, legacy capacity"
+        );
+        // --cache only accepts on|off (checked before the model file is
+        // even opened, so a bogus value fails fast).
+        let err = serve_engine(&parse("serve --model nope.json --cache maybe")).unwrap_err();
+        assert!(matches!(err, CpdgError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("--cache"), "{err}");
     }
 
     #[test]

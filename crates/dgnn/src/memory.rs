@@ -97,15 +97,28 @@ impl Memory {
 
     /// Takes an EIE checkpoint.
     pub fn snapshot(&self, progress: f64) -> MemorySnapshot {
-        MemorySnapshot { states: self.states.clone(), progress }
+        MemorySnapshot {
+            states: self.states.clone(),
+            progress,
+        }
     }
 
     /// Root-mean-square of all state entries — a cheap health metric used
     /// by tests and the bench harness to confirm memory is actually
-    /// evolving.
+    /// evolving. Squares are accumulated in `f64`: an f32 running sum
+    /// stalls once it grows ~2^24× larger than the next addend (so
+    /// multi-million-node memories with a few large rows silently drop the
+    /// small ones) and saturates to `inf` near 3.4e38 even when the final
+    /// RMS is representable.
     pub fn rms(&self) -> f32 {
         let n = self.states.len().max(1);
-        (self.states.data().iter().map(|&x| x * x).sum::<f32>() / n as f32).sqrt()
+        let sum: f64 = self
+            .states
+            .data()
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(x))
+            .sum();
+        (sum / n as f64).sqrt() as f32
     }
 }
 
@@ -123,9 +136,65 @@ mod tests {
     }
 
     #[test]
+    fn rms_accumulates_in_f64_where_f32_visibly_diverges() {
+        // One huge entry (1e4² = 1e8) followed by many 1.0 entries: in an
+        // f32 running sum the 1.0s vanish (1e8 has a ulp of 8), so the f32
+        // result collapses to sqrt(1e8 / n). The f64 path keeps them.
+        let dim = 63;
+        let nodes = 65;
+        let mut m = Memory::new(nodes, dim);
+        let big = 1.0e4f32;
+        let mut rows = Matrix::zeros(nodes, dim);
+        for r in 0..nodes {
+            for c in 0..dim {
+                rows.set(r, c, if r == 0 && c == 0 { big } else { 1.0 });
+            }
+        }
+        let ids: Vec<NodeId> = (0..nodes as NodeId).collect();
+        m.write_rows(&ids, &rows, 1.0);
+
+        let n = (nodes * dim) as f64;
+        let exact = ((f64::from(big) * f64::from(big) + (n - 1.0)) / n).sqrt() as f32;
+        let f32_summed = {
+            let mut s = 0.0f32;
+            s += big * big;
+            for _ in 0..(nodes * dim - 1) {
+                s += 1.0;
+            }
+            (s / n as f32).sqrt()
+        };
+        assert_eq!(m.rms(), exact, "rms matches the f64-accumulated value");
+        assert!(
+            (f32_summed - exact).abs() > 1e-2,
+            "the f32 sum must visibly diverge for this test to mean anything \
+             (f32={f32_summed} exact={exact})"
+        );
+
+        // Saturation: entries of ~2e19 square to 4e38 > f32::MAX, so an f32
+        // sum is `inf` after the first addend even though the RMS itself is
+        // a perfectly representable 2e19.
+        let mut m = Memory::new(2, 2);
+        let huge = 2.0e19f32;
+        m.write_rows(
+            &[0, 1],
+            &Matrix::from_rows(&[&[huge, huge], &[huge, huge]]),
+            1.0,
+        );
+        assert!(
+            m.rms().is_finite(),
+            "f64 accumulation survives squares beyond f32::MAX"
+        );
+        assert_eq!(m.rms(), huge);
+    }
+
+    #[test]
     fn write_and_gather() {
         let mut m = Memory::new(4, 2);
-        m.write_rows(&[1, 3], &Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]), 5.0);
+        m.write_rows(
+            &[1, 3],
+            &Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]),
+            5.0,
+        );
         assert_eq!(m.state_row(1), &[1.0, 2.0]);
         assert_eq!(m.state_row(3), &[3.0, 4.0]);
         assert_eq!(m.state_row(0), &[0.0, 0.0]);
@@ -141,7 +210,11 @@ mod tests {
         m.write_rows(&[0], &Matrix::from_rows(&[&[1.0, 1.0]]), 1.0);
         let snap = m.snapshot(0.5);
         m.write_rows(&[0], &Matrix::from_rows(&[&[9.0, 9.0]]), 2.0);
-        assert_eq!(snap.states.row(0), &[1.0, 1.0], "snapshot unaffected by later writes");
+        assert_eq!(
+            snap.states.row(0),
+            &[1.0, 1.0],
+            "snapshot unaffected by later writes"
+        );
         assert_eq!(snap.progress, 0.5);
     }
 

@@ -31,7 +31,7 @@ pub mod walk;
 pub use builder::{graph_from_triples, DynamicGraphBuilder, GraphError};
 pub use ctdg::{DynamicGraph, NeighborEntry};
 pub use dtdg::{to_snapshots, Snapshot};
-pub use event::{FieldId, Interaction, LabelEvent, NodeId, Timestamp};
+pub use event::{touched_nodes, FieldId, Interaction, LabelEvent, NodeId, Timestamp};
 pub use index::{
     NeighborhoodView, ShardRouter, ShardedTemporalIndex, TemporalAdjacencyIndex, TemporalNeighbors,
 };

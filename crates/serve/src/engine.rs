@@ -42,6 +42,7 @@
 //! legacy checkpoints.
 
 use crate::breaker::Admittance;
+use crate::cache::{CacheKey, EmbedCache};
 use crate::protocol::{render_floats, Command, ErrKind, Reply};
 use crate::shard::ShardBank;
 use cpdg_core::error::{CpdgError, CpdgResult};
@@ -83,6 +84,11 @@ pub struct EngineConfig {
     /// node id. Replies are bit-identical at any value — enforced by
     /// `tests/shard_suite.rs`.
     pub shards: usize,
+    /// Whether the temporal embedding cache answers repeat queries without
+    /// a forward pass. Replies are bit-identical either way (the
+    /// coalescing oracle pins cache-on against cache-off); only latency
+    /// and the `STATUS` cache counters differ.
+    pub cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +99,7 @@ impl Default for EngineConfig {
             breaker_probe_every: 4,
             seed: 0,
             shards: 1,
+            cache: false,
         }
     }
 }
@@ -125,6 +132,10 @@ struct EngineInner {
     bank: ShardBank,
     /// What the last [`Engine::open_wal`] recovered (for `STATUS`).
     recovery: Option<WalRecoveryReport>,
+    /// Temporal embedding cache (consulted only when
+    /// [`EngineConfig::cache`] is on, but invalidation always runs so the
+    /// flag can never leave stale entries behind).
+    cache: EmbedCache,
 }
 
 /// What [`Engine::open_wal`] reconstructed on startup.
@@ -155,6 +166,8 @@ pub struct ServeStats {
     pub reloads: AtomicU64,
     /// Worker panics caught and recovered by the supervisor.
     pub worker_panics: AtomicU64,
+    /// Coalesced multi-query batches executed (each covers ≥ 2 requests).
+    pub batches: AtomicU64,
 }
 
 impl ServeStats {
@@ -260,6 +273,7 @@ impl Engine {
                 graph,
                 bank,
                 recovery: None,
+                cache: EmbedCache::new(),
             }),
             current: RwLock::new(epoch),
             hook,
@@ -405,6 +419,12 @@ impl Engine {
             }
         }
         let rec = inner.recovery.unwrap_or_default();
+        let (cache_hits, cache_misses, cache_invalidations, cache_entries) = (
+            inner.cache.hits(),
+            inner.cache.misses(),
+            inner.cache.invalidations(),
+            inner.cache.len(),
+        );
         drop(inner);
         let s = &self.stats;
         Reply::Ok {
@@ -412,6 +432,8 @@ impl Engine {
             body: format!(
                 "epoch={} queue_depth={queue_depth} breaker={breaker} breaker_trips={trips} \
                  events={} ok={} degraded={} shed={} errors={} reloads={} worker_panics={} \
+                 batches={} cache={} cache_hits={cache_hits} cache_misses={cache_misses} \
+                 cache_invalidations={cache_invalidations} cache_entries={cache_entries} \
                  wal={wal_attached} wal_segments={wal_segments} wal_bytes={wal_bytes} \
                  wal_next_index={wal_next} recovered_from_checkpoint={} recovered_replayed={} \
                  recovered_truncated_bytes={}{shard_block}",
@@ -423,6 +445,8 @@ impl Engine {
                 ServeStats::get(&s.errors),
                 ServeStats::get(&s.reloads),
                 ServeStats::get(&s.worker_panics),
+                ServeStats::get(&s.batches),
+                if self.config.cache { "on" } else { "off" },
                 rec.checkpoint_applied,
                 rec.replayed,
                 rec.recovery.truncated_bytes,
@@ -478,12 +502,20 @@ impl Engine {
             .graph
             .push_event(src, dst, t, field)
             .expect("validate_event mirrors push_event");
+        // The cache's touched set for this event: its endpoints (new
+        // pending state) plus the *previous* pending endpoints, whose
+        // on-tape updates the commit below persists into memory.
+        let mut touched = inner.encoder.pending_endpoints();
+        let event = *inner.graph.event(idx);
+        touched.extend(cpdg_graph::touched_nodes([event].iter()));
+        touched.sort_unstable();
+        touched.dedup();
         let mut tape = Tape::new();
         let ctx = inner
             .encoder
             .apply_pending(&mut tape, &inner.epoch.store, &inner.graph);
-        let event = *inner.graph.event(idx);
         inner.encoder.commit(&tape, ctx, &[event]);
+        inner.cache.invalidate_nodes(&touched);
         inner.bank.bump_seq();
         inner.bank.note_event(shard);
         ServeStats::bump(&self.stats.events);
@@ -581,6 +613,7 @@ impl Engine {
             inner.bank.note_event(0);
             inner.bank.note_replayed(0);
         }
+        inner.cache.clear_all();
         inner.recovery = Some(report);
         cpdg_obs::info!(
             "serve.engine",
@@ -725,6 +758,7 @@ impl Engine {
             replayed,
             recovery,
         };
+        inner.cache.clear_all();
         inner.recovery = Some(report);
         cpdg_obs::info!(
             "serve.engine",
@@ -884,9 +918,52 @@ impl Engine {
         }
     }
 
+    /// The static-embedding fallback reply served while the breaker is
+    /// open or after a model-health failure.
+    fn degraded_reply(epoch: &Epoch, nodes: &[NodeId], score_pair: bool) -> Reply {
+        let body = if score_pair {
+            let a = epoch.static_states.row(nodes[0] as usize);
+            let b = epoch.static_states.row(nodes[1] as usize);
+            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            render_floats(&[dot])
+        } else {
+            render_floats(epoch.static_states.row(nodes[0] as usize))
+        };
+        Reply::Degraded {
+            version: epoch.version,
+            body,
+        }
+    }
+
+    /// The dependency set a cached reply for `nodes` at `t` must carry
+    /// beyond the nodes themselves: each node's recent temporal neighbours
+    /// (attention reads their states; see `cache.rs` for the invalidation
+    /// contract).
+    fn cache_deps(inner: &EngineInner, nodes: &[NodeId], t: Timestamp) -> Vec<NodeId> {
+        let n_neighbors = inner.epoch.cfg.n_neighbors;
+        nodes
+            .iter()
+            .flat_map(|&n| inner.graph.recent_neighbors(n, t, n_neighbors))
+            .map(|nb| nb.neighbor)
+            .collect()
+    }
+
     /// Shared query path for `EMB` and `SCORE`.
     fn query(&self, nodes: &[NodeId], t: Option<Timestamp>, score_pair: bool) -> Reply {
         let mut inner = self.inner.lock().expect("engine lock");
+        self.query_locked(&mut inner, nodes, t, score_pair)
+    }
+
+    /// [`Engine::query`] body, factored out so the coalescing batch path
+    /// can fall back to exact per-query semantics under the lock it
+    /// already holds.
+    fn query_locked(
+        &self,
+        inner: &mut EngineInner,
+        nodes: &[NodeId],
+        t: Option<Timestamp>,
+        score_pair: bool,
+    ) -> Reply {
         let epoch = Arc::clone(&inner.epoch);
         for &n in nodes {
             if (n as usize) >= epoch.num_nodes {
@@ -908,23 +985,49 @@ impl Engine {
             };
         }
         let degraded = |version: u64| {
-            let body = if score_pair {
-                let a = epoch.static_states.row(nodes[0] as usize);
-                let b = epoch.static_states.row(nodes[1] as usize);
-                let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-                render_floats(&[dot])
-            } else {
-                render_floats(epoch.static_states.row(nodes[0] as usize))
-            };
-            Reply::Degraded { version, body }
+            debug_assert_eq!(version, epoch.version);
+            Self::degraded_reply(&epoch, nodes, score_pair)
         };
         let shard = inner.bank.route(nodes[0]);
         match inner.bank.admit(shard) {
             Admittance::Shorted => degraded(epoch.version),
             Admittance::Closed | Admittance::Probe => {
-                match self.forward(&inner, nodes, t, score_pair, &deadline) {
+                // Cache consultation sits exactly where the forward pass
+                // would start. A hit still pays the `serve.infer` fault
+                // check and breaker bookkeeping — the chaos/breaker
+                // arithmetic must not depend on the cache flag, or the
+                // bit-identity oracle against cache-off runs would break.
+                if self.config.cache {
+                    let key = CacheKey::new(nodes, t, score_pair);
+                    if let Some(values) = inner.cache.lookup(&key) {
+                        if let Err(fault) = self.hook.check(FaultPoint::ServeInfer) {
+                            cpdg_obs::warn!(
+                                "serve.engine",
+                                "inference failed; serving degraded fallback";
+                                detail = fault.to_string().as_str(),
+                                version = epoch.version,
+                            );
+                            inner.bank.record_failure();
+                            return degraded(epoch.version);
+                        }
+                        inner.bank.record_success();
+                        return Reply::Ok {
+                            version: epoch.version,
+                            body: render_floats(&values),
+                        };
+                    }
+                }
+                match self.forward(inner, nodes, t, score_pair, &deadline) {
                     InferOutcome::Ok(values) => {
                         inner.bank.record_success();
+                        if self.config.cache {
+                            let deps = Self::cache_deps(inner, nodes, t);
+                            inner.cache.insert(
+                                CacheKey::new(nodes, t, score_pair),
+                                values.clone(),
+                                &deps,
+                            );
+                        }
                         Reply::Ok {
                             version: epoch.version,
                             body: render_floats(&values),
@@ -960,6 +1063,262 @@ impl Engine {
         self.query(&[src, dst], t, true)
     }
 
+    /// Executes a coalesced batch of data-plane queries (`EMB`/`SCORE`),
+    /// returning one reply per command in order.
+    ///
+    /// Contract — the coalescing oracle: the replies are bit-identical to
+    /// calling [`Engine::execute_with_depths`] on each command
+    /// sequentially, including breaker transitions and `serve.infer`
+    /// fault-point hit arithmetic, while the heavy compute runs as ONE
+    /// fused pass sharing a single `apply_pending` context and autodiff
+    /// tape across every row (queries are read-only on DGNN state and
+    /// each embedding row is a pure function of that state, so fusing
+    /// changes wall-clock cost, never values). Per-query bookkeeping —
+    /// admission, breaker, cache, fault checks — still runs sequentially
+    /// in FIFO order *after* the fused pass, consuming precomputed rows.
+    ///
+    /// Batches of one, or containing any non-query command, fall back to
+    /// the sequential path (the server only coalesces query prefixes, so
+    /// this is defensive).
+    pub fn execute_query_batch(&self, cmds: &[Command], queue_depths: &[usize]) -> Vec<Reply> {
+        let all_queries = cmds
+            .iter()
+            .all(|c| matches!(c, Command::Emb { .. } | Command::Score { .. }));
+        if cmds.len() < 2 || !all_queries {
+            return cmds
+                .iter()
+                .map(|c| self.execute_with_depths(c.clone(), queue_depths))
+                .collect();
+        }
+        cpdg_obs::counter!("serve.coalesced_batches").inc();
+        ServeStats::bump(&self.stats.batches);
+        let replies = self.query_batch_locked(cmds);
+        // Mirror `execute_with_depths`' per-request accounting.
+        for reply in &replies {
+            cpdg_obs::counter!("serve.requests").inc();
+            match reply {
+                Reply::Ok { .. } => ServeStats::bump(&self.stats.ok),
+                Reply::Degraded { .. } => {
+                    ServeStats::bump(&self.stats.degraded);
+                    cpdg_obs::counter!("serve.degraded").inc();
+                }
+                Reply::Err { .. } => ServeStats::bump(&self.stats.errors),
+            }
+        }
+        replies
+    }
+
+    fn query_batch_locked(&self, cmds: &[Command]) -> Vec<Reply> {
+        let mut guard = self.inner.lock().expect("engine lock");
+        let inner = &mut *guard;
+        let epoch = Arc::clone(&inner.epoch);
+
+        struct Prep {
+            nodes: Vec<NodeId>,
+            t: Timestamp,
+            score: bool,
+            deadline: Deadline,
+            early: Option<Reply>,
+        }
+        let preps: Vec<Prep> = cmds
+            .iter()
+            .map(|cmd| {
+                let (nodes, t_opt, score) = match cmd {
+                    Command::Emb { node, t } => (vec![*node], *t, false),
+                    Command::Score { src, dst, t } => (vec![*src, *dst], *t, true),
+                    _ => unreachable!("execute_query_batch filters non-queries"),
+                };
+                let mut early = None;
+                for &n in &nodes {
+                    if (n as usize) >= epoch.num_nodes {
+                        early = Some(Reply::Err {
+                            kind: ErrKind::Exec,
+                            detail: format!(
+                                "node {n} out of range for universe of {}",
+                                epoch.num_nodes
+                            ),
+                        });
+                        break;
+                    }
+                }
+                // Queries never mutate the graph, so t_max is stable across
+                // the batch — each member resolves the same default `t` it
+                // would have sequentially.
+                let t = t_opt.unwrap_or_else(|| inner.graph.t_max().unwrap_or(0.0));
+                let deadline = self.request_deadline();
+                if early.is_none() && deadline.is_expired() {
+                    early = Some(Reply::Err {
+                        kind: ErrKind::Deadline,
+                        detail: String::new(),
+                    });
+                }
+                Prep {
+                    nodes,
+                    t,
+                    score,
+                    deadline,
+                    early,
+                }
+            })
+            .collect();
+
+        /// Outcome of the fused pass for one batch member.
+        enum Row {
+            /// Early reply or cache hit: nothing was computed.
+            Skipped,
+            /// Finished values (finiteness still unchecked — that verdict
+            /// belongs to the per-query bookkeeping phase, like the
+            /// sequential path's).
+            Values(Vec<f32>),
+            /// The member's own deadline expired mid-pass.
+            Expired,
+        }
+
+        // Phase A — one fused, side-effect-free forward pass. No fault
+        // points, no breaker, no counters are touched here: everything
+        // observable happens in phase B in FIFO order, so the fused pass
+        // can be discarded wholesale (on panic) without having leaked any
+        // effects.
+        let fused = catch_unwind(AssertUnwindSafe(|| {
+            let mut tape = Tape::new();
+            let ctx = inner
+                .encoder
+                .apply_pending(&mut tape, &epoch.store, &inner.graph);
+            preps
+                .iter()
+                .map(|p| {
+                    if p.early.is_some() {
+                        return Row::Skipped;
+                    }
+                    if self.config.cache && inner.cache.peek(&CacheKey::new(&p.nodes, p.t, p.score))
+                    {
+                        return Row::Skipped;
+                    }
+                    let times = vec![p.t; p.nodes.len()];
+                    let deadlines = vec![p.deadline.clone(); p.nodes.len()];
+                    let rows = inner.encoder.embed_rows_within(
+                        &mut tape,
+                        &epoch.store,
+                        &ctx,
+                        &inner.graph,
+                        &p.nodes,
+                        &times,
+                        &deadlines,
+                    );
+                    let mut vars = Vec::with_capacity(rows.len());
+                    for r in rows {
+                        match r {
+                            Ok(v) => vars.push(v),
+                            Err(_) => return Row::Expired,
+                        }
+                    }
+                    let out = if p.score {
+                        epoch.head.score(&mut tape, &epoch.store, vars[0], vars[1])
+                    } else {
+                        vars[0]
+                    };
+                    Row::Values(tape.value(out).data().to_vec())
+                })
+                .collect::<Vec<Row>>()
+        }));
+        let rows = match fused {
+            Ok(rows) => rows,
+            Err(_) => {
+                // A panic anywhere in the fused pass: rerun the whole batch
+                // through the exact sequential path (whose own catch_unwind
+                // converts the panicking member into a breaker-counted
+                // degraded reply, and spares the rest).
+                return cmds
+                    .iter()
+                    .map(|cmd| match cmd {
+                        Command::Emb { node, t } => self.query_locked(inner, &[*node], *t, false),
+                        Command::Score { src, dst, t } => {
+                            self.query_locked(inner, &[*src, *dst], *t, true)
+                        }
+                        _ => unreachable!("execute_query_batch filters non-queries"),
+                    })
+                    .collect();
+            }
+        };
+
+        // Phase B — per-query bookkeeping, sequential, FIFO: exactly the
+        // order and side effects of running each query alone.
+        preps
+            .iter()
+            .zip(rows)
+            .map(|(p, row)| {
+                if let Some(reply) = &p.early {
+                    return reply.clone();
+                }
+                let shard = inner.bank.route(p.nodes[0]);
+                match inner.bank.admit(shard) {
+                    Admittance::Shorted => Self::degraded_reply(&epoch, &p.nodes, p.score),
+                    Admittance::Closed | Admittance::Probe => {
+                        let cached = if self.config.cache {
+                            inner.cache.lookup(&CacheKey::new(&p.nodes, p.t, p.score))
+                        } else {
+                            None
+                        };
+                        if let Err(fault) = self.hook.check(FaultPoint::ServeInfer) {
+                            cpdg_obs::warn!(
+                                "serve.engine",
+                                "inference failed; serving degraded fallback";
+                                detail = fault.to_string().as_str(),
+                                version = epoch.version,
+                            );
+                            inner.bank.record_failure();
+                            return Self::degraded_reply(&epoch, &p.nodes, p.score);
+                        }
+                        if let Some(values) = cached {
+                            inner.bank.record_success();
+                            return Reply::Ok {
+                                version: epoch.version,
+                                body: render_floats(&values),
+                            };
+                        }
+                        match row {
+                            Row::Values(values) if values.iter().all(|v| v.is_finite()) => {
+                                inner.bank.record_success();
+                                if self.config.cache {
+                                    let deps = Self::cache_deps(inner, &p.nodes, p.t);
+                                    inner.cache.insert(
+                                        CacheKey::new(&p.nodes, p.t, p.score),
+                                        values.clone(),
+                                        &deps,
+                                    );
+                                }
+                                Reply::Ok {
+                                    version: epoch.version,
+                                    body: render_floats(&values),
+                                }
+                            }
+                            Row::Values(_) => {
+                                cpdg_obs::warn!(
+                                    "serve.engine",
+                                    "inference failed; serving degraded fallback";
+                                    detail = "non-finite inference output",
+                                    version = epoch.version,
+                                );
+                                inner.bank.record_failure();
+                                Self::degraded_reply(&epoch, &p.nodes, p.score)
+                            }
+                            Row::Expired => Reply::Err {
+                                kind: ErrKind::Deadline,
+                                detail: String::new(),
+                            },
+                            Row::Skipped => {
+                                unreachable!(
+                                    "a phase-A cache peek hit implies a phase-B lookup hit \
+                                     under the same engine lock"
+                                )
+                            }
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
     /// Hot-reloads the model from `path`. On any failure — injected
     /// `serve.reload` fault, unreadable/corrupt file, incompatible shape,
     /// state transplant refusal — the old epoch stays live and the reply is
@@ -992,6 +1351,9 @@ impl Engine {
         let epoch = Arc::new(epoch);
         inner.epoch = Arc::clone(&epoch);
         inner.encoder = encoder;
+        // New parameters: every cached value was computed under the old
+        // epoch and is wholesale stale.
+        inner.cache.clear_all();
         inner.bank.note_reload(epoch.version);
         *self.current.write().expect("epoch pointer lock") = Arc::clone(&epoch);
         ServeStats::bump(&self.stats.reloads);
@@ -1018,6 +1380,10 @@ impl Engine {
             .encoder
             .apply_pending(&mut tape, &inner.epoch.store, &inner.graph);
         inner.encoder.commit(&tape, ctx, &[]);
+        // Committing pending messages rewrites memory rows and update
+        // times; drain is cold-path, so clear wholesale rather than model
+        // it.
+        inner.cache.clear_all();
     }
 
     /// Snapshot of the full mutable encoder state (memory, cells, pending).
@@ -1030,13 +1396,15 @@ impl Engine {
     }
 
     /// Restores encoder state (e.g. a `--memory-in` warm start), validating
-    /// shape compatibility against the live model.
+    /// shape compatibility against the live model. Clears the embedding
+    /// cache wholesale — restored memory invalidates everything.
     pub fn restore_state(&self, state: EncoderState) -> Result<(), String> {
-        self.inner
-            .lock()
-            .expect("engine lock")
-            .encoder
-            .restore_state(state)
+        let mut inner = self.inner.lock().expect("engine lock");
+        let restored = inner.encoder.restore_state(state);
+        if restored.is_ok() {
+            inner.cache.clear_all();
+        }
+        restored
     }
 
     /// Drain-time persistence: flush pending messages, then atomically
@@ -1069,6 +1437,22 @@ impl Engine {
         self.inner.lock().expect("engine lock").bank.is_open()
     }
 
+    /// Embedding-cache `(hits, misses, invalidations)` — the counters the
+    /// `STATUS` reply reports; exposed for tests and the load harness.
+    pub fn cache_counters(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock().expect("engine lock");
+        (
+            inner.cache.hits(),
+            inner.cache.misses(),
+            inner.cache.invalidations(),
+        )
+    }
+
+    /// Live embedding-cache entry count.
+    pub fn cache_len(&self) -> usize {
+        self.inner.lock().expect("engine lock").cache.len()
+    }
+
     /// A clone of the engine's fault hook (shares trigger state), so the
     /// server front door consults the same plan at `serve.accept`.
     pub fn fault_hook(&self) -> FaultHook {
@@ -1079,7 +1463,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cpdg_core::{FaultPlan, FS_STORAGE};
+    use cpdg_core::{FaultKind, FaultPlan, Trigger, FS_STORAGE};
     use cpdg_dgnn::EncoderKind;
     use std::path::PathBuf;
 
@@ -1286,6 +1670,272 @@ mod tests {
                 t: Some(5.0)
             }),
             reference
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn cached_config() -> EngineConfig {
+        EngineConfig {
+            cache: true,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn ingest_events(engine: &Engine, events: &[(u32, u32, f64)]) {
+        for &(src, dst, t) in events {
+            let r = engine.execute(Command::Event {
+                src,
+                dst,
+                t,
+                field: 0,
+            });
+            assert!(matches!(r, Reply::Ok { .. }), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn cache_replays_bit_identically_and_events_invalidate_dependents() {
+        let model = tiny_model();
+        let cached = Engine::from_model(&model, cached_config(), FaultHook::none());
+        let plain = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        let events = [(0u32, 1u32, 1.0f64), (1, 2, 2.0), (2, 3, 3.0)];
+        ingest_events(&cached, &events);
+        ingest_events(&plain, &events);
+        let q = Command::Emb {
+            node: 1,
+            t: Some(3.0),
+        };
+        let first = cached.execute(q.clone());
+        assert_eq!(
+            first,
+            plain.execute(q.clone()),
+            "miss path is uncached path"
+        );
+        assert_eq!(
+            cached.execute(q.clone()),
+            first,
+            "hit replays bit-identically"
+        );
+        let (hits, misses, _) = cached.cache_counters();
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(cached.cache_len(), 1);
+
+        // An event touching the queried node drops the entry; the next
+        // query recomputes and still matches the uncached engine.
+        ingest_events(&cached, &[(1, 4, 4.0)]);
+        ingest_events(&plain, &[(1, 4, 4.0)]);
+        let (_, _, invalidations) = cached.cache_counters();
+        assert!(invalidations >= 1, "EVENT 1 4 must drop the node-1 entry");
+        assert_eq!(cached.cache_len(), 0);
+        assert_eq!(
+            cached.execute(q.clone()),
+            plain.execute(q),
+            "post-invalidation recompute stays bit-identical"
+        );
+
+        // Settle the pending (1,4) message with an unrelated event, then
+        // re-cache the node-1 reply. A further event touching only {4,5}
+        // (its endpoints AND the now-pending endpoints) must leave the
+        // node-1 entry alone: nodes 4 and 5 are outside its dependency
+        // set (node 1's recent neighbours at t=3.0 predate the 4.0 edge).
+        ingest_events(&cached, &[(4, 5, 5.0)]);
+        ingest_events(&plain, &[(4, 5, 5.0)]);
+        let q3 = Command::Emb {
+            node: 1,
+            t: Some(3.0),
+        };
+        assert_eq!(cached.execute(q3.clone()), plain.execute(q3.clone()));
+        assert_eq!(cached.cache_len(), 1);
+        ingest_events(&cached, &[(4, 5, 6.0)]);
+        assert_eq!(
+            cached.cache_len(),
+            1,
+            "an event disjoint from the dependency set must not invalidate"
+        );
+        let status = cached.execute(Command::Status).render();
+        for field in [
+            "cache=on",
+            "cache_hits=",
+            "cache_misses=",
+            "cache_entries=1",
+        ] {
+            assert!(status.contains(field), "missing {field} in {status}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_event_is_refused_before_wal_breaker_and_memory() {
+        // Regression pin: a malformed EVENT (node id beyond the model's
+        // universe) must be a pure no-op — typed ERR exec, nothing
+        // appended to the WAL, no breaker feed, no chronology poisoning.
+        let dir = test_dir("bad-event");
+        let model = tiny_model();
+        let hook = FaultHook::install(&FaultPlan::new(0));
+        let engine = Engine::from_model(&model, EngineConfig::default(), hook.clone());
+        engine.open_wal(&dir, WalConfig::default()).unwrap();
+        for cmd in [
+            Command::Event {
+                src: 99,
+                dst: 0,
+                t: 1.0,
+                field: 0,
+            },
+            Command::Event {
+                src: 0,
+                dst: 99,
+                t: 1.0,
+                field: 0,
+            },
+            Command::Event {
+                src: 0,
+                dst: 1,
+                t: f64::NAN,
+                field: 0,
+            },
+        ] {
+            let reply = engine.execute(cmd);
+            assert!(
+                matches!(
+                    reply,
+                    Reply::Err {
+                        kind: ErrKind::Exec,
+                        ..
+                    }
+                ),
+                "{reply:?}"
+            );
+        }
+        // Refused before the shard route: the fault point never fired,
+        // the breaker saw nothing, no event was counted.
+        assert_eq!(hook.hits(FaultPoint::ShardRoute), 0);
+        assert!(!engine.breaker_open());
+        assert_eq!(engine.stats.events.load(Ordering::Relaxed), 0);
+        // A valid event still lands at index 0 (nothing half-ingested),
+        // and recovery replays exactly one record — the WAL never saw the
+        // malformed ones.
+        let ok = engine.execute(Command::Event {
+            src: 0,
+            dst: 1,
+            t: 1.0,
+            field: 0,
+        });
+        assert_eq!(ok.render(), "OK v1 event 0");
+        drop(engine);
+        let recovered = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        let report = recovered.open_wal(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.replayed, 1, "only the valid event was logged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_queries_match_sequential_replies_and_breaker_arithmetic() {
+        // The coalescing oracle at the engine level, under a fault plan
+        // that trips the breaker mid-stream: a batch-of-6 fused execution
+        // must produce the same replies AND the same breaker transitions
+        // as six sequential executions consuming the same plan.
+        let model = tiny_model();
+        // Every inference attempt fails: the stream walks through failure
+        // accumulation, the trip itself, shorted requests, and failed
+        // probes — the batch must mirror each transition.
+        let plan = FaultPlan::new(0).with(
+            FaultPoint::ServeInfer,
+            FaultKind::Permanent,
+            Trigger::Every { k: 1 },
+        );
+        let mk = |cache: bool| {
+            Engine::from_model(
+                &model,
+                EngineConfig {
+                    cache,
+                    breaker_threshold: 2,
+                    breaker_probe_every: 2,
+                    ..EngineConfig::default()
+                },
+                FaultHook::install(&plan),
+            )
+        };
+        let batched = mk(true);
+        let sequential = mk(false);
+        let events = [(0u32, 1u32, 1.0f64), (1, 2, 2.0), (3, 4, 3.0)];
+        ingest_events(&batched, &events);
+        ingest_events(&sequential, &events);
+        let cmds: Vec<Command> = [
+            "EMB 1",
+            "SCORE 0 2",
+            "EMB 1",
+            "EMB 99",
+            "SCORE 1 2 2.5",
+            "EMB 3",
+        ]
+        .iter()
+        .map(|l| parse_line(l).unwrap())
+        .collect();
+        let batch_replies = batched.execute_query_batch(&cmds, &[]);
+        let seq_replies: Vec<Reply> = cmds.iter().map(|c| sequential.execute(c.clone())).collect();
+        assert_eq!(
+            batch_replies, seq_replies,
+            "fused == sequential, faults and all"
+        );
+        assert!(
+            batch_replies
+                .iter()
+                .any(|r| matches!(r, Reply::Degraded { .. })),
+            "the plan must actually have tripped mid-batch: {batch_replies:?}"
+        );
+        assert_eq!(
+            batched.breaker_open(),
+            sequential.breaker_open(),
+            "breaker transitions must not depend on batching"
+        );
+        assert_eq!(batched.stats.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(sequential.stats.batches.load(Ordering::Relaxed), 0);
+        // Per-reply accounting matches the sequential engine's too.
+        for (a, b) in [
+            (&batched.stats.ok, &sequential.stats.ok),
+            (&batched.stats.degraded, &sequential.stats.degraded),
+            (&batched.stats.errors, &sequential.stats.errors),
+        ] {
+            assert_eq!(
+                a.load(Ordering::Relaxed),
+                b.load(Ordering::Relaxed),
+                "{batch_replies:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reload_clears_the_cache_and_stays_bit_identical() {
+        let dir = test_dir("cache-reload");
+        let model = tiny_model();
+        let next_path = dir.join("next.json");
+        model.save(&next_path).unwrap();
+        let cached = Engine::from_model(&model, cached_config(), FaultHook::none());
+        let plain = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        let events = [(0u32, 1u32, 1.0f64), (1, 2, 2.0)];
+        ingest_events(&cached, &events);
+        ingest_events(&plain, &events);
+        let q = Command::Emb {
+            node: 1,
+            t: Some(2.0),
+        };
+        assert_eq!(cached.execute(q.clone()), plain.execute(q.clone()));
+        assert_eq!(cached.cache_len(), 1);
+        let reload = Command::Reload {
+            path: next_path.display().to_string(),
+        };
+        assert_eq!(
+            cached.execute(reload.clone()).render(),
+            plain.execute(reload).render()
+        );
+        assert_eq!(
+            cached.cache_len(),
+            0,
+            "new parameters wholesale-invalidate the cache"
+        );
+        assert_eq!(
+            cached.execute(q.clone()),
+            plain.execute(q),
+            "post-reload replies stay bit-identical (and stamp v2)"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

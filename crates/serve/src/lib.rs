@@ -8,8 +8,14 @@
 //!
 //! The robustness machinery, by module:
 //!
-//! * [`queue`] — bounded admission with typed [`Overloaded`] shedding;
-//!   producers never block, drain answers everything already admitted.
+//! * [`queue`] — bounded admission with typed [`Overloaded`] shedding
+//!   (distinguishing at-capacity from drain/shutdown via
+//!   [`ShedReason`](queue::ShedReason)); producers never block, drain
+//!   answers everything already admitted.
+//! * [`cache`] — the temporal embedding cache: replies keyed by query
+//!   signature with per-node dependency-set invalidation on `EVENT` and
+//!   wholesale invalidation on reload/recovery; cache-on replies are
+//!   bit-identical to cache-off replies.
 //! * [`breaker`] — a consecutive-failure [`CircuitBreaker`] over
 //!   inference; while open, queries are served from the model's static
 //!   pre-training embeddings (`DEGRADED` replies) with deterministic
@@ -31,7 +37,11 @@
 //!   (single-connection scripts are worker-count-deterministic), a
 //!   *supervised* worker pool per shard queue (per-worker panics are
 //!   caught, counted, fed to the breaker, and the worker restarts with
-//!   bounded deterministic backoff), graceful drain.
+//!   bounded deterministic backoff), request coalescing (a worker drains
+//!   up to `--batch N` contiguous queued queries and executes them as one
+//!   fused forward pass via
+//!   [`Engine::execute_query_batch`](engine::Engine::execute_query_batch)),
+//!   graceful drain.
 //! * [`shard`] — the `--shards N` partition of the durability/resilience
 //!   domain: a stable node→shard router ([`ShardRouter`](cpdg_graph::ShardRouter)),
 //!   per-shard WAL streams under `wal.shard<k>/` with globally-sequenced
@@ -58,6 +68,7 @@
 #![warn(clippy::disallowed_macros)]
 
 pub mod breaker;
+pub mod cache;
 pub mod engine;
 pub mod protocol;
 pub mod queue;
@@ -65,8 +76,9 @@ pub mod server;
 pub mod shard;
 
 pub use breaker::{Admittance, CircuitBreaker};
+pub use cache::{CacheKey, EmbedCache};
 pub use engine::{Engine, EngineConfig, Epoch, ServeStats, WalRecoveryReport};
 pub use protocol::{parse_line, render_floats, Command, ErrKind, Reply};
-pub use queue::{split_capacity, BoundedQueue, Overloaded};
+pub use queue::{split_capacity, BoundedQueue, CapacityMismatch, Overloaded, ShedReason};
 pub use server::{Server, ServerConfig};
 pub use shard::{ShardBank, ShardSlot};

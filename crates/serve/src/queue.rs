@@ -16,28 +16,78 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Condvar, Mutex};
 
-/// Typed admission rejection: the queue was at capacity (or closed).
+/// Why admission rejected a request: the queue was genuinely full, or it
+/// had been closed for drain/shutdown. Clients should back off and retry
+/// on `Full` but fail over on `Closed` — conflating the two made every
+/// graceful drain look like overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The queue held `capacity` items already.
+    Full,
+    /// The queue was closed (drain or shutdown); it will never re-open.
+    Closed,
+}
+
+/// Typed admission rejection: the queue was at capacity or closed; see
+/// [`ShedReason`] for which.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Overloaded {
     /// Capacity at the moment of rejection.
     pub capacity: usize,
+    /// Whether the rejection was a capacity shed or a drain/shutdown shed.
+    pub reason: ShedReason,
 }
 
 impl fmt::Display for Overloaded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "admission queue at capacity {}", self.capacity)
+        match self.reason {
+            ShedReason::Full => write!(f, "admission queue at capacity {}", self.capacity),
+            ShedReason::Closed => write!(f, "admission queue closed (draining)"),
+        }
     }
 }
 
 impl std::error::Error for Overloaded {}
 
+/// A `total`/`shards` pair that cannot honour both halves of the
+/// [`split_capacity`] contract (at least one slot per shard AND aggregate
+/// ≤ `total`). Returned whenever `shards > total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityMismatch {
+    /// The configured total admission bound.
+    pub total: usize,
+    /// The requested shard count.
+    pub shards: usize,
+}
+
+impl fmt::Display for CapacityMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "admission capacity {} cannot give each of {} shards a slot (need capacity >= shards)",
+            self.total, self.shards
+        )
+    }
+}
+
+impl std::error::Error for CapacityMismatch {}
+
 /// Splits a total admission capacity across `shards` per-shard queues:
-/// each queue gets `total / shards`, floored, never below 1. With one
-/// shard this is exactly `total`, so the legacy single-queue server is
-/// unchanged; with more, the aggregate bound stays ≤ `total` (sharding
-/// never *increases* how much work the server will buffer).
-pub fn split_capacity(total: usize, shards: usize) -> usize {
-    (total / shards.max(1)).max(1)
+/// each queue gets `total / shards`, floored. With one shard this is
+/// exactly `total`, so the legacy single-queue server is unchanged; with
+/// more, the aggregate bound stays ≤ `total` (sharding never *increases*
+/// how much work the server will buffer). Because every shard also needs
+/// at least one slot, a configuration with `shards > total` cannot
+/// satisfy both bounds and is refused with [`CapacityMismatch`] instead
+/// of silently buffering `shards` items against a smaller configured
+/// total (the pre-fix behaviour).
+pub fn split_capacity(total: usize, shards: usize) -> Result<usize, CapacityMismatch> {
+    let shards = shards.max(1);
+    let total = total.max(1);
+    if shards > total {
+        return Err(CapacityMismatch { total, shards });
+    }
+    Ok(total / shards)
 }
 
 struct QueueState<T> {
@@ -70,12 +120,22 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
-    /// Non-blocking admission: `Err(Overloaded)` when full or closed.
+    /// Non-blocking admission: `Err(Overloaded)` when full or closed, with
+    /// the [`ShedReason`] distinguishing the two (closed wins when both
+    /// hold — a closed queue is permanently rejecting, which is the more
+    /// actionable signal).
     pub fn push(&self, item: T) -> Result<(), Overloaded> {
         let mut st = self.state.lock().expect("queue lock");
-        if st.closed || st.items.len() >= self.capacity {
+        if st.closed {
             return Err(Overloaded {
                 capacity: self.capacity,
+                reason: ShedReason::Closed,
+            });
+        }
+        if st.items.len() >= self.capacity {
+            return Err(Overloaded {
+                capacity: self.capacity,
+                reason: ShedReason::Full,
             });
         }
         st.items.push_back(item);
@@ -97,6 +157,20 @@ impl<T> BoundedQueue<T> {
                 return None;
             }
             st = self.ready.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Non-blocking conditional removal, the coalescing primitive: pops
+    /// the front item only when one is immediately available *and*
+    /// `pred(front)` holds. Returns `None` when the queue is empty, closed
+    /// with nothing left, or the front item fails the predicate — the
+    /// front item is never reordered or dropped, so FIFO admission order
+    /// is preserved exactly (a batch is always a contiguous prefix).
+    pub fn try_pop_if(&self, pred: impl FnOnce(&T) -> bool) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        match st.items.front() {
+            Some(front) if pred(front) => st.items.pop_front(),
+            _ => None,
         }
     }
 
@@ -127,16 +201,47 @@ mod tests {
 
     #[test]
     fn split_capacity_preserves_the_single_shard_bound() {
-        assert_eq!(split_capacity(64, 1), 64, "one shard keeps the full bound");
-        assert_eq!(split_capacity(64, 4), 16);
-        assert_eq!(split_capacity(64, 0), 64, "0 shards behaves as 1");
-        assert_eq!(split_capacity(3, 8), 1, "never below one slot per shard");
-        for shards in 1..12usize {
-            assert!(
-                split_capacity(64, shards) * shards <= 64,
-                "aggregate bound never exceeds the configured total"
-            );
+        assert_eq!(
+            split_capacity(64, 1),
+            Ok(64),
+            "one shard keeps the full bound"
+        );
+        assert_eq!(split_capacity(64, 4), Ok(16));
+        assert_eq!(split_capacity(64, 0), Ok(64), "0 shards behaves as 1");
+    }
+
+    #[test]
+    fn split_capacity_enforces_the_aggregate_bound_for_any_shard_count() {
+        // Regression: `shards > total` used to hand every shard a 1-slot
+        // queue, buffering `shards` items against a smaller configured
+        // total. Sweep well past `total` to pin the refusal.
+        for total in [1usize, 3, 8, 64] {
+            for shards in 1..=3 * total + 4 {
+                match split_capacity(total, shards) {
+                    Ok(per_shard) => {
+                        assert!(shards <= total, "Ok only when every shard can get a slot");
+                        assert!(per_shard >= 1, "every shard queue holds at least one item");
+                        assert!(
+                            per_shard * shards <= total,
+                            "aggregate bound never exceeds the configured total \
+                             (total={total} shards={shards} per_shard={per_shard})"
+                        );
+                    }
+                    Err(e) => {
+                        assert!(
+                            shards > total,
+                            "refusal only when the bounds are unsatisfiable"
+                        );
+                        assert_eq!(e, CapacityMismatch { total, shards });
+                        assert!(e.to_string().contains("cannot give each of"));
+                    }
+                }
+            }
         }
+        assert!(
+            split_capacity(3, 8).is_err(),
+            "the doc-comment counterexample is refused, not floored to 8×1"
+        );
     }
 
     #[test]
@@ -153,7 +258,15 @@ mod tests {
         let q = BoundedQueue::new(2);
         q.push(1).unwrap();
         q.push(2).unwrap();
-        assert_eq!(q.push(3), Err(Overloaded { capacity: 2 }));
+        let err = q.push(3).unwrap_err();
+        assert_eq!(
+            err,
+            Overloaded {
+                capacity: 2,
+                reason: ShedReason::Full
+            }
+        );
+        assert_eq!(err.to_string(), "admission queue at capacity 2");
         // Draining one slot re-opens admission.
         assert_eq!(q.pop(), Some(1));
         q.push(3).unwrap();
@@ -173,15 +286,51 @@ mod tests {
         q.push(1).unwrap();
         q.push(2).unwrap();
         q.close();
+        let err = q.push(3).unwrap_err();
         assert_eq!(
-            q.push(3),
-            Err(Overloaded { capacity: 8 }),
-            "closed queue sheds"
+            err,
+            Overloaded {
+                capacity: 8,
+                reason: ShedReason::Closed
+            },
+            "closed queue sheds with the Closed reason, not Full"
+        );
+        assert_eq!(
+            err.to_string(),
+            "admission queue closed (draining)",
+            "drain/shutdown no longer renders as an at-capacity message"
         );
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
         assert_eq!(q.pop(), None, "None is sticky after drain");
+    }
+
+    #[test]
+    fn closed_reason_wins_over_full() {
+        let q = BoundedQueue::new(1);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(
+            q.push(2).unwrap_err().reason,
+            ShedReason::Closed,
+            "a queue that is both full and closed reports Closed"
+        );
+    }
+
+    #[test]
+    fn try_pop_if_takes_only_a_matching_contiguous_prefix() {
+        let q = BoundedQueue::new(8);
+        for v in [2, 4, 5, 6] {
+            q.push(v).unwrap();
+        }
+        let even = |v: &i32| v % 2 == 0;
+        assert_eq!(q.try_pop_if(even), Some(2));
+        assert_eq!(q.try_pop_if(even), Some(4));
+        assert_eq!(q.try_pop_if(even), None, "odd front blocks the batch");
+        assert_eq!(q.pop(), Some(5), "blocking pop still sees FIFO order");
+        assert_eq!(q.try_pop_if(even), Some(6));
+        assert_eq!(q.try_pop_if(even), None, "empty queue never blocks");
     }
 
     #[test]

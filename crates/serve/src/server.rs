@@ -50,7 +50,17 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Total admission capacity, split evenly across shard queues
     /// ([`split_capacity`]); requests beyond a shard's slice are shed.
+    /// Must be at least the shard count so every shard queue gets a slot
+    /// ([`Server::start`] rejects the config otherwise).
     pub queue_capacity: usize,
+    /// Coalescing width: a worker that pops a query (`EMB`/`SCORE`) keeps
+    /// draining up to `batch - 1` further *contiguous* queued queries and
+    /// executes them as one fused forward pass
+    /// ([`Engine::execute_query_batch`]). `1` disables coalescing (the
+    /// legacy one-job-at-a-time drain). Replies are bit-identical at any
+    /// width — the coalescing oracle in the workspace test suite pins
+    /// `--batch N --cache on` against `--batch 1 --cache off`.
+    pub batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +69,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             queue_capacity: 64,
+            batch: 1,
         }
     }
 }
@@ -154,13 +165,28 @@ fn process_line(
 /// Each worker drains exactly one shard's queue (`queues[shard]`) but
 /// sees every shard's live depth, which `STATUS` reports both summed and
 /// per shard.
+///
+/// Coalescing (`batch > 1`): after popping a query job the worker keeps
+/// taking further *contiguous* query jobs ([`BoundedQueue::try_pop_if`] —
+/// the first non-query or empty slot stops the drain, so FIFO order is
+/// preserved exactly) up to `batch`, and executes them as one fused
+/// forward pass. The `serve.worker` fault point is checked once per drain
+/// cycle, before any job of the cycle runs — a crash therefore drops the
+/// whole cycle's reply senders, same as the one-job path drops its one.
 fn supervise_worker(
     id: usize,
     shard: usize,
+    batch: usize,
     engine: Arc<Engine>,
     queues: Vec<Arc<BoundedQueue<Job>>>,
     hook: FaultHook,
 ) {
+    let is_query = |cmd: &crate::protocol::Command| {
+        matches!(
+            cmd,
+            crate::protocol::Command::Emb { .. } | crate::protocol::Command::Score { .. }
+        )
+    };
     let backoff = RetryPolicy::default();
     let mut streak: u32 = 0;
     let processed = AtomicU64::new(0);
@@ -174,11 +200,32 @@ fn supervise_worker(
                 if let Err(fault) = hook.check(FaultPoint::ServeWorker) {
                     panic!("{fault}");
                 }
+                let mut jobs = vec![job];
+                if batch > 1 && is_query(&jobs[0].cmd) {
+                    while jobs.len() < batch {
+                        match queues[shard].try_pop_if(|j| is_query(&j.cmd)) {
+                            Some(next) => jobs.push(next),
+                            None => break,
+                        }
+                    }
+                }
                 let depths: Vec<usize> = queues.iter().map(|q| q.len()).collect();
-                let reply = engine.execute_with_depths(job.cmd, &depths);
-                // A vanished client must not kill the worker.
-                let _ = job.reply.send(reply.render());
-                processed.fetch_add(1, Ordering::Relaxed);
+                if jobs.len() >= 2 {
+                    let cmds: Vec<crate::protocol::Command> =
+                        jobs.iter().map(|j| j.cmd.clone()).collect();
+                    let replies = engine.execute_query_batch(&cmds, &depths);
+                    for (job, reply) in jobs.into_iter().zip(replies) {
+                        // A vanished client must not kill the worker.
+                        let _ = job.reply.send(reply.render());
+                        processed.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    let job = jobs.pop().expect("one popped job");
+                    let reply = engine.execute_with_depths(job.cmd, &depths);
+                    // A vanished client must not kill the worker.
+                    let _ = job.reply.send(reply.render());
+                    processed.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }));
         match drained {
@@ -238,7 +285,8 @@ impl Server {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shards = engine.shard_count();
-        let per_shard_capacity = split_capacity(config.queue_capacity, shards);
+        let per_shard_capacity = split_capacity(config.queue_capacity, shards)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
         let queues: Vec<Arc<BoundedQueue<Job>>> = (0..shards)
             .map(|_| Arc::new(BoundedQueue::new(per_shard_capacity)))
             .collect();
@@ -246,6 +294,7 @@ impl Server {
         let hook = engine.fault_hook();
 
         let per_shard_workers = config.workers.max(1);
+        let batch = config.batch.max(1);
         let mut workers = Vec::with_capacity(shards * per_shard_workers);
         for shard in 0..shards {
             for i in 0..per_shard_workers {
@@ -256,7 +305,7 @@ impl Server {
                 workers.push(
                     std::thread::Builder::new()
                         .name(format!("cpdg-serve-worker-{shard}-{i}"))
-                        .spawn(move || supervise_worker(id, shard, engine, queues, hook))
+                        .spawn(move || supervise_worker(id, shard, batch, engine, queues, hook))
                         .expect("spawn worker"),
                 );
             }
@@ -303,6 +352,7 @@ impl Server {
             shards = shards as u64,
             workers = per_shard_workers,
             queue_capacity = config.queue_capacity,
+            batch = batch as u64,
         );
         Ok(Self {
             engine,
@@ -450,9 +500,16 @@ mod tests {
             })
             .unwrap();
         queues[0].close();
-        // New arrivals shed with a typed reply.
+        // New arrivals shed with a typed reply whose detail names the
+        // *drain* as the cause (not capacity) — operators can tell a
+        // shutting-down server from an overloaded one on the wire.
         let reply = process_line("PING", &engine, &queues, &hook).unwrap();
         assert!(reply.starts_with("ERR overloaded"), "{reply}");
+        assert!(
+            reply.contains("closed"),
+            "drain detail names closure: {reply}"
+        );
+        assert!(!reply.contains("at capacity"), "{reply}");
         assert_eq!(engine.stats.shed.load(Ordering::Relaxed), 1);
         // The admitted job still drains and gets answered.
         let job = queues[0].pop().expect("admitted job survives close");
@@ -536,6 +593,89 @@ mod tests {
             !engine.breaker_open(),
             "one isolated panic must not trip the breaker"
         );
+    }
+
+    #[test]
+    fn start_rejects_capacity_smaller_than_shard_count() {
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 100.0);
+        let model = ModelFile::new(cfg, 6, ParamStore::new(), Vec::new());
+        let engine = Arc::new(Engine::from_model(
+            &model,
+            EngineConfig {
+                shards: 4,
+                ..EngineConfig::default()
+            },
+            FaultHook::none(),
+        ));
+        let err = Server::start(
+            engine,
+            &ServerConfig {
+                queue_capacity: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect_err("4 shards cannot share 2 admission slots");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("4 shards"), "{err}");
+    }
+
+    #[test]
+    fn coalesced_drain_matches_sequential_execution_bit_for_bit() {
+        // The coalescing oracle at the worker level: a batch-8 cache-on
+        // drain must answer every job byte-identically to a batch-1
+        // cache-off engine executing the same script sequentially.
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 100.0);
+        let model = ModelFile::new(cfg, 6, ParamStore::new(), Vec::new());
+        let mk = |cache: bool| {
+            Arc::new(Engine::from_model(
+                &model,
+                EngineConfig {
+                    cache,
+                    ..EngineConfig::default()
+                },
+                FaultHook::none(),
+            ))
+        };
+        let batched = mk(true);
+        let sequential = mk(false);
+        for line in ["EVENT 0 1 1.0", "EVENT 1 2 2.0", "EVENT 3 4 3.0"] {
+            let cmd = parse_line(line).unwrap();
+            assert!(batched.execute(cmd.clone()).render().starts_with("OK"));
+            assert!(sequential.execute(cmd).render().starts_with("OK"));
+        }
+        let script = ["EMB 1", "EMB 1", "SCORE 0 2", "EMB 4 3.5", "EMB 2"];
+        let queues = vec![Arc::new(BoundedQueue::<Job>::new(16))];
+        let mut rxs = Vec::new();
+        for line in script {
+            let (tx, rx) = mpsc::channel();
+            queues[0]
+                .push(Job {
+                    cmd: parse_line(line).unwrap(),
+                    reply: tx,
+                })
+                .unwrap();
+            rxs.push(rx);
+        }
+        queues[0].close();
+        let worker = {
+            let engine = Arc::clone(&batched);
+            let queues = queues.clone();
+            std::thread::spawn(move || supervise_worker(0, 0, 8, engine, queues, FaultHook::none()))
+        };
+        worker.join().unwrap();
+        let batched_replies: Vec<String> = rxs.iter().map(|rx| rx.recv().unwrap()).collect();
+        let sequential_replies: Vec<String> = script
+            .iter()
+            .map(|l| sequential.execute(parse_line(l).unwrap()).render())
+            .collect();
+        assert_eq!(batched_replies, sequential_replies);
+        assert_eq!(
+            batched.stats.batches.load(Ordering::Relaxed),
+            1,
+            "one coalesced cycle covered all five queries"
+        );
+        let (hits, _, _) = batched.cache_counters();
+        assert!(hits >= 1, "the duplicate EMB 1 replays from cache");
     }
 
     #[test]

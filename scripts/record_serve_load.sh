@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Records the serving-latency traffic replay into BENCH_serve_load.json at
+# the repo root: ~1M mixed ops (~10% EVENT / ~90% EMB+SCORE) through the
+# in-process engine with request coalescing (--batch 8) and the embedding
+# cache on, reporting p50/p99 latency, QPS, and cache hit rate. Run on a
+# quiet machine; pass extra serve_load flags after the output path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_serve_load.json}"
+shift || true
+cargo run --release -p cpdg-bench --bin serve_load -- --out "$OUT" "$@"
+echo
+echo "=== $OUT ==="
+cat "$OUT"

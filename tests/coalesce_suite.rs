@@ -1,0 +1,468 @@
+//! Coalesce suite: the request-coalescing + embedding-cache oracle.
+//!
+//! PR 8's tentpole batches compatible queued queries into one fused
+//! forward pass and fronts the engine with a temporal embedding cache.
+//! Both are *latency* features; the contract that makes them deployable is
+//! an invariance: **`--batch N --cache on` replies must be bit-identical
+//! to `--batch 1 --cache off`**, at 1, 2, and 8 shards, including under
+//! breaker trips, hot reload, and WAL crash recovery. "Bit-identical" is
+//! literal — rendered reply strings are compared verbatim.
+//!
+//! The suite drives the invariance at three levels:
+//! * engine level — [`Engine::execute_query_batch`] against sequential
+//!   [`Engine::execute`] over the same scripts, with events interleaved
+//!   between rounds so per-node cache invalidation is on the hot path;
+//! * property level — proptest-generated EVENT/QUERY/RELOAD interleavings
+//!   (including out-of-range ids), batched+cached vs sequential+uncached;
+//! * wire level — a real TCP server at `batch: 8` under concurrent
+//!   connections, every reply checked against a single-engine reference.
+//!
+//! The cache's *unit* semantics (key aliasing, dependency indexing,
+//! counter accounting) live in `crates/serve/src/cache.rs`; this suite
+//! only pins what callers can observe end to end.
+
+use cpdg::core::chaos::{FaultHook, FaultKind, FaultPlan, FaultPoint, Trigger};
+use cpdg::core::wal::WalConfig;
+use cpdg::core::ModelFile;
+use cpdg::dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor, MemorySnapshot};
+use cpdg::serve::{parse_line, Command, Engine, EngineConfig, Server, ServerConfig};
+use cpdg::tensor::{Matrix, ParamStore};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const NODES: usize = 12;
+const DIM: usize = 8;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A model bundle shaped like `cpdg pretrain` writes (namespaces `enc` /
+/// `pretext_head`), so engines built from it serve real replies.
+fn trained_model(seed: u64) -> ModelFile {
+    let cfg = DgnnConfig::preset(EncoderKind::Tgn, DIM, 100.0);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _enc = DgnnEncoder::new(&mut store, &mut rng, "enc", NODES, cfg.clone());
+    let _head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", DIM);
+    let states = Matrix::from_vec(
+        NODES,
+        DIM,
+        (0..NODES * DIM)
+            .map(|i| ((i % 11) as f32) * 0.03 - 0.15)
+            .collect(),
+    );
+    ModelFile::new(
+        cfg,
+        NODES,
+        store,
+        vec![MemorySnapshot {
+            states,
+            progress: 1.0,
+        }],
+    )
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpdg_coalesce_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn engine(shards: usize, cache: bool, hook: FaultHook) -> Engine {
+    Engine::from_model(
+        &trained_model(21),
+        EngineConfig {
+            shards,
+            cache,
+            ..EngineConfig::default()
+        },
+        hook,
+    )
+}
+
+fn exec(engine: &Engine, line: &str) -> String {
+    let cmd = parse_line(line).unwrap_or_else(|e| panic!("bad script line {line:?}: {e}"));
+    engine.execute(cmd).render()
+}
+
+fn ingest(engine: &Engine, events: &[String]) {
+    for line in events {
+        let r = exec(engine, line);
+        assert!(r.starts_with("OK "), "ingest failed: {line:?} -> {r}");
+    }
+}
+
+fn events(from: u32, count: u32) -> Vec<String> {
+    (from..from + count)
+        .map(|i| format!("EVENT {} {} {}.0", i % 6, (i + 1) % 6, i + 1))
+        .collect()
+}
+
+/// Deterministic queries (explicit timestamps), each listed twice so a
+/// cache-on run is guaranteed in-batch hits — the second occurrence must
+/// replay the first's bytes.
+fn query_lines(t: f64) -> Vec<String> {
+    let mut q = Vec::new();
+    for i in 0..6u32 {
+        q.push(format!("EMB {i} {t}"));
+        q.push(format!("EMB {i} {t}"));
+        q.push(format!("SCORE {} {} {t}", i, (i + 3) % 6));
+    }
+    // An out-of-range node inside a batch must yield the same typed ERR
+    // it does sequentially, without poisoning its batchmates.
+    q.push(format!("EMB {} {t}", NODES + 7));
+    q
+}
+
+fn parse_all(lines: &[String]) -> Vec<Command> {
+    lines
+        .iter()
+        .map(|l| parse_line(l).unwrap_or_else(|e| panic!("bad line {l:?}: {e}")))
+        .collect()
+}
+
+/// Executes `lines` on `batched` in fused chunks of `width` and on
+/// `sequential` one by one, asserting rendered replies are identical.
+fn assert_batches_match(batched: &Engine, sequential: &Engine, lines: &[String], width: usize) {
+    let cmds = parse_all(lines);
+    let mut got = Vec::with_capacity(cmds.len());
+    for chunk in cmds.chunks(width.max(1)) {
+        got.extend(
+            batched
+                .execute_query_batch(chunk, &[])
+                .into_iter()
+                .map(|r| r.render()),
+        );
+    }
+    let want: Vec<String> = cmds
+        .iter()
+        .map(|c| sequential.execute(c.clone()).render())
+        .collect();
+    assert_eq!(got, want, "width {width}");
+}
+
+// ---------------------------------------------------------------------
+// The tentpole oracle: batched+cached == sequential+uncached at every
+// shard count, with ingestion interleaved so invalidation must be sound.
+// ---------------------------------------------------------------------
+
+#[test]
+fn batched_cached_replies_are_bit_identical_at_every_shard_count() {
+    for shards in SHARD_COUNTS {
+        let batched = engine(shards, true, FaultHook::none());
+        let sequential = engine(shards, false, FaultHook::none());
+        ingest(&batched, &events(0, 10));
+        ingest(&sequential, &events(0, 10));
+        for width in [2usize, 4, 8] {
+            assert_batches_match(&batched, &sequential, &query_lines(10.0), width);
+        }
+        let (hits, misses, _) = batched.cache_counters();
+        assert!(hits > 0, "repeat queries must hit ({hits}h/{misses}m)");
+
+        // Fresh events invalidate exactly the touched dependency sets; a
+        // stale cache entry surviving here would break bit-identity.
+        ingest(&batched, &events(10, 5));
+        ingest(&sequential, &events(10, 5));
+        let (_, _, invalidations) = batched.cache_counters();
+        assert!(invalidations > 0, "ingestion must invalidate warm entries");
+        assert_batches_match(&batched, &sequential, &query_lines(15.0), 4);
+        assert_eq!(
+            batched
+                .stats
+                .events
+                .load(std::sync::atomic::Ordering::Relaxed),
+            sequential
+                .stats
+                .events
+                .load(std::sync::atomic::Ordering::Relaxed),
+        );
+    }
+}
+
+#[test]
+fn coalescing_stays_invariant_under_breaker_trips_and_probes() {
+    // Every inference fails: the query stream walks through failure
+    // accumulation, the trip, shorted requests, and failed probes. The
+    // batch path must consume fault-point hits and breaker transitions in
+    // exactly the sequential order.
+    let plan = FaultPlan::new(0).with(
+        FaultPoint::ServeInfer,
+        FaultKind::Permanent,
+        Trigger::Every { k: 1 },
+    );
+    for shards in SHARD_COUNTS {
+        let batched = engine(shards, true, FaultHook::install(&plan));
+        let sequential = engine(shards, false, FaultHook::install(&plan));
+        ingest(&batched, &events(0, 6));
+        ingest(&sequential, &events(0, 6));
+        assert_batches_match(&batched, &sequential, &query_lines(6.0), 4);
+        assert_eq!(batched.breaker_open(), sequential.breaker_open());
+        assert!(batched.breaker_open(), "the plan must actually trip");
+    }
+}
+
+#[test]
+fn reload_mid_stream_clears_the_cache_and_stays_invariant() {
+    let dir = test_dir("reload");
+    let next_path = dir.join("next.json");
+    // Different seed, same shape: the swap genuinely changes parameters,
+    // so any cache entry surviving it would change reply bytes.
+    trained_model(35).save(&next_path).unwrap();
+    let batched = engine(1, true, FaultHook::none());
+    let sequential = engine(1, false, FaultHook::none());
+    ingest(&batched, &events(0, 8));
+    ingest(&sequential, &events(0, 8));
+    assert_batches_match(&batched, &sequential, &query_lines(8.0), 4);
+    assert!(batched.cache_len() > 0);
+
+    let reload = format!("RELOAD {}", next_path.display());
+    assert_eq!(exec(&batched, &reload), exec(&sequential, &reload));
+    assert_eq!(batched.cache_len(), 0, "reload wholesale-invalidates");
+    assert_batches_match(&batched, &sequential, &query_lines(8.0), 4);
+
+    // Defensive fallback: a batch slice containing a non-query must
+    // execute sequentially with identical replies (the server never
+    // builds one, but the engine API tolerates it).
+    let mixed = vec![
+        "EMB 1 8.0".to_string(),
+        reload.clone(),
+        "SCORE 0 2 8.0".to_string(),
+    ];
+    assert_batches_match(&batched, &sequential, &mixed, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_recovery_restarts_with_a_cold_cache_and_identical_replies() {
+    let dir = test_dir("recover");
+    let cached_cfg = || EngineConfig {
+        cache: true,
+        ..EngineConfig::default()
+    };
+    let model = trained_model(21);
+    let warm = Engine::from_model(&model, cached_cfg(), FaultHook::none());
+    warm.open_wal(&dir.join("wal"), WalConfig::default())
+        .unwrap();
+    ingest(&warm, &events(0, 10));
+    // Warm the cache, twice over, then die without drain or checkpoint.
+    let cmds = parse_all(&query_lines(10.0));
+    warm.execute_query_batch(&cmds, &[]);
+    let (hits, _, _) = warm.cache_counters();
+    assert!(hits > 0);
+    drop(warm);
+
+    let recovered = Engine::from_model(&model, cached_cfg(), FaultHook::none());
+    let report = recovered
+        .open_wal(&dir.join("wal"), WalConfig::default())
+        .unwrap();
+    assert_eq!(report.replayed, 10);
+    assert_eq!(
+        recovered.cache_len(),
+        0,
+        "recovery must never trust pre-crash cache state"
+    );
+    // Batched+cached replies from the recovered engine match a fresh
+    // uninterrupted uncached engine byte for byte.
+    let reference = engine(1, false, FaultHook::none());
+    ingest(&reference, &events(0, 10));
+    let got: Vec<String> = recovered
+        .execute_query_batch(&cmds, &[])
+        .into_iter()
+        .map(|r| r.render())
+        .collect();
+    let want: Vec<String> = cmds
+        .iter()
+        .map(|c| reference.execute(c.clone()).render())
+        .collect();
+    assert_eq!(got, want);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Wire level: a coalescing server under concurrent connections.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tcp_server_with_batching_and_cache_answers_every_connection_correctly() {
+    let model = trained_model(21);
+    let reference = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+    ingest(&reference, &events(0, 10));
+
+    let serving = Arc::new(Engine::from_model(
+        &model,
+        EngineConfig {
+            cache: true,
+            ..EngineConfig::default()
+        },
+        FaultHook::none(),
+    ));
+    let server = Server::start(
+        Arc::clone(&serving),
+        &ServerConfig {
+            workers: 1,
+            batch: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind serve");
+    let addr = server.local_addr();
+
+    // Ingest over one connection first (lockstep: deterministic order).
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for line in events(0, 10) {
+            writeln!(stream, "{line}").unwrap();
+            stream.flush().unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert!(reply.starts_with("OK "), "{line:?} -> {reply}");
+        }
+    }
+
+    // Pure queries from 6 concurrent connections: read-only on DGNN
+    // state, so every reply must equal the reference engine's regardless
+    // of how the worker coalesced them.
+    let queries = query_lines(10.0);
+    let expected: Vec<String> = queries.iter().map(|q| exec(&reference, q)).collect();
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let queries = queries.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                for (line, want) in queries.iter().zip(&expected) {
+                    writeln!(stream, "{line}").unwrap();
+                    stream.flush().unwrap();
+                    let mut reply = String::new();
+                    reader.read_line(&mut reply).unwrap();
+                    assert_eq!(reply.trim_end(), want, "for {line:?}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown();
+    let (hits, misses, _) = serving.cache_counters();
+    assert!(
+        hits > 0,
+        "six identical scripts must hit the cache ({hits}h/{misses}m)"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property level: random EVENT / QUERY / RELOAD interleavings.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Event { src: u32, dst: u32 },
+    Emb { node: u32, now: bool },
+    Score { src: u32, dst: u32 },
+    Reload,
+}
+
+/// Ops over a universe slightly larger than the model's, so out-of-range
+/// ids (typed `ERR exec`, engine-side validation) interleave with real
+/// traffic — pinning that a refused EVENT stays a no-op in both modes.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let id = 0..(NODES as u32 + 2);
+    prop_oneof![
+        3 => (id.clone(), id.clone()).prop_map(|(src, dst)| Op::Event { src, dst }),
+        4 => (id.clone(), any::<bool>()).prop_map(|(node, now)| Op::Emb { node, now }),
+        2 => (id.clone(), id).prop_map(|(src, dst)| Op::Score { src, dst }),
+        1 => Just(Op::Reload),
+    ]
+}
+
+/// Replays `ops` against a batched+cached engine and a sequential
+/// uncached engine: query runs are flushed as one fused batch exactly
+/// where a non-query op (or the end) lands, mirroring the server's
+/// contiguous-prefix drain. Every rendered reply must match.
+fn run_interleaving(reload_path: &Path, ops: &[Op]) {
+    let batched = engine(1, true, FaultHook::none());
+    let sequential = engine(1, false, FaultHook::none());
+    let mut t = 0.0f64;
+    let mut run: Vec<Command> = Vec::new();
+    let mut got: Vec<String> = Vec::new();
+    let mut want: Vec<String> = Vec::new();
+
+    fn flush(
+        batched: &Engine,
+        sequential: &Engine,
+        run: &mut Vec<Command>,
+        got: &mut Vec<String>,
+        want: &mut Vec<String>,
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        got.extend(
+            batched
+                .execute_query_batch(run, &[])
+                .into_iter()
+                .map(|r| r.render()),
+        );
+        for c in run.drain(..) {
+            want.push(sequential.execute(c).render());
+        }
+    }
+
+    for op in ops {
+        match *op {
+            Op::Emb { node, now } => run.push(Command::Emb {
+                node,
+                t: if now { None } else { Some(6.0) },
+            }),
+            Op::Score { src, dst } => run.push(Command::Score {
+                src,
+                dst,
+                t: Some(6.0),
+            }),
+            Op::Event { src, dst } => {
+                flush(&batched, &sequential, &mut run, &mut got, &mut want);
+                t += 1.0;
+                let cmd = Command::Event {
+                    src,
+                    dst,
+                    t,
+                    field: 0,
+                };
+                got.push(batched.execute(cmd.clone()).render());
+                want.push(sequential.execute(cmd).render());
+            }
+            Op::Reload => {
+                flush(&batched, &sequential, &mut run, &mut got, &mut want);
+                let cmd = Command::Reload {
+                    path: reload_path.display().to_string(),
+                };
+                got.push(batched.execute(cmd.clone()).render());
+                want.push(sequential.execute(cmd).render());
+            }
+        }
+    }
+    flush(&batched, &sequential, &mut run, &mut got, &mut want);
+    assert_eq!(got, want, "ops: {ops:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_interleavings_are_cache_and_batch_invariant(
+        ops in proptest::collection::vec(op_strategy(), 1..36)
+    ) {
+        let dir = test_dir("prop");
+        let reload_path = dir.join("reload.json");
+        trained_model(35).save(&reload_path).unwrap();
+        run_interleaving(&reload_path, &ops);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
