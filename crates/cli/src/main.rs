@@ -71,6 +71,9 @@ USAGE:
                 [--breaker-probe N] [--wal-dir <dir>]
                 [--fsync always|os|every-N]
                 [--memory-in <state.json>] [--memory-out <state.json>]
+                [--continual --epoch-dir <dir>] [--train-window X]
+                [--train-stride X] [--train-cadence-ms N] [--train-gate X]
+                [--train-min-events N] [--train-probation N]
                 [--ingest <script>] [--chaos-plan <plan.json>] [--seed N]
   cpdg query    (--addr <host:port> | --port N)
                 [--send \"<request line>\" | --status]
@@ -97,6 +100,24 @@ kill -9 — restarts bit-identical to an uninterrupted run. --fsync picks
 the durability/throughput trade: `always` (default) syncs per append,
 `every-N` batches syncs, `os` leaves flushing to the page cache. A clean
 drain writes a checkpoint and truncates replayed segments.
+
+Continual pre-training: --continual (requires --wal-dir and
+--epoch-dir; refused with --ingest, exit 2) runs a supervised trainer
+beside serving. It slices the acknowledged stream into overlapping
+windows (--train-window span, --train-stride step), runs cross-window
+contrastive updates in a private parameter store, and every
+--train-cadence-ms emits a CRC-sealed candidate epoch under
+--epoch-dir. A candidate serves only after the validation gate passes
+(finite parameters; held-out loss within --train-gate x the serving
+epoch's) and the versioned hot-swap succeeds; rejected candidates move
+to <epoch-dir>/quarantine/ and are counted in STATUS (trainer.*).
+A promotion that trips the breaker within --train-probation cycles is
+rolled back automatically. The sealed pointer <epoch-dir>/promoted.cpdg
+is rewritten atomically on every promotion, so a process killed at any
+instant — even kill -9 mid-promotion — restarts serving the last
+promoted epoch (a corrupt pointer is warned about and the --model base
+epoch serves instead). Trainer crashes never touch serving: panics are
+caught, counted, and retried with deterministic backoff.
 
 Coalescing & caching: --batch N (default 1) lets each worker drain up
 to N contiguous queued queries and run them as one fused forward pass;
@@ -650,9 +671,39 @@ mod sig {
     }
 }
 
-/// Builds the serving engine from `--model` and the shared tuning knobs.
-fn serve_engine(args: &Args) -> CpdgResult<std::sync::Arc<cpdg_serve::Engine>> {
-    let model_path = args.require("model")?;
+/// The model file the engine should serve: `--model`, unless `--continual`
+/// has promoted a later epoch — the sealed pointer under `--epoch-dir`
+/// survives `kill -9`, so a restart resumes from the last *promoted*
+/// epoch instead of regressing to the base model. A corrupt pointer (or
+/// one naming a missing file) is warned about and the base model serves.
+fn resolve_serving_model(args: &Args) -> CpdgResult<PathBuf> {
+    let base = PathBuf::from(args.require("model")?);
+    if !args.has_flag("continual") {
+        return Ok(base);
+    }
+    let dir = PathBuf::from(args.require("epoch-dir")?);
+    match cpdg_serve::read_promoted(&dir) {
+        Ok(Some(promoted)) => {
+            println!("serving promoted epoch {}", promoted.display());
+            Ok(promoted)
+        }
+        Ok(None) => Ok(base),
+        Err(e) => {
+            cpdg_obs::warn!(
+                "cli.serve",
+                "promoted pointer unusable; serving the base model";
+                error = e.to_string(),
+            );
+            Ok(base)
+        }
+    }
+}
+
+/// Builds the serving engine from the resolved model file and the shared
+/// tuning knobs. Returns the engine with the path it serves, which
+/// `--continual` reuses as the trainer's baseline.
+fn serve_engine(args: &Args) -> CpdgResult<(std::sync::Arc<cpdg_serve::Engine>, PathBuf)> {
+    let model_path = resolve_serving_model(args)?;
     let shards: usize = args.get_num("shards", 1usize)?;
     if shards == 0 {
         return Err(CpdgError::Invalid(
@@ -678,13 +729,35 @@ fn serve_engine(args: &Args) -> CpdgResult<std::sync::Arc<cpdg_serve::Engine>> {
         shards,
         cache,
     };
-    let engine =
-        cpdg_serve::Engine::from_model_file(Path::new(model_path), engine_cfg, chaos_hook(args)?)?;
+    let engine = cpdg_serve::Engine::from_model_file(&model_path, engine_cfg, chaos_hook(args)?)?;
     if let Some(mem) = args.get("memory-in") {
         engine.restore_memory_file(&FS_STORAGE, Path::new(mem))?;
         println!("restored memory from {mem}");
     }
-    Ok(std::sync::Arc::new(engine))
+    Ok((std::sync::Arc::new(engine), model_path))
+}
+
+/// Builds the continual-trainer config from the `--train-*` knobs.
+/// Window geometry is validated here (exit 2 on nonsense) rather than on
+/// the supervisor thread, where a refusal would be invisible.
+fn trainer_config(args: &Args) -> CpdgResult<cpdg_serve::TrainerConfig> {
+    let dir = PathBuf::from(args.require("epoch-dir")?);
+    let mut cfg = cpdg_serve::TrainerConfig::new(dir);
+    let span: f64 = args.get_num("train-window", 16.0f64)?;
+    let stride: f64 = args.get_num("train-stride", span / 2.0)?;
+    cfg.continual.window = cpdg_core::WindowConfig::new(span, stride)?;
+    cfg.continual.min_events = args.get_num("train-min-events", 32usize)?;
+    cfg.continual.seed = args.get_num("seed", 0u64)?;
+    cfg.continual.gate.max_loss_ratio = args.get_num("train-gate", 1.5f64)?;
+    if !cfg.continual.gate.max_loss_ratio.is_finite() || cfg.continual.gate.max_loss_ratio <= 0.0 {
+        return Err(CpdgError::Invalid(format!(
+            "--train-gate must be finite and positive, got {}",
+            cfg.continual.gate.max_loss_ratio
+        )));
+    }
+    cfg.cadence = std::time::Duration::from_millis(args.get_num("train-cadence-ms", 500u64)?);
+    cfg.probation_cycles = args.get_num("train-probation", 3u64)?;
+    Ok(cfg)
 }
 
 /// Opens (and recovers from) the write-ahead log when `--wal-dir` is
@@ -743,7 +816,27 @@ fn serve_admission_knobs(args: &Args, shards: usize) -> CpdgResult<(usize, usize
 fn cmd_serve(args: &Args) -> CpdgResult<()> {
     use std::sync::atomic::Ordering;
     apply_threads(args)?;
-    let engine = serve_engine(args)?;
+    let continual = args.has_flag("continual");
+    if continual {
+        // Refuse misconfigurations before touching any state: the trainer
+        // needs a live engine (not the offline reference path) and a
+        // durable stream to train on.
+        if args.get("ingest").is_some() {
+            return Err(CpdgError::Invalid(
+                "--continual cannot run with --ingest (the trainer needs a live server)"
+                    .to_string(),
+            ));
+        }
+        if args.get("wal-dir").is_none() {
+            return Err(CpdgError::Invalid(
+                "--continual requires --wal-dir (training must not outlive the stream's \
+                 durability)"
+                    .to_string(),
+            ));
+        }
+        args.require("epoch-dir")?;
+    }
+    let (engine, serving_path) = serve_engine(args)?;
     let wal_attached = open_wal(args, &engine)?;
 
     if let Some(script) = args.get("ingest") {
@@ -777,10 +870,29 @@ fn cmd_serve(args: &Args) -> CpdgResult<()> {
         let server = cpdg_serve::Server::start(std::sync::Arc::clone(&engine), &server_cfg)
             .map_err(|e| CpdgError::io(server_cfg.addr.clone(), e))?;
         println!("listening on {}", server.local_addr());
+        let trainer = if continual {
+            let runtime = cpdg_serve::TrainerRuntime::new(
+                std::sync::Arc::clone(&engine),
+                &serving_path,
+                trainer_config(args)?,
+            )?;
+            let sup = cpdg_serve::TrainerSupervisor::start(runtime)
+                .map_err(|e| CpdgError::io("trainer supervisor", e))?;
+            println!("continual trainer running");
+            Some(sup)
+        } else {
+            None
+        };
         while sig::STOP.load(Ordering::Relaxed) == 0 {
             std::thread::sleep(std::time::Duration::from_millis(50));
         }
         println!("signal {}: draining…", sig::STOP.load(Ordering::Relaxed));
+        // Stop the trainer before draining the server: a promotion racing
+        // the drain-time checkpoint would be half in this run, half in the
+        // next.
+        if let Some(sup) = trainer {
+            sup.shutdown();
+        }
         server.shutdown();
     }
 

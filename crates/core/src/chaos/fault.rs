@@ -66,11 +66,25 @@ pub enum FaultPoint {
     /// it lands in neither memory nor any shard's log).
     #[serde(rename = "shard.route")]
     ShardRoute,
+    /// One windowed contrastive step of the continual trainer (a fired
+    /// fault aborts the training cycle; the supervisor backs off and
+    /// retries, and the serving epoch is untouched).
+    #[serde(rename = "trainer.step")]
+    TrainerStep,
+    /// One candidate-epoch publish by the continual trainer (a fired
+    /// fault quarantines the candidate before any bytes are written).
+    #[serde(rename = "trainer.emit")]
+    TrainerEmit,
+    /// One promotion attempt of a validated candidate epoch into the
+    /// serving engine (a fired fault quarantines the candidate and keeps
+    /// the last-good epoch live).
+    #[serde(rename = "trainer.promote")]
+    TrainerPromote,
 }
 
 impl FaultPoint {
     /// Every fault point, in catalogue order.
-    pub const ALL: [FaultPoint; 15] = [
+    pub const ALL: [FaultPoint; 18] = [
         FaultPoint::StorageWrite,
         FaultPoint::StorageRead,
         FaultPoint::LoaderRow,
@@ -86,6 +100,9 @@ impl FaultPoint {
         FaultPoint::WalReplay,
         FaultPoint::ServeWorker,
         FaultPoint::ShardRoute,
+        FaultPoint::TrainerStep,
+        FaultPoint::TrainerEmit,
+        FaultPoint::TrainerPromote,
     ];
 
     /// The dotted wire name (`storage.write`, `ckpt.save`, …) used in plan
@@ -107,6 +124,9 @@ impl FaultPoint {
             FaultPoint::WalReplay => "wal.replay",
             FaultPoint::ServeWorker => "serve.worker",
             FaultPoint::ShardRoute => "shard.route",
+            FaultPoint::TrainerStep => "trainer.step",
+            FaultPoint::TrainerEmit => "trainer.emit",
+            FaultPoint::TrainerPromote => "trainer.promote",
         }
     }
 }

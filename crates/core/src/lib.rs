@@ -31,6 +31,7 @@
 
 pub mod chaos;
 pub mod checkpoint;
+pub mod continual;
 pub mod contrast;
 pub mod eie;
 pub mod error;
@@ -49,6 +50,10 @@ pub use chaos::{
     RetryPolicy, Trigger,
 };
 pub use checkpoint::{CheckpointConfig, CheckpointManager, TrainCheckpoint};
+pub use continual::{
+    slice_windows, validate_candidate, ContinualConfig, ContinualTrainer, CycleReport, EventWindow,
+    GateConfig, GateReport, WindowConfig,
+};
 pub use eie::{EieFusion, EieModule};
 pub use error::{CpdgError, CpdgResult};
 pub use finetune::{FinetuneConfig, FinetuneStrategy, LinkPredResult};

@@ -37,6 +37,48 @@
 use cpdg_graph::NodeId;
 use std::collections::{HashMap, HashSet};
 
+/// Why the cache was wholesale-cleared. Reload, recovery, and epoch
+/// promotion all drop every entry, but they are operationally very
+/// different events (a promotion storm shows up as cache churn; so does a
+/// crash-recovery loop) — so each cause is counted separately, surfaced
+/// in `STATUS`, and mirrored to a dedicated observability counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClearCause {
+    /// Operator-driven hot reload (`RELOAD <path>`).
+    Reload,
+    /// Continual-trainer epoch promotion (or its probation rollback).
+    Promotion,
+    /// WAL crash recovery at startup.
+    Recovery,
+    /// Encoder memory restore (`--memory-in` or state transplant).
+    Restore,
+    /// Graceful drain flush (pending messages committed wholesale).
+    Flush,
+}
+
+impl ClearCause {
+    /// Stable lowercase token used in `STATUS` fields and obs counters.
+    pub fn token(self) -> &'static str {
+        match self {
+            ClearCause::Reload => "reload",
+            ClearCause::Promotion => "promotion",
+            ClearCause::Recovery => "recovery",
+            ClearCause::Restore => "restore",
+            ClearCause::Flush => "flush",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ClearCause::Reload => 0,
+            ClearCause::Promotion => 1,
+            ClearCause::Recovery => 2,
+            ClearCause::Restore => 3,
+            ClearCause::Flush => 4,
+        }
+    }
+}
+
 /// A query signature: the unit of caching.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
@@ -75,6 +117,8 @@ pub struct EmbedCache {
     hits: u64,
     misses: u64,
     invalidations: u64,
+    /// Wholesale-clear counts by [`ClearCause::index`].
+    clears: [u64; 5],
 }
 
 impl EmbedCache {
@@ -182,14 +226,30 @@ impl EmbedCache {
         dropped
     }
 
-    /// Drops everything (reload / recovery / restore / flush), returning
-    /// how many entries were dropped.
-    pub fn clear_all(&mut self) -> u64 {
+    /// Drops everything, tagging the wholesale clear with its `cause`
+    /// (reload vs. recovery vs. epoch promotion vs. restore vs. flush).
+    /// Returns how many entries were dropped. The per-cause *clear event*
+    /// count (not the entry count) feeds `STATUS` and the
+    /// `serve.cache_clear.<cause>` observability counters.
+    pub fn clear_all(&mut self, cause: ClearCause) -> u64 {
         let dropped = self.entries.len() as u64;
         self.entries.clear();
         self.dep_index.clear();
         self.note_invalidated(dropped);
+        self.clears[cause.index()] += 1;
+        match cause {
+            ClearCause::Reload => cpdg_obs::counter!("serve.cache_clear.reload").inc(),
+            ClearCause::Promotion => cpdg_obs::counter!("serve.cache_clear.promotion").inc(),
+            ClearCause::Recovery => cpdg_obs::counter!("serve.cache_clear.recovery").inc(),
+            ClearCause::Restore => cpdg_obs::counter!("serve.cache_clear.restore").inc(),
+            ClearCause::Flush => cpdg_obs::counter!("serve.cache_clear.flush").inc(),
+        }
         dropped
+    }
+
+    /// Number of wholesale clears attributed to `cause`.
+    pub fn clears(&self, cause: ClearCause) -> u64 {
+        self.clears[cause.index()]
     }
 
     fn note_invalidated(&mut self, dropped: u64) {
@@ -273,10 +333,28 @@ mod tests {
         let mut c = EmbedCache::new();
         c.insert(CacheKey::new(&[1], 1.0, false), vec![1.0], &[2]);
         c.insert(CacheKey::new(&[3], 1.0, false), vec![3.0], &[]);
-        assert_eq!(c.clear_all(), 2);
+        assert_eq!(c.clear_all(ClearCause::Reload), 2);
         assert!(c.is_empty());
         assert_eq!(c.invalidations(), 2);
         assert_eq!(c.lookup(&CacheKey::new(&[1], 1.0, false)), None);
+    }
+
+    #[test]
+    fn wholesale_clears_are_attributed_to_their_cause() {
+        let mut c = EmbedCache::new();
+        c.insert(CacheKey::new(&[1], 1.0, false), vec![1.0], &[]);
+        c.clear_all(ClearCause::Reload);
+        c.clear_all(ClearCause::Promotion);
+        c.clear_all(ClearCause::Promotion);
+        c.clear_all(ClearCause::Recovery);
+        assert_eq!(c.clears(ClearCause::Reload), 1);
+        assert_eq!(c.clears(ClearCause::Promotion), 2);
+        assert_eq!(c.clears(ClearCause::Recovery), 1);
+        assert_eq!(c.clears(ClearCause::Restore), 0);
+        assert_eq!(c.clears(ClearCause::Flush), 0);
+        // Entry-count accounting is independent: only the first clear
+        // actually dropped anything.
+        assert_eq!(c.invalidations(), 1);
     }
 
     #[test]

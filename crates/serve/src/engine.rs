@@ -42,7 +42,7 @@
 //! legacy checkpoints.
 
 use crate::breaker::Admittance;
-use crate::cache::{CacheKey, EmbedCache};
+use crate::cache::{CacheKey, ClearCause, EmbedCache};
 use crate::protocol::{render_floats, Command, ErrKind, Reply};
 use crate::shard::ShardBank;
 use cpdg_core::error::{CpdgError, CpdgResult};
@@ -180,6 +180,60 @@ impl ServeStats {
     }
 }
 
+/// Continual-training counters shared between the engine and the trainer
+/// supervisor, surfaced verbatim in the `STATUS` reply. The engine bumps
+/// `promotions`/`rollbacks` itself inside the epoch swap; the supervisor
+/// owns the rest through the `note_*` helpers.
+#[derive(Debug, Default)]
+pub struct TrainerStats {
+    /// 1 while a continual trainer is attached to this engine, else 0.
+    pub active: AtomicU64,
+    /// Event-window pairs trained across all completed cycles.
+    pub windows: AtomicU64,
+    /// Candidate epochs emitted (pre-validation).
+    pub candidates: AtomicU64,
+    /// Validated candidates promoted into serving.
+    pub promotions: AtomicU64,
+    /// Promotions reverted inside the probation window.
+    pub rollbacks: AtomicU64,
+    /// Candidates rejected and set aside (gate failure, corruption,
+    /// injected fault, divergence, panic).
+    pub quarantined: AtomicU64,
+    /// The trainer's candidate generation counter (0 = none emitted yet).
+    pub training_epoch: AtomicU64,
+}
+
+impl TrainerStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Marks a continual trainer as attached (or detached) to the engine.
+    pub fn set_active(&self, on: bool) {
+        self.active.store(u64::from(on), Ordering::Relaxed);
+    }
+
+    /// Records `n` window pairs trained by a completed cycle.
+    pub fn note_windows(&self, n: u64) {
+        self.windows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one emitted candidate epoch at generation `generation`.
+    pub fn note_candidate(&self, generation: u64) {
+        Self::bump(&self.candidates);
+        self.training_epoch.store(generation, Ordering::Relaxed);
+    }
+
+    /// Records one quarantined candidate.
+    pub fn note_quarantined(&self) {
+        Self::bump(&self.quarantined);
+    }
+}
+
 /// The serving engine. Thread-safe; share behind an [`Arc`].
 pub struct Engine {
     inner: Mutex<EngineInner>,
@@ -188,6 +242,9 @@ pub struct Engine {
     config: EngineConfig,
     /// Shared request counters (the server increments `shed`).
     pub stats: ServeStats,
+    /// Continual-training counters (the trainer supervisor increments
+    /// most; the engine itself counts promotions and rollbacks).
+    pub trainer: TrainerStats,
 }
 
 fn build_epoch(model: &ModelFile, version: u64, seed: u64) -> (Epoch, DgnnEncoder) {
@@ -238,6 +295,29 @@ fn build_epoch(model: &ModelFile, version: u64, seed: u64) -> (Epoch, DgnnEncode
     (epoch, encoder)
 }
 
+/// Why an epoch swap is happening — selects the fault point consulted,
+/// the cache-clear cause recorded, and the counter charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SwapKind {
+    /// Operator-initiated `RELOAD` command.
+    Reload,
+    /// Continual trainer promoting a validated candidate epoch.
+    Promotion,
+    /// Continual trainer reverting to the last-good epoch after a
+    /// just-promoted candidate tripped the breaker inside probation.
+    Rollback,
+}
+
+impl SwapKind {
+    fn name(self) -> &'static str {
+        match self {
+            SwapKind::Reload => "reload",
+            SwapKind::Promotion => "promotion",
+            SwapKind::Rollback => "rollback",
+        }
+    }
+}
+
 /// How one real forward pass ended.
 enum InferOutcome {
     /// Finite output values.
@@ -279,6 +359,7 @@ impl Engine {
             hook,
             config,
             stats: ServeStats::default(),
+            trainer: TrainerStats::default(),
         }
     }
 
@@ -383,9 +464,13 @@ impl Engine {
     /// replicas are in lockstep, so summing trips would multiply one
     /// logical trip by the shard count; `worker_panics` is global only
     /// (the worker pool belongs to the server, not to a shard) and is
-    /// never repeated per shard. Unlike `STATS`, the body includes live
-    /// queue/WAL occupancy, so `STATUS` replies are *not* expected to be
-    /// identical across runs.
+    /// never repeated per shard. `cache_clear_<cause>=` fields attribute
+    /// wholesale cache clears to what triggered them (reload, epoch
+    /// promotion/rollback, WAL recovery, memory restore, drain flush), and
+    /// a `trainer.*` block reports the continual trainer's counters with
+    /// the current training generation next to the serving epoch. Unlike
+    /// `STATS`, the body includes live queue/WAL occupancy, so `STATUS`
+    /// replies are *not* expected to be identical across runs.
     fn status_reply(&self, queue_depths: &[usize]) -> Reply {
         let inner = self.inner.lock().expect("engine lock");
         let breaker = inner.bank.slot(0).breaker().state_name();
@@ -425,8 +510,16 @@ impl Engine {
             inner.cache.invalidations(),
             inner.cache.len(),
         );
+        let (cc_reload, cc_promotion, cc_recovery, cc_restore, cc_flush) = (
+            inner.cache.clears(ClearCause::Reload),
+            inner.cache.clears(ClearCause::Promotion),
+            inner.cache.clears(ClearCause::Recovery),
+            inner.cache.clears(ClearCause::Restore),
+            inner.cache.clears(ClearCause::Flush),
+        );
         drop(inner);
         let s = &self.stats;
+        let t = &self.trainer;
         Reply::Ok {
             version: self.version(),
             body: format!(
@@ -434,9 +527,15 @@ impl Engine {
                  events={} ok={} degraded={} shed={} errors={} reloads={} worker_panics={} \
                  batches={} cache={} cache_hits={cache_hits} cache_misses={cache_misses} \
                  cache_invalidations={cache_invalidations} cache_entries={cache_entries} \
+                 cache_clear_reload={cc_reload} cache_clear_promotion={cc_promotion} \
+                 cache_clear_recovery={cc_recovery} cache_clear_restore={cc_restore} \
+                 cache_clear_flush={cc_flush} \
                  wal={wal_attached} wal_segments={wal_segments} wal_bytes={wal_bytes} \
                  wal_next_index={wal_next} recovered_from_checkpoint={} recovered_replayed={} \
-                 recovered_truncated_bytes={}{shard_block}",
+                 recovered_truncated_bytes={} trainer={} trainer.windows={} \
+                 trainer.candidates={} trainer.promotions={} trainer.rollbacks={} \
+                 trainer.quarantined={} trainer.training_epoch={} \
+                 trainer.serving_epoch={}{shard_block}",
                 self.version(),
                 ServeStats::get(&s.events),
                 ServeStats::get(&s.ok),
@@ -450,6 +549,18 @@ impl Engine {
                 rec.checkpoint_applied,
                 rec.replayed,
                 rec.recovery.truncated_bytes,
+                if TrainerStats::get(&t.active) != 0 {
+                    "on"
+                } else {
+                    "off"
+                },
+                TrainerStats::get(&t.windows),
+                TrainerStats::get(&t.candidates),
+                TrainerStats::get(&t.promotions),
+                TrainerStats::get(&t.rollbacks),
+                TrainerStats::get(&t.quarantined),
+                TrainerStats::get(&t.training_epoch),
+                self.version(),
             ),
         }
     }
@@ -613,7 +724,7 @@ impl Engine {
             inner.bank.note_event(0);
             inner.bank.note_replayed(0);
         }
-        inner.cache.clear_all();
+        inner.cache.clear_all(ClearCause::Recovery);
         inner.recovery = Some(report);
         cpdg_obs::info!(
             "serve.engine",
@@ -758,7 +869,7 @@ impl Engine {
             replayed,
             recovery,
         };
-        inner.cache.clear_all();
+        inner.cache.clear_all(ClearCause::Recovery);
         inner.recovery = Some(report);
         cpdg_obs::info!(
             "serve.engine",
@@ -1325,49 +1436,101 @@ impl Engine {
     /// a typed `ERR reload`. On success the version increments and the live
     /// DGNN memory carries over unchanged.
     fn reload(&self, path: &Path) -> Reply {
-        let fail = |detail: String| Reply::Err {
-            kind: ErrKind::Reload,
-            detail,
-        };
-        if let Err(fault) = self.hook.check(FaultPoint::ServeReload) {
-            return fail(fault.to_string());
+        match self.swap_epoch(path, SwapKind::Reload) {
+            Ok(version) => Reply::Ok {
+                version,
+                body: "reloaded".to_string(),
+            },
+            Err(e) => Reply::Err {
+                kind: ErrKind::Reload,
+                detail: e.to_string(),
+            },
         }
-        let model = match ModelFile::load(path) {
-            Ok(m) => m,
-            Err(e) => return fail(e.to_string()),
+    }
+
+    /// Installs the model at `path` as the serving epoch. The shared core
+    /// of operator `RELOAD` and trainer promotion/rollback: read the new
+    /// bundle off-lock, refuse incompatible shapes, transplant the live
+    /// DGNN memory, swap the epoch pointer, and clear the embedding cache
+    /// with the cause matching `kind`. Any failure — injected fault at the
+    /// kind's fault point, unreadable/corrupt file, shape mismatch,
+    /// transplant refusal — leaves the old epoch serving untouched.
+    fn swap_epoch(&self, path: &Path, kind: SwapKind) -> CpdgResult<u64> {
+        let point = match kind {
+            SwapKind::Reload => FaultPoint::ServeReload,
+            SwapKind::Promotion | SwapKind::Rollback => FaultPoint::TrainerPromote,
         };
+        self.hook.check(point).map_err(|f| CpdgError::Fault {
+            point: point.name().to_string(),
+            reason: f.to_string(),
+        })?;
+        let model = ModelFile::load(path)?;
         let mut inner = self.inner.lock().expect("engine lock");
         let old = Arc::clone(&inner.epoch);
         if model.num_nodes != old.num_nodes || model.encoder_config.dim != old.cfg.dim {
-            return fail(format!(
+            return Err(CpdgError::Invalid(format!(
                 "incompatible model: {} nodes dim {} (serving {} nodes dim {})",
                 model.num_nodes, model.encoder_config.dim, old.num_nodes, old.cfg.dim
-            ));
+            )));
         }
         let (epoch, mut encoder) = build_epoch(&model, old.version + 1, self.config.seed);
         if let Err(e) = encoder.restore_state(inner.encoder.export_state()) {
-            return fail(format!("memory transplant refused: {e}"));
+            return Err(CpdgError::Invalid(format!(
+                "memory transplant refused: {e}"
+            )));
         }
         let epoch = Arc::new(epoch);
         inner.epoch = Arc::clone(&epoch);
         inner.encoder = encoder;
         // New parameters: every cached value was computed under the old
         // epoch and is wholesale stale.
-        inner.cache.clear_all();
+        inner.cache.clear_all(match kind {
+            SwapKind::Reload => ClearCause::Reload,
+            SwapKind::Promotion | SwapKind::Rollback => ClearCause::Promotion,
+        });
         inner.bank.note_reload(epoch.version);
         *self.current.write().expect("epoch pointer lock") = Arc::clone(&epoch);
-        ServeStats::bump(&self.stats.reloads);
-        cpdg_obs::counter!("serve.reloads").inc();
+        match kind {
+            SwapKind::Reload => {
+                ServeStats::bump(&self.stats.reloads);
+                cpdg_obs::counter!("serve.reloads").inc();
+            }
+            SwapKind::Promotion => {
+                TrainerStats::bump(&self.trainer.promotions);
+                cpdg_obs::counter!("serve.trainer.promotions").inc();
+            }
+            SwapKind::Rollback => {
+                TrainerStats::bump(&self.trainer.rollbacks);
+                cpdg_obs::counter!("serve.trainer.rollbacks").inc();
+            }
+        }
         cpdg_obs::info!(
             "serve.engine",
-            "hot reload complete";
+            "epoch swap complete";
+            kind = kind.name(),
             version = epoch.version,
             path = path.display().to_string(),
         );
-        Reply::Ok {
-            version: epoch.version,
-            body: "reloaded".to_string(),
-        }
+        Ok(epoch.version)
+    }
+
+    /// Promotes a validated candidate epoch from the continual trainer
+    /// into serving. Same swap as a hot reload — live DGNN memory carries
+    /// over, the version increments, the embedding cache is cleared with
+    /// the `promotion` cause — but gated on the `trainer.promote` fault
+    /// point and counted under `trainer.promotions`. Returns the new
+    /// serving version; on error the previous epoch is untouched.
+    pub fn promote_epoch(&self, path: &Path) -> CpdgResult<u64> {
+        self.swap_epoch(path, SwapKind::Promotion)
+    }
+
+    /// Reverts to a previously-good epoch after a just-promoted candidate
+    /// misbehaved inside its probation window. Mechanically identical to
+    /// [`Engine::promote_epoch`] (the version still moves *forward* — the
+    /// epoch counter is a generation number, not an identity), but counted
+    /// under `trainer.rollbacks` so `STATUS` tells the two apart.
+    pub fn rollback_epoch(&self, path: &Path) -> CpdgResult<u64> {
+        self.swap_epoch(path, SwapKind::Rollback)
     }
 
     /// Flushes pending encoder messages into memory (the same final flush
@@ -1383,7 +1546,7 @@ impl Engine {
         // Committing pending messages rewrites memory rows and update
         // times; drain is cold-path, so clear wholesale rather than model
         // it.
-        inner.cache.clear_all();
+        inner.cache.clear_all(ClearCause::Flush);
     }
 
     /// Snapshot of the full mutable encoder state (memory, cells, pending).
@@ -1402,7 +1565,7 @@ impl Engine {
         let mut inner = self.inner.lock().expect("engine lock");
         let restored = inner.encoder.restore_state(state);
         if restored.is_ok() {
-            inner.cache.clear_all();
+            inner.cache.clear_all(ClearCause::Restore);
         }
         restored
     }
@@ -1457,6 +1620,21 @@ impl Engine {
     /// server front door consults the same plan at `serve.accept`.
     pub fn fault_hook(&self) -> FaultHook {
         self.hook.clone()
+    }
+
+    /// A point-in-time clone of the acknowledged event stream, for the
+    /// continual trainer. Cloning under the engine lock captures exactly
+    /// the prefix whose `EVENT` replies have been sent — equivalent to
+    /// replaying the durable WAL, without racing the appender over
+    /// in-flight tail writes.
+    pub fn snapshot_graph(&self) -> DynamicGraph {
+        self.inner.lock().expect("engine lock").graph.clone()
+    }
+
+    /// Cumulative circuit-breaker trips (canonical replica) — the
+    /// probation signal the trainer supervisor watches after a promotion.
+    pub fn breaker_trips(&self) -> u64 {
+        self.inner.lock().expect("engine lock").bank.trips()
     }
 }
 
@@ -1938,5 +2116,103 @@ mod tests {
             "post-reload replies stay bit-identical (and stamp v2)"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promotion_swaps_the_epoch_and_is_counted_apart_from_reloads() {
+        let dir = test_dir("promote");
+        let model = tiny_model();
+        let path = dir.join("candidate.json");
+        model.save(&path).unwrap();
+        let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        ingest_events(&engine, &[(0, 1, 1.0), (1, 2, 2.0)]);
+
+        assert_eq!(engine.promote_epoch(&path).unwrap(), 2);
+        assert_eq!(engine.version(), 2);
+        assert_eq!(
+            engine.rollback_epoch(&path).unwrap(),
+            3,
+            "rollback still moves forward"
+        );
+        assert_eq!(
+            ServeStats::get(&engine.stats.reloads),
+            0,
+            "neither swap is a reload"
+        );
+        assert_eq!(TrainerStats::get(&engine.trainer.promotions), 1);
+        assert_eq!(TrainerStats::get(&engine.trainer.rollbacks), 1);
+
+        let status = engine.execute(Command::Status).render();
+        assert!(status.contains("trainer.promotions=1"), "{status}");
+        assert!(status.contains("trainer.rollbacks=1"), "{status}");
+        assert!(status.contains("trainer.serving_epoch=3"), "{status}");
+        assert!(status.contains("reloads=0"), "{status}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promote_fault_leaves_the_serving_epoch_untouched() {
+        let dir = test_dir("promote-fault");
+        let model = tiny_model();
+        let path = dir.join("candidate.json");
+        model.save(&path).unwrap();
+        let plan = FaultPlan::new(5).with(
+            FaultPoint::TrainerPromote,
+            FaultKind::Transient,
+            Trigger::Nth { n: 0 },
+        );
+        let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::install(&plan));
+        let err = engine.promote_epoch(&path).unwrap_err();
+        assert!(err.to_string().contains("trainer.promote"), "{err}");
+        assert_eq!(
+            engine.version(),
+            1,
+            "failed promotion keeps the old epoch live"
+        );
+        assert_eq!(TrainerStats::get(&engine.trainer.promotions), 0);
+        assert_eq!(
+            engine.promote_epoch(&path).unwrap(),
+            2,
+            "transient fault clears; the retry promotes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_attributes_cache_clears_to_their_cause() {
+        let dir = test_dir("clear-causes");
+        let model = tiny_model();
+        let path = dir.join("next.json");
+        model.save(&path).unwrap();
+        let engine = Engine::from_model(&model, cached_config(), FaultHook::none());
+        ingest_events(&engine, &[(0, 1, 1.0)]);
+        engine.execute(Command::Reload {
+            path: path.display().to_string(),
+        });
+        engine.promote_epoch(&path).unwrap();
+        engine.flush();
+        let status = engine.execute(Command::Status).render();
+        assert!(status.contains("cache_clear_reload=1"), "{status}");
+        assert!(status.contains("cache_clear_promotion=1"), "{status}");
+        assert!(status.contains("cache_clear_flush=1"), "{status}");
+        assert!(status.contains("cache_clear_recovery=0"), "{status}");
+        assert!(status.contains("cache_clear_restore=0"), "{status}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_graph_returns_the_acknowledged_prefix() {
+        let model = tiny_model();
+        let engine = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+        ingest_events(&engine, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        let snap = engine.snapshot_graph();
+        assert_eq!(snap.events().len(), 3);
+        assert_eq!(snap.events()[2].t, 3.0);
+        ingest_events(&engine, &[(3, 4, 4.0)]);
+        assert_eq!(
+            snap.events().len(),
+            3,
+            "the snapshot is a point-in-time clone"
+        );
     }
 }

@@ -42,6 +42,16 @@
 //!   fused forward pass via
 //!   [`Engine::execute_query_batch`](engine::Engine::execute_query_batch)),
 //!   graceful drain.
+//! * [`trainer`] — crash-safe streaming continual pre-training: a
+//!   supervised [`TrainerRuntime`] slices the engine's acknowledged
+//!   stream into overlapping time windows, runs windowed cross-window
+//!   contrastive updates in a *private* parameter store, emits CRC-sealed
+//!   candidate epochs, and promotes them through a validation gate
+//!   (finite parameters, bounded held-out loss) into the same versioned
+//!   hot-swap path as `RELOAD` — with quarantine for rejected candidates,
+//!   a sealed promoted-epoch pointer for crash recovery, and automatic
+//!   rollback if a fresh promotion trips the breaker inside its probation
+//!   window.
 //! * [`shard`] — the `--shards N` partition of the durability/resilience
 //!   domain: a stable node→shard router ([`ShardRouter`](cpdg_graph::ShardRouter)),
 //!   per-shard WAL streams under `wal.shard<k>/` with globally-sequenced
@@ -74,11 +84,15 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod shard;
+pub mod trainer;
 
 pub use breaker::{Admittance, CircuitBreaker};
-pub use cache::{CacheKey, EmbedCache};
-pub use engine::{Engine, EngineConfig, Epoch, ServeStats, WalRecoveryReport};
+pub use cache::{CacheKey, ClearCause, EmbedCache};
+pub use engine::{Engine, EngineConfig, Epoch, ServeStats, TrainerStats, WalRecoveryReport};
 pub use protocol::{parse_line, render_floats, Command, ErrKind, Reply};
 pub use queue::{split_capacity, BoundedQueue, CapacityMismatch, Overloaded, ShedReason};
 pub use server::{Server, ServerConfig};
 pub use shard::{ShardBank, ShardSlot};
+pub use trainer::{
+    read_promoted, write_promoted, CycleOutcome, TrainerConfig, TrainerRuntime, TrainerSupervisor,
+};

@@ -1,0 +1,709 @@
+//! Supervised continual pre-training over the serving engine's stream.
+//!
+//! A [`TrainerRuntime`] owns a [`ContinualTrainer`] (its own parameter
+//! store — a diverging or crashing trainer can never scribble on serving
+//! state) and drives the train → emit → validate → promote cycle against
+//! the engine's acknowledged event stream
+//! ([`Engine::snapshot_graph`]). Candidate epochs are ordinary CRC-sealed
+//! [`ModelFile`]s written atomically under the epoch directory; a
+//! candidate reaches serving only through the promotion gate
+//! ([`validate_candidate`]: finite parameters and a bounded held-out
+//! loss against the serving epoch) and the engine's versioned hot-swap
+//! ([`Engine::promote_epoch`], which checks the `trainer.promote` fault
+//! point). Every promotion rewrites the sealed *promoted pointer*
+//! ([`write_promoted`]) so a process killed at any instant restarts
+//! serving the last promoted epoch.
+//!
+//! Failure handling is the whole point:
+//!
+//! * a fired `trainer.step` fault aborts the cycle typed; the supervisor
+//!   backs off and retries — serving is untouched;
+//! * guard divergence ([`CpdgError::Diverged`]) quarantines the cycle and
+//!   rebuilds the trainer from the serving epoch;
+//! * a fired `trainer.emit` fault, an unreadable/corrupt candidate, or a
+//!   gate failure quarantines the candidate (the file, when one exists,
+//!   moves to `quarantine/`) and counts it in `STATUS`;
+//! * a just-promoted epoch that trips the circuit breaker inside its
+//!   probation window is rolled back ([`Engine::rollback_epoch`]) and
+//!   quarantined, and the previous epoch returns to serving;
+//! * a panic anywhere in the cycle is caught by the supervisor thread
+//!   ([`TrainerSupervisor`]), counted, and the trainer is rebuilt from
+//!   the serving epoch after a bounded deterministic backoff — the same
+//!   supervision discipline the worker pool uses.
+
+use crate::engine::Engine;
+use cpdg_core::{
+    validate_candidate, ContinualConfig, ContinualTrainer, CpdgError, CpdgResult, CycleReport,
+    FaultHook, GateReport, ModelFile, RetryPolicy, Storage, FS_STORAGE,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// File name of the sealed promoted-epoch pointer inside the epoch dir.
+pub const PROMOTED_POINTER: &str = "promoted.cpdg";
+
+/// Subdirectory of the epoch dir that rejected candidates move into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Knobs of the continual-training supervisor.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Trainer hyper-parameters (window geometry, guard, gate, …).
+    pub continual: ContinualConfig,
+    /// Directory holding candidate epochs, the promoted pointer, and the
+    /// quarantine subdirectory. Created if missing.
+    pub epoch_dir: PathBuf,
+    /// Sleep between training cycles on the supervisor thread.
+    pub cadence: Duration,
+    /// Cycles a just-promoted epoch stays on probation: a breaker trip
+    /// before they elapse rolls the promotion back.
+    pub probation_cycles: u64,
+}
+
+impl TrainerConfig {
+    /// A config training under `epoch_dir` with default hyper-parameters.
+    pub fn new(epoch_dir: PathBuf) -> Self {
+        Self {
+            continual: ContinualConfig::default(),
+            epoch_dir,
+            cadence: Duration::from_millis(500),
+            probation_cycles: 3,
+        }
+    }
+}
+
+/// What one supervisor cycle did — the oracle tests assert on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CycleOutcome {
+    /// Stream too short (or too few windows) to train on.
+    Idle,
+    /// A transient injected fault aborted the cycle; it will be retried.
+    Faulted(String),
+    /// The cycle trained and emitted a candidate, but the gate (or
+    /// emit/readback/promotion) rejected it; the candidate is quarantined.
+    Quarantined(String),
+    /// A candidate passed the gate and now serves at this version.
+    Promoted {
+        /// New serving version.
+        version: u64,
+        /// The gate report that admitted it.
+        gate: GateReport,
+    },
+    /// A probation breach rolled serving back to this version.
+    RolledBack {
+        /// Serving version after the rollback swap.
+        version: u64,
+    },
+}
+
+/// A promotion under observation.
+#[derive(Debug, Clone)]
+struct Probation {
+    /// Breaker trips at the instant of promotion.
+    trips: u64,
+    /// Cycles left before the promotion is confirmed good.
+    cycles_left: u64,
+    /// The promoted candidate file (quarantined on rollback).
+    candidate: PathBuf,
+    /// The epoch file serving returns to on rollback.
+    fallback: PathBuf,
+}
+
+/// The synchronous train → emit → validate → promote state machine.
+///
+/// [`TrainerSupervisor`] drives one of these on a background thread; the
+/// continual suite constructs one directly and steps it with
+/// [`TrainerRuntime::run_cycle`] so every cut point is reachable
+/// deterministically.
+pub struct TrainerRuntime {
+    engine: Arc<Engine>,
+    cfg: TrainerConfig,
+    hook: FaultHook,
+    trainer: ContinualTrainer,
+    /// The model the engine is serving — the gate baseline.
+    serving_model: ModelFile,
+    /// File backing `serving_model` (the rollback fallback).
+    serving_path: PathBuf,
+    /// Candidate generation counter (monotone; also the `STATUS`
+    /// `trainer.training_epoch`).
+    generation: u64,
+    probation: Option<Probation>,
+}
+
+impl TrainerRuntime {
+    /// Builds the runtime. `serving_path` must point at the model file the
+    /// engine is currently serving (after promoted-pointer resolution);
+    /// it seeds both the trainer parameters and the gate baseline. Creates
+    /// the epoch and quarantine directories.
+    pub fn new(engine: Arc<Engine>, serving_path: &Path, cfg: TrainerConfig) -> CpdgResult<Self> {
+        std::fs::create_dir_all(cfg.epoch_dir.join(QUARANTINE_DIR))
+            .map_err(|e| CpdgError::io(&cfg.epoch_dir, e))?;
+        let serving_model = ModelFile::load(serving_path)?;
+        let trainer = ContinualTrainer::from_model(&serving_model, cfg.continual.clone())?;
+        let hook = engine.fault_hook();
+        engine.trainer.set_active(true);
+        Ok(Self {
+            engine,
+            cfg,
+            hook,
+            trainer,
+            serving_model,
+            serving_path: serving_path.to_path_buf(),
+            generation: 0,
+            probation: None,
+        })
+    }
+
+    /// The path the next emitted candidate will be written to.
+    fn candidate_path(&self, generation: u64) -> PathBuf {
+        self.cfg
+            .epoch_dir
+            .join(format!("candidate-g{generation}.json"))
+    }
+
+    /// Moves a rejected candidate file into the quarantine directory and
+    /// counts it. Missing files (emit faulted before writing) still count:
+    /// every rejected candidate is accounted for in `STATUS`.
+    fn quarantine(&self, path: &Path, reason: &str) {
+        if path.exists() {
+            let dest = self
+                .cfg
+                .epoch_dir
+                .join(QUARANTINE_DIR)
+                .join(path.file_name().unwrap_or_default());
+            if let Err(e) = std::fs::rename(path, &dest) {
+                cpdg_obs::warn!(
+                    "serve.trainer",
+                    "failed to move quarantined candidate; deleting in place";
+                    path = path.display().to_string(),
+                    error = e.to_string(),
+                );
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        self.engine.trainer.note_quarantined();
+        cpdg_obs::counter!("serve.trainer.quarantined").inc();
+        cpdg_obs::warn!(
+            "serve.trainer",
+            "candidate quarantined";
+            candidate = path.display().to_string(),
+            reason = reason.to_string(),
+        );
+    }
+
+    /// Rebuilds the trainer from the serving epoch — the recovery move
+    /// after divergence or a caught panic left trainer state suspect.
+    pub fn reset_from_serving(&mut self) -> CpdgResult<()> {
+        self.trainer =
+            ContinualTrainer::from_model(&self.serving_model, self.cfg.continual.clone())?;
+        Ok(())
+    }
+
+    /// Checks the live probation window, rolling back if the breaker
+    /// tripped since promotion. Returns the rollback outcome when one
+    /// happened.
+    fn check_probation(&mut self) -> CpdgResult<Option<CycleOutcome>> {
+        let Some(p) = self.probation.clone() else {
+            return Ok(None);
+        };
+        if self.engine.breaker_trips() > p.trips {
+            let version = self.engine.rollback_epoch(&p.fallback)?;
+            self.quarantine(&p.candidate, "breaker tripped inside probation");
+            self.serving_model = ModelFile::load(&p.fallback)?;
+            self.serving_path = p.fallback.clone();
+            write_promoted(&self.cfg.epoch_dir, self.generation, &p.fallback)?;
+            self.probation = None;
+            self.reset_from_serving()?;
+            cpdg_obs::warn!(
+                "serve.trainer",
+                "promotion rolled back inside probation";
+                version = version,
+                fallback = p.fallback.display().to_string(),
+            );
+            return Ok(Some(CycleOutcome::RolledBack { version }));
+        }
+        if p.cycles_left <= 1 {
+            self.probation = None;
+        } else {
+            self.probation = Some(Probation {
+                cycles_left: p.cycles_left - 1,
+                ..p
+            });
+        }
+        Ok(None)
+    }
+
+    /// Runs one full cycle: probation check, windowed contrastive
+    /// training over a stream snapshot, candidate emission, gate
+    /// validation, promotion. Every failure mode maps to a typed
+    /// [`CycleOutcome`]; an `Err` return is reserved for unrecoverable
+    /// environment problems (epoch dir unwritable, fallback model
+    /// unreadable during rollback).
+    pub fn run_cycle(&mut self) -> CpdgResult<CycleOutcome> {
+        if let Some(rolled) = self.check_probation()? {
+            return Ok(rolled);
+        }
+        let graph = self.engine.snapshot_graph();
+        let report = match self.trainer.train_cycle(&graph, &self.hook) {
+            Ok(r) => r,
+            Err(CpdgError::Diverged(report)) => {
+                self.engine.trainer.note_quarantined();
+                cpdg_obs::counter!("serve.trainer.quarantined").inc();
+                cpdg_obs::warn!(
+                    "serve.trainer",
+                    "training diverged; trainer rebuilt from serving epoch";
+                    report = report.to_string(),
+                );
+                self.reset_from_serving()?;
+                return Ok(CycleOutcome::Quarantined(format!("diverged: {report}")));
+            }
+            Err(e @ CpdgError::Fault { .. }) => {
+                return Ok(CycleOutcome::Faulted(e.to_string()));
+            }
+            Err(e) => return Err(e),
+        };
+        if report.steps == 0 {
+            return Ok(CycleOutcome::Idle);
+        }
+        self.engine.trainer.note_windows(report.steps as u64);
+        self.emit_validate_promote(&graph, &report)
+    }
+
+    /// The emit → validate → promote tail of a cycle that trained.
+    fn emit_validate_promote(
+        &mut self,
+        graph: &cpdg_graph::DynamicGraph,
+        report: &CycleReport,
+    ) -> CpdgResult<CycleOutcome> {
+        let generation = self.generation + 1;
+        let path = self.candidate_path(generation);
+        if let Err(e) = self.trainer.emit_candidate(&FS_STORAGE, &path, &self.hook) {
+            self.quarantine(&path, &e.to_string());
+            return Ok(CycleOutcome::Quarantined(format!("emit failed: {e}")));
+        }
+        self.generation = generation;
+        self.engine.trainer.note_candidate(generation);
+        cpdg_obs::counter!("serve.trainer.candidates").inc();
+        // Read the candidate back through the sealed loader: what the gate
+        // scores and the engine promotes is the *file*, so corruption
+        // between emit and promote is caught here.
+        let candidate = match ModelFile::load(&path) {
+            Ok(m) => m,
+            Err(e) => {
+                self.quarantine(&path, &e.to_string());
+                return Ok(CycleOutcome::Quarantined(format!(
+                    "candidate unreadable: {e}"
+                )));
+            }
+        };
+        let gate = match validate_candidate(
+            &candidate,
+            &self.serving_model,
+            graph,
+            report.holdout_from,
+            &self.cfg.continual.gate,
+            self.cfg.continual.seed,
+        ) {
+            Ok(g) => g,
+            Err(e) => {
+                self.quarantine(&path, &e.to_string());
+                return Ok(CycleOutcome::Quarantined(format!("gate errored: {e}")));
+            }
+        };
+        if !gate.pass {
+            self.quarantine(&path, &gate.reason);
+            return Ok(CycleOutcome::Quarantined(format!(
+                "gate rejected: {}",
+                gate.reason
+            )));
+        }
+        let version = match self.engine.promote_epoch(&path) {
+            Ok(v) => v,
+            Err(e) => {
+                self.quarantine(&path, &e.to_string());
+                return Ok(CycleOutcome::Quarantined(format!("promotion failed: {e}")));
+            }
+        };
+        // Promotion is live; seal the pointer so a crash from here on
+        // restarts into this epoch. The swap above and this write are the
+        // two halves of the promotion cut point the kill oracle exercises.
+        write_promoted(&self.cfg.epoch_dir, generation, &path)?;
+        self.probation = Some(Probation {
+            trips: self.engine.breaker_trips(),
+            cycles_left: self.cfg.probation_cycles,
+            candidate: path.clone(),
+            fallback: self.serving_path.clone(),
+        });
+        self.serving_model = candidate;
+        self.serving_path = path.clone();
+        cpdg_obs::info!(
+            "serve.trainer",
+            "candidate promoted";
+            version = version,
+            generation = generation,
+            gate = gate.reason.clone(),
+        );
+        Ok(CycleOutcome::Promoted { version, gate })
+    }
+}
+
+/// Atomically writes the sealed promoted-epoch pointer: `generation` and
+/// the serving model path (verbatim — a rollback may point outside the
+/// epoch dir, back at the base model), CRC-sealed so a torn write is
+/// detected rather than silently followed.
+pub fn write_promoted(epoch_dir: &Path, generation: u64, model: &Path) -> CpdgResult<()> {
+    let name = model
+        .to_str()
+        .ok_or_else(|| CpdgError::Invalid(format!("unnameable model path {}", model.display())))?;
+    let payload = format!("{generation}\n{name}");
+    let pointer = epoch_dir.join(PROMOTED_POINTER);
+    FS_STORAGE
+        .write_atomic(&pointer, &cpdg_core::integrity::seal(payload.as_bytes()))
+        .map_err(|e| CpdgError::io(&pointer, e))
+}
+
+/// Reads the promoted-epoch pointer, returning the path of the model file
+/// serving should resume from. `Ok(None)` when no pointer exists (nothing
+/// was ever promoted); `Err` on a corrupt pointer or one naming a missing
+/// file — callers should warn and fall back to their base model.
+pub fn read_promoted(epoch_dir: &Path) -> CpdgResult<Option<PathBuf>> {
+    let pointer = epoch_dir.join(PROMOTED_POINTER);
+    if !pointer.exists() {
+        return Ok(None);
+    }
+    let bytes = std::fs::read(&pointer).map_err(|e| CpdgError::io(&pointer, e))?;
+    let payload = cpdg_core::integrity::unseal(&bytes, &pointer)?;
+    let text =
+        std::str::from_utf8(payload).map_err(|e| CpdgError::corrupt(&pointer, e.to_string()))?;
+    let name = text
+        .lines()
+        .nth(1)
+        .ok_or_else(|| CpdgError::corrupt(&pointer, "missing model path line".to_string()))?;
+    let model = PathBuf::from(name);
+    if !model.exists() {
+        return Err(CpdgError::corrupt(
+            &model,
+            "promoted pointer names a missing model file".to_string(),
+        ));
+    }
+    Ok(Some(model))
+}
+
+/// The supervisor thread: owns a [`TrainerRuntime`] and cycles it at the
+/// configured cadence, catching panics with the same
+/// streak-reset-plus-deterministic-backoff discipline as the worker pool.
+pub struct TrainerSupervisor {
+    handle: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl TrainerSupervisor {
+    /// Spawns the supervisor thread around `runtime`.
+    pub fn start(runtime: TrainerRuntime) -> std::io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cpdg-trainer".to_string())
+            .spawn(move || supervise_trainer(runtime, flag))?;
+        Ok(Self {
+            handle: Some(handle),
+            stop,
+        })
+    }
+
+    /// Signals the supervisor to stop after its current cycle and joins it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TrainerSupervisor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The supervision loop. A panicking cycle is caught and counted as a
+/// quarantined candidate (whatever was in flight is abandoned), the
+/// trainer is rebuilt from the serving epoch, and the loop restarts after
+/// a bounded deterministic backoff; a completed cycle resets the panic
+/// streak. Unrecoverable `Err` outcomes (epoch dir gone, fallback model
+/// unreadable) stop the trainer — serving continues without it.
+fn supervise_trainer(mut runtime: TrainerRuntime, stop: Arc<AtomicBool>) {
+    let backoff = RetryPolicy::default();
+    let mut streak: u32 = 0;
+    let engine = Arc::clone(&runtime.engine);
+    let cadence = runtime.cfg.cadence;
+    while !stop.load(Ordering::SeqCst) {
+        let cycled = catch_unwind(AssertUnwindSafe(|| runtime.run_cycle()));
+        match cycled {
+            Ok(Ok(outcome)) => {
+                streak = 0;
+                if let CycleOutcome::Faulted(reason) = outcome {
+                    cpdg_obs::warn!(
+                        "serve.trainer",
+                        "training cycle hit an injected fault; retrying";
+                        reason = reason,
+                    );
+                }
+            }
+            Ok(Err(e)) => {
+                cpdg_obs::warn!(
+                    "serve.trainer",
+                    "continual trainer stopped on unrecoverable error";
+                    error = e.to_string(),
+                );
+                break;
+            }
+            Err(_) => {
+                streak += 1;
+                engine.trainer.note_quarantined();
+                cpdg_obs::counter!("serve.trainer.quarantined").inc();
+                let delay = backoff.backoff_delay(streak);
+                cpdg_obs::warn!(
+                    "serve.trainer",
+                    "training cycle panicked; rebuilding trainer after backoff";
+                    streak = streak,
+                    backoff_ms = delay.as_millis() as u64,
+                );
+                if runtime.reset_from_serving().is_err() {
+                    break;
+                }
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if !cadence.is_zero() {
+            std::thread::sleep(cadence);
+        }
+    }
+    engine.trainer.set_active(false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::protocol::Command;
+    use cpdg_core::{FaultKind, FaultPlan, FaultPoint, Trigger, WindowConfig};
+    use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, GuardConfig, LinkPredictor};
+    use cpdg_tensor::ParamStore;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const NODES: usize = 16;
+    const DIM: usize = 8;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpdg-trainer-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A freshly-initialised model whose namespaces match the engine's.
+    fn base_model(dir: &Path) -> PathBuf {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, DIM, 100.0);
+        let enc = DgnnEncoder::new(&mut store, &mut rng, "enc", NODES, cfg.clone());
+        let _head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", enc.dim());
+        let path = dir.join("base.json");
+        ModelFile::new(cfg, NODES, store, Vec::new())
+            .save(&path)
+            .unwrap();
+        path
+    }
+
+    fn stream_events(engine: &Engine, n: usize) {
+        for i in 0..n {
+            let r = engine.execute(Command::Event {
+                src: (i % (NODES / 2)) as u32,
+                dst: (NODES / 2 + i % (NODES / 2)) as u32,
+                t: i as f64,
+                field: 0,
+            });
+            assert!(r.render().starts_with("OK"), "{}", r.render());
+        }
+    }
+
+    fn runtime_with(
+        dir: &Path,
+        hook: FaultHook,
+        tweak: impl FnOnce(&mut TrainerConfig),
+    ) -> (Arc<Engine>, TrainerRuntime, PathBuf) {
+        let base = base_model(dir);
+        let model = ModelFile::load(&base).unwrap();
+        let engine = Arc::new(Engine::from_model(&model, EngineConfig::default(), hook));
+        let mut cfg = TrainerConfig::new(dir.join("epochs"));
+        cfg.continual.window = WindowConfig {
+            span: 20.0,
+            stride: 10.0,
+        };
+        cfg.continual.min_events = 16;
+        cfg.continual.seed = 7;
+        cfg.continual.guard = GuardConfig::never_diverge();
+        tweak(&mut cfg);
+        let rt = TrainerRuntime::new(Arc::clone(&engine), &base, cfg).unwrap();
+        (engine, rt, base)
+    }
+
+    #[test]
+    fn idle_until_enough_stream_then_trains_and_promotes() {
+        let dir = test_dir("promote");
+        let (engine, mut rt, _) = runtime_with(&dir, FaultHook::none(), |_| {});
+        assert_eq!(
+            rt.run_cycle().unwrap(),
+            CycleOutcome::Idle,
+            "empty stream is idle"
+        );
+        stream_events(&engine, 64);
+        match rt.run_cycle().unwrap() {
+            CycleOutcome::Promoted { version, gate } => {
+                assert_eq!(version, 2);
+                assert!(gate.pass);
+            }
+            other => panic!("expected promotion, got {other:?}"),
+        }
+        assert_eq!(engine.version(), 2);
+        let promoted = read_promoted(&dir.join("epochs")).unwrap().unwrap();
+        assert!(
+            promoted.ends_with("candidate-g1.json"),
+            "{}",
+            promoted.display()
+        );
+        let status = engine.execute(Command::Status).render();
+        assert!(status.contains("trainer=on"), "{status}");
+        assert!(status.contains("trainer.promotions=1"), "{status}");
+        assert!(status.contains("trainer.training_epoch=1"), "{status}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn emit_fault_quarantines_without_touching_serving() {
+        let dir = test_dir("emit-fault");
+        let plan = FaultPlan::new(11).with(
+            FaultPoint::TrainerEmit,
+            FaultKind::Transient,
+            Trigger::Nth { n: 0 },
+        );
+        let (engine, mut rt, _) = runtime_with(&dir, FaultHook::install(&plan), |_| {});
+        stream_events(&engine, 64);
+        match rt.run_cycle().unwrap() {
+            CycleOutcome::Quarantined(reason) => {
+                assert!(reason.contains("trainer.emit"), "{reason}")
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(engine.version(), 1, "serving untouched");
+        let status = engine.execute(Command::Status).render();
+        assert!(status.contains("trainer.quarantined=1"), "{status}");
+        assert!(status.contains("trainer.promotions=0"), "{status}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promote_fault_quarantines_the_candidate_file() {
+        let dir = test_dir("promote-fault");
+        let plan = FaultPlan::new(12).with(
+            FaultPoint::TrainerPromote,
+            FaultKind::Permanent,
+            Trigger::Every { k: 1 },
+        );
+        let (engine, mut rt, _) = runtime_with(&dir, FaultHook::install(&plan), |_| {});
+        stream_events(&engine, 64);
+        match rt.run_cycle().unwrap() {
+            CycleOutcome::Quarantined(reason) => {
+                assert!(reason.contains("trainer.promote"), "{reason}")
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(engine.version(), 1);
+        let q = dir
+            .join("epochs")
+            .join(QUARANTINE_DIR)
+            .join("candidate-g1.json");
+        assert!(q.exists(), "rejected candidate parked in quarantine");
+        assert!(
+            read_promoted(&dir.join("epochs")).unwrap().is_none(),
+            "no pointer without a promotion"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_pointer_is_a_typed_error() {
+        let dir = test_dir("pointer");
+        let epochs = dir.join("epochs");
+        std::fs::create_dir_all(&epochs).unwrap();
+        assert!(read_promoted(&epochs).unwrap().is_none());
+        std::fs::write(epochs.join(PROMOTED_POINTER), b"garbage").unwrap();
+        assert!(
+            read_promoted(&epochs).is_err(),
+            "corrupt pointer must not be followed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn step_fault_is_retried_not_quarantined() {
+        let dir = test_dir("step-fault");
+        let plan = FaultPlan::new(13).with(
+            FaultPoint::TrainerStep,
+            FaultKind::Transient,
+            Trigger::Nth { n: 0 },
+        );
+        let (engine, mut rt, _) = runtime_with(&dir, FaultHook::install(&plan), |_| {});
+        stream_events(&engine, 64);
+        match rt.run_cycle().unwrap() {
+            CycleOutcome::Faulted(reason) => assert!(reason.contains("trainer.step"), "{reason}"),
+            other => panic!("expected fault outcome, got {other:?}"),
+        }
+        let status = engine.execute(Command::Status).render();
+        assert!(status.contains("trainer.quarantined=0"), "{status}");
+        assert!(
+            matches!(
+                rt.run_cycle().unwrap(),
+                CycleOutcome::Promoted { .. } | CycleOutcome::Idle
+            ),
+            "transient fault clears on retry"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn supervisor_thread_promotes_and_shuts_down_cleanly() {
+        let dir = test_dir("supervisor");
+        let (engine, rt, _) = runtime_with(&dir, FaultHook::none(), |cfg| {
+            cfg.cadence = Duration::from_millis(5);
+        });
+        stream_events(&engine, 64);
+        let sup = TrainerSupervisor::start(rt).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while engine.version() == 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        sup.shutdown();
+        assert!(engine.version() >= 2, "supervisor promoted at least once");
+        let status = engine.execute(Command::Status).render();
+        assert!(
+            status.contains("trainer=off"),
+            "shutdown marks the trainer detached: {status}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

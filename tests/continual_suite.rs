@@ -1,0 +1,561 @@
+//! Continual-training chaos suite: the promotion-safety oracle.
+//!
+//! The contract under test: a serving engine with a continual trainer
+//! attached must answer queries **byte-identically** to an engine with no
+//! trainer at all, no matter what goes wrong inside the trainer —
+//! injected step faults, emit faults, promote-time faults, guard
+//! divergence, corrupt candidate files — right up until a candidate
+//! passes the validation gate and is *promoted*. Training is allowed to
+//! change serving exactly one way: through a validated promotion.
+//!
+//! Three pillars:
+//!
+//! * **baseline invariance** — one fault plan walks a cycle through every
+//!   trainer fault point (`trainer.step`, `trainer.emit`,
+//!   `trainer.promote`); after each failed cycle the trainer engine's
+//!   replies are compared verbatim against a trainer-less twin, and every
+//!   rejected candidate is accounted for in `STATUS`;
+//! * **kill -9 at every cut point** — the process dies before emit, after
+//!   emit but before promotion, and after promotion sealed the pointer;
+//!   each time, recovery (promoted-pointer resolution + WAL replay) is a
+//!   *deterministic function of durable state*: two independent
+//!   recoveries serve byte-identical replies, and only the post-promotion
+//!   cut resolves to the candidate epoch. A corrupt pointer is refused
+//!   and falls back to the base model, still deterministically;
+//! * **probation rollback** — a promotion that trips the circuit breaker
+//!   inside its probation window is rolled back: the previous epoch
+//!   returns to serving, the pointer is rewritten to it (even though it
+//!   lives outside the epoch dir), and the candidate is quarantined.
+//!
+//! Plus the window-slicing properties the trainer leans on: every event
+//! covered, exact tiling at `stride == span`, half-open boundaries,
+//! duplicates inseparable, and slicing identical at any shard count after
+//! merge-replay recovery (the `shard_suite` replay-order guarantee).
+//!
+//! The scripted real-SIGKILL variant of the kill oracle (against the
+//! `cpdg` binary under `serve --continual`) lives in CI's continual-suite
+//! job; this file is the in-process oracle it leans on.
+
+use cpdg::core::chaos::{FaultHook, FaultKind, FaultPlan, FaultPoint, Trigger};
+use cpdg::core::wal::WalConfig;
+use cpdg::core::{slice_windows, EventWindow, ModelFile, WindowConfig};
+use cpdg::dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, GuardConfig, LinkPredictor};
+use cpdg::serve::trainer::QUARANTINE_DIR;
+use cpdg::serve::{
+    parse_line, read_promoted, CycleOutcome, Engine, EngineConfig, TrainerConfig, TrainerRuntime,
+};
+use cpdg::tensor::ParamStore;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const NODES: usize = 16;
+const DIM: usize = 8;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpdg_continual_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A freshly-initialised base model (namespaces `enc` / `pretext_head`)
+/// saved to `dir/base.json` — the epoch serving starts from.
+fn base_model(dir: &Path) -> PathBuf {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg = DgnnConfig::preset(EncoderKind::Tgn, DIM, 100.0);
+    let enc = DgnnEncoder::new(&mut store, &mut rng, "enc", NODES, cfg.clone());
+    let _head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", enc.dim());
+    let path = dir.join("base.json");
+    ModelFile::new(cfg, NODES, store, Vec::new())
+        .save(&path)
+        .unwrap();
+    path
+}
+
+fn tiny_segments() -> WalConfig {
+    WalConfig {
+        segment_bytes: 64,
+        ..WalConfig::default()
+    }
+}
+
+fn exec(engine: &Engine, line: &str) -> String {
+    let cmd = parse_line(line).unwrap_or_else(|e| panic!("bad script line {line:?}: {e}"));
+    engine.execute(cmd).render()
+}
+
+/// The ingestion stream: a node rotation with one event per time unit, so
+/// span-20/stride-10 windows share plenty of nodes to contrast.
+fn events(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("EVENT {} {} {}.0", i % 8, 8 + i % 8, i))
+        .collect()
+}
+
+fn feed(engines: &[&Engine], lines: &[String]) {
+    for line in lines {
+        for engine in engines {
+            let r = exec(engine, line);
+            assert!(r.starts_with("OK "), "{line:?} -> {r}");
+        }
+    }
+}
+
+/// Deterministic queries probing node memories past the stream's end.
+fn queries() -> Vec<String> {
+    let mut q = Vec::new();
+    for i in 0..8u32 {
+        q.push(format!("EMB {i} 100.0"));
+        q.push(format!("SCORE {} {} 100.0", i, 8 + (i + 3) % 8));
+    }
+    q
+}
+
+fn snap(engine: &Engine) -> Vec<String> {
+    queries().iter().map(|q| exec(engine, q)).collect()
+}
+
+/// The trainer geometry all suite scenarios share: enough windows over a
+/// 64-event stream to train, with divergence disabled unless a scenario
+/// forces it.
+fn trainer_cfg(epoch_dir: PathBuf) -> TrainerConfig {
+    let mut cfg = TrainerConfig::new(epoch_dir);
+    cfg.continual.window = WindowConfig {
+        span: 20.0,
+        stride: 10.0,
+    };
+    cfg.continual.min_events = 16;
+    cfg.continual.seed = 7;
+    cfg.continual.guard = GuardConfig::never_diverge();
+    cfg
+}
+
+/// The tentpole oracle: one fault plan fires every trainer fault point on
+/// successive cycles, and the trainer engine's replies stay byte-identical
+/// to a trainer-less twin until the first *validated* promotion lands.
+#[test]
+fn faulted_cycles_never_change_replies_until_a_validated_promotion() {
+    let dir = test_dir("invariance");
+    let base = base_model(&dir);
+    let model = ModelFile::load(&base).unwrap();
+    let plan = FaultPlan::new(21)
+        .with(
+            FaultPoint::TrainerStep,
+            FaultKind::Transient,
+            Trigger::Nth { n: 0 },
+        )
+        .with(
+            FaultPoint::TrainerEmit,
+            FaultKind::Transient,
+            Trigger::Nth { n: 0 },
+        )
+        .with(
+            FaultPoint::TrainerPromote,
+            FaultKind::Transient,
+            Trigger::Nth { n: 0 },
+        );
+    let trained = Arc::new(Engine::from_model(
+        &model,
+        EngineConfig::default(),
+        FaultHook::install(&plan),
+    ));
+    let baseline = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+    let mut rt =
+        TrainerRuntime::new(Arc::clone(&trained), &base, trainer_cfg(dir.join("epochs"))).unwrap();
+    feed(&[&trained, &baseline], &events(64));
+
+    // Cycle 1: the step fault aborts training mid-window — retried later.
+    match rt.run_cycle().unwrap() {
+        CycleOutcome::Faulted(reason) => assert!(reason.contains("trainer.step"), "{reason}"),
+        other => panic!("cycle 1: expected step fault, got {other:?}"),
+    }
+    assert_eq!(snap(&trained), snap(&baseline), "after step fault");
+
+    // Cycle 2: training completes but emission fails before any bytes.
+    match rt.run_cycle().unwrap() {
+        CycleOutcome::Quarantined(reason) => assert!(reason.contains("trainer.emit"), "{reason}"),
+        other => panic!("cycle 2: expected emit quarantine, got {other:?}"),
+    }
+    assert_eq!(snap(&trained), snap(&baseline), "after emit fault");
+
+    // Cycle 3: the candidate emits and passes readback, but promotion
+    // fires the `trainer.promote` fault — the file is quarantined and the
+    // serving epoch never swaps.
+    match rt.run_cycle().unwrap() {
+        CycleOutcome::Quarantined(reason) => {
+            assert!(reason.contains("trainer.promote"), "{reason}")
+        }
+        other => panic!("cycle 3: expected promote quarantine, got {other:?}"),
+    }
+    assert_eq!(trained.version(), 1, "serving untouched through 3 failures");
+    assert_eq!(snap(&trained), snap(&baseline), "after promote fault");
+    let status = exec(&trained, "STATUS");
+    assert!(status.contains("trainer.quarantined=2"), "{status}");
+    assert!(status.contains("trainer.promotions=0"), "{status}");
+    assert!(
+        dir.join("epochs")
+            .join(QUARANTINE_DIR)
+            .join("candidate-g1.json")
+            .exists(),
+        "promote-faulted candidate parked in quarantine"
+    );
+
+    // Cycle 4: nothing fires — the candidate passes the gate and promotes.
+    // This is the one sanctioned way training may change serving.
+    match rt.run_cycle().unwrap() {
+        CycleOutcome::Promoted { version, gate } => {
+            assert_eq!(version, 2);
+            assert!(gate.pass, "{}", gate.reason);
+        }
+        other => panic!("cycle 4: expected promotion, got {other:?}"),
+    }
+    assert_eq!(trained.version(), 2);
+    for reply in snap(&trained) {
+        assert!(reply.starts_with("OK v2 "), "promoted reply: {reply}");
+    }
+    let promoted = read_promoted(&dir.join("epochs")).unwrap().unwrap();
+    assert!(promoted.ends_with("candidate-g2.json"), "{promoted:?}");
+    let status = exec(&trained, "STATUS");
+    assert!(status.contains("trainer.promotions=1"), "{status}");
+    assert!(status.contains("trainer.quarantined=2"), "{status}");
+    assert!(status.contains("trainer.candidates=2"), "{status}");
+    assert!(status.contains("trainer.serving_epoch=2"), "{status}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Guard divergence is quarantined — the trainer rebuilds from the
+/// serving epoch and serving never notices.
+#[test]
+fn divergence_quarantines_the_cycle_and_spares_serving() {
+    let dir = test_dir("diverge");
+    let base = base_model(&dir);
+    let model = ModelFile::load(&base).unwrap();
+    let engine = Arc::new(Engine::from_model(
+        &model,
+        EngineConfig::default(),
+        FaultHook::none(),
+    ));
+    let baseline = Engine::from_model(&model, EngineConfig::default(), FaultHook::none());
+    let mut cfg = trainer_cfg(dir.join("epochs"));
+    // Any gradient "explodes" and one poisoned step is one too many.
+    cfg.continual.guard = GuardConfig {
+        max_grad_norm: 0.0,
+        max_retries: 1,
+        ..GuardConfig::default()
+    };
+    let mut rt = TrainerRuntime::new(Arc::clone(&engine), &base, cfg).unwrap();
+    feed(&[&engine, &baseline], &events(64));
+    match rt.run_cycle().unwrap() {
+        CycleOutcome::Quarantined(reason) => assert!(reason.contains("diverged"), "{reason}"),
+        other => panic!("expected divergence quarantine, got {other:?}"),
+    }
+    assert_eq!(engine.version(), 1);
+    assert_eq!(snap(&engine), snap(&baseline), "serving unaffected");
+    let status = exec(&engine, "STATUS");
+    assert!(status.contains("trainer.quarantined=1"), "{status}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A candidate corrupted between emit and promote is refused by the
+/// sealed loader — promotion errors, the serving epoch stays.
+#[test]
+fn corrupt_candidate_bytes_cannot_reach_serving() {
+    let dir = test_dir("corrupt");
+    let base = base_model(&dir);
+    let engine =
+        Engine::from_model_file(&base, EngineConfig::default(), FaultHook::none()).unwrap();
+    let bytes = std::fs::read(&base).unwrap();
+    let cand = dir.join("candidate-torn.json");
+    std::fs::write(&cand, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(
+        engine.promote_epoch(&cand).is_err(),
+        "torn candidate must be refused"
+    );
+    assert_eq!(engine.version(), 1, "serving epoch untouched");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resolution a restarting `cpdg serve --continual` performs: follow the
+/// promoted pointer when it is sound, otherwise serve the base model,
+/// then replay the WAL.
+fn recover(base: &Path, epochs: &Path, wal: &Path) -> (Engine, PathBuf) {
+    let serving = match read_promoted(epochs) {
+        Ok(Some(p)) => p,
+        _ => base.to_path_buf(),
+    };
+    let engine =
+        Engine::from_model_file(&serving, EngineConfig::default(), FaultHook::none()).unwrap();
+    engine.open_wal(wal, tiny_segments()).unwrap();
+    (engine, serving)
+}
+
+/// kill -9 at every cut point of train → emit → promote: recovery is a
+/// deterministic function of (durable WAL, promoted pointer). Two
+/// independent recoveries always serve byte-identical replies, and only
+/// the cut *after* the pointer was sealed resolves to the candidate.
+#[test]
+fn kill_nine_at_every_trainer_cut_point_recovers_deterministically() {
+    // (cut name, fault point aborting the cycle there, expected epoch file)
+    let cuts: [(&str, Option<FaultPoint>, &str); 3] = [
+        ("before_emit", Some(FaultPoint::TrainerEmit), "base.json"),
+        (
+            "after_emit_no_promote",
+            Some(FaultPoint::TrainerPromote),
+            "base.json",
+        ),
+        ("after_promote", None, "candidate-g1.json"),
+    ];
+    for (name, fault, expect) in cuts {
+        let dir = test_dir(&format!("kill_{name}"));
+        let base = base_model(&dir);
+        let epochs = dir.join("epochs");
+        let wal = dir.join("wal");
+        std::fs::create_dir_all(&wal).unwrap();
+        let hook = match fault {
+            Some(point) => FaultHook::install(&FaultPlan::new(5).with(
+                point,
+                FaultKind::Permanent,
+                Trigger::Every { k: 1 },
+            )),
+            None => FaultHook::none(),
+        };
+        let model = ModelFile::load(&base).unwrap();
+        let engine = Arc::new(Engine::from_model(&model, EngineConfig::default(), hook));
+        engine.open_wal(&wal, tiny_segments()).unwrap();
+        let mut rt =
+            TrainerRuntime::new(Arc::clone(&engine), &base, trainer_cfg(epochs.clone())).unwrap();
+        feed(&[&engine], &events(64));
+        let outcome = rt.run_cycle().unwrap();
+        match fault {
+            Some(_) => assert!(
+                matches!(outcome, CycleOutcome::Quarantined(_)),
+                "{name}: {outcome:?}"
+            ),
+            None => assert!(
+                matches!(outcome, CycleOutcome::Promoted { .. }),
+                "{name}: {outcome:?}"
+            ),
+        }
+        // kill -9 analog: no drain, no checkpoint, no shutdown.
+        drop(rt);
+        drop(engine);
+
+        let (first, serving_a) = recover(&base, &epochs, &wal);
+        let (second, serving_b) = recover(&base, &epochs, &wal);
+        assert_eq!(serving_a, serving_b, "{name}: resolution is deterministic");
+        assert!(
+            serving_a.ends_with(expect),
+            "{name}: resolved {} instead of {expect}",
+            serving_a.display()
+        );
+        assert_eq!(
+            snap(&first),
+            snap(&second),
+            "{name}: independent recoveries must serve identical replies"
+        );
+
+        if fault.is_none() {
+            // Scribble over the pointer: recovery must refuse it (typed,
+            // not followed) and fall back to the base epoch — again
+            // identically on every attempt.
+            std::fs::write(epochs.join("promoted.cpdg"), b"garbage").unwrap();
+            assert!(read_promoted(&epochs).is_err(), "corrupt pointer followed");
+            let (fb_a, path_a) = recover(&base, &epochs, &wal);
+            let (fb_b, path_b) = recover(&base, &epochs, &wal);
+            assert!(path_a.ends_with("base.json"), "{}", path_a.display());
+            assert_eq!(path_a, path_b);
+            assert_eq!(snap(&fb_a), snap(&fb_b), "{name}: fallback determinism");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A promotion that trips the breaker inside its probation window is
+/// rolled back: the previous epoch (outside the epoch dir!) returns to
+/// serving, the pointer follows it, and the candidate is quarantined.
+#[test]
+fn breaker_trip_inside_probation_rolls_the_promotion_back() {
+    let dir = test_dir("rollback");
+    let base = base_model(&dir);
+    let model = ModelFile::load(&base).unwrap();
+    // Three consecutive inference faults — exactly the breaker threshold.
+    let plan = FaultPlan::new(31)
+        .with(
+            FaultPoint::ServeInfer,
+            FaultKind::Transient,
+            Trigger::Nth { n: 0 },
+        )
+        .with(
+            FaultPoint::ServeInfer,
+            FaultKind::Transient,
+            Trigger::Nth { n: 1 },
+        )
+        .with(
+            FaultPoint::ServeInfer,
+            FaultKind::Transient,
+            Trigger::Nth { n: 2 },
+        );
+    let engine = Arc::new(Engine::from_model(
+        &model,
+        EngineConfig::default(),
+        FaultHook::install(&plan),
+    ));
+    let epochs = dir.join("epochs");
+    let mut rt =
+        TrainerRuntime::new(Arc::clone(&engine), &base, trainer_cfg(epochs.clone())).unwrap();
+    feed(&[&engine], &events(64));
+    match rt.run_cycle().unwrap() {
+        CycleOutcome::Promoted { version, .. } => assert_eq!(version, 2),
+        other => panic!("expected promotion, got {other:?}"),
+    }
+    assert_eq!(engine.breaker_trips(), 0, "clean at promotion time");
+
+    // The freshly promoted epoch "misbehaves": three straight failed
+    // queries trip the breaker while the promotion is on probation.
+    for i in 0..3 {
+        let _ = exec(&engine, &format!("EMB {i} 100.0"));
+    }
+    assert_eq!(engine.breaker_trips(), 1, "breaker tripped");
+
+    match rt.run_cycle().unwrap() {
+        CycleOutcome::RolledBack { version } => assert_eq!(version, 3),
+        other => panic!("expected rollback, got {other:?}"),
+    }
+    assert_eq!(engine.version(), 3, "rollback is a forward swap");
+    let pointer = read_promoted(&epochs).unwrap().unwrap();
+    assert!(
+        pointer.ends_with("base.json"),
+        "pointer follows the fallback even outside the epoch dir: {}",
+        pointer.display()
+    );
+    assert!(
+        epochs
+            .join(QUARANTINE_DIR)
+            .join("candidate-g1.json")
+            .exists(),
+        "rolled-back candidate quarantined"
+    );
+    let status = exec(&engine, "STATUS");
+    assert!(status.contains("trainer.rollbacks=1"), "{status}");
+    assert!(status.contains("trainer.promotions=1"), "{status}");
+    assert!(status.contains("trainer.quarantined=1"), "{status}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Half-open window boundaries: an event at exactly a window edge belongs
+/// to the *next* window, and all duplicates of a timestamp travel
+/// together.
+#[test]
+fn window_boundaries_are_half_open_and_duplicates_stay_together() {
+    let times = [0.0, 5.0, 10.0, 10.0, 10.0, 19.9, 20.0];
+    let cfg = WindowConfig {
+        span: 10.0,
+        stride: 10.0,
+    };
+    let ws = slice_windows(&times, &cfg).unwrap();
+    for (i, &t) in times.iter().enumerate() {
+        let owners: Vec<&EventWindow> = ws.iter().filter(|w| w.lo <= i && i < w.hi).collect();
+        assert_eq!(owners.len(), 1, "event {i} (t={t}) owned once");
+        assert!(owners[0].contains_time(t));
+    }
+    // [0,10) holds 0.0 and 5.0; all three 10.0s open [10,20); 20.0 opens
+    // the next window rather than closing the previous one.
+    assert_eq!((ws[0].lo, ws[0].hi), (0, 2));
+    assert_eq!((ws[1].lo, ws[1].hi), (2, 6));
+    assert!(ws[2].contains_time(20.0));
+}
+
+/// Window slicing over the recovered stream is identical at any shard
+/// count: merge-replay reconstructs one global event order, so the
+/// trainer sees the same windows whether the WAL was 1, 2, or 8 streams.
+#[test]
+fn window_slicing_is_identical_at_any_shard_count() {
+    let dir = test_dir("shard_windows");
+    let base = base_model(&dir);
+    let model = ModelFile::load(&base).unwrap();
+    let cfg = WindowConfig {
+        span: 12.0,
+        stride: 6.0,
+    };
+    let stream: Vec<String> = (0..40)
+        .map(|i| format!("EVENT {} {} {}.5", i % 8, 8 + (i * 3) % 8, i))
+        .collect();
+    let mut sliced: Vec<Vec<EventWindow>> = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let wal = dir.join(format!("wal{shards}"));
+        std::fs::create_dir_all(&wal).unwrap();
+        let config = EngineConfig {
+            shards,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::from_model(&model, config.clone(), FaultHook::none());
+        engine.open_wal(&wal, tiny_segments()).unwrap();
+        feed(&[&engine], &stream);
+        drop(engine); // crash, then recover through merge-replay
+        let recovered = Engine::from_model(&model, config, FaultHook::none());
+        recovered.open_wal(&wal, tiny_segments()).unwrap();
+        let graph = recovered.snapshot_graph();
+        let times: Vec<f64> = graph.events().iter().map(|e| e.t).collect();
+        sliced.push(slice_windows(&times, &cfg).unwrap());
+    }
+    assert!(!sliced[0].is_empty());
+    assert_eq!(sliced[0], sliced[1], "1 vs 2 shards");
+    assert_eq!(sliced[0], sliced[2], "1 vs 8 shards");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every event lands in at least one window, and a window's index
+    /// range `lo..hi` agrees exactly with its time-interval membership —
+    /// including for duplicate timestamps, which are inseparable.
+    #[test]
+    fn every_event_is_covered_and_ranges_match_intervals(
+        raw in prop::collection::vec(0u32..2000, 1..100),
+        span_ticks in 1u32..60,
+        stride_eighths in 1u32..=8,
+    ) {
+        let mut times: Vec<f64> = raw.iter().map(|&v| f64::from(v) * 0.25).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let span = f64::from(span_ticks) * 0.5;
+        let stride = span * f64::from(stride_eighths) / 8.0;
+        let cfg = WindowConfig::new(span, stride).unwrap();
+        let ws = slice_windows(&times, &cfg).unwrap();
+        for (i, &t) in times.iter().enumerate() {
+            let covered = ws.iter().filter(|w| w.lo <= i && i < w.hi).count();
+            prop_assert!(covered >= 1, "event {i} (t={t}) uncovered");
+            for w in &ws {
+                prop_assert_eq!(
+                    w.lo <= i && i < w.hi,
+                    w.contains_time(t),
+                    "window {} range/interval disagree at event {}",
+                    w.index,
+                    i
+                );
+            }
+        }
+    }
+
+    /// With `stride == span` the windows tile the stream: every event in
+    /// exactly one window.
+    #[test]
+    fn exact_tiling_owns_every_event_exactly_once(
+        raw in prop::collection::vec(0u32..2000, 1..100),
+        span_ticks in 1u32..60,
+    ) {
+        let mut times: Vec<f64> = raw.iter().map(|&v| f64::from(v) * 0.25).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let span = f64::from(span_ticks) * 0.5;
+        let cfg = WindowConfig::new(span, span).unwrap();
+        let ws = slice_windows(&times, &cfg).unwrap();
+        for (i, &t) in times.iter().enumerate() {
+            let covered = ws.iter().filter(|w| w.lo <= i && i < w.hi).count();
+            prop_assert_eq!(covered, 1, "event {} (t={}) owned {} times", i, t, covered);
+        }
+    }
+}
