@@ -684,8 +684,8 @@ fn resolve_serving_model(args: &Args) -> CpdgResult<PathBuf> {
     let dir = PathBuf::from(args.require("epoch-dir")?);
     match cpdg_serve::read_promoted(&dir) {
         Ok(Some(promoted)) => {
-            println!("serving promoted epoch {}", promoted.display());
-            Ok(promoted)
+            println!("serving promoted epoch {}", promoted.model.display());
+            Ok(promoted.model)
         }
         Ok(None) => Ok(base),
         Err(e) => {
@@ -739,7 +739,9 @@ fn serve_engine(args: &Args) -> CpdgResult<(std::sync::Arc<cpdg_serve::Engine>, 
 
 /// Builds the continual-trainer config from the `--train-*` knobs.
 /// Window geometry is validated here (exit 2 on nonsense) rather than on
-/// the supervisor thread, where a refusal would be invisible.
+/// the supervisor thread, where a refusal would be invisible; `cmd_serve`
+/// calls this with the other `--continual` refusals, before any port is
+/// bound or WAL opened.
 fn trainer_config(args: &Args) -> CpdgResult<cpdg_serve::TrainerConfig> {
     let dir = PathBuf::from(args.require("epoch-dir")?);
     let mut cfg = cpdg_serve::TrainerConfig::new(dir);
@@ -816,11 +818,11 @@ fn serve_admission_knobs(args: &Args, shards: usize) -> CpdgResult<(usize, usize
 fn cmd_serve(args: &Args) -> CpdgResult<()> {
     use std::sync::atomic::Ordering;
     apply_threads(args)?;
-    let continual = args.has_flag("continual");
-    if continual {
+    let trainer_cfg = if args.has_flag("continual") {
         // Refuse misconfigurations before touching any state: the trainer
-        // needs a live engine (not the offline reference path) and a
-        // durable stream to train on.
+        // needs a live engine (not the offline reference path), a durable
+        // stream to train on, and a sane window geometry — all checked
+        // before any port is bound or WAL opened.
         if args.get("ingest").is_some() {
             return Err(CpdgError::Invalid(
                 "--continual cannot run with --ingest (the trainer needs a live server)"
@@ -834,8 +836,10 @@ fn cmd_serve(args: &Args) -> CpdgResult<()> {
                     .to_string(),
             ));
         }
-        args.require("epoch-dir")?;
-    }
+        Some(trainer_config(args)?)
+    } else {
+        None
+    };
     let (engine, serving_path) = serve_engine(args)?;
     let wal_attached = open_wal(args, &engine)?;
 
@@ -870,18 +874,19 @@ fn cmd_serve(args: &Args) -> CpdgResult<()> {
         let server = cpdg_serve::Server::start(std::sync::Arc::clone(&engine), &server_cfg)
             .map_err(|e| CpdgError::io(server_cfg.addr.clone(), e))?;
         println!("listening on {}", server.local_addr());
-        let trainer = if continual {
-            let runtime = cpdg_serve::TrainerRuntime::new(
-                std::sync::Arc::clone(&engine),
-                &serving_path,
-                trainer_config(args)?,
-            )?;
-            let sup = cpdg_serve::TrainerSupervisor::start(runtime)
-                .map_err(|e| CpdgError::io("trainer supervisor", e))?;
-            println!("continual trainer running");
-            Some(sup)
-        } else {
-            None
+        let trainer = match trainer_cfg {
+            Some(cfg) => {
+                let runtime = cpdg_serve::TrainerRuntime::new(
+                    std::sync::Arc::clone(&engine),
+                    &serving_path,
+                    cfg,
+                )?;
+                let sup = cpdg_serve::TrainerSupervisor::start(runtime)
+                    .map_err(|e| CpdgError::io("trainer supervisor", e))?;
+                println!("continual trainer running");
+                Some(sup)
+            }
+            None => None,
         };
         while sig::STOP.load(Ordering::Relaxed) == 0 {
             std::thread::sleep(std::time::Duration::from_millis(50));

@@ -94,5 +94,6 @@ pub use queue::{split_capacity, BoundedQueue, CapacityMismatch, Overloaded, Shed
 pub use server::{Server, ServerConfig};
 pub use shard::{ShardBank, ShardSlot};
 pub use trainer::{
-    read_promoted, write_promoted, CycleOutcome, TrainerConfig, TrainerRuntime, TrainerSupervisor,
+    read_promoted, write_promoted, CycleOutcome, PromotedEpoch, TrainerConfig, TrainerRuntime,
+    TrainerSupervisor,
 };

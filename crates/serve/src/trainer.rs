@@ -3,8 +3,9 @@
 //! A [`TrainerRuntime`] owns a [`ContinualTrainer`] (its own parameter
 //! store — a diverging or crashing trainer can never scribble on serving
 //! state) and drives the train → emit → validate → promote cycle against
-//! the engine's acknowledged event stream
-//! ([`Engine::snapshot_graph`]). Candidate epochs are ordinary CRC-sealed
+//! a local copy of the engine's acknowledged event stream, synced
+//! incrementally ([`Engine::events_since`]) so the engine lock is held
+//! O(new events) per cycle. Candidate epochs are ordinary CRC-sealed
 //! [`ModelFile`]s written atomically under the epoch directory; a
 //! candidate reaches serving only through the promotion gate
 //! ([`validate_candidate`]: finite parameters and a bounded held-out
@@ -25,7 +26,9 @@
 //!   moves to `quarantine/`) and counts it in `STATUS`;
 //! * a just-promoted epoch that trips the circuit breaker inside its
 //!   probation window is rolled back ([`Engine::rollback_epoch`]) and
-//!   quarantined, and the previous epoch returns to serving;
+//!   quarantined, and the previous epoch returns to serving — a rollback
+//!   attempt that itself fails keeps the probation record and is retried
+//!   on the next cycle rather than stopping the trainer;
 //! * a panic anywhere in the cycle is caught by the supervisor thread
 //!   ([`TrainerSupervisor`]), counted, and the trainer is rebuilt from
 //!   the serving epoch after a bounded deterministic backoff — the same
@@ -81,7 +84,8 @@ impl TrainerConfig {
 pub enum CycleOutcome {
     /// Stream too short (or too few windows) to train on.
     Idle,
-    /// A transient injected fault aborted the cycle; it will be retried.
+    /// A transient failure (an injected fault, or a probation rollback
+    /// attempt that failed) aborted the cycle; it will be retried.
     Faulted(String),
     /// The cycle trained and emitted a candidate, but the gate (or
     /// emit/readback/promotion) rejected it; the candidate is quarantined.
@@ -128,8 +132,13 @@ pub struct TrainerRuntime {
     serving_model: ModelFile,
     /// File backing `serving_model` (the rollback fallback).
     serving_path: PathBuf,
-    /// Candidate generation counter (monotone; also the `STATUS`
-    /// `trainer.training_epoch`).
+    /// Local copy of the engine's acknowledged event stream, extended
+    /// incrementally each cycle ([`TrainerRuntime::sync_stream`]) so the
+    /// engine lock is never held for an O(stream-length) clone.
+    stream: cpdg_graph::DynamicGraph,
+    /// Candidate generation counter (monotone across restarts — recovered
+    /// from the promoted pointer and the epoch/quarantine directories;
+    /// also the `STATUS` `trainer.training_epoch`).
     generation: u64,
     probation: Option<Probation>,
 }
@@ -138,13 +147,18 @@ impl TrainerRuntime {
     /// Builds the runtime. `serving_path` must point at the model file the
     /// engine is currently serving (after promoted-pointer resolution);
     /// it seeds both the trainer parameters and the gate baseline. Creates
-    /// the epoch and quarantine directories.
+    /// the epoch and quarantine directories, and resumes the candidate
+    /// generation sequence above anything a previous process emitted — a
+    /// restarted trainer must never write a new candidate over the epoch
+    /// file it is currently serving.
     pub fn new(engine: Arc<Engine>, serving_path: &Path, cfg: TrainerConfig) -> CpdgResult<Self> {
         std::fs::create_dir_all(cfg.epoch_dir.join(QUARANTINE_DIR))
             .map_err(|e| CpdgError::io(&cfg.epoch_dir, e))?;
         let serving_model = ModelFile::load(serving_path)?;
         let trainer = ContinualTrainer::from_model(&serving_model, cfg.continual.clone())?;
         let hook = engine.fault_hook();
+        let generation = recover_generation(&cfg.epoch_dir);
+        let num_nodes = serving_model.num_nodes;
         engine.trainer.set_active(true);
         Ok(Self {
             engine,
@@ -153,9 +167,30 @@ impl TrainerRuntime {
             trainer,
             serving_model,
             serving_path: serving_path.to_path_buf(),
-            generation: 0,
+            stream: cpdg_graph::DynamicGraph::empty(num_nodes),
+            generation,
             probation: None,
         })
+    }
+
+    /// Pulls the engine's newly acknowledged events into the local stream
+    /// copy. Only the tail past the local high-water mark is copied under
+    /// the engine lock, so a cadence tick costs O(new events), not
+    /// O(stream length). An append the local copy refuses (impossible for
+    /// engine-acknowledged events unless the copy somehow desynced) falls
+    /// back to a wholesale snapshot.
+    fn sync_stream(&mut self) {
+        for e in self.engine.events_since(self.stream.num_events()) {
+            if let Err(err) = self.stream.push_event(e.src, e.dst, e.t, e.field) {
+                cpdg_obs::warn!(
+                    "serve.trainer",
+                    "local stream copy desynced; resnapshotting wholesale";
+                    error = err.to_string(),
+                );
+                self.stream = self.engine.snapshot_graph();
+                return;
+            }
+        }
     }
 
     /// The path the next emitted candidate will be written to.
@@ -167,14 +202,24 @@ impl TrainerRuntime {
 
     /// Moves a rejected candidate file into the quarantine directory and
     /// counts it. Missing files (emit faulted before writing) still count:
-    /// every rejected candidate is accounted for in `STATUS`.
+    /// every rejected candidate is accounted for in `STATUS`. Destinations
+    /// are suffixed until free — generation numbers can repeat across
+    /// process restarts, and quarantine is a forensic record, so a later
+    /// rejection must never overwrite an earlier one.
     fn quarantine(&self, path: &Path, reason: &str) {
         if path.exists() {
-            let dest = self
-                .cfg
-                .epoch_dir
-                .join(QUARANTINE_DIR)
-                .join(path.file_name().unwrap_or_default());
+            let qdir = self.cfg.epoch_dir.join(QUARANTINE_DIR);
+            let base = path
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            let mut dest = qdir.join(&base);
+            let mut n = 1u32;
+            while dest.exists() {
+                dest = qdir.join(format!("{base}.{n}"));
+                n += 1;
+            }
             if let Err(e) = std::fs::rename(path, &dest) {
                 cpdg_obs::warn!(
                     "serve.trainer",
@@ -205,17 +250,30 @@ impl TrainerRuntime {
 
     /// Checks the live probation window, rolling back if the breaker
     /// tripped since promotion. Returns the rollback outcome when one
-    /// happened.
+    /// happened. A rollback attempt that fails (transient fault at the
+    /// swap's fault point, fallback momentarily unreadable) must not kill
+    /// the trainer — the misbehaving epoch would keep serving with nobody
+    /// left to roll it back — so the probation record is kept and the
+    /// rollback retried on the next cycle.
     fn check_probation(&mut self) -> CpdgResult<Option<CycleOutcome>> {
         let Some(p) = self.probation.clone() else {
             return Ok(None);
         };
         if self.engine.breaker_trips() > p.trips {
-            let version = self.engine.rollback_epoch(&p.fallback)?;
+            let version = match self.try_rollback(&p) {
+                Ok(v) => v,
+                Err(e) => {
+                    cpdg_obs::warn!(
+                        "serve.trainer",
+                        "probation rollback failed; keeping probation and retrying";
+                        error = e.to_string(),
+                    );
+                    return Ok(Some(CycleOutcome::Faulted(format!(
+                        "rollback failed (will retry): {e}"
+                    ))));
+                }
+            };
             self.quarantine(&p.candidate, "breaker tripped inside probation");
-            self.serving_model = ModelFile::load(&p.fallback)?;
-            self.serving_path = p.fallback.clone();
-            write_promoted(&self.cfg.epoch_dir, self.generation, &p.fallback)?;
             self.probation = None;
             self.reset_from_serving()?;
             cpdg_obs::warn!(
@@ -237,18 +295,30 @@ impl TrainerRuntime {
         Ok(None)
     }
 
+    /// The fallible half of a probation rollback: swap serving back to the
+    /// fallback epoch, reload the gate baseline, and reseal the promoted
+    /// pointer. Safe to retry wholesale — the swap only moves the version
+    /// forward, and the pointer write is atomic.
+    fn try_rollback(&mut self, p: &Probation) -> CpdgResult<u64> {
+        let version = self.engine.rollback_epoch(&p.fallback)?;
+        self.serving_model = ModelFile::load(&p.fallback)?;
+        self.serving_path = p.fallback.clone();
+        write_promoted(&self.cfg.epoch_dir, self.generation, &p.fallback)?;
+        Ok(version)
+    }
+
     /// Runs one full cycle: probation check, windowed contrastive
-    /// training over a stream snapshot, candidate emission, gate
+    /// training over the synced stream copy, candidate emission, gate
     /// validation, promotion. Every failure mode maps to a typed
     /// [`CycleOutcome`]; an `Err` return is reserved for unrecoverable
-    /// environment problems (epoch dir unwritable, fallback model
-    /// unreadable during rollback).
+    /// environment problems (epoch dir unwritable, serving model no
+    /// longer loadable as a trainer).
     pub fn run_cycle(&mut self) -> CpdgResult<CycleOutcome> {
         if let Some(rolled) = self.check_probation()? {
             return Ok(rolled);
         }
-        let graph = self.engine.snapshot_graph();
-        let report = match self.trainer.train_cycle(&graph, &self.hook) {
+        self.sync_stream();
+        let report = match self.trainer.train_cycle(&self.stream, &self.hook) {
             Ok(r) => r,
             Err(CpdgError::Diverged(report)) => {
                 self.engine.trainer.note_quarantined();
@@ -270,17 +340,22 @@ impl TrainerRuntime {
             return Ok(CycleOutcome::Idle);
         }
         self.engine.trainer.note_windows(report.steps as u64);
-        self.emit_validate_promote(&graph, &report)
+        self.emit_validate_promote(&report)
     }
 
     /// The emit → validate → promote tail of a cycle that trained.
-    fn emit_validate_promote(
-        &mut self,
-        graph: &cpdg_graph::DynamicGraph,
-        report: &CycleReport,
-    ) -> CpdgResult<CycleOutcome> {
+    fn emit_validate_promote(&mut self, report: &CycleReport) -> CpdgResult<CycleOutcome> {
         let generation = self.generation + 1;
         let path = self.candidate_path(generation);
+        if path == self.serving_path {
+            // Generation bookkeeping exists precisely so this cannot
+            // happen; refuse loudly rather than overwrite the epoch file
+            // the engine is serving from.
+            return Err(CpdgError::Invalid(format!(
+                "candidate path {} collides with the serving epoch",
+                path.display()
+            )));
+        }
         if let Err(e) = self.trainer.emit_candidate(&FS_STORAGE, &path, &self.hook) {
             self.quarantine(&path, &e.to_string());
             return Ok(CycleOutcome::Quarantined(format!("emit failed: {e}")));
@@ -303,7 +378,7 @@ impl TrainerRuntime {
         let gate = match validate_candidate(
             &candidate,
             &self.serving_model,
-            graph,
+            &self.stream,
             report.holdout_from,
             &self.cfg.continual.gate,
             self.cfg.continual.seed,
@@ -366,11 +441,23 @@ pub fn write_promoted(epoch_dir: &Path, generation: u64, model: &Path) -> CpdgRe
         .map_err(|e| CpdgError::io(&pointer, e))
 }
 
-/// Reads the promoted-epoch pointer, returning the path of the model file
-/// serving should resume from. `Ok(None)` when no pointer exists (nothing
-/// was ever promoted); `Err` on a corrupt pointer or one naming a missing
-/// file — callers should warn and fall back to their base model.
-pub fn read_promoted(epoch_dir: &Path) -> CpdgResult<Option<PathBuf>> {
+/// The decoded promoted-epoch pointer: which candidate generation was
+/// promoted last, and the model file serving should resume from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromotedEpoch {
+    /// The candidate generation counter at the time the pointer was
+    /// sealed — a restarted trainer resumes the sequence above it.
+    pub generation: u64,
+    /// Path of the promoted model file (verbatim as sealed; a rollback
+    /// may point outside the epoch dir, back at the base model).
+    pub model: PathBuf,
+}
+
+/// Reads the promoted-epoch pointer. `Ok(None)` when no pointer exists
+/// (nothing was ever promoted); `Err` on a corrupt pointer or one naming
+/// a missing file — callers should warn and fall back to their base
+/// model.
+pub fn read_promoted(epoch_dir: &Path) -> CpdgResult<Option<PromotedEpoch>> {
     let pointer = epoch_dir.join(PROMOTED_POINTER);
     if !pointer.exists() {
         return Ok(None);
@@ -379,9 +466,13 @@ pub fn read_promoted(epoch_dir: &Path) -> CpdgResult<Option<PathBuf>> {
     let payload = cpdg_core::integrity::unseal(&bytes, &pointer)?;
     let text =
         std::str::from_utf8(payload).map_err(|e| CpdgError::corrupt(&pointer, e.to_string()))?;
-    let name = text
-        .lines()
-        .nth(1)
+    let mut lines = text.lines();
+    let generation = lines
+        .next()
+        .and_then(|g| g.parse::<u64>().ok())
+        .ok_or_else(|| CpdgError::corrupt(&pointer, "missing generation line".to_string()))?;
+    let name = lines
+        .next()
         .ok_or_else(|| CpdgError::corrupt(&pointer, "missing model path line".to_string()))?;
     let model = PathBuf::from(name);
     if !model.exists() {
@@ -390,7 +481,42 @@ pub fn read_promoted(epoch_dir: &Path) -> CpdgResult<Option<PathBuf>> {
             "promoted pointer names a missing model file".to_string(),
         ));
     }
-    Ok(Some(model))
+    Ok(Some(PromotedEpoch { generation, model }))
+}
+
+/// The candidate generation a restarting trainer must resume above: the
+/// maximum of the sealed pointer's generation and every `candidate-gN`
+/// file still on disk (epoch dir and quarantine — quarantined names
+/// count, or a restart after a rejection would reuse their generation).
+/// An unreadable pointer or directory contributes nothing: the scan is
+/// best-effort, and the emit-time serving-path collision check backstops
+/// it.
+fn recover_generation(epoch_dir: &Path) -> u64 {
+    let mut max = match read_promoted(epoch_dir) {
+        Ok(Some(p)) => p.generation,
+        _ => 0,
+    };
+    for dir in [epoch_dir.to_path_buf(), epoch_dir.join(QUARANTINE_DIR)] {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            if let Some(g) = candidate_generation(&entry.file_name().to_string_lossy()) {
+                max = max.max(g);
+            }
+        }
+    }
+    max
+}
+
+/// Parses the generation out of a `candidate-gN.json` file name (with or
+/// without a quarantine disambiguation suffix). `None` for anything else.
+fn candidate_generation(name: &str) -> Option<u64> {
+    name.strip_prefix("candidate-g")?
+        .split('.')
+        .next()?
+        .parse()
+        .ok()
 }
 
 /// The supervisor thread: owns a [`TrainerRuntime`] and cycles it at the
@@ -452,7 +578,7 @@ fn supervise_trainer(mut runtime: TrainerRuntime, stop: Arc<AtomicBool>) {
                 if let CycleOutcome::Faulted(reason) = outcome {
                     cpdg_obs::warn!(
                         "serve.trainer",
-                        "training cycle hit an injected fault; retrying";
+                        "training cycle hit a transient failure; retrying";
                         reason = reason,
                     );
                 }
@@ -582,14 +708,158 @@ mod tests {
         assert_eq!(engine.version(), 2);
         let promoted = read_promoted(&dir.join("epochs")).unwrap().unwrap();
         assert!(
-            promoted.ends_with("candidate-g1.json"),
+            promoted.model.ends_with("candidate-g1.json"),
             "{}",
-            promoted.display()
+            promoted.model.display()
         );
+        assert_eq!(promoted.generation, 1);
         let status = engine.execute(Command::Status).render();
         assert!(status.contains("trainer=on"), "{status}");
         assert!(status.contains("trainer.promotions=1"), "{status}");
         assert!(status.contains("trainer.training_epoch=1"), "{status}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_resumes_generation_above_the_promoted_pointer() {
+        let dir = test_dir("restart-gen");
+        let (engine, mut rt, _) = runtime_with(&dir, FaultHook::none(), |_| {});
+        stream_events(&engine, 64);
+        assert!(matches!(
+            rt.run_cycle().unwrap(),
+            CycleOutcome::Promoted { .. }
+        ));
+        drop(rt);
+        drop(engine);
+
+        // "kill -9": a fresh process resolves the pointer and re-attaches
+        // a trainer. It must continue at generation 2 — emitting to
+        // candidate-g1.json would overwrite the serving epoch in place.
+        let epochs = dir.join("epochs");
+        let promoted = read_promoted(&epochs).unwrap().unwrap();
+        assert_eq!(promoted.generation, 1);
+        let g1_bytes = std::fs::read(&promoted.model).unwrap();
+        let model = ModelFile::load(&promoted.model).unwrap();
+        let engine = Arc::new(Engine::from_model(
+            &model,
+            EngineConfig::default(),
+            FaultHook::none(),
+        ));
+        let mut cfg = TrainerConfig::new(epochs.clone());
+        cfg.continual.window = WindowConfig {
+            span: 20.0,
+            stride: 10.0,
+        };
+        cfg.continual.min_events = 16;
+        cfg.continual.seed = 7;
+        cfg.continual.guard = GuardConfig::never_diverge();
+        let mut rt = TrainerRuntime::new(Arc::clone(&engine), &promoted.model, cfg).unwrap();
+        assert_eq!(rt.generation, 1, "generation recovered from the pointer");
+        stream_events(&engine, 64);
+        match rt.run_cycle().unwrap() {
+            CycleOutcome::Promoted { .. } | CycleOutcome::Quarantined(_) => {}
+            other => panic!("expected a generation-2 candidate, got {other:?}"),
+        }
+        assert_eq!(
+            std::fs::read(&promoted.model).unwrap(),
+            g1_bytes,
+            "the promoted epoch file must never be overwritten"
+        );
+        assert!(
+            read_promoted(&epochs).unwrap().unwrap().model.exists(),
+            "pointer never dangles"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_rollback_is_retried_not_fatal() {
+        let dir = test_dir("rollback-retry");
+        // Three inference faults trip the breaker during probation; the
+        // fourth entry makes the *first rollback attempt* (the second
+        // consultation of trainer.promote — promotion was the first) fail
+        // transiently.
+        let plan = FaultPlan::new(41)
+            .with(
+                FaultPoint::ServeInfer,
+                FaultKind::Transient,
+                Trigger::Nth { n: 0 },
+            )
+            .with(
+                FaultPoint::ServeInfer,
+                FaultKind::Transient,
+                Trigger::Nth { n: 1 },
+            )
+            .with(
+                FaultPoint::ServeInfer,
+                FaultKind::Transient,
+                Trigger::Nth { n: 2 },
+            )
+            .with(
+                FaultPoint::TrainerPromote,
+                FaultKind::Transient,
+                Trigger::Nth { n: 1 },
+            );
+        let (engine, mut rt, _) = runtime_with(&dir, FaultHook::install(&plan), |_| {});
+        stream_events(&engine, 64);
+        match rt.run_cycle().unwrap() {
+            CycleOutcome::Promoted { version, .. } => assert_eq!(version, 2),
+            other => panic!("expected promotion, got {other:?}"),
+        }
+        for i in 0..3u32 {
+            let _ = engine.execute(Command::Emb {
+                node: i,
+                t: Some(100.0),
+            });
+        }
+        assert_eq!(engine.breaker_trips(), 1, "breaker tripped on probation");
+
+        // The rollback attempt fails on the injected fault: typed outcome,
+        // probation kept, trainer alive, bad epoch still (knowingly)
+        // serving.
+        match rt.run_cycle().unwrap() {
+            CycleOutcome::Faulted(reason) => {
+                assert!(reason.contains("rollback failed"), "{reason}")
+            }
+            other => panic!("expected retryable rollback failure, got {other:?}"),
+        }
+        assert_eq!(engine.version(), 2, "failed rollback swapped nothing");
+
+        // Next cycle retries the rollback and succeeds.
+        match rt.run_cycle().unwrap() {
+            CycleOutcome::RolledBack { version } => assert_eq!(version, 3),
+            other => panic!("expected rollback on retry, got {other:?}"),
+        }
+        let status = engine.execute(Command::Status).render();
+        assert!(status.contains("trainer.rollbacks=1"), "{status}");
+        assert!(status.contains("trainer.quarantined=1"), "{status}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_never_overwrites_earlier_forensics() {
+        let dir = test_dir("quarantine-names");
+        let (_engine, rt, _) = runtime_with(&dir, FaultHook::none(), |_| {});
+        let epochs = dir.join("epochs");
+        let victim = epochs.join("candidate-g7.json");
+        std::fs::write(&victim, b"first").unwrap();
+        rt.quarantine(&victim, "test");
+        std::fs::write(&victim, b"second").unwrap();
+        rt.quarantine(&victim, "test");
+        let qdir = epochs.join(QUARANTINE_DIR);
+        assert_eq!(
+            std::fs::read(qdir.join("candidate-g7.json")).unwrap(),
+            b"first"
+        );
+        assert_eq!(
+            std::fs::read(qdir.join("candidate-g7.json.1")).unwrap(),
+            b"second",
+            "second rejection parked under a fresh name"
+        );
+        // A restarted runtime resumes above every generation ever seen —
+        // including quarantined ones, which left the epoch dir.
+        let (_e2, rt2, _) = runtime_with(&dir, FaultHook::none(), |_| {});
+        assert_eq!(rt2.generation, 7, "generation recovered from quarantine");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -218,7 +218,11 @@ fn faulted_cycles_never_change_replies_until_a_validated_promotion() {
         assert!(reply.starts_with("OK v2 "), "promoted reply: {reply}");
     }
     let promoted = read_promoted(&dir.join("epochs")).unwrap().unwrap();
-    assert!(promoted.ends_with("candidate-g2.json"), "{promoted:?}");
+    assert!(
+        promoted.model.ends_with("candidate-g2.json"),
+        "{promoted:?}"
+    );
+    assert_eq!(promoted.generation, 2, "pointer records the generation");
     let status = exec(&trained, "STATUS");
     assert!(status.contains("trainer.promotions=1"), "{status}");
     assert!(status.contains("trainer.quarantined=2"), "{status}");
@@ -284,7 +288,7 @@ fn corrupt_candidate_bytes_cannot_reach_serving() {
 /// then replay the WAL.
 fn recover(base: &Path, epochs: &Path, wal: &Path) -> (Engine, PathBuf) {
     let serving = match read_promoted(epochs) {
-        Ok(Some(p)) => p,
+        Ok(Some(p)) => p.model,
         _ => base.to_path_buf(),
     };
     let engine =
@@ -359,6 +363,34 @@ fn kill_nine_at_every_trainer_cut_point_recovers_deterministically() {
         );
 
         if fault.is_none() {
+            // A trainer re-attached after recovery resumes the generation
+            // sequence above the promoted pointer: its next candidate must
+            // never overwrite the epoch file it is serving from, and the
+            // pointer must keep naming an existing file throughout.
+            let g1 = epochs.join("candidate-g1.json");
+            let promoted_bytes = std::fs::read(&g1).unwrap();
+            let (engine, serving) = recover(&base, &epochs, &wal);
+            assert!(serving.ends_with("candidate-g1.json"), "{name}");
+            let engine = Arc::new(engine);
+            let mut rt =
+                TrainerRuntime::new(Arc::clone(&engine), &serving, trainer_cfg(epochs.clone()))
+                    .unwrap();
+            let outcome = rt.run_cycle().unwrap();
+            assert!(
+                !matches!(outcome, CycleOutcome::Idle),
+                "{name}: recovered stream must be trainable, got {outcome:?}"
+            );
+            assert_eq!(
+                std::fs::read(&g1).unwrap(),
+                promoted_bytes,
+                "{name}: restarted trainer scribbled on the promoted epoch"
+            );
+            let pointer = read_promoted(&epochs).unwrap().unwrap();
+            assert!(pointer.generation >= 1, "{name}: {pointer:?}");
+            assert!(pointer.model.exists(), "{name}: dangling pointer");
+            drop(rt);
+            drop(engine);
+
             // Scribble over the pointer: recovery must refuse it (typed,
             // not followed) and fall back to the base epoch — again
             // identically on every attempt.
@@ -428,9 +460,9 @@ fn breaker_trip_inside_probation_rolls_the_promotion_back() {
     assert_eq!(engine.version(), 3, "rollback is a forward swap");
     let pointer = read_promoted(&epochs).unwrap().unwrap();
     assert!(
-        pointer.ends_with("base.json"),
+        pointer.model.ends_with("base.json"),
         "pointer follows the fallback even outside the epoch dir: {}",
-        pointer.display()
+        pointer.model.display()
     );
     assert!(
         epochs
