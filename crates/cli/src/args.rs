@@ -2,11 +2,15 @@
 
 use std::collections::HashMap;
 
-/// Parsed arguments: a subcommand plus `--key value` pairs and bare flags.
+/// Parsed arguments: a subcommand plus `--key value` pairs, bare flags,
+/// and any further positional operands (e.g. `cpdg scrub <dir>`).
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// First positional argument (the subcommand).
     pub command: Option<String>,
+    /// Positional operands after the subcommand. Most subcommands take
+    /// none — they validate with [`Args::no_positionals`].
+    pub positionals: Vec<String>,
     options: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -30,10 +34,19 @@ impl Args {
             } else if out.command.is_none() {
                 out.command = Some(a);
             } else {
-                return Err(format!("unexpected positional argument {a:?}"));
+                out.positionals.push(a);
             }
         }
         Ok(out)
+    }
+
+    /// Errors when positional operands were given — for subcommands that
+    /// take none.
+    pub fn no_positionals(&self) -> Result<(), String> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(p) => Err(format!("unexpected positional argument {p:?}")),
+        }
     }
 
     /// String option.
@@ -97,7 +110,21 @@ mod tests {
     #[test]
     fn rejects_duplicates_and_extra_positionals() {
         assert!(parse("x --a 1 --a 2").is_err());
-        assert!(parse("x y").is_err());
+        let a = parse("x y").unwrap();
+        assert_eq!(a.positionals, vec!["y".to_string()]);
+        assert!(
+            a.no_positionals().is_err(),
+            "subcommands without operands refuse them explicitly"
+        );
+        assert!(parse("x").unwrap().no_positionals().is_ok());
+    }
+
+    #[test]
+    fn positional_operands_follow_the_subcommand() {
+        let a = parse("scrub /var/wal --replicas 3").unwrap();
+        assert_eq!(a.command.as_deref(), Some("scrub"));
+        assert_eq!(a.positionals, vec!["/var/wal".to_string()]);
+        assert_eq!(a.get("replicas"), Some("3"));
     }
 
     #[test]

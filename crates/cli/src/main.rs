@@ -69,14 +69,16 @@ USAGE:
                 [--shards N] [--batch N] [--cache on|off]
                 [--deadline-ms N] [--breaker-k N]
                 [--breaker-probe N] [--wal-dir <dir>]
-                [--fsync always|os|every-N]
+                [--fsync always|os|every-N] [--wal-segment-bytes N]
                 [--memory-in <state.json>] [--memory-out <state.json>]
                 [--continual --epoch-dir <dir>] [--train-window X]
                 [--train-stride X] [--train-cadence-ms N] [--train-gate X]
                 [--train-min-events N] [--train-probation N]
                 [--ingest <script>] [--chaos-plan <plan.json>] [--seed N]
+                [--replicas N] [--scrub-interval <ms>]
   cpdg query    (--addr <host:port> | --port N)
                 [--send \"<request line>\" | --status]
+  cpdg scrub    <dir> [<dir> …] [--replicas N] [--chaos-plan <plan.json>]
 
 Serving: `serve` loads a pre-trained model and answers a line protocol
 (EVENT src dst t [field] / EMB node [t] / SCORE src dst [t] /
@@ -100,6 +102,9 @@ kill -9 — restarts bit-identical to an uninterrupted run. --fsync picks
 the durability/throughput trade: `always` (default) syncs per append,
 `every-N` batches syncs, `os` leaves flushing to the page cache. A clean
 drain writes a checkpoint and truncates replayed segments.
+--wal-segment-bytes caps each log segment (default 1 MiB); a full
+segment is sealed — CRC-footered and replicated — and a fresh one
+started.
 
 Continual pre-training: --continual (requires --wal-dir and
 --epoch-dir; refused with --ingest, exit 2) runs a supervised trainer
@@ -118,6 +123,21 @@ instant — even kill -9 mid-promotion — restarts serving the last
 promoted epoch (a corrupt pointer is warned about and the --model base
 epoch serves instead). Trainer crashes never touch serving: panics are
 caught, counted, and retried with deterministic backoff.
+
+Self-healing artifacts: every sealed artifact (WAL checkpoints, epoch
+files, the promoted pointer) is published as --replicas N copies
+(default 2; 1 disables) — <name> plus <name>.r1, …, each an atomic
+fsynced write — and sealed WAL segments gain the same copies at
+rotation. Any read that finds a corrupt copy falls through to the next
+and rewrites the bad one from a good one; only when every copy is bad
+does a typed refusal (exit 4, naming the artifact) surface. A WAL
+segment with no sound copy is quarantined and recovery reports the gap
+(records are never silently skipped). --scrub-interval <ms> (default 0
+= off) runs a supervised background scrubber that re-verifies every
+artifact's CRC on a byte-budgeted cadence and repairs rot before the
+next crash needs the copy; STATUS reports scrub.* counters. `cpdg
+scrub <dir> …` runs the same sweep offline, printing a report and
+exiting 4 if any artifact has no sound copy left.
 
 Coalescing & caching: --batch N (default 1) lets each worker drain up
 to N contiguous queued queries and run them as one fused forward pass;
@@ -189,15 +209,23 @@ fn main() -> ExitCode {
             return ExitCode::from(e.exit_code());
         }
     };
+    // `scrub` takes directory operands; every other subcommand refuses
+    // positionals explicitly (they were always a mistake).
     let result = match args.command.as_deref() {
-        Some("generate") => cmd_generate(&args),
-        Some("stats") => cmd_stats(&args),
-        Some("pretrain") => cmd_pretrain(&args, run_dir.as_ref()),
-        Some("finetune") => cmd_finetune(&args, run_dir.as_ref()),
-        Some("serve") => cmd_serve(&args),
-        Some("query") => cmd_query(&args),
-        Some(other) => Err(CpdgError::Invalid(format!("unknown command {other:?}"))),
-        None => Err(CpdgError::Invalid("no command given".to_string())),
+        Some("scrub") => cmd_scrub(&args),
+        _ => match args.no_positionals() {
+            Err(e) => Err(CpdgError::Invalid(e)),
+            Ok(()) => match args.command.as_deref() {
+                Some("generate") => cmd_generate(&args),
+                Some("stats") => cmd_stats(&args),
+                Some("pretrain") => cmd_pretrain(&args, run_dir.as_ref()),
+                Some("finetune") => cmd_finetune(&args, run_dir.as_ref()),
+                Some("serve") => cmd_serve(&args),
+                Some("query") => cmd_query(&args),
+                Some(other) => Err(CpdgError::Invalid(format!("unknown command {other:?}"))),
+                None => Err(CpdgError::Invalid("no command given".to_string())),
+            },
+        },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -682,7 +710,7 @@ fn resolve_serving_model(args: &Args) -> CpdgResult<PathBuf> {
         return Ok(base);
     }
     let dir = PathBuf::from(args.require("epoch-dir")?);
-    match cpdg_serve::read_promoted(&dir) {
+    match cpdg_serve::read_promoted_with(&dir, replicas_knob(args)?) {
         Ok(Some(promoted)) => {
             println!("serving promoted epoch {}", promoted.model.display());
             Ok(promoted.model)
@@ -759,7 +787,20 @@ fn trainer_config(args: &Args) -> CpdgResult<cpdg_serve::TrainerConfig> {
     }
     cfg.cadence = std::time::Duration::from_millis(args.get_num("train-cadence-ms", 500u64)?);
     cfg.probation_cycles = args.get_num("train-probation", 3u64)?;
+    cfg.replicas = replicas_knob(args)?;
     Ok(cfg)
+}
+
+/// The `--replicas` knob: sealed copies per scrub-managed artifact
+/// (default 2; 1 disables replication; 0 is a mistake).
+fn replicas_knob(args: &Args) -> CpdgResult<usize> {
+    let replicas: usize = args.get_num("replicas", cpdg_core::scrub::DEFAULT_REPLICAS)?;
+    if replicas == 0 {
+        return Err(CpdgError::Invalid(
+            "--replicas must be at least 1 (1 disables replication)".to_string(),
+        ));
+    }
+    Ok(replicas)
 }
 
 /// Opens (and recovers from) the write-ahead log when `--wal-dir` is
@@ -780,8 +821,19 @@ fn open_wal(args: &Args, engine: &cpdg_serve::Engine) -> CpdgResult<bool> {
             .map_err(CpdgError::Invalid)?,
         None => cpdg_core::FsyncPolicy::Always,
     };
+    let segment_bytes: u64 = args.get_num(
+        "wal-segment-bytes",
+        cpdg_core::WalConfig::default().segment_bytes,
+    )?;
+    if segment_bytes == 0 {
+        return Err(CpdgError::Invalid(
+            "--wal-segment-bytes must be positive".to_string(),
+        ));
+    }
     let config = cpdg_core::WalConfig {
         fsync,
+        replicas: replicas_knob(args)?,
+        segment_bytes,
         ..cpdg_core::WalConfig::default()
     };
     let report = engine.open_wal(Path::new(dir), config)?;
@@ -840,6 +892,29 @@ fn cmd_serve(args: &Args) -> CpdgResult<()> {
     } else {
         None
     };
+    // Validate the scrubber knobs before any port is bound: an interval
+    // with nothing to scrub is a configuration mistake, not a silent no-op.
+    let scrub_interval_ms: u64 = args.get_num("scrub-interval", 0u64)?;
+    let mut scrub_roots: Vec<PathBuf> = Vec::new();
+    if scrub_interval_ms > 0 {
+        if let Some(d) = args.get("wal-dir") {
+            scrub_roots.push(PathBuf::from(d));
+        }
+        if args.has_flag("continual") {
+            scrub_roots.push(PathBuf::from(args.require("epoch-dir")?));
+        }
+        if scrub_roots.is_empty() {
+            return Err(CpdgError::Invalid(
+                "--scrub-interval requires --wal-dir and/or --continual --epoch-dir \
+                 (no artifacts to scrub without them)"
+                    .to_string(),
+            ));
+        }
+    }
+    let scrub_config = cpdg_core::ScrubConfig {
+        replicas: replicas_knob(args)?,
+        ..cpdg_core::ScrubConfig::default()
+    };
     let (engine, serving_path) = serve_engine(args)?;
     let wal_attached = open_wal(args, &engine)?;
 
@@ -888,13 +963,32 @@ fn cmd_serve(args: &Args) -> CpdgResult<()> {
             }
             None => None,
         };
+        let scrubber = if scrub_interval_ms > 0 {
+            let sup = cpdg_serve::ScrubSupervisor::start(
+                std::sync::Arc::clone(&engine),
+                scrub_roots,
+                scrub_config,
+                std::time::Duration::from_millis(scrub_interval_ms),
+                engine.fault_hook(),
+            )
+            .map_err(|e| CpdgError::io("scrub supervisor", e))?;
+            println!("background scrubber running (every {scrub_interval_ms}ms)");
+            Some(sup)
+        } else {
+            None
+        };
         while sig::STOP.load(Ordering::Relaxed) == 0 {
             std::thread::sleep(std::time::Duration::from_millis(50));
         }
         println!("signal {}: draining…", sig::STOP.load(Ordering::Relaxed));
-        // Stop the trainer before draining the server: a promotion racing
-        // the drain-time checkpoint would be half in this run, half in the
-        // next.
+        // Stop the scrubber first (a repair racing the drain-time
+        // checkpoint's segment truncation would rewrite a file the WAL is
+        // deleting), then the trainer before draining the server: a
+        // promotion racing the drain-time checkpoint would be half in
+        // this run, half in the next.
+        if let Some(sup) = scrubber {
+            sup.shutdown();
+        }
         if let Some(sup) = trainer {
             sup.shutdown();
         }
@@ -961,6 +1055,62 @@ fn cmd_query(args: &Args) -> CpdgResult<()> {
                 roundtrip(&line)?;
             }
         }
+    }
+    Ok(())
+}
+
+/// `cpdg scrub <dir> …` — one offline pass of the artifact scrubber over
+/// the given WAL / epoch directories: every sealed artifact's CRC is
+/// re-verified across its replica set, bad copies are rewritten from good
+/// ones, and the sweep is reported. Exits 4 (naming the first artifact)
+/// when anything has no sound copy left — the same refusal serving would
+/// hit, caught while a backup can still help.
+fn cmd_scrub(args: &Args) -> CpdgResult<()> {
+    if args.positionals.is_empty() {
+        return Err(CpdgError::Invalid(
+            "scrub requires at least one directory operand (a --wal-dir or --epoch-dir)"
+                .to_string(),
+        ));
+    }
+    let mut roots = Vec::with_capacity(args.positionals.len());
+    for dir in &args.positionals {
+        let p = PathBuf::from(dir);
+        if !p.is_dir() {
+            return Err(CpdgError::Invalid(format!(
+                "scrub operand {dir:?} is not a directory"
+            )));
+        }
+        roots.push(p);
+    }
+    let config = cpdg_core::ScrubConfig {
+        replicas: replicas_knob(args)?,
+        ..cpdg_core::ScrubConfig::default()
+    };
+    let hook = chaos_hook(args)?;
+    let mut scrubber = cpdg_core::Scrubber::new(roots, config);
+    let report = scrubber.scrub_all(&FS_STORAGE, &hook);
+    println!(
+        "scrub: scanned={} bytes={} corrupt={} repaired={} read_errors={} unrepairable={}",
+        report.scanned,
+        report.bytes,
+        report.corrupt,
+        report.repaired,
+        report.read_errors,
+        report.unrepairable.len(),
+    );
+    for (class, path) in &report.unrepairable {
+        println!("unrepairable {} {}", class.name(), path.display());
+    }
+    if let Some((class, path)) = report.unrepairable.first() {
+        return Err(CpdgError::corrupt(
+            path,
+            format!(
+                "{} unrepairable artifact(s): no sound copy left of this {} \
+                 (restore it from a backup or accept the loss)",
+                report.unrepairable.len(),
+                class.name(),
+            ),
+        ));
     }
     Ok(())
 }
@@ -1048,6 +1198,45 @@ mod tests {
 
     fn parse(s: &str) -> Args {
         Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn scrub_command_repairs_then_refuses_with_the_artifact_path() {
+        let dir = std::env::temp_dir().join(format!("cpdg_cli_scrub_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.cpdg");
+        cpdg_core::scrub::write_replicated(
+            &FS_STORAGE,
+            &path,
+            &cpdg_core::integrity::seal(b"{}"),
+            2,
+        )
+        .unwrap();
+        let args = parse(&format!("scrub {}", dir.display()));
+
+        // One rotted copy: the sweep repairs it and exits clean.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        cmd_scrub(&args).unwrap();
+        let healed = std::fs::read(&path).unwrap();
+        assert!(cpdg_core::integrity::unseal_strict(&healed, &path).is_ok());
+
+        // Every copy rotted: exit 4, message naming the artifact.
+        for p in [path.clone(), cpdg_core::scrub::replica_path(&path, 1)] {
+            let mut b = std::fs::read(&p).unwrap();
+            b[0] ^= 0x40;
+            std::fs::write(&p, &b).unwrap();
+        }
+        let err = cmd_scrub(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("checkpoint.cpdg"), "{err}");
+
+        // Usage errors: no operand, or an operand that is not a directory.
+        assert!(cmd_scrub(&parse("scrub")).is_err());
+        assert!(cmd_scrub(&parse("scrub /nonexistent/cpdg/dir")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

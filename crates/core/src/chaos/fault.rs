@@ -80,11 +80,27 @@ pub enum FaultPoint {
     /// the last-good epoch live).
     #[serde(rename = "trainer.promote")]
     TrainerPromote,
+    /// One artifact read by the integrity scrubber (a fired fault fails
+    /// that artifact's scan; the scrub cycle continues with the next
+    /// artifact and the supervisor retries on its cadence).
+    #[serde(rename = "scrub.read")]
+    ScrubRead,
+    /// One repair attempt — rewriting a corrupt copy from a verified
+    /// replica (a fired fault leaves the bad copy in place; the next
+    /// scrub cycle or unseal fall-through retries the repair).
+    #[serde(rename = "scrub.repair")]
+    ScrubRepair,
+    /// One replicated sealed-artifact read (a fired fault flips one
+    /// deterministically-chosen byte of the bytes just read, simulating
+    /// bit rot on any artifact class — the seeded corruption half of the
+    /// scrub oracle).
+    #[serde(rename = "integrity.bitflip")]
+    IntegrityBitflip,
 }
 
 impl FaultPoint {
     /// Every fault point, in catalogue order.
-    pub const ALL: [FaultPoint; 18] = [
+    pub const ALL: [FaultPoint; 21] = [
         FaultPoint::StorageWrite,
         FaultPoint::StorageRead,
         FaultPoint::LoaderRow,
@@ -103,6 +119,9 @@ impl FaultPoint {
         FaultPoint::TrainerStep,
         FaultPoint::TrainerEmit,
         FaultPoint::TrainerPromote,
+        FaultPoint::ScrubRead,
+        FaultPoint::ScrubRepair,
+        FaultPoint::IntegrityBitflip,
     ];
 
     /// The dotted wire name (`storage.write`, `ckpt.save`, …) used in plan
@@ -127,6 +146,9 @@ impl FaultPoint {
             FaultPoint::TrainerStep => "trainer.step",
             FaultPoint::TrainerEmit => "trainer.emit",
             FaultPoint::TrainerPromote => "trainer.promote",
+            FaultPoint::ScrubRead => "scrub.read",
+            FaultPoint::ScrubRepair => "scrub.repair",
+            FaultPoint::IntegrityBitflip => "integrity.bitflip",
         }
     }
 }

@@ -101,6 +101,18 @@ pub enum CpdgError {
         /// CRC32 recomputed over the payload.
         found: u32,
     },
+    /// The WAL's sealed segments are not a dense run of record indices: a
+    /// segment was lost (quarantined with no good replica, or removed by a
+    /// foreign tool), so replay would silently skip events. Refused rather
+    /// than replayed — the gap names exactly which records are missing.
+    WalGap {
+        /// The WAL directory whose segment chain is broken.
+        dir: PathBuf,
+        /// First record index missing from the chain.
+        expected: u64,
+        /// Record index where the chain resumes.
+        found: u64,
+    },
     /// The process received SIGTERM/SIGINT and stopped gracefully after
     /// persisting a checkpoint. Resume from the checkpoint directory.
     Signalled {
@@ -143,6 +155,7 @@ impl CpdgError {
             CpdgError::NodeCountMismatch { .. } => 3,
             CpdgError::Corrupt { .. }
             | CpdgError::CorruptArtifact { .. }
+            | CpdgError::WalGap { .. }
             | CpdgError::VersionMismatch { .. }
             | CpdgError::NoCheckpoint { .. } => 4,
             CpdgError::Diverged(_) => 5,
@@ -205,6 +218,17 @@ impl fmt::Display for CpdgError {
                 "integrity check failed on {}: footer crc32 {expected:#010x}, payload crc32 \
                  {found:#010x}",
                 disp(path)
+            ),
+            CpdgError::WalGap {
+                dir,
+                expected,
+                found,
+            } => write!(
+                f,
+                "WAL {} has a gap in its segment chain: records {expected}..{found} are \
+                 missing (a segment was quarantined or removed); restore the segment or its \
+                 replica, or start from a checkpoint that covers the gap",
+                disp(dir)
             ),
             CpdgError::Signalled { signal, step } => write!(
                 f,

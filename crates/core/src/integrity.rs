@@ -88,6 +88,24 @@ pub fn unseal<'a>(bytes: &'a [u8], path: &Path) -> CpdgResult<&'a [u8]> {
     Ok(payload)
 }
 
+/// Like [`unseal`], but refuses legacy (unfootered) bytes.
+///
+/// Scrub-managed artifacts — WAL checkpoints, epoch files, the promoted
+/// pointer, replicas — are *always* written sealed, so a missing or
+/// unparseable footer there is corruption (a flip landing inside the
+/// footer marker destroys it), never a legacy file. The error carries the
+/// artifact path like every other integrity refusal.
+pub fn unseal_strict<'a>(bytes: &'a [u8], path: &Path) -> CpdgResult<&'a [u8]> {
+    if split_footer(bytes).is_none() {
+        cpdg_obs::counter!("integrity.crc_failures").inc();
+        return Err(CpdgError::corrupt(
+            path,
+            "integrity footer missing or unparseable on an always-sealed artifact",
+        ));
+    }
+    unseal(bytes, path)
+}
+
 /// Parses the trailing footer, if one is present and well-formed.
 fn split_footer(bytes: &[u8]) -> Option<(&[u8], u32)> {
     if bytes.len() < FOOTER_LEN || bytes.last() != Some(&b'\n') {

@@ -42,6 +42,7 @@ pub mod objective;
 pub mod pipeline;
 pub mod pretrain;
 pub mod sampler;
+pub mod scrub;
 pub mod storage;
 pub mod wal;
 
@@ -62,6 +63,10 @@ pub use objective::CpdgObjective;
 pub use pipeline::{PipelineConfig, PretrainMode};
 pub use pretrain::{
     pretrain, pretrain_resumable, LossBreakdown, PretrainConfig, PretrainOutput, PretrainRuntime,
+};
+pub use scrub::{
+    read_sealed_replicated, write_replicated, ArtifactClass, CycleReport as ScrubCycleReport,
+    ReplicatedRead, ScrubConfig, Scrubber,
 };
 pub use storage::{FsStorage, Storage, FS_STORAGE};
 pub use wal::{FsyncPolicy, RecoveryStats, Wal, WalCheckpoint, WalConfig};

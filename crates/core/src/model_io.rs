@@ -65,6 +65,19 @@ impl ModelFile {
             .map_err(|e| CpdgError::io(path, e))
     }
 
+    /// Saves the bundle plus `replicas − 1` sealed sibling copies
+    /// (`<path>.r1`, …) so a later bit flip in any single copy heals
+    /// instead of refusing. Each copy is its own atomic publish.
+    pub fn save_replicated(
+        &self,
+        storage: &dyn Storage,
+        path: &Path,
+        replicas: usize,
+    ) -> CpdgResult<()> {
+        let json = serde_json::to_vec(self).map_err(|e| CpdgError::Serialize(e.to_string()))?;
+        crate::scrub::write_replicated(storage, path, &crate::integrity::seal(&json), replicas)
+    }
+
     /// Reads a bundle back, checking the version.
     pub fn load(path: &Path) -> CpdgResult<Self> {
         Self::load_with(&FS_STORAGE, path)
@@ -76,6 +89,25 @@ impl ModelFile {
     pub fn load_with(storage: &dyn Storage, path: &Path) -> CpdgResult<Self> {
         let bytes = storage.read(path).map_err(|e| CpdgError::io(path, e))?;
         let payload = crate::integrity::unseal(&bytes, path)?;
+        Self::parse(payload, path)
+    }
+
+    /// Loads a scrub-managed bundle through its replica set: a corrupt
+    /// primary heals from `<path>.r1`, `<path>.r2`, … and only when every
+    /// copy is bad does a typed [`CpdgError::CorruptArtifact`] surface.
+    /// Replicated bundles are always written sealed, so no legacy
+    /// passthrough applies here.
+    pub fn load_replicated(
+        storage: &dyn Storage,
+        path: &Path,
+        replicas: usize,
+        hook: &crate::chaos::FaultHook,
+    ) -> CpdgResult<Self> {
+        let read = crate::scrub::read_sealed_replicated(storage, path, replicas, hook)?;
+        Self::parse(&read.payload, path)
+    }
+
+    fn parse(payload: &[u8], path: &Path) -> CpdgResult<Self> {
         let model: ModelFile =
             serde_json::from_slice(payload).map_err(|e| CpdgError::corrupt(path, e.to_string()))?;
         if model.version != VERSION {
@@ -221,6 +253,31 @@ mod tests {
         std::fs::write(&path, &json).unwrap();
         let back = ModelFile::load(&path).unwrap();
         assert_eq!(back.num_nodes, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replicated_model_heals_a_rotted_primary_and_refuses_total_loss() {
+        let dir = test_dir("replicated");
+        let path = dir.join("model.json");
+        let hook = crate::chaos::FaultHook::none();
+        tiny_model().save_replicated(&FS_STORAGE, &path, 2).unwrap();
+        let r1 = crate::scrub::replica_path(&path, 1);
+        assert!(r1.exists(), "save_replicated must publish {}", r1.display());
+        // Rot the primary: the replica heals the load.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[12] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let back = ModelFile::load_replicated(&FS_STORAGE, &path, 2, &hook).unwrap();
+        assert_eq!(back.num_nodes, 3);
+        // Rot every copy: typed refusal naming the artifact, exit 4.
+        let mut rb = std::fs::read(&r1).unwrap();
+        rb[12] ^= 0x40;
+        std::fs::write(&path, &rb[..rb.len() / 2]).unwrap();
+        std::fs::write(&r1, &rb).unwrap();
+        let err = ModelFile::load_replicated(&FS_STORAGE, &path, 2, &hook).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("model.json"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,899 @@
+//! Self-healing artifact store: sealed replicas, fall-through reads with
+//! auto-repair, and a budgeted background scrubber.
+//!
+//! CRC footers ([`integrity`](crate::integrity)) and frame checksums
+//! ([`wal`](crate::wal)) *detect* silent corruption, but until this module
+//! detection was lazy (only at open time) and always fail-stop (no second
+//! copy to heal from). The scrub layer closes both gaps:
+//!
+//! * **Replicas** — [`write_replicated`] publishes every sealed artifact
+//!   as `N ≥ 2` fsynced copies (`<name>`, `<name>.r1`, …), each through
+//!   the same atomic temp-rename protocol as the primary, so a crash at
+//!   any instant leaves every copy either old or new, never torn.
+//! * **Fall-through reads with auto-repair** — [`read_sealed_replicated`]
+//!   tries the primary, falls through the remaining replicas on a CRC
+//!   mismatch, and rewrites every bad (or missing) copy from the first
+//!   good one. Only when *every* copy is bad does the caller see the
+//!   original typed [`CorruptArtifact`](crate::error::CpdgError::CorruptArtifact)
+//!   naming the artifact.
+//! * **The scrubber** — [`Scrubber`] walks a deterministic catalog of
+//!   artifact files (WAL segments, `checkpoint.cpdg`, epoch files, the
+//!   promoted pointer, quarantined candidates) re-verifying checksums on
+//!   a byte-budgeted cadence, so cold corruption is found and repaired
+//!   *before* the next crash recovery needs the file. A WAL segment with
+//!   no sound copy is quarantined (the PR 9 suffixing discipline), which
+//!   turns the next recovery into a typed
+//!   [`WalGap`](crate::error::CpdgError::WalGap) refusal instead of a
+//!   garbage replay.
+//!
+//! Chaos integration: reads consult `scrub.read`, repairs consult
+//! `scrub.repair`, and every replicated read consults `integrity.bitflip`
+//! — a fired bitflip fault flips one deterministically-chosen byte of the
+//! bytes just read, so the chaos harness can corrupt any artifact class
+//! without touching the disk.
+
+use crate::chaos::{FaultHook, FaultPoint};
+use crate::error::{CpdgError, CpdgResult};
+use crate::integrity;
+use crate::storage::Storage;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default sealed-copy count (primary + one replica).
+pub const DEFAULT_REPLICAS: usize = 2;
+
+/// Name of the quarantine subdirectory used for unrepairable artifacts
+/// (same convention as the trainer's candidate quarantine).
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// The path of replica `i ≥ 1` of `path`: `<name>.r<i>` in the same
+/// directory. Replica 0 is the primary itself (see [`copy_path`]).
+pub fn replica_path(path: &Path, i: usize) -> PathBuf {
+    debug_assert!(i >= 1, "replica indices start at 1");
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    path.with_file_name(format!("{name}.r{i}"))
+}
+
+/// Copy `i` of `path`: the primary for `i == 0`, else [`replica_path`].
+pub fn copy_path(path: &Path, i: usize) -> PathBuf {
+    if i == 0 {
+        path.to_path_buf()
+    } else {
+        replica_path(path, i)
+    }
+}
+
+/// Whether `name` is a replica file name (`<base>.r<digits>`).
+pub fn is_replica_name(name: &str) -> bool {
+    match name.rsplit_once(".r") {
+        Some((base, digits)) => {
+            !base.is_empty() && !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
+/// Whether `name` is a scrub-layer sidecar the catalog must skip: a
+/// replica copy (verified with its primary), a `.torn` forensic sidecar,
+/// or atomic-publish temp residue (`.<name>.tmp`).
+pub fn is_sidecar_name(name: &str) -> bool {
+    is_replica_name(name)
+        || name.ends_with(".torn")
+        || (name.starts_with('.') && name.ends_with(".tmp"))
+}
+
+/// Atomically publishes `bytes` as `path` plus `replicas - 1` replica
+/// copies. The primary is written first, so a crash mid-sequence leaves
+/// the primary authoritative and stale replicas to be healed by the next
+/// replicated read or scrub cycle.
+pub fn write_replicated(
+    storage: &dyn Storage,
+    path: &Path,
+    bytes: &[u8],
+    replicas: usize,
+) -> CpdgResult<()> {
+    for i in 0..replicas.max(1) {
+        let p = copy_path(path, i);
+        storage
+            .write_atomic(&p, bytes)
+            .map_err(|e| CpdgError::io(&p, e))?;
+    }
+    Ok(())
+}
+
+/// Best-effort removal of every replica copy of `path` (`.r1`, `.r2`, …
+/// until the first missing index). The primary itself is untouched.
+pub fn remove_replicas(storage: &dyn Storage, path: &Path) {
+    for i in 1.. {
+        let p = replica_path(path, i);
+        match storage.remove_file(&p) {
+            Ok(()) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Consults the `integrity.bitflip` fault point and, when it fires, flips
+/// one deterministically-chosen byte of `bytes` (seeded by the artifact
+/// path and length, so the same plan corrupts the same offset on every
+/// run). Returns whether a flip was injected.
+pub fn maybe_bitflip(hook: &FaultHook, path: &Path, bytes: &mut [u8]) -> bool {
+    if bytes.is_empty() || hook.check(FaultPoint::IntegrityBitflip).is_ok() {
+        return false;
+    }
+    let seed = integrity::crc32(path.to_string_lossy().as_bytes()) as usize;
+    let offset = seed.wrapping_add(bytes.len()) % bytes.len();
+    bytes[offset] ^= 0x40;
+    cpdg_obs::counter!("scrub.bitflips_injected").inc();
+    cpdg_obs::warn!(
+        "core.scrub",
+        "injected bit flip on artifact read";
+        path = path.display().to_string(),
+        offset = offset as u64,
+    );
+    true
+}
+
+/// Outcome of a successful [`read_sealed_replicated`].
+#[derive(Debug, Clone)]
+pub struct ReplicatedRead {
+    /// The verified payload (footer stripped).
+    pub payload: Vec<u8>,
+    /// Copies that existed but failed their integrity check.
+    pub corrupt_copies: usize,
+    /// Bad or missing copies rewritten from the first good copy.
+    pub repaired: usize,
+}
+
+/// Reads a footer-sealed artifact through its replica set.
+///
+/// Tries copy 0 (the primary), then `.r1` … `.r(replicas-1)`. The first
+/// copy whose CRC verifies wins; every other copy that is corrupt *or
+/// missing* is rewritten from it (each rewrite gated on the
+/// `scrub.repair` fault point — a fired fault leaves that copy bad for
+/// the next read or scrub cycle to retry). Errors:
+///
+/// * every copy absent → the primary's `NotFound` [`CpdgError::Io`], so
+///   callers with a "no artifact yet" path can keep mapping it to `None`;
+/// * copies present but none sound → the first copy's typed corruption
+///   error, which names the artifact path.
+pub fn read_sealed_replicated(
+    storage: &dyn Storage,
+    path: &Path,
+    replicas: usize,
+    hook: &FaultHook,
+) -> CpdgResult<ReplicatedRead> {
+    let n = replicas.max(1);
+    let mut good: Option<Vec<u8>> = None;
+    let mut bad: Vec<PathBuf> = Vec::new();
+    let mut corrupt_copies = 0usize;
+    let mut first_err: Option<CpdgError> = None;
+    let mut found_any = false;
+    for i in 0..n {
+        let p = copy_path(path, i);
+        match storage.read(&p) {
+            Ok(mut bytes) => {
+                found_any = true;
+                maybe_bitflip(hook, &p, &mut bytes);
+                match integrity::unseal_strict(&bytes, &p) {
+                    Ok(_) => {
+                        if good.is_none() {
+                            good = Some(bytes);
+                        }
+                    }
+                    Err(e) => {
+                        corrupt_copies += 1;
+                        cpdg_obs::counter!("scrub.corrupt_copies").inc();
+                        cpdg_obs::warn!(
+                            "core.scrub",
+                            "corrupt artifact copy";
+                            path = p.display().to_string(),
+                            error = e.to_string(),
+                        );
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        bad.push(p);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                if i == 0 && first_err.is_none() {
+                    first_err = Some(CpdgError::io(&p, e));
+                }
+                // An absent copy (primary or replica) is healable once a
+                // good copy is found.
+                bad.push(p);
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(CpdgError::io(&p, e));
+                }
+            }
+        }
+    }
+    let Some(sealed) = good else {
+        if !found_any {
+            return Err(first_err.unwrap_or_else(|| {
+                CpdgError::io(path, io::Error::new(io::ErrorKind::NotFound, "no copies"))
+            }));
+        }
+        return Err(first_err.expect("a read copy either verified or errored"));
+    };
+    let repaired = repair_copies(storage, &bad, &sealed, hook);
+    let payload = integrity::unseal(&sealed, path)?.to_vec();
+    Ok(ReplicatedRead {
+        payload,
+        corrupt_copies,
+        repaired,
+    })
+}
+
+/// Rewrites each path in `bad` with `good_bytes` (atomic publish), each
+/// attempt gated on `scrub.repair`. Returns how many were repaired.
+pub fn repair_copies(
+    storage: &dyn Storage,
+    bad: &[PathBuf],
+    good_bytes: &[u8],
+    hook: &FaultHook,
+) -> usize {
+    let mut repaired = 0;
+    for p in bad {
+        if let Err(fault) = hook.check(FaultPoint::ScrubRepair) {
+            cpdg_obs::warn!(
+                "core.scrub",
+                "repair suppressed by injected fault";
+                path = p.display().to_string(),
+                fault = fault.to_string(),
+            );
+            continue;
+        }
+        match storage.write_atomic(p, good_bytes) {
+            Ok(()) => {
+                repaired += 1;
+                cpdg_obs::counter!("scrub.repairs").inc();
+                cpdg_obs::info!(
+                    "core.scrub",
+                    "repaired artifact copy from replica";
+                    path = p.display().to_string(),
+                    bytes = good_bytes.len() as u64,
+                );
+            }
+            Err(e) => {
+                cpdg_obs::warn!(
+                    "core.scrub",
+                    "repair write failed";
+                    path = p.display().to_string(),
+                    error = e.to_string(),
+                );
+            }
+        }
+    }
+    repaired
+}
+
+/// Moves `path` into `<parent>/quarantine/` under the PR 9 suffixing
+/// discipline (`<name>`, `<name>.1`, `<name>.2`, …) and drags its
+/// replicas along (suffixed the same way). Returns the quarantined
+/// primary's new path.
+pub fn quarantine_artifact(storage: &dyn Storage, path: &Path) -> CpdgResult<PathBuf> {
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    let qdir = parent.join(QUARANTINE_DIR);
+    storage
+        .create_dir_all(&qdir)
+        .map_err(|e| CpdgError::io(&qdir, e))?;
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    let mut dest = qdir.join(&name);
+    let mut suffix = 0usize;
+    while dest.exists() {
+        suffix += 1;
+        dest = qdir.join(format!("{name}.{suffix}"));
+    }
+    storage
+        .rename(path, &dest)
+        .map_err(|e| CpdgError::io(path, e))?;
+    for i in 1.. {
+        let rp = replica_path(path, i);
+        if !rp.exists() {
+            break;
+        }
+        let rname = rp
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let rdest = if suffix == 0 {
+            qdir.join(&rname)
+        } else {
+            qdir.join(format!("{rname}.{suffix}"))
+        };
+        if storage.rename(&rp, &rdest).is_err() {
+            break;
+        }
+    }
+    cpdg_obs::counter!("scrub.quarantined").inc();
+    cpdg_obs::warn!(
+        "core.scrub",
+        "quarantined unrepairable artifact";
+        from = path.display().to_string(),
+        to = dest.display().to_string(),
+    );
+    Ok(dest)
+}
+
+/// The artifact classes the scrubber knows how to verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactClass {
+    /// A sealed `wal-<start>.seg` segment (frame CRCs, not a footer).
+    WalSegment,
+    /// The drain checkpoint `checkpoint.cpdg` (footer-sealed JSON).
+    WalCheckpoint,
+    /// A model/candidate epoch file (footer-sealed JSON).
+    Epoch,
+    /// The promoted-epoch pointer `promoted.cpdg` (footer-sealed text).
+    Pointer,
+    /// A quarantined artifact — known bad, counted but never verified.
+    Quarantined,
+}
+
+impl ArtifactClass {
+    /// Human-readable class name for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactClass::WalSegment => "wal-segment",
+            ArtifactClass::WalCheckpoint => "wal-checkpoint",
+            ArtifactClass::Epoch => "epoch",
+            ArtifactClass::Pointer => "pointer",
+            ArtifactClass::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Classifies one file name inside a scrub root. `None` for files the
+/// scrubber must skip (sidecars, unknown formats).
+pub fn classify(name: &str) -> Option<ArtifactClass> {
+    if is_sidecar_name(name) {
+        return None;
+    }
+    if name == "checkpoint.cpdg" {
+        return Some(ArtifactClass::WalCheckpoint);
+    }
+    if name == "promoted.cpdg" {
+        return Some(ArtifactClass::Pointer);
+    }
+    if let Some(hex) = name
+        .strip_prefix("wal-")
+        .and_then(|n| n.strip_suffix(".seg"))
+    {
+        if u64::from_str_radix(hex, 16).is_ok() {
+            return Some(ArtifactClass::WalSegment);
+        }
+    }
+    if name.ends_with(".json") {
+        return Some(ArtifactClass::Epoch);
+    }
+    None
+}
+
+/// Scrubber tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScrubConfig {
+    /// Sealed-copy count artifacts are healed back up to.
+    pub replicas: usize,
+    /// Byte budget per [`Scrubber::scrub_cycle`] call (`0` = unlimited).
+    /// The cycle stops after the artifact that crosses the budget and the
+    /// next cycle resumes at the cursor, so a large catalog is verified
+    /// incrementally without a latency cliff for concurrent serving.
+    pub max_bytes_per_cycle: u64,
+}
+
+impl Default for ScrubConfig {
+    /// Two copies, 8 MiB verified per cycle.
+    fn default() -> Self {
+        Self {
+            replicas: DEFAULT_REPLICAS,
+            max_bytes_per_cycle: 8 << 20,
+        }
+    }
+}
+
+/// What one [`Scrubber::scrub_cycle`] found and did.
+#[derive(Debug, Clone, Default)]
+pub struct CycleReport {
+    /// Artifacts whose checksums were verified this cycle.
+    pub scanned: u64,
+    /// Bytes read and verified this cycle.
+    pub bytes: u64,
+    /// Corrupt copies found (primary or replica).
+    pub corrupt: u64,
+    /// Copies rewritten from a good replica.
+    pub repaired: u64,
+    /// Reads that failed (injected `scrub.read` faults or IO errors).
+    pub read_errors: u64,
+    /// Artifacts with *no* sound copy: `(class, path)`. WAL segments in
+    /// this list have already been quarantined.
+    pub unrepairable: Vec<(ArtifactClass, PathBuf)>,
+}
+
+/// One catalog entry: a primary artifact file to verify.
+#[derive(Debug, Clone)]
+struct CatalogEntry {
+    class: ArtifactClass,
+    path: PathBuf,
+    /// Whether this is its WAL directory's active tail segment (skipped:
+    /// a torn tail there is a legal crash artifact, not corruption).
+    active_tail: bool,
+}
+
+/// The deterministic background scrubber: walks a sorted catalog of
+/// artifact files under its roots, re-verifying checksums and healing
+/// from replicas, a byte budget at a time.
+///
+/// Synchronous and single-threaded by design — the serving integration
+/// wraps it in a supervised thread; tests drive cycles directly.
+pub struct Scrubber {
+    roots: Vec<PathBuf>,
+    config: ScrubConfig,
+    cursor: usize,
+}
+
+impl Scrubber {
+    /// A scrubber over `roots` (WAL directories, epoch directories —
+    /// shard subdirectories and quarantine counts are discovered
+    /// automatically; missing roots are skipped).
+    pub fn new(roots: Vec<PathBuf>, config: ScrubConfig) -> Self {
+        Self {
+            roots,
+            config,
+            cursor: 0,
+        }
+    }
+
+    /// Builds the sorted catalog of primary artifacts under the roots.
+    fn catalog(&self) -> Vec<CatalogEntry> {
+        let mut dirs: Vec<PathBuf> = Vec::new();
+        for root in &self.roots {
+            if !root.is_dir() {
+                continue;
+            }
+            dirs.push(root.clone());
+            // One level of discovery: shard WAL dirs and quarantine dirs.
+            if let Ok(entries) = std::fs::read_dir(root) {
+                for e in entries.flatten() {
+                    let p = e.path();
+                    if !p.is_dir() {
+                        continue;
+                    }
+                    let name = e.file_name().to_string_lossy().into_owned();
+                    if name.starts_with("wal.shard") || name == QUARANTINE_DIR {
+                        dirs.push(p);
+                    }
+                }
+            }
+        }
+        dirs.sort();
+        dirs.dedup();
+        let mut out = Vec::new();
+        for dir in &dirs {
+            let quarantined = dir.file_name().is_some_and(|n| n == QUARANTINE_DIR);
+            let Ok(entries) = std::fs::read_dir(dir) else {
+                continue;
+            };
+            let mut files: Vec<PathBuf> = entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_file())
+                .collect();
+            files.sort();
+            // The highest-start segment per directory is the active tail.
+            let max_seg = files
+                .iter()
+                .filter_map(|p| p.file_name()?.to_str())
+                .filter(|n| classify(n) == Some(ArtifactClass::WalSegment))
+                .max()
+                .map(str::to_owned);
+            for p in files {
+                let Some(name) = p.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                if quarantined {
+                    out.push(CatalogEntry {
+                        class: ArtifactClass::Quarantined,
+                        path: p.clone(),
+                        active_tail: false,
+                    });
+                    continue;
+                }
+                let Some(class) = classify(name) else {
+                    continue;
+                };
+                let active_tail =
+                    class == ArtifactClass::WalSegment && max_seg.as_deref() == Some(name);
+                out.push(CatalogEntry {
+                    class,
+                    path: p.clone(),
+                    active_tail,
+                });
+            }
+        }
+        out
+    }
+
+    /// Runs one budgeted scrub cycle: verifies artifacts starting at the
+    /// cursor until the byte budget is spent (or the whole catalog is
+    /// covered), healing bad copies from good replicas along the way.
+    pub fn scrub_cycle(&mut self, storage: &dyn Storage, hook: &FaultHook) -> CycleReport {
+        let catalog = self.catalog();
+        let mut report = CycleReport::default();
+        if catalog.is_empty() {
+            self.cursor = 0;
+            return report;
+        }
+        let budget = self.config.max_bytes_per_cycle;
+        let n = catalog.len();
+        self.cursor %= n;
+        for step in 0..n {
+            let entry = &catalog[(self.cursor + step) % n];
+            self.scrub_one(storage, hook, entry, &mut report);
+            if budget > 0 && report.bytes >= budget {
+                self.cursor = (self.cursor + step + 1) % n;
+                cpdg_obs::counter!("scrub.cycles").inc();
+                return report;
+            }
+        }
+        self.cursor = 0;
+        cpdg_obs::counter!("scrub.cycles").inc();
+        report
+    }
+
+    /// Scrubs the entire catalog once, ignoring the byte budget — the
+    /// offline `cpdg scrub <dir>` path.
+    pub fn scrub_all(&mut self, storage: &dyn Storage, hook: &FaultHook) -> CycleReport {
+        let saved = self.config.max_bytes_per_cycle;
+        self.config.max_bytes_per_cycle = 0;
+        self.cursor = 0;
+        let report = self.scrub_cycle(storage, hook);
+        self.config.max_bytes_per_cycle = saved;
+        report
+    }
+
+    fn scrub_one(
+        &self,
+        storage: &dyn Storage,
+        hook: &FaultHook,
+        entry: &CatalogEntry,
+        report: &mut CycleReport,
+    ) {
+        if entry.class == ArtifactClass::Quarantined || entry.active_tail {
+            // Known-bad or actively-written files are counted, not read.
+            report.scanned += 1;
+            return;
+        }
+        if hook.check(FaultPoint::ScrubRead).is_err() {
+            report.read_errors += 1;
+            return;
+        }
+        match entry.class {
+            ArtifactClass::WalSegment => self.scrub_segment(storage, hook, entry, report),
+            _ => self.scrub_sealed(storage, hook, entry, report),
+        }
+    }
+
+    /// Verifies a footer-sealed artifact and its replicas, repairing from
+    /// the first good copy.
+    fn scrub_sealed(
+        &self,
+        storage: &dyn Storage,
+        hook: &FaultHook,
+        entry: &CatalogEntry,
+        report: &mut CycleReport,
+    ) {
+        match read_sealed_replicated(storage, &entry.path, self.config.replicas, hook) {
+            Ok(read) => {
+                report.scanned += 1;
+                report.bytes += read.payload.len() as u64;
+                report.corrupt += read.corrupt_copies as u64;
+                report.repaired += read.repaired as u64;
+            }
+            Err(CpdgError::Io { source, .. }) if source.kind() == io::ErrorKind::NotFound => {
+                // Deleted between catalog and read — not corruption.
+            }
+            Err(CpdgError::Io { .. }) => {
+                report.read_errors += 1;
+            }
+            Err(_) => {
+                report.scanned += 1;
+                report.corrupt += 1;
+                report.unrepairable.push((entry.class, entry.path.clone()));
+            }
+        }
+    }
+
+    /// Verifies a sealed WAL segment (frame CRCs over every copy),
+    /// repairing the bad copies from a sound one; with no sound copy the
+    /// segment is quarantined so recovery refuses with a typed `WalGap`
+    /// instead of replaying garbage.
+    fn scrub_segment(
+        &self,
+        storage: &dyn Storage,
+        hook: &FaultHook,
+        entry: &CatalogEntry,
+        report: &mut CycleReport,
+    ) {
+        let n = self.config.replicas.max(1);
+        let mut good: Option<Vec<u8>> = None;
+        let mut bad: Vec<PathBuf> = Vec::new();
+        let mut found_any = false;
+        for i in 0..n {
+            let p = copy_path(&entry.path, i);
+            match storage.read(&p) {
+                Ok(mut bytes) => {
+                    found_any = true;
+                    maybe_bitflip(hook, &p, &mut bytes);
+                    if crate::wal::segment_is_sound(&bytes) {
+                        if good.is_none() {
+                            good = Some(bytes);
+                        }
+                    } else {
+                        report.corrupt += 1;
+                        cpdg_obs::counter!("scrub.corrupt_copies").inc();
+                        bad.push(p);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    if i >= 1 {
+                        bad.push(p);
+                    }
+                }
+                Err(_) => {
+                    report.read_errors += 1;
+                }
+            }
+        }
+        if !found_any {
+            return; // segment truncated away between catalog and read
+        }
+        report.scanned += 1;
+        match good {
+            Some(bytes) => {
+                report.bytes += bytes.len() as u64;
+                report.repaired += repair_copies(storage, &bad, &bytes, hook) as u64;
+            }
+            None => {
+                report
+                    .unrepairable
+                    .push((ArtifactClass::WalSegment, entry.path.clone()));
+                if let Err(e) = quarantine_artifact(storage, &entry.path) {
+                    cpdg_obs::warn!(
+                        "core.scrub",
+                        "failed to quarantine unrepairable WAL segment";
+                        path = entry.path.display().to_string(),
+                        error = e.to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{FaultKind, FaultPlan, Trigger};
+    use crate::storage::FS_STORAGE;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpdg_scrub_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn bitflip_hook(every: u64) -> FaultHook {
+        FaultHook::install(&FaultPlan::new(0).with(
+            FaultPoint::IntegrityBitflip,
+            FaultKind::Permanent,
+            Trigger::Every { k: every },
+        ))
+    }
+
+    #[test]
+    fn replica_names_round_trip() {
+        let p = replica_path(Path::new("/a/checkpoint.cpdg"), 1);
+        assert_eq!(p, Path::new("/a/checkpoint.cpdg.r1"));
+        assert!(is_replica_name("checkpoint.cpdg.r1"));
+        assert!(is_replica_name("wal-0000000000000000.seg.r2"));
+        assert!(!is_replica_name("checkpoint.cpdg"));
+        assert!(!is_replica_name("model.r1x"));
+        assert!(is_sidecar_name("wal-0.seg.torn"));
+        assert!(is_sidecar_name(".checkpoint.cpdg.tmp"));
+    }
+
+    #[test]
+    fn classify_knows_every_artifact_class() {
+        assert_eq!(
+            classify("checkpoint.cpdg"),
+            Some(ArtifactClass::WalCheckpoint)
+        );
+        assert_eq!(classify("promoted.cpdg"), Some(ArtifactClass::Pointer));
+        assert_eq!(
+            classify("wal-0000000000000010.seg"),
+            Some(ArtifactClass::WalSegment)
+        );
+        assert_eq!(classify("candidate-g3.json"), Some(ArtifactClass::Epoch));
+        assert_eq!(classify("checkpoint.cpdg.r1"), None);
+        assert_eq!(classify("wal-0000000000000010.seg.torn"), None);
+        assert_eq!(classify("notes.txt"), None);
+    }
+
+    #[test]
+    fn replicated_read_heals_a_corrupt_primary() {
+        let dir = test_dir("heal");
+        let path = dir.join("artifact.json");
+        let sealed = integrity::seal(br#"{"v":1}"#);
+        write_replicated(&FS_STORAGE, &path, &sealed, 2).unwrap();
+        // Corrupt the primary in place.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let read = read_sealed_replicated(&FS_STORAGE, &path, 2, &FaultHook::none()).unwrap();
+        assert_eq!(read.payload, br#"{"v":1}"#);
+        assert_eq!(read.corrupt_copies, 1);
+        assert_eq!(read.repaired, 1);
+        // The primary is healed: a plain read now verifies.
+        let healed = std::fs::read(&path).unwrap();
+        assert!(integrity::unseal_strict(&healed, &path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replicated_read_refuses_when_every_copy_is_bad() {
+        let dir = test_dir("refuse");
+        let path = dir.join("artifact.json");
+        let sealed = integrity::seal(br#"{"v":1}"#);
+        write_replicated(&FS_STORAGE, &path, &sealed, 2).unwrap();
+        for i in 0..2 {
+            let p = copy_path(&path, i);
+            let mut bytes = std::fs::read(&p).unwrap();
+            bytes[1] ^= 0xFF;
+            std::fs::write(&p, &bytes).unwrap();
+        }
+        let err = read_sealed_replicated(&FS_STORAGE, &path, 2, &FaultHook::none()).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "typed corruption, not a panic: {err}");
+        assert!(err.to_string().contains("artifact.json"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replicated_read_maps_fully_absent_to_not_found() {
+        let dir = test_dir("absent");
+        let path = dir.join("missing.json");
+        let err = read_sealed_replicated(&FS_STORAGE, &path, 2, &FaultHook::none()).unwrap_err();
+        match err {
+            CpdgError::Io { source, .. } => {
+                assert_eq!(source.kind(), io::ErrorKind::NotFound)
+            }
+            other => panic!("expected NotFound Io, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replicated_read_backfills_missing_replicas() {
+        let dir = test_dir("backfill");
+        let path = dir.join("artifact.json");
+        let sealed = integrity::seal(br#"{"v":2}"#);
+        // Written with one copy (legacy), read expecting two.
+        FS_STORAGE.write_atomic(&path, &sealed).unwrap();
+        let read = read_sealed_replicated(&FS_STORAGE, &path, 2, &FaultHook::none()).unwrap();
+        assert_eq!(read.repaired, 1);
+        assert!(replica_path(&path, 1).exists(), "replica backfilled");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_bitflip_on_primary_heals_from_replica() {
+        let dir = test_dir("bitflip");
+        let path = dir.join("artifact.json");
+        let sealed = integrity::seal(br#"{"v":3}"#);
+        write_replicated(&FS_STORAGE, &path, &sealed, 2).unwrap();
+        // Nth(1): only the first read (the primary) is flipped in memory.
+        let hook = FaultHook::install(&FaultPlan::new(0).with(
+            FaultPoint::IntegrityBitflip,
+            FaultKind::Permanent,
+            Trigger::Nth { n: 1 },
+        ));
+        let read = read_sealed_replicated(&FS_STORAGE, &path, 2, &hook).unwrap();
+        assert_eq!(read.payload, br#"{"v":3}"#);
+        assert_eq!(read.corrupt_copies, 1);
+        // Every copy flipped → typed refusal.
+        let hook = bitflip_hook(1);
+        let err = read_sealed_replicated(&FS_STORAGE, &path, 2, &hook).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scrub_cycle_repairs_and_reports() {
+        let dir = test_dir("cycle");
+        let ckpt = dir.join("checkpoint.cpdg");
+        let sealed = integrity::seal(br#"{"applied":0}"#);
+        write_replicated(&FS_STORAGE, &ckpt, &sealed, 2).unwrap();
+        let epoch = dir.join("candidate-g1.json");
+        write_replicated(&FS_STORAGE, &epoch, &integrity::seal(br#"{"m":1}"#), 2).unwrap();
+        // Corrupt the checkpoint primary on disk.
+        let mut bytes = std::fs::read(&ckpt).unwrap();
+        bytes[3] ^= 0x10;
+        std::fs::write(&ckpt, &bytes).unwrap();
+        let mut scrubber = Scrubber::new(vec![dir.clone()], ScrubConfig::default());
+        let report = scrubber.scrub_cycle(&FS_STORAGE, &FaultHook::none());
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(report.repaired, 1);
+        assert!(report.unrepairable.is_empty());
+        // Second cycle: everything clean.
+        let report = scrubber.scrub_cycle(&FS_STORAGE, &FaultHook::none());
+        assert_eq!(report.corrupt, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scrub_reports_unrepairable_sealed_artifacts() {
+        let dir = test_dir("unrepair");
+        let ptr = dir.join("promoted.cpdg");
+        // Single copy, corrupted — nothing to heal from.
+        let mut sealed = integrity::seal(b"3\nmodel.json");
+        let at = sealed.len() / 2;
+        sealed[at] ^= 0x01;
+        FS_STORAGE.write_atomic(&ptr, &sealed).unwrap();
+        let mut scrubber = Scrubber::new(vec![dir.clone()], ScrubConfig::default());
+        let report = scrubber.scrub_all(&FS_STORAGE, &FaultHook::none());
+        assert_eq!(report.unrepairable.len(), 1);
+        assert_eq!(report.unrepairable[0].0, ArtifactClass::Pointer);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn byte_budget_paces_the_catalog() {
+        let dir = test_dir("budget");
+        for i in 0..4 {
+            let p = dir.join(format!("candidate-g{i}.json"));
+            write_replicated(&FS_STORAGE, &p, &integrity::seal(&[b'x'; 256]), 2).unwrap();
+        }
+        let mut scrubber = Scrubber::new(
+            vec![dir.clone()],
+            ScrubConfig {
+                replicas: 2,
+                max_bytes_per_cycle: 1,
+            },
+        );
+        // One artifact crosses the 1-byte budget per cycle; four cycles
+        // cover the catalog exactly once.
+        let mut scanned = 0;
+        for _ in 0..4 {
+            scanned += scrubber
+                .scrub_cycle(&FS_STORAGE, &FaultHook::none())
+                .scanned;
+        }
+        assert_eq!(scanned, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_uses_suffix_discipline() {
+        let dir = test_dir("quarantine");
+        let a = dir.join("wal-0000000000000000.seg");
+        std::fs::write(&a, b"garbage").unwrap();
+        let q1 = quarantine_artifact(&FS_STORAGE, &a).unwrap();
+        std::fs::write(&a, b"garbage2").unwrap();
+        let q2 = quarantine_artifact(&FS_STORAGE, &a).unwrap();
+        assert_ne!(q1, q2);
+        assert!(q2.to_string_lossy().ends_with(".1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

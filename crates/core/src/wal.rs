@@ -38,9 +38,13 @@
 //!   resurrect an event the client saw `ERR` for.
 //! * **Torn-tail truncation.** [`Wal::open`] scans every frame; a torn
 //!   or corrupt tail in the *last* segment is truncated away (a crash
-//!   mid-write is expected), while corruption in a sealed interior
-//!   segment is a hard [`CpdgError::Corrupt`] (that is bit rot, not a
-//!   crash artifact).
+//!   mid-write is expected), with the dropped bytes preserved in a
+//!   `<segment>.torn` forensic sidecar. Corruption in a sealed interior
+//!   segment is bit rot, not a crash artifact: recovery falls through the
+//!   segment's `.r<i>` replicas, healing the primary from the first sound
+//!   copy; a segment with *no* sound copy is quarantined and recovery
+//!   refuses with a typed [`CpdgError::WalGap`] naming the missing record
+//!   range — never a silent skip.
 //! * **Checkpoint-then-truncate.** A drain writes a CRC-sealed
 //!   [`WalCheckpoint`] (graph + encoder state + applied index) via the
 //!   atomic-publish protocol, then drops fully-covered sealed segments.
@@ -149,15 +153,22 @@ pub struct WalConfig {
     pub fsync: FsyncPolicy,
     /// Retry budget for transient append/fsync/replay faults.
     pub retry: RetryPolicy,
+    /// Sealed-copy count for durable artifacts: each rotation publishes
+    /// the sealed segment as `replicas - 1` additional `.r<i>` copies,
+    /// and recovery falls through them (healing the primary) when the
+    /// primary is corrupt. `1` disables replication.
+    pub replicas: usize,
 }
 
 impl Default for WalConfig {
-    /// 1 MiB segments, fsync on every append, the default retry budget.
+    /// 1 MiB segments, fsync on every append, the default retry budget,
+    /// two sealed copies.
     fn default() -> Self {
         Self {
             segment_bytes: 1 << 20,
             fsync: FsyncPolicy::Always,
             retry: RetryPolicy::default(),
+            replicas: crate::scrub::DEFAULT_REPLICAS,
         }
     }
 }
@@ -288,6 +299,43 @@ fn scan_segment(bytes: &[u8], expect_start: Option<u64>) -> Option<SegmentScan> 
     })
 }
 
+/// Whether `bytes` parse as one *complete, sound* WAL segment: a valid
+/// header and every byte accounted for by CRC-valid, densely-indexed
+/// frames. What the scrubber and the replica fall-through use to judge a
+/// sealed segment copy (the active tail is exempt — a torn tail there is
+/// a legal crash artifact).
+pub fn segment_is_sound(bytes: &[u8]) -> bool {
+    matches!(scan_segment(bytes, None), Some(scan) if scan.valid_len == scan.total_len)
+}
+
+/// Preserves bytes about to be truncated/dropped in a `<segment>.torn`
+/// forensic sidecar (best effort — truncation proceeds either way).
+fn preserve_torn_bytes(path: &Path, torn: &[u8]) {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let sidecar = path.with_file_name(format!("{name}.torn"));
+    match crate::FS_STORAGE.write_atomic(&sidecar, torn) {
+        Ok(()) => {
+            cpdg_obs::info!(
+                "core.wal",
+                "preserved torn bytes in forensic sidecar";
+                path = sidecar.display().to_string(),
+                bytes = torn.len() as u64,
+            );
+        }
+        Err(e) => {
+            cpdg_obs::warn!(
+                "core.wal",
+                "failed to preserve torn bytes";
+                path = sidecar.display().to_string(),
+                error = e.to_string(),
+            );
+        }
+    }
+}
+
 impl Wal {
     /// Opens (creating if absent) the WAL in `dir`, scanning and
     /// repairing existing segments: a torn tail in the last segment is
@@ -316,14 +364,88 @@ impl Wal {
         let mut tail: Option<(PathBuf, u64, u64)> = None; // (path, start, valid_len)
         for (i, &start) in starts.iter().enumerate() {
             let path = segment_path(dir, start);
-            let bytes = std::fs::read(&path).map_err(|e| CpdgError::io(&path, e))?;
+            let mut bytes = std::fs::read(&path).map_err(|e| CpdgError::io(&path, e))?;
             let last = i + 1 == starts.len();
+            if start > next_index {
+                // A preceding segment is missing (quarantined by a prior
+                // scrub, or removed by a foreign tool): the records in
+                // between are gone, and replaying past them would corrupt
+                // state silently. Refuse with the exact missing range.
+                return Err(CpdgError::WalGap {
+                    dir: dir.to_path_buf(),
+                    expected: next_index,
+                    found: start,
+                });
+            }
+            if !last {
+                // Sealed interior segments are scrub-managed: the chaos
+                // bitflip point may corrupt this read, and a corrupt copy
+                // falls through the replicas (healing the primary). The
+                // tail is exempt — a torn tail is a legal crash artifact,
+                // and an injected flip there must not truncate real data.
+                crate::scrub::maybe_bitflip(&hook, &path, &mut bytes);
+            }
+            let sound = |b: &[u8]| {
+                matches!(
+                    scan_segment(b, Some(next_index)),
+                    Some(ref s) if s.valid_len == s.total_len
+                )
+            };
+            if !last && !sound(&bytes) {
+                cpdg_obs::counter!("wal.segment_corruptions").inc();
+                let mut healed = None;
+                for r in 1..config.replicas.max(1) {
+                    let rp = crate::scrub::replica_path(&path, r);
+                    let Ok(mut rb) = std::fs::read(&rp) else {
+                        continue;
+                    };
+                    crate::scrub::maybe_bitflip(&hook, &rp, &mut rb);
+                    if sound(&rb) {
+                        cpdg_obs::warn!(
+                            "core.wal",
+                            "corrupt sealed segment healed from replica";
+                            path = path.display().to_string(),
+                            replica = rp.display().to_string(),
+                        );
+                        healed = Some(rb);
+                        break;
+                    }
+                }
+                match healed {
+                    Some(rb) => {
+                        // Rewrite the bad primary from the good replica
+                        // (suppressed by an injected scrub.repair fault —
+                        // recovery still proceeds on the in-memory copy).
+                        crate::scrub::repair_copies(
+                            &crate::FS_STORAGE,
+                            &[path.clone()],
+                            &rb,
+                            &hook,
+                        );
+                        bytes = rb;
+                    }
+                    None => {
+                        // No sound copy anywhere: quarantine the segment
+                        // (forensics preserved) and refuse with the gap
+                        // its records leave behind.
+                        crate::scrub::quarantine_artifact(&crate::FS_STORAGE, &path)?;
+                        return Err(CpdgError::WalGap {
+                            dir: dir.to_path_buf(),
+                            expected: next_index,
+                            found: starts[i + 1],
+                        });
+                    }
+                }
+            }
             let scan = match scan_segment(&bytes, Some(next_index)) {
                 Some(scan) => scan,
-                None if last => {
-                    // The tail's header itself is torn: drop the file and
-                    // reopen a fresh tail at the expected index.
+                None => {
+                    debug_assert!(last, "non-tail segments were healed or refused above");
+                    // The tail's header itself is torn: preserve the bytes
+                    // in a forensic sidecar, drop the file, and reopen a
+                    // fresh tail at the expected index.
                     stats.truncated_bytes += bytes.len() as u64;
+                    preserve_torn_bytes(&path, &bytes);
                     std::fs::remove_file(&path).map_err(|e| CpdgError::io(&path, e))?;
                     cpdg_obs::warn!(
                         "core.wal",
@@ -333,25 +455,10 @@ impl Wal {
                     );
                     break;
                 }
-                None => {
-                    return Err(CpdgError::corrupt(
-                        &path,
-                        "sealed WAL segment has an invalid header",
-                    ))
-                }
             };
             stats.records += scan.records.len() as u64;
             next_index += scan.records.len() as u64;
             if !last {
-                if scan.valid_len != scan.total_len {
-                    return Err(CpdgError::corrupt(
-                        &path,
-                        format!(
-                            "sealed WAL segment has an invalid frame at byte {}",
-                            scan.valid_len
-                        ),
-                    ));
-                }
                 sealed.push(SegmentInfo {
                     path,
                     start,
@@ -361,6 +468,7 @@ impl Wal {
             } else {
                 if scan.valid_len != scan.total_len {
                     stats.truncated_bytes += scan.total_len - scan.valid_len;
+                    preserve_torn_bytes(&path, &bytes[scan.valid_len as usize..]);
                     let f = OpenOptions::new()
                         .write(true)
                         .open(&path)
@@ -437,6 +545,11 @@ impl Wal {
     /// What [`Wal::open`] found and repaired.
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery
+    }
+
+    /// The configuration this log was opened with.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
     }
 
     /// The WAL directory this log lives in.
@@ -547,11 +660,40 @@ impl Wal {
         let _ = self.file.seek(SeekFrom::Start(pre_len));
     }
 
-    /// Seals the open tail (final fsync) and starts a fresh segment.
+    /// Seals the open tail (final fsync), publishes its replica copies,
+    /// and starts a fresh segment.
     fn rotate(&mut self) -> CpdgResult<()> {
         self.file
             .sync_data()
             .map_err(|e| CpdgError::io(&self.seg_path, e))?;
+        if self.config.replicas > 1 {
+            // Replicas are written best-effort: the primary is already
+            // durable, and a missing replica is backfilled by the next
+            // scrub cycle — availability beats copy count here.
+            match std::fs::read(&self.seg_path) {
+                Ok(bytes) => {
+                    for i in 1..self.config.replicas {
+                        let rp = crate::scrub::replica_path(&self.seg_path, i);
+                        if let Err(e) = crate::FS_STORAGE.write_atomic(&rp, &bytes) {
+                            cpdg_obs::warn!(
+                                "core.wal",
+                                "failed to write sealed-segment replica";
+                                path = rp.display().to_string(),
+                                error = e.to_string(),
+                            );
+                        }
+                    }
+                }
+                Err(e) => {
+                    cpdg_obs::warn!(
+                        "core.wal",
+                        "failed to read sealed segment for replication";
+                        path = self.seg_path.display().to_string(),
+                        error = e.to_string(),
+                    );
+                }
+            }
+        }
         self.sealed.push(SegmentInfo {
             path: self.seg_path.clone(),
             start: self.seg_start,
@@ -659,6 +801,7 @@ impl Wal {
         for seg in self.sealed.drain(..) {
             if seg.end <= through {
                 std::fs::remove_file(&seg.path).map_err(|e| CpdgError::io(&seg.path, e))?;
+                crate::scrub::remove_replicas(&crate::FS_STORAGE, &seg.path);
                 freed += seg.bytes;
             } else {
                 kept.push(seg);
@@ -787,6 +930,29 @@ impl WalCheckpoint {
         Ok(())
     }
 
+    /// Like [`WalCheckpoint::save`], but publishes `replicas` sealed
+    /// copies (`<path>`, `<path>.r1`, …) so a single rotted copy can be
+    /// healed by [`WalCheckpoint::load_replicated`] or the scrubber.
+    pub fn save_replicated(
+        &self,
+        storage: &dyn Storage,
+        path: &Path,
+        replicas: usize,
+    ) -> CpdgResult<()> {
+        let payload = serde_json::to_vec(self).map_err(|e| CpdgError::Serialize(e.to_string()))?;
+        let sealed = crate::integrity::seal(&payload);
+        crate::scrub::write_replicated(storage, path, &sealed, replicas)?;
+        cpdg_obs::info!(
+            "core.wal",
+            "WAL checkpoint saved";
+            path = path.display().to_string(),
+            applied = self.applied,
+            bytes = sealed.len() as u64,
+            replicas = replicas.max(1) as u64,
+        );
+        Ok(())
+    }
+
     /// Loads a checkpoint saved by [`WalCheckpoint::save`]. `Ok(None)`
     /// when no checkpoint file exists (a cold start, not an error).
     pub fn load(storage: &dyn Storage, path: &Path) -> CpdgResult<Option<WalCheckpoint>> {
@@ -797,6 +963,29 @@ impl WalCheckpoint {
         };
         let payload = crate::integrity::unseal(&bytes, path)?;
         let ckpt: WalCheckpoint = serde_json::from_slice(payload)
+            .map_err(|e| CpdgError::corrupt(path, format!("bad WAL checkpoint: {e}")))?;
+        Ok(Some(ckpt))
+    }
+
+    /// Like [`WalCheckpoint::load`], but reads through the replica set:
+    /// a corrupt copy falls through to the next one and every bad copy is
+    /// rewritten from the first good one. `Ok(None)` when no copy exists
+    /// at all; a typed corruption error (naming the checkpoint path) when
+    /// copies exist but none verifies.
+    pub fn load_replicated(
+        storage: &dyn Storage,
+        path: &Path,
+        replicas: usize,
+        hook: &FaultHook,
+    ) -> CpdgResult<Option<WalCheckpoint>> {
+        let read = match crate::scrub::read_sealed_replicated(storage, path, replicas, hook) {
+            Ok(read) => read,
+            Err(CpdgError::Io { source, .. }) if source.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        };
+        let ckpt: WalCheckpoint = serde_json::from_slice(&read.payload)
             .map_err(|e| CpdgError::corrupt(path, format!("bad WAL checkpoint: {e}")))?;
         Ok(Some(ckpt))
     }
@@ -964,8 +1153,8 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_sealed_segment_is_an_error() {
-        let dir = test_dir("sealed_corrupt");
+    fn corrupt_sealed_segment_heals_from_replica() {
+        let dir = test_dir("sealed_heal");
         let config = WalConfig {
             segment_bytes: 64,
             ..fast_config()
@@ -977,15 +1166,190 @@ mod tests {
             }
             assert!(wal.segment_count() > 1);
         }
-        // Corrupt the FIRST (sealed) segment — that is bit rot, not a
-        // crash artifact, and recovery must refuse to silently drop it.
+        // Rotation published a replica of every sealed segment.
         let seg = segment_path(&dir, 0);
+        let replica = crate::scrub::replica_path(&seg, 1);
+        assert!(replica.exists(), "rotation must write the .r1 replica");
+        // Bit rot in the sealed primary: recovery falls through to the
+        // replica, heals the primary, and loses nothing.
         let mut bytes = std::fs::read(&seg).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         std::fs::write(&seg, &bytes).unwrap();
+        let wal = Wal::open(&dir, config, FaultHook::none()).unwrap();
+        assert_eq!(wal.recovery_stats().records, 10, "no record lost");
+        assert_eq!(collect(&wal, 0).len(), 10);
+        // The primary was rewritten from the replica.
+        assert!(segment_is_sound(&std::fs::read(&seg).unwrap()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unrepairable_sealed_segment_is_quarantined_with_typed_gap() {
+        let dir = test_dir("sealed_gap");
+        let config = WalConfig {
+            segment_bytes: 64,
+            ..fast_config()
+        };
+        {
+            let mut wal = Wal::open(&dir, config, FaultHook::none()).unwrap();
+            for i in 0u64..10 {
+                wal.append(&[i as u8; 16]).unwrap();
+            }
+            assert!(wal.segment_count() > 1);
+        }
+        // Rot the sealed primary AND its replica: nothing to heal from.
+        let seg = segment_path(&dir, 0);
+        for p in [seg.clone(), crate::scrub::replica_path(&seg, 1)] {
+            let mut bytes = std::fs::read(&p).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+            std::fs::write(&p, &bytes).unwrap();
+        }
         let err = Wal::open(&dir, config, FaultHook::none()).unwrap_err();
-        assert!(matches!(err, CpdgError::Corrupt { .. }), "{err}");
+        assert!(matches!(err, CpdgError::WalGap { .. }), "{err}");
+        assert_eq!(err.exit_code(), 4);
+        assert!(
+            err.to_string().contains(&dir.display().to_string()),
+            "the refusal names the WAL: {err}"
+        );
+        // The bad segment was quarantined, not deleted: forensics intact.
+        assert!(!seg.exists());
+        assert!(dir
+            .join(crate::scrub::QUARANTINE_DIR)
+            .join(seg.file_name().unwrap())
+            .exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_sealed_segment_is_a_typed_gap() {
+        let dir = test_dir("missing_gap");
+        let config = WalConfig {
+            segment_bytes: 64,
+            ..fast_config()
+        };
+        {
+            let mut wal = Wal::open(&dir, config, FaultHook::none()).unwrap();
+            for i in 0u64..10 {
+                wal.append(&[i as u8; 16]).unwrap();
+            }
+            assert!(wal.segment_count() > 2);
+        }
+        // Remove an interior segment and its replica outright.
+        let starts: Vec<u64> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().into_string().ok()?;
+                let hex = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+                u64::from_str_radix(hex, 16).ok()
+            })
+            .collect();
+        let victim = starts.iter().copied().filter(|&s| s > 0).min().unwrap();
+        let seg = segment_path(&dir, victim);
+        std::fs::remove_file(&seg).unwrap();
+        let _ = std::fs::remove_file(crate::scrub::replica_path(&seg, 1));
+        let err = Wal::open(&dir, config, FaultHook::none()).unwrap_err();
+        match err {
+            CpdgError::WalGap { expected, .. } => assert_eq!(expected, victim),
+            other => panic!("expected WalGap, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_bytes_are_preserved_in_sidecar() {
+        let dir = test_dir("torn_sidecar");
+        {
+            let mut wal = Wal::open(&dir, fast_config(), FaultHook::none()).unwrap();
+            for i in 0u64..4 {
+                wal.append(&[i as u8; 8]).unwrap();
+            }
+        }
+        // Flip a byte in the third record: frames from the flip on are
+        // truncated, and the dropped bytes land in the forensic sidecar.
+        let seg = segment_path(&dir, 0);
+        let full = std::fs::read(&seg).unwrap();
+        let frame = 8 + 8 + 8;
+        let third_payload = SEGMENT_HEADER_LEN as usize + 2 * frame + 8 + 8 + 2;
+        let mut bytes = full.clone();
+        bytes[third_payload] ^= 0x40;
+        std::fs::write(&seg, &bytes).unwrap();
+        let wal = Wal::open(&dir, fast_config(), FaultHook::none()).unwrap();
+        let dropped = wal.recovery_stats().truncated_bytes;
+        assert!(dropped > 0);
+        let sidecar = dir.join(format!(
+            "{}.torn",
+            seg.file_name().unwrap().to_string_lossy()
+        ));
+        let preserved = std::fs::read(&sidecar).unwrap();
+        assert_eq!(preserved.len() as u64, dropped);
+        assert_eq!(&preserved[..], &bytes[bytes.len() - preserved.len()..]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_through_removes_replicas_too() {
+        let dir = test_dir("truncate_replicas");
+        let config = WalConfig {
+            segment_bytes: 64,
+            ..fast_config()
+        };
+        let mut wal = Wal::open(&dir, config, FaultHook::none()).unwrap();
+        for i in 0u64..12 {
+            wal.append(&[i as u8; 16]).unwrap();
+        }
+        assert!(wal.segment_count() > 2);
+        wal.truncate_through(wal.next_index()).unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| crate::scrub::is_replica_name(n))
+            .collect();
+        assert!(leftovers.is_empty(), "stale replicas: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replicated_checkpoint_heals_and_refuses() {
+        use crate::storage::FS_STORAGE;
+        let dir = test_dir("ckpt_replicated");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let hook = FaultHook::none();
+        assert!(WalCheckpoint::load_replicated(&FS_STORAGE, &path, 2, &hook)
+            .unwrap()
+            .is_none());
+        let ckpt = WalCheckpoint {
+            applied: 3,
+            graph: DynamicGraph::empty(2),
+            encoder: EncoderState {
+                memory: cpdg_dgnn::Memory::new(2, 3),
+                cell_state: None,
+                pending: Vec::new(),
+            },
+            shards: 0,
+            shard_applied: Vec::new(),
+        };
+        ckpt.save_replicated(&FS_STORAGE, &path, 2).unwrap();
+        // Rot the primary: the replica heals it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = WalCheckpoint::load_replicated(&FS_STORAGE, &path, 2, &hook)
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded.applied, 3);
+        assert!(crate::integrity::unseal_strict(&std::fs::read(&path).unwrap(), &path).is_ok());
+        // Rot every copy: typed refusal naming the checkpoint.
+        for p in [path.clone(), crate::scrub::replica_path(&path, 1)] {
+            let mut bytes = std::fs::read(&p).unwrap();
+            bytes[4] ^= 0x20;
+            std::fs::write(&p, &bytes).unwrap();
+        }
+        let err = WalCheckpoint::load_replicated(&FS_STORAGE, &path, 2, &hook).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.to_string().contains(CHECKPOINT_FILE), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

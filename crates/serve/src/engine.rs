@@ -199,8 +199,13 @@ pub struct TrainerStats {
     /// Candidates rejected and set aside (gate failure, corruption,
     /// injected fault, divergence, panic).
     pub quarantined: AtomicU64,
+    /// Total bytes of quarantined candidate files.
+    pub quarantined_bytes: AtomicU64,
     /// The trainer's candidate generation counter (0 = none emitted yet).
     pub training_epoch: AtomicU64,
+    /// Why the most recent candidate was rejected (single token, no
+    /// spaces — surfaced verbatim as `trainer.last_reject=`).
+    last_reject: Mutex<Option<String>>,
 }
 
 impl TrainerStats {
@@ -228,9 +233,72 @@ impl TrainerStats {
         self.training_epoch.store(generation, Ordering::Relaxed);
     }
 
-    /// Records one quarantined candidate.
-    pub fn note_quarantined(&self) {
+    /// Records one quarantined candidate: the rejected file's size and a
+    /// single-token cause (e.g. `gate-failure`, `corrupt`, `fault`).
+    pub fn note_quarantined(&self, bytes: u64, cause: &str) {
         Self::bump(&self.quarantined);
+        self.quarantined_bytes.fetch_add(bytes, Ordering::Relaxed);
+        *self.last_reject.lock().expect("trainer stats lock") =
+            Some(cause.split_whitespace().collect::<Vec<_>>().join("-"));
+    }
+
+    /// The cause recorded by the most recent [`note_quarantined`]
+    /// (`TrainerStats::note_quarantined`), or `none`.
+    pub fn last_reject(&self) -> String {
+        self.last_reject
+            .lock()
+            .expect("trainer stats lock")
+            .clone()
+            .unwrap_or_else(|| "none".to_owned())
+    }
+}
+
+/// Background-scrubber counters, surfaced as the `scrub.*` block in
+/// `STATUS` replies. The scrub supervisor folds each cycle's
+/// [`ScrubCycleReport`](cpdg_core::ScrubCycleReport) in; everything is
+/// monotone so operators can rate and diff them.
+#[derive(Debug, Default)]
+pub struct ScrubStats {
+    /// 1 while a background scrubber is attached to this engine, else 0.
+    pub active: AtomicU64,
+    /// Completed scrub cycles.
+    pub cycles: AtomicU64,
+    /// Artifacts examined across all cycles (sealed files verified, WAL
+    /// segments re-scanned, quarantined files counted).
+    pub scanned: AtomicU64,
+    /// Bytes read and re-verified.
+    pub bytes: AtomicU64,
+    /// Corrupt copies detected (primary or replica).
+    pub corrupt: AtomicU64,
+    /// Copies rewritten from a good replica.
+    pub repaired: AtomicU64,
+    /// Artifacts with no sound copy left (quarantined / refused).
+    pub unrepairable: AtomicU64,
+    /// Read errors (I/O, injected `scrub.read` faults) — retried next cycle.
+    pub read_errors: AtomicU64,
+}
+
+impl ScrubStats {
+    fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Marks a background scrubber as attached (or detached).
+    pub fn set_active(&self, on: bool) {
+        self.active.store(u64::from(on), Ordering::Relaxed);
+    }
+
+    /// Folds one completed cycle's report into the counters.
+    pub fn fold(&self, report: &cpdg_core::ScrubCycleReport) {
+        self.cycles.fetch_add(1, Ordering::Relaxed);
+        self.scanned.fetch_add(report.scanned, Ordering::Relaxed);
+        self.bytes.fetch_add(report.bytes, Ordering::Relaxed);
+        self.corrupt.fetch_add(report.corrupt, Ordering::Relaxed);
+        self.repaired.fetch_add(report.repaired, Ordering::Relaxed);
+        self.unrepairable
+            .fetch_add(report.unrepairable.len() as u64, Ordering::Relaxed);
+        self.read_errors
+            .fetch_add(report.read_errors, Ordering::Relaxed);
     }
 }
 
@@ -245,6 +313,9 @@ pub struct Engine {
     /// Continual-training counters (the trainer supervisor increments
     /// most; the engine itself counts promotions and rollbacks).
     pub trainer: TrainerStats,
+    /// Background-scrubber counters (the scrub supervisor folds each
+    /// cycle's report in).
+    pub scrub: ScrubStats,
 }
 
 fn build_epoch(model: &ModelFile, version: u64, seed: u64) -> (Epoch, DgnnEncoder) {
@@ -360,6 +431,7 @@ impl Engine {
             config,
             stats: ServeStats::default(),
             trainer: TrainerStats::default(),
+            scrub: ScrubStats::default(),
         }
     }
 
@@ -520,6 +592,7 @@ impl Engine {
         drop(inner);
         let s = &self.stats;
         let t = &self.trainer;
+        let sc = &self.scrub;
         Reply::Ok {
             version: self.version(),
             body: format!(
@@ -534,8 +607,10 @@ impl Engine {
                  wal_next_index={wal_next} recovered_from_checkpoint={} recovered_replayed={} \
                  recovered_truncated_bytes={} trainer={} trainer.windows={} \
                  trainer.candidates={} trainer.promotions={} trainer.rollbacks={} \
-                 trainer.quarantined={} trainer.training_epoch={} \
-                 trainer.serving_epoch={}{shard_block}",
+                 trainer.quarantined={} trainer.quarantined_bytes={} trainer.last_reject={} \
+                 trainer.training_epoch={} trainer.serving_epoch={} \
+                 scrub={} scrub.cycles={} scrub.scanned={} scrub.bytes={} scrub.corrupt={} \
+                 scrub.repaired={} scrub.unrepairable={} scrub.read_errors={}{shard_block}",
                 self.version(),
                 ServeStats::get(&s.events),
                 ServeStats::get(&s.ok),
@@ -559,8 +634,22 @@ impl Engine {
                 TrainerStats::get(&t.promotions),
                 TrainerStats::get(&t.rollbacks),
                 TrainerStats::get(&t.quarantined),
+                TrainerStats::get(&t.quarantined_bytes),
+                t.last_reject(),
                 TrainerStats::get(&t.training_epoch),
                 self.version(),
+                if ScrubStats::get(&sc.active) != 0 {
+                    "on"
+                } else {
+                    "off"
+                },
+                ScrubStats::get(&sc.cycles),
+                ScrubStats::get(&sc.scanned),
+                ScrubStats::get(&sc.bytes),
+                ScrubStats::get(&sc.corrupt),
+                ScrubStats::get(&sc.repaired),
+                ScrubStats::get(&sc.unrepairable),
+                ScrubStats::get(&sc.read_errors),
             ),
         }
     }
@@ -666,7 +755,12 @@ impl Engine {
         let inner = &mut *inner;
         let ckpt_path = dir.join(wal::CHECKPOINT_FILE);
         let mut applied = 0u64;
-        if let Some(ckpt) = WalCheckpoint::load(&cpdg_core::FS_STORAGE, &ckpt_path)? {
+        if let Some(ckpt) = WalCheckpoint::load_replicated(
+            &cpdg_core::FS_STORAGE,
+            &ckpt_path,
+            config.replicas,
+            &self.hook,
+        )? {
             if ckpt.shards != 0 {
                 return Err(CpdgError::corrupt(
                     &ckpt_path,
@@ -748,7 +842,12 @@ impl Engine {
         let ckpt_path = dir.join(wal::CHECKPOINT_FILE);
         let mut applied = 0u64;
         let mut shard_from = vec![0u64; shards];
-        if let Some(ckpt) = WalCheckpoint::load(&cpdg_core::FS_STORAGE, &ckpt_path)? {
+        if let Some(ckpt) = WalCheckpoint::load_replicated(
+            &cpdg_core::FS_STORAGE,
+            &ckpt_path,
+            config.replicas,
+            &self.hook,
+        )? {
             if ckpt.shards == 0 {
                 return Err(CpdgError::corrupt(
                     &ckpt_path,
@@ -905,7 +1004,7 @@ impl Engine {
                 shard_applied: Vec::new(),
             };
             let path = w.dir().join(wal::CHECKPOINT_FILE);
-            ckpt.save(storage, &path)?;
+            ckpt.save_replicated(storage, &path, w.config().replicas)?;
             let freed = w.truncate_through(ckpt.applied)?;
             return Ok(Some(freed));
         }
@@ -937,7 +1036,12 @@ impl Engine {
             shards: shards as u64,
             shard_applied: shard_applied.clone(),
         };
-        ckpt.save(storage, &root.join(wal::CHECKPOINT_FILE))?;
+        let replicas = inner
+            .bank
+            .slot(0)
+            .wal()
+            .map_or(cpdg_core::scrub::DEFAULT_REPLICAS, |w| w.config().replicas);
+        ckpt.save_replicated(storage, &root.join(wal::CHECKPOINT_FILE), replicas)?;
         let mut freed = 0u64;
         for (k, &through) in shard_applied.iter().enumerate() {
             let w = inner

@@ -52,6 +52,14 @@
 //!   a sealed promoted-epoch pointer for crash recovery, and automatic
 //!   rollback if a fresh promotion trips the breaker inside its probation
 //!   window.
+//! * [`scrub`] — the self-healing artifact layer's serving half: a
+//!   supervised background thread drives the deterministic
+//!   [`Scrubber`](cpdg_core::Scrubber) over the WAL and epoch
+//!   directories on a byte-budgeted cadence, re-verifying every sealed
+//!   artifact's CRC against its redundant replica copies
+//!   (`<name>.r1`, …), rewriting bad copies from good ones, quarantining
+//!   unrepairable WAL segments, and folding each cycle's report into the
+//!   `scrub.*` block of `STATUS` replies.
 //! * [`shard`] — the `--shards N` partition of the durability/resilience
 //!   domain: a stable node→shard router ([`ShardRouter`](cpdg_graph::ShardRouter)),
 //!   per-shard WAL streams under `wal.shard<k>/` with globally-sequenced
@@ -63,16 +71,19 @@
 //!   drain, reload, breaker trips, and crash recovery.
 //!
 //! Chaos integration: the engine threads a
-//! [`FaultHook`](cpdg_core::FaultHook) through eight serve-side fault
+//! [`FaultHook`](cpdg_core::FaultHook) through the serve-side fault
 //! points — `serve.accept` (admission), `serve.infer` (query forward
 //! pass), `serve.reload` (hot swap), `serve.worker` (worker panic),
 //! `shard.route` (routing an `EVENT` to its owning shard),
-//! `wal.append` / `wal.fsync` (durable ingestion, per shard stream), and
-//! `wal.replay` (recovery) — so the workspace `serve_suite`, `wal_suite`,
-//! and `shard_suite` can assert that shedding, breaker trips, failed
-//! reloads, crashes at any fault point, and drain leave served results
-//! and persisted state bit-identical to a fault-free run at any shard
-//! count.
+//! `wal.append` / `wal.fsync` (durable ingestion, per shard stream),
+//! `wal.replay` (recovery), plus the self-healing layer's `scrub.read`
+//! (scrubber artifact reads), `scrub.repair` (replica rewrites), and
+//! `integrity.bitflip` (seeded byte corruption injected on sealed-copy
+//! reads) — so the workspace `serve_suite`, `wal_suite`, `shard_suite`,
+//! and `scrub_suite` can assert that shedding, breaker trips, failed
+//! reloads, crashes at any fault point, artifact corruption, and drain
+//! leave served results and persisted state bit-identical to a
+//! fault-free run at any shard count.
 
 #![warn(missing_docs)]
 #![warn(clippy::disallowed_macros)]
@@ -82,18 +93,22 @@ pub mod cache;
 pub mod engine;
 pub mod protocol;
 pub mod queue;
+pub mod scrub;
 pub mod server;
 pub mod shard;
 pub mod trainer;
 
 pub use breaker::{Admittance, CircuitBreaker};
 pub use cache::{CacheKey, ClearCause, EmbedCache};
-pub use engine::{Engine, EngineConfig, Epoch, ServeStats, TrainerStats, WalRecoveryReport};
+pub use engine::{
+    Engine, EngineConfig, Epoch, ScrubStats, ServeStats, TrainerStats, WalRecoveryReport,
+};
 pub use protocol::{parse_line, render_floats, Command, ErrKind, Reply};
 pub use queue::{split_capacity, BoundedQueue, CapacityMismatch, Overloaded, ShedReason};
+pub use scrub::ScrubSupervisor;
 pub use server::{Server, ServerConfig};
 pub use shard::{ShardBank, ShardSlot};
 pub use trainer::{
-    read_promoted, write_promoted, CycleOutcome, PromotedEpoch, TrainerConfig, TrainerRuntime,
-    TrainerSupervisor,
+    read_promoted, read_promoted_with, write_promoted, CycleOutcome, PromotedEpoch, TrainerConfig,
+    TrainerRuntime, TrainerSupervisor,
 };

@@ -1,0 +1,253 @@
+//! The background integrity scrubber's serving half.
+//!
+//! [`ScrubSupervisor`] owns a deterministic [`Scrubber`] (the synchronous
+//! catalog-walking verifier in `cpdg_core::scrub`) and drives one
+//! byte-budgeted cycle per interval on a named thread, with the same
+//! supervision discipline as the worker pool and the continual trainer:
+//! panics are caught and counted, the scrubber is rebuilt fresh, and the
+//! loop resumes after a bounded deterministic backoff. Each completed
+//! cycle's [`CycleReport`](cpdg_core::ScrubCycleReport) is folded into
+//! the engine's [`ScrubStats`](crate::engine::ScrubStats), so `STATUS`
+//! replies carry a live `scrub.*` block.
+//!
+//! The scrubber never blocks serving: it holds no engine lock — it reads
+//! and repairs artifact *files*, which every writer publishes atomically
+//! (temp sibling + fsync + rename), and it skips each WAL directory's
+//! active tail segment (a torn tail there is a legal crash artifact that
+//! recovery truncates, not corruption to repair).
+
+use crate::engine::Engine;
+use cpdg_core::{FaultHook, RetryPolicy, ScrubConfig, Scrubber, FS_STORAGE};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The supervisor thread around a background [`Scrubber`].
+pub struct ScrubSupervisor {
+    handle: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ScrubSupervisor {
+    /// Spawns the scrubber thread over `roots` (WAL directory, epoch
+    /// directory — shard and quarantine subdirectories are discovered
+    /// automatically), cycling every `interval`.
+    pub fn start(
+        engine: Arc<Engine>,
+        roots: Vec<PathBuf>,
+        config: ScrubConfig,
+        interval: Duration,
+        hook: FaultHook,
+    ) -> std::io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        engine.scrub.set_active(true);
+        let handle = std::thread::Builder::new()
+            .name("cpdg-scrub".to_string())
+            .spawn(move || supervise_scrubber(engine, roots, config, interval, hook, flag))?;
+        Ok(Self {
+            handle: Some(handle),
+            stop,
+        })
+    }
+
+    /// Signals the supervisor to stop after its current cycle and joins it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ScrubSupervisor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The supervision loop. A panicking cycle is caught, the scrubber is
+/// rebuilt (its only state is the catalog cursor — losing it restarts
+/// the sweep from the top, which is always safe), and the loop resumes
+/// after a bounded deterministic backoff; a completed cycle resets the
+/// panic streak and reports through [`ScrubStats`](crate::engine::ScrubStats).
+fn supervise_scrubber(
+    engine: Arc<Engine>,
+    roots: Vec<PathBuf>,
+    config: ScrubConfig,
+    interval: Duration,
+    hook: FaultHook,
+    stop: Arc<AtomicBool>,
+) {
+    let backoff = RetryPolicy::default();
+    let mut streak: u32 = 0;
+    let mut scrubber = Scrubber::new(roots.clone(), config);
+    while !stop.load(Ordering::SeqCst) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            scrubber.scrub_cycle(&FS_STORAGE, &hook)
+        })) {
+            Ok(report) => {
+                streak = 0;
+                engine.scrub.fold(&report);
+                for (class, path) in &report.unrepairable {
+                    cpdg_obs::warn!(
+                        "serve.scrub",
+                        "unrepairable artifact: no sound copy left";
+                        class = class.name(),
+                        path = path.display().to_string(),
+                    );
+                }
+            }
+            Err(_) => {
+                streak += 1;
+                let delay = backoff.backoff_delay(streak);
+                cpdg_obs::warn!(
+                    "serve.scrub",
+                    "scrub cycle panicked; rebuilding scrubber after backoff";
+                    streak = streak,
+                    backoff_ms = delay.as_millis() as u64,
+                );
+                scrubber = Scrubber::new(roots.clone(), config);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if !interval.is_zero() {
+            std::thread::sleep(interval);
+        }
+    }
+    engine.scrub.set_active(false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::protocol::Command;
+    use cpdg_core::ModelFile;
+    use cpdg_dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, LinkPredictor};
+    use cpdg_tensor::ParamStore;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::path::Path;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpdg-scrubsup-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_model() -> ModelFile {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = DgnnConfig::preset(EncoderKind::Tgn, 8, 100.0);
+        let enc = DgnnEncoder::new(&mut store, &mut rng, "enc", 16, cfg.clone());
+        let _head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", enc.dim());
+        ModelFile::new(cfg, 16, store, Vec::new())
+    }
+
+    /// A sealed artifact the scrubber recognises, with one replica.
+    fn sealed_pair(dir: &Path, name: &str, payload: &[u8]) -> PathBuf {
+        let path = dir.join(name);
+        cpdg_core::scrub::write_replicated(
+            &FS_STORAGE,
+            &path,
+            &cpdg_core::integrity::seal(payload),
+            2,
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn supervisor_heals_a_flipped_artifact_and_reports_in_status() {
+        let dir = test_dir("heal");
+        let path = sealed_pair(&dir, "promoted.cpdg", b"1\n/m.json");
+        // Rot the primary after publish.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[2] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let engine = Arc::new(Engine::from_model(
+            &tiny_model(),
+            EngineConfig::default(),
+            FaultHook::none(),
+        ));
+        let sup = ScrubSupervisor::start(
+            Arc::clone(&engine),
+            vec![dir.clone()],
+            ScrubConfig::default(),
+            Duration::from_millis(5),
+            FaultHook::none(),
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while engine.scrub.repaired.load(Ordering::Relaxed) == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let status = engine.execute(Command::Status).render();
+        sup.shutdown();
+        assert!(status.contains("scrub=on"), "{status}");
+        assert!(status.contains("scrub.repaired="), "{status}");
+        assert!(
+            engine.scrub.repaired.load(Ordering::Relaxed) >= 1,
+            "scrubber repaired the flipped primary"
+        );
+        // The primary verifies strictly again on disk.
+        let healed = std::fs::read(&path).unwrap();
+        assert!(cpdg_core::integrity::unseal_strict(&healed, &path).is_ok());
+        let status = engine.execute(Command::Status).render();
+        assert!(status.contains("scrub=off"), "shutdown detaches: {status}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn supervisor_counts_unrepairable_artifacts() {
+        let dir = test_dir("unrepairable");
+        let path = sealed_pair(&dir, "checkpoint.cpdg", b"{}");
+        // Rot every copy: nothing left to heal from.
+        for p in [path.clone(), cpdg_core::scrub::replica_path(&path, 1)] {
+            let mut bytes = std::fs::read(&p).unwrap();
+            bytes[0] ^= 0x40;
+            std::fs::write(&p, &bytes).unwrap();
+        }
+        let engine = Arc::new(Engine::from_model(
+            &tiny_model(),
+            EngineConfig::default(),
+            FaultHook::none(),
+        ));
+        let sup = ScrubSupervisor::start(
+            Arc::clone(&engine),
+            vec![dir.clone()],
+            ScrubConfig::default(),
+            Duration::from_millis(5),
+            FaultHook::none(),
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while engine.scrub.unrepairable.load(Ordering::Relaxed) == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        sup.shutdown();
+        assert!(
+            engine.scrub.unrepairable.load(Ordering::Relaxed) >= 1,
+            "fully-rotted checkpoint reported unrepairable"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

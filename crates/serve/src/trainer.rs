@@ -65,6 +65,9 @@ pub struct TrainerConfig {
     /// Cycles a just-promoted epoch stays on probation: a breaker trip
     /// before they elapse rolls the promotion back.
     pub probation_cycles: u64,
+    /// Sealed-copy count for scrub-managed trainer artifacts (candidate
+    /// epochs and the promoted pointer). `1` disables replication.
+    pub replicas: usize,
 }
 
 impl TrainerConfig {
@@ -75,6 +78,7 @@ impl TrainerConfig {
             epoch_dir,
             cadence: Duration::from_millis(500),
             probation_cycles: 3,
+            replicas: cpdg_core::scrub::DEFAULT_REPLICAS,
         }
     }
 }
@@ -207,6 +211,7 @@ impl TrainerRuntime {
     /// process restarts, and quarantine is a forensic record, so a later
     /// rejection must never overwrite an earlier one.
     fn quarantine(&self, path: &Path, reason: &str) {
+        let bytes = std::fs::metadata(path).map_or(0, |m| m.len());
         if path.exists() {
             let qdir = self.cfg.epoch_dir.join(QUARANTINE_DIR);
             let base = path
@@ -230,7 +235,10 @@ impl TrainerRuntime {
                 let _ = std::fs::remove_file(path);
             }
         }
-        self.engine.trainer.note_quarantined();
+        // Drop any sealed replica copies: a surviving `<name>.r1` would
+        // let the scrubber resurrect the rejected candidate from it.
+        cpdg_core::scrub::remove_replicas(&FS_STORAGE, path);
+        self.engine.trainer.note_quarantined(bytes, reason);
         cpdg_obs::counter!("serve.trainer.quarantined").inc();
         cpdg_obs::warn!(
             "serve.trainer",
@@ -303,7 +311,12 @@ impl TrainerRuntime {
         let version = self.engine.rollback_epoch(&p.fallback)?;
         self.serving_model = ModelFile::load(&p.fallback)?;
         self.serving_path = p.fallback.clone();
-        write_promoted(&self.cfg.epoch_dir, self.generation, &p.fallback)?;
+        write_promoted(
+            &self.cfg.epoch_dir,
+            self.generation,
+            &p.fallback,
+            self.cfg.replicas,
+        )?;
         Ok(version)
     }
 
@@ -321,7 +334,7 @@ impl TrainerRuntime {
         let report = match self.trainer.train_cycle(&self.stream, &self.hook) {
             Ok(r) => r,
             Err(CpdgError::Diverged(report)) => {
-                self.engine.trainer.note_quarantined();
+                self.engine.trainer.note_quarantined(0, "diverged");
                 cpdg_obs::counter!("serve.trainer.quarantined").inc();
                 cpdg_obs::warn!(
                     "serve.trainer",
@@ -359,6 +372,32 @@ impl TrainerRuntime {
         if let Err(e) = self.trainer.emit_candidate(&FS_STORAGE, &path, &self.hook) {
             self.quarantine(&path, &e.to_string());
             return Ok(CycleOutcome::Quarantined(format!("emit failed: {e}")));
+        }
+        // Publish the candidate's sealed replica copies so a later flip in
+        // any single copy heals. Best-effort: a missing replica costs
+        // redundancy, not the promotion.
+        if self.cfg.replicas > 1 {
+            match std::fs::read(&path) {
+                Ok(bytes) => {
+                    for i in 1..self.cfg.replicas {
+                        let rp = cpdg_core::scrub::replica_path(&path, i);
+                        if let Err(e) = FS_STORAGE.write_atomic(&rp, &bytes) {
+                            cpdg_obs::warn!(
+                                "serve.trainer",
+                                "failed to publish candidate replica";
+                                path = rp.display().to_string(),
+                                error = e.to_string(),
+                            );
+                        }
+                    }
+                }
+                Err(e) => cpdg_obs::warn!(
+                    "serve.trainer",
+                    "could not read emitted candidate back for replication";
+                    path = path.display().to_string(),
+                    error = e.to_string(),
+                ),
+            }
         }
         self.generation = generation;
         self.engine.trainer.note_candidate(generation);
@@ -406,7 +445,7 @@ impl TrainerRuntime {
         // Promotion is live; seal the pointer so a crash from here on
         // restarts into this epoch. The swap above and this write are the
         // two halves of the promotion cut point the kill oracle exercises.
-        write_promoted(&self.cfg.epoch_dir, generation, &path)?;
+        write_promoted(&self.cfg.epoch_dir, generation, &path, self.cfg.replicas)?;
         self.probation = Some(Probation {
             trips: self.engine.breaker_trips(),
             cycles_left: self.cfg.probation_cycles,
@@ -429,16 +468,26 @@ impl TrainerRuntime {
 /// Atomically writes the sealed promoted-epoch pointer: `generation` and
 /// the serving model path (verbatim — a rollback may point outside the
 /// epoch dir, back at the base model), CRC-sealed so a torn write is
-/// detected rather than silently followed.
-pub fn write_promoted(epoch_dir: &Path, generation: u64, model: &Path) -> CpdgResult<()> {
+/// detected rather than silently followed, with `replicas − 1` sealed
+/// sibling copies (`promoted.cpdg.r1`, …) so a later bit flip in any
+/// single copy heals on read instead of refusing.
+pub fn write_promoted(
+    epoch_dir: &Path,
+    generation: u64,
+    model: &Path,
+    replicas: usize,
+) -> CpdgResult<()> {
     let name = model
         .to_str()
         .ok_or_else(|| CpdgError::Invalid(format!("unnameable model path {}", model.display())))?;
     let payload = format!("{generation}\n{name}");
     let pointer = epoch_dir.join(PROMOTED_POINTER);
-    FS_STORAGE
-        .write_atomic(&pointer, &cpdg_core::integrity::seal(payload.as_bytes()))
-        .map_err(|e| CpdgError::io(&pointer, e))
+    cpdg_core::scrub::write_replicated(
+        &FS_STORAGE,
+        &pointer,
+        &cpdg_core::integrity::seal(payload.as_bytes()),
+        replicas,
+    )
 }
 
 /// The decoded promoted-epoch pointer: which candidate generation was
@@ -453,19 +502,33 @@ pub struct PromotedEpoch {
     pub model: PathBuf,
 }
 
-/// Reads the promoted-epoch pointer. `Ok(None)` when no pointer exists
-/// (nothing was ever promoted); `Err` on a corrupt pointer or one naming
-/// a missing file — callers should warn and fall back to their base
-/// model.
+/// Reads the promoted-epoch pointer through its replica set: a corrupt
+/// primary heals from `promoted.cpdg.r1`, … before parsing. `Ok(None)`
+/// when no copy exists (nothing was ever promoted); `Err` when every
+/// copy is corrupt, or the pointer names a missing file — callers should
+/// warn and fall back to their base model.
 pub fn read_promoted(epoch_dir: &Path) -> CpdgResult<Option<PromotedEpoch>> {
+    read_promoted_with(epoch_dir, cpdg_core::scrub::DEFAULT_REPLICAS)
+}
+
+/// [`read_promoted`] with an explicit replica count (`1` reads only the
+/// primary — for deployments that disabled replication).
+pub fn read_promoted_with(epoch_dir: &Path, replicas: usize) -> CpdgResult<Option<PromotedEpoch>> {
     let pointer = epoch_dir.join(PROMOTED_POINTER);
-    if !pointer.exists() {
-        return Ok(None);
-    }
-    let bytes = std::fs::read(&pointer).map_err(|e| CpdgError::io(&pointer, e))?;
-    let payload = cpdg_core::integrity::unseal(&bytes, &pointer)?;
-    let text =
-        std::str::from_utf8(payload).map_err(|e| CpdgError::corrupt(&pointer, e.to_string()))?;
+    let read = match cpdg_core::scrub::read_sealed_replicated(
+        &FS_STORAGE,
+        &pointer,
+        replicas,
+        &FaultHook::none(),
+    ) {
+        Ok(read) => read,
+        Err(CpdgError::Io { source, .. }) if source.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(None)
+        }
+        Err(e) => return Err(e),
+    };
+    let text = std::str::from_utf8(&read.payload)
+        .map_err(|e| CpdgError::corrupt(&pointer, e.to_string()))?;
     let mut lines = text.lines();
     let generation = lines
         .next()
@@ -593,7 +656,7 @@ fn supervise_trainer(mut runtime: TrainerRuntime, stop: Arc<AtomicBool>) {
             }
             Err(_) => {
                 streak += 1;
-                engine.trainer.note_quarantined();
+                engine.trainer.note_quarantined(0, "panic");
                 cpdg_obs::counter!("serve.trainer.quarantined").inc();
                 let delay = backoff.backoff_delay(streak);
                 cpdg_obs::warn!(

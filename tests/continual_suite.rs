@@ -391,10 +391,22 @@ fn kill_nine_at_every_trainer_cut_point_recovers_deterministically() {
             drop(rt);
             drop(engine);
 
-            // Scribble over the pointer: recovery must refuse it (typed,
-            // not followed) and fall back to the base epoch — again
-            // identically on every attempt.
+            // Scribble over the pointer primary: the sealed replica copy
+            // (`promoted.cpdg.r1`) heals it — recovery keeps resolving to
+            // the promoted epoch instead of regressing to the base model.
             std::fs::write(epochs.join("promoted.cpdg"), b"garbage").unwrap();
+            let healed = read_promoted(&epochs).unwrap().unwrap();
+            assert!(
+                healed.model.ends_with("candidate-g1.json"),
+                "{name}: replica did not heal the pointer: {}",
+                healed.model.display()
+            );
+
+            // Scribble over *every* copy: recovery must refuse the pointer
+            // (typed, not followed) and fall back to the base epoch —
+            // again identically on every attempt.
+            std::fs::write(epochs.join("promoted.cpdg"), b"garbage").unwrap();
+            std::fs::write(epochs.join("promoted.cpdg.r1"), b"garbage").unwrap();
             assert!(read_promoted(&epochs).is_err(), "corrupt pointer followed");
             let (fb_a, path_a) = recover(&base, &epochs, &wal);
             let (fb_b, path_b) = recover(&base, &epochs, &wal);

@@ -1,0 +1,768 @@
+//! Scrub suite: the self-healing artifact oracle.
+//!
+//! The contract under test: for **every artifact class** the serving
+//! stack persists — sealed WAL segments, the drain checkpoint
+//! `checkpoint.cpdg`, candidate epoch files, the promoted pointer
+//! `promoted.cpdg` — flipping a byte of any *one* sealed copy must leave
+//! serving replies **bit-identical** to an uncorrupted run (the repair
+//! path heals the bad copy from a replica), and flipping a byte of
+//! *every* copy must produce a **typed refusal naming the artifact**
+//! (exit code 4 at the CLI) — never a panic, never silently wrong bytes.
+//! The oracle runs at 1 and 4 shards with a continual trainer attached,
+//! because those are the topologies `cpdg serve` actually deploys.
+//!
+//! Alongside the tentpole oracle:
+//!
+//! * **kill -9 mid-repair** — a crash between corruption *detection* and
+//!   the repair write landing leaves the bad copy on disk; the restart
+//!   resolves identically and this time the repair lands. Torn repair
+//!   residue (`.{name}.tmp`) is ignored by catalog and loaders alike.
+//! * **chaos bitflips** — the `integrity.bitflip` fault point corrupts
+//!   reads *in memory*: a one-shot flip falls through to the replica, a
+//!   permanent flip refuses with the artifact path, and the disk stays
+//!   sound either way.
+//! * **budgeted scrubbing** — a `Scrubber` with a tiny byte budget heals
+//!   a corrupted sharded tree across several cursor-resumed cycles.
+//! * **exhaustive offset flips** — a single byte flipped at *every*
+//!   offset of a sealed pointer / epoch / checkpoint / WAL segment is
+//!   refused by the strict loaders (plus a proptest pinning the generic
+//!   property for arbitrary payloads and arbitrary single-bit flips).
+//!
+//! The refusal assertions pin the exact user-facing failure: `cpdg`
+//! prints `error: {Display}` and exits with `CpdgError::exit_code()`
+//! (the CLI crate's inline tests cover the printing), so checking the
+//! Display string and exit code here checks the `exit 4` message names
+//! the artifact for each class. The scripted real-`dd` variant of the
+//! flip oracle (against the `cpdg` binary) lives in CI's scrub-suite
+//! job; this file is the in-process oracle it leans on.
+
+use cpdg::core::chaos::{FaultHook, FaultKind, FaultPlan, FaultPoint, Trigger};
+use cpdg::core::integrity;
+use cpdg::core::scrub;
+use cpdg::core::storage::FS_STORAGE;
+use cpdg::core::wal::{self, Wal, WalCheckpoint, WalConfig};
+use cpdg::core::{CpdgError, ModelFile, ScrubConfig, Scrubber, WindowConfig};
+use cpdg::dgnn::{DgnnConfig, DgnnEncoder, EncoderKind, GuardConfig, LinkPredictor};
+use cpdg::serve::{
+    parse_line, read_promoted_with, write_promoted, CycleOutcome, Engine, EngineConfig,
+    TrainerConfig, TrainerRuntime,
+};
+use cpdg::tensor::{Matrix, ParamStore};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const NODES: usize = 16;
+const DIM: usize = 8;
+/// Every oracle runs at these shard counts; 1 is the legacy flat layout.
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpdg_scrubsuite_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A freshly-initialised base model (namespaces `enc` / `pretext_head`)
+/// saved to `dir/base.json` — the epoch serving starts from.
+fn base_model(dir: &Path) -> PathBuf {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg = DgnnConfig::preset(EncoderKind::Tgn, DIM, 100.0);
+    let enc = DgnnEncoder::new(&mut store, &mut rng, "enc", NODES, cfg.clone());
+    let _head = LinkPredictor::new(&mut store, &mut rng, "pretext_head", enc.dim());
+    let path = dir.join("base.json");
+    ModelFile::new(cfg, NODES, store, Vec::new())
+        .save(&path)
+        .unwrap();
+    path
+}
+
+/// Small segments so the event stream crosses several rotation
+/// boundaries (sealed, replicated segments) in every shard's log.
+fn wal_cfg() -> WalConfig {
+    WalConfig {
+        segment_bytes: 64,
+        ..WalConfig::default()
+    }
+}
+
+fn sharded_config(shards: usize) -> EngineConfig {
+    EngineConfig {
+        shards,
+        ..EngineConfig::default()
+    }
+}
+
+fn exec(engine: &Engine, line: &str) -> String {
+    let cmd = parse_line(line).unwrap_or_else(|e| panic!("bad script line {line:?}: {e}"));
+    engine.execute(cmd).render()
+}
+
+/// The ingestion stream: a node rotation with one event per time unit,
+/// spread over enough node pairs that 4-shard routing fills every
+/// `wal.shard<k>/` stream.
+fn events(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("EVENT {} {} {}.0", i % 8, 8 + i % 8, i))
+        .collect()
+}
+
+fn feed(engines: &[&Engine], lines: &[String]) {
+    for line in lines {
+        for engine in engines {
+            let r = exec(engine, line);
+            assert!(r.starts_with("OK "), "{line:?} -> {r}");
+        }
+    }
+}
+
+/// Deterministic queries probing node memories past the stream's end.
+fn queries() -> Vec<String> {
+    let mut q = Vec::new();
+    for i in 0..8u32 {
+        q.push(format!("EMB {i} 100.0"));
+        q.push(format!("SCORE {} {} 100.0", i, 8 + (i + 3) % 8));
+    }
+    q
+}
+
+fn snap(engine: &Engine) -> Vec<String> {
+    queries().iter().map(|q| exec(engine, q)).collect()
+}
+
+/// The trainer geometry the continual suite established: enough windows
+/// over a 64-event stream to train and promote on the first cycle.
+fn trainer_cfg(epoch_dir: PathBuf) -> TrainerConfig {
+    let mut cfg = TrainerConfig::new(epoch_dir);
+    cfg.continual.window = WindowConfig {
+        span: 20.0,
+        stride: 10.0,
+    };
+    cfg.continual.min_events = 16;
+    cfg.continual.seed = 7;
+    cfg.continual.guard = GuardConfig::never_diverge();
+    cfg
+}
+
+/// Flips one byte in the middle of `path` — the suite's stand-in for a
+/// `dd`-injected disk flip.
+fn flip(path: &Path) {
+    let mut bytes = std::fs::read(path).unwrap();
+    assert!(!bytes.is_empty(), "cannot flip empty {}", path.display());
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(path, &bytes).unwrap();
+}
+
+/// Flips the primary *and* its `.r1` replica: no sound copy left.
+fn flip_all(path: &Path) {
+    flip(path);
+    flip(&scrub::replica_path(path, 1));
+}
+
+fn backup_copies(path: &Path) -> (Vec<u8>, Vec<u8>) {
+    (
+        std::fs::read(path).unwrap(),
+        std::fs::read(scrub::replica_path(path, 1)).unwrap(),
+    )
+}
+
+fn restore_copies(path: &Path, saved: &(Vec<u8>, Vec<u8>)) {
+    std::fs::write(path, &saved.0).unwrap();
+    std::fs::write(scrub::replica_path(path, 1), &saved.1).unwrap();
+}
+
+/// Sealed (non-tail) WAL segment primaries under `wal_root`, covering
+/// both the flat layout and `wal.shard<k>/` subdirectories.
+fn sealed_interior_segments(wal_root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![wal_root.to_path_buf()];
+    for e in std::fs::read_dir(wal_root).unwrap().flatten() {
+        let p = e.path();
+        if p.is_dir() && e.file_name().to_string_lossy().starts_with("wal.shard") {
+            dirs.push(p);
+        }
+    }
+    dirs.sort();
+    let mut out = Vec::new();
+    for dir in dirs {
+        let mut segs: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(scrub::classify)
+                    == Some(scrub::ArtifactClass::WalSegment)
+            })
+            .collect();
+        segs.sort();
+        segs.pop(); // the highest-start segment is the active tail
+        out.extend(segs);
+    }
+    out
+}
+
+/// One durable serving state with every artifact class present: a
+/// promoted candidate epoch + pointer (continual trainer), a WAL
+/// checkpoint, and sealed replicated segments written after it.
+struct State {
+    dir: PathBuf,
+    base: PathBuf,
+    epochs: PathBuf,
+    wal: PathBuf,
+}
+
+fn build_state(shards: usize, tag: &str) -> State {
+    let dir = test_dir(&format!("{tag}_s{shards}"));
+    let base = base_model(&dir);
+    let epochs = dir.join("epochs");
+    let wal = dir.join("wal");
+    std::fs::create_dir_all(&wal).unwrap();
+    let model = ModelFile::load(&base).unwrap();
+    let engine = Arc::new(Engine::from_model(
+        &model,
+        sharded_config(shards),
+        FaultHook::none(),
+    ));
+    engine.open_wal(&wal, wal_cfg()).unwrap();
+    let mut rt =
+        TrainerRuntime::new(Arc::clone(&engine), &base, trainer_cfg(epochs.clone())).unwrap();
+    let stream = events(96);
+    feed(&[&engine], &stream[..64]);
+    match rt.run_cycle().unwrap() {
+        CycleOutcome::Promoted { version, .. } => assert_eq!(version, 2),
+        other => panic!("{shards} shards: expected promotion, got {other:?}"),
+    }
+    // Checkpoint (truncating the replayed segments), then keep streaming
+    // so fresh sealed segments exist *after* the checkpoint.
+    assert!(engine.checkpoint_wal(&FS_STORAGE).unwrap().is_some());
+    feed(&[&engine], &stream[64..]);
+    // kill -9 analog: no drain, no second checkpoint, no shutdown.
+    drop(rt);
+    drop(engine);
+    State {
+        dir,
+        base,
+        epochs,
+        wal,
+    }
+}
+
+/// The resolution a restarting `cpdg serve --continual` performs, through
+/// the replicated readers serving actually uses: follow the promoted
+/// pointer when any copy is sound (else the base model), load the epoch
+/// through its replica set, replay the WAL (checkpoint first).
+fn recover(st: &State, shards: usize) -> (Engine, PathBuf) {
+    let serving = match read_promoted_with(&st.epochs, 2) {
+        Ok(Some(p)) => p.model,
+        _ => st.base.clone(),
+    };
+    let model = ModelFile::load_replicated(&FS_STORAGE, &serving, 2, &FaultHook::none()).unwrap();
+    let engine = Engine::from_model(&model, sharded_config(shards), FaultHook::none());
+    engine.open_wal(&st.wal, wal_cfg()).unwrap();
+    (engine, serving)
+}
+
+/// The tentpole heal oracle: flip one sealed copy of each artifact class
+/// and recovery must repair it in passing — replies bit-identical to the
+/// uncorrupted reference, artifact strictly verifiable on disk again.
+#[test]
+fn flipping_one_copy_of_each_artifact_class_heals_and_serving_stays_bit_identical() {
+    for shards in SHARD_COUNTS {
+        let st = build_state(shards, "heal");
+        let reference = {
+            let (engine, serving) = recover(&st, shards);
+            assert!(serving.ends_with("candidate-g1.json"), "{shards} shards");
+            snap(&engine)
+        };
+        assert_eq!(
+            snap(&recover(&st, shards).0),
+            reference,
+            "{shards} shards: recovery must be deterministic before any corruption"
+        );
+
+        let pointer = st.epochs.join("promoted.cpdg");
+        let epoch = read_promoted_with(&st.epochs, 2).unwrap().unwrap().model;
+        let checkpoint = st.wal.join("checkpoint.cpdg");
+        let segments = sealed_interior_segments(&st.wal);
+        assert!(
+            !segments.is_empty(),
+            "{shards} shards: no sealed segments to corrupt"
+        );
+        let segment = segments[0].clone();
+
+        let targets: [(&str, &Path); 4] = [
+            ("pointer", &pointer),
+            ("epoch", &epoch),
+            ("wal-checkpoint", &checkpoint),
+            ("wal-segment", &segment),
+        ];
+        for (class, path) in targets {
+            flip(path);
+            let (engine, _) = recover(&st, shards);
+            assert_eq!(
+                snap(&engine),
+                reference,
+                "{shards} shards: {class} flip changed served bytes"
+            );
+            drop(engine);
+            let healed = std::fs::read(path).unwrap();
+            let sound = if class == "wal-segment" {
+                wal::segment_is_sound(&healed)
+            } else {
+                integrity::unseal_strict(&healed, path).is_ok()
+            };
+            assert!(sound, "{shards} shards: {class} primary not healed on disk");
+        }
+
+        // A continual trainer re-attached to the healed tree keeps
+        // working on top of it — the generation sequence resumes.
+        let (engine, serving) = recover(&st, shards);
+        let engine = Arc::new(engine);
+        let mut rt = TrainerRuntime::new(
+            Arc::clone(&engine),
+            &serving,
+            trainer_cfg(st.epochs.clone()),
+        )
+        .unwrap();
+        let outcome = rt.run_cycle().unwrap();
+        assert!(
+            matches!(outcome, CycleOutcome::Promoted { .. } | CycleOutcome::Idle),
+            "{shards} shards: trainer on healed tree: {outcome:?}"
+        );
+        std::fs::remove_dir_all(&st.dir).ok();
+    }
+}
+
+/// The tentpole refusal oracle: flip *every* sealed copy of each artifact
+/// class and the responsible loader must refuse with a typed error that
+/// names the artifact and maps to CLI exit code 4 — never panic, never
+/// serve from garbage.
+#[test]
+fn flipping_every_copy_of_each_artifact_class_refuses_with_the_artifact_named() {
+    for shards in SHARD_COUNTS {
+        let st = build_state(shards, "refuse");
+        let reference = snap(&recover(&st, shards).0);
+
+        // Pointer: refused by the pointer reader; full recovery falls
+        // back to the base epoch, deterministically.
+        let pointer = st.epochs.join("promoted.cpdg");
+        let saved = backup_copies(&pointer);
+        flip_all(&pointer);
+        let err = read_promoted_with(&st.epochs, 2).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{shards} shards: {err}");
+        assert!(err.to_string().contains("promoted.cpdg"), "{err}");
+        let (fb_a, path_a) = recover(&st, shards);
+        let (fb_b, path_b) = recover(&st, shards);
+        assert!(path_a.ends_with("base.json"), "{}", path_a.display());
+        assert_eq!(path_a, path_b, "{shards} shards: fallback determinism");
+        assert_eq!(snap(&fb_a), snap(&fb_b), "{shards} shards");
+        drop((fb_a, fb_b));
+        restore_copies(&pointer, &saved);
+
+        // Epoch: refused by the replicated model loader.
+        let epoch = read_promoted_with(&st.epochs, 2).unwrap().unwrap().model;
+        let saved = backup_copies(&epoch);
+        flip_all(&epoch);
+        let err = ModelFile::load_replicated(&FS_STORAGE, &epoch, 2, &FaultHook::none())
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{shards} shards: {err}");
+        assert!(err.to_string().contains("candidate-g1.json"), "{err}");
+        restore_copies(&epoch, &saved);
+
+        // Checkpoint: refused by WAL recovery before any replay.
+        let checkpoint = st.wal.join("checkpoint.cpdg");
+        let saved = backup_copies(&checkpoint);
+        flip_all(&checkpoint);
+        let model = ModelFile::load_replicated(&FS_STORAGE, &epoch, 2, &FaultHook::none()).unwrap();
+        let engine = Engine::from_model(&model, sharded_config(shards), FaultHook::none());
+        let err = engine.open_wal(&st.wal, wal_cfg()).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{shards} shards: {err}");
+        assert!(err.to_string().contains("checkpoint.cpdg"), "{err}");
+        drop(engine);
+        restore_copies(&checkpoint, &saved);
+
+        // WAL segment: quarantined, and recovery refuses with the typed
+        // gap its records leave behind instead of replaying garbage.
+        let segment = sealed_interior_segments(&st.wal)[0].clone();
+        let saved = backup_copies(&segment);
+        flip_all(&segment);
+        let engine = Engine::from_model(&model, sharded_config(shards), FaultHook::none());
+        let err = engine.open_wal(&st.wal, wal_cfg()).unwrap_err();
+        assert!(matches!(err, CpdgError::WalGap { .. }), "{err}");
+        assert_eq!(err.exit_code(), 4, "{shards} shards: {err}");
+        assert!(err.to_string().contains("gap"), "{err}");
+        drop(engine);
+        let qdir = segment.parent().unwrap().join(scrub::QUARANTINE_DIR);
+        assert!(
+            qdir.join(segment.file_name().unwrap()).exists(),
+            "{shards} shards: unrepairable segment not quarantined"
+        );
+        restore_copies(&segment, &saved);
+        std::fs::remove_dir_all(&qdir).unwrap();
+
+        // Every class restored: the tree serves the reference again.
+        assert_eq!(snap(&recover(&st, shards).0), reference, "{shards} shards");
+        std::fs::remove_dir_all(&st.dir).ok();
+    }
+}
+
+/// kill -9 between corruption *detection* and the repair write landing:
+/// the restart resolves identically, the repair lands the second time,
+/// and torn repair residue (`.{name}.tmp`) confuses nothing.
+#[test]
+fn a_crash_between_corruption_detection_and_repair_recovers_deterministically() {
+    let dir = test_dir("midrepair");
+    let base = base_model(&dir);
+    let epochs = dir.join("epochs");
+    std::fs::create_dir_all(&epochs).unwrap();
+    write_promoted(&epochs, 1, &base, 2).unwrap();
+    let pointer = epochs.join("promoted.cpdg");
+    flip(&pointer);
+
+    // Crash window analog: the read detects the bad primary and falls
+    // through to the replica, but every repair write is lost.
+    let hook = FaultHook::install(&FaultPlan::new(9).with(
+        FaultPoint::ScrubRepair,
+        FaultKind::Permanent,
+        Trigger::Every { k: 1 },
+    ));
+    let read = scrub::read_sealed_replicated(&FS_STORAGE, &pointer, 2, &hook).unwrap();
+    assert_eq!(read.corrupt_copies, 1);
+    assert_eq!(read.repaired, 0, "suppressed repair = crash before rename");
+    assert!(
+        integrity::unseal_strict(&std::fs::read(&pointer).unwrap(), &pointer).is_err(),
+        "primary must still be bad on disk after the crashed repair"
+    );
+    // Residue a killed atomic publish leaves behind.
+    std::fs::write(epochs.join(".promoted.cpdg.tmp"), b"half a repair").unwrap();
+
+    // Restart: two independent resolutions agree, and the repair lands.
+    let a = read_promoted_with(&epochs, 2).unwrap().unwrap();
+    let b = read_promoted_with(&epochs, 2).unwrap().unwrap();
+    assert_eq!(a.generation, b.generation);
+    assert_eq!(a.model, b.model);
+    assert!(a.model.ends_with("base.json"));
+    assert!(
+        integrity::unseal_strict(&std::fs::read(&pointer).unwrap(), &pointer).is_ok(),
+        "restarted read must heal the primary"
+    );
+
+    // A scrub pass over the directory skips the `.tmp` residue and finds
+    // nothing left to repair.
+    let report = Scrubber::new(vec![epochs.clone()], ScrubConfig::default())
+        .scrub_all(&FS_STORAGE, &FaultHook::none());
+    assert_eq!(report.corrupt, 0, "{report:?}");
+    assert!(report.unrepairable.is_empty(), "{report:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `integrity.bitflip` chaos point corrupts reads in memory: a
+/// one-shot flip falls through to the replica, a permanent flip refuses
+/// with the artifact path — and the disk stays sound either way.
+#[test]
+fn injected_bitflips_fall_through_replicas_or_refuse_without_touching_disk() {
+    let dir = test_dir("bitflip");
+    let path = dir.join("promoted.cpdg");
+    scrub::write_replicated(&FS_STORAGE, &path, &integrity::seal(b"3\n/m.json"), 2).unwrap();
+
+    // First read flipped: the replica carries the payload through.
+    let hook = FaultHook::install(&FaultPlan::new(1).with(
+        FaultPoint::IntegrityBitflip,
+        FaultKind::Transient,
+        Trigger::Nth { n: 0 },
+    ));
+    let read = scrub::read_sealed_replicated(&FS_STORAGE, &path, 2, &hook).unwrap();
+    assert_eq!(read.payload, b"3\n/m.json");
+    assert_eq!(read.corrupt_copies, 1);
+
+    // Every read flipped: typed refusal naming the artifact.
+    let hook = FaultHook::install(&FaultPlan::new(1).with(
+        FaultPoint::IntegrityBitflip,
+        FaultKind::Permanent,
+        Trigger::Every { k: 1 },
+    ));
+    let err = scrub::read_sealed_replicated(&FS_STORAGE, &path, 2, &hook)
+        .map(|_| ())
+        .unwrap_err();
+    assert_eq!(err.exit_code(), 4);
+    assert!(err.to_string().contains("promoted.cpdg"), "{err}");
+
+    // The flips lived in memory only: both copies verify and a plain
+    // read succeeds.
+    for i in 0..2 {
+        let p = scrub::copy_path(&path, i);
+        assert!(integrity::unseal_strict(&std::fs::read(&p).unwrap(), &p).is_ok());
+    }
+    scrub::read_sealed_replicated(&FS_STORAGE, &path, 2, &FaultHook::none()).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A scrubber with a tiny byte budget heals a corrupted 4-shard tree
+/// incrementally: several cursor-resumed cycles, then a clean full pass
+/// and bit-identical recovery.
+#[test]
+fn a_byte_budgeted_scrubber_heals_a_sharded_tree_across_cycles() {
+    let st = build_state(4, "budget");
+    let reference = snap(&recover(&st, 4).0);
+    flip(&st.epochs.join("promoted.cpdg"));
+    flip(&st.wal.join("checkpoint.cpdg"));
+    let segment = sealed_interior_segments(&st.wal)[0].clone();
+    flip(&segment);
+
+    let mut scrubber = Scrubber::new(
+        vec![st.wal.clone(), st.epochs.clone()],
+        ScrubConfig {
+            replicas: 2,
+            max_bytes_per_cycle: 200,
+        },
+    );
+    let mut cycles = 0u32;
+    let mut repaired = 0u64;
+    while repaired < 3 && cycles < 1000 {
+        let report = scrubber.scrub_cycle(&FS_STORAGE, &FaultHook::none());
+        assert!(report.unrepairable.is_empty(), "{report:?}");
+        repaired += report.repaired;
+        cycles += 1;
+    }
+    assert!(
+        repaired >= 3,
+        "only {repaired} repairs after {cycles} cycles"
+    );
+    assert!(cycles > 1, "a 200-byte budget must take multiple cycles");
+
+    let clean = scrubber.scrub_all(&FS_STORAGE, &FaultHook::none());
+    assert_eq!(clean.corrupt, 0, "{clean:?}");
+    assert!(clean.unrepairable.is_empty(), "{clean:?}");
+    assert_eq!(snap(&recover(&st, 4).0), reference);
+    std::fs::remove_dir_all(&st.dir).ok();
+}
+
+/// Satellite: rejected training work is accounted in `STATUS` — byte
+/// totals of quarantined candidates and the most recent rejection cause.
+#[test]
+fn status_reports_quarantine_byte_totals_and_the_last_rejection_cause() {
+    let dir = test_dir("qstatus");
+    let base = base_model(&dir);
+    let model = ModelFile::load(&base).unwrap();
+    let plan = FaultPlan::new(11).with(
+        FaultPoint::TrainerPromote,
+        FaultKind::Transient,
+        Trigger::Nth { n: 0 },
+    );
+    let engine = Arc::new(Engine::from_model(
+        &model,
+        EngineConfig::default(),
+        FaultHook::install(&plan),
+    ));
+    let mut rt =
+        TrainerRuntime::new(Arc::clone(&engine), &base, trainer_cfg(dir.join("epochs"))).unwrap();
+    feed(&[&engine], &events(64));
+    match rt.run_cycle().unwrap() {
+        CycleOutcome::Quarantined(reason) => assert!(reason.contains("trainer.promote")),
+        other => panic!("expected promote quarantine, got {other:?}"),
+    }
+    let status = exec(&engine, "STATUS");
+    let field = |key: &str| -> String {
+        let prefix = format!("{key}=");
+        status
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix(&prefix))
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("missing {prefix} in {status}"))
+    };
+    assert_eq!(field("trainer.quarantined"), "1");
+    let bytes: u64 = field("trainer.quarantined_bytes").parse().unwrap();
+    assert!(bytes > 0, "quarantined candidate bytes accounted: {status}");
+    assert!(
+        field("trainer.last_reject").contains("trainer.promote"),
+        "{status}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: a single byte flipped at EVERY offset of the sealed
+/// promoted pointer and of a sealed epoch file is refused by the exact
+/// loaders serving uses — typed error, never a panic, never a load.
+#[test]
+fn every_single_byte_flip_of_pointer_and_epoch_files_is_refused_by_their_loaders() {
+    let dir = test_dir("offsets_ptr");
+    let epochs = dir.join("epochs");
+    std::fs::create_dir_all(&epochs).unwrap();
+    let model_path = dir.join("tiny.json");
+    let mut params = ParamStore::new();
+    params.register("w", Matrix::from_rows(&[&[1.5, -0.5]]));
+    let tiny = ModelFile::new(
+        DgnnConfig::preset(EncoderKind::Tgn, 4, 100.0),
+        3,
+        params,
+        Vec::new(),
+    );
+    // replicas = 1: no second copy, so every flip must surface as an
+    // error rather than heal. (The 0x40 mask never maps one hex digit to
+    // another, so footer flips are always unparseable — the proptest
+    // below covers arbitrary bit positions.)
+    tiny.save_replicated(&FS_STORAGE, &model_path, 1).unwrap();
+    write_promoted(&epochs, 1, &model_path, 1).unwrap();
+    let pointer = epochs.join("promoted.cpdg");
+
+    let pointer_pristine = std::fs::read(&pointer).unwrap();
+    for off in 0..pointer_pristine.len() {
+        let mut bad = pointer_pristine.clone();
+        bad[off] ^= 0x40;
+        std::fs::write(&pointer, &bad).unwrap();
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            read_promoted_with(&epochs, 1).map(|_| ())
+        }))
+        .unwrap_or_else(|_| panic!("pointer flip at {off}: panicked"));
+        assert!(got.is_err(), "pointer flip at {off} was followed");
+    }
+    std::fs::write(&pointer, &pointer_pristine).unwrap();
+
+    let epoch_pristine = std::fs::read(&model_path).unwrap();
+    for off in 0..epoch_pristine.len() {
+        let mut bad = epoch_pristine.clone();
+        bad[off] ^= 0x40;
+        std::fs::write(&model_path, &bad).unwrap();
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            ModelFile::load_replicated(&FS_STORAGE, &model_path, 1, &FaultHook::none()).map(|_| ())
+        }))
+        .unwrap_or_else(|_| panic!("epoch flip at {off}: panicked"));
+        assert!(got.is_err(), "epoch flip at {off} loaded");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: every offset of a real sealed WAL checkpoint — exhaustive
+/// in memory against the strict unsealer, strided on disk against the
+/// replicated checkpoint loader.
+#[test]
+fn every_single_byte_flip_of_a_sealed_checkpoint_is_refused() {
+    let dir = test_dir("offsets_ckpt");
+    let base = base_model(&dir);
+    let wal_dir = dir.join("wal");
+    let engine =
+        Engine::from_model_file(&base, EngineConfig::default(), FaultHook::none()).unwrap();
+    engine.open_wal(&wal_dir, wal_cfg()).unwrap();
+    feed(&[&engine], &events(8));
+    assert!(engine.checkpoint_wal(&FS_STORAGE).unwrap().is_some());
+    drop(engine);
+
+    let path = wal_dir.join("checkpoint.cpdg");
+    let pristine = std::fs::read(&path).unwrap();
+    for off in 0..pristine.len() {
+        let mut bad = pristine.clone();
+        bad[off] ^= 0x40;
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            integrity::unseal_strict(&bad, &path).is_err()
+        }))
+        .unwrap_or_else(|_| panic!("checkpoint flip at {off}: panicked"));
+        assert!(got, "checkpoint flip at {off} unsealed");
+    }
+    // Strided pass through the real loader (every offset would be pure
+    // IO repetition; the in-memory pass above already covered them all).
+    let stride = (pristine.len() / 197).max(1);
+    for off in (0..pristine.len()).step_by(stride) {
+        let mut bad = pristine.clone();
+        bad[off] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        let got =
+            WalCheckpoint::load_replicated(&FS_STORAGE, &path, 1, &FaultHook::none()).map(|_| ());
+        assert!(got.is_err(), "checkpoint flip at {off} loaded");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: every offset of a sealed (non-tail) WAL segment — with no
+/// replica to heal from, `Wal::open` must quarantine and refuse with a
+/// typed gap at every flip position, never panic, never replay garbage.
+#[test]
+fn every_single_byte_flip_of_a_sealed_wal_segment_is_refused_never_replayed() {
+    let dir = test_dir("offsets_seg");
+    let src = dir.join("wal");
+    let cfg = || WalConfig {
+        segment_bytes: 64,
+        replicas: 1,
+        ..WalConfig::default()
+    };
+    {
+        let mut w = Wal::open(&src, cfg(), FaultHook::none()).unwrap();
+        for i in 0..12u32 {
+            w.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+    }
+    let mut names: Vec<String> = std::fs::read_dir(&src)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| scrub::classify(n) == Some(scrub::ArtifactClass::WalSegment))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 2,
+        "need a sealed interior segment: {names:?}"
+    );
+    let interior = names[0].clone();
+    let files: Vec<(String, Vec<u8>)> = names
+        .iter()
+        .map(|n| (n.clone(), std::fs::read(src.join(n)).unwrap()))
+        .collect();
+    let interior_bytes = std::fs::read(src.join(&interior)).unwrap();
+
+    for off in 0..interior_bytes.len() {
+        let case = dir.join(format!("case-{off}"));
+        std::fs::create_dir_all(&case).unwrap();
+        for (name, bytes) in &files {
+            if *name == interior {
+                let mut bad = bytes.clone();
+                bad[off] ^= 0x40;
+                std::fs::write(case.join(name), &bad).unwrap();
+            } else {
+                std::fs::write(case.join(name), bytes).unwrap();
+            }
+        }
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            Wal::open(&case, cfg(), FaultHook::none()).map(|_| ())
+        }))
+        .unwrap_or_else(|_| panic!("segment flip at {off}: panicked"));
+        let err = match got {
+            Err(e) => e,
+            Ok(()) => panic!("segment flip at {off} opened cleanly"),
+        };
+        assert_eq!(err.exit_code(), 4, "segment flip at {off}: {err}");
+        std::fs::remove_dir_all(&case).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For ANY payload and ANY single-bit flip of its sealed bytes, the
+    /// strict unsealer either refuses (typed) or — when the flip only
+    /// changed the *case* of a footer hex digit, leaving the recorded
+    /// checksum's value intact — returns the byte-exact original
+    /// payload. Silently wrong bytes are impossible.
+    #[test]
+    fn prop_single_bit_flips_of_sealed_bytes_never_yield_wrong_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+        idx in any::<proptest::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let sealed = integrity::seal(&payload);
+        let off = idx.index(sealed.len());
+        let mut bad = sealed.clone();
+        bad[off] ^= 1 << bit;
+        match integrity::unseal_strict(&bad, Path::new("sealed.cpdg")) {
+            Err(_) => {}
+            Ok(got) => prop_assert_eq!(got, payload.as_slice()),
+        }
+    }
+}
